@@ -1,0 +1,20 @@
+//! Baselines: what Shenjing's partial-sum NoCs are compared against.
+//!
+//! * [`blockwise`] — an executable model of the *block-level spike
+//!   aggregation* used by prior SNN hardware (§II "Reconfigurability and
+//!   accuracy"; §VI on TrueNorth/Tianji): when a layer does not fit in
+//!   one core, each core thresholds its **partial** sum and fires spikes,
+//!   and an aggregating core re-integrates those quantized spikes. The
+//!   information lost at the per-core thresholding step is exactly the
+//!   accuracy loss Shenjing's exact in-network addition eliminates.
+//! * [`comparison`] — the Table V literature comparison data (SNNwt,
+//!   SpiNNaker, Tianji, TrueNorth) with a slot for our measured row.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockwise;
+pub mod comparison;
+
+pub use blockwise::BlockwiseSnn;
+pub use comparison::{paper_rows, ComparisonRow};

@@ -1,0 +1,92 @@
+//! Component-level microarchitecture throughput: ACC sweeps, PS router
+//! folds, spike crossbar traversals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shenjing::core::{ArchSpec, Direction, LocalSum, NocSum, W5};
+use shenjing::hw::{
+    NeuronCore, PlaneSet, PsRouter, PsRouterOp, PsSendSource, PsDst, SpikeRouter, SpikeRouterOp,
+};
+
+fn bench_hw(c: &mut Criterion) {
+    let arch = ArchSpec::paper();
+
+    // Neuron core ACC over a fully loaded 256x256 core at ~6% activity.
+    let mut core = NeuronCore::new(&arch);
+    for a in 0..arch.core_inputs {
+        for n in 0..arch.core_neurons {
+            core.write_weight(a, n, W5::saturating(i32::from(a % 31) - 15)).unwrap();
+        }
+    }
+    for a in (0..arch.core_inputs).step_by(16) {
+        core.set_axon(a, true).unwrap();
+    }
+    c.bench_function("neuron_core_acc_256x256", |b| {
+        b.iter(|| core.accumulate(0b1111).unwrap())
+    });
+
+    // PS router: a full 256-plane SUM.
+    let local: Vec<LocalSum> = (0..256).map(|i| LocalSum::new(i % 100).unwrap()).collect();
+    c.bench_function("ps_router_sum_256_planes", |b| {
+        b.iter(|| {
+            let mut router = PsRouter::new(256);
+            for p in 0..256u16 {
+                router.put_input(Direction::South, p, NocSum::new(7).unwrap()).unwrap();
+            }
+            router
+                .exec(
+                    &PsRouterOp::Sum {
+                        src: Direction::South,
+                        consec: false,
+                        planes: PlaneSet::all(),
+                    },
+                    &local,
+                )
+                .unwrap();
+            router
+        })
+    });
+
+    // Spike router: full-plane inject + send.
+    c.bench_function("spike_router_send_256_planes", |b| {
+        b.iter(|| {
+            let mut router = SpikeRouter::new(256);
+            for p in 0..256u16 {
+                router.integrate_value(p, 10);
+            }
+            let mut eject = vec![None; 256];
+            router
+                .exec(
+                    &SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() },
+                    &local,
+                    &mut eject,
+                )
+                .unwrap();
+            router
+        })
+    });
+
+    // PS send path end to end: SEND local PS to a port.
+    c.bench_function("ps_router_send_local_256_planes", |b| {
+        b.iter(|| {
+            let mut router = PsRouter::new(256);
+            router
+                .exec(
+                    &PsRouterOp::Send {
+                        source: PsSendSource::LocalPs,
+                        dst: PsDst::Port(Direction::North),
+                        planes: PlaneSet::all(),
+                    },
+                    &local,
+                )
+                .unwrap();
+            router
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hw
+}
+criterion_main!(benches);

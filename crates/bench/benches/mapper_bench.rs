@@ -1,0 +1,33 @@
+//! Mapping-toolchain throughput: the paper's "Mapping time" row of
+//! Table IV (their largest network took 12 s on a laptop CPU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shenjing::prelude::*;
+use shenjing::snn::snn_from_specs;
+use shenjing_mapper::{map_logical, place};
+
+fn bench_mapper(c: &mut Criterion) {
+    let arch = ArchSpec::paper();
+    let mlp = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
+    let cnn = snn_from_specs(&NetworkKind::MnistCnn.specs(), (28, 28, 1), 7).unwrap();
+
+    c.bench_function("map_full_mnist_mlp", |b| {
+        b.iter(|| Mapper::new(arch.clone()).map(&mlp).unwrap())
+    });
+
+    c.bench_function("map_logical_mnist_cnn", |b| {
+        b.iter(|| map_logical(&arch, &cnn).unwrap())
+    });
+
+    let cnn_logical = map_logical(&arch, &cnn).unwrap();
+    c.bench_function("place_greedy_mnist_cnn", |b| {
+        b.iter(|| place(&arch, &cnn_logical, PlacementStrategy::Greedy).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mapper
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Cycle-level simulator throughput: frames per second of wall-clock
+//! simulation for the mapped MNIST MLP (the paper's RTL tractability wall
+//! is exactly this cost — their functional simulator exists to beat it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shenjing::prelude::*;
+use shenjing::snn::snn_from_specs;
+
+fn bench_sim(c: &mut Criterion) {
+    let arch = ArchSpec::paper();
+    let snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
+    let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+    let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+    let input = Tensor::from_vec(vec![784], (0..784).map(|i| (i % 7) as f64 / 7.0).collect())
+        .unwrap();
+
+    c.bench_function("cycle_sim_mlp_frame_t20", |b| {
+        b.iter(|| sim.run_frame(&input, 20).unwrap())
+    });
+
+    let mut abstract_snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
+    c.bench_function("abstract_snn_mlp_frame_t20", |b| {
+        b.iter(|| abstract_snn.run(&input, 20).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

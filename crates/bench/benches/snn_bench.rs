@@ -1,0 +1,40 @@
+//! Conversion and abstract-model throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shenjing::datasets::{flatten_images, SynthDigits};
+use shenjing::prelude::*;
+use shenjing::snn::convert;
+
+fn bench_snn(c: &mut Criterion) {
+    let data = flatten_images(&SynthDigits::new(3).generate(40));
+    let mut ann = Network::from_specs(
+        &[LayerSpec::dense(784, 128), LayerSpec::relu(), LayerSpec::dense(128, 10)],
+        1,
+    )
+    .unwrap();
+    Sgd::new(0.02, 1, 2).train(&mut ann, &data).unwrap();
+    let calib: Vec<Tensor> = data.iter().take(16).map(|(x, _)| x.clone()).collect();
+
+    c.bench_function("convert_mlp_784_128_10", |b| {
+        b.iter(|| {
+            let mut ann = ann.clone();
+            convert(&mut ann, &calib, &ConversionOptions::default()).unwrap()
+        })
+    });
+
+    let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+    c.bench_function("abstract_snn_run_t20", |b| {
+        b.iter(|| snn.run(&calib[0], 20).unwrap())
+    });
+
+    c.bench_function("ann_forward_784_128_10", |b| {
+        b.iter(|| ann.forward(&calib[0]).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_snn
+}
+criterion_main!(benches);

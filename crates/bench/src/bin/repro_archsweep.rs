@@ -1,0 +1,57 @@
+//! Architecture sweep (extension experiment): how core size trades off
+//! core count, chip count and power for the MNIST MLP.
+//!
+//! The paper fixes 256×256 cores; this sweep asks what its own formulas
+//! imply for smaller and larger cores — the kind of design-space
+//! exploration the reconfigurable toolchain enables.
+
+use shenjing::prelude::*;
+use shenjing_bench::MlpPipeline;
+
+fn main() {
+    println!("=== extension: core-size sweep for the MNIST MLP ===\n");
+    let pipeline = MlpPipeline::build(60, 1, 5);
+    println!(
+        "{:>10} {:>8} {:>7} {:>14} {:>12} {:>12}",
+        "core size", "cores", "chips", "cyc/timestep", "freq @40fps", "power (mW)"
+    );
+    for size in [64u16, 128, 256, 512] {
+        let arch = ArchSpec {
+            core_inputs: size,
+            core_neurons: size,
+            // Keep the die area roughly constant: tile count scales
+            // inversely with core area (a size-s core has (s/256)^2 the
+            // SRAM of the paper's).
+            chip_rows: (28 * 256 / size).min(256),
+            chip_cols: (28 * 256 / size).min(256),
+            ..ArchSpec::paper()
+        };
+        let mapping = match Mapper::new(arch.clone()).map(&pipeline.snn) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("{size:>10} mapping failed: {e}");
+                continue;
+            }
+        };
+        let est = SystemEstimate::from_stats(
+            &EnergyModel::paper(),
+            &TileModel::paper(),
+            &mapping.program.stats,
+            mapping.logical.total_cores(),
+            mapping.placement.chips,
+            20,
+            40.0,
+        );
+        println!(
+            "{size:>7}x{size:<3} {:>7} {:>7} {:>14} {:>9.1} kHz {:>12.3}",
+            est.cores,
+            est.chips,
+            mapping.program.stats.pipelined_cycles_per_timestep,
+            est.frequency_hz / 1e3,
+            est.power.total_mw(),
+        );
+    }
+    println!("\n(the Fig. 5 tile power model is calibrated for 256x256 tiles, so");
+    println!(" absolute power off that point is indicative; the core-count and");
+    println!(" fold-depth scaling is exact)");
+}

@@ -1,0 +1,22 @@
+//! §IV synthesis results — area budget of a tile and the 784-tile die.
+
+use shenjing::prelude::*;
+
+fn main() {
+    println!("=== §IV: synthesis results (area) ===\n");
+    let a = AreaBudget::paper();
+    println!("tile (neuron core + NoC routers): {:.2} mm², {:.3}M gates", a.tile_mm2, a.tile_mgates);
+    println!("  routers: {:.3} mm² ({:.0}%)", a.router_mm2(), a.router_fraction * 100.0);
+    println!("  SRAM:    {:.3} mm² ({:.0}%)", a.sram_mm2(), a.sram_fraction * 100.0);
+    println!("  other:   {:.3} mm²", a.other_mm2());
+    println!(
+        "\ndie {:.0} x {:.0} mm -> {} x {} tiles = {} per chip",
+        a.die_side_mm,
+        a.die_side_mm,
+        a.tiles_per_side(),
+        a.tiles_per_side(),
+        a.tiles_per_die(),
+    );
+    assert_eq!(a.tiles_per_die(), ArchSpec::paper().cores_per_chip());
+    println!("\nmatches ArchSpec::paper(): {} cores per chip", ArchSpec::paper().cores_per_chip());
+}

@@ -1,0 +1,66 @@
+//! Fig. 1 — mapping of MNIST-MLP onto Shenjing: 10 cores, the partial-sum
+//! fold steps, and the spike NoC connections between layers.
+
+use shenjing::prelude::*;
+use shenjing_bench::MlpPipeline;
+
+fn main() {
+    println!("=== Fig. 1: Mapping of MNIST-MLP onto Shenjing ===\n");
+    let pipeline = MlpPipeline::build(60, 1, 5);
+    let arch = ArchSpec::paper();
+    let mapping = Mapper::new(arch).map(&pipeline.snn).unwrap();
+
+    println!("total cores: {}  (paper: 10)", mapping.logical.total_cores());
+    for (li, lm) in mapping.logical.layers.iter().enumerate() {
+        let flat = &mapping.logical.flat[lm.flat_index];
+        println!("\nlayer {li}: {}", flat.describe());
+        for (gi, group) in lm.fold_groups.iter().enumerate() {
+            let coords: Vec<String> = group
+                .members
+                .iter()
+                .map(|m| mapping.placement.coord(*m).to_string())
+                .collect();
+            println!("  fold group {gi}: tiles {} (root first)", coords.join(" <- "));
+            // Print the Algorithm 1 fold schedule for this group.
+            let n = group.members.len();
+            let mut f = 1;
+            let mut step = 1;
+            while f < n {
+                let mut sends = Vec::new();
+                let mut i = f;
+                while i < n {
+                    sends.push(format!(
+                        "PS {} -> {}",
+                        mapping.placement.coord(group.members[i]),
+                        mapping.placement.coord(group.members[i - f]),
+                    ));
+                    i += 2 * f;
+                }
+                println!("    step {step}: {}", sends.join(", "));
+                f *= 2;
+                step += 1;
+            }
+        }
+    }
+
+    // Spike NoC: layer-to-layer connections (summarized per core pair).
+    let links = mapping.logical.spike_links();
+    let mut pairs = std::collections::BTreeMap::new();
+    for link in &links {
+        *pairs
+            .entry((
+                mapping.placement.coord(link.src),
+                mapping.placement.coord(link.dst),
+            ))
+            .or_insert(0usize) += 1;
+    }
+    println!("\nspike NoC connections (src tile -> dst tile: planes):");
+    for ((s, d), n) in pairs {
+        println!("  {s} -> {d}: {n}");
+    }
+    println!(
+        "\nschedule: {} cycles per timestep (pipelined), {} ops per timestep",
+        mapping.program.stats.pipelined_cycles_per_timestep,
+        mapping.program.config.op_count(),
+    );
+}

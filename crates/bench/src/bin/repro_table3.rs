@@ -1,0 +1,43 @@
+//! Table III — the four benchmark network topologies, with parameter
+//! counts and shape chains.
+
+use shenjing::nn::LayerSpec;
+use shenjing::prelude::*;
+
+fn describe(spec: &LayerSpec) -> String {
+    match spec {
+        LayerSpec::Dense { inputs, outputs } => format!("FC({inputs},{outputs})"),
+        LayerSpec::Conv2d { kernel, in_ch, out_ch } => {
+            format!("Conv({kernel},{kernel},{in_ch},{out_ch})")
+        }
+        LayerSpec::AvgPool2d { size } => format!("Pool({size},{size})"),
+        LayerSpec::Relu => "ReLU".into(),
+        LayerSpec::Residual { body, lambda } => {
+            let inner: Vec<String> = body.iter().map(describe).collect();
+            format!("Residual[{} | λ={lambda}]", inner.join(", "))
+        }
+    }
+}
+
+fn main() {
+    println!("=== Table III: summary of applications ===\n");
+    for (tag, kind) in ["a", "b", "c", "d"].iter().zip(NetworkKind::ALL) {
+        let specs = kind.specs();
+        let params: usize = specs.iter().map(LayerSpec::param_count).sum();
+        let (h, w, c) = kind.input_shape();
+        println!("({tag}) {}", kind.label());
+        println!("  Input({h}, {w}, {c})");
+        for spec in &specs {
+            if !matches!(spec, LayerSpec::Relu) {
+                println!("  {}", describe(spec));
+            }
+        }
+        println!("  parameters: {params}");
+        println!(
+            "  paper: T = {}, {} fps, {} cores\n",
+            kind.paper_timesteps(),
+            kind.paper_fps(),
+            kind.paper_core_count(),
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Grid coordinates and mesh directions.
+//!
+//! Shenjing arranges tiles in a 2D grid per chip, and chips themselves in a
+//! 2D grid for multi-chip deployments. Coordinates follow the paper's
+//! `(row, col)` convention (Fig. 1): row 0 is the top of the grid, so
+//! [`Direction::North`] decreases the row index.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four mesh link directions.
+///
+/// The PS router's input crossbar is 4×2 (N/S/E/W in) and its output
+/// crossbar is 3×5 (N/S/E/W plus local ejection); the spike router's
+/// crossbar is 5×5. All of them address ports by `Direction`.
+///
+/// ```
+/// use shenjing_core::Direction;
+/// assert_eq!(Direction::North.opposite(), Direction::South);
+/// assert_eq!(Direction::ALL.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward smaller row indices.
+    North,
+    /// Toward larger row indices.
+    South,
+    /// Toward larger column indices.
+    East,
+    /// Toward smaller column indices.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in N, S, E, W order (the port order used by the
+    /// hardware control words of Table I).
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// The direction pointing the opposite way.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// The 2-bit port encoding used in control words (Table I):
+    /// N=0, S=1, E=2, W=3.
+    pub fn encode(self) -> u8 {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+        }
+    }
+
+    /// Decodes a 2-bit port value.
+    ///
+    /// Returns `None` if `bits > 3`.
+    pub fn decode(bits: u8) -> Option<Direction> {
+        match bits {
+            0 => Some(Direction::North),
+            1 => Some(Direction::South),
+            2 => Some(Direction::East),
+            3 => Some(Direction::West),
+            _ => None,
+        }
+    }
+
+    /// Row/column delta of a one-hop move in this direction.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::North => (-1, 0),
+            Direction::South => (1, 0),
+            Direction::East => (0, 1),
+            Direction::West => (0, -1),
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Position of a core (tile) within a chip grid, `(row, col)`.
+///
+/// ```
+/// use shenjing_core::{CoreCoord, Direction};
+/// let c = CoreCoord::new(2, 0);
+/// assert_eq!(c.neighbor(Direction::North), Some(CoreCoord::new(1, 0)));
+/// assert_eq!(c.neighbor(Direction::West), None); // would leave the grid
+/// assert_eq!(c.manhattan_distance(CoreCoord::new(0, 3)), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreCoord {
+    /// Row index (0 at the top; North decreases it).
+    pub row: u16,
+    /// Column index (0 at the left; West decreases it).
+    pub col: u16,
+}
+
+impl CoreCoord {
+    /// Creates a coordinate.
+    pub fn new(row: u16, col: u16) -> Self {
+        CoreCoord { row, col }
+    }
+
+    /// The adjacent coordinate one hop in `dir`, or `None` if that would
+    /// take the row or column below zero. (Upper bounds are the chip's
+    /// business, not the coordinate's.)
+    pub fn neighbor(self, dir: Direction) -> Option<CoreCoord> {
+        let (dr, dc) = dir.delta();
+        let row = i32::from(self.row) + dr;
+        let col = i32::from(self.col) + dc;
+        if row < 0 || col < 0 {
+            None
+        } else {
+            Some(CoreCoord::new(row as u16, col as u16))
+        }
+    }
+
+    /// The direction of the first hop of a deterministic X-Y route toward
+    /// `dst` (column first, then row — "X-Y" in the paper's sense of
+    /// dimension-ordered routing), or `None` if `self == dst`.
+    ///
+    /// ```
+    /// use shenjing_core::{CoreCoord, Direction};
+    /// let src = CoreCoord::new(3, 1);
+    /// assert_eq!(src.xy_first_hop(CoreCoord::new(3, 4)), Some(Direction::East));
+    /// assert_eq!(src.xy_first_hop(CoreCoord::new(0, 1)), Some(Direction::North));
+    /// // Column is corrected before row:
+    /// assert_eq!(src.xy_first_hop(CoreCoord::new(0, 0)), Some(Direction::West));
+    /// ```
+    pub fn xy_first_hop(self, dst: CoreCoord) -> Option<Direction> {
+        if self.col < dst.col {
+            Some(Direction::East)
+        } else if self.col > dst.col {
+            Some(Direction::West)
+        } else if self.row < dst.row {
+            Some(Direction::South)
+        } else if self.row > dst.row {
+            Some(Direction::North)
+        } else {
+            None
+        }
+    }
+
+    /// The full X-Y route from `self` to `dst`, as the sequence of
+    /// coordinates visited *after* `self` (so it ends with `dst`, and is
+    /// empty when `self == dst`).
+    pub fn xy_route(self, dst: CoreCoord) -> Vec<CoreCoord> {
+        let mut route = Vec::with_capacity(self.manhattan_distance(dst) as usize);
+        let mut cur = self;
+        while let Some(dir) = cur.xy_first_hop(dst) {
+            cur = cur
+                .neighbor(dir)
+                .expect("xy_first_hop never walks off the grid edge toward a valid coordinate");
+            route.push(cur);
+        }
+        route
+    }
+
+    /// Manhattan (hop-count) distance to `other`.
+    pub fn manhattan_distance(self, other: CoreCoord) -> u32 {
+        let dr = (i32::from(self.row) - i32::from(other.row)).unsigned_abs();
+        let dc = (i32::from(self.col) - i32::from(other.col)).unsigned_abs();
+        dr + dc
+    }
+}
+
+impl std::fmt::Display for CoreCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+impl From<(u16, u16)> for CoreCoord {
+    fn from((row, col): (u16, u16)) -> Self {
+        CoreCoord::new(row, col)
+    }
+}
+
+/// Position of a chip within a multi-chip deployment.
+///
+/// Large benchmarks (CIFAR-10 CNN: 4 chips; ResNet: 8 chips — Table IV)
+/// span several chips; traffic crossing a chip boundary pays the serial-link
+/// energy (4.4 pJ/bit in the paper's model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChipCoord {
+    /// Chip row in the deployment grid.
+    pub row: u16,
+    /// Chip column in the deployment grid.
+    pub col: u16,
+}
+
+impl ChipCoord {
+    /// Creates a chip coordinate.
+    pub fn new(row: u16, col: u16) -> Self {
+        ChipCoord { row, col }
+    }
+}
+
+impl std::fmt::Display for ChipCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chip({},{})", self.row, self.col)
+    }
+}
+
+/// A core position across the whole deployment: which chip, and where on it.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, ChipCoord, CoreCoord, GlobalCoreCoord};
+/// let arch = ArchSpec::paper();
+/// let g = GlobalCoreCoord::new(ChipCoord::new(0, 0), CoreCoord::new(3, 5));
+/// // Global flat coordinates treat the deployment as one big mesh:
+/// assert_eq!(g.flat_row(&arch), 3);
+/// assert_eq!(g.flat_col(&arch), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalCoreCoord {
+    /// The chip this core lives on.
+    pub chip: ChipCoord,
+    /// The core's position within that chip.
+    pub core: CoreCoord,
+}
+
+impl GlobalCoreCoord {
+    /// Creates a global coordinate.
+    pub fn new(chip: ChipCoord, core: CoreCoord) -> Self {
+        GlobalCoreCoord { chip, core }
+    }
+
+    /// Row in the deployment-wide flat mesh.
+    pub fn flat_row(self, arch: &crate::ArchSpec) -> u32 {
+        u32::from(self.chip.row) * u32::from(arch.chip_rows) + u32::from(self.core.row)
+    }
+
+    /// Column in the deployment-wide flat mesh.
+    pub fn flat_col(self, arch: &crate::ArchSpec) -> u32 {
+        u32::from(self.chip.col) * u32::from(arch.chip_cols) + u32::from(self.core.col)
+    }
+
+    /// Manhattan distance in the deployment-wide flat mesh.
+    pub fn manhattan_distance(self, other: GlobalCoreCoord, arch: &crate::ArchSpec) -> u32 {
+        let dr = (self.flat_row(arch) as i64 - other.flat_row(arch) as i64).unsigned_abs() as u32;
+        let dc = (self.flat_col(arch) as i64 - other.flat_col(arch) as i64).unsigned_abs() as u32;
+        dr + dc
+    }
+
+    /// Whether a hop between `self` and `other` crosses a chip boundary.
+    pub fn crosses_chip_boundary(self, other: GlobalCoreCoord) -> bool {
+        self.chip != other.chip
+    }
+}
+
+impl std::fmt::Display for GlobalCoreCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.chip, self.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_opposites() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn direction_encode_decode_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::decode(d.encode()), Some(d));
+        }
+        assert_eq!(Direction::decode(4), None);
+        assert_eq!(Direction::decode(255), None);
+    }
+
+    #[test]
+    fn direction_delta_matches_neighbor() {
+        let c = CoreCoord::new(5, 5);
+        for d in Direction::ALL {
+            let (dr, dc) = d.delta();
+            let n = c.neighbor(d).unwrap();
+            assert_eq!(i32::from(n.row) - i32::from(c.row), dr);
+            assert_eq!(i32::from(n.col) - i32::from(c.col), dc);
+        }
+    }
+
+    #[test]
+    fn neighbor_at_edges() {
+        assert_eq!(CoreCoord::new(0, 0).neighbor(Direction::North), None);
+        assert_eq!(CoreCoord::new(0, 0).neighbor(Direction::West), None);
+        assert_eq!(
+            CoreCoord::new(0, 0).neighbor(Direction::South),
+            Some(CoreCoord::new(1, 0))
+        );
+        assert_eq!(
+            CoreCoord::new(0, 0).neighbor(Direction::East),
+            Some(CoreCoord::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn xy_route_is_minimal_and_column_first() {
+        let src = CoreCoord::new(3, 1);
+        let dst = CoreCoord::new(1, 4);
+        let route = src.xy_route(dst);
+        assert_eq!(route.len() as u32, src.manhattan_distance(dst));
+        assert_eq!(*route.last().unwrap(), dst);
+        // Column-first: the first hops move east until col matches.
+        assert_eq!(route[0], CoreCoord::new(3, 2));
+        assert_eq!(route[1], CoreCoord::new(3, 3));
+        assert_eq!(route[2], CoreCoord::new(3, 4));
+        assert_eq!(route[3], CoreCoord::new(2, 4));
+    }
+
+    #[test]
+    fn xy_route_to_self_is_empty() {
+        let c = CoreCoord::new(2, 2);
+        assert!(c.xy_route(c).is_empty());
+        assert_eq!(c.xy_first_hop(c), None);
+    }
+
+    #[test]
+    fn manhattan_symmetric() {
+        let a = CoreCoord::new(0, 7);
+        let b = CoreCoord::new(9, 2);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn global_coord_flattening() {
+        let arch = crate::ArchSpec::paper();
+        let a = GlobalCoreCoord::new(ChipCoord::new(0, 1), CoreCoord::new(0, 0));
+        assert_eq!(a.flat_col(&arch), 28);
+        let b = GlobalCoreCoord::new(ChipCoord::new(0, 0), CoreCoord::new(0, 27));
+        // Adjacent across the chip boundary: distance 1, boundary crossed.
+        assert_eq!(a.manhattan_distance(b, &arch), 1);
+        assert!(a.crosses_chip_boundary(b));
+        assert!(!a.crosses_chip_boundary(a));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreCoord::new(1, 2).to_string(), "(1,2)");
+        assert_eq!(Direction::North.to_string(), "N");
+        assert_eq!(
+            GlobalCoreCoord::new(ChipCoord::new(0, 0), CoreCoord::new(1, 2)).to_string(),
+            "chip(0,0):(1,2)"
+        );
+    }
+
+    #[test]
+    fn core_coord_from_tuple() {
+        let c: CoreCoord = (3, 4).into();
+        assert_eq!(c, CoreCoord::new(3, 4));
+    }
+}

@@ -1,0 +1,163 @@
+//! The workspace-wide error type.
+
+/// Convenience alias for `std::result::Result<T, shenjing_core::Error>`.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the Shenjing workspace.
+///
+/// A single error enum is shared across crates so that pipeline code
+/// (train → convert → map → simulate → estimate) can use `?` end to end.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A synaptic weight does not fit the 5-bit signed format.
+    WeightOutOfRange {
+        /// The offending value.
+        value: i32,
+    },
+    /// A partial sum left its fixed-point range (13-bit local or 16-bit NoC).
+    SumOverflow {
+        /// The value that did not fit.
+        value: i64,
+        /// The width it had to fit in.
+        bits: u32,
+    },
+    /// A coordinate, port or id referenced something outside the grid or
+    /// core being addressed.
+    OutOfBounds {
+        /// Human-readable description of what was exceeded.
+        what: String,
+    },
+    /// A dimension mismatch between connected components (layer sizes,
+    /// tensor shapes, spike train lengths, ...).
+    ShapeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// The mapper could not place or route a network.
+    MappingFailed {
+        /// Why mapping failed.
+        reason: String,
+    },
+    /// A compiled schedule is malformed or violates a hardware constraint
+    /// (e.g. two packets contending for one link in the same cycle).
+    InvalidSchedule {
+        /// Cycle at which the violation occurs.
+        cycle: u64,
+        /// Why the schedule is invalid.
+        reason: String,
+    },
+    /// A hardware component was driven with control signals that its
+    /// datapath cannot honor.
+    InvalidControl {
+        /// Which component rejected the control word.
+        component: String,
+        /// Why.
+        reason: String,
+    },
+    /// Configuration of a model, architecture or experiment was
+    /// inconsistent.
+    InvalidConfig {
+        /// Why the configuration is invalid.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::WeightOutOfRange { value } => {
+                write!(f, "weight {value} does not fit the 5-bit signed range [-16, 15]")
+            }
+            Error::SumOverflow { value, bits } => {
+                write!(f, "partial sum {value} overflows the {bits}-bit signed range")
+            }
+            Error::OutOfBounds { what } => write!(f, "out of bounds: {what}"),
+            Error::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            Error::MappingFailed { reason } => write!(f, "mapping failed: {reason}"),
+            Error::InvalidSchedule { cycle, reason } => {
+                write!(f, "invalid schedule at cycle {cycle}: {reason}")
+            }
+            Error::InvalidControl { component, reason } => {
+                write!(f, "invalid control for {component}: {reason}")
+            }
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand for an [`Error::OutOfBounds`].
+    pub fn out_of_bounds(what: impl Into<String>) -> Error {
+        Error::OutOfBounds { what: what.into() }
+    }
+
+    /// Shorthand for an [`Error::ShapeMismatch`].
+    pub fn shape_mismatch(expected: impl Into<String>, found: impl Into<String>) -> Error {
+        Error::ShapeMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+
+    /// Shorthand for an [`Error::MappingFailed`].
+    pub fn mapping(reason: impl Into<String>) -> Error {
+        Error::MappingFailed {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`Error::InvalidConfig`].
+    pub fn config(reason: impl Into<String>) -> Error {
+        Error::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let samples: Vec<Error> = vec![
+            Error::WeightOutOfRange { value: 99 },
+            Error::SumOverflow { value: 1 << 20, bits: 16 },
+            Error::out_of_bounds("row 30 of a 28-row chip"),
+            Error::shape_mismatch("784 inputs", "512 inputs"),
+            Error::mapping("no rectangle fits layer 3"),
+            Error::InvalidSchedule { cycle: 12, reason: "link contention on (0,0)->N".into() },
+            Error::InvalidControl { component: "ps_router".into(), reason: "add without operand".into() },
+            Error::config("timestep must be positive"),
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "lowercase start: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+
+    #[test]
+    fn shorthand_constructors() {
+        assert!(matches!(Error::out_of_bounds("x"), Error::OutOfBounds { .. }));
+        assert!(matches!(Error::mapping("x"), Error::MappingFailed { .. }));
+        assert!(matches!(Error::config("x"), Error::InvalidConfig { .. }));
+        assert!(matches!(
+            Error::shape_mismatch("a", "b"),
+            Error::ShapeMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,376 @@
+//! The hardware's fixed-point number formats, with checked arithmetic.
+//!
+//! Shenjing stores synaptic weights as **5-bit signed integers** ([`W5`]),
+//! accumulates them inside a core into a **13-bit local partial sum**
+//! ([`LocalSum`]), and carries partial sums between cores on the
+//! **16-bit partial-sum NoC** ([`NocSum`]). The paper (§II, "Partial Sum
+//! NoCs") sizes the NoC width so that 2^11 worst-case weights can be summed
+//! without overflow and reports that no overflow was observed on any
+//! benchmark. We make that claim checkable: every addition is range-checked
+//! and reports [`Error::SumOverflow`] instead of wrapping.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a synaptic weight (sign included).
+pub const WEIGHT_BITS: u32 = 5;
+/// Number of bits in a core-local partial sum.
+pub const LOCAL_SUM_BITS: u32 = 13;
+/// Number of bits in a partial sum carried on the PS NoC.
+pub const NOC_SUM_BITS: u32 = 16;
+
+const fn signed_max(bits: u32) -> i32 {
+    (1 << (bits - 1)) - 1
+}
+const fn signed_min(bits: u32) -> i32 {
+    -(1 << (bits - 1))
+}
+
+/// A 5-bit signed synaptic weight, in `[-16, 15]`.
+///
+/// The paper's worst-case analysis uses the magnitude-5-bit pattern
+/// `0b11111 = 31` for unsigned interpretation; our signed convention keeps
+/// the same total width. ANN→SNN conversion quantizes normalized float
+/// weights into this range (see `shenjing-snn`).
+///
+/// ```
+/// use shenjing_core::W5;
+/// let w = W5::new(-7).unwrap();
+/// assert_eq!(w.value(), -7);
+/// assert!(W5::new(16).is_err());
+/// assert!(W5::new(-17).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct W5(i8);
+
+impl W5 {
+    /// Largest representable weight.
+    pub const MAX: W5 = W5(signed_max(WEIGHT_BITS) as i8);
+    /// Smallest representable weight.
+    pub const MIN: W5 = W5(signed_min(WEIGHT_BITS) as i8);
+    /// The zero weight.
+    pub const ZERO: W5 = W5(0);
+
+    /// Creates a weight, validating the 5-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WeightOutOfRange`] when `value` is outside
+    /// `[-16, 15]`.
+    pub fn new(value: i32) -> Result<W5> {
+        if value < signed_min(WEIGHT_BITS) || value > signed_max(WEIGHT_BITS) {
+            Err(Error::WeightOutOfRange { value })
+        } else {
+            Ok(W5(value as i8))
+        }
+    }
+
+    /// Creates a weight by clamping `value` into the 5-bit range.
+    ///
+    /// Quantizers use this deliberately; hardware-facing code should prefer
+    /// [`W5::new`].
+    pub fn saturating(value: i32) -> W5 {
+        W5(value.clamp(signed_min(WEIGHT_BITS), signed_max(WEIGHT_BITS)) as i8)
+    }
+
+    /// The weight value.
+    pub fn value(self) -> i32 {
+        i32::from(self.0)
+    }
+
+    /// Whether this weight is zero (a synapse that contributes nothing).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for W5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<i32> for W5 {
+    type Error = Error;
+    fn try_from(value: i32) -> Result<W5> {
+        W5::new(value)
+    }
+}
+
+/// A 13-bit core-local partial sum, in `[-4096, 4095]`.
+///
+/// Produced by a neuron core's accumulators summing the weights of spiking
+/// axons; injected into the PS NoC (widening to [`NocSum`]) when the layer
+/// spans several cores.
+///
+/// ```
+/// use shenjing_core::{LocalSum, W5};
+/// let mut s = LocalSum::ZERO;
+/// s = s.add_weight(W5::new(7).unwrap()).unwrap();
+/// s = s.add_weight(W5::new(-2).unwrap()).unwrap();
+/// assert_eq!(s.value(), 5);
+/// assert_eq!(s.widen().value(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalSum(i16);
+
+impl LocalSum {
+    /// Largest representable local sum.
+    pub const MAX: LocalSum = LocalSum(signed_max(LOCAL_SUM_BITS) as i16);
+    /// Smallest representable local sum.
+    pub const MIN: LocalSum = LocalSum(signed_min(LOCAL_SUM_BITS) as i16);
+    /// The zero sum.
+    pub const ZERO: LocalSum = LocalSum(0);
+
+    /// Creates a local sum, validating the 13-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SumOverflow`] when out of range.
+    pub fn new(value: i32) -> Result<LocalSum> {
+        if value < signed_min(LOCAL_SUM_BITS) || value > signed_max(LOCAL_SUM_BITS) {
+            Err(Error::SumOverflow {
+                value: i64::from(value),
+                bits: LOCAL_SUM_BITS,
+            })
+        } else {
+            Ok(LocalSum(value as i16))
+        }
+    }
+
+    /// The sum value.
+    pub fn value(self) -> i32 {
+        i32::from(self.0)
+    }
+
+    /// Accumulates one weight, checking the 13-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SumOverflow`] when the result leaves the 13-bit
+    /// range.
+    pub fn add_weight(self, w: W5) -> Result<LocalSum> {
+        LocalSum::new(self.value() + w.value())
+    }
+
+    /// Widens to the 16-bit NoC format (always lossless).
+    pub fn widen(self) -> NocSum {
+        NocSum(self.0)
+    }
+}
+
+impl std::fmt::Display for LocalSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A 16-bit partial sum carried on the PS NoC, in `[-32768, 32767]`.
+///
+/// PS routers add these in-network: `SUM` operations accumulate an incoming
+/// `NocSum` with either the local core's sum or the previously accumulated
+/// value (Table I's `$CONSEC` mux).
+///
+/// ```
+/// use shenjing_core::NocSum;
+/// let a = NocSum::new(30000).unwrap();
+/// let b = NocSum::new(3000).unwrap();
+/// assert!(a.checked_add(b).is_err()); // 33000 exceeds 16 bits
+/// assert_eq!(a.checked_add(NocSum::new(-3000).unwrap()).unwrap().value(), 27000);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NocSum(i16);
+
+impl NocSum {
+    /// Largest representable NoC sum.
+    pub const MAX: NocSum = NocSum(i16::MAX);
+    /// Smallest representable NoC sum.
+    pub const MIN: NocSum = NocSum(i16::MIN);
+    /// The zero sum.
+    pub const ZERO: NocSum = NocSum(0);
+
+    /// Creates a NoC sum, validating the 16-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SumOverflow`] when out of range.
+    pub fn new(value: i32) -> Result<NocSum> {
+        if value < i32::from(i16::MIN) || value > i32::from(i16::MAX) {
+            Err(Error::SumOverflow {
+                value: i64::from(value),
+                bits: NOC_SUM_BITS,
+            })
+        } else {
+            Ok(NocSum(value as i16))
+        }
+    }
+
+    /// The sum value.
+    pub fn value(self) -> i32 {
+        i32::from(self.0)
+    }
+
+    /// Adds two NoC sums exactly as a router's 16-bit adder would, but
+    /// range-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SumOverflow`] on 16-bit overflow — the condition the
+    /// paper's width analysis proves cannot occur for ≤ 2^11 worst-case
+    /// weights.
+    pub fn checked_add(self, other: NocSum) -> Result<NocSum> {
+        NocSum::new(self.value() + other.value())
+    }
+}
+
+impl std::fmt::Display for NocSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<LocalSum> for NocSum {
+    fn from(s: LocalSum) -> NocSum {
+        s.widen()
+    }
+}
+
+/// Quantizes a slice of float weights to [`W5`] with a shared scale.
+///
+/// Returns the quantized weights and the scale `s` such that
+/// `w_float ≈ w5 / s`. The scale maps the largest-magnitude weight to the
+/// 5-bit limit, which is the standard symmetric-uniform quantization used
+/// when converting trained ANNs for SNN hardware.
+///
+/// An all-zero (or empty) input gets scale 1.0.
+///
+/// ```
+/// use shenjing_core::fixed::quantize_weights;
+/// let (q, scale) = quantize_weights(&[0.5, -1.0, 0.25]);
+/// assert_eq!(q[1].value(), -15); // largest magnitude hits the limit
+/// assert!((q[0].value() as f64 / scale - 0.5).abs() < 0.07);
+/// ```
+pub fn quantize_weights(weights: &[f64]) -> (Vec<W5>, f64) {
+    let max_abs = weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+    if max_abs == 0.0 {
+        return (vec![W5::ZERO; weights.len()], 1.0);
+    }
+    let scale = f64::from(signed_max(WEIGHT_BITS)) / max_abs;
+    let q = weights
+        .iter()
+        .map(|w| W5::saturating((w * scale).round() as i32))
+        .collect();
+    (q, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w5_bounds() {
+        assert_eq!(W5::MAX.value(), 15);
+        assert_eq!(W5::MIN.value(), -16);
+        assert!(W5::new(15).is_ok());
+        assert!(W5::new(-16).is_ok());
+        assert!(W5::new(16).is_err());
+        assert!(W5::new(-17).is_err());
+    }
+
+    #[test]
+    fn w5_saturating_clamps() {
+        assert_eq!(W5::saturating(100).value(), 15);
+        assert_eq!(W5::saturating(-100).value(), -16);
+        assert_eq!(W5::saturating(3).value(), 3);
+    }
+
+    #[test]
+    fn w5_try_from() {
+        assert_eq!(W5::try_from(5).unwrap().value(), 5);
+        assert!(W5::try_from(99).is_err());
+    }
+
+    #[test]
+    fn local_sum_bounds() {
+        assert_eq!(LocalSum::MAX.value(), 4095);
+        assert_eq!(LocalSum::MIN.value(), -4096);
+        assert!(LocalSum::new(4096).is_err());
+        assert!(LocalSum::new(-4097).is_err());
+    }
+
+    #[test]
+    fn local_sum_accumulation_overflow_detected() {
+        // 273 * 15 = 4095 fits; one more overflows.
+        let mut s = LocalSum::ZERO;
+        for _ in 0..273 {
+            s = s.add_weight(W5::MAX).unwrap();
+        }
+        assert_eq!(s.value(), 4095);
+        let err = s.add_weight(W5::new(1).unwrap()).unwrap_err();
+        assert!(matches!(err, Error::SumOverflow { bits: 13, .. }));
+    }
+
+    #[test]
+    fn noc_sum_add_and_overflow() {
+        let a = NocSum::new(20000).unwrap();
+        let b = NocSum::new(12767).unwrap();
+        assert_eq!(a.checked_add(b).unwrap().value(), 32767);
+        let c = NocSum::new(1).unwrap();
+        assert!(a
+            .checked_add(b)
+            .unwrap()
+            .checked_add(c)
+            .is_err());
+    }
+
+    #[test]
+    fn noc_sum_negative_overflow() {
+        let a = NocSum::MIN;
+        assert!(a.checked_add(NocSum::new(-1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn widen_is_lossless() {
+        for v in [-4096, -1, 0, 1, 4095] {
+            assert_eq!(LocalSum::new(v).unwrap().widen().value(), v);
+            assert_eq!(NocSum::from(LocalSum::new(v).unwrap()).value(), v);
+        }
+    }
+
+    #[test]
+    fn paper_width_analysis_holds() {
+        // The paper: a 16-bit NoC width allows summing 2^11 worst-case
+        // 5-bit weights. 2^11 * 15 = 30720 <= 32767.
+        let worst = (1i32 << 11) * i32::from(W5::MAX.0 as i16);
+        assert!(NocSum::new(worst).is_ok());
+        // and one power of two more would not fit:
+        assert!(NocSum::new(worst * 2).is_err());
+    }
+
+    #[test]
+    fn quantize_empty_and_zero() {
+        let (q, s) = quantize_weights(&[]);
+        assert!(q.is_empty());
+        assert_eq!(s, 1.0);
+        let (q, s) = quantize_weights(&[0.0, 0.0]);
+        assert!(q.iter().all(|w| w.is_zero()));
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn quantize_preserves_ratios_roughly() {
+        let (q, scale) = quantize_weights(&[1.0, 0.5, -0.25, 0.0]);
+        assert_eq!(q[0].value(), 15);
+        assert_eq!(q[3].value(), 0);
+        let dequant: Vec<f64> = q.iter().map(|w| f64::from(w.value() as i16) / scale).collect();
+        assert!((dequant[1] - 0.5).abs() < 0.07);
+        assert!((dequant[2] + 0.25).abs() < 0.07);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(W5::new(-3).unwrap().to_string(), "-3");
+        assert_eq!(LocalSum::new(100).unwrap().to_string(), "100");
+        assert_eq!(NocSum::new(-100).unwrap().to_string(), "-100");
+    }
+}

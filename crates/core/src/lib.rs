@@ -1,0 +1,166 @@
+//! Shared vocabulary types for the Shenjing neuromorphic accelerator
+//! reproduction.
+//!
+//! This crate defines the types that every other crate in the workspace
+//! speaks: grid coordinates ([`CoreCoord`], [`ChipCoord`]), mesh directions
+//! ([`Direction`]), the hardware's fixed-point number formats
+//! ([`fixed::W5`], [`fixed::LocalSum`], [`fixed::NocSum`]), the architecture
+//! description ([`ArchSpec`]) consumed by the mapping toolchain, and the
+//! workspace-wide error type ([`Error`]).
+//!
+//! # Background
+//!
+//! Shenjing (Wang et al., DATE 2020) is a grid of *tiles*. Each tile holds a
+//! 256-axon × 256-neuron SNN core plus one partial-sum (PS) NoC router and
+//! one spike NoC router per neuron. The PS NoC carries 16-bit partial
+//! weighted sums; synapse weights are 5-bit signed integers; the local
+//! partial sum produced by a core is 13 bits wide. Those widths are encoded
+//! here as checked fixed-point newtypes so that overflow — which the paper
+//! argues never occurs on its benchmarks — is *detected* rather than silently
+//! wrapped.
+//!
+//! # Example
+//!
+//! ```
+//! use shenjing_core::{ArchSpec, CoreCoord, Direction};
+//!
+//! let arch = ArchSpec::paper();
+//! assert_eq!(arch.cores_per_chip(), 784);
+//!
+//! let a = CoreCoord::new(1, 2);
+//! let b = a.neighbor(Direction::North).unwrap();
+//! assert_eq!(b, CoreCoord::new(0, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod coord;
+pub mod error;
+pub mod fixed;
+pub mod rect;
+
+pub use arch::ArchSpec;
+pub use coord::{ChipCoord, CoreCoord, Direction, GlobalCoreCoord};
+pub use error::{Error, Result};
+pub use fixed::{LocalSum, NocSum, W5};
+pub use rect::Rect;
+
+/// Identifier of a neuron (or the PS/spike NoC plane dedicated to it) within
+/// a core, in `0..ArchSpec::core_neurons`.
+///
+/// Each neuron in a Shenjing core owns one plane of the partial-sum NoC and
+/// one plane of the spike NoC; `NeuronId` therefore doubles as the NoC plane
+/// index.
+///
+/// ```
+/// use shenjing_core::NeuronId;
+/// let n = NeuronId::new(17);
+/// assert_eq!(n.index(), 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NeuronId(u16);
+
+impl NeuronId {
+    /// Creates a neuron id from its index within the core.
+    pub fn new(index: u16) -> Self {
+        NeuronId(index)
+    }
+
+    /// The index within the core.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The index as a usize, for array indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NeuronId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NeuronId {
+    fn from(v: u16) -> Self {
+        NeuronId(v)
+    }
+}
+
+/// Identifier of an axon (input line) within a core, in
+/// `0..ArchSpec::core_inputs`.
+///
+/// ```
+/// use shenjing_core::AxonId;
+/// assert_eq!(AxonId::new(3).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AxonId(u16);
+
+impl AxonId {
+    /// Creates an axon id from its index within the core.
+    pub fn new(index: u16) -> Self {
+        AxonId(index)
+    }
+
+    /// The index within the core.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The index as a usize, for array indexing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AxonId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u16> for AxonId {
+    fn from(v: u16) -> Self {
+        AxonId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_id_roundtrip() {
+        let n = NeuronId::new(255);
+        assert_eq!(n.index(), 255);
+        assert_eq!(n.as_usize(), 255);
+        assert_eq!(NeuronId::from(255u16), n);
+        assert_eq!(n.to_string(), "n255");
+    }
+
+    #[test]
+    fn axon_id_roundtrip() {
+        let a = AxonId::new(42);
+        assert_eq!(a.index(), 42);
+        assert_eq!(a.to_string(), "a42");
+        assert_eq!(AxonId::from(42u16), a);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NeuronId::new(1) < NeuronId::new(2));
+        assert!(AxonId::new(0) < AxonId::new(200));
+    }
+
+    #[test]
+    fn ids_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuronId>();
+        assert_send_sync::<AxonId>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Axis-aligned rectangles of grid cells.
+//!
+//! The physical mapper places each layer's logical core grid into a
+//! rectangular region of tiles ("we first search for a rectangular space
+//! that can accommodate this layer", §III), so rectangle geometry is shared
+//! vocabulary.
+
+use crate::coord::CoreCoord;
+use serde::{Deserialize, Serialize};
+
+/// A half-open rectangle of grid cells: rows `[row..row+rows)`, columns
+/// `[col..col+cols)`.
+///
+/// ```
+/// use shenjing_core::{CoreCoord, Rect};
+/// let r = Rect::new(1, 2, 3, 4); // origin (1,2), 3 rows, 4 cols
+/// assert_eq!(r.area(), 12);
+/// assert!(r.contains(CoreCoord::new(3, 5)));
+/// assert!(!r.contains(CoreCoord::new(4, 2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Top row of the rectangle.
+    pub row: u16,
+    /// Left column of the rectangle.
+    pub col: u16,
+    /// Number of rows (height).
+    pub rows: u16,
+    /// Number of columns (width).
+    pub cols: u16,
+}
+
+impl Rect {
+    /// Creates a rectangle from its origin and extent.
+    pub fn new(row: u16, col: u16, rows: u16, cols: u16) -> Rect {
+        Rect { row, col, rows, cols }
+    }
+
+    /// Number of cells covered.
+    pub fn area(self) -> u32 {
+        u32::from(self.rows) * u32::from(self.cols)
+    }
+
+    /// Whether `c` lies inside the rectangle.
+    pub fn contains(self, c: CoreCoord) -> bool {
+        c.row >= self.row
+            && c.row < self.row + self.rows
+            && c.col >= self.col
+            && c.col < self.col + self.cols
+    }
+
+    /// Whether the two rectangles share any cell. Empty rectangles
+    /// intersect nothing.
+    pub fn intersects(self, other: Rect) -> bool {
+        self.area() > 0
+            && other.area() > 0
+            && self.row < other.row + other.rows
+            && other.row < self.row + self.rows
+            && self.col < other.col + other.cols
+            && other.col < self.col + self.cols
+    }
+
+    /// Whether the rectangle fits within a `grid_rows × grid_cols` grid.
+    pub fn fits_in(self, grid_rows: u16, grid_cols: u16) -> bool {
+        self.row + self.rows <= grid_rows && self.col + self.cols <= grid_cols
+    }
+
+    /// Iterates the contained coordinates in row-major order.
+    pub fn iter(self) -> impl Iterator<Item = CoreCoord> {
+        let Rect { row, col, rows, cols } = self;
+        (row..row + rows).flat_map(move |r| (col..col + cols).map(move |c| CoreCoord::new(r, c)))
+    }
+
+    /// The coordinate at relative position `(dr, dc)` inside the rectangle,
+    /// or `None` if outside the extent.
+    pub fn at(self, dr: u16, dc: u16) -> Option<CoreCoord> {
+        if dr < self.rows && dc < self.cols {
+            Some(CoreCoord::new(self.row + dr, self.col + dc))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}x{} @ ({},{})]", self.rows, self.cols, self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_contains() {
+        let r = Rect::new(0, 0, 2, 3);
+        assert_eq!(r.area(), 6);
+        assert!(r.contains(CoreCoord::new(1, 2)));
+        assert!(!r.contains(CoreCoord::new(2, 0)));
+        assert!(!r.contains(CoreCoord::new(0, 3)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(1, 1, 2, 2);
+        let c = Rect::new(2, 2, 2, 2);
+        assert!(a.intersects(b));
+        assert!(b.intersects(a));
+        assert!(!a.intersects(c));
+        assert!(b.intersects(c));
+        assert!(a.intersects(a));
+    }
+
+    #[test]
+    fn zero_sized_rect_intersects_nothing() {
+        let z = Rect::new(1, 1, 0, 0);
+        let a = Rect::new(0, 0, 4, 4);
+        assert!(!z.intersects(a));
+        assert!(!a.intersects(z));
+        assert_eq!(z.area(), 0);
+    }
+
+    #[test]
+    fn fits_in_grid() {
+        assert!(Rect::new(26, 26, 2, 2).fits_in(28, 28));
+        assert!(!Rect::new(27, 26, 2, 2).fits_in(28, 28));
+        assert!(Rect::new(0, 0, 28, 28).fits_in(28, 28));
+    }
+
+    #[test]
+    fn iter_row_major() {
+        let cells: Vec<_> = Rect::new(1, 1, 2, 2).iter().collect();
+        assert_eq!(
+            cells,
+            vec![
+                CoreCoord::new(1, 1),
+                CoreCoord::new(1, 2),
+                CoreCoord::new(2, 1),
+                CoreCoord::new(2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn at_relative() {
+        let r = Rect::new(3, 4, 2, 2);
+        assert_eq!(r.at(0, 0), Some(CoreCoord::new(3, 4)));
+        assert_eq!(r.at(1, 1), Some(CoreCoord::new(4, 5)));
+        assert_eq!(r.at(2, 0), None);
+        assert_eq!(r.at(0, 2), None);
+    }
+
+    #[test]
+    fn iter_count_matches_area() {
+        let r = Rect::new(0, 5, 3, 7);
+        assert_eq!(r.iter().count() as u32, r.area());
+    }
+}

@@ -1,0 +1,84 @@
+//! Dataset helpers: labelled images and train/test splitting.
+
+use shenjing_nn::Tensor;
+
+/// One labelled example: an image tensor and its class in `0..10`.
+pub type LabelledImage = (Tensor, usize);
+
+/// Splits a dataset into train and test partitions.
+///
+/// The split is positional: the first `train_fraction` of the data trains,
+/// the rest tests. Because the generators cycle class labels, positional
+/// splitting keeps both partitions class-balanced.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `(0, 1)`.
+///
+/// ```
+/// use shenjing_datasets::{train_test_split, SynthDigits};
+/// let data = SynthDigits::new(0).generate(100);
+/// let (train, test) = train_test_split(data, 0.8);
+/// assert_eq!(train.len(), 80);
+/// assert_eq!(test.len(), 20);
+/// ```
+pub fn train_test_split(
+    data: Vec<LabelledImage>,
+    train_fraction: f64,
+) -> (Vec<LabelledImage>, Vec<LabelledImage>) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0, 1)"
+    );
+    let mut data = data;
+    let cut = (data.len() as f64 * train_fraction).round() as usize;
+    let test = data.split_off(cut.min(data.len()));
+    (data, test)
+}
+
+/// Flattens every image in a dataset to rank 1 (for MLP inputs).
+pub fn flatten_images(data: &[LabelledImage]) -> Vec<LabelledImage> {
+    data.iter().map(|(img, label)| (img.flattened(), *label)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits::SynthDigits;
+
+    #[test]
+    fn split_sizes() {
+        let data = SynthDigits::new(0).generate(50);
+        let (train, test) = train_test_split(data, 0.6);
+        assert_eq!(train.len(), 30);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_class_balanced() {
+        let data = SynthDigits::new(0).generate(100);
+        let (train, test) = train_test_split(data, 0.5);
+        let count = |ds: &[LabelledImage], class: usize| {
+            ds.iter().filter(|(_, l)| *l == class).count()
+        };
+        for class in 0..10 {
+            assert_eq!(count(&train, class), 5);
+            assert_eq!(count(&test, class), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn split_rejects_bad_fraction() {
+        train_test_split(Vec::new(), 1.5);
+    }
+
+    #[test]
+    fn flatten_images_shapes() {
+        let data = SynthDigits::new(0).generate(3);
+        let flat = flatten_images(&data);
+        for (img, _) in &flat {
+            assert_eq!(img.shape(), &[784]);
+        }
+    }
+}

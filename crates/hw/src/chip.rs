@@ -1,0 +1,446 @@
+//! A mesh of tiles with the inter-tile link fabric.
+//!
+//! [`Chip`] owns a `rows × cols` grid of [`Tile`]s and implements the
+//! synchronous cycle discipline of the hardware:
+//!
+//! 1. **execute** — every tile runs the atomic ops its configuration memory
+//!    holds for the current cycle;
+//! 2. **transfer** — every output register drains across its mesh link into
+//!    the neighbor's input register;
+//! 3. **deliver** — spikes ejected locally land in the core's axon buffer.
+//!
+//! A `Chip` may be instantiated smaller than the physical 28×28 grid for
+//! tests and small workloads; it can also be instantiated *larger* to model
+//! a multi-chip deployment as one flat mesh (chip-boundary crossings are
+//! the business of the statistics layer, not of the functional semantics).
+
+use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, Result};
+
+use crate::ops::AtomicOp;
+use crate::tile::Tile;
+
+/// A rectangular mesh of tiles.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, CoreCoord};
+/// use shenjing_hw::Chip;
+///
+/// let arch = ArchSpec::tiny();
+/// let chip = Chip::new(&arch, 2, 3)?;
+/// assert_eq!(chip.rows(), 2);
+/// assert_eq!(chip.cols(), 3);
+/// assert!(chip.contains(CoreCoord::new(1, 2)));
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chip {
+    arch: ArchSpec,
+    rows: u16,
+    cols: u16,
+    tiles: Vec<Tile>,
+}
+
+impl Chip {
+    /// Creates a `rows × cols` mesh of fresh tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when either dimension is zero or
+    /// the architecture fails validation.
+    pub fn new(arch: &ArchSpec, rows: u16, cols: u16) -> Result<Chip> {
+        arch.validate()?;
+        if rows == 0 || cols == 0 {
+            return Err(Error::config("chip dimensions must be positive"));
+        }
+        let tiles = (0..rows as usize * cols as usize)
+            .map(|_| Tile::new(arch))
+            .collect();
+        Ok(Chip { arch: arch.clone(), rows, cols, tiles })
+    }
+
+    /// Creates a full paper-sized chip (28×28 tiles of 256×256 cores).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in paper architecture; present for API
+    /// uniformity.
+    pub fn paper() -> Result<Chip> {
+        let arch = ArchSpec::paper();
+        let (r, c) = (arch.chip_rows, arch.chip_cols);
+        Chip::new(&arch, r, c)
+    }
+
+    /// The architecture this chip instantiates.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    /// Mesh rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Mesh columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Whether `coord` addresses a tile on this chip.
+    pub fn contains(&self, coord: CoreCoord) -> bool {
+        coord.row < self.rows && coord.col < self.cols
+    }
+
+    /// The tile at `coord`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for coordinates off the mesh.
+    pub fn tile(&self, coord: CoreCoord) -> Result<&Tile> {
+        let idx = self.index(coord)?;
+        Ok(&self.tiles[idx])
+    }
+
+    /// Mutable tile access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for coordinates off the mesh.
+    pub fn tile_mut(&mut self, coord: CoreCoord) -> Result<&mut Tile> {
+        let idx = self.index(coord)?;
+        Ok(&mut self.tiles[idx])
+    }
+
+    /// Executes one synchronous cycle: runs `ops` on their tiles, then the
+    /// transfer phase, then spike delivery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component errors (annotated with `cycle` for schedule
+    /// errors) and reports data driven off the mesh edge.
+    pub fn exec_cycle(&mut self, cycle: u64, ops: &[(CoreCoord, AtomicOp)]) -> Result<()> {
+        for (coord, op) in ops {
+            self.tile_mut(*coord)?
+                .exec(op)
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        self.transfer(cycle)?;
+        for tile in &mut self.tiles {
+            tile.commit_deliveries()?;
+        }
+        Ok(())
+    }
+
+    /// The transfer phase: drains every output register into the adjacent
+    /// input register.
+    fn transfer(&mut self, cycle: u64) -> Result<()> {
+        let planes = self.arch.core_neurons;
+        // Collect (destination tile, port, plane, payload) first, then
+        // write: all links switch simultaneously.
+        let mut ps_moves: Vec<(usize, Direction, u16, shenjing_core::NocSum)> = Vec::new();
+        let mut spike_moves: Vec<(usize, Direction, u16, bool)> = Vec::new();
+
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let src = CoreCoord::new(row, col);
+                let src_idx = self.index(src).expect("in-grid coordinate");
+                // Fast path: most tiles have nothing in flight most cycles.
+                if !self.tiles[src_idx].ps().has_pending_output()
+                    && !self.tiles[src_idx].spike().has_pending_output()
+                {
+                    continue;
+                }
+                for dir in Direction::ALL {
+                    let dst = src.neighbor(dir).filter(|d| self.contains(*d));
+                    for plane in 0..planes {
+                        if let Some(v) = self.tiles[src_idx].ps_mut().take_output(dir, plane) {
+                            let dst = dst.ok_or_else(|| Error::InvalidSchedule {
+                                cycle,
+                                reason: format!(
+                                    "ps data driven off the mesh edge at {src} port {dir}"
+                                ),
+                            })?;
+                            let dst_idx = self.index(dst).expect("neighbor in grid");
+                            ps_moves.push((dst_idx, dir.opposite(), plane, v));
+                        }
+                        if let Some(s) = self.tiles[src_idx].spike_mut().take_output(dir, plane) {
+                            let dst = dst.ok_or_else(|| Error::InvalidSchedule {
+                                cycle,
+                                reason: format!(
+                                    "spike driven off the mesh edge at {src} port {dir}"
+                                ),
+                            })?;
+                            let dst_idx = self.index(dst).expect("neighbor in grid");
+                            spike_moves.push((dst_idx, dir.opposite(), plane, s));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (idx, port, plane, v) in ps_moves {
+            self.tiles[idx]
+                .ps_mut()
+                .put_input(port, plane, v)
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        for (idx, port, plane, s) in spike_moves {
+            self.tiles[idx]
+                .spike_mut()
+                .put_input(port, plane, s)
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        Ok(())
+    }
+
+    /// Resets crossbar/network state on every tile (between timesteps).
+    pub fn reset_network_state(&mut self) {
+        self.tiles.iter_mut().for_each(Tile::reset_network_state);
+    }
+
+    /// Full frame reset on every tile.
+    pub fn reset_frame(&mut self) {
+        self.tiles.iter_mut().for_each(Tile::reset_frame);
+    }
+
+    /// Clears every core's axon buffer (per-timestep input refresh).
+    pub fn clear_axons(&mut self) {
+        self.tiles.iter_mut().for_each(|t| t.core_mut().clear_axons());
+    }
+
+    /// Sum of spiking axons across all cores (the power model's switching
+    /// activity statistic).
+    pub fn active_axon_count(&self) -> usize {
+        self.tiles.iter().map(|t| t.core().active_axon_count()).sum()
+    }
+
+    /// Iterates tiles with their coordinates, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreCoord, &Tile)> {
+        let cols = self.cols;
+        self.tiles.iter().enumerate().map(move |(i, t)| {
+            (
+                CoreCoord::new((i / cols as usize) as u16, (i % cols as usize) as u16),
+                t,
+            )
+        })
+    }
+
+    fn index(&self, coord: CoreCoord) -> Result<usize> {
+        if !self.contains(coord) {
+            return Err(Error::out_of_bounds(format!(
+                "tile {coord} on a {}x{} chip",
+                self.rows, self.cols
+            )));
+        }
+        Ok(coord.row as usize * self.cols as usize + coord.col as usize)
+    }
+}
+
+fn annotate_cycle(e: Error, cycle: u64) -> Error {
+    match e {
+        Error::InvalidSchedule { reason, .. } => Error::InvalidSchedule { cycle, reason },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+    use crate::plane::PlaneSet;
+    use shenjing_core::W5;
+
+    fn chip_2x2() -> Chip {
+        Chip::new(&ArchSpec::tiny(), 2, 2).unwrap()
+    }
+
+    #[test]
+    fn construction_and_bounds() {
+        let chip = chip_2x2();
+        assert!(chip.contains(CoreCoord::new(1, 1)));
+        assert!(!chip.contains(CoreCoord::new(2, 0)));
+        assert!(chip.tile(CoreCoord::new(2, 0)).is_err());
+        assert!(Chip::new(&ArchSpec::tiny(), 0, 3).is_err());
+        assert_eq!(chip.iter().count(), 4);
+    }
+
+    #[test]
+    fn ps_transfer_between_neighbors() {
+        let mut chip = chip_2x2();
+        // Tile (1,0) computes a local PS and sends it North to (0,0).
+        let src = CoreCoord::new(1, 0);
+        let t = chip.tile_mut(src).unwrap();
+        t.core_mut().write_weight(0, 0, W5::new(7).unwrap()).unwrap();
+        t.core_mut().set_axon(0, true).unwrap();
+
+        chip.exec_cycle(0, &[(src, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))])
+            .unwrap();
+        chip.exec_cycle(
+            1,
+            &[(
+                src,
+                AtomicOp::Ps(PsRouterOp::Send {
+                    source: PsSendSource::LocalPs,
+                    dst: PsDst::Port(Direction::North),
+                    planes: PlaneSet::all(),
+                }),
+            )],
+        )
+        .unwrap();
+        // After the transfer phase the value sits in (0,0)'s South input.
+        let dst_tile = chip.tile(CoreCoord::new(0, 0)).unwrap();
+        assert_eq!(
+            dst_tile.ps().peek_input(Direction::South, 0),
+            Some(shenjing_core::NocSum::new(7).unwrap())
+        );
+    }
+
+    #[test]
+    fn two_core_fold_produces_exact_sum() {
+        // The PS NoC's reason to exist: (1,0) local 7 + (0,0) local 5 = 12,
+        // exactly, at (0,0).
+        let mut chip = chip_2x2();
+        for (coord, w) in [(CoreCoord::new(1, 0), 7), (CoreCoord::new(0, 0), 5)] {
+            let t = chip.tile_mut(coord).unwrap();
+            t.core_mut().write_weight(0, 0, W5::new(w).unwrap()).unwrap();
+            t.core_mut().set_axon(0, true).unwrap();
+        }
+        let acc = |c| (c, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
+        chip.exec_cycle(0, &[acc(CoreCoord::new(1, 0)), acc(CoreCoord::new(0, 0))])
+            .unwrap();
+        chip.exec_cycle(
+            1,
+            &[(
+                CoreCoord::new(1, 0),
+                AtomicOp::Ps(PsRouterOp::Send {
+                    source: PsSendSource::LocalPs,
+                    dst: PsDst::Port(Direction::North),
+                    planes: PlaneSet::all(),
+                }),
+            )],
+        )
+        .unwrap();
+        chip.exec_cycle(
+            2,
+            &[(
+                CoreCoord::new(0, 0),
+                AtomicOp::Ps(PsRouterOp::Sum {
+                    src: Direction::South,
+                    consec: false,
+                    planes: PlaneSet::all(),
+                }),
+            )],
+        )
+        .unwrap();
+        assert_eq!(
+            chip.tile(CoreCoord::new(0, 0)).unwrap().ps().sum_buf(0),
+            Some(shenjing_core::NocSum::new(12).unwrap())
+        );
+    }
+
+    #[test]
+    fn spike_multicast_chain() {
+        // (0,0) fires a spike east; (0,1) delivers a copy AND forwards it.
+        let mut chip = Chip::new(&ArchSpec::tiny(), 1, 3).unwrap();
+        let origin = CoreCoord::new(0, 0);
+        {
+            let t = chip.tile_mut(origin).unwrap();
+            t.spike_mut().set_threshold(0, 1).unwrap();
+            t.spike_mut().integrate_value(0, 5); // fires
+        }
+        chip.exec_cycle(
+            0,
+            &[(
+                origin,
+                AtomicOp::Spike(SpikeRouterOp::Send {
+                    dst: Direction::East,
+                    planes: PlaneSet::from_indices([0u16]),
+                }),
+            )],
+        )
+        .unwrap();
+        chip.exec_cycle(
+            1,
+            &[(
+                CoreCoord::new(0, 1),
+                AtomicOp::Spike(SpikeRouterOp::Bypass {
+                    src: Direction::West,
+                    dst: Some(Direction::East),
+                    deliver: true,
+                    planes: PlaneSet::from_indices([0u16]),
+                }),
+            )],
+        )
+        .unwrap();
+        chip.exec_cycle(
+            2,
+            &[(
+                CoreCoord::new(0, 2),
+                AtomicOp::Spike(SpikeRouterOp::Bypass {
+                    src: Direction::West,
+                    dst: None,
+                    deliver: true,
+                    planes: PlaneSet::from_indices([0u16]),
+                }),
+            )],
+        )
+        .unwrap();
+        // Both destinations got the spike on axon 0.
+        assert!(chip.tile(CoreCoord::new(0, 1)).unwrap().core().axon(0).unwrap());
+        assert!(chip.tile(CoreCoord::new(0, 2)).unwrap().core().axon(0).unwrap());
+    }
+
+    #[test]
+    fn data_off_the_edge_is_an_error() {
+        let mut chip = chip_2x2();
+        let err = chip
+            .exec_cycle(
+                0,
+                &[(
+                    CoreCoord::new(0, 0),
+                    AtomicOp::Ps(PsRouterOp::Send {
+                        source: PsSendSource::LocalPs,
+                        dst: PsDst::Port(Direction::North),
+                        planes: PlaneSet::from_indices([0u16]),
+                    }),
+                )],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSchedule { cycle: 0, .. }));
+    }
+
+    #[test]
+    fn cycle_annotated_in_errors() {
+        let mut chip = chip_2x2();
+        // BYPASS with no incoming data → InvalidControl (not schedule), but
+        // output contention gets the cycle number.
+        let send = (
+            CoreCoord::new(1, 0),
+            AtomicOp::Ps(PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::North),
+                planes: PlaneSet::from_indices([0u16]),
+            }),
+        );
+        // Two sends in one cycle to the same port: contention at cycle 7.
+        let err = chip.exec_cycle(7, &[send.clone(), send]).unwrap_err();
+        assert!(matches!(err, Error::InvalidSchedule { cycle: 7, .. }));
+    }
+
+    #[test]
+    fn active_axon_count_aggregates() {
+        let mut chip = chip_2x2();
+        chip.tile_mut(CoreCoord::new(0, 0)).unwrap().core_mut().set_axon(0, true).unwrap();
+        chip.tile_mut(CoreCoord::new(1, 1)).unwrap().core_mut().set_axon(3, true).unwrap();
+        assert_eq!(chip.active_axon_count(), 2);
+        chip.clear_axons();
+        assert_eq!(chip.active_axon_count(), 0);
+    }
+
+    #[test]
+    fn frame_reset_all_tiles() {
+        let mut chip = chip_2x2();
+        chip.tile_mut(CoreCoord::new(0, 1)).unwrap().spike_mut().integrate_value(2, 9);
+        chip.reset_frame();
+        assert_eq!(chip.tile(CoreCoord::new(0, 1)).unwrap().spike().potential(2), 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Configuration memories: the compiled cycle-by-cycle schedule.
+//!
+//! "Software-defined configurations are stored in Shenjing's configuration
+//! memories, governing the cycle-by-cycle operation of the hardware" (§II).
+//! A [`TileProgram`] is one tile's configuration memory content — a sparse
+//! map from cycle number to the atomic operations issued in that cycle —
+//! and a [`ConfigMemory`] holds the programs of every tile of a chip (or
+//! multi-chip deployment addressed by flat mesh coordinates).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{CoreCoord, Error, Result};
+
+use crate::ops::AtomicOp;
+
+/// One tile's configuration memory: operations per cycle.
+///
+/// ```
+/// use shenjing_hw::{TileProgram, AtomicOp, NeuronCoreOp};
+///
+/// let mut prog = TileProgram::new();
+/// prog.push(0, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
+/// assert_eq!(prog.op_count(), 1);
+/// assert_eq!(prog.last_cycle(), Some(0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TileProgram {
+    ops: BTreeMap<u64, Vec<AtomicOp>>,
+}
+
+impl TileProgram {
+    /// Creates an empty program.
+    pub fn new() -> TileProgram {
+        TileProgram::default()
+    }
+
+    /// Appends an op at `cycle`.
+    pub fn push(&mut self, cycle: u64, op: AtomicOp) {
+        self.ops.entry(cycle).or_default().push(op);
+    }
+
+    /// The ops scheduled at `cycle` (empty slice when idle).
+    pub fn ops_at(&self, cycle: u64) -> &[AtomicOp] {
+        self.ops.get(&cycle).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last cycle with any scheduled op, or `None` for an empty
+    /// program.
+    pub fn last_cycle(&self) -> Option<u64> {
+        self.ops.keys().next_back().copied()
+    }
+
+    /// Total number of scheduled ops.
+    pub fn op_count(&self) -> usize {
+        self.ops.values().map(Vec::len).sum()
+    }
+
+    /// Whether no op is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates `(cycle, op)` pairs in cycle order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &AtomicOp)> {
+        self.ops
+            .iter()
+            .flat_map(|(&cycle, ops)| ops.iter().map(move |op| (cycle, op)))
+    }
+
+    /// Validates that no two ops of the same component family touch
+    /// overlapping planes in the same cycle, and that at most one neuron
+    /// core op is issued per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSchedule`] at the first violating cycle.
+    pub fn validate(&self) -> Result<()> {
+        for (&cycle, ops) in &self.ops {
+            let mut core_ops = 0usize;
+            let ps: Vec<_> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    AtomicOp::Ps(p) => Some(p.planes()),
+                    _ => None,
+                })
+                .collect();
+            let spike: Vec<_> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    AtomicOp::Spike(s) => Some(s.planes()),
+                    _ => None,
+                })
+                .collect();
+            for op in ops {
+                if matches!(op, AtomicOp::Core(_)) {
+                    core_ops += 1;
+                }
+            }
+            if core_ops > 1 {
+                return Err(Error::InvalidSchedule {
+                    cycle,
+                    reason: format!("{core_ops} neuron core ops in one cycle"),
+                });
+            }
+            for (i, a) in ps.iter().enumerate() {
+                for b in &ps[i + 1..] {
+                    if a.intersects(b) {
+                        return Err(Error::InvalidSchedule {
+                            cycle,
+                            reason: "two PS router ops on overlapping planes".into(),
+                        });
+                    }
+                }
+            }
+            for (i, a) in spike.iter().enumerate() {
+                for b in &spike[i + 1..] {
+                    if a.intersects(b) {
+                        return Err(Error::InvalidSchedule {
+                            cycle,
+                            reason: "two spike router ops on overlapping planes".into(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The configuration memories of every tile in a deployment, addressed by
+/// (flat-mesh) core coordinate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    #[serde(with = "coord_map_serde")]
+    programs: BTreeMap<CoreCoord, TileProgram>,
+}
+
+/// Serializes the coordinate-keyed map as a sequence of pairs, since JSON
+/// map keys must be strings.
+mod coord_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<CoreCoord, TileProgram>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        ser.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<CoreCoord, TileProgram>, D::Error> {
+        let pairs: Vec<(CoreCoord, TileProgram)> = serde::Deserialize::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl ConfigMemory {
+    /// Creates an empty configuration.
+    pub fn new() -> ConfigMemory {
+        ConfigMemory::default()
+    }
+
+    /// Mutable access to (creating if needed) the program of one tile.
+    pub fn program_mut(&mut self, coord: CoreCoord) -> &mut TileProgram {
+        self.programs.entry(coord).or_default()
+    }
+
+    /// The program of one tile, if any ops were scheduled there.
+    pub fn program(&self, coord: CoreCoord) -> Option<&TileProgram> {
+        self.programs.get(&coord)
+    }
+
+    /// Iterates `(coordinate, program)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreCoord, &TileProgram)> {
+        self.programs.iter().map(|(&c, p)| (c, p))
+    }
+
+    /// Coordinates of every tile with a program.
+    pub fn coords(&self) -> impl Iterator<Item = CoreCoord> + '_ {
+        self.programs.keys().copied()
+    }
+
+    /// Number of tiles with at least one op.
+    pub fn tile_count(&self) -> usize {
+        self.programs.values().filter(|p| !p.is_empty()).count()
+    }
+
+    /// The last scheduled cycle across all tiles.
+    pub fn last_cycle(&self) -> Option<u64> {
+        self.programs.values().filter_map(TileProgram::last_cycle).max()
+    }
+
+    /// Total op count across all tiles.
+    pub fn op_count(&self) -> usize {
+        self.programs.values().map(TileProgram::op_count).sum()
+    }
+
+    /// Validates every tile program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Error::InvalidSchedule`] found.
+    pub fn validate(&self) -> Result<()> {
+        for prog in self.programs.values() {
+            prog.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+    use crate::plane::PlaneSet;
+    use shenjing_core::Direction;
+
+    fn acc() -> AtomicOp {
+        AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 })
+    }
+
+    fn ps_send(planes: PlaneSet) -> AtomicOp {
+        AtomicOp::Ps(PsRouterOp::Send {
+            source: PsSendSource::LocalPs,
+            dst: PsDst::Port(Direction::North),
+            planes,
+        })
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut prog = TileProgram::new();
+        assert!(prog.is_empty());
+        assert_eq!(prog.last_cycle(), None);
+        prog.push(5, acc());
+        prog.push(5, ps_send(PlaneSet::all()));
+        prog.push(2, acc());
+        assert_eq!(prog.op_count(), 3);
+        assert_eq!(prog.last_cycle(), Some(5));
+        assert_eq!(prog.ops_at(5).len(), 2);
+        assert_eq!(prog.ops_at(3).len(), 0);
+    }
+
+    #[test]
+    fn iter_in_cycle_order() {
+        let mut prog = TileProgram::new();
+        prog.push(9, acc());
+        prog.push(1, acc());
+        prog.push(4, acc());
+        let cycles: Vec<u64> = prog.iter().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn validate_accepts_disjoint_planes() {
+        let mut prog = TileProgram::new();
+        prog.push(0, ps_send(PlaneSet::from_range(0..8)));
+        prog.push(0, ps_send(PlaneSet::from_range(8..16)));
+        prog.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_ps_planes() {
+        let mut prog = TileProgram::new();
+        prog.push(0, ps_send(PlaneSet::from_range(0..8)));
+        prog.push(0, ps_send(PlaneSet::from_range(7..16)));
+        assert!(matches!(prog.validate(), Err(Error::InvalidSchedule { cycle: 0, .. })));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_spike_planes() {
+        let mut prog = TileProgram::new();
+        let spike = |planes| {
+            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::East, planes })
+        };
+        prog.push(3, spike(PlaneSet::all()));
+        prog.push(3, spike(PlaneSet::from_indices([0u16])));
+        assert!(matches!(prog.validate(), Err(Error::InvalidSchedule { cycle: 3, .. })));
+    }
+
+    #[test]
+    fn validate_rejects_two_core_ops() {
+        let mut prog = TileProgram::new();
+        prog.push(0, acc());
+        prog.push(0, acc());
+        assert!(prog.validate().is_err());
+    }
+
+    #[test]
+    fn ps_and_spike_in_same_cycle_are_fine() {
+        let mut prog = TileProgram::new();
+        prog.push(0, ps_send(PlaneSet::all()));
+        prog.push(
+            0,
+            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() }),
+        );
+        prog.push(0, acc());
+        prog.validate().unwrap();
+    }
+
+    #[test]
+    fn config_memory_aggregation() {
+        let mut mem = ConfigMemory::new();
+        mem.program_mut(CoreCoord::new(0, 0)).push(0, acc());
+        mem.program_mut(CoreCoord::new(0, 1)).push(7, acc());
+        assert_eq!(mem.tile_count(), 2);
+        assert_eq!(mem.last_cycle(), Some(7));
+        assert_eq!(mem.op_count(), 2);
+        mem.validate().unwrap();
+        assert!(mem.program(CoreCoord::new(0, 0)).is_some());
+        assert!(mem.program(CoreCoord::new(5, 5)).is_none());
+        assert_eq!(mem.coords().count(), 2);
+    }
+
+    #[test]
+    fn config_memory_validate_propagates() {
+        let mut mem = ConfigMemory::new();
+        let prog = mem.program_mut(CoreCoord::new(1, 1));
+        prog.push(0, acc());
+        prog.push(0, acc());
+        assert!(mem.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut mem = ConfigMemory::new();
+        mem.program_mut(CoreCoord::new(0, 0)).push(0, ps_send(PlaneSet::all()));
+        let json = serde_json::to_string(&mem).unwrap();
+        let back: ConfigMemory = serde_json::from_str(&json).unwrap();
+        assert_eq!(mem, back);
+    }
+}

@@ -1,0 +1,66 @@
+//! Cycle-level microarchitecture of the Shenjing tile.
+//!
+//! This crate models, component by component, Figure 2 of the DATE 2020
+//! paper:
+//!
+//! * [`NeuronCore`] — 4 SRAM weight banks, per-neuron accumulators, and the
+//!   axon input buffer ((a) in the figure);
+//! * [`PsRouter`] — the partial-sum NoC router: 4×2 input crossbar, 16-bit
+//!   adder with the `consec_add` operand mux, and 3×5 output crossbar that
+//!   can eject the accumulated sum into the spiking logic ((b));
+//! * [`SpikeRouter`] — the IF/spiking logic plus the 5×5 one-bit spike
+//!   crossbar with multicast support ((c));
+//! * [`Tile`] — one of each, wired together;
+//! * [`Chip`] — a mesh of tiles with the inter-tile link fabric.
+//!
+//! Control follows Table I of the paper: every component is driven each
+//! cycle by an *atomic operation* ([`ops`]) whose encoding into raw control
+//! signals ([`signals`]) round-trips bit-exactly. There are **no buffer
+//! queues, no flow control and no routing logic** in the routers — exactly
+//! as in the paper, all communication is compiled ahead of time into
+//! per-cycle control words stored in a [`ConfigMemory`].
+//!
+//! Because each of the 256 neurons of a core owns a private plane of both
+//! NoCs, router state here is *vectorized over planes*: one [`PsRouter`]
+//! value models all 256 single-neuron PS routers of a tile, and operations
+//! carry a [`PlaneSet`] selecting which planes participate (the per-plane
+//! configuration memories of the real hardware).
+//!
+//! # Example
+//!
+//! ```
+//! use shenjing_core::{ArchSpec, Direction};
+//! use shenjing_hw::{NeuronCore, PlaneSet};
+//!
+//! let arch = ArchSpec::tiny();
+//! let mut core = NeuronCore::new(&arch);
+//! // Load a weight, fire the axon, accumulate.
+//! core.write_weight(0, 0, shenjing_core::W5::new(3)?)?;
+//! core.set_axon(0, true)?;
+//! core.accumulate(0b1111)?;
+//! assert_eq!(core.local_ps(0).value(), 3);
+//! # Ok::<(), shenjing_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod config;
+pub mod neuron_core;
+pub mod ops;
+pub mod plane;
+pub mod ps_router;
+pub mod signals;
+pub mod spike_router;
+pub mod tile;
+
+pub use chip::Chip;
+pub use config::{ConfigMemory, TileProgram};
+pub use neuron_core::NeuronCore;
+pub use ops::{AtomicOp, NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+pub use plane::PlaneSet;
+pub use ps_router::PsRouter;
+pub use signals::{ControlWord, NeuronCoreSignals, PsRouterSignals, SpikeRouterSignals};
+pub use spike_router::SpikeRouter;
+pub use tile::Tile;

@@ -1,0 +1,352 @@
+//! The neuron core: weight SRAM banks, axon buffer and accumulators
+//! (Fig. 2a).
+//!
+//! A neuron core stores an `inputs × neurons` array of 5-bit synaptic
+//! weights across [`ArchSpec::sram_banks`] SRAM banks (each bank serving a
+//! contiguous slice of neurons), holds one spike bit per input axon, and on
+//! an `ACC` operation produces the **local partial sum** of every enabled
+//! neuron: the sum of the weights of all axons that spiked,
+//! `Σ_j b_j(t) · ω_ji`. In hardware this sweep takes
+//! [`ArchSpec::acc_cycles`] (131) cycles; here it is one call and the
+//! schedule accounts for the latency.
+//!
+//! [`ArchSpec::sram_banks`]: shenjing_core::ArchSpec::sram_banks
+//! [`ArchSpec::acc_cycles`]: shenjing_core::ArchSpec::acc_cycles
+
+use shenjing_core::{ArchSpec, Error, LocalSum, Result, W5};
+
+/// One tile's neuron core.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, W5};
+/// use shenjing_hw::NeuronCore;
+///
+/// let arch = ArchSpec::tiny();
+/// let mut core = NeuronCore::new(&arch);
+/// core.write_weight(2, 7, W5::new(-5)?)?;
+/// core.set_axon(2, true)?;
+/// core.accumulate(0b1111)?;
+/// assert_eq!(core.local_ps(7).value(), -5);
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeuronCore {
+    inputs: u16,
+    neurons: u16,
+    banks: u16,
+    /// Row-major `[axon][neuron]` weight array.
+    weights: Vec<W5>,
+    /// One spike bit per axon.
+    axons: Vec<bool>,
+    /// Latest local partial sum per neuron.
+    local_ps: Vec<LocalSum>,
+    /// Whether weights have been loaded at least once.
+    loaded: bool,
+}
+
+impl NeuronCore {
+    /// Creates a core with all-zero weights and idle axons.
+    pub fn new(arch: &ArchSpec) -> NeuronCore {
+        NeuronCore {
+            inputs: arch.core_inputs,
+            neurons: arch.core_neurons,
+            banks: arch.sram_banks,
+            weights: vec![W5::ZERO; arch.core_inputs as usize * arch.core_neurons as usize],
+            axons: vec![false; arch.core_inputs as usize],
+            local_ps: vec![LocalSum::ZERO; arch.core_neurons as usize],
+            loaded: false,
+        }
+    }
+
+    /// Number of input axons.
+    pub fn inputs(&self) -> u16 {
+        self.inputs
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> u16 {
+        self.neurons
+    }
+
+    /// Writes one synaptic weight (the unit step of `LD_WT`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` or `neuron` exceed the
+    /// core dimensions.
+    pub fn write_weight(&mut self, axon: u16, neuron: u16, w: W5) -> Result<()> {
+        let idx = self.weight_index(axon, neuron)?;
+        self.weights[idx] = w;
+        self.loaded = true;
+        Ok(())
+    }
+
+    /// Loads a full `inputs × neurons` weight block (row-major by axon).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `block` has the wrong length.
+    pub fn load_weights(&mut self, block: &[W5]) -> Result<()> {
+        if block.len() != self.weights.len() {
+            return Err(Error::shape_mismatch(
+                format!("{} weights", self.weights.len()),
+                format!("{} weights", block.len()),
+            ));
+        }
+        self.weights.copy_from_slice(block);
+        self.loaded = true;
+        Ok(())
+    }
+
+    /// Reads one synaptic weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` or `neuron` exceed the
+    /// core dimensions.
+    pub fn weight(&self, axon: u16, neuron: u16) -> Result<W5> {
+        Ok(self.weights[self.weight_index(axon, neuron)?])
+    }
+
+    /// Sets or clears one axon's spike bit for the current timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` exceeds the core's inputs.
+    pub fn set_axon(&mut self, axon: u16, spiking: bool) -> Result<()> {
+        if axon >= self.inputs {
+            return Err(Error::out_of_bounds(format!(
+                "axon {axon} of a {}-input core",
+                self.inputs
+            )));
+        }
+        self.axons[axon as usize] = spiking;
+        Ok(())
+    }
+
+    /// Reads one axon's spike bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` exceeds the core's inputs.
+    pub fn axon(&self, axon: u16) -> Result<bool> {
+        if axon >= self.inputs {
+            return Err(Error::out_of_bounds(format!(
+                "axon {axon} of a {}-input core",
+                self.inputs
+            )));
+        }
+        Ok(self.axons[axon as usize])
+    }
+
+    /// Clears every axon (start of a new timestep).
+    pub fn clear_axons(&mut self) {
+        self.axons.iter_mut().for_each(|a| *a = false);
+    }
+
+    /// Number of axons currently spiking — the paper's switching-activity
+    /// statistic ("average number of spiking axons per core in each time
+    /// step") that drives the power model.
+    pub fn active_axon_count(&self) -> usize {
+        self.axons.iter().filter(|a| **a).count()
+    }
+
+    /// Executes `ACC`: recomputes the local partial sums of every neuron in
+    /// the enabled `banks` (bit `i` enables bank `i`) from the current axon
+    /// buffer. Neurons in disabled banks keep their previous sums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SumOverflow`] if any neuron's sum leaves the 13-bit
+    /// local range (the hardware accumulator width), and
+    /// [`Error::InvalidControl`] if `banks` enables a bank the core does
+    /// not have.
+    pub fn accumulate(&mut self, banks: u8) -> Result<()> {
+        self.check_banks(banks)?;
+        let per_bank = self.neurons / self.banks;
+        for bank in 0..self.banks {
+            if banks & (1 << bank) == 0 {
+                continue;
+            }
+            let lo = (bank * per_bank) as usize;
+            let hi = lo + per_bank as usize;
+            for n in lo..hi {
+                let mut sum = LocalSum::ZERO;
+                for (a, &spiking) in self.axons.iter().enumerate() {
+                    if spiking {
+                        sum = sum.add_weight(self.weights[a * self.neurons as usize + n])?;
+                    }
+                }
+                self.local_ps[n] = sum;
+            }
+        }
+        Ok(())
+    }
+
+    /// The local partial sum of `neuron` produced by the latest `ACC`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `neuron` exceeds the core dimensions (an internal
+    /// schedule bug, not a runtime condition).
+    pub fn local_ps(&self, neuron: u16) -> LocalSum {
+        self.local_ps[neuron as usize]
+    }
+
+    /// All local partial sums, indexed by neuron.
+    pub fn local_ps_all(&self) -> &[LocalSum] {
+        &self.local_ps
+    }
+
+    /// Whether any weights have been loaded.
+    pub fn is_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    fn weight_index(&self, axon: u16, neuron: u16) -> Result<usize> {
+        if axon >= self.inputs || neuron >= self.neurons {
+            return Err(Error::out_of_bounds(format!(
+                "synapse ({axon},{neuron}) of a {}x{} core",
+                self.inputs, self.neurons
+            )));
+        }
+        Ok(axon as usize * self.neurons as usize + neuron as usize)
+    }
+
+    fn check_banks(&self, banks: u8) -> Result<()> {
+        let valid_mask = (1u16 << self.banks) - 1;
+        if banks == 0 || u16::from(banks) & !valid_mask != 0 {
+            return Err(Error::InvalidControl {
+                component: "neuron_core".into(),
+                reason: format!(
+                    "bank mask {banks:#06b} invalid for a {}-bank core",
+                    self.banks
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_core() -> NeuronCore {
+        NeuronCore::new(&ArchSpec::tiny())
+    }
+
+    #[test]
+    fn fresh_core_is_zeroed() {
+        let core = tiny_core();
+        assert!(!core.is_loaded());
+        assert_eq!(core.active_axon_count(), 0);
+        assert!(core.local_ps_all().iter().all(|s| s.value() == 0));
+        assert_eq!(core.weight(0, 0).unwrap(), W5::ZERO);
+    }
+
+    #[test]
+    fn weighted_sum_of_spiking_axons_only() {
+        let mut core = tiny_core();
+        core.write_weight(0, 0, W5::new(3).unwrap()).unwrap();
+        core.write_weight(1, 0, W5::new(5).unwrap()).unwrap();
+        core.write_weight(2, 0, W5::new(-7).unwrap()).unwrap();
+        core.set_axon(0, true).unwrap();
+        core.set_axon(2, true).unwrap();
+        // axon 1 does not spike: its weight must not contribute.
+        core.accumulate(0b1111).unwrap();
+        assert_eq!(core.local_ps(0).value(), 3 - 7);
+    }
+
+    #[test]
+    fn bank_masking_updates_only_enabled_neurons() {
+        let arch = ArchSpec::tiny(); // 16 neurons, 4 banks of 4
+        let mut core = NeuronCore::new(&arch);
+        for n in 0..16 {
+            core.write_weight(0, n, W5::new(1).unwrap()).unwrap();
+        }
+        core.set_axon(0, true).unwrap();
+        core.accumulate(0b0001).unwrap(); // only bank 0: neurons 0..4
+        for n in 0..4u16 {
+            assert_eq!(core.local_ps(n).value(), 1, "neuron {n}");
+        }
+        for n in 4..16u16 {
+            assert_eq!(core.local_ps(n).value(), 0, "neuron {n}");
+        }
+        core.accumulate(0b1110).unwrap(); // remaining banks
+        for n in 0..16u16 {
+            assert_eq!(core.local_ps(n).value(), 1, "neuron {n}");
+        }
+    }
+
+    #[test]
+    fn acc_overwrites_previous_sums() {
+        let mut core = tiny_core();
+        core.write_weight(0, 0, W5::new(4).unwrap()).unwrap();
+        core.set_axon(0, true).unwrap();
+        core.accumulate(0b1111).unwrap();
+        assert_eq!(core.local_ps(0).value(), 4);
+        core.clear_axons();
+        core.accumulate(0b1111).unwrap();
+        assert_eq!(core.local_ps(0).value(), 0, "ACC recomputes, not accumulates");
+    }
+
+    #[test]
+    fn load_weights_block() {
+        let arch = ArchSpec::tiny();
+        let mut core = NeuronCore::new(&arch);
+        let n = arch.core_inputs as usize * arch.core_neurons as usize;
+        let block: Vec<W5> = (0..n).map(|i| W5::saturating((i % 7) as i32 - 3)).collect();
+        core.load_weights(&block).unwrap();
+        assert!(core.is_loaded());
+        assert_eq!(core.weight(1, 0).unwrap(), block[arch.core_neurons as usize]);
+        assert!(core.load_weights(&block[1..]).is_err());
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut core = tiny_core();
+        assert!(core.write_weight(16, 0, W5::ZERO).is_err());
+        assert!(core.write_weight(0, 16, W5::ZERO).is_err());
+        assert!(core.weight(99, 0).is_err());
+        assert!(core.set_axon(16, true).is_err());
+        assert!(core.axon(16).is_err());
+    }
+
+    #[test]
+    fn invalid_bank_masks_rejected() {
+        let mut core = tiny_core();
+        assert!(core.accumulate(0).is_err());
+        assert!(core.accumulate(0b10000).is_err());
+        assert!(core.accumulate(0b1111).is_ok());
+    }
+
+    #[test]
+    fn active_axon_count_tracks_sets() {
+        let mut core = tiny_core();
+        core.set_axon(0, true).unwrap();
+        core.set_axon(5, true).unwrap();
+        assert_eq!(core.active_axon_count(), 2);
+        core.set_axon(5, false).unwrap();
+        assert_eq!(core.active_axon_count(), 1);
+        core.clear_axons();
+        assert_eq!(core.active_axon_count(), 0);
+    }
+
+    #[test]
+    fn overflow_during_acc_reported() {
+        // 16 axons all spiking × weight 15 = 240 fits in 13 bits, so build a
+        // custom arch with enough inputs to overflow: 16-bit... tiny arch
+        // cannot overflow 13 bits (16*15=240). Use paper arch: 256 axons.
+        let arch = ArchSpec::paper();
+        let mut core = NeuronCore::new(&arch);
+        for a in 0..256u16 {
+            core.write_weight(a, 0, W5::MAX).unwrap();
+            core.set_axon(a, true).unwrap();
+        }
+        // 256 * 15 = 3840 < 4096: still fits. The 13-bit local width indeed
+        // covers a full worst-case core — matching the paper's sizing.
+        core.accumulate(0b1111).unwrap();
+        assert_eq!(core.local_ps(0).value(), 3840);
+    }
+}

@@ -1,0 +1,332 @@
+//! Atomic operations — the instruction set of Table I.
+//!
+//! The mapping toolchain compiles a neural network into a cycle-by-cycle
+//! schedule of these operations, one stream per hardware component. There
+//! are three op families, selected by the 2-bit `type` field of the control
+//! word:
+//!
+//! * partial-sum router ops (`type = 00`): `SUM`, `SEND`, `BYPASS`;
+//! * spike router ops (`type = 01`): `SPIKE`, `SEND`, `BYPASS` — plus the
+//!   delivery (local ejection) leg of the 5×5 crossbar that the paper's
+//!   multicast description requires ("ejecting the spike when it arrives at
+//!   each destination in turn");
+//! * neuron core ops (`type = 10`): `LD_WT`, `ACC`.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::Direction;
+
+use crate::plane::PlaneSet;
+
+/// Where a PS router `SEND` takes its operand from (Table I's `sum_buf`
+/// select bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PsSendSource {
+    /// The local partial sum produced by this tile's neuron core
+    /// (`sum_buf = 0`).
+    LocalPs,
+    /// The router's accumulation register, holding sums received and added
+    /// so far (`sum_buf = 1`).
+    SumBuf,
+}
+
+/// Destination of a PS router output — one of the 5 outputs of the 3×5
+/// output crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PsDst {
+    /// A mesh port toward a neighboring tile.
+    Port(Direction),
+    /// Ejection into the tile's own IF/spiking logic (the full weighted sum
+    /// becoming the spike unit's input).
+    SpikingLogic,
+}
+
+impl std::fmt::Display for PsDst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsDst::Port(d) => write!(f, "{d}"),
+            PsDst::SpikingLogic => f.write_str("IF"),
+        }
+    }
+}
+
+/// A partial-sum router operation (Table I, `type = 00`).
+///
+/// Each variant operates on all planes in its [`PlaneSet`] simultaneously —
+/// the hardware has one such router *per neuron*, and planes whose config
+/// memory holds no op for the cycle stay idle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PsRouterOp {
+    /// `SUM $SRC, $CONSEC` — pop the value registered from port `src` and
+    /// add it to either the local partial sum (`consec = false`, first
+    /// addition of a fold) or the current accumulation register
+    /// (`consec = true`, subsequent additions). The result lands in the
+    /// accumulation register (`sum_buf`).
+    Sum {
+        /// Port whose registered input is the second adder operand.
+        src: Direction,
+        /// `false`: first operand is the local PS; `true`: the previous sum.
+        consec: bool,
+        /// Planes participating.
+        planes: PlaneSet,
+    },
+    /// `SEND $SRC, $DST` — place the local PS or the accumulation register
+    /// on an output.
+    Send {
+        /// Which value to send.
+        source: PsSendSource,
+        /// Where to send it.
+        dst: PsDst,
+        /// Planes participating.
+        planes: PlaneSet,
+    },
+    /// `BYPASS $SRC, $DST` — forward the value arriving at port `src`
+    /// straight to output `dst` without touching the adder.
+    Bypass {
+        /// Input port.
+        src: Direction,
+        /// Output.
+        dst: PsDst,
+        /// Planes participating.
+        planes: PlaneSet,
+    },
+}
+
+impl PsRouterOp {
+    /// The planes this op touches.
+    pub fn planes(&self) -> &PlaneSet {
+        match self {
+            PsRouterOp::Sum { planes, .. }
+            | PsRouterOp::Send { planes, .. }
+            | PsRouterOp::Bypass { planes, .. } => planes,
+        }
+    }
+
+    /// Table I mnemonic of this op.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            PsRouterOp::Sum { .. } => "SUM",
+            PsRouterOp::Send { .. } => "SEND",
+            PsRouterOp::Bypass { .. } => "BYPASS",
+        }
+    }
+}
+
+/// A spike router operation (Table I, `type = 01`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpikeRouterOp {
+    /// `SPIKE $SUM_OR_LOCAL` — run the IF/spiking logic: integrate the
+    /// weighted sum into the membrane potential and fire (into the local
+    /// spike buffer) if the potential exceeds the threshold, subtracting
+    /// the threshold on fire.
+    Spike {
+        /// `false`: integrate the core's local PS (layer fits in one core);
+        /// `true`: integrate the full weighted sum ejected by the PS router.
+        from_ps_router: bool,
+        /// Planes participating.
+        planes: PlaneSet,
+    },
+    /// `SEND $DST` — inject the locally buffered spike into the spike NoC
+    /// toward port `dst`.
+    Send {
+        /// Output port.
+        dst: Direction,
+        /// Planes participating.
+        planes: PlaneSet,
+    },
+    /// `BYPASS $SRC, $DST` — forward an in-flight spike from port `src` to
+    /// port `dst`. When `deliver` is also set, a copy is ejected into the
+    /// local core's axon buffer — this is the hardware multicast of §II
+    /// ("ejecting the spike when it arrives at each destination in turn").
+    Bypass {
+        /// Input port.
+        src: Direction,
+        /// Output port, or `None` when the spike terminates here.
+        dst: Option<Direction>,
+        /// Whether to also eject a copy into the local axon buffer.
+        deliver: bool,
+        /// Planes participating.
+        planes: PlaneSet,
+    },
+}
+
+impl SpikeRouterOp {
+    /// The planes this op touches.
+    pub fn planes(&self) -> &PlaneSet {
+        match self {
+            SpikeRouterOp::Spike { planes, .. }
+            | SpikeRouterOp::Send { planes, .. }
+            | SpikeRouterOp::Bypass { planes, .. } => planes,
+        }
+    }
+
+    /// Table I mnemonic of this op.
+    ///
+    /// A delivering bypass still reads `BYPASS`; delivery is the local leg
+    /// of the same crossbar traversal.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            SpikeRouterOp::Spike { .. } => "SPIKE",
+            SpikeRouterOp::Send { .. } => "SEND",
+            SpikeRouterOp::Bypass { .. } => "BYPASS",
+        }
+    }
+}
+
+/// A neuron core operation (Table I, `type = 10`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeuronCoreOp {
+    /// `LD_WT` — load synaptic weights into the enabled SRAM banks
+    /// (initialization only; takes [`ArchSpec::ld_wt_cycles`]).
+    ///
+    /// [`ArchSpec::ld_wt_cycles`]: shenjing_core::ArchSpec::ld_wt_cycles
+    LdWt {
+        /// Bank-enable bits (Table I's `w_weight[4]`), bit `i` = bank `i`.
+        banks: u8,
+    },
+    /// `ACC` — accumulate the weights of all spiking axons into the local
+    /// partial sums of the enabled banks' neurons (takes
+    /// [`ArchSpec::acc_cycles`]).
+    ///
+    /// [`ArchSpec::acc_cycles`]: shenjing_core::ArchSpec::acc_cycles
+    Acc {
+        /// Bank-enable bits (Table I's `acc[4]`), bit `i` = bank `i`.
+        banks: u8,
+    },
+}
+
+impl NeuronCoreOp {
+    /// Table I mnemonic of this op.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            NeuronCoreOp::LdWt { .. } => "LD_WT",
+            NeuronCoreOp::Acc { .. } => "ACC",
+        }
+    }
+
+    /// The bank-enable bits.
+    pub fn banks(&self) -> u8 {
+        match self {
+            NeuronCoreOp::LdWt { banks } | NeuronCoreOp::Acc { banks } => *banks,
+        }
+    }
+}
+
+/// Any atomic operation, tagged with its target component.
+///
+/// This is the unit the compiled schedule is made of, and the unit the
+/// power model charges energy for (Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicOp {
+    /// An op for the tile's PS routers.
+    Ps(PsRouterOp),
+    /// An op for the tile's spike routers.
+    Spike(SpikeRouterOp),
+    /// An op for the tile's neuron core.
+    Core(NeuronCoreOp),
+}
+
+impl AtomicOp {
+    /// Table I mnemonic, qualified by component (`ps.SUM`, `spk.SEND`,
+    /// `core.ACC`, ...).
+    pub fn qualified_mnemonic(&self) -> String {
+        match self {
+            AtomicOp::Ps(op) => format!("ps.{}", op.mnemonic()),
+            AtomicOp::Spike(op) => format!("spk.{}", op.mnemonic()),
+            AtomicOp::Core(op) => format!("core.{}", op.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_planes() -> PlaneSet {
+        PlaneSet::all()
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(
+            PsRouterOp::Sum { src: Direction::North, consec: false, planes: all_planes() }
+                .mnemonic(),
+            "SUM"
+        );
+        assert_eq!(
+            PsRouterOp::Send {
+                source: PsSendSource::SumBuf,
+                dst: PsDst::SpikingLogic,
+                planes: all_planes()
+            }
+            .mnemonic(),
+            "SEND"
+        );
+        assert_eq!(
+            SpikeRouterOp::Spike { from_ps_router: true, planes: all_planes() }.mnemonic(),
+            "SPIKE"
+        );
+        assert_eq!(NeuronCoreOp::Acc { banks: 0b1111 }.mnemonic(), "ACC");
+        assert_eq!(NeuronCoreOp::LdWt { banks: 0b1111 }.mnemonic(), "LD_WT");
+    }
+
+    #[test]
+    fn qualified_mnemonics() {
+        assert_eq!(
+            AtomicOp::Core(NeuronCoreOp::Acc { banks: 0xF }).qualified_mnemonic(),
+            "core.ACC"
+        );
+        assert_eq!(
+            AtomicOp::Ps(PsRouterOp::Bypass {
+                src: Direction::East,
+                dst: PsDst::Port(Direction::West),
+                planes: all_planes()
+            })
+            .qualified_mnemonic(),
+            "ps.BYPASS"
+        );
+        assert_eq!(
+            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::South, planes: all_planes() })
+                .qualified_mnemonic(),
+            "spk.SEND"
+        );
+    }
+
+    #[test]
+    fn planes_accessor() {
+        let p = PlaneSet::from_indices([1u16, 2]);
+        let op = PsRouterOp::Sum { src: Direction::West, consec: true, planes: p.clone() };
+        assert_eq!(op.planes(), &p);
+        let op = SpikeRouterOp::Bypass {
+            src: Direction::North,
+            dst: Some(Direction::South),
+            deliver: true,
+            planes: p.clone(),
+        };
+        assert_eq!(op.planes(), &p);
+    }
+
+    #[test]
+    fn core_op_banks() {
+        assert_eq!(NeuronCoreOp::LdWt { banks: 0b0101 }.banks(), 0b0101);
+        assert_eq!(NeuronCoreOp::Acc { banks: 0b1111 }.banks(), 0b1111);
+    }
+
+    #[test]
+    fn ps_dst_display() {
+        assert_eq!(PsDst::Port(Direction::North).to_string(), "N");
+        assert_eq!(PsDst::SpikingLogic.to_string(), "IF");
+    }
+
+    #[test]
+    fn ops_serialize() {
+        let op = AtomicOp::Spike(SpikeRouterOp::Bypass {
+            src: Direction::East,
+            dst: None,
+            deliver: true,
+            planes: PlaneSet::from_indices([0u16, 7]),
+        });
+        let json = serde_json::to_string(&op).unwrap();
+        let back: AtomicOp = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

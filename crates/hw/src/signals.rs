@@ -1,0 +1,635 @@
+//! Raw hardware control signals and their bit-level encoding (Table I).
+//!
+//! Every atomic operation lowers to a set of select/enable signals driving
+//! the crossbars and muxes of Fig. 2. The paper stores these words in
+//! per-plane configuration memories; we reproduce the field layout of
+//! Table I and give it a concrete 16-bit packing so that encode → decode is
+//! a bit-exact round trip (tested exhaustively).
+//!
+//! Field layout of [`ControlWord`] (bit 15 = MSB):
+//!
+//! ```text
+//! PS router    (type=00): | 00 | sum_buf | add_en | consec_add | bypass | in_sel[2] | out_sel[3] | 00000 |
+//! Spike router (type=01): | 01 | spike_en | sum_or_local | inject_en | bypass | in_sel[2] | out_sel[2] | eject_en | fwd_en | 000 |
+//! Neuron core  (type=10): | 10 | r_weight | w_weight[4] | acc[4] | 00000 |
+//! ```
+//!
+//! `eject_en`/`fwd_en` are our explicit rendering of the spike crossbar's
+//! local output leg: Table I lists only three spike-router mnemonics, but
+//! the paper's multicast description ("ejecting the spike when it arrives
+//! at each destination in turn") requires a delivery leg, which in the 5×5
+//! crossbar is the fifth output. Packing it as two extra bits keeps the
+//! published fields untouched.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{Direction, Error, Result};
+
+use crate::ops::{NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+use crate::plane::PlaneSet;
+
+/// 3-bit PS output select: ports 0–3, spiking logic 4, none 7.
+const PS_OUT_NONE: u8 = 0b111;
+const PS_OUT_SPIKING: u8 = 0b100;
+
+/// Decoded control fields of a PS router (Table I columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PsRouterSignals {
+    /// Operand select for SEND: `false` local PS, `true` accumulation
+    /// register.
+    pub sum_buf: bool,
+    /// Adder enable (SUM).
+    pub add_en: bool,
+    /// First-operand mux: `false` local PS, `true` previous sum.
+    pub consec_add: bool,
+    /// Bypass the adder, input straight to output.
+    pub bypass: bool,
+    /// Input-port select (2 bits).
+    pub in_sel: u8,
+    /// Output select (3 bits): ports 0–3, 4 = spiking logic, 7 = none.
+    pub out_sel: u8,
+}
+
+/// Decoded control fields of a spike router (Table I columns plus the
+/// delivery leg).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpikeRouterSignals {
+    /// IF/spiking logic enable.
+    pub spike_en: bool,
+    /// Spike-unit input mux: `false` local PS, `true` PS-router sum.
+    pub sum_or_local: bool,
+    /// Inject the local spike buffer into the NoC.
+    pub inject_en: bool,
+    /// Crossbar bypass enable.
+    pub bypass: bool,
+    /// Input-port select (2 bits).
+    pub in_sel: u8,
+    /// Output-port select (2 bits).
+    pub out_sel: u8,
+    /// Deliver (eject) a copy into the local axon buffer.
+    pub eject_en: bool,
+    /// Whether the bypass has a forward leg (out_sel valid).
+    pub fwd_en: bool,
+}
+
+/// Decoded control fields of a neuron core (Table I columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NeuronCoreSignals {
+    /// Read-weights enable (ACC path).
+    pub r_weight: bool,
+    /// Per-bank write-weight enables.
+    pub w_weight: u8,
+    /// Per-bank accumulate enables.
+    pub acc: u8,
+}
+
+/// A packed 16-bit configuration-memory word.
+///
+/// ```
+/// use shenjing_hw::{ControlWord, PsRouterOp, PsSendSource, PsDst, PlaneSet};
+/// use shenjing_core::Direction;
+///
+/// let op = PsRouterOp::Send {
+///     source: PsSendSource::SumBuf,
+///     dst: PsDst::Port(Direction::East),
+///     planes: PlaneSet::all(),
+/// };
+/// let word = ControlWord::encode_ps(&op);
+/// let back = word.decode(PlaneSet::all())?;
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControlWord(u16);
+
+/// A control word decoded back into an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedOp {
+    /// PS router operation.
+    Ps(PsRouterOp),
+    /// Spike router operation.
+    Spike(SpikeRouterOp),
+    /// Neuron core operation.
+    Core(NeuronCoreOp),
+}
+
+impl ControlWord {
+    /// The raw 16-bit word.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Creates a word from raw bits (no validation; [`decode`] validates).
+    ///
+    /// [`decode`]: ControlWord::decode
+    pub fn from_bits(bits: u16) -> ControlWord {
+        ControlWord(bits)
+    }
+
+    /// The 2-bit component type field (00 PS, 01 spike, 10 core).
+    pub fn op_type(self) -> u8 {
+        (self.0 >> 14) as u8
+    }
+
+    /// Encodes a PS router op.
+    pub fn encode_ps(op: &PsRouterOp) -> ControlWord {
+        let s = PsRouterSignals::from_op(op);
+        let mut w: u16 = 0; // type = 00
+        w |= u16::from(s.sum_buf) << 13;
+        w |= u16::from(s.add_en) << 12;
+        w |= u16::from(s.consec_add) << 11;
+        w |= u16::from(s.bypass) << 10;
+        w |= u16::from(s.in_sel & 0b11) << 8;
+        w |= u16::from(s.out_sel & 0b111) << 5;
+        ControlWord(w)
+    }
+
+    /// Encodes a spike router op.
+    pub fn encode_spike(op: &SpikeRouterOp) -> ControlWord {
+        let s = SpikeRouterSignals::from_op(op);
+        let mut w: u16 = 0b01 << 14;
+        w |= u16::from(s.spike_en) << 13;
+        w |= u16::from(s.sum_or_local) << 12;
+        w |= u16::from(s.inject_en) << 11;
+        w |= u16::from(s.bypass) << 10;
+        w |= u16::from(s.in_sel & 0b11) << 8;
+        w |= u16::from(s.out_sel & 0b11) << 6;
+        w |= u16::from(s.eject_en) << 5;
+        w |= u16::from(s.fwd_en) << 4;
+        ControlWord(w)
+    }
+
+    /// Encodes a neuron core op.
+    pub fn encode_core(op: &NeuronCoreOp) -> ControlWord {
+        let s = NeuronCoreSignals::from_op(op);
+        let mut w: u16 = 0b10 << 14;
+        w |= u16::from(s.r_weight) << 13;
+        w |= u16::from(s.w_weight & 0b1111) << 9;
+        w |= u16::from(s.acc & 0b1111) << 5;
+        ControlWord(w)
+    }
+
+    /// Extracts the PS router signal fields (valid when `op_type() == 0`).
+    pub fn ps_signals(self) -> PsRouterSignals {
+        PsRouterSignals {
+            sum_buf: self.0 & (1 << 13) != 0,
+            add_en: self.0 & (1 << 12) != 0,
+            consec_add: self.0 & (1 << 11) != 0,
+            bypass: self.0 & (1 << 10) != 0,
+            in_sel: ((self.0 >> 8) & 0b11) as u8,
+            out_sel: ((self.0 >> 5) & 0b111) as u8,
+        }
+    }
+
+    /// Extracts the spike router signal fields (valid when
+    /// `op_type() == 1`).
+    pub fn spike_signals(self) -> SpikeRouterSignals {
+        SpikeRouterSignals {
+            spike_en: self.0 & (1 << 13) != 0,
+            sum_or_local: self.0 & (1 << 12) != 0,
+            inject_en: self.0 & (1 << 11) != 0,
+            bypass: self.0 & (1 << 10) != 0,
+            in_sel: ((self.0 >> 8) & 0b11) as u8,
+            out_sel: ((self.0 >> 6) & 0b11) as u8,
+            eject_en: self.0 & (1 << 5) != 0,
+            fwd_en: self.0 & (1 << 4) != 0,
+        }
+    }
+
+    /// Extracts the neuron core signal fields (valid when
+    /// `op_type() == 2`).
+    pub fn core_signals(self) -> NeuronCoreSignals {
+        NeuronCoreSignals {
+            r_weight: self.0 & (1 << 13) != 0,
+            w_weight: ((self.0 >> 9) & 0b1111) as u8,
+            acc: ((self.0 >> 5) & 0b1111) as u8,
+        }
+    }
+
+    /// Decodes the word back into an operation, attaching `planes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidControl`] for words whose flag combination
+    /// corresponds to no Table I operation (e.g. `add_en` and `bypass`
+    /// both set, or an unknown type field).
+    pub fn decode(self, planes: PlaneSet) -> Result<DecodedOp> {
+        match self.op_type() {
+            0b00 => {
+                let s = self.ps_signals();
+                s.to_op(planes).map(DecodedOp::Ps)
+            }
+            0b01 => {
+                let s = self.spike_signals();
+                s.to_op(planes).map(DecodedOp::Spike)
+            }
+            0b10 => {
+                let s = self.core_signals();
+                s.to_op().map(DecodedOp::Core)
+            }
+            t => Err(Error::InvalidControl {
+                component: "config word".into(),
+                reason: format!("unknown op type field {t:#04b}"),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for ControlWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#018b}", self.0)
+    }
+}
+
+fn encode_ps_dst(dst: PsDst) -> u8 {
+    match dst {
+        PsDst::Port(d) => d.encode(),
+        PsDst::SpikingLogic => PS_OUT_SPIKING,
+    }
+}
+
+fn decode_ps_dst(bits: u8) -> Result<PsDst> {
+    if bits == PS_OUT_SPIKING {
+        Ok(PsDst::SpikingLogic)
+    } else if let Some(d) = Direction::decode(bits) {
+        Ok(PsDst::Port(d))
+    } else {
+        Err(Error::InvalidControl {
+            component: "ps_router".into(),
+            reason: format!("invalid out_sel {bits:#05b}"),
+        })
+    }
+}
+
+impl PsRouterSignals {
+    /// Lowers a PS router op to its Table I signal values.
+    pub fn from_op(op: &PsRouterOp) -> PsRouterSignals {
+        match op {
+            PsRouterOp::Sum { src, consec, .. } => PsRouterSignals {
+                sum_buf: false,
+                add_en: true,
+                consec_add: *consec,
+                bypass: false,
+                in_sel: src.encode(),
+                out_sel: PS_OUT_NONE,
+            },
+            PsRouterOp::Send { source, dst, .. } => PsRouterSignals {
+                sum_buf: matches!(source, PsSendSource::SumBuf),
+                add_en: false,
+                consec_add: false,
+                bypass: false,
+                in_sel: 0,
+                out_sel: encode_ps_dst(*dst),
+            },
+            PsRouterOp::Bypass { src, dst, .. } => PsRouterSignals {
+                sum_buf: false,
+                add_en: false,
+                consec_add: false,
+                bypass: true,
+                in_sel: src.encode(),
+                out_sel: encode_ps_dst(*dst),
+            },
+        }
+    }
+
+    /// Raises signal values back to an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidControl`] for combinations that match no
+    /// Table I row.
+    pub fn to_op(&self, planes: PlaneSet) -> Result<PsRouterOp> {
+        if self.add_en && self.bypass {
+            return Err(Error::InvalidControl {
+                component: "ps_router".into(),
+                reason: "add_en and bypass both set".into(),
+            });
+        }
+        if self.add_en {
+            let src = Direction::decode(self.in_sel).ok_or_else(|| Error::InvalidControl {
+                component: "ps_router".into(),
+                reason: format!("invalid in_sel {}", self.in_sel),
+            })?;
+            Ok(PsRouterOp::Sum { src, consec: self.consec_add, planes })
+        } else if self.bypass {
+            let src = Direction::decode(self.in_sel).ok_or_else(|| Error::InvalidControl {
+                component: "ps_router".into(),
+                reason: format!("invalid in_sel {}", self.in_sel),
+            })?;
+            Ok(PsRouterOp::Bypass { src, dst: decode_ps_dst(self.out_sel)?, planes })
+        } else {
+            let source = if self.sum_buf { PsSendSource::SumBuf } else { PsSendSource::LocalPs };
+            Ok(PsRouterOp::Send { source, dst: decode_ps_dst(self.out_sel)?, planes })
+        }
+    }
+}
+
+impl SpikeRouterSignals {
+    /// Lowers a spike router op to its Table I signal values.
+    pub fn from_op(op: &SpikeRouterOp) -> SpikeRouterSignals {
+        match op {
+            SpikeRouterOp::Spike { from_ps_router, .. } => SpikeRouterSignals {
+                spike_en: true,
+                sum_or_local: *from_ps_router,
+                ..Default::default()
+            },
+            SpikeRouterOp::Send { dst, .. } => SpikeRouterSignals {
+                inject_en: true,
+                out_sel: dst.encode(),
+                fwd_en: true,
+                ..Default::default()
+            },
+            SpikeRouterOp::Bypass { src, dst, deliver, .. } => SpikeRouterSignals {
+                bypass: true,
+                in_sel: src.encode(),
+                out_sel: dst.map(Direction::encode).unwrap_or(0),
+                eject_en: *deliver,
+                fwd_en: dst.is_some(),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Raises signal values back to an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidControl`] for combinations that match no
+    /// spike-router operation (e.g. `spike_en` with `bypass`, or a bypass
+    /// with neither a forward leg nor delivery).
+    pub fn to_op(&self, planes: PlaneSet) -> Result<SpikeRouterOp> {
+        let set = [self.spike_en, self.inject_en, self.bypass]
+            .iter()
+            .filter(|b| **b)
+            .count();
+        if set != 1 {
+            return Err(Error::InvalidControl {
+                component: "spike_router".into(),
+                reason: format!(
+                    "exactly one of spike_en/inject_en/bypass must be set, found {set}"
+                ),
+            });
+        }
+        if self.spike_en {
+            Ok(SpikeRouterOp::Spike { from_ps_router: self.sum_or_local, planes })
+        } else if self.inject_en {
+            let dst = Direction::decode(self.out_sel).ok_or_else(|| Error::InvalidControl {
+                component: "spike_router".into(),
+                reason: format!("invalid out_sel {}", self.out_sel),
+            })?;
+            Ok(SpikeRouterOp::Send { dst, planes })
+        } else {
+            let src = Direction::decode(self.in_sel).ok_or_else(|| Error::InvalidControl {
+                component: "spike_router".into(),
+                reason: format!("invalid in_sel {}", self.in_sel),
+            })?;
+            let dst = if self.fwd_en {
+                Some(Direction::decode(self.out_sel).ok_or_else(|| Error::InvalidControl {
+                    component: "spike_router".into(),
+                    reason: format!("invalid out_sel {}", self.out_sel),
+                })?)
+            } else {
+                None
+            };
+            if dst.is_none() && !self.eject_en {
+                return Err(Error::InvalidControl {
+                    component: "spike_router".into(),
+                    reason: "bypass with neither forward leg nor delivery".into(),
+                });
+            }
+            Ok(SpikeRouterOp::Bypass { src, dst, deliver: self.eject_en, planes })
+        }
+    }
+}
+
+impl NeuronCoreSignals {
+    /// Lowers a neuron core op to its Table I signal values.
+    pub fn from_op(op: &NeuronCoreOp) -> NeuronCoreSignals {
+        match op {
+            NeuronCoreOp::LdWt { banks } => NeuronCoreSignals {
+                r_weight: false,
+                w_weight: banks & 0b1111,
+                acc: 0,
+            },
+            NeuronCoreOp::Acc { banks } => NeuronCoreSignals {
+                r_weight: true,
+                w_weight: 0,
+                acc: banks & 0b1111,
+            },
+        }
+    }
+
+    /// Raises signal values back to an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidControl`] when neither `w_weight` nor a
+    /// valid `r_weight`+`acc` combination is present.
+    pub fn to_op(&self) -> Result<NeuronCoreOp> {
+        if self.r_weight {
+            if self.w_weight != 0 {
+                return Err(Error::InvalidControl {
+                    component: "neuron_core".into(),
+                    reason: "r_weight set together with w_weight".into(),
+                });
+            }
+            Ok(NeuronCoreOp::Acc { banks: self.acc })
+        } else if self.w_weight != 0 {
+            Ok(NeuronCoreOp::LdWt { banks: self.w_weight })
+        } else {
+            Err(Error::InvalidControl {
+                component: "neuron_core".into(),
+                reason: "neither load nor accumulate enabled".into(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes() -> PlaneSet {
+        PlaneSet::all()
+    }
+
+    fn all_ps_ops() -> Vec<PsRouterOp> {
+        let mut ops = Vec::new();
+        for src in Direction::ALL {
+            for consec in [false, true] {
+                ops.push(PsRouterOp::Sum { src, consec, planes: planes() });
+            }
+        }
+        let dsts: Vec<PsDst> = Direction::ALL
+            .into_iter()
+            .map(PsDst::Port)
+            .chain([PsDst::SpikingLogic])
+            .collect();
+        for &dst in &dsts {
+            for source in [PsSendSource::LocalPs, PsSendSource::SumBuf] {
+                ops.push(PsRouterOp::Send { source, dst, planes: planes() });
+            }
+            for src in Direction::ALL {
+                ops.push(PsRouterOp::Bypass { src, dst, planes: planes() });
+            }
+        }
+        ops
+    }
+
+    fn all_spike_ops() -> Vec<SpikeRouterOp> {
+        let mut ops = Vec::new();
+        for from_ps_router in [false, true] {
+            ops.push(SpikeRouterOp::Spike { from_ps_router, planes: planes() });
+        }
+        for dst in Direction::ALL {
+            ops.push(SpikeRouterOp::Send { dst, planes: planes() });
+        }
+        for src in Direction::ALL {
+            for deliver in [false, true] {
+                for dst in Direction::ALL.into_iter().map(Some).chain([None]) {
+                    if dst.is_none() && !deliver {
+                        continue; // spike would vanish: not a valid op
+                    }
+                    ops.push(SpikeRouterOp::Bypass { src, dst, deliver, planes: planes() });
+                }
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn ps_ops_roundtrip_exhaustively() {
+        for op in all_ps_ops() {
+            let word = ControlWord::encode_ps(&op);
+            assert_eq!(word.op_type(), 0);
+            match word.decode(planes()).unwrap() {
+                DecodedOp::Ps(back) => assert_eq!(back, op, "word {word}"),
+                other => panic!("decoded to wrong family: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spike_ops_roundtrip_exhaustively() {
+        for op in all_spike_ops() {
+            let word = ControlWord::encode_spike(&op);
+            assert_eq!(word.op_type(), 1);
+            match word.decode(planes()).unwrap() {
+                DecodedOp::Spike(back) => assert_eq!(back, op, "word {word}"),
+                other => panic!("decoded to wrong family: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn core_ops_roundtrip_exhaustively() {
+        for banks in 1u8..16 {
+            for op in [NeuronCoreOp::LdWt { banks }, NeuronCoreOp::Acc { banks }] {
+                let word = ControlWord::encode_core(&op);
+                assert_eq!(word.op_type(), 2);
+                match word.decode(planes()).unwrap() {
+                    DecodedOp::Core(back) => assert_eq!(back, op),
+                    other => panic!("decoded to wrong family: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_ld_wt_fields() {
+        // Table I: LD_WT = type 10, r_weight 0, w_weight 1111, acc 0000.
+        let s = NeuronCoreSignals::from_op(&NeuronCoreOp::LdWt { banks: 0b1111 });
+        assert!(!s.r_weight);
+        assert_eq!(s.w_weight, 0b1111);
+        assert_eq!(s.acc, 0b0000);
+    }
+
+    #[test]
+    fn table1_acc_fields() {
+        // Table I: ACC = type 10, r_weight 1, w_weight 0000, acc 1111.
+        let s = NeuronCoreSignals::from_op(&NeuronCoreOp::Acc { banks: 0b1111 });
+        assert!(s.r_weight);
+        assert_eq!(s.w_weight, 0b0000);
+        assert_eq!(s.acc, 0b1111);
+    }
+
+    #[test]
+    fn table1_ps_sum_fields() {
+        // Table I: SUM = sum_buf 0, add_en 1, consec_add $CONSEC, bypass 0,
+        // in_sel $SRC, out_sel unused.
+        let s = PsRouterSignals::from_op(&PsRouterOp::Sum {
+            src: Direction::South,
+            consec: true,
+            planes: planes(),
+        });
+        assert!(!s.sum_buf);
+        assert!(s.add_en);
+        assert!(s.consec_add);
+        assert!(!s.bypass);
+        assert_eq!(s.in_sel, Direction::South.encode());
+    }
+
+    #[test]
+    fn table1_spike_spike_fields() {
+        // Table I: SPIKE = spike_en 1, sum_or_local $SUM_OR_LOCAL, others 0.
+        let s = SpikeRouterSignals::from_op(&SpikeRouterOp::Spike {
+            from_ps_router: true,
+            planes: planes(),
+        });
+        assert!(s.spike_en);
+        assert!(s.sum_or_local);
+        assert!(!s.inject_en);
+        assert!(!s.bypass);
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        // add_en + bypass simultaneously
+        let bad = PsRouterSignals {
+            add_en: true,
+            bypass: true,
+            ..Default::default()
+        };
+        assert!(bad.to_op(planes()).is_err());
+
+        // spike router: nothing enabled
+        let bad = SpikeRouterSignals::default();
+        assert!(bad.to_op(planes()).is_err());
+
+        // spike router: two functions at once
+        let bad = SpikeRouterSignals {
+            spike_en: true,
+            inject_en: true,
+            ..Default::default()
+        };
+        assert!(bad.to_op(planes()).is_err());
+
+        // bypass that drops the spike
+        let bad = SpikeRouterSignals {
+            bypass: true,
+            fwd_en: false,
+            eject_en: false,
+            ..Default::default()
+        };
+        assert!(bad.to_op(planes()).is_err());
+
+        // neuron core: r_weight with w_weight
+        let bad = NeuronCoreSignals { r_weight: true, w_weight: 0b1, acc: 0b1 };
+        assert!(bad.to_op().is_err());
+
+        // neuron core: nothing enabled
+        let bad = NeuronCoreSignals::default();
+        assert!(bad.to_op().is_err());
+
+        // unknown type field
+        let word = ControlWord::from_bits(0b11 << 14);
+        assert!(word.decode(planes()).is_err());
+    }
+
+    #[test]
+    fn word_bits_accessors() {
+        let op = NeuronCoreOp::Acc { banks: 0b1111 };
+        let w = ControlWord::encode_core(&op);
+        let w2 = ControlWord::from_bits(w.bits());
+        assert_eq!(w, w2);
+        assert!(w.to_string().starts_with("0b"));
+    }
+}

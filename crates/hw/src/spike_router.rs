@@ -1,0 +1,483 @@
+//! The spike NoC router with IF/spiking logic (Fig. 2c), vectorized over
+//! planes.
+//!
+//! Per plane the router owns: the integrate-and-fire state (membrane
+//! potential and threshold), a one-bit spike buffer, four input and four
+//! output registers of the 5×5 crossbar, and a delivery buffer toward the
+//! local core's axons. A `SPIKE` op integrates either the core's local
+//! partial sum or the full weighted sum ejected by the PS router
+//! (`sum_or_local` mux), fires when the potential exceeds the threshold
+//! and subtracts the threshold on fire (reset-by-subtraction, which is
+//! what makes rate-coded ANN→SNN conversion exact in expectation).
+//!
+//! Multicast: a `BYPASS` with `deliver = true` both forwards the spike to
+//! the next hop and ejects a copy into the local axon buffer — the paper's
+//! "ejecting the spike when it arrives at each destination in turn".
+
+use shenjing_core::{Direction, Error, LocalSum, NocSum, Result};
+
+use crate::ops::SpikeRouterOp;
+
+/// All spike-NoC planes of one tile.
+///
+/// ```
+/// use shenjing_hw::{SpikeRouter, SpikeRouterOp, PlaneSet};
+///
+/// let mut r = SpikeRouter::new(2);
+/// r.set_threshold(0, 10)?;
+/// r.integrate_value(0, 25); // as if SPIKE saw a weighted sum of 25
+/// assert!(r.spike_buffer(0));      // fired
+/// assert_eq!(r.potential(0), 15);  // threshold subtracted once
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpikeRouter {
+    planes: u16,
+    /// `[plane]` membrane potentials.
+    potential: Vec<i32>,
+    /// `[plane]` firing thresholds.
+    threshold: Vec<i32>,
+    /// `[plane]` locally generated spike bits.
+    spike_buf: Vec<bool>,
+    /// `[plane * 4 + port]` input registers.
+    inputs: Vec<Option<bool>>,
+    /// `[plane * 4 + port]` output registers.
+    outputs: Vec<Option<bool>>,
+    /// Spikes delivered to the local core this cycle: `(plane, value)`.
+    deliveries: Vec<(u16, bool)>,
+}
+
+impl SpikeRouter {
+    /// Default firing threshold before configuration.
+    pub const DEFAULT_THRESHOLD: i32 = 1;
+
+    /// Creates the router block for a tile with `planes` neurons.
+    pub fn new(planes: u16) -> SpikeRouter {
+        SpikeRouter {
+            planes,
+            potential: vec![0; planes as usize],
+            threshold: vec![Self::DEFAULT_THRESHOLD; planes as usize],
+            spike_buf: vec![false; planes as usize],
+            inputs: vec![None; planes as usize * 4],
+            outputs: vec![None; planes as usize * 4],
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Number of planes.
+    pub fn planes(&self) -> u16 {
+        self.planes
+    }
+
+    /// Configures the firing threshold of one plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `threshold` is not positive —
+    /// an IF neuron with a non-positive threshold fires unconditionally
+    /// and carries no information.
+    pub fn set_threshold(&mut self, plane: u16, threshold: i32) -> Result<()> {
+        if threshold <= 0 {
+            return Err(Error::config(format!(
+                "threshold {threshold} on plane {plane} must be positive"
+            )));
+        }
+        self.threshold[plane as usize] = threshold;
+        Ok(())
+    }
+
+    /// The configured threshold of a plane.
+    pub fn threshold(&self, plane: u16) -> i32 {
+        self.threshold[plane as usize]
+    }
+
+    /// The current membrane potential of a plane.
+    pub fn potential(&self, plane: u16) -> i32 {
+        self.potential[plane as usize]
+    }
+
+    /// The spike produced by the latest `SPIKE` op on a plane.
+    pub fn spike_buffer(&self, plane: u16) -> bool {
+        self.spike_buf[plane as usize]
+    }
+
+    /// Executes one op. `local_ps` is the neuron core's current local
+    /// partial sums; `ps_eject` is the per-plane ejection register of the
+    /// tile's PS router (consumed when `from_ps_router` is set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidControl`] when a `SPIKE` from the PS router
+    /// finds no ejected sum, or a `BYPASS` finds no in-flight spike;
+    /// contention on output registers yields [`Error::InvalidSchedule`].
+    pub fn exec(
+        &mut self,
+        op: &SpikeRouterOp,
+        local_ps: &[LocalSum],
+        ps_eject: &mut [Option<NocSum>],
+    ) -> Result<()> {
+        match op {
+            SpikeRouterOp::Spike { from_ps_router, planes } => {
+                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                    let sum = if *from_ps_router {
+                        ps_eject
+                            .get_mut(p as usize)
+                            .and_then(|e| e.take())
+                            .ok_or_else(|| Error::InvalidControl {
+                                component: "spike_router".into(),
+                                reason: format!(
+                                    "SPIKE from PS router on plane {p}: no ejected sum"
+                                ),
+                            })?
+                            .value()
+                    } else {
+                        local_ps.get(p as usize).copied().unwrap_or(LocalSum::ZERO).value()
+                    };
+                    self.integrate_value(p, sum);
+                }
+            }
+            SpikeRouterOp::Send { dst, planes } => {
+                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                    let spike = self.spike_buf[p as usize];
+                    self.write_out(*dst, p, spike)?;
+                }
+            }
+            SpikeRouterOp::Bypass { src, dst, deliver, planes } => {
+                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                    let idx = self.reg_index(*src, p);
+                    let spike = self.inputs[idx].take().ok_or_else(|| {
+                        Error::InvalidControl {
+                            component: "spike_router".into(),
+                            reason: format!("BYPASS on plane {p}: no spike at port {src}"),
+                        }
+                    })?;
+                    if *deliver {
+                        self.deliveries.push((p, spike));
+                    }
+                    if let Some(d) = dst {
+                        self.write_out(*d, p, spike)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Integrates a weighted-sum value into a plane's potential and fires
+    /// if above threshold, subtracting the threshold (at most one spike per
+    /// integration — the hardware generates one spike bit per `SPIKE` op).
+    pub fn integrate_value(&mut self, plane: u16, sum: i32) {
+        let p = plane as usize;
+        self.potential[p] += sum;
+        if self.potential[p] > self.threshold[p] {
+            self.spike_buf[p] = true;
+            self.potential[p] -= self.threshold[p];
+        } else {
+            self.spike_buf[p] = false;
+        }
+    }
+
+    /// Writes an incoming spike into the input register of `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a contention error when the register still holds an
+    /// unconsumed spike.
+    pub fn put_input(&mut self, port: Direction, plane: u16, spike: bool) -> Result<()> {
+        let idx = self.reg_index(port, plane);
+        if self.inputs[idx].is_some() {
+            return Err(Error::InvalidSchedule {
+                cycle: 0,
+                reason: format!("spike input register contention at port {port}, plane {plane}"),
+            });
+        }
+        self.inputs[idx] = Some(spike);
+        Ok(())
+    }
+
+    /// Removes and returns the output register of `port`/`plane`.
+    pub fn take_output(&mut self, port: Direction, plane: u16) -> Option<bool> {
+        let idx = self.reg_index(port, plane);
+        self.outputs[idx].take()
+    }
+
+    /// Drains the spikes delivered to the local core this cycle.
+    pub fn drain_deliveries(&mut self) -> Vec<(u16, bool)> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Whether any output register holds a spike awaiting transfer.
+    pub fn has_pending_output(&self) -> bool {
+        self.outputs.iter().any(|r| r.is_some())
+    }
+
+    /// Clears crossbar registers and spike buffers but **keeps membrane
+    /// potentials** (they persist across timesteps of one frame).
+    pub fn reset_network_state(&mut self) {
+        self.inputs.iter_mut().for_each(|r| *r = None);
+        self.outputs.iter_mut().for_each(|r| *r = None);
+        self.spike_buf.iter_mut().for_each(|s| *s = false);
+        self.deliveries.clear();
+    }
+
+    /// Zeroes membrane potentials (start of a new inference frame).
+    pub fn reset_potentials(&mut self) {
+        self.potential.iter_mut().for_each(|v| *v = 0);
+    }
+
+    fn write_out(&mut self, dst: Direction, plane: u16, spike: bool) -> Result<()> {
+        let idx = self.reg_index(dst, plane);
+        if self.outputs[idx].is_some() {
+            return Err(Error::InvalidSchedule {
+                cycle: 0,
+                reason: format!("spike output register contention at port {dst}, plane {plane}"),
+            });
+        }
+        self.outputs[idx] = Some(spike);
+        Ok(())
+    }
+
+    fn reg_index(&self, port: Direction, plane: u16) -> usize {
+        plane as usize * 4 + port.encode() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::PlaneSet;
+
+    fn local(vals: &[i32]) -> Vec<LocalSum> {
+        vals.iter().map(|&v| LocalSum::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn integrate_below_threshold_no_fire() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 100).unwrap();
+        r.integrate_value(0, 40);
+        assert!(!r.spike_buffer(0));
+        assert_eq!(r.potential(0), 40);
+    }
+
+    #[test]
+    fn fire_and_reset_by_subtraction() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 100).unwrap();
+        r.integrate_value(0, 150);
+        assert!(r.spike_buffer(0));
+        assert_eq!(r.potential(0), 50, "threshold subtracted, remainder kept");
+    }
+
+    #[test]
+    fn residual_potential_accumulates_to_next_spike() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 100).unwrap();
+        r.integrate_value(0, 60);
+        assert!(!r.spike_buffer(0));
+        r.integrate_value(0, 60);
+        assert!(r.spike_buffer(0), "60+60 > 100");
+        assert_eq!(r.potential(0), 20);
+    }
+
+    #[test]
+    fn negative_sums_inhibit() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 10).unwrap();
+        r.integrate_value(0, -5);
+        assert!(!r.spike_buffer(0));
+        assert_eq!(r.potential(0), -5);
+        r.integrate_value(0, 14);
+        assert!(!r.spike_buffer(0), "-5 + 14 = 9 <= 10");
+    }
+
+    #[test]
+    fn spike_op_from_local_ps() {
+        let mut r = SpikeRouter::new(2);
+        r.set_threshold(0, 5).unwrap();
+        r.set_threshold(1, 5).unwrap();
+        let mut eject: Vec<Option<NocSum>> = vec![None, None];
+        r.exec(
+            &SpikeRouterOp::Spike { from_ps_router: false, planes: PlaneSet::all() },
+            &local(&[10, 3]),
+            &mut eject,
+        )
+        .unwrap();
+        assert!(r.spike_buffer(0));
+        assert!(!r.spike_buffer(1));
+    }
+
+    #[test]
+    fn spike_op_from_ps_router_consumes_eject() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 5).unwrap();
+        let mut eject = vec![Some(NocSum::new(9).unwrap())];
+        r.exec(
+            &SpikeRouterOp::Spike { from_ps_router: true, planes: PlaneSet::all() },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert!(r.spike_buffer(0));
+        assert_eq!(eject[0], None, "ejected sum consumed");
+        // Running again with empty eject register fails.
+        let err = r
+            .exec(
+                &SpikeRouterOp::Spike { from_ps_router: true, planes: PlaneSet::all() },
+                &local(&[0]),
+                &mut eject,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidControl { .. }));
+    }
+
+    #[test]
+    fn send_injects_spike_buffer() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 1).unwrap();
+        r.integrate_value(0, 10);
+        assert!(r.spike_buffer(0));
+        let mut eject = vec![None];
+        r.exec(
+            &SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert_eq!(r.take_output(Direction::East, 0), Some(true));
+    }
+
+    #[test]
+    fn bypass_forward_only() {
+        let mut r = SpikeRouter::new(1);
+        r.put_input(Direction::West, 0, true).unwrap();
+        let mut eject = vec![None];
+        r.exec(
+            &SpikeRouterOp::Bypass {
+                src: Direction::West,
+                dst: Some(Direction::East),
+                deliver: false,
+                planes: PlaneSet::all(),
+            },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert_eq!(r.take_output(Direction::East, 0), Some(true));
+        assert!(r.drain_deliveries().is_empty());
+    }
+
+    #[test]
+    fn bypass_multicast_delivers_and_forwards() {
+        let mut r = SpikeRouter::new(1);
+        r.put_input(Direction::North, 0, true).unwrap();
+        let mut eject = vec![None];
+        r.exec(
+            &SpikeRouterOp::Bypass {
+                src: Direction::North,
+                dst: Some(Direction::South),
+                deliver: true,
+                planes: PlaneSet::all(),
+            },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert_eq!(r.take_output(Direction::South, 0), Some(true));
+        assert_eq!(r.drain_deliveries(), vec![(0, true)]);
+    }
+
+    #[test]
+    fn bypass_terminal_delivery() {
+        let mut r = SpikeRouter::new(1);
+        r.put_input(Direction::North, 0, false).unwrap();
+        let mut eject = vec![None];
+        r.exec(
+            &SpikeRouterOp::Bypass {
+                src: Direction::North,
+                dst: None,
+                deliver: true,
+                planes: PlaneSet::all(),
+            },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert!(!r.has_pending_output());
+        assert_eq!(r.drain_deliveries(), vec![(0, false)]);
+    }
+
+    #[test]
+    fn bypass_without_input_is_error() {
+        let mut r = SpikeRouter::new(1);
+        let mut eject = vec![None];
+        let err = r
+            .exec(
+                &SpikeRouterOp::Bypass {
+                    src: Direction::East,
+                    dst: Some(Direction::West),
+                    deliver: false,
+                    planes: PlaneSet::all(),
+                },
+                &local(&[0]),
+                &mut eject,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidControl { .. }));
+    }
+
+    #[test]
+    fn contention_detected() {
+        let mut r = SpikeRouter::new(1);
+        r.put_input(Direction::North, 0, true).unwrap();
+        assert!(r.put_input(Direction::North, 0, true).is_err());
+
+        let mut eject = vec![None];
+        r.exec(
+            &SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        let err = r
+            .exec(
+                &SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() },
+                &local(&[0]),
+                &mut eject,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSchedule { .. }));
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let mut r = SpikeRouter::new(1);
+        assert!(r.set_threshold(0, 0).is_err());
+        assert!(r.set_threshold(0, -5).is_err());
+        assert!(r.set_threshold(0, 1).is_ok());
+        assert_eq!(r.threshold(0), 1);
+    }
+
+    #[test]
+    fn resets() {
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 2).unwrap();
+        r.integrate_value(0, 3);
+        r.put_input(Direction::North, 0, true).unwrap();
+        r.reset_network_state();
+        assert!(!r.spike_buffer(0));
+        assert_eq!(r.potential(0), 1, "potential survives network reset");
+        r.reset_potentials();
+        assert_eq!(r.potential(0), 0);
+        assert_eq!(r.threshold(0), 2, "threshold is configuration, not state");
+    }
+
+    #[test]
+    fn exactly_at_threshold_does_not_fire() {
+        // The paper: "if this sum exceeds a threshold" — strict inequality.
+        let mut r = SpikeRouter::new(1);
+        r.set_threshold(0, 10).unwrap();
+        r.integrate_value(0, 10);
+        assert!(!r.spike_buffer(0));
+    }
+}

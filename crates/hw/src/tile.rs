@@ -1,0 +1,284 @@
+//! One Shenjing tile: neuron core + PS routers + spike routers.
+
+use shenjing_core::{ArchSpec, Result};
+
+use crate::neuron_core::NeuronCore;
+use crate::ops::AtomicOp;
+use crate::ps_router::PsRouter;
+use crate::spike_router::SpikeRouter;
+
+/// A tile wires one [`NeuronCore`] to its per-neuron [`PsRouter`] and
+/// [`SpikeRouter`] planes, and dispatches [`AtomicOp`]s to the right
+/// component.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, W5};
+/// use shenjing_hw::{Tile, AtomicOp, NeuronCoreOp};
+///
+/// let arch = ArchSpec::tiny();
+/// let mut tile = Tile::new(&arch);
+/// tile.core_mut().write_weight(0, 0, W5::new(2)?)?;
+/// tile.core_mut().set_axon(0, true)?;
+/// tile.exec(&AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))?;
+/// assert_eq!(tile.core().local_ps(0).value(), 2);
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tile {
+    core: NeuronCore,
+    ps: PsRouter,
+    spike: SpikeRouter,
+    /// Per-plane delivery remap: a spike ejected on plane `p` lands on
+    /// axon `axon_map[p]`. This models the "Combine and MUX logic" between
+    /// the spike routers and the SRAM axon lines in Fig. 2(a); the mapping
+    /// toolchain configures it so producer neuron planes line up with
+    /// consumer axon slots. Identity by default.
+    axon_map: Vec<u16>,
+}
+
+impl Tile {
+    /// Creates a tile for the given architecture.
+    pub fn new(arch: &ArchSpec) -> Tile {
+        Tile {
+            core: NeuronCore::new(arch),
+            ps: PsRouter::new(arch.core_neurons),
+            spike: SpikeRouter::new(arch.core_neurons),
+            axon_map: (0..arch.core_neurons).collect(),
+        }
+    }
+
+    /// Configures the delivery remap for one plane: spikes ejected on
+    /// `plane` will set axon `axon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`shenjing_core::Error::OutOfBounds`] when either index
+    /// exceeds the core dimensions.
+    pub fn set_axon_map(&mut self, plane: u16, axon: u16) -> Result<()> {
+        if plane >= self.spike.planes() || axon >= self.core.inputs() {
+            return Err(shenjing_core::Error::out_of_bounds(format!(
+                "axon map entry plane {plane} -> axon {axon}"
+            )));
+        }
+        self.axon_map[plane as usize] = axon;
+        Ok(())
+    }
+
+    /// The neuron core.
+    pub fn core(&self) -> &NeuronCore {
+        &self.core
+    }
+
+    /// Mutable neuron core (weight loading, axon injection).
+    pub fn core_mut(&mut self) -> &mut NeuronCore {
+        &mut self.core
+    }
+
+    /// The PS router block.
+    pub fn ps(&self) -> &PsRouter {
+        &self.ps
+    }
+
+    /// Mutable PS router block (fabric transfer).
+    pub fn ps_mut(&mut self) -> &mut PsRouter {
+        &mut self.ps
+    }
+
+    /// The spike router block.
+    pub fn spike(&self) -> &SpikeRouter {
+        &self.spike
+    }
+
+    /// Mutable spike router block (fabric transfer, threshold config).
+    pub fn spike_mut(&mut self) -> &mut SpikeRouter {
+        &mut self.spike
+    }
+
+    /// Executes one atomic operation on this tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the component's error: missing operands, register
+    /// contention, fixed-point overflow or invalid bank masks.
+    pub fn exec(&mut self, op: &AtomicOp) -> Result<()> {
+        match op {
+            AtomicOp::Core(core_op) => match core_op {
+                crate::ops::NeuronCoreOp::LdWt { .. } => {
+                    // Weight data comes from off-chip through the host
+                    // interface (`core_mut().load_weights`); the scheduled
+                    // LD_WT op models its timing and energy.
+                    Ok(())
+                }
+                crate::ops::NeuronCoreOp::Acc { banks } => self.core.accumulate(*banks),
+            },
+            AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all()),
+            AtomicOp::Spike(spike_op) => {
+                self.spike
+                    .exec(spike_op, self.core.local_ps_all(), self.ps.eject_mut())
+            }
+        }
+    }
+
+    /// Moves spikes delivered by the spike router into the core's axon
+    /// buffer through the configured [`axon map`](Tile::set_axon_map)
+    /// (identity by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`shenjing_core::Error::OutOfBounds`] when a delivered plane
+    /// exceeds the core's axon count (a mapper bug).
+    pub fn commit_deliveries(&mut self) -> Result<()> {
+        for (plane, spiking) in self.spike.drain_deliveries() {
+            if spiking {
+                let axon = self.axon_map[plane as usize];
+                self.core.set_axon(axon, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears crossbar/network state, keeping potentials and weights
+    /// (between timesteps of one frame).
+    pub fn reset_network_state(&mut self) {
+        self.ps.reset();
+        self.spike.reset_network_state();
+    }
+
+    /// Full frame reset: network state, membrane potentials and axons.
+    pub fn reset_frame(&mut self) {
+        self.reset_network_state();
+        self.spike.reset_potentials();
+        self.core.clear_axons();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+    use crate::plane::PlaneSet;
+    use shenjing_core::{Direction, W5};
+
+    fn tile() -> Tile {
+        Tile::new(&ArchSpec::tiny())
+    }
+
+    #[test]
+    fn acc_then_spike_from_local_ps() {
+        let mut t = tile();
+        t.core_mut().write_weight(0, 3, W5::new(9).unwrap()).unwrap();
+        t.core_mut().set_axon(0, true).unwrap();
+        t.spike_mut().set_threshold(3, 5).unwrap();
+        t.exec(&AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 })).unwrap();
+        t.exec(&AtomicOp::Spike(SpikeRouterOp::Spike {
+            from_ps_router: false,
+            planes: PlaneSet::all(),
+        }))
+        .unwrap();
+        assert!(t.spike().spike_buffer(3));
+    }
+
+    #[test]
+    fn full_weighted_sum_path_through_ps_eject() {
+        // Simulate a two-core fold landing at this tile: incoming PS from
+        // South, added to local PS, ejected to spiking logic, integrated.
+        let mut t = tile();
+        t.core_mut().write_weight(0, 0, W5::new(4).unwrap()).unwrap();
+        t.core_mut().set_axon(0, true).unwrap();
+        t.exec(&AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 })).unwrap();
+
+        t.ps_mut()
+            .put_input(Direction::South, 0, shenjing_core::NocSum::new(6).unwrap())
+            .unwrap();
+        let plane0 = PlaneSet::from_indices([0u16]);
+        t.exec(&AtomicOp::Ps(PsRouterOp::Sum {
+            src: Direction::South,
+            consec: false,
+            planes: plane0.clone(),
+        }))
+        .unwrap();
+        t.exec(&AtomicOp::Ps(PsRouterOp::Send {
+            source: PsSendSource::SumBuf,
+            dst: PsDst::SpikingLogic,
+            planes: plane0.clone(),
+        }))
+        .unwrap();
+
+        t.spike_mut().set_threshold(0, 9).unwrap();
+        t.exec(&AtomicOp::Spike(SpikeRouterOp::Spike {
+            from_ps_router: true,
+            planes: plane0,
+        }))
+        .unwrap();
+        // 4 (local) + 6 (incoming) = 10 > 9 → fire, residual 1.
+        assert!(t.spike().spike_buffer(0));
+        assert_eq!(t.spike().potential(0), 1);
+    }
+
+    #[test]
+    fn ld_wt_is_a_timing_noop() {
+        let mut t = tile();
+        t.exec(&AtomicOp::Core(NeuronCoreOp::LdWt { banks: 0b1111 })).unwrap();
+        assert!(!t.core().is_loaded(), "LD_WT op itself moves no host data");
+    }
+
+    #[test]
+    fn deliveries_set_axons() {
+        let mut t = tile();
+        t.spike_mut().put_input(Direction::North, 2, true).unwrap();
+        t.spike_mut().put_input(Direction::North, 3, false).unwrap();
+        t.exec(&AtomicOp::Spike(SpikeRouterOp::Bypass {
+            src: Direction::North,
+            dst: None,
+            deliver: true,
+            planes: PlaneSet::from_indices([2u16, 3]),
+        }))
+        .unwrap();
+        t.commit_deliveries().unwrap();
+        assert!(t.core().axon(2).unwrap());
+        assert!(!t.core().axon(3).unwrap(), "a 0-spike does not set the axon");
+    }
+
+    #[test]
+    fn axon_map_remaps_deliveries() {
+        let mut t = tile();
+        t.set_axon_map(2, 9).unwrap();
+        t.spike_mut().put_input(Direction::North, 2, true).unwrap();
+        t.exec(&AtomicOp::Spike(SpikeRouterOp::Bypass {
+            src: Direction::North,
+            dst: None,
+            deliver: true,
+            planes: PlaneSet::from_indices([2u16]),
+        }))
+        .unwrap();
+        t.commit_deliveries().unwrap();
+        assert!(!t.core().axon(2).unwrap(), "plane 2 remapped away from axon 2");
+        assert!(t.core().axon(9).unwrap());
+    }
+
+    #[test]
+    fn axon_map_bounds_checked() {
+        let mut t = tile();
+        assert!(t.set_axon_map(99, 0).is_err());
+        assert!(t.set_axon_map(0, 99).is_err());
+    }
+
+    #[test]
+    fn frame_reset_clears_axons_and_potentials() {
+        let mut t = tile();
+        t.core_mut().set_axon(1, true).unwrap();
+        t.spike_mut().integrate_value(0, 1);
+        t.reset_frame();
+        assert_eq!(t.core().active_axon_count(), 0);
+        assert_eq!(t.spike().potential(0), 0);
+    }
+
+    #[test]
+    fn network_reset_preserves_potentials() {
+        let mut t = tile();
+        t.spike_mut().set_threshold(0, 10).unwrap();
+        t.spike_mut().integrate_value(0, 4);
+        t.reset_network_state();
+        assert_eq!(t.spike().potential(0), 4);
+    }
+}

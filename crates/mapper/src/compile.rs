@@ -1,0 +1,801 @@
+//! Phase 2b: compilation into cycle-by-cycle atomic operations.
+//!
+//! For every timestep the hardware executes one static *block* of Table I
+//! operations:
+//!
+//! 1. each layer's cores run `ACC` (131 cycles) once all their axons have
+//!    been delivered;
+//! 2. each partial-sum fold group reduces per Algorithm 1 — member `i`
+//!    sends to member `i − f` for `f = 1, 2, 4, …`, the send lowered onto
+//!    an X-Y route as `SEND` + `BYPASS…` + `SUM` (first addition
+//!    `consec = 0`, later ones `consec = 1`);
+//! 3. the root ejects the full weighted sum into the IF logic (`SEND
+//!    sum_buf → spiking logic`, or directly `SPIKE $LOCAL` when the layer
+//!    fits one core — the paper's `sum_or_local` mux);
+//! 4. spikes are distributed to consumer cores over the spike NoCs as
+//!    multicast chains (`SEND`, forwarding `BYPASS`es, delivering
+//!    `BYPASS`es).
+//!
+//! Flow control is the paper's: there are no buffers, so when a link or
+//! router is busy in a cycle, the packet *waits* — the compiler retries
+//! the transfer one cycle later until the reservation table is free.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
+use shenjing_hw::{
+    AtomicOp, ConfigMemory, NeuronCoreOp, PlaneSet, PsDst, PsRouterOp, PsSendSource,
+    SpikeRouterOp,
+};
+use shenjing_snn::SnnNetwork;
+
+use crate::ir::{AxonSource, CoreRole, InputFrom, LogicalCoreId, LogicalMapping};
+use crate::place::Placement;
+
+/// Per-timestep operation counts, weighted by the number of neuron planes
+/// each op touches (Table II's energies are *per neuron*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// PS router `SUM` plane-ops.
+    pub ps_sum: u64,
+    /// PS router `SEND` plane-ops.
+    pub ps_send: u64,
+    /// PS router `BYPASS` plane-ops.
+    pub ps_bypass: u64,
+    /// Spike router `SPIKE` plane-ops.
+    pub spike_spike: u64,
+    /// Spike router `SEND` plane-ops.
+    pub spike_send: u64,
+    /// Spike router `BYPASS` plane-ops.
+    pub spike_bypass: u64,
+    /// Neuron core `ACC` ops (one per core per timestep).
+    pub core_acc: u64,
+    /// Neuron-level `ACC` work: the sum of used neurons across all cores
+    /// (Table II's ACC energy is per neuron).
+    pub core_acc_neurons: u64,
+}
+
+impl OpCounts {
+    /// Sum of all plane-ops.
+    pub fn total(&self) -> u64 {
+        self.ps_sum
+            + self.ps_send
+            + self.ps_bypass
+            + self.spike_spike
+            + self.spike_send
+            + self.spike_bypass
+            + self.core_acc
+    }
+}
+
+/// Compile-time statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Plane-op counts per timestep.
+    pub ops: OpCounts,
+    /// PS NoC hop count per timestep (plane-hops).
+    pub ps_hops: u64,
+    /// Spike NoC hop count per timestep (plane-hops).
+    pub spike_hops: u64,
+    /// Bits crossing chip boundaries per timestep (16 per PS plane-hop,
+    /// 1 per spike plane-hop).
+    pub interchip_bits: u64,
+    /// Cycles in one sequential timestep block.
+    pub block_cycles: u64,
+    /// Cycles per timestep when layers pipeline across timesteps:
+    /// `acc_cycles + max` per-layer NoC tail (the throughput model behind
+    /// Table IV's operating frequencies).
+    pub pipelined_cycles_per_timestep: u64,
+    /// `LD_WT` ops at initialization (one per core per SRAM bank-set).
+    pub ld_wt_ops: u64,
+}
+
+/// The compiled program: configuration memories plus everything the
+/// simulator needs to run frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// Per-tile, per-cycle operations for one timestep.
+    pub config: ConfigMemory,
+    /// Length of the timestep block in cycles.
+    pub block_cycles: u64,
+    /// External input index → all (tile, axon) slots it feeds (halo
+    /// duplication can fan one pixel out to several cores).
+    pub input_map: Vec<Vec<(CoreCoord, u16)>>,
+    /// Network output index → (tile, plane) where its spike fires.
+    pub output_map: Vec<(CoreCoord, u16)>,
+    /// Which logical core sits on which tile (for weight loading).
+    pub core_at: Vec<(CoreCoord, LogicalCoreId)>,
+    /// Per (tile, plane): IF threshold to configure.
+    pub thresholds: Vec<(CoreCoord, u16, i32)>,
+    /// Compile statistics.
+    pub stats: CompileStats,
+    /// Mesh height.
+    pub mesh_rows: u16,
+    /// Mesh width.
+    pub mesh_cols: u16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Component {
+    Ps,
+    Spike,
+}
+
+/// Reservation table implementing wait-on-busy flow control.
+#[derive(Default)]
+struct Reservations {
+    taken: HashMap<(CoreCoord, Component, u64), Vec<PlaneSet>>,
+}
+
+impl Reservations {
+    fn is_free(&self, coord: CoreCoord, comp: Component, cycle: u64, planes: &PlaneSet) -> bool {
+        self.taken
+            .get(&(coord, comp, cycle))
+            .map(|sets| sets.iter().all(|s| !s.intersects(planes)))
+            .unwrap_or(true)
+    }
+
+    fn reserve(&mut self, coord: CoreCoord, comp: Component, cycle: u64, planes: PlaneSet) {
+        self.taken.entry((coord, comp, cycle)).or_default().push(planes);
+    }
+}
+
+struct Compiler<'a> {
+    arch: &'a ArchSpec,
+    mapping: &'a LogicalMapping,
+    placement: &'a Placement,
+    config: ConfigMemory,
+    reservations: Reservations,
+    stats: CompileStats,
+    /// Earliest cycle each core may start its ACC (all axons delivered).
+    core_ready: HashMap<LogicalCoreId, u64>,
+    /// Last op cycle per layer (for the pipelined timing model).
+    layer_last_cycle: Vec<u64>,
+    layer_acc_start: Vec<u64>,
+}
+
+/// Compiles a placed logical mapping into a [`CompiledProgram`].
+///
+/// # Errors
+///
+/// Returns [`Error::MappingFailed`] / [`Error::InvalidSchedule`] when the
+/// schedule cannot be constructed (these indicate internal inconsistency;
+/// valid mappings always compile).
+pub fn compile(
+    arch: &ArchSpec,
+    _snn: &SnnNetwork,
+    mapping: &LogicalMapping,
+    placement: &Placement,
+) -> Result<CompiledProgram> {
+    let n_layers = mapping.layers.len();
+    let mut compiler = Compiler {
+        arch,
+        mapping,
+        placement,
+        config: ConfigMemory::new(),
+        reservations: Reservations::default(),
+        stats: CompileStats::default(),
+        core_ready: HashMap::new(),
+        layer_last_cycle: vec![0; n_layers],
+        layer_acc_start: vec![0; n_layers],
+    };
+
+    for l in 0..n_layers {
+        compiler.compile_layer(l)?;
+    }
+
+    let block_cycles = compiler.config.last_cycle().map(|c| c + 2).unwrap_or(0);
+    compiler.stats.block_cycles = block_cycles;
+    compiler.stats.ld_wt_ops = mapping.total_cores() as u64;
+    let noc_tail = (0..n_layers)
+        .map(|l| {
+            compiler.layer_last_cycle[l]
+                .saturating_sub(compiler.layer_acc_start[l] + u64::from(arch.acc_cycles))
+        })
+        .max()
+        .unwrap_or(0);
+    compiler.stats.pipelined_cycles_per_timestep = u64::from(arch.acc_cycles) + noc_tail + 1;
+
+    // Input/output/threshold metadata.
+    let mut input_map: Vec<Vec<(CoreCoord, u16)>> = Vec::new();
+    for (li, lm) in mapping.layers.iter().enumerate() {
+        let flat = &mapping.flat[lm.flat_index];
+        if flat.input_from == InputFrom::External {
+            input_map.resize(flat.input_len().max(input_map.len()), Vec::new());
+            for &cid in &lm.cores {
+                let core = mapping.core(cid);
+                if core.role != CoreRole::Main {
+                    continue;
+                }
+                for (axon, src) in core.axon_sources.iter().enumerate() {
+                    if let AxonSource::Input(i) = src {
+                        input_map[*i].push((placement.coord(cid), axon as u16));
+                    }
+                }
+            }
+        }
+        let _ = li;
+    }
+
+    let last = mapping.layers.last().ok_or_else(|| Error::mapping("no layers"))?;
+    let output_map: Vec<(CoreCoord, u16)> = last
+        .output_location
+        .iter()
+        .map(|(cid, plane)| (placement.coord(*cid), *plane))
+        .collect();
+
+    let mut thresholds = Vec::new();
+    for lm in &mapping.layers {
+        let flat = &mapping.flat[lm.flat_index];
+        for group in &lm.fold_groups {
+            let root = group.root();
+            let coord = placement.coord(root);
+            for (plane, out) in mapping.core(root).neuron_outputs.iter().enumerate() {
+                if out.is_some() {
+                    thresholds.push((coord, plane as u16, flat.threshold));
+                }
+            }
+        }
+    }
+
+    let core_at = (0..mapping.total_cores())
+        .map(|i| (placement.coord(LogicalCoreId(i)), LogicalCoreId(i)))
+        .collect();
+
+    compiler.config.validate()?;
+
+    Ok(CompiledProgram {
+        config: compiler.config,
+        block_cycles,
+        input_map,
+        output_map,
+        core_at,
+        thresholds,
+        stats: compiler.stats,
+        mesh_rows: placement.mesh_rows,
+        mesh_cols: placement.mesh_cols,
+    })
+}
+
+impl Compiler<'_> {
+    fn planes_of_group(&self, root: LogicalCoreId) -> PlaneSet {
+        PlaneSet::from_indices(
+            self.mapping
+                .core(root)
+                .neuron_outputs
+                .iter()
+                .enumerate()
+                .filter_map(|(p, o)| o.map(|_| p as u16)),
+        )
+    }
+
+    fn compile_layer(&mut self, l: usize) -> Result<()> {
+        let lm = &self.mapping.layers[l];
+        let acc_cycles = u64::from(self.arch.acc_cycles);
+
+        // ACC: all cores of this layer start once their axons are ready.
+        let acc_start = lm
+            .cores
+            .iter()
+            .map(|c| self.core_ready.get(c).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        self.layer_acc_start[l] = acc_start;
+        for &cid in &lm.cores {
+            let coord = self.placement.coord(cid);
+            self.config
+                .program_mut(coord)
+                .push(acc_start, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
+            self.stats.ops.core_acc += 1;
+            self.stats.ops.core_acc_neurons +=
+                self.mapping.core(cid).used_neurons() as u64;
+        }
+        let after_acc = acc_start + acc_cycles;
+        self.layer_last_cycle[l] = self.layer_last_cycle[l].max(after_acc);
+
+        // PS folds + SPIKE per group.
+        let groups = lm.fold_groups.clone();
+        let mut group_spike_cycle: Vec<u64> = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let planes = self.planes_of_group(group.root());
+            let plane_count = planes.count(self.arch.core_neurons) as u64;
+            let n = group.members.len();
+            let mut received = vec![0u32; n];
+            let mut ready = vec![after_acc; n];
+
+            let mut f = 1;
+            while f < n {
+                let mut i = f;
+                while i < n {
+                    let src = group.members[i];
+                    let dst = group.members[i - f];
+                    let source = if received[i] > 0 {
+                        PsSendSource::SumBuf
+                    } else {
+                        PsSendSource::LocalPs
+                    };
+                    let consec = received[i - f] > 0;
+                    let earliest = ready[i].max(ready[i - f]);
+                    let sum_cycle = self.schedule_ps_transfer(
+                        src, dst, source, consec, &planes, plane_count, earliest, l,
+                    )?;
+                    received[i - f] += 1;
+                    ready[i - f] = sum_cycle + 1;
+                    i += 2 * f;
+                }
+                f *= 2;
+            }
+
+            let root = group.root();
+            let root_coord = self.placement.coord(root);
+            let spike_cycle = if n > 1 {
+                // Eject the accumulated sum into the IF logic, then SPIKE.
+                let eject = self.next_free(root_coord, Component::Ps, ready[0], &planes);
+                self.push_ps(
+                    root_coord,
+                    eject,
+                    PsRouterOp::Send {
+                        source: PsSendSource::SumBuf,
+                        dst: PsDst::SpikingLogic,
+                        planes: planes.clone(),
+                    },
+                    plane_count,
+                    l,
+                );
+                let spike = self.next_free(root_coord, Component::Spike, eject + 1, &planes);
+                self.push_spike(
+                    root_coord,
+                    spike,
+                    SpikeRouterOp::Spike { from_ps_router: true, planes: planes.clone() },
+                    plane_count,
+                    l,
+                );
+                spike
+            } else {
+                let spike = self.next_free(root_coord, Component::Spike, after_acc, &planes);
+                self.push_spike(
+                    root_coord,
+                    spike,
+                    SpikeRouterOp::Spike { from_ps_router: false, planes: planes.clone() },
+                    plane_count,
+                    l,
+                );
+                spike
+            };
+            group_spike_cycle.push(spike_cycle);
+        }
+
+        // Spike distribution: links from this layer's roots to consumers.
+        // Group per root: plane → ordered destination list.
+        let links = self.links_from_layer(l);
+        let mut per_root: HashMap<LogicalCoreId, HashMap<u16, Vec<LogicalCoreId>>> =
+            HashMap::new();
+        for link in &links {
+            let dsts = per_root.entry(link.src).or_default().entry(link.src_plane).or_default();
+            if !dsts.contains(&link.dst) {
+                dsts.push(link.dst);
+            }
+        }
+
+        for (gi, group) in groups.iter().enumerate() {
+            let root = group.root();
+            let Some(plane_dsts) = per_root.get(&root) else { continue };
+            // Group planes by identical destination chains.
+            let mut chains: HashMap<Vec<LogicalCoreId>, Vec<u16>> = HashMap::new();
+            for (&plane, dsts) in plane_dsts {
+                let mut sorted = dsts.clone();
+                sorted.sort_by_key(|d| {
+                    let c = self.placement.coord(*d);
+                    let s = self.placement.coord(root);
+                    (s.manhattan_distance(c), c.row, c.col)
+                });
+                chains.entry(sorted).or_default().push(plane);
+            }
+            let mut chain_list: Vec<(Vec<LogicalCoreId>, Vec<u16>)> =
+                chains.into_iter().collect();
+            chain_list.sort(); // deterministic order
+            // Long multicast chains serialize delivery; split them into
+            // bounded sub-chains that traverse the mesh concurrently
+            // (each gets its own injection, the reservation table
+            // staggers them).
+            const MAX_CHAIN: usize = 8;
+            for (chain, planes_vec) in chain_list {
+                let planes = PlaneSet::from_indices(planes_vec.iter().copied());
+                let plane_count = planes_vec.len() as u64;
+                let earliest = group_spike_cycle[gi] + 1;
+                for sub in chain.chunks(MAX_CHAIN) {
+                    let deliveries = self.schedule_spike_multicast(
+                        root, sub, &planes, plane_count, earliest, l,
+                    )?;
+                    for (dst_core, cycle) in deliveries {
+                        let entry = self.core_ready.entry(dst_core).or_insert(0);
+                        *entry = (*entry).max(cycle + 1);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All spike links whose producer is layer `l`.
+    fn links_from_layer(&self, l: usize) -> Vec<crate::ir::SpikeLink> {
+        let owned: std::collections::HashSet<LogicalCoreId> =
+            self.mapping.layers[l].cores.iter().copied().collect();
+        self.mapping
+            .spike_links()
+            .into_iter()
+            .filter(|link| owned.contains(&link.src))
+            .collect()
+    }
+
+    fn next_free(
+        &self,
+        coord: CoreCoord,
+        comp: Component,
+        mut cycle: u64,
+        planes: &PlaneSet,
+    ) -> u64 {
+        while !self.reservations.is_free(coord, comp, cycle, planes) {
+            cycle += 1;
+        }
+        cycle
+    }
+
+    fn push_ps(
+        &mut self,
+        coord: CoreCoord,
+        cycle: u64,
+        op: PsRouterOp,
+        plane_count: u64,
+        layer: usize,
+    ) {
+        match &op {
+            PsRouterOp::Sum { .. } => self.stats.ops.ps_sum += plane_count,
+            PsRouterOp::Send { .. } => self.stats.ops.ps_send += plane_count,
+            PsRouterOp::Bypass { .. } => self.stats.ops.ps_bypass += plane_count,
+        }
+        self.reservations.reserve(coord, Component::Ps, cycle, op.planes().clone());
+        self.config.program_mut(coord).push(cycle, AtomicOp::Ps(op));
+        self.layer_last_cycle[layer] = self.layer_last_cycle[layer].max(cycle);
+    }
+
+    fn push_spike(
+        &mut self,
+        coord: CoreCoord,
+        cycle: u64,
+        op: SpikeRouterOp,
+        plane_count: u64,
+        layer: usize,
+    ) {
+        match &op {
+            SpikeRouterOp::Spike { .. } => self.stats.ops.spike_spike += plane_count,
+            SpikeRouterOp::Send { .. } => self.stats.ops.spike_send += plane_count,
+            SpikeRouterOp::Bypass { .. } => self.stats.ops.spike_bypass += plane_count,
+        }
+        self.reservations.reserve(coord, Component::Spike, cycle, op.planes().clone());
+        self.config.program_mut(coord).push(cycle, AtomicOp::Spike(op));
+        self.layer_last_cycle[layer] = self.layer_last_cycle[layer].max(cycle);
+    }
+
+    /// Lowers one fold send `src → dst` onto the mesh; returns the SUM
+    /// cycle at `dst`.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_ps_transfer(
+        &mut self,
+        src: LogicalCoreId,
+        dst: LogicalCoreId,
+        source: PsSendSource,
+        consec: bool,
+        planes: &PlaneSet,
+        plane_count: u64,
+        earliest: u64,
+        layer: usize,
+    ) -> Result<u64> {
+        let s = self.placement.coord(src);
+        let d = self.placement.coord(dst);
+        let path = s.xy_route(d);
+        let hops = path.len() as u64;
+        if hops == 0 {
+            return Err(Error::mapping(format!("fold send {src}->{dst} maps to one tile")));
+        }
+        let mut start = earliest;
+        'outer: loop {
+            // SEND at src, BYPASS at intermediates, SUM at dst.
+            if !self.reservations.is_free(s, Component::Ps, start, planes) {
+                start += 1;
+                continue;
+            }
+            for (i, tile) in path.iter().enumerate().take(path.len() - 1) {
+                if !self.reservations.is_free(*tile, Component::Ps, start + 1 + i as u64, planes) {
+                    start += 1;
+                    continue 'outer;
+                }
+            }
+            if !self.reservations.is_free(d, Component::Ps, start + hops, planes) {
+                start += 1;
+                continue;
+            }
+            break;
+        }
+
+        // Commit.
+        let first_dir = s.xy_first_hop(d).expect("distinct tiles");
+        self.push_ps(
+            s,
+            start,
+            PsRouterOp::Send { source, dst: PsDst::Port(first_dir), planes: planes.clone() },
+            plane_count,
+            layer,
+        );
+        self.count_hop(s, path[0], 16, plane_count);
+        let mut prev = s;
+        for (i, tile) in path.iter().enumerate().take(path.len() - 1) {
+            let next = path[i + 1];
+            let in_dir = prev.xy_first_hop(*tile).expect("adjacent").opposite();
+            let out_dir = tile.xy_first_hop(next).expect("adjacent");
+            self.push_ps(
+                *tile,
+                start + 1 + i as u64,
+                PsRouterOp::Bypass {
+                    src: in_dir,
+                    dst: PsDst::Port(out_dir),
+                    planes: planes.clone(),
+                },
+                plane_count,
+                layer,
+            );
+            self.count_hop(*tile, next, 16, plane_count);
+            prev = *tile;
+        }
+        let in_dir = prev.xy_first_hop(d).expect("adjacent").opposite();
+        let sum_cycle = start + hops;
+        self.push_ps(
+            d,
+            sum_cycle,
+            PsRouterOp::Sum { src: in_dir, consec, planes: planes.clone() },
+            plane_count,
+            layer,
+        );
+        Ok(sum_cycle)
+    }
+
+    /// Lowers a multicast spike chain; returns `(consumer core, delivery
+    /// cycle)` per destination.
+    fn schedule_spike_multicast(
+        &mut self,
+        src: LogicalCoreId,
+        chain: &[LogicalCoreId],
+        planes: &PlaneSet,
+        plane_count: u64,
+        earliest: u64,
+        layer: usize,
+    ) -> Result<Vec<(LogicalCoreId, u64)>> {
+        // Build the full tile path: src → chain[0] → chain[1] → ...
+        // Record at which path offset each destination sits.
+        let mut tiles: Vec<CoreCoord> = Vec::new();
+        let mut dst_offsets: Vec<(LogicalCoreId, usize)> = Vec::new();
+        let mut cur = self.placement.coord(src);
+        for &dst in chain {
+            let d = self.placement.coord(dst);
+            if d == cur {
+                return Err(Error::mapping(format!("spike chain revisits tile {d}")));
+            }
+            let seg = cur.xy_route(d);
+            tiles.extend(seg.iter().copied());
+            dst_offsets.push((dst, tiles.len() - 1));
+            cur = d;
+        }
+
+        let src_coord = self.placement.coord(src);
+        let mut start = earliest;
+        'outer: loop {
+            if !self.reservations.is_free(src_coord, Component::Spike, start, planes) {
+                start += 1;
+                continue;
+            }
+            for (i, tile) in tiles.iter().enumerate() {
+                if !self
+                    .reservations
+                    .is_free(*tile, Component::Spike, start + 1 + i as u64, planes)
+                {
+                    start += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+
+        // SEND at the source.
+        let first_dir = src_coord.xy_first_hop(tiles[0]).expect("distinct");
+        self.push_spike(
+            src_coord,
+            start,
+            SpikeRouterOp::Send { dst: first_dir, planes: planes.clone() },
+            plane_count,
+            layer,
+        );
+        self.count_hop(src_coord, tiles[0], 1, plane_count);
+
+        let mut deliveries = Vec::new();
+        let mut prev = src_coord;
+        for (i, tile) in tiles.iter().enumerate() {
+            let cycle = start + 1 + i as u64;
+            let in_dir = prev.xy_first_hop(*tile).expect("adjacent").opposite();
+            let is_dst = dst_offsets.iter().find(|(_, off)| *off == i).map(|(d, _)| *d);
+            let next = tiles.get(i + 1);
+            let out_dir = next.map(|n| tile.xy_first_hop(*n).expect("adjacent"));
+            match (is_dst, out_dir) {
+                (Some(dst), Some(dir)) => {
+                    // Deliver and forward: hardware multicast.
+                    self.push_spike(
+                        *tile,
+                        cycle,
+                        SpikeRouterOp::Bypass {
+                            src: in_dir,
+                            dst: Some(dir),
+                            deliver: true,
+                            planes: planes.clone(),
+                        },
+                        plane_count,
+                        layer,
+                    );
+                    self.count_hop(*tile, *next.expect("forwarding"), 1, plane_count);
+                    deliveries.push((dst, cycle));
+                }
+                (Some(dst), None) => {
+                    self.push_spike(
+                        *tile,
+                        cycle,
+                        SpikeRouterOp::Bypass {
+                            src: in_dir,
+                            dst: None,
+                            deliver: true,
+                            planes: planes.clone(),
+                        },
+                        plane_count,
+                        layer,
+                    );
+                    deliveries.push((dst, cycle));
+                }
+                (None, Some(dir)) => {
+                    self.push_spike(
+                        *tile,
+                        cycle,
+                        SpikeRouterOp::Bypass {
+                            src: in_dir,
+                            dst: Some(dir),
+                            deliver: false,
+                            planes: planes.clone(),
+                        },
+                        plane_count,
+                        layer,
+                    );
+                    self.count_hop(*tile, *next.expect("forwarding"), 1, plane_count);
+                }
+                (None, None) => {
+                    return Err(Error::mapping(
+                        "spike chain ends at a tile that is not a destination",
+                    ));
+                }
+            }
+            prev = *tile;
+        }
+        Ok(deliveries)
+    }
+
+    fn count_hop(&mut self, from: CoreCoord, to: CoreCoord, bits: u64, plane_count: u64) {
+        if bits == 16 {
+            self.stats.ps_hops += plane_count;
+        } else {
+            self.stats.spike_hops += plane_count;
+        }
+        if self.placement.crosses_chip(from, to) {
+            self.stats.interchip_bits += bits * plane_count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::map_logical;
+    use crate::place::{place, PlacementStrategy};
+    use shenjing_core::W5;
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    fn compile_net(snn: &SnnNetwork, arch: &ArchSpec) -> CompiledProgram {
+        let mapping = map_logical(arch, snn).unwrap();
+        let placement = place(arch, &mapping, PlacementStrategy::Greedy).unwrap();
+        compile(arch, snn, &mapping, &placement).unwrap()
+    }
+
+    fn two_layer_net() -> SnnNetwork {
+        let l1 = SpikingDense::new(vec![w(1); 40 * 20], 40, 20, 10, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(1); 20 * 4], 20, 4, 10, 1.0).unwrap();
+        SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap()
+    }
+
+    #[test]
+    fn compiles_and_validates() {
+        let arch = ArchSpec::tiny();
+        let program = compile_net(&two_layer_net(), &arch);
+        assert!(program.block_cycles > u64::from(arch.acc_cycles));
+        program.config.validate().unwrap();
+        assert!(program.stats.ops.core_acc > 0);
+        assert!(program.stats.ops.spike_spike > 0);
+    }
+
+    #[test]
+    fn fold_ops_present_for_multirow_layer() {
+        // 40 inputs on a 16-input arch → 3 rows → PS fold needed.
+        let arch = ArchSpec::tiny();
+        let program = compile_net(&two_layer_net(), &arch);
+        assert!(program.stats.ops.ps_sum > 0, "fold emits SUMs");
+        assert!(program.stats.ops.ps_send > 0, "fold emits SENDs");
+    }
+
+    #[test]
+    fn single_core_layer_uses_local_mux() {
+        // One-core network: no PS ops at all, SPIKE reads the local PS.
+        let arch = ArchSpec::tiny();
+        let l = SpikingDense::new(vec![w(1); 8 * 4], 8, 4, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(l)]).unwrap();
+        let program = compile_net(&snn, &arch);
+        assert_eq!(program.stats.ops.ps_sum, 0);
+        assert_eq!(program.stats.ops.ps_send, 0);
+        assert_eq!(program.stats.ops.spike_spike, 4, "one per used plane");
+    }
+
+    #[test]
+    fn input_and_output_maps() {
+        let arch = ArchSpec::tiny();
+        let program = compile_net(&two_layer_net(), &arch);
+        assert_eq!(program.input_map.len(), 40);
+        assert!(program.input_map.iter().all(|slots| !slots.is_empty()));
+        assert_eq!(program.output_map.len(), 4);
+    }
+
+    #[test]
+    fn thresholds_only_on_roots() {
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_net();
+        let mapping = map_logical(&arch, &snn).unwrap();
+        let placement = place(&arch, &mapping, PlacementStrategy::Greedy).unwrap();
+        let program = compile(&arch, &snn, &mapping, &placement).unwrap();
+        let root_coords: std::collections::HashSet<_> = mapping
+            .layers
+            .iter()
+            .flat_map(|lm| lm.fold_groups.iter().map(|g| placement.coord(g.root())))
+            .collect();
+        for (coord, _, _) in &program.thresholds {
+            assert!(root_coords.contains(coord));
+        }
+    }
+
+    #[test]
+    fn pipelined_cycles_close_to_paper_anatomy() {
+        // For the MNIST MLP the paper's timestep is ~150 cycles at 120 kHz
+        // / 40 fps / T=20: ACC (131) plus a short NoC tail.
+        let arch = ArchSpec::paper();
+        let l1 = SpikingDense::new(vec![w(1); 784 * 512], 784, 512, 100, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(1); 512 * 10], 512, 10, 100, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap();
+        let program = compile_net(&snn, &arch);
+        let cpt = program.stats.pipelined_cycles_per_timestep;
+        assert!(cpt >= 131, "at least the ACC latency, got {cpt}");
+        assert!(cpt <= 160, "NoC tail should be short, got {cpt}");
+    }
+
+    #[test]
+    fn ld_wt_counted_per_core() {
+        let arch = ArchSpec::tiny();
+        let program = compile_net(&two_layer_net(), &arch);
+        let expected_cores = program.core_at.len() as u64;
+        assert_eq!(program.stats.ld_wt_ops, expected_cores);
+    }
+}

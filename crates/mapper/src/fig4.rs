@@ -1,0 +1,143 @@
+//! Reproduction of the paper's Fig. 4 region accounting.
+//!
+//! Fig. 4 maps a 3×3 convolution over a 28×28 image onto four 256-neuron
+//! cores of 14×14 pixels each. Counting over each core's extended
+//! (halo-overlapped) region, its 256 neurons split into:
+//!
+//! * a `12×12` **complete** interior (green in the figure) whose sums need
+//!   no neighbor data,
+//! * four `2×12` **boundary** slices completed by exchanging partial sums
+//!   with one neighbor (A + B in the figure),
+//! * four `2×2` **corner** slices needing partials from all three
+//!   diagonal/adjacent neighbors (C + D + E added to F).
+//!
+//! The accounting is exact: `144 + 4·24 + 4·4 = 256`, the full neuron
+//! complement of a core — which is why the figure's four cores suffice.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{Error, Result};
+
+/// Neuron-region breakdown of one conv-mapped core (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig4Regions {
+    /// Core patch side length (14 in the figure).
+    pub patch_side: usize,
+    /// Boundary depth `k − 1` (2 for the 3×3 kernel).
+    pub boundary: usize,
+    /// Side of the complete interior square.
+    pub interior_side: usize,
+    /// Neurons holding complete sums (`interior_side²`).
+    pub complete: usize,
+    /// Neurons in each of the four boundary slices
+    /// (`boundary × interior_side`).
+    pub edge_slice: usize,
+    /// Neurons in each of the four corner slices (`boundary²`).
+    pub corner_slice: usize,
+}
+
+impl Fig4Regions {
+    /// Analyzes a `patch_side × patch_side` core patch under a
+    /// `kernel × kernel` convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the kernel is even, zero, or
+    /// leaves no interior.
+    pub fn analyze(patch_side: usize, kernel: usize) -> Result<Fig4Regions> {
+        if kernel == 0 || kernel.is_multiple_of(2) {
+            return Err(Error::config("kernel must be odd and positive"));
+        }
+        let boundary = kernel - 1;
+        let interior_side = patch_side
+            .checked_sub(boundary)
+            .filter(|s| *s > 0)
+            .ok_or_else(|| {
+                Error::config(format!(
+                    "patch {patch_side} too small for kernel {kernel} boundary accounting"
+                ))
+            })?;
+        Ok(Fig4Regions {
+            patch_side,
+            boundary,
+            interior_side,
+            complete: interior_side * interior_side,
+            edge_slice: boundary * interior_side,
+            corner_slice: boundary * boundary,
+        })
+    }
+
+    /// Total neurons the breakdown occupies:
+    /// `complete + 4·edge + 4·corner`.
+    pub fn total_neurons(&self) -> usize {
+        self.complete + 4 * self.edge_slice + 4 * self.corner_slice
+    }
+
+    /// Number of partial-sum NoC exchanges per core: one per edge slice
+    /// (a single neighbor each) plus three per corner slice (the paper's
+    /// C, D, E partials converging on F).
+    pub fn ps_exchanges(&self) -> usize {
+        4 + 4 * 3
+    }
+}
+
+impl std::fmt::Display for Fig4Regions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{p}x{p} patch: {i}x{i} complete ({c}), 4 edges of {b}x{i} ({e} each), \
+             4 corners of {b}x{b} ({k} each) = {t} neurons",
+            p = self.patch_side,
+            i = self.interior_side,
+            c = self.complete,
+            b = self.boundary,
+            e = self.edge_slice,
+            k = self.corner_slice,
+            t = self.total_neurons()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_numbers() {
+        // 28x28 image on 4 cores of 14x14, 3x3 kernel.
+        let r = Fig4Regions::analyze(14, 3).unwrap();
+        assert_eq!(r.interior_side, 12);
+        assert_eq!(r.complete, 144, "12x12 complete sums");
+        assert_eq!(r.edge_slice, 24, "2x12 boundary slices");
+        assert_eq!(r.corner_slice, 4, "2x2 corner slices");
+        assert_eq!(r.total_neurons(), 256, "exactly one core's neurons");
+    }
+
+    #[test]
+    fn display_mentions_the_key_numbers() {
+        let r = Fig4Regions::analyze(14, 3).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("12x12"));
+        assert!(s.contains("256"));
+    }
+
+    #[test]
+    fn exchanges_counted() {
+        let r = Fig4Regions::analyze(14, 3).unwrap();
+        assert_eq!(r.ps_exchanges(), 16);
+    }
+
+    #[test]
+    fn rejects_bad_kernels() {
+        assert!(Fig4Regions::analyze(14, 2).is_err());
+        assert!(Fig4Regions::analyze(14, 0).is_err());
+        assert!(Fig4Regions::analyze(2, 3).is_err(), "no interior left");
+    }
+
+    #[test]
+    fn five_by_five_kernel() {
+        let r = Fig4Regions::analyze(12, 5).unwrap();
+        assert_eq!(r.boundary, 4);
+        assert_eq!(r.interior_side, 8);
+        assert_eq!(r.total_neurons(), 64 + 4 * 32 + 4 * 16);
+    }
+}

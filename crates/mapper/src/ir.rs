@@ -1,0 +1,613 @@
+//! The mapper's intermediate representation.
+//!
+//! The toolchain first *flattens* the abstract SNN (residual bodies become
+//! ordinary layers; the `diag(λ)` shortcut becomes an attribute of the
+//! residual tail), then splits each flat layer into [`LogicalCore`]s
+//! grouped into partial-sum [`FoldGroup`]s. Weights are never materialized
+//! in the IR — each core stores *which* layer input feeds each axon and
+//! *which* layer output each neuron computes a partial of, and the weight
+//! between an (axon, neuron) pair is computed on demand from the flat
+//! layer's weight function. This keeps multi-thousand-core mappings (the
+//! CIFAR-10 ResNet needs ~6k cores) cheap to build and inspect.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{ArchSpec, Error, Result, W5};
+use shenjing_snn::{SnnLayer, SnnNetwork};
+
+/// Index of a logical core within a [`LogicalMapping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LogicalCoreId(pub usize);
+
+impl std::fmt::Display for LogicalCoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Where a flat layer's input spikes come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputFrom {
+    /// The network's external input (rate-coded pixels).
+    External,
+    /// The outputs of another flat layer.
+    Layer(usize),
+}
+
+/// What feeds one axon of a logical core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AxonSource {
+    /// The axon is not connected.
+    Unused,
+    /// Input `index` of the source identified by the owning core's layer
+    /// (external pixel index, or the producing layer's output index).
+    Input(usize),
+}
+
+/// Distinguishes ordinary cores from shortcut-normalization cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreRole {
+    /// A core holding a slice of the layer's own weights.
+    Main,
+    /// A core of the `diag(λ)` shortcut normalization layer: its axons
+    /// carry the residual *block input* spikes and its partial sums fold
+    /// into the residual tail's outputs over the PS NoC.
+    Shortcut,
+}
+
+/// The geometry and weight function of one flattened layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FlatLayerKind {
+    /// Fully connected.
+    Dense {
+        /// Input dimension.
+        in_dim: usize,
+        /// Output dimension.
+        out_dim: usize,
+        /// Weights, `[input][output]` row-major.
+        weights: Vec<W5>,
+    },
+    /// Same-padded stride-1 convolution over an `h × w × in_ch` spike map.
+    Conv {
+        /// Kernel side.
+        kernel: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Weights, `[ky][kx][ci][co]` row-major.
+        weights: Vec<W5>,
+    },
+    /// Average pooling with a uniform weight.
+    Pool {
+        /// Window side (also the stride).
+        size: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Channels.
+        ch: usize,
+        /// The uniform pooling weight.
+        weight: W5,
+    },
+}
+
+/// Residual shortcut attribute of a flat layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShortcutSpec {
+    /// The `diag(λ)` weight.
+    pub weight: W5,
+    /// The flat layer whose outputs are the residual block's input (the
+    /// shortcut source). `None` means the block input is the network
+    /// input.
+    pub input_from: InputFrom,
+}
+
+/// One flattened layer: geometry, weights, threshold, connectivity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatLayer {
+    /// Geometry and weights.
+    pub kind: FlatLayerKind,
+    /// Integer firing threshold.
+    pub threshold: i32,
+    /// Where this layer's input spikes come from.
+    pub input_from: InputFrom,
+    /// Present when this layer is a residual tail.
+    pub shortcut: Option<ShortcutSpec>,
+}
+
+impl FlatLayer {
+    /// Number of input lines.
+    pub fn input_len(&self) -> usize {
+        match &self.kind {
+            FlatLayerKind::Dense { in_dim, .. } => *in_dim,
+            FlatLayerKind::Conv { h, w, in_ch, .. } => h * w * in_ch,
+            FlatLayerKind::Pool { h, w, ch, .. } => h * w * ch,
+        }
+    }
+
+    /// Number of output lines.
+    pub fn output_len(&self) -> usize {
+        match &self.kind {
+            FlatLayerKind::Dense { out_dim, .. } => *out_dim,
+            FlatLayerKind::Conv { h, w, out_ch, .. } => h * w * out_ch,
+            FlatLayerKind::Pool { size, h, w, ch, .. } => (h / size) * (w / size) * ch,
+        }
+    }
+
+    /// The weight between layer input `input` and layer output `output`
+    /// (zero when they are not connected).
+    pub fn weight_between(&self, input: usize, output: usize) -> W5 {
+        match &self.kind {
+            FlatLayerKind::Dense { out_dim, weights, .. } => weights[input * out_dim + output],
+            FlatLayerKind::Conv { kernel, w, in_ch, out_ch, weights, .. } => {
+                let pad = kernel / 2;
+                let (iy, ix, ci) = (input / (w * in_ch), (input / in_ch) % w, input % in_ch);
+                let (oy, ox, co) = (output / (w * out_ch), (output / out_ch) % w, output % out_ch);
+                let ky = iy as isize - oy as isize + pad as isize;
+                let kx = ix as isize - ox as isize + pad as isize;
+                if ky < 0 || kx < 0 || ky >= *kernel as isize || kx >= *kernel as isize {
+                    return W5::ZERO;
+                }
+                weights[((ky as usize * kernel + kx as usize) * in_ch + ci) * out_ch + co]
+            }
+            FlatLayerKind::Pool { size, w, ch, weight, .. } => {
+                let ow = w / size;
+                let (iy, ix, ci) = (input / (w * ch), (input / ch) % w, input % ch);
+                let (oy, ox, co) = (output / (ow * ch), (output / ch) % ow, output % ch);
+                if ci == co && iy / size == oy && ix / size == ox {
+                    *weight
+                } else {
+                    W5::ZERO
+                }
+            }
+        }
+    }
+
+    /// Short description for reports.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            FlatLayerKind::Dense { in_dim, out_dim, .. } => format!("FC({in_dim},{out_dim})"),
+            FlatLayerKind::Conv { kernel, h, w, in_ch, out_ch, .. } => {
+                format!("Conv({kernel}x{kernel},{in_ch}->{out_ch})@{h}x{w}")
+            }
+            FlatLayerKind::Pool { size, h, w, ch, .. } => {
+                format!("Pool({size}x{size},{ch})@{h}x{w}")
+            }
+        }
+    }
+}
+
+/// One logical core: a capacity-bounded slice of a layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogicalCore {
+    /// The core's id (its index in [`LogicalMapping::cores`]).
+    pub id: LogicalCoreId,
+    /// The flat layer this core belongs to.
+    pub layer: usize,
+    /// Whether this is a main or a shortcut-normalization core.
+    pub role: CoreRole,
+    /// Per axon: which layer input (or shortcut input) feeds it.
+    pub axon_sources: Vec<AxonSource>,
+    /// Per neuron: which layer output it computes a partial sum of.
+    pub neuron_outputs: Vec<Option<usize>>,
+}
+
+impl LogicalCore {
+    /// Number of connected axons.
+    pub fn used_axons(&self) -> usize {
+        self.axon_sources.iter().filter(|s| !matches!(s, AxonSource::Unused)).count()
+    }
+
+    /// Number of assigned neurons.
+    pub fn used_neurons(&self) -> usize {
+        self.neuron_outputs.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Materializes this core's `inputs × neurons` weight block from the
+    /// flat layer (or the shortcut diagonal for [`CoreRole::Shortcut`]).
+    pub fn materialize_weights(&self, flat: &FlatLayer) -> Vec<W5> {
+        let n_in = self.axon_sources.len();
+        let n_out = self.neuron_outputs.len();
+        let mut block = vec![W5::ZERO; n_in * n_out];
+        for (a, src) in self.axon_sources.iter().enumerate() {
+            let AxonSource::Input(input) = src else { continue };
+            for (n, out) in self.neuron_outputs.iter().enumerate() {
+                let Some(output) = out else { continue };
+                let w = match self.role {
+                    CoreRole::Main => flat.weight_between(*input, *output),
+                    CoreRole::Shortcut => {
+                        let sc = flat
+                            .shortcut
+                            .expect("shortcut core belongs to a layer with a shortcut");
+                        // diag(λ): input index i feeds output index i of the
+                        // tail layer (identity geometry).
+                        if *input == *output {
+                            sc.weight
+                        } else {
+                            W5::ZERO
+                        }
+                    }
+                };
+                block[a * n_out + n] = w;
+            }
+        }
+        block
+    }
+}
+
+/// A partial-sum reduction group: cores whose local partial sums fold into
+/// the root (`members[0]`), where the IF logic fires.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldGroup {
+    /// Member cores; `members[0]` is the root.
+    pub members: Vec<LogicalCoreId>,
+    /// The flat layer this group computes outputs for.
+    pub layer: usize,
+}
+
+impl FoldGroup {
+    /// The root core (where the full weighted sum forms and spikes fire).
+    pub fn root(&self) -> LogicalCoreId {
+        self.members[0]
+    }
+
+    /// Non-root members, in fold order.
+    pub fn leaves(&self) -> &[LogicalCoreId] {
+        &self.members[1..]
+    }
+}
+
+/// The mapping of one flat layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Index into [`LogicalMapping::flat`].
+    pub flat_index: usize,
+    /// All cores of this layer (including shortcut-normalization cores).
+    pub cores: Vec<LogicalCoreId>,
+    /// The PS fold groups.
+    pub fold_groups: Vec<FoldGroup>,
+    /// Per layer output index: the root core and neuron plane where its
+    /// full weighted sum forms and its spike fires.
+    pub output_location: Vec<(LogicalCoreId, u16)>,
+}
+
+/// One logical spike connection: plane `src_plane` of `src` core must
+/// deliver to axon `dst_axon` of `dst` core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeLink {
+    /// Producing (root) core.
+    pub src: LogicalCoreId,
+    /// Producing neuron plane.
+    pub src_plane: u16,
+    /// Consuming core.
+    pub dst: LogicalCoreId,
+    /// Consuming axon slot.
+    pub dst_axon: u16,
+}
+
+/// The complete phase-1 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogicalMapping {
+    /// Target architecture.
+    pub arch: ArchSpec,
+    /// The flattened layers (weight functions).
+    pub flat: Vec<FlatLayer>,
+    /// All logical cores, indexed by [`LogicalCoreId`].
+    pub cores: Vec<LogicalCore>,
+    /// Per flat layer: its mapping.
+    pub layers: Vec<LayerMapping>,
+}
+
+impl LogicalMapping {
+    /// Total logical cores — the paper's "#Cores" row in Table IV.
+    pub fn total_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of chips needed at `cores_per_chip` capacity (area bound
+    /// only; the placed chip count can be higher due to fragmentation).
+    pub fn chips_needed(&self) -> usize {
+        self.total_cores().div_ceil(self.arch.cores_per_chip() as usize)
+    }
+
+    /// The core record for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling id (an internal invariant violation).
+    pub fn core(&self, id: LogicalCoreId) -> &LogicalCore {
+        &self.cores[id.0]
+    }
+
+    /// Derives every logical spike connection between layers (and from
+    /// shortcut sources into normalization cores). External inputs are not
+    /// links — they are injected by the host.
+    pub fn spike_links(&self) -> Vec<SpikeLink> {
+        let mut links = Vec::new();
+        for layer_mapping in &self.layers {
+            let flat = &self.flat[layer_mapping.flat_index];
+            for &core_id in &layer_mapping.cores {
+                let core = self.core(core_id);
+                let from = match core.role {
+                    CoreRole::Main => flat.input_from,
+                    CoreRole::Shortcut => {
+                        flat.shortcut.expect("shortcut core implies shortcut spec").input_from
+                    }
+                };
+                let InputFrom::Layer(src_layer) = from else { continue };
+                let src_locations = &self.layers[src_layer].output_location;
+                for (axon, source) in core.axon_sources.iter().enumerate() {
+                    let AxonSource::Input(input) = source else { continue };
+                    let (src_core, src_plane) = src_locations[*input];
+                    links.push(SpikeLink {
+                        src: src_core,
+                        src_plane,
+                        dst: core_id,
+                        dst_axon: axon as u16,
+                    });
+                }
+            }
+        }
+        links
+    }
+
+    /// Checks structural invariants: every output has exactly one
+    /// location, fold group members share neuron layouts, capacities are
+    /// respected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MappingFailed`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        for (li, lm) in self.layers.iter().enumerate() {
+            let flat = &self.flat[lm.flat_index];
+            if lm.output_location.len() != flat.output_len() {
+                return Err(Error::mapping(format!(
+                    "layer {li}: {} output locations for {} outputs",
+                    lm.output_location.len(),
+                    flat.output_len()
+                )));
+            }
+            for group in &lm.fold_groups {
+                if group.members.is_empty() {
+                    return Err(Error::mapping(format!("layer {li}: empty fold group")));
+                }
+                let root_layout = &self.core(group.root()).neuron_outputs;
+                for &m in group.leaves() {
+                    if &self.core(m).neuron_outputs != root_layout {
+                        return Err(Error::mapping(format!(
+                            "layer {li}: fold group member {m} has a different neuron layout \
+                             than root {}",
+                            group.root()
+                        )));
+                    }
+                }
+            }
+            for &cid in &lm.cores {
+                let core = self.core(cid);
+                if core.axon_sources.len() != self.arch.core_inputs as usize
+                    || core.neuron_outputs.len() != self.arch.core_neurons as usize
+                {
+                    return Err(Error::mapping(format!(
+                        "core {cid}: wrong axon/neuron vector lengths"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flattens an abstract SNN into [`FlatLayer`]s (residual bodies inlined,
+/// shortcuts attached to their tails).
+///
+/// # Errors
+///
+/// Returns [`Error::MappingFailed`] for residual structures the hardware
+/// mapping does not support (nested residual blocks).
+pub fn flatten(snn: &SnnNetwork) -> Result<Vec<FlatLayer>> {
+    let mut flat: Vec<FlatLayer> = Vec::new();
+    let mut prev: InputFrom = InputFrom::External;
+    for layer in snn.layers() {
+        prev = flatten_layer(layer, prev, &mut flat)?;
+    }
+    Ok(flat)
+}
+
+fn flatten_layer(
+    layer: &SnnLayer,
+    input_from: InputFrom,
+    flat: &mut Vec<FlatLayer>,
+) -> Result<InputFrom> {
+    match layer {
+        SnnLayer::Dense(d) => {
+            flat.push(FlatLayer {
+                kind: FlatLayerKind::Dense {
+                    in_dim: d.in_dim(),
+                    out_dim: d.out_dim(),
+                    weights: d.weights().to_vec(),
+                },
+                threshold: d.threshold(),
+                input_from,
+                shortcut: None,
+            });
+            Ok(InputFrom::Layer(flat.len() - 1))
+        }
+        SnnLayer::Conv(c) => {
+            flat.push(FlatLayer {
+                kind: FlatLayerKind::Conv {
+                    kernel: c.kernel(),
+                    h: c.height(),
+                    w: c.width(),
+                    in_ch: c.in_ch(),
+                    out_ch: c.out_ch(),
+                    weights: c.weights().to_vec(),
+                },
+                threshold: c.threshold(),
+                input_from,
+                // The shortcut (if any) is attached by the residual case
+                // below, which knows the block input.
+                shortcut: None,
+            });
+            Ok(InputFrom::Layer(flat.len() - 1))
+        }
+        SnnLayer::Pool(p) => {
+            flat.push(FlatLayer {
+                kind: FlatLayerKind::Pool {
+                    size: p.size(),
+                    h: p.height(),
+                    w: p.width(),
+                    ch: p.channels(),
+                    weight: p.weight(),
+                },
+                threshold: p.threshold(),
+                input_from,
+                shortcut: None,
+            });
+            Ok(InputFrom::Layer(flat.len() - 1))
+        }
+        SnnLayer::Residual(res) => {
+            let block_input = input_from;
+            let mut cur = input_from;
+            let n = res.body().len();
+            for (i, inner) in res.body().iter().enumerate() {
+                if matches!(inner, SnnLayer::Residual(_)) {
+                    return Err(Error::mapping("nested residual blocks are not supported"));
+                }
+                cur = flatten_layer(inner, cur, flat)?;
+                if i == n - 1 {
+                    // Attach the shortcut to the tail we just flattened.
+                    let SnnLayer::Conv(tail) = inner else {
+                        return Err(Error::mapping("residual tail must be a convolution"));
+                    };
+                    let weight = tail.shortcut_weight().ok_or_else(|| {
+                        Error::mapping("residual tail lacks a shortcut weight")
+                    })?;
+                    let idx = flat.len() - 1;
+                    flat[idx].shortcut = Some(ShortcutSpec { weight, input_from: block_input });
+                }
+            }
+            Ok(cur)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    #[test]
+    fn dense_weight_between() {
+        let flat = FlatLayer {
+            kind: FlatLayerKind::Dense {
+                in_dim: 2,
+                out_dim: 3,
+                weights: vec![w(1), w(2), w(3), w(4), w(5), w(6)],
+            },
+            threshold: 1,
+            input_from: InputFrom::External,
+            shortcut: None,
+        };
+        assert_eq!(flat.weight_between(0, 0), w(1));
+        assert_eq!(flat.weight_between(1, 2), w(6));
+        assert_eq!(flat.input_len(), 2);
+        assert_eq!(flat.output_len(), 3);
+    }
+
+    #[test]
+    fn conv_weight_between_matches_kernel_support() {
+        // 3x3 kernel, 1 channel in/out, on a 4x4 map.
+        let mut weights = vec![W5::ZERO; 9];
+        weights[4] = w(7); // center tap
+        weights[0] = w(2); // ky=0, kx=0 (input one up-left of output)
+        let flat = FlatLayer {
+            kind: FlatLayerKind::Conv { kernel: 3, h: 4, w: 4, in_ch: 1, out_ch: 1, weights },
+            threshold: 1,
+            input_from: InputFrom::External,
+            shortcut: None,
+        };
+        let idx = |y: usize, x: usize| y * 4 + x;
+        // center: input == output position.
+        assert_eq!(flat.weight_between(idx(1, 1), idx(1, 1)), w(7));
+        // input (0,0) contributes to output (1,1) through kernel (0,0).
+        assert_eq!(flat.weight_between(idx(0, 0), idx(1, 1)), w(2));
+        // out of kernel support → 0.
+        assert_eq!(flat.weight_between(idx(0, 0), idx(3, 3)), W5::ZERO);
+    }
+
+    #[test]
+    fn pool_weight_between() {
+        let flat = FlatLayer {
+            kind: FlatLayerKind::Pool { size: 2, h: 4, w: 4, ch: 2, weight: w(5) },
+            threshold: 1,
+            input_from: InputFrom::External,
+            shortcut: None,
+        };
+        // input (0,0,ch0) → output (0,0,ch0): connected.
+        assert_eq!(flat.weight_between(0, 0), w(5));
+        // channel mismatch → 0.
+        assert_eq!(flat.weight_between(0, 1), W5::ZERO);
+        // input (1,1,ch0) is in window (0,0) → connected to output 0.
+        let in_idx = (4 + 1) * 2;
+        assert_eq!(flat.weight_between(in_idx, 0), w(5));
+        // input (2,2,ch0) is in window (1,1) → not output 0.
+        let in_idx = (2 * 4 + 2) * 2;
+        assert_eq!(flat.weight_between(in_idx, 0), W5::ZERO);
+        assert_eq!(flat.output_len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn materialize_shortcut_diagonal() {
+        let flat = FlatLayer {
+            kind: FlatLayerKind::Conv {
+                kernel: 3,
+                h: 2,
+                w: 2,
+                in_ch: 1,
+                out_ch: 1,
+                weights: vec![W5::ZERO; 9],
+            },
+            threshold: 1,
+            input_from: InputFrom::Layer(0),
+            shortcut: Some(ShortcutSpec { weight: w(9), input_from: InputFrom::Layer(0) }),
+        };
+        let core = LogicalCore {
+            id: LogicalCoreId(0),
+            layer: 0,
+            role: CoreRole::Shortcut,
+            axon_sources: vec![
+                AxonSource::Input(0),
+                AxonSource::Input(1),
+                AxonSource::Unused,
+                AxonSource::Unused,
+            ],
+            neuron_outputs: vec![Some(0), Some(1), None, None],
+        };
+        let block = core.materialize_weights(&flat);
+        // 4x4 block: diagonal entries (0,0) and (1,1) carry the shortcut.
+        assert_eq!(block[0], w(9));
+        assert_eq!(block[4 + 1], w(9));
+        assert_eq!(block[1], W5::ZERO);
+        assert_eq!(core.used_axons(), 2);
+        assert_eq!(core.used_neurons(), 2);
+    }
+
+    #[test]
+    fn fold_group_accessors() {
+        let g = FoldGroup {
+            members: vec![LogicalCoreId(5), LogicalCoreId(7), LogicalCoreId(9)],
+            layer: 0,
+        };
+        assert_eq!(g.root(), LogicalCoreId(5));
+        assert_eq!(g.leaves(), &[LogicalCoreId(7), LogicalCoreId(9)]);
+    }
+}

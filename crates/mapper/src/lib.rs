@@ -1,0 +1,115 @@
+//! The Shenjing software mapping toolchain (Fig. 3 of the paper).
+//!
+//! The toolchain turns an abstract SNN ([`shenjing_snn::SnnNetwork`]) into
+//! a cycle-by-cycle hardware program in two phases:
+//!
+//! 1. **Logical mapping** ([`logical`]) — split every layer across logical
+//!    cores obeying the core's axon/neuron capacity; build the partial-sum
+//!    fold groups (Algorithm 1 for fully connected layers, per-channel
+//!    folds for convolutions) and the logical spike connections between
+//!    layers. Convolutions are tiled spatially with halo duplication
+//!    (§III / Fig. 4: "these overlapped data has to be duplicated and
+//!    supplied to each"), one input channel × one output channel per core,
+//!    giving the paper's `c_in · c_out · n_h · n_w` core-count structure.
+//! 2. **Physical mapping** ([`place()`](place()), [`compile()`](compile())) — place logical cores
+//!    onto chips (greedy rectangle search, adding 28×28-tile chips as
+//!    needed), lower the logical schedules onto deterministic X-Y routes
+//!    with wait-on-conflict flow control, and emit the Table I atomic
+//!    operations into per-tile configuration memories.
+//!
+//! The compiled program ([`CompiledProgram`]) runs on the cycle-level
+//! simulator (`shenjing-sim`), which must reproduce the abstract SNN's
+//! spikes bit for bit — the paper's zero-loss mapping claim.
+//!
+//! # Example
+//!
+//! ```
+//! use shenjing_core::ArchSpec;
+//! use shenjing_mapper::Mapper;
+//! use shenjing_nn::{LayerSpec, Network, Tensor};
+//! use shenjing_snn::{convert, ConversionOptions};
+//!
+//! let mut ann = Network::from_specs(
+//!     &[LayerSpec::dense(8, 4), LayerSpec::relu(), LayerSpec::dense(4, 2)],
+//!     1,
+//! )?;
+//! let calib = vec![Tensor::from_vec(vec![8], vec![0.5; 8])?];
+//! let snn = convert(&mut ann, &calib, &ConversionOptions::default())?;
+//!
+//! let arch = ArchSpec::tiny(); // 16x16 cores
+//! let mapping = Mapper::new(arch).map(&snn)?;
+//! assert_eq!(mapping.logical.total_cores(), 2);
+//! # Ok::<(), shenjing_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod fig4;
+pub mod ir;
+pub mod logical;
+pub mod place;
+
+pub use compile::{compile, CompiledProgram};
+pub use fig4::Fig4Regions;
+pub use ir::{
+    AxonSource, FoldGroup, LayerMapping, LogicalCore, LogicalCoreId, LogicalMapping, SpikeLink,
+};
+pub use logical::map_logical;
+pub use place::{place, Placement, PlacementStrategy};
+
+use shenjing_core::{ArchSpec, Result};
+use shenjing_snn::SnnNetwork;
+
+/// End-to-end mapping result: logical structure, physical placement and
+/// the compiled cycle-by-cycle program.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Phase-1 output: cores, fold groups, spike links.
+    pub logical: LogicalMapping,
+    /// Phase-2a output: logical core → physical tile coordinates.
+    pub placement: Placement,
+    /// Phase-2b output: configuration memories and run metadata.
+    pub program: CompiledProgram,
+}
+
+/// The toolchain façade.
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    arch: ArchSpec,
+    strategy: PlacementStrategy,
+}
+
+impl Mapper {
+    /// Creates a mapper for a target architecture with the paper's greedy
+    /// placement.
+    pub fn new(arch: ArchSpec) -> Mapper {
+        Mapper { arch, strategy: PlacementStrategy::Greedy }
+    }
+
+    /// Overrides the placement strategy (the naive row-major strategy
+    /// exists for the placement ablation benchmark).
+    pub fn with_strategy(mut self, strategy: PlacementStrategy) -> Mapper {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the full toolchain on an abstract SNN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`shenjing_core::Error::MappingFailed`] when a layer cannot
+    /// be split within core capacity or no placement exists.
+    pub fn map(&self, snn: &SnnNetwork) -> Result<Mapping> {
+        let logical = map_logical(&self.arch, snn)?;
+        let placement = place(&self.arch, &logical, self.strategy)?;
+        let program = compile(&self.arch, snn, &logical, &placement)?;
+        Ok(Mapping { logical, placement, program })
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+}

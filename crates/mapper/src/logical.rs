@@ -1,0 +1,762 @@
+//! Phase 1: logical core and NoC mapping (§III of the paper).
+//!
+//! Mapping runs in two passes:
+//!
+//! **Pass 1 — structural splitting.**
+//!
+//! * **Fully connected layers** — split into an `n_row × n_col` core grid
+//!   (`n_row = ⌈m/N_in⌉`, `n_col = ⌈n/N_out⌉`); each column is a
+//!   partial-sum fold group reduced by Algorithm 1 to its row-0 core.
+//!   The MNIST-MLP instance of this (784×512 on 8 cores + 512×10 on 2)
+//!   is exactly Fig. 1's ten-core layout.
+//! * **Convolutions** — tiled spatially with halo duplication: each core
+//!   holds a `t_in × t_in` input patch of one input channel
+//!   (`t_in = ⌊√N_in⌋`) and produces the `t_out = t_in − (k−1)` wide patch
+//!   of outputs of one output channel whose kernel support lies inside the
+//!   patch (image borders use the conv's own zero padding). The cores of
+//!   all input channels for one (patch, output-channel) pair form a fold
+//!   group, giving the paper's `c_in · c_out · n_h · n_w` core structure.
+//!   (The paper's §III formula prints `√N_in − 2(k−1)`; its own Fig. 4 —
+//!   28×28 split across 4 cores of 14×14 with a 3×3 kernel — satisfies
+//!   `t_out = √N_in − (k−1)`, which is what we implement.)
+//! * **Pooling** — per channel, non-overlapping patches; sums complete
+//!   locally (singleton fold groups).
+//! * **Residual shortcuts** — one `diag(λ)` normalization core per
+//!   (patch, channel) joins the residual tail's fold group, so the
+//!   shortcut partial sum is added over the PS NoC exactly as §III
+//!   describes.
+//!
+//! **Pass 2 — neuron-plane assignment.** Every spike NoC plane is
+//! dedicated to one neuron index across all cores, so a spike fired on
+//! plane *p* can only land on axon *p* of its destinations. The second
+//! pass therefore assigns each producer output to the neuron plane(s)
+//! equal to its consumers' axon slots — the paper's "we map the output of
+//! multiple cores to different non-overlapping neurons so they can be
+//! sent to the same core", and the neuron "inter-changing pattern" of
+//! Fig. 4. Outputs consumed at several distinct slots (conv halos) are
+//! **duplicated** onto several planes; dense consumers have free axon
+//! layouts and are packed to follow the producers' plane order.
+
+use shenjing_core::{ArchSpec, Error, Result};
+use shenjing_snn::SnnNetwork;
+
+use crate::ir::{
+    flatten, AxonSource, CoreRole, FlatLayer, FlatLayerKind, FoldGroup, InputFrom, LayerMapping,
+    LogicalCore, LogicalCoreId, LogicalMapping,
+};
+
+/// Maps an abstract SNN onto logical cores and NoC schedules.
+///
+/// # Errors
+///
+/// Returns [`Error::MappingFailed`] when a layer cannot be decomposed
+/// within the core capacity (e.g. a kernel wider than the core's input
+/// patch, or a plane-assignment conflict the per-neuron NoCs cannot
+/// express).
+pub fn map_logical(arch: &ArchSpec, snn: &SnnNetwork) -> Result<LogicalMapping> {
+    arch.validate()?;
+    let flat = flatten(snn)?;
+    let mut cores: Vec<LogicalCore> = Vec::new();
+    let mut layers: Vec<LayerMapping> = Vec::new();
+
+    // Pass 1: structural splitting.
+    for (flat_index, layer) in flat.iter().enumerate() {
+        let mapping = match &layer.kind {
+            FlatLayerKind::Dense { in_dim, out_dim, .. } => map_dense(
+                arch,
+                flat_index,
+                *in_dim,
+                *out_dim,
+                layer.input_from == InputFrom::External,
+                &mut cores,
+            )?,
+            FlatLayerKind::Conv { kernel, h, w, in_ch, out_ch, .. } => map_conv(
+                arch,
+                flat_index,
+                layer,
+                *kernel,
+                *h,
+                *w,
+                *in_ch,
+                *out_ch,
+                &mut cores,
+            )?,
+            FlatLayerKind::Pool { size, h, w, ch, .. } => {
+                map_pool(arch, flat_index, *size, *h, *w, *ch, &mut cores)?
+            }
+        };
+        layers.push(mapping);
+    }
+
+    // Pass 2: consumer-driven neuron-plane assignment.
+    assign_planes(arch, &flat, &mut cores, &mut layers)?;
+
+    let mapping = LogicalMapping { arch: arch.clone(), flat, cores, layers };
+    mapping.validate()?;
+    Ok(mapping)
+}
+
+fn new_core(
+    cores: &mut Vec<LogicalCore>,
+    arch: &ArchSpec,
+    layer: usize,
+    role: CoreRole,
+) -> LogicalCoreId {
+    let id = LogicalCoreId(cores.len());
+    cores.push(LogicalCore {
+        id,
+        layer,
+        role,
+        axon_sources: vec![AxonSource::Unused; arch.core_inputs as usize],
+        neuron_outputs: vec![None; arch.core_neurons as usize],
+    });
+    id
+}
+
+/// §III "Mapping fully connected layers". When the input comes from
+/// another layer, axon slots are left unassigned for pass 2's packing.
+fn map_dense(
+    arch: &ArchSpec,
+    flat_index: usize,
+    in_dim: usize,
+    out_dim: usize,
+    external_input: bool,
+    cores: &mut Vec<LogicalCore>,
+) -> Result<LayerMapping> {
+    let n_in = arch.core_inputs as usize;
+    let n_out = arch.core_neurons as usize;
+    let (n_row, n_col) = arch.fc_core_grid(in_dim, out_dim);
+
+    let mut layer_cores = Vec::new();
+    let mut fold_groups = Vec::new();
+    let mut output_location = vec![(LogicalCoreId(0), 0u16); out_dim];
+
+    for col in 0..n_col {
+        let mut members = Vec::with_capacity(n_row);
+        for row in 0..n_row {
+            let id = new_core(cores, arch, flat_index, CoreRole::Main);
+            let core = &mut cores[id.0];
+            if external_input {
+                for a in 0..n_in {
+                    let input = row * n_in + a;
+                    if input < in_dim {
+                        core.axon_sources[a] = AxonSource::Input(input);
+                    }
+                }
+            }
+            for p in 0..n_out {
+                let output = col * n_out + p;
+                if output < out_dim {
+                    core.neuron_outputs[p] = Some(output);
+                }
+            }
+            layer_cores.push(id);
+            members.push(id);
+        }
+        let root = members[0];
+        for p in 0..n_out {
+            let output = col * n_out + p;
+            if output < out_dim {
+                output_location[output] = (root, p as u16);
+            }
+        }
+        fold_groups.push(FoldGroup { members, layer: flat_index });
+    }
+
+    Ok(LayerMapping { flat_index, cores: layer_cores, fold_groups, output_location })
+}
+
+/// §III "Mapping convolution layers" (plus the residual shortcut
+/// normalization cores when the layer is a residual tail).
+#[allow(clippy::too_many_arguments)]
+fn map_conv(
+    arch: &ArchSpec,
+    flat_index: usize,
+    layer: &FlatLayer,
+    kernel: usize,
+    h: usize,
+    w: usize,
+    in_ch: usize,
+    out_ch: usize,
+    cores: &mut Vec<LogicalCore>,
+) -> Result<LayerMapping> {
+    let n_in = arch.core_inputs as usize;
+    let n_out = arch.core_neurons as usize;
+    let t_in = (n_in as f64).sqrt().floor() as usize;
+    let t_out = t_in.checked_sub(kernel - 1).filter(|t| *t > 0).ok_or_else(|| {
+        Error::mapping(format!(
+            "kernel {kernel} too large for a core input patch of {t_in}x{t_in}"
+        ))
+    })?;
+    let pad = kernel / 2;
+    let nh = h.div_ceil(t_out);
+    let nw = w.div_ceil(t_out);
+
+    let mut layer_cores = Vec::new();
+    let mut fold_groups = Vec::new();
+    let mut output_location = vec![(LogicalCoreId(0), 0u16); h * w * out_ch];
+
+    for pi in 0..nh {
+        let oy0 = pi * t_out;
+        let oy1 = ((pi + 1) * t_out).min(h);
+        // Input rows needed for these outputs (zero padding handles the
+        // image border).
+        let iy0 = oy0.saturating_sub(pad);
+        let iy1 = (oy1 - 1 + pad + 1).min(h);
+        for pj in 0..nw {
+            let ox0 = pj * t_out;
+            let ox1 = ((pj + 1) * t_out).min(w);
+            let ix0 = ox0.saturating_sub(pad);
+            let ix1 = (ox1 - 1 + pad + 1).min(w);
+            // Axon slots use the NOMINAL patch stride t_in even when the
+            // region is clamped at the image border, so the slot rasters
+            // of neighboring consumer patches stay disjoint — otherwise
+            // two outputs of one producer core could demand the same
+            // neuron plane.
+            let region_w = ix1 - ix0;
+            let region_h = iy1 - iy0;
+            debug_assert!((region_h - 1) * t_in + region_w <= n_in);
+            let patch_w = ox1 - ox0;
+            let patch_h = oy1 - oy0;
+            debug_assert!((patch_h - 1) * t_in + patch_w <= n_out);
+
+            for co in 0..out_ch {
+                let mut members = Vec::with_capacity(in_ch + 1);
+                // Pass-1 neuron layout: local output raster with the SAME
+                // nominal t_in stride as consumer axon slots, so a final
+                // residual tail's layout coincides with its own region
+                // raster (replaced in pass 2 when the layer has
+                // consumers).
+                let mut neuron_outputs = vec![None; n_out];
+                for oy in oy0..oy1 {
+                    for ox in ox0..ox1 {
+                        let plane = (oy - oy0) * t_in + (ox - ox0);
+                        neuron_outputs[plane] = Some((oy * w + ox) * out_ch + co);
+                    }
+                }
+                for ci in 0..in_ch {
+                    let id = new_core(cores, arch, flat_index, CoreRole::Main);
+                    let core = &mut cores[id.0];
+                    for iy in iy0..iy1 {
+                        for ix in ix0..ix1 {
+                            let axon = (iy - iy0) * t_in + (ix - ix0);
+                            core.axon_sources[axon] =
+                                AxonSource::Input((iy * w + ix) * in_ch + ci);
+                        }
+                    }
+                    core.neuron_outputs = neuron_outputs.clone();
+                    layer_cores.push(id);
+                    members.push(id);
+                }
+                // Residual tail: add the diag(λ) normalization core to the
+                // fold group. Its axons carry the block-input spikes of
+                // this (patch, channel) and its planes mirror the layout.
+                if layer.shortcut.is_some() {
+                    let id = new_core(cores, arch, flat_index, CoreRole::Shortcut);
+                    let core = &mut cores[id.0];
+                    for oy in oy0..oy1 {
+                        for ox in ox0..ox1 {
+                            let plane = (oy - oy0) * t_in + (ox - ox0);
+                            // Block input index space matches the tail
+                            // output space (identity shortcut geometry).
+                            core.axon_sources[plane] =
+                                AxonSource::Input((oy * w + ox) * out_ch + co);
+                        }
+                    }
+                    core.neuron_outputs = neuron_outputs.clone();
+                    layer_cores.push(id);
+                    members.push(id);
+                }
+                let root = members[0];
+                for oy in oy0..oy1 {
+                    for ox in ox0..ox1 {
+                        let plane = ((oy - oy0) * t_in + (ox - ox0)) as u16;
+                        output_location[(oy * w + ox) * out_ch + co] = (root, plane);
+                    }
+                }
+                fold_groups.push(FoldGroup { members, layer: flat_index });
+            }
+        }
+    }
+
+    Ok(LayerMapping { flat_index, cores: layer_cores, fold_groups, output_location })
+}
+
+/// Pooling: non-overlapping per-channel patches; complete sums locally.
+fn map_pool(
+    arch: &ArchSpec,
+    flat_index: usize,
+    size: usize,
+    h: usize,
+    w: usize,
+    ch: usize,
+    cores: &mut Vec<LogicalCore>,
+) -> Result<LayerMapping> {
+    let n_in = arch.core_inputs as usize;
+    let n_out = arch.core_neurons as usize;
+    let t_raw = (n_in as f64).sqrt().floor() as usize;
+    let t = (t_raw / size) * size;
+    if t == 0 {
+        return Err(Error::mapping(format!(
+            "pool window {size} too large for core input patch {t_raw}x{t_raw}"
+        )));
+    }
+    let nh = h.div_ceil(t);
+    let nw = w.div_ceil(t);
+    let ow = w / size;
+
+    let mut layer_cores = Vec::new();
+    let mut fold_groups = Vec::new();
+    let mut output_location = vec![(LogicalCoreId(0), 0u16); (h / size) * ow * ch];
+
+    for pi in 0..nh {
+        let iy0 = pi * t;
+        let iy1 = ((pi + 1) * t).min(h);
+        for pj in 0..nw {
+            let ix0 = pj * t;
+            let ix1 = ((pj + 1) * t).min(w);
+            // Nominal strides (see map_conv): clamped border patches keep
+            // the full patch raster so slot assignments stay disjoint.
+            let out_patch_w = t / size;
+            for c in 0..ch {
+                let id = new_core(cores, arch, flat_index, CoreRole::Main);
+                let core = &mut cores[id.0];
+                for iy in iy0..iy1 {
+                    for ix in ix0..ix1 {
+                        let axon = (iy - iy0) * t + (ix - ix0);
+                        core.axon_sources[axon] = AxonSource::Input((iy * w + ix) * ch + c);
+                    }
+                }
+                let mut planes_used = 0usize;
+                for oy in (iy0 / size)..(iy1 / size) {
+                    for ox in (ix0 / size)..(ix1 / size) {
+                        let plane = (oy - iy0 / size) * out_patch_w + (ox - ix0 / size);
+                        core.neuron_outputs[plane] = Some((oy * ow + ox) * ch + c);
+                        output_location[(oy * ow + ox) * ch + c] = (id, plane as u16);
+                        planes_used += 1;
+                    }
+                }
+                debug_assert!(planes_used <= n_out);
+                layer_cores.push(id);
+                fold_groups.push(FoldGroup { members: vec![id], layer: flat_index });
+            }
+        }
+    }
+
+    Ok(LayerMapping { flat_index, cores: layer_cores, fold_groups, output_location })
+}
+
+/// Pass 2: assign producer neuron planes from consumer axon slots.
+fn assign_planes(
+    arch: &ArchSpec,
+    flat: &[FlatLayer],
+    cores: &mut Vec<LogicalCore>,
+    layers: &mut [LayerMapping],
+) -> Result<()> {
+    let n_in = arch.core_inputs as usize;
+    let n_out = arch.core_neurons as usize;
+    let n_layers = layers.len();
+
+    // Consumers' axon layouts must be final before their producers'
+    // planes are chosen (the residual tail realigns its shortcut cores'
+    // axons), so layers are processed from the network output backward.
+    for l in (0..n_layers).rev() {
+        let out_len = flat[layers[l].flat_index].output_len();
+        // Required slots per output of layer l, from every consumer.
+        let mut required: Vec<Vec<u16>> = vec![Vec::new(); out_len];
+        let mut has_consumer = false;
+
+        // (a) Geometric consumers (conv/pool cores, and shortcut cores)
+        //     already carry their axon assignments.
+        for cl in 0..n_layers {
+            let consumer_flat = &flat[layers[cl].flat_index];
+            for &cid in &layers[cl].cores {
+                let core = &cores[cid.0];
+                let from = match core.role {
+                    CoreRole::Main => consumer_flat.input_from,
+                    CoreRole::Shortcut => {
+                        consumer_flat.shortcut.expect("shortcut core").input_from
+                    }
+                };
+                if from != InputFrom::Layer(l) {
+                    continue;
+                }
+                // Dense consumers fed by a layer are packed in (b) below.
+                let dense_packed = matches!(consumer_flat.kind, FlatLayerKind::Dense { .. })
+                    && core.role == CoreRole::Main;
+                if dense_packed {
+                    has_consumer = true;
+                    continue;
+                }
+                has_consumer = true;
+                for (slot, src) in core.axon_sources.iter().enumerate() {
+                    if let AxonSource::Input(input) = src {
+                        let slot = slot as u16;
+                        if !required[*input].contains(&slot) {
+                            required[*input].push(slot);
+                        }
+                    }
+                }
+            }
+        }
+
+        // (b) Dense consumers: pack producer outputs into consumer rows
+        //     sequentially, in producer fold-group order, so each output's
+        //     slot equals its (to-be-assigned) plane.
+        let dense_consumers: Vec<usize> = (0..n_layers)
+            .filter(|&cl| {
+                matches!(flat[layers[cl].flat_index].kind, FlatLayerKind::Dense { .. })
+                    && flat[layers[cl].flat_index].input_from == InputFrom::Layer(l)
+            })
+            .collect();
+        if !dense_consumers.is_empty() {
+            // The packing order: fold groups of layer l, outputs in their
+            // pass-1 plane order.
+            let mut ordered_outputs: Vec<usize> = Vec::with_capacity(out_len);
+            for group in &layers[l].fold_groups {
+                let root = &cores[group.root().0];
+                for out in root.neuron_outputs.iter().flatten() {
+                    ordered_outputs.push(*out);
+                }
+            }
+            if ordered_outputs.len() != out_len {
+                return Err(Error::mapping(format!(
+                    "layer {l}: pass-1 layout covers {} of {} outputs",
+                    ordered_outputs.len(),
+                    out_len
+                )));
+            }
+            for (pos, &output) in ordered_outputs.iter().enumerate() {
+                let slot = (pos % n_in) as u16;
+                if !required[output].contains(&slot) {
+                    required[output].push(slot);
+                }
+            }
+            // Fill the consumer rows' axon sources accordingly.
+            for &cl in &dense_consumers {
+                let n_row = layers[cl].fold_groups[0].members.len();
+                for (pos, &output) in ordered_outputs.iter().enumerate() {
+                    let row = pos / n_in;
+                    let slot = pos % n_in;
+                    if row >= n_row {
+                        return Err(Error::mapping(format!(
+                            "dense consumer layer {cl}: input {output} overflows row {row}"
+                        )));
+                    }
+                    for group in &layers[cl].fold_groups {
+                        let member = group.members[row];
+                        cores[member.0].axon_sources[slot] = AxonSource::Input(output);
+                    }
+                }
+            }
+        }
+
+        if !has_consumer {
+            continue; // final layer keeps its pass-1 natural layout
+        }
+
+        // (c) Rewrite layer l's fold-group neuron layouts to the required
+        //     slots (duplicating multi-slot outputs).
+        let mut new_locations = layers[l].output_location.clone();
+        for gi in 0..layers[l].fold_groups.len() {
+            let group_outputs: Vec<usize> = {
+                let root = &cores[layers[l].fold_groups[gi].root().0];
+                root.neuron_outputs.iter().flatten().copied().collect()
+            };
+            let mut layout: Vec<Option<usize>> = vec![None; n_out];
+            for &output in &group_outputs {
+                let slots = &required[output];
+                if slots.is_empty() {
+                    continue; // assigned to a free plane below
+                }
+                for &slot in slots {
+                    let s = slot as usize;
+                    match layout[s] {
+                        None => layout[s] = Some(output),
+                        Some(existing) if existing == output => {}
+                        Some(existing) => {
+                            return Err(Error::mapping(format!(
+                                "layer {l}: plane {slot} required by outputs {existing} and \
+                                 {output} of one core — topology not expressible on \
+                                 per-neuron NoCs without further splitting"
+                            )));
+                        }
+                    }
+                }
+            }
+            // Unconsumed outputs park on free planes.
+            let mut next_free = 0usize;
+            for &output in &group_outputs {
+                if required[output].is_empty() {
+                    while next_free < n_out && layout[next_free].is_some() {
+                        next_free += 1;
+                    }
+                    if next_free >= n_out {
+                        return Err(Error::mapping(format!(
+                            "layer {l}: no free plane for output {output}"
+                        )));
+                    }
+                    layout[next_free] = Some(output);
+                    required[output].push(next_free as u16);
+                }
+            }
+            // Apply to every member (fold groups share layouts).
+            let members = layers[l].fold_groups[gi].members.clone();
+            for m in &members {
+                cores[m.0].neuron_outputs = layout.clone();
+            }
+            // Shortcut cores' axons mirror the tail layout: re-align them
+            // so axon slot == plane (their pass-1 raster may differ).
+            for m in &members {
+                if cores[m.0].role == CoreRole::Shortcut {
+                    let mut axons = vec![AxonSource::Unused; n_in];
+                    for (p, out) in layout.iter().enumerate() {
+                        if let Some(o) = out {
+                            if p < n_in {
+                                axons[p] = AxonSource::Input(*o);
+                            }
+                        }
+                    }
+                    cores[m.0].axon_sources = axons;
+                }
+            }
+            let root = layers[l].fold_groups[gi].root();
+            for &output in &group_outputs {
+                new_locations[output] = (root, required[output][0]);
+            }
+        }
+        layers[l].output_location = new_locations;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_core::W5;
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingConv, SpikingDense, SpikingPool};
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    fn paper_arch() -> ArchSpec {
+        ArchSpec::paper()
+    }
+
+    fn dense_net(in_dim: usize, out_dim: usize) -> SnnNetwork {
+        let weights = vec![w(1); in_dim * out_dim];
+        SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, in_dim, out_dim, 10, 1.0).unwrap(),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_mnist_mlp_uses_ten_cores() {
+        // 784x512 → 4x2 = 8 cores; 512x10 → 2x1 = 2 cores. Total 10.
+        let l1 = SpikingDense::new(vec![w(0); 784 * 512], 784, 512, 10, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(0); 512 * 10], 512, 10, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        assert_eq!(mapping.total_cores(), 10);
+        assert_eq!(mapping.layers[0].fold_groups.len(), 2, "two columns");
+        assert_eq!(mapping.layers[0].fold_groups[0].members.len(), 4, "fold depth 4");
+        assert_eq!(mapping.layers[1].fold_groups.len(), 1);
+        assert_eq!(mapping.layers[1].fold_groups[0].members.len(), 2);
+    }
+
+    #[test]
+    fn dense_chain_axons_follow_producer_planes() {
+        let l1 = SpikingDense::new(vec![w(1); 300 * 300], 300, 300, 10, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(1); 300 * 10], 300, 10, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        // Every spike link must satisfy plane == axon (the per-neuron NoC
+        // constraint).
+        for link in mapping.spike_links() {
+            assert_eq!(link.src_plane, link.dst_axon);
+        }
+        mapping.validate().unwrap();
+    }
+
+    #[test]
+    fn fig4_conv_tiling_on_paper_arch() {
+        // 28x28, 3x3 kernel, 1→16 channels: t_in = 16, t_out = 14, so a
+        // 2x2 patch grid — Fig. 4's four cores per channel pair.
+        let conv = SpikingConv::new(vec![w(0); 9 * 16], 3, 28, 28, 1, 16, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        // n_h·n_w·c_in·c_out = 2·2·1·16.
+        assert_eq!(mapping.total_cores(), 64);
+        assert_eq!(mapping.layers[0].fold_groups.len(), 64, "singleton folds for c_in = 1");
+        // Each corner core covers a 15x15 input region (14 plus a 1-pixel
+        // halo on the two interior sides; the image border pads with
+        // zeros) and 14x14 outputs.
+        let core = mapping.core(mapping.layers[0].cores[0]);
+        assert_eq!(core.used_axons(), 15 * 15);
+        assert_eq!(core.used_neurons(), 196);
+    }
+
+    #[test]
+    fn conv_fold_groups_reduce_over_input_channels() {
+        // 8x8, 3x3 kernel, 4→2 channels on the tiny 16-axon arch:
+        // t_in = 4, t_out = 2 → 4x4 patches; groups of 4 (one per c_in).
+        let conv = SpikingConv::new(vec![w(0); 9 * 4 * 2], 3, 8, 8, 4, 2, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv)]).unwrap();
+        let mapping = map_logical(&ArchSpec::tiny(), &snn).unwrap();
+        assert_eq!(mapping.layers[0].fold_groups.len(), 4 * 4 * 2);
+        for g in &mapping.layers[0].fold_groups {
+            assert_eq!(g.members.len(), 4, "one member per input channel");
+        }
+        assert_eq!(mapping.total_cores(), 4 * 4 * 2 * 4);
+    }
+
+    #[test]
+    fn conv_kernel_too_large_rejected() {
+        // tiny arch: t_in = 4; a 5x5 kernel leaves no outputs.
+        let conv = SpikingConv::new(vec![w(0); 25], 5, 8, 8, 1, 1, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv)]).unwrap();
+        assert!(map_logical(&ArchSpec::tiny(), &snn).is_err());
+    }
+
+    #[test]
+    fn pool_mapping_per_channel() {
+        // 28x28x3, 2x2 pool on paper arch: t = 16, 2x2 patches, 3 channels
+        // → 12 cores, all singleton folds.
+        let pool = SpikingPool::new(2, 28, 28, 3, w(5), 20, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Pool(pool)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        assert_eq!(mapping.total_cores(), 2 * 2 * 3);
+        for g in &mapping.layers[0].fold_groups {
+            assert_eq!(g.members.len(), 1);
+        }
+        assert_eq!(mapping.layers[0].output_location.len(), 14 * 14 * 3);
+    }
+
+    #[test]
+    fn conv_then_pool_plane_alignment() {
+        // The cross-layer constraint in action: conv outputs must land on
+        // planes equal to the pool cores' axon slots.
+        let conv = SpikingConv::new(vec![w(1); 9 * 2], 3, 8, 8, 1, 2, 10, 1.0).unwrap();
+        let pool = SpikingPool::new(2, 8, 8, 2, w(5), 20, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv), SnnLayer::Pool(pool)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        for link in mapping.spike_links() {
+            assert_eq!(link.src_plane, link.dst_axon);
+        }
+        mapping.validate().unwrap();
+    }
+
+    #[test]
+    fn pool_to_dense_packing() {
+        // Pool outputs packed into a dense layer: slots assigned
+        // sequentially per producer core, planes follow.
+        let pool = SpikingPool::new(2, 8, 8, 3, w(5), 20, 1.0).unwrap();
+        let dense = SpikingDense::new(vec![w(1); 48 * 5], 48, 5, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Pool(pool), SnnLayer::Dense(dense)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        let links = mapping.spike_links();
+        assert_eq!(links.len(), 48, "every pool output feeds the dense layer");
+        for link in &links {
+            assert_eq!(link.src_plane, link.dst_axon);
+        }
+        mapping.validate().unwrap();
+    }
+
+    /// A mid-sized test architecture whose cores fit single-patch convs.
+    fn small_arch() -> ArchSpec {
+        ArchSpec {
+            core_inputs: 64,
+            core_neurons: 64,
+            chip_rows: 8,
+            chip_cols: 8,
+            ..ArchSpec::paper()
+        }
+    }
+
+    #[test]
+    fn residual_tail_gains_shortcut_cores() {
+        // conv1 (external) feeds a residual block of two 2-channel convs
+        // on 6x6 maps; on 64-input cores each conv is a single patch.
+        let conv1 = SpikingConv::new(vec![w(1); 9 * 2], 3, 6, 6, 1, 2, 10, 1.0).unwrap();
+        let first = SpikingConv::new(vec![w(1); 9 * 4], 3, 6, 6, 2, 2, 10, 1.0).unwrap();
+        let tail = SpikingConv::new(vec![w(1); 9 * 4], 3, 6, 6, 2, 2, 10, 1.0)
+            .unwrap()
+            .with_shortcut(w(7));
+        let res = shenjing_snn::SpikingResidual::new(vec![
+            SnnLayer::Conv(first),
+            SnnLayer::Conv(tail),
+        ])
+        .unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv1), SnnLayer::Residual(res)]).unwrap();
+        let mapping = map_logical(&small_arch(), &snn).unwrap();
+        assert_eq!(mapping.flat.len(), 3, "three convs after flattening");
+        assert!(mapping.flat[2].shortcut.is_some());
+        // Tail groups: 1 patch × 2 out-channels, each with 2 main (c_in)
+        // + 1 shortcut member.
+        let tail_groups = &mapping.layers[2].fold_groups;
+        assert_eq!(tail_groups.len(), 2);
+        for g in tail_groups {
+            assert_eq!(g.members.len(), 3);
+            let roles: Vec<_> = g.members.iter().map(|m| mapping.core(*m).role).collect();
+            assert_eq!(roles.iter().filter(|r| **r == CoreRole::Shortcut).count(), 1);
+        }
+        for link in mapping.spike_links() {
+            assert_eq!(link.src_plane, link.dst_axon);
+        }
+    }
+
+    #[test]
+    fn inexpressible_plane_conflict_is_detected() {
+        // A dense layer feeding a multi-channel conv interleaves channels
+        // within one producer core: outputs (y,x,0) and (y,x,1) would need
+        // the same plane. The mapper must refuse rather than miswire.
+        let feeder = SpikingDense::new(vec![w(1); 8 * 32], 8, 32, 10, 1.0).unwrap();
+        let conv = SpikingConv::new(vec![w(1); 9 * 4], 3, 4, 4, 2, 2, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(feeder), SnnLayer::Conv(conv)]).unwrap();
+        let err = map_logical(&ArchSpec::tiny(), &snn).unwrap_err();
+        assert!(matches!(err, Error::MappingFailed { .. }));
+    }
+
+    #[test]
+    fn spike_links_connect_layers() {
+        let l1 = SpikingDense::new(vec![w(1); 4 * 4], 4, 4, 10, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(1); 4 * 2], 4, 2, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap();
+        let mapping = map_logical(&ArchSpec::tiny(), &snn).unwrap();
+        let links = mapping.spike_links();
+        assert_eq!(links.len(), 4);
+        let l1_root = mapping.layers[0].fold_groups[0].root();
+        for link in &links {
+            assert_eq!(link.src, l1_root);
+            assert_eq!(link.src_plane, link.dst_axon, "aligned FC split");
+        }
+    }
+
+    #[test]
+    fn validate_passes_for_generated_mappings() {
+        let snn = dense_net(40, 40);
+        let mapping = map_logical(&ArchSpec::tiny(), &snn).unwrap();
+        mapping.validate().unwrap();
+        assert_eq!(mapping.chips_needed(), 1);
+    }
+
+    #[test]
+    fn multicast_same_plane_to_many_consumers() {
+        // One pool channel feeding a conv with several output channels:
+        // each pool output goes to all c_out consumer cores on ONE plane.
+        let pool = SpikingPool::new(2, 8, 8, 1, w(5), 20, 1.0).unwrap();
+        let conv = SpikingConv::new(vec![w(1); 9 * 3], 3, 4, 4, 1, 3, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Pool(pool), SnnLayer::Conv(conv)]).unwrap();
+        let mapping = map_logical(&paper_arch(), &snn).unwrap();
+        let links = mapping.spike_links();
+        // 16 pool outputs × 3 consumer cores = 48 links, but each output
+        // uses a single plane.
+        assert_eq!(links.len(), 48);
+        use std::collections::HashSet;
+        let planes: HashSet<(usize, u16)> =
+            links.iter().map(|l| (l.src.0, l.src_plane)).collect();
+        assert_eq!(planes.len(), 16, "one plane per output, multicast to 3 cores");
+    }
+}

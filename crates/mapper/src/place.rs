@@ -1,0 +1,264 @@
+//! Phase 2a: physical placement of logical cores onto chips.
+//!
+//! The deployment is modeled as a flat mesh whose height is one chip
+//! (`chip_rows`) and whose width grows by `chip_cols` whenever another
+//! chip is appended — multi-chip systems tile horizontally, and a link
+//! crossing a chip-column boundary is an inter-chip serial link (charged
+//! 4.4 pJ/bit by the power model).
+//!
+//! Two strategies:
+//!
+//! * [`PlacementStrategy::Greedy`] (the paper's §III approach,
+//!   approximated): fold groups are placed one after another in
+//!   column-major order, so the members of each partial-sum fold group sit
+//!   vertically adjacent (short fold hops) and consecutive layers cluster.
+//! * [`PlacementStrategy::RowMajorNaive`]: cores scattered over the mesh in
+//!   a deterministic hash order, ignoring fold-group locality — the
+//!   baseline for the placement ablation benchmark.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
+
+use crate::ir::{LogicalCoreId, LogicalMapping};
+
+/// Placement algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Column-major fold-group packing (locality-preserving greedy).
+    Greedy,
+    /// Deterministic scattered order ignoring locality (ablation
+    /// baseline).
+    RowMajorNaive,
+}
+
+/// The result of placement: a tile coordinate per logical core.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Placement {
+    /// Flat-mesh coordinates, indexed by [`LogicalCoreId`].
+    coords: Vec<CoreCoord>,
+    /// Mesh height (= `chip_rows`).
+    pub mesh_rows: u16,
+    /// Mesh width (chips × `chip_cols`).
+    pub mesh_cols: u16,
+    /// Number of chips used.
+    pub chips: u16,
+    /// Columns per chip, to detect inter-chip crossings.
+    pub chip_cols: u16,
+}
+
+impl Placement {
+    /// The tile of a logical core.
+    pub fn coord(&self, id: LogicalCoreId) -> CoreCoord {
+        self.coords[id.0]
+    }
+
+    /// All coordinates, indexed by core id.
+    pub fn coords(&self) -> &[CoreCoord] {
+        &self.coords
+    }
+
+    /// Which chip (0-based, left to right) a coordinate belongs to.
+    pub fn chip_of(&self, coord: CoreCoord) -> u16 {
+        coord.col / self.chip_cols
+    }
+
+    /// Whether a hop between adjacent tiles crosses a chip boundary.
+    pub fn crosses_chip(&self, a: CoreCoord, b: CoreCoord) -> bool {
+        self.chip_of(a) != self.chip_of(b)
+    }
+
+    /// Total Manhattan hop count of all partial-sum fold sends plus spike
+    /// links — the locality metric for the placement ablation.
+    pub fn locality_cost(&self, mapping: &LogicalMapping) -> u64 {
+        let mut cost = 0u64;
+        for layer in &mapping.layers {
+            for group in &layer.fold_groups {
+                // Fold sends follow Algorithm 1: member i sends to
+                // member i−f for f = 1, 2, 4, ...
+                let n = group.members.len();
+                let mut f = 1;
+                while f < n {
+                    let mut i = f;
+                    while i < n {
+                        let src = self.coord(group.members[i]);
+                        let dst = self.coord(group.members[i - f]);
+                        cost += u64::from(src.manhattan_distance(dst));
+                        i += 2 * f;
+                    }
+                    f *= 2;
+                }
+            }
+        }
+        for link in mapping.spike_links() {
+            cost += u64::from(self.coord(link.src).manhattan_distance(self.coord(link.dst)));
+        }
+        cost
+    }
+}
+
+/// Places a logical mapping onto the flat mesh.
+///
+/// # Errors
+///
+/// Returns [`Error::MappingFailed`] when the mapping has no cores.
+pub fn place(
+    arch: &ArchSpec,
+    mapping: &LogicalMapping,
+    strategy: PlacementStrategy,
+) -> Result<Placement> {
+    let total = mapping.total_cores();
+    if total == 0 {
+        return Err(Error::mapping("nothing to place: the mapping has no cores"));
+    }
+    let rows = arch.chip_rows;
+
+    let mut coords = vec![CoreCoord::new(0, 0); total];
+    let cols_used: u16;
+
+    match strategy {
+        PlacementStrategy::Greedy => {
+            // Fold-group packing: members of a group stack vertically in
+            // one column (short fold hops); a group that would straddle
+            // the column boundary starts a fresh column; consecutive
+            // layers therefore occupy adjacent columns (short spike
+            // hops).
+            let mut row: u16 = 0;
+            let mut col: u16 = 0;
+            for layer in &mapping.layers {
+                for group in &layer.fold_groups {
+                    let size = group.members.len() as u16;
+                    if size <= rows && row + size > rows {
+                        row = 0;
+                        col += 1;
+                    }
+                    for &member in &group.members {
+                        if row >= rows {
+                            row = 0;
+                            col += 1;
+                        }
+                        coords[member.0] = CoreCoord::new(row, col);
+                        row += 1;
+                    }
+                }
+            }
+            cols_used = col + 1;
+        }
+        PlacementStrategy::RowMajorNaive => {
+            // Deterministic pseudo-shuffle: sort ids by a multiplicative
+            // hash so fold-group members land far apart (the
+            // locality-blind baseline).
+            let mut ids: Vec<LogicalCoreId> = (0..total).map(LogicalCoreId).collect();
+            ids.sort_by_key(|id| (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            cols_used = (total as u64).div_ceil(u64::from(rows)) as u16;
+            for (pos, id) in ids.into_iter().enumerate() {
+                coords[id.0] = CoreCoord::new(
+                    (pos % rows as usize) as u16,
+                    (pos / rows as usize) as u16,
+                );
+            }
+        }
+    }
+
+    let chips = cols_used.div_ceil(arch.chip_cols).max(1);
+    let mesh_cols = chips * arch.chip_cols;
+
+    Ok(Placement { coords, mesh_rows: rows, mesh_cols, chips, chip_cols: arch.chip_cols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::map_logical;
+    use shenjing_core::W5;
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    fn mlp_mapping() -> LogicalMapping {
+        let l1 = SpikingDense::new(vec![w(0); 784 * 512], 784, 512, 10, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(0); 512 * 10], 512, 10, 10, 1.0).unwrap();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap();
+        map_logical(&ArchSpec::paper(), &snn).unwrap()
+    }
+
+    #[test]
+    fn greedy_places_fold_groups_vertically() {
+        let mapping = mlp_mapping();
+        let placement = place(&ArchSpec::paper(), &mapping, PlacementStrategy::Greedy).unwrap();
+        assert_eq!(placement.chips, 1);
+        // FC1 column 0 fold group: 4 members, vertically adjacent.
+        let group = &mapping.layers[0].fold_groups[0];
+        let coords: Vec<_> = group.members.iter().map(|m| placement.coord(*m)).collect();
+        for pair in coords.windows(2) {
+            assert_eq!(pair[0].manhattan_distance(pair[1]), 1, "members adjacent");
+            assert_eq!(pair[0].col, pair[1].col, "same column");
+        }
+    }
+
+    #[test]
+    fn all_coords_distinct_and_in_mesh() {
+        let mapping = mlp_mapping();
+        for strategy in [PlacementStrategy::Greedy, PlacementStrategy::RowMajorNaive] {
+            let p = place(&ArchSpec::paper(), &mapping, strategy).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for id in 0..mapping.total_cores() {
+                let c = p.coord(LogicalCoreId(id));
+                assert!(c.row < p.mesh_rows && c.col < p.mesh_cols, "{c} in mesh");
+                assert!(seen.insert(c), "coordinate {c} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_keeps_fold_hops_minimal() {
+        // Greedy's promise is fold locality: every Algorithm-1 fold hop
+        // between group members is a single mesh hop.
+        let mapping = mlp_mapping();
+        let placement = place(&ArchSpec::paper(), &mapping, PlacementStrategy::Greedy).unwrap();
+        for layer in &mapping.layers {
+            for group in &layer.fold_groups {
+                for pair in group.members.windows(2) {
+                    let d = placement
+                        .coord(pair[0])
+                        .manhattan_distance(placement.coord(pair[1]));
+                    assert_eq!(d, 1, "fold group members must be adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_chip_when_needed() {
+        // 900 cores on 28-row chips → 33 columns → 2 chips.
+        let arch = ArchSpec::paper();
+        let big = SpikingDense::new(vec![w(0); 256 * 256], 256, 256, 10, 1.0).unwrap();
+        let mut layers = Vec::new();
+        for _ in 0..900 {
+            layers.push(SnnLayer::Dense(big.clone()));
+        }
+        let snn = SnnNetwork::new(layers).unwrap();
+        let mapping = map_logical(&arch, &snn).unwrap();
+        assert_eq!(mapping.total_cores(), 900);
+        let p = place(&arch, &mapping, PlacementStrategy::Greedy).unwrap();
+        assert_eq!(p.chips, 2);
+        assert_eq!(p.mesh_cols, 56);
+        // chip_of splits at column 28.
+        assert_eq!(p.chip_of(CoreCoord::new(0, 27)), 0);
+        assert_eq!(p.chip_of(CoreCoord::new(0, 28)), 1);
+        assert!(p.crosses_chip(CoreCoord::new(0, 27), CoreCoord::new(0, 28)));
+    }
+
+    #[test]
+    fn empty_mapping_rejected() {
+        let arch = ArchSpec::paper();
+        let mapping = LogicalMapping {
+            arch: arch.clone(),
+            flat: vec![],
+            cores: vec![],
+            layers: vec![],
+        };
+        assert!(place(&arch, &mapping, PlacementStrategy::Greedy).is_err());
+    }
+}

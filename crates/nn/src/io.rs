@@ -1,0 +1,255 @@
+//! Model serialization: the toolchain's input format (Fig. 3).
+//!
+//! The paper's mapping tool consumes a "Layers Description: .json file"
+//! plus a "Weight: .bin file". This module reproduces that interface:
+//! [`save_network`] writes the layer specs as JSON and the weights as a
+//! little-endian `f64` binary blob; [`load_network`] reconstructs the
+//! trained network from the two files.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use shenjing_core::{Error, Result};
+
+use crate::layer::{Layer, LayerSpec};
+use crate::network::Network;
+
+/// Magic prefix of the weight blob, for cheap corruption detection.
+const WEIGHT_MAGIC: &[u8; 8] = b"SHENJWT1";
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::config(format!("model io: {e}"))
+}
+
+/// Serializes the layer descriptions to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] if serialization fails (it cannot for
+/// well-formed specs).
+pub fn specs_to_json(specs: &[LayerSpec]) -> Result<String> {
+    serde_json::to_string_pretty(specs).map_err(|e| Error::config(format!("specs to json: {e}")))
+}
+
+/// Parses layer descriptions from JSON.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for malformed JSON.
+pub fn specs_from_json(json: &str) -> Result<Vec<LayerSpec>> {
+    serde_json::from_str(json).map_err(|e| Error::config(format!("specs from json: {e}")))
+}
+
+/// Flattens all trainable weights of a network, layer by layer (residual
+/// bodies inlined), into one vector.
+pub fn collect_weights(net: &Network) -> Vec<f64> {
+    fn walk(layers: &[Layer], out: &mut Vec<f64>) {
+        for layer in layers {
+            match layer {
+                Layer::Residual(r) => walk(r.body(), out),
+                other => out.extend_from_slice(other.weights()),
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(net.layers(), &mut out);
+    out
+}
+
+/// Writes weights as the `.bin` blob: magic, little-endian `u64` count,
+/// then little-endian `f64`s.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] on I/O failure.
+pub fn write_weights<W: Write>(mut w: W, weights: &[f64]) -> Result<()> {
+    w.write_all(WEIGHT_MAGIC).map_err(io_err)?;
+    w.write_all(&(weights.len() as u64).to_le_bytes()).map_err(io_err)?;
+    for v in weights {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a `.bin` weight blob.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for a bad magic, truncated data, or
+/// I/O failure.
+pub fn read_weights<R: Read>(mut r: R) -> Result<Vec<f64>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != WEIGHT_MAGIC {
+        return Err(Error::config("weight blob has wrong magic"));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes).map_err(io_err)?;
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut buf).map_err(io_err)?;
+        out.push(f64::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Installs a flat weight vector back into a network (inverse of
+/// [`collect_weights`]).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when the vector length differs from
+/// the network's parameter count.
+pub fn install_weights(net: &mut Network, weights: &[f64]) -> Result<()> {
+    fn walk(layers: &mut [Layer], weights: &[f64], cursor: &mut usize) -> Result<()> {
+        for layer in layers {
+            match layer {
+                Layer::Residual(r) => walk(r.body_mut(), weights, cursor)?,
+                other => {
+                    let slot = other.weights_mut();
+                    let n = slot.len();
+                    let end = *cursor + n;
+                    if end > weights.len() {
+                        return Err(Error::shape_mismatch(
+                            format!("at least {end} weights"),
+                            format!("{}", weights.len()),
+                        ));
+                    }
+                    slot.copy_from_slice(&weights[*cursor..end]);
+                    *cursor = end;
+                }
+            }
+        }
+        Ok(())
+    }
+    let mut cursor = 0;
+    walk(net.layers_mut(), weights, &mut cursor)?;
+    if cursor != weights.len() {
+        return Err(Error::shape_mismatch(
+            format!("{cursor} weights"),
+            format!("{}", weights.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Saves a network as `<stem>.json` (layer descriptions) and
+/// `<stem>.bin` (weights) — the toolchain's Fig. 3 input files.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] on I/O failure.
+pub fn save_network(net: &Network, stem: &Path) -> Result<()> {
+    let json = specs_to_json(&net.specs())?;
+    std::fs::write(stem.with_extension("json"), json).map_err(io_err)?;
+    let file = std::fs::File::create(stem.with_extension("bin")).map_err(io_err)?;
+    write_weights(std::io::BufWriter::new(file), &collect_weights(net))
+}
+
+/// Loads a network saved by [`save_network`]. Parameters come from the
+/// blob, so no seed-dependent initialization is involved.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] / [`Error::ShapeMismatch`] on
+/// missing, corrupt or mismatched files.
+pub fn load_network(stem: &Path) -> Result<Network> {
+    let json = std::fs::read_to_string(stem.with_extension("json")).map_err(io_err)?;
+    let specs = specs_from_json(&json)?;
+    let mut net = Network::from_specs(&specs, 0)?;
+    let file = std::fs::File::open(stem.with_extension("bin")).map_err(io_err)?;
+    let weights = read_weights(std::io::BufReader::new(file))?;
+    install_weights(&mut net, &weights)?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn sample_net() -> Network {
+        Network::from_specs(
+            &[
+                LayerSpec::conv2d(3, 1, 2),
+                LayerSpec::relu(),
+                LayerSpec::residual(
+                    vec![LayerSpec::conv2d(3, 2, 2), LayerSpec::relu(), LayerSpec::conv2d(3, 2, 2)],
+                    1.0,
+                ),
+                LayerSpec::avg_pool(2),
+                LayerSpec::dense(2 * 2 * 2, 3),
+            ],
+            99,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn specs_json_roundtrip() {
+        let net = sample_net();
+        let json = specs_to_json(&net.specs()).unwrap();
+        let back = specs_from_json(&json).unwrap();
+        assert_eq!(back, net.specs());
+        assert!(json.contains("Residual"));
+    }
+
+    #[test]
+    fn weights_blob_roundtrip() {
+        let ws = vec![0.0, -1.5, 3.25, f64::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &ws).unwrap();
+        let back = read_weights(buf.as_slice()).unwrap();
+        assert_eq!(back, ws);
+    }
+
+    #[test]
+    fn corrupt_blob_rejected() {
+        assert!(read_weights(&b"NOTMAGIC"[..]).is_err());
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &[1.0, 2.0]).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_weights(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn collect_install_roundtrip_preserves_forward() {
+        let mut net = sample_net();
+        let input = Tensor::from_vec(vec![4, 4, 1], (0..16).map(|i| i as f64 / 16.0).collect())
+            .unwrap();
+        let expected = net.forward(&input).unwrap();
+
+        let weights = collect_weights(&net);
+        assert_eq!(weights.len(), net.param_count());
+        let mut fresh = Network::from_specs(&net.specs(), 12345).unwrap();
+        assert_ne!(collect_weights(&fresh), weights, "different init");
+        install_weights(&mut fresh, &weights).unwrap();
+        let got = fresh.forward(&input).unwrap();
+        assert_eq!(got, expected, "installed weights reproduce outputs exactly");
+    }
+
+    #[test]
+    fn install_validates_length() {
+        let mut net = sample_net();
+        let weights = collect_weights(&net);
+        assert!(install_weights(&mut net, &weights[1..]).is_err());
+        let mut extended = weights.clone();
+        extended.push(0.0);
+        assert!(install_weights(&mut net, &extended).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("shenjing_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("model");
+        let mut net = sample_net();
+        save_network(&net, &stem).unwrap();
+        let mut loaded = load_network(&stem).unwrap();
+        let input = Tensor::from_vec(vec![4, 4, 1], vec![0.3; 16]).unwrap();
+        assert_eq!(net.forward(&input).unwrap(), loaded.forward(&input).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

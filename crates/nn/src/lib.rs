@@ -1,0 +1,50 @@
+//! From-scratch ANN substrate for the Shenjing reproduction.
+//!
+//! The paper's pipeline starts from a *trained artificial neural network*
+//! which is then converted to a spiking network and mapped onto the
+//! accelerator. This crate supplies that starting point without any
+//! external ML framework: a small dense/convolutional network library with
+//! forward, backward and SGD training, plus builders for the four
+//! benchmark topologies of Table III ([`zoo`]).
+//!
+//! Design constraints inherited from the ANN→SNN conversion method
+//! (Cao et al., which the paper follows):
+//!
+//! * **no biases** — layer outputs are pure weighted sums;
+//! * **ReLU activations** — converted to integrate-and-fire thresholds;
+//! * **average pooling** — expressible as a fixed-weight layer on spikes;
+//! * residual blocks add a scaled identity shortcut (`diag(λ)`), matching
+//!   the paper's shortcut normalization layer.
+//!
+//! # Example
+//!
+//! ```
+//! use shenjing_nn::{Network, LayerSpec, Tensor};
+//!
+//! // A 4-input, 3-hidden, 2-output MLP.
+//! let mut net = Network::from_specs(
+//!     &[LayerSpec::dense(4, 3), LayerSpec::relu(), LayerSpec::dense(3, 2)],
+//!     42,
+//! )?;
+//! let out = net.forward(&Tensor::from_vec(vec![4], vec![1.0, 0.0, 0.5, -0.2])?)?;
+//! assert_eq!(out.len(), 2);
+//! # Ok::<(), shenjing_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod layer;
+pub mod loss;
+pub mod network;
+pub mod tensor;
+pub mod train;
+pub mod zoo;
+
+pub use layer::{Layer, LayerSpec};
+pub use loss::{cross_entropy_grad, cross_entropy_loss, softmax};
+pub use network::Network;
+pub use tensor::Tensor;
+pub use train::{Sgd, TrainReport};
+pub use zoo::{cifar_cnn, cifar_resnet, mnist_cnn, mnist_mlp, NetworkKind};

@@ -1,0 +1,108 @@
+//! Softmax cross-entropy loss for classifier training.
+
+use shenjing_core::{Error, Result};
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax over a flat tensor.
+///
+/// ```
+/// use shenjing_nn::{softmax, Tensor};
+/// let p = softmax(&Tensor::from_vec(vec![2], vec![0.0, 0.0])?);
+/// assert!((p.data()[0] - 0.5).abs() < 1e-12);
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.data().iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    Tensor::from_vec(logits.shape().to_vec(), exps.iter().map(|e| e / sum).collect())
+        .expect("same shape as input")
+}
+
+/// Cross-entropy loss of `logits` against the one-hot `target` class.
+///
+/// # Errors
+///
+/// Returns [`Error::OutOfBounds`] when `target` exceeds the class count.
+pub fn cross_entropy_loss(logits: &Tensor, target: usize) -> Result<f64> {
+    if target >= logits.len() {
+        return Err(Error::out_of_bounds(format!(
+            "class {target} of {} logits",
+            logits.len()
+        )));
+    }
+    let probs = softmax(logits);
+    Ok(-(probs.data()[target].max(1e-15)).ln())
+}
+
+/// Gradient of the cross-entropy loss w.r.t. the logits:
+/// `softmax(logits) - onehot(target)`.
+///
+/// # Errors
+///
+/// Returns [`Error::OutOfBounds`] when `target` exceeds the class count.
+pub fn cross_entropy_grad(logits: &Tensor, target: usize) -> Result<Tensor> {
+    if target >= logits.len() {
+        return Err(Error::out_of_bounds(format!(
+            "class {target} of {} logits",
+            logits.len()
+        )));
+    }
+    let mut probs = softmax(logits);
+    probs.data_mut()[target] -= 1.0;
+    Ok(probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap());
+        let sum: f64 = p.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(vec![2], vec![1000.0, 1001.0]).unwrap());
+        let b = softmax(&Tensor::from_vec(vec![2], vec![0.0, 1.0]).unwrap());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(a.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn loss_is_low_for_correct_confident_prediction() {
+        let logits = Tensor::from_vec(vec![3], vec![10.0, 0.0, 0.0]).unwrap();
+        assert!(cross_entropy_loss(&logits, 0).unwrap() < 0.01);
+        assert!(cross_entropy_loss(&logits, 1).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn grad_matches_numerical() {
+        let logits = Tensor::from_vec(vec![3], vec![0.2, -0.5, 1.0]).unwrap();
+        let g = cross_entropy_grad(&logits, 2).unwrap();
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (cross_entropy_loss(&lp, 2).unwrap() - cross_entropy_loss(&lm, 2).unwrap())
+                / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn target_bounds_checked() {
+        let logits = Tensor::zeros(vec![3]);
+        assert!(cross_entropy_loss(&logits, 3).is_err());
+        assert!(cross_entropy_grad(&logits, 99).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! A minimal dense tensor of `f64` values.
+//!
+//! Shapes follow the `(height, width, channels)` convention for images and
+//! `(len,)` for flat vectors; layers flatten/reshape as needed. This is a
+//! deliberately small tensor — just what forward/backward propagation of
+//! the Table III networks requires.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{Error, Result};
+
+/// A dense row-major tensor.
+///
+/// ```
+/// use shenjing_nn::Tensor;
+/// let t = Tensor::from_vec(vec![2, 3], (0..6).map(f64::from).collect())?;
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2])?, 5.0);
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let len = shape.iter().product();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Wraps a data vector with a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `data.len()` differs from the
+    /// shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Result<Tensor> {
+        let expect: usize = shape.iter().product();
+        if expect != data.len() {
+            return Err(Error::shape_mismatch(
+                format!("{expect} elements for shape {shape:?}"),
+                format!("{} elements", data.len()),
+            ));
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for a wrong-rank or out-of-range
+    /// index.
+    pub fn get(&self, index: &[usize]) -> Result<f64> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for a wrong-rank or out-of-range
+    /// index.
+    pub fn set(&mut self, index: &[usize], value: f64) -> Result<()> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when the element counts differ.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor> {
+        let expect: usize = shape.iter().product();
+        if expect != self.data.len() {
+            return Err(Error::shape_mismatch(
+                format!("{} elements", self.data.len()),
+                format!("shape {shape:?} with {expect}"),
+            ));
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Flattens to rank 1.
+    pub fn flattened(&self) -> Tensor {
+        Tensor { shape: vec![self.data.len()], data: self.data.clone() }
+    }
+
+    /// Index of the largest element (ties resolve to the first), or `None`
+    /// for an empty tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, v) in self.data.iter().enumerate() {
+            if *v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Largest absolute value (0 for an empty tensor).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Element-wise sum with another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(Error::shape_mismatch(
+                format!("{:?}", self.shape),
+                format!("{:?}", other.shape),
+            ));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// A copy scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len() {
+            return Err(Error::out_of_bounds(format!(
+                "rank-{} index into rank-{} tensor",
+                index.len(),
+                self.shape.len()
+            )));
+        }
+        let mut off = 0usize;
+        for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            if idx >= dim {
+                return Err(Error::out_of_bounds(format!(
+                    "index {idx} at axis {i} of shape {:?}",
+                    self.shape
+                )));
+            }
+            off = off * dim + idx;
+        }
+        Ok(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(!t.is_empty());
+        assert!(t.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn get_set_row_major() {
+        let mut t = Tensor::zeros(vec![2, 3]);
+        t.set(&[1, 0], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), 7.0);
+        assert_eq!(t.data()[3], 7.0, "row-major: (1,0) is element 3");
+    }
+
+    #[test]
+    fn index_validation() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert!(t.get(&[0]).is_err(), "wrong rank");
+        assert!(t.get(&[2, 0]).is_err(), "row out of range");
+        assert!(t.get(&[0, 3]).is_err(), "col out of range");
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let r = t.reshape(vec![4]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(vec![3]).is_err());
+        assert_eq!(t.flattened().shape(), &[4]);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let t = Tensor::from_vec(vec![4], vec![1.0, 3.0, 3.0, -1.0]).unwrap();
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(Tensor::zeros(vec![0]).argmax(), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, -2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![0.5, 0.5]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[1.5, -1.5]);
+        assert_eq!(a.scaled(2.0).data(), &[2.0, -4.0]);
+        assert!(a.add(&Tensor::zeros(vec![3])).is_err());
+        assert_eq!(a.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn three_dim_indexing() {
+        // (h, w, c) layout: channel is the fastest axis.
+        let mut t = Tensor::zeros(vec![2, 2, 3]);
+        t.set(&[0, 1, 2], 9.0).unwrap();
+        assert_eq!(t.data()[3 + 2], 9.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The four benchmark network topologies of Table III.
+//!
+//! | | (a) MNIST MLP | (b) MNIST CNN | (c) CIFAR-10 CNN | (d) CIFAR-10 ResNet |
+//! |---|---|---|---|---|
+//! | input | 28×28×1 | 28×28×1 | 24×24×3 | 24×24×3 |
+//! | body | FC1(784,512), FC2(512,10) | Conv1(3,3,1,16), Pool, Conv2(3,3,16,32), Pool, FC1(1568,128), FC2(128,10) | Conv1(5,5,3,16), Pool, Conv2(5,5,16,32), Pool, Conv3(3,3,32,64), Pool, FC1(576,256), FC2(256,128), FC3(128,10) | as (c) with Res/Conv2+Res/Conv3 in a residual block after Conv2 |
+//!
+//! Note: Table III prints CIFAR `Conv1(5,5,1,16)`; the input has 3
+//! channels, so we use `(5,5,3,16)` (an evident typo in the paper — the
+//! layer would otherwise not type-check against its own input).
+//!
+//! The ResNet (d) follows the paper's structure: the output of
+//! `Res/Conv1` skips the `Res/Conv2 → Res/Conv3` body and adds to its
+//! output through the shortcut normalization layer `diag(λ)`.
+
+use crate::layer::LayerSpec;
+
+/// Identifies one of the four Table III benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NetworkKind {
+    /// (a) MNIST multilayer perceptron, 784-512-10.
+    MnistMlp,
+    /// (b) MNIST convolutional network.
+    MnistCnn,
+    /// (c) CIFAR-10 convolutional network.
+    CifarCnn,
+    /// (d) CIFAR-10 residual network.
+    CifarResNet,
+}
+
+impl NetworkKind {
+    /// All four benchmarks in Table III order.
+    pub const ALL: [NetworkKind; 4] = [
+        NetworkKind::MnistMlp,
+        NetworkKind::MnistCnn,
+        NetworkKind::CifarCnn,
+        NetworkKind::CifarResNet,
+    ];
+
+    /// The layer specs of this benchmark.
+    pub fn specs(self) -> Vec<LayerSpec> {
+        match self {
+            NetworkKind::MnistMlp => mnist_mlp(),
+            NetworkKind::MnistCnn => mnist_cnn(),
+            NetworkKind::CifarCnn => cifar_cnn(),
+            NetworkKind::CifarResNet => cifar_resnet(),
+        }
+    }
+
+    /// The benchmark's input shape `(h, w, c)`.
+    pub fn input_shape(self) -> (usize, usize, usize) {
+        match self {
+            NetworkKind::MnistMlp | NetworkKind::MnistCnn => (28, 28, 1),
+            NetworkKind::CifarCnn | NetworkKind::CifarResNet => (24, 24, 3),
+        }
+    }
+
+    /// Table IV's spike-train length (timesteps per frame).
+    pub fn paper_timesteps(self) -> u32 {
+        match self {
+            NetworkKind::MnistMlp | NetworkKind::MnistCnn => 20,
+            NetworkKind::CifarCnn | NetworkKind::CifarResNet => 80,
+        }
+    }
+
+    /// Table IV's target frame rate.
+    pub fn paper_fps(self) -> u32 {
+        match self {
+            NetworkKind::MnistMlp => 40,
+            _ => 30,
+        }
+    }
+
+    /// Table IV's core count, for comparison against our mapper.
+    pub fn paper_core_count(self) -> u32 {
+        match self {
+            NetworkKind::MnistMlp => 10,
+            NetworkKind::MnistCnn => 705,
+            NetworkKind::CifarCnn => 2977,
+            NetworkKind::CifarResNet => 5863,
+        }
+    }
+
+    /// Human-readable Table III / IV column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::MnistMlp => "MNIST MLP",
+            NetworkKind::MnistCnn => "MNIST CNN",
+            NetworkKind::CifarCnn => "CIFAR-10 CNN",
+            NetworkKind::CifarResNet => "CIFAR-10 ResNet",
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Table III (a): `Input(28,28,1) → FC1(784,512) → FC2(512,10)`.
+pub fn mnist_mlp() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::dense(784, 512),
+        LayerSpec::relu(),
+        LayerSpec::dense(512, 10),
+    ]
+}
+
+/// Table III (b): the MNIST CNN.
+pub fn mnist_cnn() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::conv2d(3, 1, 16),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 28 → 14
+        LayerSpec::conv2d(3, 16, 32),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 14 → 7
+        LayerSpec::dense(7 * 7 * 32, 128),
+        LayerSpec::relu(),
+        LayerSpec::dense(128, 10),
+    ]
+}
+
+/// Table III (c): the CIFAR-10 CNN (with the 3-channel Conv1 correction).
+pub fn cifar_cnn() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::conv2d(5, 3, 16),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 24 → 12
+        LayerSpec::conv2d(5, 16, 32),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 12 → 6
+        LayerSpec::conv2d(3, 32, 64),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 6 → 3
+        LayerSpec::dense(3 * 3 * 64, 256),
+        LayerSpec::relu(),
+        LayerSpec::dense(256, 128),
+        LayerSpec::relu(),
+        LayerSpec::dense(128, 10),
+    ]
+}
+
+/// Table III (d): the CIFAR-10 ResNet. `Res/Conv1` lifts the channel count
+/// to 32; the residual block wraps `Res/Conv2 → Res/Conv3` (both
+/// 32-channel, so the identity shortcut type-checks) with shortcut scale
+/// λ = 1.
+pub fn cifar_resnet() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::conv2d(5, 3, 16),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 24 → 12
+        LayerSpec::conv2d(5, 16, 32), // Res/Conv1
+        LayerSpec::relu(),
+        LayerSpec::residual(
+            vec![
+                LayerSpec::conv2d(5, 32, 32), // Res/Conv2
+                LayerSpec::relu(),
+                LayerSpec::conv2d(5, 32, 32), // Res/Conv3
+            ],
+            1.0,
+        ),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 12 → 6
+        LayerSpec::conv2d(3, 32, 64),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2), // 6 → 3
+        LayerSpec::dense(3 * 3 * 64, 256),
+        LayerSpec::relu(),
+        LayerSpec::dense(256, 128),
+        LayerSpec::relu(),
+        LayerSpec::dense(128, 10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::tensor::Tensor;
+
+    fn input_for(kind: NetworkKind) -> Tensor {
+        let (h, w, c) = kind.input_shape();
+        if kind == NetworkKind::MnistMlp {
+            Tensor::zeros(vec![h * w * c])
+        } else {
+            Tensor::zeros(vec![h, w, c])
+        }
+    }
+
+    #[test]
+    fn all_four_networks_type_check_end_to_end() {
+        for kind in NetworkKind::ALL {
+            let mut net = Network::from_specs(&kind.specs(), 1).unwrap();
+            let out = net.forward(&input_for(kind)).unwrap();
+            assert_eq!(out.len(), 10, "{kind}: ten classes");
+        }
+    }
+
+    #[test]
+    fn mlp_parameter_count_matches_table() {
+        let specs = mnist_mlp();
+        let total: usize = specs.iter().map(LayerSpec::param_count).sum();
+        assert_eq!(total, 784 * 512 + 512 * 10);
+    }
+
+    #[test]
+    fn mnist_cnn_fc1_matches_table_iii() {
+        // Table III gives FC1(1568, 128); 1568 must equal 7·7·32.
+        let has = mnist_cnn().iter().any(|s| {
+            matches!(s, LayerSpec::Dense { inputs: 1568, outputs: 128 })
+        });
+        assert!(has);
+    }
+
+    #[test]
+    fn cifar_fc1_matches_table_iii() {
+        // Table III gives FC1(576, 256); 576 = 3·3·64 after three pools.
+        for specs in [cifar_cnn(), cifar_resnet()] {
+            let has = specs.iter().any(|s| {
+                matches!(s, LayerSpec::Dense { inputs: 576, outputs: 256 })
+            });
+            assert!(has);
+        }
+    }
+
+    #[test]
+    fn resnet_contains_residual_block() {
+        let has = cifar_resnet().iter().any(|s| matches!(s, LayerSpec::Residual { .. }));
+        assert!(has);
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(NetworkKind::MnistMlp.paper_timesteps(), 20);
+        assert_eq!(NetworkKind::CifarResNet.paper_timesteps(), 80);
+        assert_eq!(NetworkKind::MnistMlp.paper_fps(), 40);
+        assert_eq!(NetworkKind::CifarCnn.paper_fps(), 30);
+        assert_eq!(NetworkKind::MnistMlp.paper_core_count(), 10);
+        assert_eq!(NetworkKind::CifarResNet.paper_core_count(), 5863);
+        assert_eq!(NetworkKind::MnistCnn.to_string(), "MNIST CNN");
+    }
+}

@@ -1,0 +1,96 @@
+//! The §IV area budget.
+//!
+//! One tile (neuron core + PS routers + spike routers) synthesizes into
+//! 0.262 million gates and 0.49 mm² at 28nm, with the routers taking 39%
+//! of the tile ("a sizable portion … as they perform computations of sum
+//! and spikes as well") and the SRAMs 44%. On a 20 mm × 20 mm die, 784
+//! tiles fit in a 28×28 grid.
+
+use serde::{Deserialize, Serialize};
+
+/// The tile and die area budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBudget {
+    /// Tile cell area in mm².
+    pub tile_mm2: f64,
+    /// Logic gates per tile (millions).
+    pub tile_mgates: f64,
+    /// Router fraction of tile area.
+    pub router_fraction: f64,
+    /// SRAM fraction of tile area.
+    pub sram_fraction: f64,
+    /// Die side length in mm.
+    pub die_side_mm: f64,
+}
+
+impl AreaBudget {
+    /// The paper's synthesis results.
+    pub fn paper() -> AreaBudget {
+        AreaBudget {
+            tile_mm2: 0.49,
+            tile_mgates: 0.262,
+            router_fraction: 0.39,
+            sram_fraction: 0.44,
+            die_side_mm: 20.0,
+        }
+    }
+
+    /// How many whole tiles fit per die row/column.
+    pub fn tiles_per_side(&self) -> u32 {
+        (self.die_side_mm / self.tile_mm2.sqrt()).floor() as u32
+    }
+
+    /// Total tiles per die.
+    pub fn tiles_per_die(&self) -> u32 {
+        self.tiles_per_side() * self.tiles_per_side()
+    }
+
+    /// Router area per tile, mm².
+    pub fn router_mm2(&self) -> f64 {
+        self.tile_mm2 * self.router_fraction
+    }
+
+    /// SRAM area per tile, mm².
+    pub fn sram_mm2(&self) -> f64 {
+        self.tile_mm2 * self.sram_fraction
+    }
+
+    /// Remaining (neuron logic, control) area per tile, mm².
+    pub fn other_mm2(&self) -> f64 {
+        self.tile_mm2 * (1.0 - self.router_fraction - self.sram_fraction)
+    }
+}
+
+impl Default for AreaBudget {
+    fn default() -> Self {
+        AreaBudget::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_die_holds_784_tiles() {
+        let a = AreaBudget::paper();
+        assert_eq!(a.tiles_per_side(), 28);
+        assert_eq!(a.tiles_per_die(), 784);
+    }
+
+    #[test]
+    fn fractions_partition_the_tile() {
+        let a = AreaBudget::paper();
+        let sum = a.router_mm2() + a.sram_mm2() + a.other_mm2();
+        assert!((sum - a.tile_mm2).abs() < 1e-12);
+        assert!(a.router_mm2() > 0.0 && a.sram_mm2() > a.router_mm2());
+    }
+
+    #[test]
+    fn routers_are_a_sizable_fraction() {
+        // The paper's point: routers ≈ 39% is comparable to SRAM ≈ 44%.
+        let a = AreaBudget::paper();
+        assert!((a.router_fraction - 0.39).abs() < 1e-12);
+        assert!(a.router_fraction / a.sram_fraction > 0.85);
+    }
+}

@@ -1,0 +1,205 @@
+//! System-level power estimation: the Table IV row generator.
+
+use serde::{Deserialize, Serialize};
+use shenjing_mapper::compile::CompileStats;
+
+use crate::energy::{EnergyModel, FrameEnergy};
+use crate::tile_model::TileModel;
+
+/// A full power/performance estimate for one mapped network — the
+/// quantities of one Table IV column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemEstimate {
+    /// Cores used.
+    pub cores: usize,
+    /// Chips used.
+    pub chips: u16,
+    /// Spike-train length per frame.
+    pub timesteps: u32,
+    /// Target throughput.
+    pub fps: f64,
+    /// Required operating frequency (Hz).
+    pub frequency_hz: f64,
+    /// Power breakdown (mW).
+    pub power: PowerBreakdown,
+    /// Energy per frame (mJ).
+    pub mj_per_frame: f64,
+}
+
+/// Components of the system power (mW).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Static (leakage + clock) power of all tiles.
+    pub static_mw: f64,
+    /// Neuron core active power.
+    pub core_active_mw: f64,
+    /// PS + spike NoC active power.
+    pub noc_active_mw: f64,
+    /// Inter-chip serial link power.
+    pub interchip_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power (mW).
+    pub fn total_mw(&self) -> f64 {
+        self.static_mw + self.core_active_mw + self.noc_active_mw + self.interchip_mw
+    }
+}
+
+impl SystemEstimate {
+    /// Builds the estimate from compile statistics.
+    ///
+    /// The operating frequency follows the paper's throughput relation
+    /// (`f = fps × T × cycles/timestep`, with layers pipelined across
+    /// timesteps); power combines the Fig. 5 static term per tile with
+    /// the Table II active energies per op.
+    pub fn from_stats(
+        energy: &EnergyModel,
+        tile: &TileModel,
+        stats: &CompileStats,
+        cores: usize,
+        chips: u16,
+        timesteps: u32,
+        fps: f64,
+    ) -> SystemEstimate {
+        let frequency_hz =
+            TileModel::frequency_for(fps, timesteps, stats.pipelined_cycles_per_timestep);
+        let frame = FrameEnergy::from_ops(energy, &stats.ops, stats.interchip_bits, timesteps);
+
+        let static_mw = cores as f64 * tile.static_uw * 1e-3;
+        let core_active_mw = frame.core_nj * fps * 1e-6;
+        let noc_active_mw = (frame.ps_noc_nj + frame.spike_noc_nj) * fps * 1e-6;
+        let interchip_mw = frame.interchip_nj * fps * 1e-6;
+        let power = PowerBreakdown { static_mw, core_active_mw, noc_active_mw, interchip_mw };
+
+        // mJ/frame: total power over one frame period.
+        let mj_per_frame = power.total_mw() / fps;
+
+        SystemEstimate {
+            cores,
+            chips,
+            timesteps,
+            fps,
+            frequency_hz,
+            power,
+            mj_per_frame,
+        }
+    }
+
+    /// Power per core in mW (Table IV's "Power/Core" row).
+    pub fn power_per_core_mw(&self) -> f64 {
+        self.power.total_mw() / self.cores as f64
+    }
+
+    /// Microjoules per frame (Table V's unit).
+    pub fn uj_per_frame(&self) -> f64 {
+        self.mj_per_frame * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_mapper::compile::OpCounts;
+
+    fn mlp_like_stats() -> CompileStats {
+        // Roughly the MNIST-MLP per-timestep workload: 8 cores × 256
+        // neurons + 2 cores × 10 neurons of ACC, a few hundred PS and
+        // spike plane-ops.
+        CompileStats {
+            ops: OpCounts {
+                ps_sum: 3 * 256 + 10,
+                ps_send: 3 * 256 + 10 + 522,
+                ps_bypass: 256,
+                spike_spike: 522,
+                spike_send: 512,
+                spike_bypass: 1024,
+                core_acc: 10,
+                core_acc_neurons: 8 * 256 + 2 * 10,
+            },
+            ps_hops: 2000,
+            spike_hops: 1500,
+            interchip_bits: 0,
+            block_cycles: 300,
+            pipelined_cycles_per_timestep: 150,
+            ld_wt_ops: 10,
+        }
+    }
+
+    #[test]
+    fn mlp_operating_point_close_to_paper() {
+        // Paper Table IV, MNIST MLP: 120 kHz, 1.35 mW (simulator) /
+        // 1.26 mW (RTL), 0.038 mJ/frame at 40 fps.
+        let est = SystemEstimate::from_stats(
+            &EnergyModel::paper(),
+            &TileModel::paper(),
+            &mlp_like_stats(),
+            10,
+            1,
+            20,
+            40.0,
+        );
+        assert!((est.frequency_hz - 120e3).abs() < 1.0);
+        let total = est.power.total_mw();
+        assert!(
+            (0.9..2.0).contains(&total),
+            "total {total:.3} mW should be near the paper's 1.26-1.35 mW"
+        );
+        let mj = est.mj_per_frame;
+        assert!((0.02..0.06).contains(&mj), "{mj} mJ/frame vs paper 0.038");
+        let per_core = est.power_per_core_mw();
+        assert!((0.09..0.2).contains(&per_core), "{per_core} vs paper 0.135");
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let b = PowerBreakdown {
+            static_mw: 1.0,
+            core_active_mw: 2.0,
+            noc_active_mw: 0.5,
+            interchip_mw: 0.25,
+        };
+        assert_eq!(b.total_mw(), 3.75);
+    }
+
+    #[test]
+    fn interchip_counted_for_multichip() {
+        let mut stats = mlp_like_stats();
+        stats.interchip_bits = 1_000_000;
+        let with = SystemEstimate::from_stats(
+            &EnergyModel::paper(),
+            &TileModel::paper(),
+            &stats,
+            10,
+            2,
+            20,
+            40.0,
+        );
+        assert!(with.power.interchip_mw > 0.0);
+        stats.interchip_bits = 0;
+        let without = SystemEstimate::from_stats(
+            &EnergyModel::paper(),
+            &TileModel::paper(),
+            &stats,
+            10,
+            1,
+            20,
+            40.0,
+        );
+        assert!(with.power.total_mw() > without.power.total_mw());
+    }
+
+    #[test]
+    fn uj_per_frame_conversion() {
+        let est = SystemEstimate::from_stats(
+            &EnergyModel::paper(),
+            &TileModel::paper(),
+            &mlp_like_stats(),
+            10,
+            1,
+            20,
+            40.0,
+        );
+        assert!((est.uj_per_frame() - est.mj_per_frame * 1e3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Power, energy, timing and area models calibrated to the paper's 28nm
+//! synthesis data.
+//!
+//! The paper's methodology (§IV–§V): synthesize one tile, measure active
+//! energy per atomic operation per neuron with PrimeTime (Table II), then
+//! estimate whole-system power by multiplying those energies with the
+//! operation counts reported by the functional simulator, plus 4.4 pJ/bit
+//! for inter-chip serial links. This crate reproduces that computation:
+//!
+//! * [`energy`] — the Table II constants and the op-count → energy
+//!   computation, validated by the internal consistency relation
+//!   `active power = per-neuron energy × 256 neurons × frequency`;
+//! * [`tile_model`] — the Fig. 5 single-tile power-vs-frequency line
+//!   (`P(f) = P_static + E_cycle · f`, fitted to the figure's six
+//!   points), which supplies the static/clock component the per-op
+//!   energies do not capture;
+//! * [`estimate`] — the Table IV row generator: operating frequency from
+//!   `fps × T × cycles-per-timestep`, total power from
+//!   static + core-active + NoC-active + inter-chip;
+//! * [`area`] — the §IV area budget (0.49 mm² tile, 39% routers / 44%
+//!   SRAM, 784 tiles on a 20 mm × 20 mm die).
+//!
+//! # Example
+//!
+//! ```
+//! use shenjing_power::tile_model::TileModel;
+//!
+//! let model = TileModel::paper();
+//! // Fig. 5: at 120 kHz a tile dissipates ~181 µW.
+//! let p = model.power_uw(120_000.0);
+//! assert!((p - 181.0).abs() < 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod estimate;
+pub mod tile_model;
+
+pub use area::AreaBudget;
+pub use energy::{EnergyModel, FrameEnergy};
+pub use estimate::{PowerBreakdown, SystemEstimate};
+pub use tile_model::TileModel;

@@ -1,0 +1,126 @@
+//! The Fig. 5 single-tile power/frequency line.
+//!
+//! Fig. 5 reports the power of one tile (neuron core + NoC routers) at
+//! six operating points. The points are collinear to high precision —
+//! classic CMOS behaviour `P(f) = P_static + E_cycle · f` — and the fit
+//! gives `P_static ≈ 74 µW` and `E_cycle ≈ 0.89 nJ/cycle`. The static
+//! term is what the per-op energies of Table II do not contain, and is
+//! the dominant term for large deployments at low frequency (which is
+//! why Table IV's power-per-core stays near 0.13–0.15 mW across a 20×
+//! frequency range).
+
+use serde::{Deserialize, Serialize};
+
+/// The six (frequency kHz, tile power µW) points of Fig. 5, paired with
+/// their throughput targets in frames/second.
+pub const FIG5_POINTS: [(u32, f64, f64); 6] = [
+    (24, 73.0, 139.0),
+    (30, 91.0, 155.0),
+    (35, 106.0, 169.0),
+    (40, 120.0, 181.0),
+    (48, 145.0, 203.0),
+    (60, 181.0, 235.0),
+];
+
+/// Linear tile power model `P(f) = P_static + E_cycle · f`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileModel {
+    /// Static (leakage + clock idle) power per tile, in µW.
+    pub static_uw: f64,
+    /// Dynamic energy per clock cycle per tile, in nJ.
+    pub energy_per_cycle_nj: f64,
+}
+
+impl TileModel {
+    /// Least-squares fit of the Fig. 5 points.
+    pub fn paper() -> TileModel {
+        Self::fit(&FIG5_POINTS)
+    }
+
+    /// Least-squares fit of arbitrary `(fps, freq kHz, power µW)` points.
+    pub fn fit(points: &[(u32, f64, f64)]) -> TileModel {
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.1).sum();
+        let sy: f64 = points.iter().map(|p| p.2).sum();
+        let sxx: f64 = points.iter().map(|p| p.1 * p.1).sum();
+        let sxy: f64 = points.iter().map(|p| p.1 * p.2).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        TileModel {
+            static_uw: intercept,
+            // slope is µW per kHz = nJ per cycle.
+            energy_per_cycle_nj: slope,
+        }
+    }
+
+    /// Tile power at `freq_hz`, in µW.
+    pub fn power_uw(&self, freq_hz: f64) -> f64 {
+        self.static_uw + self.energy_per_cycle_nj * (freq_hz / 1e3)
+    }
+
+    /// The frequency (Hz) needed for a throughput of `fps` frames/second
+    /// with `timesteps` per frame and `cycles_per_timestep` pipelined
+    /// cycles.
+    pub fn frequency_for(fps: f64, timesteps: u32, cycles_per_timestep: u64) -> f64 {
+        fps * f64::from(timesteps) * cycles_per_timestep as f64
+    }
+}
+
+impl Default for TileModel {
+    fn default() -> Self {
+        TileModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_reproduces_fig5_points() {
+        let m = TileModel::paper();
+        for (_, f_khz, p_uw) in FIG5_POINTS {
+            let predicted = m.power_uw(f_khz * 1e3);
+            assert!(
+                (predicted - p_uw).abs() < 4.0,
+                "{f_khz} kHz: predicted {predicted:.1} µW vs figure {p_uw}"
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_constants_in_expected_range() {
+        let m = TileModel::paper();
+        assert!((70.0..80.0).contains(&m.static_uw), "static {}", m.static_uw);
+        assert!(
+            (0.85..0.93).contains(&m.energy_per_cycle_nj),
+            "per-cycle {}",
+            m.energy_per_cycle_nj
+        );
+    }
+
+    #[test]
+    fn power_scales_up_with_frequency() {
+        let m = TileModel::paper();
+        // The paper: power grows 2.48x from 73 kHz (139 µW) to 181 kHz.
+        let ratio = m.power_uw(181e3) / m.power_uw(73e3);
+        assert!((ratio - 2.48 / 1.475).abs() < 0.35, "ratio {ratio}");
+        assert!(m.power_uw(181e3) > m.power_uw(73e3));
+    }
+
+    #[test]
+    fn frequency_for_paper_mlp_operating_point() {
+        // 40 fps × 20 timesteps × ~150 cycles ≈ 120 kHz (the paper's MLP
+        // operating frequency).
+        let f = TileModel::frequency_for(40.0, 20, 150);
+        assert_eq!(f, 120e3);
+    }
+
+    #[test]
+    fn fit_exact_line() {
+        let pts = [(1, 10.0, 120.0), (2, 20.0, 140.0), (3, 30.0, 160.0)];
+        let m = TileModel::fit(&pts);
+        assert!((m.static_uw - 100.0).abs() < 1e-9);
+        assert!((m.energy_per_cycle_nj - 2.0).abs() < 1e-9);
+    }
+}

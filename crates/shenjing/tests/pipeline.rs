@@ -1,0 +1,117 @@
+//! End-to-end integration: train → convert → map → cycle-simulate, with
+//! the paper's zero-loss-mapping property checked on real (synthetic)
+//! data.
+
+use shenjing::datasets::{flatten_images, train_test_split};
+use shenjing::prelude::*;
+use shenjing::snn::convert;
+
+fn digit_pipeline(hidden: usize, train_n: usize, seed: u64) -> (Network, Vec<(Tensor, usize)>) {
+    let data = SynthDigits::new(seed).generate(train_n + 50);
+    let (train, test) = train_test_split(data, train_n as f64 / (train_n + 50) as f64);
+    let train = flatten_images(&train);
+    let test = flatten_images(&test);
+    let mut ann = Network::from_specs(
+        &[
+            LayerSpec::dense(784, hidden),
+            LayerSpec::relu(),
+            LayerSpec::dense(hidden, 10),
+        ],
+        seed,
+    )
+    .unwrap();
+    Sgd::new(0.02, 4, seed + 1).train(&mut ann, &train).unwrap();
+    (ann, test)
+}
+
+#[test]
+fn mapped_accuracy_equals_abstract_accuracy() {
+    // Table IV's "Abstract SNN Accu." == "Shenjing Accu." — the paper's
+    // central claim, here measured (not assumed) on 20 test frames.
+    let (mut ann, test) = digit_pipeline(32, 100, 3);
+    let calib: Vec<Tensor> = test.iter().take(12).map(|(x, _)| x.clone()).collect();
+    let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+
+    let arch = ArchSpec::paper();
+    let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+    let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+
+    let probe: Vec<(Tensor, usize)> = test.into_iter().take(20).collect();
+    let abstract_acc = snn.evaluate(&probe, 20).unwrap();
+    let hw_acc = sim.evaluate(&probe, 20).unwrap();
+    assert_eq!(abstract_acc, hw_acc, "mapping must add zero accuracy loss");
+    assert!(abstract_acc > 0.5, "the pipeline must actually classify");
+}
+
+#[test]
+fn snn_conversion_loss_is_bounded() {
+    // The ANN→SNN conversion loses a little accuracy (the paper: ~3% on
+    // MNIST); it must not collapse.
+    let (mut ann, test) = digit_pipeline(48, 250, 17);
+    let ann_acc = shenjing::nn::train::accuracy(&mut ann, &test).unwrap();
+    let calib: Vec<Tensor> = test.iter().take(16).map(|(x, _)| x.clone()).collect();
+    let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+    let snn_acc = snn.evaluate(&test, 20).unwrap();
+    assert!(ann_acc >= 0.75, "ANN should learn synthetic digits ({ann_acc})");
+    assert!(
+        snn_acc > ann_acc - 0.15,
+        "conversion loss too large: ANN {ann_acc} vs SNN {snn_acc}"
+    );
+}
+
+#[test]
+fn no_ps_overflow_on_real_workload() {
+    // §II: "We did not encounter any overflow in our applications." The
+    // abstract model tracks the largest |weighted sum|; it must fit the
+    // 16-bit PS NoC width.
+    let (mut ann, test) = digit_pipeline(32, 100, 29);
+    let calib: Vec<Tensor> = test.iter().take(10).map(|(x, _)| x.clone()).collect();
+    let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+    for (x, _) in test.iter().take(15) {
+        snn.run(x, 20).unwrap();
+    }
+    let max_sum = snn.max_abs_sum();
+    assert!(
+        max_sum <= i64::from(NocSum::MAX.value()),
+        "PS NoC width exceeded: {max_sum}"
+    );
+    assert!(max_sum > 0, "the statistic must be real");
+}
+
+#[test]
+fn blockwise_baseline_loses_accuracy_relative_to_ps_noc() {
+    // The §II/§VI argument quantified: splitting the MLP's 784-input
+    // layer into 256-axon blocks with per-block re-thresholding (prior
+    // architectures) degrades accuracy; Shenjing's exact PS folding does
+    // not.
+    let (mut ann, test) = digit_pipeline(32, 200, 41);
+    let calib: Vec<Tensor> = test.iter().take(16).map(|(x, _)| x.clone()).collect();
+    let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+    let mut blockwise =
+        shenjing::baselines::BlockwiseSnn::new(&snn, 256).unwrap();
+
+    let probe: Vec<(Tensor, usize)> = test.into_iter().take(40).collect();
+    let exact_acc = snn.evaluate(&probe, 20).unwrap();
+    let block_acc = blockwise.evaluate(&probe, 20).unwrap();
+    assert!(
+        block_acc <= exact_acc,
+        "block-level aggregation should not beat exact sums \
+         (exact {exact_acc}, blockwise {block_acc})"
+    );
+}
+
+#[test]
+fn placement_ablation_greedy_wins() {
+    let (mut ann, test) = digit_pipeline(32, 80, 53);
+    let calib: Vec<Tensor> = test.iter().take(8).map(|(x, _)| x.clone()).collect();
+    let snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+    let arch = ArchSpec::paper();
+    let greedy = Mapper::new(arch.clone()).map(&snn).unwrap();
+    let naive = Mapper::new(arch)
+        .with_strategy(PlacementStrategy::RowMajorNaive)
+        .map(&snn)
+        .unwrap();
+    let g = greedy.program.stats.ps_hops + greedy.program.stats.spike_hops;
+    let n = naive.program.stats.ps_hops + naive.program.stats.spike_hops;
+    assert!(g <= n, "greedy compiled traffic {g} should beat naive {n}");
+}

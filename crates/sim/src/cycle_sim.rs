@@ -1,0 +1,258 @@
+//! Executing compiled programs on the hardware component models.
+
+use std::collections::BTreeMap;
+
+use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
+use shenjing_hw::{AtomicOp, Chip};
+use shenjing_mapper::{CompiledProgram, LogicalMapping};
+use shenjing_nn::Tensor;
+use shenjing_snn::{RateEncoder, SnnOutput};
+
+/// The cycle-level simulator: a [`Chip`] loaded with a compiled program.
+#[derive(Debug, Clone)]
+pub struct CycleSim {
+    chip: Chip,
+    /// Ops per cycle, flattened from the configuration memories.
+    schedule: Vec<(u64, Vec<(CoreCoord, AtomicOp)>)>,
+    block_cycles: u64,
+    input_map: Vec<Vec<(CoreCoord, u16)>>,
+    output_map: Vec<(CoreCoord, u16)>,
+}
+
+impl CycleSim {
+    /// Builds a chip mesh, loads every tile's weights (the `LD_WT` phase)
+    /// and thresholds, and indexes the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/bounds errors when the program references tiles or
+    /// planes outside the mesh.
+    pub fn new(
+        arch: &ArchSpec,
+        mapping: &LogicalMapping,
+        program: &CompiledProgram,
+    ) -> Result<CycleSim> {
+        let mut chip = Chip::new(arch, program.mesh_rows, program.mesh_cols)?;
+
+        // LD_WT: materialize each logical core's weight block into its tile.
+        for (coord, core_id) in &program.core_at {
+            let core = mapping.core(*core_id);
+            let flat = &mapping.flat[core.layer];
+            let block = core.materialize_weights(flat);
+            chip.tile_mut(*coord)?.core_mut().load_weights(&block)?;
+        }
+        // Thresholds at fold roots.
+        for (coord, plane, threshold) in &program.thresholds {
+            chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
+        }
+
+        // Index the schedule by cycle.
+        let mut by_cycle: BTreeMap<u64, Vec<(CoreCoord, AtomicOp)>> = BTreeMap::new();
+        for (coord, prog) in program.config.iter() {
+            for (cycle, op) in prog.iter() {
+                by_cycle.entry(cycle).or_default().push((coord, op.clone()));
+            }
+        }
+
+        Ok(CycleSim {
+            chip,
+            schedule: by_cycle.into_iter().collect(),
+            block_cycles: program.block_cycles,
+            input_map: program.input_map.clone(),
+            output_map: program.output_map.clone(),
+        })
+    }
+
+    /// The mesh.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Cycles in one timestep block.
+    pub fn block_cycles(&self) -> u64 {
+        self.block_cycles
+    }
+
+    /// Runs one inference frame: `timesteps` of rate-coded input.
+    ///
+    /// Returns the same [`SnnOutput`] shape as the abstract model so the
+    /// two can be compared directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when the input length differs
+    /// from the mapped network's, and propagates any hardware-level
+    /// schedule violation (which would indicate a compiler bug).
+    pub fn run_frame(&mut self, input: &Tensor, timesteps: u32) -> Result<SnnOutput> {
+        if input.len() != self.input_map.len() {
+            return Err(Error::shape_mismatch(
+                format!("{} inputs", self.input_map.len()),
+                format!("{}", input.len()),
+            ));
+        }
+        if timesteps == 0 {
+            return Err(Error::config("timesteps must be positive"));
+        }
+        self.chip.reset_frame();
+        let mut encoder = RateEncoder::new(input);
+        let out_len = self.output_map.len();
+        let mut spike_counts = vec![0u32; out_len];
+        let mut spikes_by_step = Vec::with_capacity(timesteps as usize);
+
+        for _ in 0..timesteps {
+            // Fresh axons; inject this timestep's input spikes.
+            self.chip.clear_axons();
+            let spikes = encoder.next_timestep();
+            for (i, spiking) in spikes.iter().enumerate() {
+                if !spiking {
+                    continue;
+                }
+                for (coord, axon) in &self.input_map[i] {
+                    self.chip.tile_mut(*coord)?.core_mut().set_axon(*axon, true)?;
+                }
+            }
+
+            // Execute the static block.
+            let mut idx = 0usize;
+            for cycle in 0..self.block_cycles {
+                let ops: &[(CoreCoord, AtomicOp)] =
+                    if idx < self.schedule.len() && self.schedule[idx].0 == cycle {
+                        let ops = &self.schedule[idx].1;
+                        idx += 1;
+                        ops
+                    } else {
+                        &[]
+                    };
+                self.chip.exec_cycle(cycle, ops)?;
+            }
+
+            // Read output spikes, then clear network state (potentials
+            // persist across timesteps).
+            let mut step = vec![false; out_len];
+            for (o, (coord, plane)) in self.output_map.iter().enumerate() {
+                let fired = self.chip.tile(*coord)?.spike().spike_buffer(*plane);
+                step[o] = fired;
+                spike_counts[o] += u32::from(fired);
+            }
+            spikes_by_step.push(step);
+            self.chip.reset_network_state();
+        }
+
+        let potentials = self
+            .output_map
+            .iter()
+            .map(|(coord, plane)| {
+                Ok(i64::from(self.chip.tile(*coord)?.spike().potential(*plane)))
+            })
+            .collect::<Result<Vec<i64>>>()?;
+
+        Ok(SnnOutput { spike_counts, potentials, spikes_by_step })
+    }
+
+    /// Predicted class for one frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_frame`](CycleSim::run_frame).
+    pub fn predict(&mut self, input: &Tensor, timesteps: u32) -> Result<usize> {
+        Ok(self.run_frame(input, timesteps)?.predicted_class())
+    }
+
+    /// Classification accuracy over a labelled dataset.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_frame`](CycleSim::run_frame).
+    pub fn evaluate(&mut self, data: &[(Tensor, usize)], timesteps: u32) -> Result<f64> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (x, y) in data {
+            if self.predict(x, timesteps)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_core::W5;
+    use shenjing_mapper::Mapper;
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    fn build_sim(snn: &SnnNetwork, arch: &ArchSpec) -> CycleSim {
+        let mapping = Mapper::new(arch.clone()).map(snn).unwrap();
+        CycleSim::new(arch, &mapping.logical, &mapping.program).unwrap()
+    }
+
+    #[test]
+    fn single_core_dense_matches_hand_computation() {
+        // 2 inputs → 2 outputs, weights [[10, -10], [5, 5]], θ = 8.
+        let arch = ArchSpec::tiny();
+        let weights = vec![w(10), w(-10), w(5), w(5)];
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 2, 2, 8, 1.0).unwrap(),
+        )])
+        .unwrap();
+        let mut sim = build_sim(&snn, &arch);
+        // Input [1.0, 0.0]: every step neuron 0 integrates 10 > 8 → fires.
+        let input = Tensor::from_vec(vec![2], vec![1.0, 0.0]).unwrap();
+        let out = sim.run_frame(&input, 10).unwrap();
+        assert_eq!(out.spike_counts[0], 10);
+        assert_eq!(out.spike_counts[1], 0);
+    }
+
+    #[test]
+    fn multi_core_fold_equals_single_core_math() {
+        // 40 inputs (3 cores on the tiny arch) all weight 1, θ = 39:
+        // when every input spikes the exact PS-NoC sum is 40 > 39 → fire.
+        // A lossy (spike-quantized) aggregation could never see 40.
+        let arch = ArchSpec::tiny();
+        let weights = vec![w(1); 40];
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 40, 1, 39, 1.0).unwrap(),
+        )])
+        .unwrap();
+        let mut sim = build_sim(&snn, &arch);
+        let input = Tensor::from_vec(vec![40], vec![1.0; 40]).unwrap();
+        let out = sim.run_frame(&input, 5).unwrap();
+        assert_eq!(out.spike_counts[0], 5, "exact cross-core sum fires every step");
+    }
+
+    #[test]
+    fn frames_are_reproducible() {
+        let arch = ArchSpec::tiny();
+        let weights = vec![w(3); 8 * 4];
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 8, 4, 10, 1.0).unwrap(),
+        )])
+        .unwrap();
+        let mut sim = build_sim(&snn, &arch);
+        let input = Tensor::from_vec(vec![8], vec![0.6; 8]).unwrap();
+        let a = sim.run_frame(&input, 12).unwrap();
+        let b = sim.run_frame(&input, 12).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_validation() {
+        let arch = ArchSpec::tiny();
+        let weights = vec![w(1); 4];
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 2, 2, 5, 1.0).unwrap(),
+        )])
+        .unwrap();
+        let mut sim = build_sim(&snn, &arch);
+        assert!(sim.run_frame(&Tensor::zeros(vec![3]), 5).is_err());
+        assert!(sim.run_frame(&Tensor::zeros(vec![2]), 0).is_err());
+        assert_eq!(sim.evaluate(&[], 5).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Bit-exact equivalence between the abstract SNN model and the mapped
+//! cycle-level simulation.
+//!
+//! This is the executable form of the paper's central claim: mapping a
+//! converted SNN onto Shenjing adds **zero** accuracy loss, because the
+//! partial-sum NoCs accumulate exact integer sums across cores (Table IV's
+//! identical "Abstract SNN Accu." and "Shenjing Accu." rows).
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::Result;
+use shenjing_nn::Tensor;
+use shenjing_snn::SnnNetwork;
+
+use crate::cycle_sim::CycleSim;
+
+/// The outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// Frames compared.
+    pub frames: usize,
+    /// Timesteps per frame.
+    pub timesteps: u32,
+    /// Frames whose *per-timestep* output spikes matched exactly.
+    pub exact_frames: usize,
+    /// Index of the first mismatching frame, if any.
+    pub first_mismatch: Option<usize>,
+}
+
+impl EquivalenceReport {
+    /// Whether every frame matched bit for bit.
+    pub fn is_exact(&self) -> bool {
+        self.exact_frames == self.frames
+    }
+}
+
+/// Runs `inputs` through both models and compares every output spike of
+/// every timestep (not just the counts).
+///
+/// # Errors
+///
+/// Propagates run errors from either model.
+pub fn verify(
+    snn: &mut SnnNetwork,
+    sim: &mut CycleSim,
+    inputs: &[Tensor],
+    timesteps: u32,
+) -> Result<EquivalenceReport> {
+    let mut exact = 0usize;
+    let mut first_mismatch = None;
+    for (i, input) in inputs.iter().enumerate() {
+        let abstract_out = snn.run(input, timesteps)?;
+        let hw_out = sim.run_frame(input, timesteps)?;
+        if abstract_out.spikes_by_step == hw_out.spikes_by_step
+            && abstract_out.spike_counts == hw_out.spike_counts
+        {
+            exact += 1;
+        } else if first_mismatch.is_none() {
+            first_mismatch = Some(i);
+        }
+    }
+    Ok(EquivalenceReport {
+        frames: inputs.len(),
+        timesteps,
+        exact_frames: exact,
+        first_mismatch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use shenjing_core::ArchSpec;
+    use shenjing_mapper::Mapper;
+    use shenjing_nn::{LayerSpec, Network};
+    use shenjing_snn::{convert, ConversionOptions};
+
+    fn random_inputs(n: usize, dim: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Tensor::from_vec(vec![dim], (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn check_net(specs: &[LayerSpec], input_dim: usize, arch: &ArchSpec, seed: u64) {
+        let mut ann = Network::from_specs(specs, seed).unwrap();
+        let calib = random_inputs(6, input_dim, seed + 1);
+        let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut sim = CycleSim::new(arch, &mapping.logical, &mapping.program).unwrap();
+        let inputs = random_inputs(4, input_dim, seed + 2);
+        let report = verify(&mut snn, &mut sim, &inputs, 16).unwrap();
+        assert!(
+            report.is_exact(),
+            "mapped hardware diverged from the abstract SNN: {report:?}"
+        );
+    }
+
+    #[test]
+    fn mlp_on_tiny_arch_is_bit_exact() {
+        // 40 inputs force a 3-core fold; 20 hidden a 2-column split.
+        check_net(
+            &[LayerSpec::dense(40, 20), LayerSpec::relu(), LayerSpec::dense(20, 4)],
+            40,
+            &ArchSpec::tiny(),
+            11,
+        );
+    }
+
+    #[test]
+    fn deep_mlp_is_bit_exact() {
+        check_net(
+            &[
+                LayerSpec::dense(30, 30),
+                LayerSpec::relu(),
+                LayerSpec::dense(30, 18),
+                LayerSpec::relu(),
+                LayerSpec::dense(18, 5),
+            ],
+            30,
+            &ArchSpec::tiny(),
+            23,
+        );
+    }
+
+    fn random_images(n: usize, h: usize, w: usize, c: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Tensor::from_vec(
+                    vec![h, w, c],
+                    (0..h * w * c).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn small_arch() -> ArchSpec {
+        ArchSpec {
+            core_inputs: 64,
+            core_neurons: 64,
+            chip_rows: 8,
+            chip_cols: 8,
+            ..ArchSpec::paper()
+        }
+    }
+
+    #[test]
+    fn cnn_with_pool_is_bit_exact() {
+        // conv(3,1→2) → pool(2) → dense: exercises halo duplication,
+        // multicast, per-channel pooling cores and dense packing.
+        let arch = small_arch();
+        let specs = [
+            LayerSpec::conv2d(3, 1, 2),
+            LayerSpec::relu(),
+            LayerSpec::avg_pool(2),
+            LayerSpec::dense(2 * 3 * 3, 3),
+        ];
+        let mut ann = Network::from_specs(&specs, 31).unwrap();
+        let calib = random_images(5, 6, 6, 1, 32);
+        let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+        let inputs = random_images(3, 6, 6, 1, 33);
+        let report = verify(&mut snn, &mut sim, &inputs, 16).unwrap();
+        assert!(report.is_exact(), "{report:?}");
+    }
+
+    #[test]
+    fn resnet_block_is_bit_exact() {
+        // conv → residual(conv, relu, conv) → pool → dense: exercises the
+        // diag(λ) shortcut normalization cores folding over the PS NoC.
+        let arch = small_arch();
+        let specs = [
+            LayerSpec::conv2d(3, 1, 2),
+            LayerSpec::relu(),
+            LayerSpec::residual(
+                vec![
+                    LayerSpec::conv2d(3, 2, 2),
+                    LayerSpec::relu(),
+                    LayerSpec::conv2d(3, 2, 2),
+                ],
+                1.0,
+            ),
+            LayerSpec::relu(),
+            LayerSpec::avg_pool(2),
+            LayerSpec::dense(2 * 3 * 3, 2),
+        ];
+        let mut ann = Network::from_specs(&specs, 41).unwrap();
+        let calib = random_images(5, 6, 6, 1, 42);
+        let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+        let inputs = random_images(3, 6, 6, 1, 43);
+        let report = verify(&mut snn, &mut sim, &inputs, 20).unwrap();
+        assert!(report.is_exact(), "{report:?}");
+    }
+
+    #[test]
+    fn rectangular_images_are_bit_exact() {
+        // Non-square spatial dims exercise the row/column bookkeeping of
+        // the conv tiling and pool rasters independently.
+        let arch = small_arch();
+        let specs = [
+            LayerSpec::conv2d(3, 1, 2),
+            LayerSpec::relu(),
+            LayerSpec::avg_pool(2),
+            LayerSpec::dense(2 * 2 * 4, 3),
+        ];
+        let mut ann = Network::from_specs(&specs, 61).unwrap();
+        let calib = random_images(4, 4, 8, 1, 62); // 4 rows x 8 cols
+        let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+        let inputs = random_images(3, 4, 8, 1, 63);
+        let report = verify(&mut snn, &mut sim, &inputs, 14).unwrap();
+        assert!(report.is_exact(), "{report:?}");
+    }
+
+    #[test]
+    fn wide_pool_window_is_bit_exact() {
+        // 4x4 pooling: the pool raster uses strides different from the
+        // window, catching any size/stride mix-up.
+        let arch = small_arch();
+        let specs = [
+            LayerSpec::conv2d(3, 1, 2),
+            LayerSpec::relu(),
+            LayerSpec::avg_pool(4),
+            LayerSpec::dense(2 * 2 * 2, 2),
+        ];
+        let mut ann = Network::from_specs(&specs, 71).unwrap();
+        let calib = random_images(4, 8, 8, 1, 72);
+        let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+        let inputs = random_images(3, 8, 8, 1, 73);
+        let report = verify(&mut snn, &mut sim, &inputs, 14).unwrap();
+        assert!(report.is_exact(), "{report:?}");
+    }
+
+    #[test]
+    fn mismatch_is_reported_not_hidden() {
+        // Sabotage: evaluate against a *different* abstract network and
+        // confirm the checker notices.
+        let arch = ArchSpec::tiny();
+        let specs = [LayerSpec::dense(8, 6), LayerSpec::relu(), LayerSpec::dense(6, 2)];
+        let mut ann_a = Network::from_specs(&specs, 1).unwrap();
+        let mut ann_b = Network::from_specs(&specs, 2).unwrap();
+        let calib = random_inputs(4, 8, 3);
+        let mut snn_a = convert(&mut ann_a, &calib, &ConversionOptions::default()).unwrap();
+        let snn_b = convert(&mut ann_b, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn_b).unwrap();
+        let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+        let inputs = random_inputs(3, 8, 4);
+        let report = verify(&mut snn_a, &mut sim, &inputs, 12).unwrap();
+        assert!(!report.is_exact());
+        assert!(report.first_mismatch.is_some());
+    }
+}

@@ -1,0 +1,510 @@
+//! Rate-based ANN→SNN conversion with data-based normalization and 5-bit
+//! quantization.
+//!
+//! The method follows Cao et al. (the paper's reference \[6\]) and Hu et al.
+//! (reference \[5\]) for residual shortcuts:
+//!
+//! 1. **Data-based weight normalization.** For each weight-carrying layer
+//!    `l`, the maximum positive activation `λ_l` over a calibration set is
+//!    recorded (ReLU makes negative preactivations irrelevant — they never
+//!    become spikes). Weights are rescaled to `w̃ = w · λ_{l-1} / λ_l` so
+//!    every layer's activations, hence spike rates, live in `[0, 1]`.
+//! 2. **Quantization.** The normalized float weights are mapped to the
+//!    hardware's 5-bit signed format with a per-layer scale `s`, and the
+//!    unit firing threshold becomes the integer `θ = round(s)`. A neuron
+//!    integrating quantized weights against θ fires at (approximately) the
+//!    rate the float model would output — the rounding here is the *only*
+//!    source of the ANN→SNN accuracy gap; the hardware mapping adds none.
+//! 3. **Residual shortcuts.** The block input's spikes are injected into
+//!    the residual tail's integration through the paper's `diag(λ)`
+//!    shortcut normalization weight, quantized with the tail layer's own
+//!    scale so both contributions share one integer domain (this is what
+//!    the PS NoC addition implements in hardware).
+//! 4. **Average pooling** becomes a spiking layer with a uniform quantized
+//!    weight — on Shenjing, pooling occupies cores like any other layer
+//!    (Table IV's core counts include the pools).
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{Error, Result, W5};
+use shenjing_nn::{Layer, Network, Tensor};
+
+use crate::layer::{SnnLayer, SpikingConv, SpikingDense, SpikingPool, SpikingResidual};
+use crate::network::SnnNetwork;
+
+/// Options controlling the conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionOptions {
+    /// Outlier-robust normalization: use this fraction of the maximum
+    /// activation (1.0 = plain max; the paper's method). Values slightly
+    /// below 1.0 trade occasional saturation for higher rates.
+    pub activation_fraction: f64,
+}
+
+impl Default for ConversionOptions {
+    fn default() -> Self {
+        ConversionOptions { activation_fraction: 1.0 }
+    }
+}
+
+/// Diagnostics of one conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionReport {
+    /// Per spiking layer: the normalization activation λ.
+    pub lambdas: Vec<f64>,
+    /// Per spiking layer: the quantization scale s.
+    pub scales: Vec<f64>,
+    /// Per spiking layer: the integer threshold θ.
+    pub thresholds: Vec<i32>,
+    /// Per spiking layer: a human-readable description.
+    pub descriptions: Vec<String>,
+}
+
+/// Converts a trained ANN into an abstract SNN.
+///
+/// `calibration` drives the data-based normalization; a modest sample of
+/// training inputs suffices. The input geometry is taken from the first
+/// calibration tensor (rank 3 `(h, w, c)` for convolutional networks, rank
+/// 1 for MLPs).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for an empty calibration set or an
+/// unsupported topology (e.g. a residual block whose tail is not a
+/// convolution).
+pub fn convert(
+    ann: &mut Network,
+    calibration: &[Tensor],
+    options: &ConversionOptions,
+) -> Result<SnnNetwork> {
+    convert_with_report(ann, calibration, options).map(|(net, _)| net)
+}
+
+/// [`convert`], also returning the [`ConversionReport`].
+///
+/// # Errors
+///
+/// See [`convert`].
+pub fn convert_with_report(
+    ann: &mut Network,
+    calibration: &[Tensor],
+    options: &ConversionOptions,
+) -> Result<(SnnNetwork, ConversionReport)> {
+    if calibration.is_empty() {
+        return Err(Error::config("conversion needs at least one calibration input"));
+    }
+    if !(0.0 < options.activation_fraction && options.activation_fraction <= 1.0) {
+        return Err(Error::config("activation_fraction must be in (0, 1]"));
+    }
+
+    // Phase 1: collect the maximum positive activation of every spiking
+    // leaf over the calibration data.
+    let mut maxima: Vec<f64> = Vec::new();
+    for input in calibration {
+        let mut acts = Vec::new();
+        let out = collect_leaf_activations(ann.layers_mut(), input, &mut acts)?;
+        let _ = out;
+        if maxima.is_empty() {
+            maxima = acts;
+        } else {
+            for (m, a) in maxima.iter_mut().zip(acts) {
+                *m = m.max(a);
+            }
+        }
+    }
+
+    // Phase 2: build spiking layers.
+    let mut ctx = ConvertCtx {
+        maxima: &maxima,
+        next_leaf: 0,
+        lambda_prev: 1.0,
+        fraction: options.activation_fraction,
+        report: ConversionReport {
+            lambdas: Vec::new(),
+            scales: Vec::new(),
+            thresholds: Vec::new(),
+            descriptions: Vec::new(),
+        },
+    };
+    let mut shape = calibration[0].shape().to_vec();
+    let mut layers = Vec::new();
+    for layer in ann.layers() {
+        if let Some(snn_layer) = ctx.convert_layer(layer, &mut shape)? {
+            layers.push(snn_layer);
+        }
+    }
+    let report = ctx.report;
+    Ok((SnnNetwork::new(layers)?, report))
+}
+
+/// Re-implements the ANN forward walk, recording every spiking leaf's
+/// maximum positive activation. For residual blocks the *tail* leaf
+/// records the block sum (body output + λ·input) — that is the
+/// preactivation its IF neurons will integrate.
+fn collect_leaf_activations(
+    layers: &mut [Layer],
+    input: &Tensor,
+    acts: &mut Vec<f64>,
+) -> Result<Tensor> {
+    let mut cur = input.clone();
+    for layer in layers {
+        cur = match layer {
+            Layer::Relu(_) => layer.forward(&cur)?,
+            Layer::Dense(_) | Layer::Conv2d(_) | Layer::AvgPool2d(_) => {
+                let out = layer.forward(&cur)?;
+                acts.push(max_positive(&out));
+                out
+            }
+            Layer::Residual(res) => {
+                let block_in = cur.clone();
+                let lambda = res.lambda();
+                let body = res.body_mut();
+                let n = body.len();
+                let mut inner = block_in.clone();
+                // All body layers except the tail record normally.
+                let mut tail_leaf_seen = false;
+                for (i, l) in body.iter_mut().enumerate() {
+                    inner = l.forward(&inner)?;
+                    let is_leaf = !matches!(l, Layer::Relu(_));
+                    if is_leaf {
+                        if i == n - 1 {
+                            tail_leaf_seen = true;
+                            // record block sum below
+                        } else {
+                            acts.push(max_positive(&inner));
+                        }
+                    }
+                }
+                if !tail_leaf_seen {
+                    return Err(Error::config(
+                        "residual body must end in a weight-carrying layer",
+                    ));
+                }
+                let block_sum = inner.add(&block_in.scaled(lambda))?;
+                acts.push(max_positive(&block_sum));
+                block_sum
+            }
+        };
+    }
+    Ok(cur)
+}
+
+fn max_positive(t: &Tensor) -> f64 {
+    t.data().iter().fold(0.0f64, |m, v| m.max(*v))
+}
+
+struct ConvertCtx<'a> {
+    maxima: &'a [f64],
+    next_leaf: usize,
+    lambda_prev: f64,
+    fraction: f64,
+    report: ConversionReport,
+}
+
+impl ConvertCtx<'_> {
+    fn next_lambda(&mut self) -> f64 {
+        let raw = self.maxima.get(self.next_leaf).copied().unwrap_or(1.0);
+        self.next_leaf += 1;
+        let lambda = raw * self.fraction;
+        if lambda <= 0.0 {
+            1.0
+        } else {
+            lambda
+        }
+    }
+
+    fn record(&mut self, lambda: f64, scale: f64, threshold: i32, desc: String) {
+        self.report.lambdas.push(lambda);
+        self.report.scales.push(scale);
+        self.report.thresholds.push(threshold);
+        self.report.descriptions.push(desc);
+    }
+
+    /// Converts one ANN layer; `shape` tracks the running activation
+    /// geometry. Returns `None` for folded layers (ReLU).
+    fn convert_layer(&mut self, layer: &Layer, shape: &mut Vec<usize>) -> Result<Option<SnnLayer>> {
+        match layer {
+            Layer::Relu(_) => Ok(None),
+            Layer::Dense(d) => {
+                let lambda_in = self.lambda_prev;
+                let lambda_out = self.next_lambda();
+                let ratio = lambda_in / lambda_out;
+                let normalized: Vec<f64> = d
+                    .weights_raw()
+                    .iter()
+                    .map(|w| w * ratio)
+                    .collect();
+                let (weights, scale) = shenjing_core::fixed::quantize_weights(&normalized);
+                let threshold = (scale.round() as i32).max(1);
+                let snn =
+                    SpikingDense::new(weights, d.inputs(), d.outputs(), threshold, scale)?;
+                self.lambda_prev = lambda_out;
+                *shape = vec![d.outputs()];
+                self.record(
+                    lambda_out,
+                    scale,
+                    threshold,
+                    format!("dense {}x{}", d.inputs(), d.outputs()),
+                );
+                Ok(Some(SnnLayer::Dense(snn)))
+            }
+            Layer::Conv2d(c) => {
+                let (h, w) = (shape[0], shape[1]);
+                let lambda_in = self.lambda_prev;
+                let lambda_out = self.next_lambda();
+                let ratio = lambda_in / lambda_out;
+                let normalized: Vec<f64> = c.weights_raw().iter().map(|w| w * ratio).collect();
+                let (weights, scale) = shenjing_core::fixed::quantize_weights(&normalized);
+                let threshold = (scale.round() as i32).max(1);
+                let snn = SpikingConv::new(
+                    weights,
+                    c.kernel(),
+                    h,
+                    w,
+                    c.in_ch(),
+                    c.out_ch(),
+                    threshold,
+                    scale,
+                )?;
+                self.lambda_prev = lambda_out;
+                *shape = vec![h, w, c.out_ch()];
+                self.record(
+                    lambda_out,
+                    scale,
+                    threshold,
+                    format!("conv {k}x{k} {ci}->{co}", k = c.kernel(), ci = c.in_ch(), co = c.out_ch()),
+                );
+                Ok(Some(SnnLayer::Conv(snn)))
+            }
+            Layer::AvgPool2d(p) => {
+                let (h, w, ch) = (shape[0], shape[1], shape[2]);
+                let lambda_in = self.lambda_prev;
+                let lambda_out = self.next_lambda();
+                let k = p.size();
+                let float_w = (1.0 / (k * k) as f64) * lambda_in / lambda_out;
+                let (q, scale) = shenjing_core::fixed::quantize_weights(&[float_w]);
+                let threshold = (scale.round() as i32).max(1);
+                let snn = SpikingPool::new(k, h, w, ch, q[0], threshold, scale)?;
+                self.lambda_prev = lambda_out;
+                *shape = vec![h / k, w / k, ch];
+                self.record(lambda_out, scale, threshold, format!("pool {k}x{k}"));
+                Ok(Some(SnnLayer::Pool(snn)))
+            }
+            Layer::Residual(res) => {
+                let lambda_block_in = self.lambda_prev;
+                let body_layers = res.body();
+                let n = body_layers.len();
+                let mut body = Vec::new();
+                for (i, l) in body_layers.iter().enumerate() {
+                    let is_tail = i == n - 1;
+                    if is_tail {
+                        // Convert the tail with the shortcut folded in.
+                        let Layer::Conv2d(c) = l else {
+                            return Err(Error::config(
+                                "residual tail must be a convolution",
+                            ));
+                        };
+                        let (h, w) = (shape[0], shape[1]);
+                        let lambda_in = self.lambda_prev;
+                        let lambda_out = self.next_lambda();
+                        let ratio = lambda_in / lambda_out;
+                        let normalized: Vec<f64> =
+                            c.weights_raw().iter().map(|wv| wv * ratio).collect();
+                        let shortcut_float = res.lambda() * lambda_block_in / lambda_out;
+                        // Shared scale must cover the shortcut weight too.
+                        let mut all = normalized.clone();
+                        all.push(shortcut_float);
+                        let (_, scale) = shenjing_core::fixed::quantize_weights(&all);
+                        let weights: Vec<W5> = normalized
+                            .iter()
+                            .map(|wv| W5::saturating((wv * scale).round() as i32))
+                            .collect();
+                        let shortcut_q =
+                            W5::saturating((shortcut_float * scale).round() as i32);
+                        let threshold = (scale.round() as i32).max(1);
+                        let snn = SpikingConv::new(
+                            weights,
+                            c.kernel(),
+                            h,
+                            w,
+                            c.in_ch(),
+                            c.out_ch(),
+                            threshold,
+                            scale,
+                        )?
+                        .with_shortcut(shortcut_q);
+                        self.lambda_prev = lambda_out;
+                        *shape = vec![h, w, c.out_ch()];
+                        self.record(
+                            lambda_out,
+                            scale,
+                            threshold,
+                            format!(
+                                "residual tail conv {k}x{k} {ci}->{co} (+diag λ shortcut)",
+                                k = c.kernel(),
+                                ci = c.in_ch(),
+                                co = c.out_ch()
+                            ),
+                        );
+                        body.push(SnnLayer::Conv(snn));
+                    } else if let Some(converted) = self.convert_layer(l, shape)? {
+                        body.push(converted);
+                    }
+                }
+                Ok(Some(SnnLayer::Residual(SpikingResidual::new(body)?)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_nn::{LayerSpec, Sgd};
+
+    fn calib(n: usize, dim: usize, seed: u64) -> Vec<Tensor> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Tensor::from_vec(vec![dim], (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn convert_mlp_structure() {
+        let mut ann = Network::from_specs(
+            &[LayerSpec::dense(6, 10), LayerSpec::relu(), LayerSpec::dense(10, 3)],
+            1,
+        )
+        .unwrap();
+        let (snn, report) =
+            convert_with_report(&mut ann, &calib(4, 6, 2), &ConversionOptions::default()).unwrap();
+        assert_eq!(snn.layers().len(), 2, "relu folded away");
+        assert_eq!(snn.input_len(), 6);
+        assert_eq!(snn.output_len(), 3);
+        assert_eq!(report.thresholds.len(), 2);
+        assert!(report.thresholds.iter().all(|t| *t >= 1));
+        assert!(report.scales.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn snn_rates_approximate_ann_activations() {
+        // Train a small regression-free MLP, convert, and check the SNN's
+        // class prediction matches the ANN on most calibration points.
+        let mut ann = Network::from_specs(
+            &[LayerSpec::dense(4, 12), LayerSpec::relu(), LayerSpec::dense(12, 2)],
+            3,
+        )
+        .unwrap();
+        // Teach it a simple rule: class = (x0 + x1 > x2 + x3).
+        let data: Vec<(Tensor, usize)> = calib(60, 4, 5)
+            .into_iter()
+            .map(|t| {
+                let d = t.data();
+                let label = usize::from(d[0] + d[1] > d[2] + d[3]);
+                (t, label)
+            })
+            .collect();
+        Sgd::new(0.1, 60, 7).train(&mut ann, &data).unwrap();
+
+        let calibration: Vec<Tensor> = data.iter().map(|(t, _)| t.clone()).take(20).collect();
+        let mut snn = convert(&mut ann, &calibration, &ConversionOptions::default()).unwrap();
+
+        let mut agree = 0usize;
+        let mut checked = 0usize;
+        for (x, _) in data.iter().take(30) {
+            let ann_class = ann.predict(x).unwrap();
+            let snn_class = snn.predict(x, 60).unwrap();
+            checked += 1;
+            if ann_class == snn_class {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree * 10 >= checked * 8,
+            "SNN should agree with ANN on ≥80% of inputs ({agree}/{checked})"
+        );
+    }
+
+    #[test]
+    fn conversion_requires_calibration() {
+        let mut ann = Network::from_specs(&[LayerSpec::dense(2, 2)], 0).unwrap();
+        assert!(convert(&mut ann, &[], &ConversionOptions::default()).is_err());
+    }
+
+    #[test]
+    fn bad_activation_fraction_rejected() {
+        let mut ann = Network::from_specs(&[LayerSpec::dense(2, 2)], 0).unwrap();
+        let c = calib(1, 2, 0);
+        for f in [0.0, -1.0, 1.5] {
+            let opts = ConversionOptions { activation_fraction: f };
+            assert!(convert(&mut ann, &c, &opts).is_err());
+        }
+    }
+
+    #[test]
+    fn convert_cnn_with_pool() {
+        let mut ann = Network::from_specs(
+            &[
+                LayerSpec::conv2d(3, 1, 4),
+                LayerSpec::relu(),
+                LayerSpec::avg_pool(2),
+                LayerSpec::dense(4 * 2 * 2, 3),
+            ],
+            2,
+        )
+        .unwrap();
+        let calibration = vec![Tensor::from_vec(
+            vec![4, 4, 1],
+            (0..16).map(|i| (i % 4) as f64 / 4.0).collect(),
+        )
+        .unwrap()];
+        let mut snn = convert(&mut ann, &calibration, &ConversionOptions::default()).unwrap();
+        assert_eq!(snn.layers().len(), 3, "conv, pool, dense");
+        let out = snn.run(&calibration[0], 10).unwrap();
+        assert_eq!(out.spike_counts.len(), 3);
+    }
+
+    #[test]
+    fn convert_residual_network() {
+        let mut ann = Network::from_specs(
+            &[
+                LayerSpec::conv2d(3, 1, 2),
+                LayerSpec::relu(),
+                LayerSpec::residual(
+                    vec![
+                        LayerSpec::conv2d(3, 2, 2),
+                        LayerSpec::relu(),
+                        LayerSpec::conv2d(3, 2, 2),
+                    ],
+                    1.0,
+                ),
+                LayerSpec::relu(),
+                LayerSpec::dense(2 * 3 * 3, 2),
+            ],
+            4,
+        )
+        .unwrap();
+        let calibration = vec![Tensor::from_vec(
+            vec![3, 3, 1],
+            (0..9).map(|i| i as f64 / 9.0).collect(),
+        )
+        .unwrap()];
+        let (mut snn, report) =
+            convert_with_report(&mut ann, &calibration, &ConversionOptions::default()).unwrap();
+        // conv, residual(2 convs), dense → 3 top-level layers.
+        assert_eq!(snn.layers().len(), 3);
+        let SnnLayer::Residual(res) = &snn.layers()[1] else {
+            panic!("expected residual block");
+        };
+        let SnnLayer::Conv(tail) = res.body().last().unwrap() else {
+            panic!("expected conv tail");
+        };
+        assert!(tail.shortcut_weight().is_some(), "shortcut diag(λ) installed");
+        assert!(report.descriptions.iter().any(|d| d.contains("shortcut")));
+        let out = snn.run(&calibration[0], 12).unwrap();
+        assert_eq!(out.spike_counts.len(), 2);
+    }
+}

@@ -1,0 +1,798 @@
+//! Spiking layers: integer weights, threshold-subtract IF dynamics.
+//!
+//! All spiking layers share the same per-timestep contract
+//! ([`SnnLayer::step`]): take the previous layer's spike vector, compute
+//! each neuron's **integer** weighted sum with 5-bit weights, integrate it
+//! into the membrane potential, fire (and subtract the threshold) when the
+//! potential exceeds the threshold. The arithmetic is exactly what the
+//! mapped hardware performs, so abstract-model spikes and cycle-level
+//! simulation spikes must agree bit for bit.
+
+use serde::{Deserialize, Serialize};
+use shenjing_core::{Error, Result, W5};
+
+/// Threshold-subtract integrate-and-fire update shared by all layers.
+///
+/// Fires when the updated potential strictly exceeds the threshold
+/// (the paper: "if this sum exceeds a threshold").
+#[inline]
+fn if_update(potential: &mut i64, sum: i64, threshold: i32) -> bool {
+    *potential += sum;
+    if *potential > i64::from(threshold) {
+        *potential -= i64::from(threshold);
+        true
+    } else {
+        false
+    }
+}
+
+/// A spiking fully connected layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpikingDense {
+    /// Quantized weights, `[input][output]` row-major.
+    weights: Vec<W5>,
+    in_dim: usize,
+    out_dim: usize,
+    threshold: i32,
+    scale: f64,
+    #[serde(skip)]
+    potentials: Vec<i64>,
+    #[serde(skip)]
+    max_abs_sum: i64,
+}
+
+impl SpikingDense {
+    /// Creates a spiking dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `weights` is not
+    /// `in_dim × out_dim` long, or [`Error::InvalidConfig`] for a
+    /// non-positive threshold.
+    pub fn new(
+        weights: Vec<W5>,
+        in_dim: usize,
+        out_dim: usize,
+        threshold: i32,
+        scale: f64,
+    ) -> Result<SpikingDense> {
+        if weights.len() != in_dim * out_dim {
+            return Err(Error::shape_mismatch(
+                format!("{} weights", in_dim * out_dim),
+                format!("{}", weights.len()),
+            ));
+        }
+        if threshold <= 0 {
+            return Err(Error::config("threshold must be positive"));
+        }
+        Ok(SpikingDense {
+            weights,
+            in_dim,
+            out_dim,
+            threshold,
+            scale,
+            potentials: vec![0; out_dim],
+            max_abs_sum: 0,
+        })
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Firing threshold.
+    pub fn threshold(&self) -> i32 {
+        self.threshold
+    }
+
+    /// Quantization scale (float weight ≈ integer / scale).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The quantized weight from `input` to `output`.
+    pub fn weight(&self, input: usize, output: usize) -> W5 {
+        self.weights[input * self.out_dim + output]
+    }
+
+    /// All weights, `[input][output]` row-major.
+    pub fn weights(&self) -> &[W5] {
+        &self.weights
+    }
+
+    /// Membrane potentials (for classification tie-breaks and tests).
+    pub fn potentials(&self) -> &[i64] {
+        &self.potentials
+    }
+
+    fn step(&mut self, input: &[bool]) -> Result<Vec<bool>> {
+        if input.len() != self.in_dim {
+            return Err(Error::shape_mismatch(
+                format!("{} input spikes", self.in_dim),
+                format!("{}", input.len()),
+            ));
+        }
+        let mut sums = vec![0i64; self.out_dim];
+        for (j, &spiking) in input.iter().enumerate() {
+            if !spiking {
+                continue;
+            }
+            let row = &self.weights[j * self.out_dim..(j + 1) * self.out_dim];
+            for (o, w) in row.iter().enumerate() {
+                sums[o] += i64::from(w.value());
+            }
+        }
+        Ok(sums
+            .into_iter()
+            .enumerate()
+            .map(|(o, s)| {
+                self.max_abs_sum = self.max_abs_sum.max(s.abs());
+                if_update(&mut self.potentials[o], s, self.threshold)
+            })
+            .collect())
+    }
+
+    fn reset(&mut self) {
+        self.potentials.iter_mut().for_each(|p| *p = 0);
+    }
+}
+
+/// A spiking 2-D convolution (stride 1, same padding) over a fixed input
+/// geometry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpikingConv {
+    /// Quantized weights, `[ky][kx][ci][co]` row-major.
+    weights: Vec<W5>,
+    kernel: usize,
+    h: usize,
+    w: usize,
+    in_ch: usize,
+    out_ch: usize,
+    threshold: i32,
+    scale: f64,
+    /// Per-spike contribution of the residual shortcut into this layer's
+    /// integration (the `diag(λ)` normalization weight), when this conv is
+    /// a residual tail.
+    shortcut_weight: Option<W5>,
+    #[serde(skip)]
+    potentials: Vec<i64>,
+    #[serde(skip)]
+    max_abs_sum: i64,
+}
+
+impl SpikingConv {
+    /// Creates a spiking convolution for `h × w × in_ch` spike maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] for a wrong weight count,
+    /// [`Error::InvalidConfig`] for a non-positive threshold or even
+    /// kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        weights: Vec<W5>,
+        kernel: usize,
+        h: usize,
+        w: usize,
+        in_ch: usize,
+        out_ch: usize,
+        threshold: i32,
+        scale: f64,
+    ) -> Result<SpikingConv> {
+        if weights.len() != kernel * kernel * in_ch * out_ch {
+            return Err(Error::shape_mismatch(
+                format!("{} weights", kernel * kernel * in_ch * out_ch),
+                format!("{}", weights.len()),
+            ));
+        }
+        if kernel.is_multiple_of(2) {
+            return Err(Error::config("same-padded conv requires an odd kernel"));
+        }
+        if threshold <= 0 {
+            return Err(Error::config("threshold must be positive"));
+        }
+        Ok(SpikingConv {
+            weights,
+            kernel,
+            h,
+            w,
+            in_ch,
+            out_ch,
+            threshold,
+            scale,
+            shortcut_weight: None,
+            potentials: vec![0; h * w * out_ch],
+            max_abs_sum: 0,
+        })
+    }
+
+    /// Installs the residual shortcut weight (`diag(λ)` quantized with this
+    /// layer's scale). Requires `in_ch == out_ch` geometry for the identity
+    /// shortcut to type-check at the *output*: the shortcut spikes have the
+    /// block input's shape `h × w × out_ch`.
+    pub fn with_shortcut(mut self, weight: W5) -> SpikingConv {
+        self.shortcut_weight = Some(weight);
+        self
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Input spatial height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Input spatial width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Input channels.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channels.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Firing threshold.
+    pub fn threshold(&self) -> i32 {
+        self.threshold
+    }
+
+    /// Quantization scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The shortcut weight, when this conv is a residual tail.
+    pub fn shortcut_weight(&self) -> Option<W5> {
+        self.shortcut_weight
+    }
+
+    /// All weights, `[ky][kx][ci][co]` row-major.
+    pub fn weights(&self) -> &[W5] {
+        &self.weights
+    }
+
+    /// The weight at kernel position `(ky, kx)` from channel `ci` to `co`.
+    pub fn weight(&self, ky: usize, kx: usize, ci: usize, co: usize) -> W5 {
+        self.weights[((ky * self.kernel + kx) * self.in_ch + ci) * self.out_ch + co]
+    }
+
+    fn sums(&mut self, input: &[bool], shortcut: Option<&[bool]>) -> Result<Vec<i64>> {
+        if input.len() != self.h * self.w * self.in_ch {
+            return Err(Error::shape_mismatch(
+                format!("{} input spikes", self.h * self.w * self.in_ch),
+                format!("{}", input.len()),
+            ));
+        }
+        let pad = self.kernel / 2;
+        let mut sums = vec![0i64; self.h * self.w * self.out_ch];
+        for iy in 0..self.h {
+            for ix in 0..self.w {
+                let in_base = (iy * self.w + ix) * self.in_ch;
+                for ci in 0..self.in_ch {
+                    if !input[in_base + ci] {
+                        continue;
+                    }
+                    // This input spike feeds outputs (oy, ox) with
+                    // oy = iy + pad - ky for ky in 0..kernel.
+                    for ky in 0..self.kernel {
+                        let oy = iy + pad;
+                        if oy < ky || oy - ky >= self.h {
+                            continue;
+                        }
+                        let oy = oy - ky;
+                        for kx in 0..self.kernel {
+                            let ox = ix + pad;
+                            if ox < kx || ox - kx >= self.w {
+                                continue;
+                            }
+                            let ox = ox - kx;
+                            let w_base =
+                                ((ky * self.kernel + kx) * self.in_ch + ci) * self.out_ch;
+                            let out_base = (oy * self.w + ox) * self.out_ch;
+                            for co in 0..self.out_ch {
+                                sums[out_base + co] +=
+                                    i64::from(self.weights[w_base + co].value());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(sc) = shortcut {
+            let w = self.shortcut_weight.ok_or_else(|| {
+                Error::config("shortcut spikes supplied to a conv without a shortcut weight")
+            })?;
+            if sc.len() != self.h * self.w * self.out_ch {
+                return Err(Error::shape_mismatch(
+                    format!("{} shortcut spikes", self.h * self.w * self.out_ch),
+                    format!("{}", sc.len()),
+                ));
+            }
+            for (sum, &spiking) in sums.iter_mut().zip(sc) {
+                if spiking {
+                    *sum += i64::from(w.value());
+                }
+            }
+        }
+        Ok(sums)
+    }
+
+    fn step(&mut self, input: &[bool], shortcut: Option<&[bool]>) -> Result<Vec<bool>> {
+        let sums = self.sums(input, shortcut)?;
+        let threshold = self.threshold;
+        Ok(sums
+            .into_iter()
+            .enumerate()
+            .map(|(o, s)| {
+                self.max_abs_sum = self.max_abs_sum.max(s.abs());
+                if_update(&mut self.potentials[o], s, threshold)
+            })
+            .collect())
+    }
+
+    fn reset(&mut self) {
+        self.potentials.iter_mut().for_each(|p| *p = 0);
+    }
+}
+
+/// A spiking average-pooling layer: uniform quantized weights over each
+/// `size × size` window, per-channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpikingPool {
+    size: usize,
+    h: usize,
+    w: usize,
+    ch: usize,
+    weight: W5,
+    threshold: i32,
+    scale: f64,
+    #[serde(skip)]
+    potentials: Vec<i64>,
+    #[serde(skip)]
+    max_abs_sum: i64,
+}
+
+impl SpikingPool {
+    /// Creates a spiking pool over `h × w × ch` spike maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `h`/`w` are not divisible by
+    /// `size` or the threshold is non-positive.
+    pub fn new(
+        size: usize,
+        h: usize,
+        w: usize,
+        ch: usize,
+        weight: W5,
+        threshold: i32,
+        scale: f64,
+    ) -> Result<SpikingPool> {
+        if size == 0 || !h.is_multiple_of(size) || !w.is_multiple_of(size) {
+            return Err(Error::config(format!(
+                "pool size {size} must divide {h}x{w}"
+            )));
+        }
+        if threshold <= 0 {
+            return Err(Error::config("threshold must be positive"));
+        }
+        let (oh, ow) = (h / size, w / size);
+        Ok(SpikingPool {
+            size,
+            h,
+            w,
+            ch,
+            weight,
+            threshold,
+            scale,
+            potentials: vec![0; oh * ow * ch],
+            max_abs_sum: 0,
+        })
+    }
+
+    /// Window side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Input spatial height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Input spatial width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Channels.
+    pub fn channels(&self) -> usize {
+        self.ch
+    }
+
+    /// The uniform pooling weight.
+    pub fn weight(&self) -> W5 {
+        self.weight
+    }
+
+    /// Firing threshold.
+    pub fn threshold(&self) -> i32 {
+        self.threshold
+    }
+
+    /// Quantization scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn step(&mut self, input: &[bool]) -> Result<Vec<bool>> {
+        if input.len() != self.h * self.w * self.ch {
+            return Err(Error::shape_mismatch(
+                format!("{} input spikes", self.h * self.w * self.ch),
+                format!("{}", input.len()),
+            ));
+        }
+        let (oh, ow) = (self.h / self.size, self.w / self.size);
+        let mut sums = vec![0i64; oh * ow * self.ch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for dy in 0..self.size {
+                    for dx in 0..self.size {
+                        let in_base =
+                            ((oy * self.size + dy) * self.w + ox * self.size + dx) * self.ch;
+                        let out_base = (oy * ow + ox) * self.ch;
+                        for c in 0..self.ch {
+                            if input[in_base + c] {
+                                sums[out_base + c] += i64::from(self.weight.value());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let threshold = self.threshold;
+        Ok(sums
+            .into_iter()
+            .enumerate()
+            .map(|(o, s)| {
+                self.max_abs_sum = self.max_abs_sum.max(s.abs());
+                if_update(&mut self.potentials[o], s, threshold)
+            })
+            .collect())
+    }
+
+    fn reset(&mut self) {
+        self.potentials.iter_mut().for_each(|p| *p = 0);
+    }
+}
+
+/// A residual block of spiking layers: the block input's spikes are fed,
+/// through the `diag(λ)` shortcut weight, into the **last** body layer's
+/// integration — exactly how the paper routes the normalized shortcut
+/// partial sum over the PS NoC into the residual block's output cores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpikingResidual {
+    body: Vec<SnnLayer>,
+}
+
+impl SpikingResidual {
+    /// Wraps body layers. The last body layer must be a [`SpikingConv`]
+    /// with a shortcut weight installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the body is empty or its tail
+    /// is not a shortcut-carrying conv.
+    pub fn new(body: Vec<SnnLayer>) -> Result<SpikingResidual> {
+        match body.last() {
+            Some(SnnLayer::Conv(c)) if c.shortcut_weight().is_some() => {}
+            Some(_) => {
+                return Err(Error::config(
+                    "residual body must end in a conv with a shortcut weight",
+                ))
+            }
+            None => return Err(Error::config("residual body must not be empty")),
+        }
+        Ok(SpikingResidual { body })
+    }
+
+    /// The body layers.
+    pub fn body(&self) -> &[SnnLayer] {
+        &self.body
+    }
+
+    fn step(&mut self, input: &[bool]) -> Result<Vec<bool>> {
+        let block_input = input.to_vec();
+        let n = self.body.len();
+        let mut cur = block_input.clone();
+        for layer in &mut self.body[..n - 1] {
+            cur = layer.step(&cur)?;
+        }
+        match &mut self.body[n - 1] {
+            SnnLayer::Conv(c) => c.step(&cur, Some(&block_input)),
+            _ => unreachable!("validated at construction"),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.body.iter_mut().for_each(SnnLayer::reset_state);
+    }
+}
+
+/// Any spiking layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SnnLayer {
+    /// Fully connected.
+    Dense(SpikingDense),
+    /// Convolution.
+    Conv(SpikingConv),
+    /// Average pooling.
+    Pool(SpikingPool),
+    /// Residual block.
+    Residual(SpikingResidual),
+}
+
+impl SnnLayer {
+    /// Number of input spike lines.
+    pub fn input_len(&self) -> usize {
+        match self {
+            SnnLayer::Dense(d) => d.in_dim,
+            SnnLayer::Conv(c) => c.h * c.w * c.in_ch,
+            SnnLayer::Pool(p) => p.h * p.w * p.ch,
+            SnnLayer::Residual(r) => r.body[0].input_len(),
+        }
+    }
+
+    /// Number of output spike lines.
+    pub fn output_len(&self) -> usize {
+        match self {
+            SnnLayer::Dense(d) => d.out_dim,
+            SnnLayer::Conv(c) => c.h * c.w * c.out_ch,
+            SnnLayer::Pool(p) => (p.h / p.size) * (p.w / p.size) * p.ch,
+            SnnLayer::Residual(r) => r.body.last().expect("non-empty body").output_len(),
+        }
+    }
+
+    /// Advances the layer one timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] for a wrong-length spike vector.
+    pub fn step(&mut self, input: &[bool]) -> Result<Vec<bool>> {
+        match self {
+            SnnLayer::Dense(d) => d.step(input),
+            SnnLayer::Conv(c) => c.step(input, None),
+            SnnLayer::Pool(p) => p.step(input),
+            SnnLayer::Residual(r) => r.step(input),
+        }
+    }
+
+    /// Zeroes membrane potentials (new frame).
+    pub fn reset_state(&mut self) {
+        match self {
+            SnnLayer::Dense(d) => d.reset(),
+            SnnLayer::Conv(c) => c.reset(),
+            SnnLayer::Pool(p) => p.reset(),
+            SnnLayer::Residual(r) => r.reset(),
+        }
+    }
+
+    /// Largest |weighted sum| this layer has integrated — compared against
+    /// the 16-bit PS NoC limit to validate the paper's "no overflow" claim.
+    pub fn max_abs_sum(&self) -> i64 {
+        match self {
+            SnnLayer::Dense(d) => d.max_abs_sum,
+            SnnLayer::Conv(c) => c.max_abs_sum,
+            SnnLayer::Pool(p) => p.max_abs_sum,
+            SnnLayer::Residual(r) => r.body.iter().map(SnnLayer::max_abs_sum).max().unwrap_or(0),
+        }
+    }
+
+    /// Output-layer membrane potentials (tie-break data for
+    /// classification).
+    pub fn potentials(&self) -> &[i64] {
+        match self {
+            SnnLayer::Dense(d) => &d.potentials,
+            SnnLayer::Conv(c) => &c.potentials,
+            SnnLayer::Pool(p) => &p.potentials,
+            SnnLayer::Residual(r) => r.body.last().expect("non-empty body").potentials(),
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            SnnLayer::Dense(d) => format!("dense {}x{} θ={}", d.in_dim, d.out_dim, d.threshold),
+            SnnLayer::Conv(c) => format!(
+                "conv {k}x{k} {h}x{w}x{ci}->{co} θ={t}{sc}",
+                k = c.kernel,
+                h = c.h,
+                w = c.w,
+                ci = c.in_ch,
+                co = c.out_ch,
+                t = c.threshold,
+                sc = if c.shortcut_weight.is_some() { " +shortcut" } else { "" }
+            ),
+            SnnLayer::Pool(p) => format!(
+                "pool {s}x{s} {h}x{w}x{c} θ={t}",
+                s = p.size,
+                h = p.h,
+                w = p.w,
+                c = p.ch,
+                t = p.threshold
+            ),
+            SnnLayer::Residual(r) => format!("residual[{} layers]", r.body.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    #[test]
+    fn dense_step_counts_weights_of_spiking_inputs() {
+        let mut d = SpikingDense::new(vec![w(5), w(3), w(-2), w(7)], 2, 2, 4, 1.0).unwrap();
+        // input 0 spikes only: sums = [5, 3]; threshold 4 → [fire, no].
+        let out = d.step(&[true, false]).unwrap();
+        assert_eq!(out, vec![true, false]);
+        assert_eq!(d.potentials(), &[1, 3]);
+        assert_eq!(d.max_abs_sum, 5);
+    }
+
+    #[test]
+    fn dense_validates() {
+        assert!(SpikingDense::new(vec![w(1); 3], 2, 2, 1, 1.0).is_err());
+        assert!(SpikingDense::new(vec![w(1); 4], 2, 2, 0, 1.0).is_err());
+        let mut d = SpikingDense::new(vec![w(1); 4], 2, 2, 1, 1.0).unwrap();
+        assert!(d.step(&[true]).is_err());
+    }
+
+    #[test]
+    fn conv_center_kernel_identity() {
+        // 3x3 kernel, only center weight set: each spike maps to the same
+        // output position.
+        let mut weights = vec![W5::ZERO; 9];
+        weights[4] = w(10);
+        let mut c = SpikingConv::new(weights, 3, 2, 2, 1, 1, 5, 1.0).unwrap();
+        let out = c.step(&[true, false, false, true], None).unwrap();
+        assert_eq!(out, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn conv_neighborhood_sums() {
+        // All-ones 3x3 kernel with weight 1, single center spike on 3x3
+        // grid → every output in the 3x3 neighborhood gets sum 1.
+        let weights = vec![w(1); 9];
+        let mut c = SpikingConv::new(weights, 3, 3, 3, 1, 1, 10, 1.0).unwrap();
+        let mut input = vec![false; 9];
+        input[4] = true; // center
+        c.step(&input, None).unwrap();
+        assert_eq!(c.max_abs_sum, 1);
+        // potentials all 1 (no fires, threshold 10)
+        assert!(c.potentials.iter().all(|p| *p == 1));
+    }
+
+    #[test]
+    fn conv_shortcut_contributes() {
+        let mut weights = vec![W5::ZERO; 9];
+        weights[4] = w(1);
+        let c = SpikingConv::new(weights, 3, 1, 1, 1, 1, 3, 1.0)
+            .unwrap()
+            .with_shortcut(w(5));
+        let mut c = c;
+        // body input no spike, shortcut spike: sum = 5 > 3 → fire.
+        let out = c.step(&[false], Some(&[true])).unwrap();
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn conv_shortcut_without_weight_is_error() {
+        let mut c = SpikingConv::new(vec![W5::ZERO; 9], 3, 1, 1, 1, 1, 3, 1.0).unwrap();
+        assert!(c.step(&[false], Some(&[true])).is_err());
+    }
+
+    #[test]
+    fn pool_accumulates_window() {
+        // 2x2 pool, weight 4, threshold 12: 3 spikes in a window → 12,
+        // not > 12 → no fire; 4 spikes → 16 > 12 → fire.
+        let mut p = SpikingPool::new(2, 2, 2, 1, w(4), 12, 1.0).unwrap();
+        let out = p.step(&[true, true, true, false]).unwrap();
+        assert_eq!(out, vec![false]);
+        let mut p2 = SpikingPool::new(2, 2, 2, 1, w(4), 12, 1.0).unwrap();
+        let out = p2.step(&[true, true, true, true]).unwrap();
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn pool_validates() {
+        assert!(SpikingPool::new(2, 3, 4, 1, w(1), 1, 1.0).is_err());
+        assert!(SpikingPool::new(0, 4, 4, 1, w(1), 1, 1.0).is_err());
+        assert!(SpikingPool::new(2, 4, 4, 1, w(1), 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn residual_tail_gets_block_input() {
+        // Body: conv (identity center weight 2, θ=10) then tail conv with
+        // center weight 0 and shortcut weight 8, θ=5. A block-input spike
+        // reaches the tail only via the shortcut: sum 8 > 5 → fire.
+        let mut id_weights = vec![W5::ZERO; 9];
+        id_weights[4] = w(2);
+        let first = SpikingConv::new(id_weights, 3, 1, 1, 1, 1, 10, 1.0).unwrap();
+        let tail = SpikingConv::new(vec![W5::ZERO; 9], 3, 1, 1, 1, 1, 5, 1.0)
+            .unwrap()
+            .with_shortcut(w(8));
+        let mut res =
+            SpikingResidual::new(vec![SnnLayer::Conv(first), SnnLayer::Conv(tail)]).unwrap();
+        let out = res.step(&[true]).unwrap();
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn residual_requires_shortcut_tail() {
+        let plain = SpikingConv::new(vec![W5::ZERO; 9], 3, 1, 1, 1, 1, 5, 1.0).unwrap();
+        assert!(SpikingResidual::new(vec![SnnLayer::Conv(plain)]).is_err());
+        assert!(SpikingResidual::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn layer_lens() {
+        let d = SnnLayer::Dense(SpikingDense::new(vec![w(0); 6], 2, 3, 1, 1.0).unwrap());
+        assert_eq!(d.input_len(), 2);
+        assert_eq!(d.output_len(), 3);
+        let c = SnnLayer::Conv(SpikingConv::new(vec![w(0); 18], 3, 4, 4, 1, 2, 1, 1.0).unwrap());
+        assert_eq!(c.input_len(), 16);
+        assert_eq!(c.output_len(), 32);
+        let p = SnnLayer::Pool(SpikingPool::new(2, 4, 4, 3, w(1), 1, 1.0).unwrap());
+        assert_eq!(p.input_len(), 48);
+        assert_eq!(p.output_len(), 12);
+    }
+
+    #[test]
+    fn reset_state_zeroes_potentials() {
+        let mut d = SpikingDense::new(vec![w(3); 1], 1, 1, 10, 1.0).unwrap();
+        d.step(&[true]).unwrap();
+        assert_eq!(d.potentials(), &[3]);
+        let mut layer = SnnLayer::Dense(d);
+        layer.reset_state();
+        assert_eq!(layer.potentials(), &[0]);
+    }
+
+    #[test]
+    fn if_update_threshold_semantics() {
+        let mut p = 0i64;
+        assert!(!if_update(&mut p, 10, 10), "equal is not exceed");
+        assert_eq!(p, 10);
+        assert!(if_update(&mut p, 1, 10));
+        assert_eq!(p, 1);
+        // negative sums drive the potential down without firing
+        assert!(!if_update(&mut p, -5, 10));
+        assert_eq!(p, -4);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let d = SnnLayer::Dense(SpikingDense::new(vec![w(0); 6], 2, 3, 7, 1.0).unwrap());
+        assert!(d.describe().contains("2x3"));
+        assert!(d.describe().contains("θ=7"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Synthetic spiking networks built directly from layer specs.
+//!
+//! Mapping-scale experiments (core counts, chip counts, mapping time,
+//! power projections for the CIFAR-sized benchmarks) need the *topology*
+//! of a converted SNN but not its trained weights. [`snn_from_specs`]
+//! builds that: each spec becomes a spiking layer with seeded random
+//! 5-bit weights and a plausible threshold, skipping the training and
+//! calibration passes entirely.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shenjing_core::{Error, Result, W5};
+use shenjing_nn::LayerSpec;
+
+use crate::layer::{SnnLayer, SpikingConv, SpikingDense, SpikingPool, SpikingResidual};
+use crate::network::SnnNetwork;
+
+fn random_weights(n: usize, rng: &mut StdRng) -> Vec<W5> {
+    (0..n).map(|_| W5::saturating(rng.gen_range(-15..=15))).collect()
+}
+
+/// Builds a spiking network with random quantized weights from ANN layer
+/// specs (ReLU specs fold away, exactly as in real conversion).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for spec sequences whose geometry
+/// does not chain (wrong dense input size after a conv, non-divisible
+/// pooling, residual tails that are not convolutions).
+pub fn snn_from_specs(
+    specs: &[LayerSpec],
+    input_shape: (usize, usize, usize),
+    seed: u64,
+) -> Result<SnnNetwork> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shape = vec![input_shape.0, input_shape.1, input_shape.2];
+    let mut layers = Vec::new();
+    for spec in specs {
+        if let Some(layer) = build_layer(spec, &mut shape, &mut rng)? {
+            layers.push(layer);
+        }
+    }
+    SnnNetwork::new(layers)
+}
+
+fn build_layer(
+    spec: &LayerSpec,
+    shape: &mut Vec<usize>,
+    rng: &mut StdRng,
+) -> Result<Option<SnnLayer>> {
+    const THRESHOLD: i32 = 64;
+    Ok(match spec {
+        LayerSpec::Relu => None,
+        LayerSpec::Dense { inputs, outputs } => {
+            let got: usize = shape.iter().product();
+            if got != *inputs {
+                return Err(Error::shape_mismatch(
+                    format!("{inputs} dense inputs"),
+                    format!("{got}"),
+                ));
+            }
+            let layer = SpikingDense::new(
+                random_weights(inputs * outputs, rng),
+                *inputs,
+                *outputs,
+                THRESHOLD,
+                1.0,
+            )?;
+            *shape = vec![*outputs];
+            Some(SnnLayer::Dense(layer))
+        }
+        LayerSpec::Conv2d { kernel, in_ch, out_ch } => {
+            let (h, w) = (shape[0], shape[1]);
+            if shape.len() != 3 || shape[2] != *in_ch {
+                return Err(Error::shape_mismatch(
+                    format!("(h, w, {in_ch})"),
+                    format!("{shape:?}"),
+                ));
+            }
+            let layer = SpikingConv::new(
+                random_weights(kernel * kernel * in_ch * out_ch, rng),
+                *kernel,
+                h,
+                w,
+                *in_ch,
+                *out_ch,
+                THRESHOLD,
+                1.0,
+            )?;
+            *shape = vec![h, w, *out_ch];
+            Some(SnnLayer::Conv(layer))
+        }
+        LayerSpec::AvgPool2d { size } => {
+            let (h, w, c) = (shape[0], shape[1], shape[2]);
+            let layer = SpikingPool::new(*size, h, w, c, W5::new(8)?, THRESHOLD, 1.0)?;
+            *shape = vec![h / size, w / size, c];
+            Some(SnnLayer::Pool(layer))
+        }
+        LayerSpec::Residual { body, lambda } => {
+            let n = body.len();
+            let mut inner = Vec::new();
+            for (i, s) in body.iter().enumerate() {
+                let is_tail = i == n - 1;
+                if is_tail {
+                    let LayerSpec::Conv2d { kernel, in_ch, out_ch } = s else {
+                        return Err(Error::config("residual tail must be a convolution"));
+                    };
+                    let (h, w) = (shape[0], shape[1]);
+                    let shortcut = W5::saturating((lambda * 8.0).round() as i32).max(W5::new(1)?);
+                    let tail = SpikingConv::new(
+                        random_weights(kernel * kernel * in_ch * out_ch, rng),
+                        *kernel,
+                        h,
+                        w,
+                        *in_ch,
+                        *out_ch,
+                        THRESHOLD,
+                        1.0,
+                    )?
+                    .with_shortcut(shortcut);
+                    *shape = vec![h, w, *out_ch];
+                    inner.push(SnnLayer::Conv(tail));
+                } else if let Some(layer) = build_layer(s, shape, rng)? {
+                    inner.push(layer);
+                }
+            }
+            Some(SnnLayer::Residual(SpikingResidual::new(inner)?))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_nn::zoo::NetworkKind;
+
+    #[test]
+    fn all_four_zoo_topologies_build() {
+        for kind in NetworkKind::ALL {
+            let snn = snn_from_specs(&kind.specs(), kind.input_shape(), 7)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(snn.output_len(), 10, "{kind}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let specs = NetworkKind::MnistMlp.specs();
+        let a = snn_from_specs(&specs, (28, 28, 1), 1).unwrap();
+        let b = snn_from_specs(&specs, (28, 28, 1), 1).unwrap();
+        let (SnnLayer::Dense(da), SnnLayer::Dense(db)) = (&a.layers()[0], &b.layers()[0]) else {
+            panic!("expected dense layers");
+        };
+        assert_eq!(da.weights(), db.weights());
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let specs = [LayerSpec::dense(100, 10)];
+        assert!(snn_from_specs(&specs, (28, 28, 1), 0).is_err());
+    }
+}

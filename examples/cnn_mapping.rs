@@ -1,0 +1,55 @@
+//! Mapping the convolutional benchmarks (Table III b–d) at full scale:
+//! core counts, chip counts, mapping time and projected power — the
+//! structural half of Table IV, without the multi-hour training runs.
+//!
+//! Run with: `cargo run --release --example cnn_mapping`
+
+use std::time::Instant;
+
+use shenjing::prelude::*;
+use shenjing::snn::snn_from_specs;
+
+fn main() -> Result<()> {
+    let arch = ArchSpec::paper();
+    println!("mapping the Table III topologies onto {}x{}-tile chips...\n",
+        arch.chip_rows, arch.chip_cols);
+    println!(
+        "{:<16} {:>8} {:>8} {:>7} {:>10} {:>12} {:>12} {:>10}",
+        "network", "cores", "paper", "chips", "freq", "power (mW)", "mJ/frame", "map (ms)"
+    );
+
+    for kind in [NetworkKind::MnistCnn, NetworkKind::CifarCnn, NetworkKind::CifarResNet] {
+        let snn = snn_from_specs(&kind.specs(), kind.input_shape(), 7)?;
+        let t0 = Instant::now();
+        let mapping = Mapper::new(arch.clone()).map(&snn)?;
+        let elapsed = t0.elapsed().as_millis();
+
+        let timesteps = kind.paper_timesteps();
+        let fps = f64::from(kind.paper_fps());
+        let est = SystemEstimate::from_stats(
+            &EnergyModel::paper(),
+            &TileModel::paper(),
+            &mapping.program.stats,
+            mapping.logical.total_cores(),
+            mapping.placement.chips,
+            timesteps,
+            fps,
+        );
+        println!(
+            "{:<16} {:>8} {:>8} {:>7} {:>7.2} MHz {:>12.2} {:>12.3} {:>10}",
+            kind.label(),
+            est.cores,
+            kind.paper_core_count(),
+            est.chips,
+            est.frequency_hz / 1e6,
+            est.power.total_mw(),
+            est.mj_per_frame,
+            elapsed,
+        );
+    }
+
+    println!("\npaper reference (Table IV): MNIST CNN 705 cores / 87.54 mW,");
+    println!("CIFAR-10 CNN 2977 cores (4 chips) / 456.71 mW,");
+    println!("CIFAR-10 ResNet 5863 cores (8 chips) / 887.81 mW.");
+    Ok(())
+}

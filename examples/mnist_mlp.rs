@@ -1,0 +1,89 @@
+//! The paper's headline workload: the 784-512-10 MNIST MLP on 10 cores
+//! (Fig. 1), with the Table IV power/performance estimate.
+//!
+//! Run with: `cargo run --release --example mnist_mlp`
+
+use std::time::Instant;
+
+use shenjing::datasets::{flatten_images, train_test_split};
+use shenjing::prelude::*;
+use shenjing::snn::convert;
+
+fn main() -> Result<()> {
+    let data = SynthDigits::new(2026).generate(600);
+    let (train, test) = train_test_split(data, 0.8);
+    let train = flatten_images(&train);
+    let test = flatten_images(&test);
+
+    println!("training the Table III(a) MLP: FC1(784,512) FC2(512,10)...");
+    let mut ann = Network::from_specs(&NetworkKind::MnistMlp.specs(), 5)?;
+    Sgd::new(0.01, 4, 11).train(&mut ann, &train)?;
+    let ann_acc = shenjing::nn::train::accuracy(&mut ann, &test)?;
+
+    let calib: Vec<Tensor> = train.iter().take(24).map(|(x, _)| x.clone()).collect();
+    let mut snn = convert(&mut ann, &calib, &ConversionOptions::default())?;
+    let timesteps = NetworkKind::MnistMlp.paper_timesteps();
+    let snn_acc = snn.evaluate(&test, timesteps)?;
+
+    let arch = ArchSpec::paper();
+    let t0 = Instant::now();
+    let mapping = Mapper::new(arch.clone()).map(&snn)?;
+    let mapping_ms = t0.elapsed().as_millis();
+
+    // Fig. 1's layout: 8 cores for FC1 (4 rows × 2 columns), 2 for FC2.
+    println!("\nFig. 1 layout check:");
+    println!("  total cores: {} (paper: 10)", mapping.logical.total_cores());
+    for (i, lm) in mapping.logical.layers.iter().enumerate() {
+        println!(
+            "  layer {i}: {} cores in {} fold group(s) of depth {}",
+            lm.cores.len(),
+            lm.fold_groups.len(),
+            lm.fold_groups[0].members.len(),
+        );
+    }
+
+    // Shenjing == abstract SNN, measured on hardware simulation.
+    let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program)?;
+    let hw_probe: Vec<(Tensor, usize)> = test.iter().take(25).cloned().collect();
+    let hw_acc = sim.evaluate(&hw_probe, timesteps)?;
+    let abstract_probe_acc = snn.evaluate(&hw_probe, timesteps)?;
+
+    // Table IV style estimate.
+    let fps = f64::from(NetworkKind::MnistMlp.paper_fps());
+    let est = SystemEstimate::from_stats(
+        &EnergyModel::paper(),
+        &TileModel::paper(),
+        &mapping.program.stats,
+        mapping.logical.total_cores(),
+        mapping.placement.chips,
+        timesteps,
+        fps,
+    );
+
+    println!("\nTable IV row (this reproduction vs paper):");
+    println!("  ANN accuracy:          {:.2}%   (paper: 99.67% on real MNIST)", ann_acc * 100.0);
+    println!("  abstract SNN accuracy: {:.2}%   (paper: 96.11%)", snn_acc * 100.0);
+    println!(
+        "  Shenjing accuracy:     {:.2}%   == abstract on the same frames: {}",
+        hw_acc * 100.0,
+        hw_acc == abstract_probe_acc,
+    );
+    println!("  #cores:       {:>8}      (paper: 10)", est.cores);
+    println!("  timestep T:   {timesteps:>8}      (paper: 20)");
+    println!("  fps:          {fps:>8}      (paper: 40)");
+    println!(
+        "  frequency:    {:>8.1} kHz (paper: 120 kHz)",
+        est.frequency_hz / 1e3
+    );
+    println!(
+        "  power:        {:>8.3} mW  (paper: 1.35 mW simulated, 1.26 mW RTL)",
+        est.power.total_mw()
+    );
+    println!(
+        "  power/core:   {:>8.3} mW  (paper: 0.135 mW)",
+        est.power_per_core_mw()
+    );
+    println!("  mJ/frame:     {:>8.4}     (paper: 0.038)", est.mj_per_frame);
+    println!("  mapping time: {mapping_ms:>8} ms  (paper: 660 ms)");
+    Ok(())
+}

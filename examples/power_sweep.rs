@@ -1,0 +1,43 @@
+//! Fig. 5 — the throughput / frequency / power tradeoff of a single tile
+//! — plus the §IV area budget.
+//!
+//! Run with: `cargo run --release --example power_sweep`
+
+use shenjing::power::tile_model::FIG5_POINTS;
+use shenjing::prelude::*;
+
+fn main() {
+    let model = TileModel::paper();
+    println!("fitted tile model: P(f) = {:.1} µW + {:.3} nJ/cycle × f", model.static_uw,
+        model.energy_per_cycle_nj);
+    println!("\nFig. 5 sweep (MNIST MLP, T = 20, ~150 cycles/timestep):");
+    println!("{:>6} {:>12} {:>14} {:>14} {:>10}", "fps", "freq (kHz)", "paper (kHz)", "model (µW)", "paper(µW)");
+    for (fps, paper_khz, paper_uw) in FIG5_POINTS {
+        let freq = TileModel::frequency_for(f64::from(fps), 20, 152);
+        let power = model.power_uw(freq);
+        println!(
+            "{fps:>6} {:>12.1} {paper_khz:>14.0} {power:>14.1} {paper_uw:>10.0}",
+            freq / 1e3,
+        );
+    }
+
+    let area = AreaBudget::paper();
+    println!("\n§IV area budget (28nm):");
+    println!("  tile: {:.2} mm², {:.3} M gates", area.tile_mm2, area.tile_mgates);
+    println!(
+        "  routers {:.3} mm² ({:.0}%), SRAM {:.3} mm² ({:.0}%), other {:.3} mm²",
+        area.router_mm2(),
+        area.router_fraction * 100.0,
+        area.sram_mm2(),
+        area.sram_fraction * 100.0,
+        area.other_mm2(),
+    );
+    println!(
+        "  die {:.0}x{:.0} mm → {}x{} grid = {} tiles",
+        area.die_side_mm,
+        area.die_side_mm,
+        area.tiles_per_side(),
+        area.tiles_per_side(),
+        area.tiles_per_die(),
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: train a small digit classifier, convert it to a spiking
+//! network, map it onto Shenjing, and confirm that the cycle-level
+//! hardware simulation reproduces the abstract SNN bit for bit.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use shenjing::datasets::{flatten_images, train_test_split};
+use shenjing::prelude::*;
+use shenjing::snn::convert_with_report;
+
+fn main() -> Result<()> {
+    // 1. Data: deterministic synthetic digits (MNIST stand-in).
+    let data = SynthDigits::new(42).generate(400);
+    let (train, test) = train_test_split(data, 0.8);
+    let train = flatten_images(&train);
+    let test = flatten_images(&test);
+
+    // 2. Train a small MLP.
+    println!("training a 784-64-10 MLP on {} synthetic digits...", train.len());
+    let mut ann = Network::from_specs(
+        &[LayerSpec::dense(784, 64), LayerSpec::relu(), LayerSpec::dense(64, 10)],
+        1,
+    )?;
+    let report = Sgd::new(0.02, 6, 9).train(&mut ann, &train)?;
+    println!("  train accuracy: {:.1}%", report.final_train_accuracy * 100.0);
+    let ann_acc = shenjing::nn::train::accuracy(&mut ann, &test)?;
+    println!("  ANN test accuracy: {:.1}%", ann_acc * 100.0);
+
+    // 3. Convert to an abstract SNN (data-based normalization + 5-bit
+    //    quantization).
+    let calib: Vec<Tensor> = train.iter().take(32).map(|(x, _)| x.clone()).collect();
+    let (mut snn, conv_report) =
+        convert_with_report(&mut ann, &calib, &ConversionOptions::default())?;
+    println!("converted: {} spiking layers", conv_report.thresholds.len());
+    for (desc, theta) in conv_report.descriptions.iter().zip(&conv_report.thresholds) {
+        println!("  {desc}: θ = {theta}");
+    }
+    let timesteps = 20; // the paper's MNIST spike-train length
+    let snn_acc = snn.evaluate(&test, timesteps)?;
+    println!("  abstract SNN test accuracy (T={timesteps}): {:.1}%", snn_acc * 100.0);
+
+    // 4. Map onto the paper's architecture (256x256 cores, 28x28 chips).
+    let arch = ArchSpec::paper();
+    let mapping = Mapper::new(arch.clone()).map(&snn)?;
+    println!(
+        "mapped onto {} cores ({} chip(s)), {} cycles per timestep",
+        mapping.logical.total_cores(),
+        mapping.placement.chips,
+        mapping.program.stats.pipelined_cycles_per_timestep,
+    );
+
+    // 5. Cycle-level simulation must agree with the abstract model
+    //    exactly — the paper's zero-loss mapping claim.
+    let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program)?;
+    let probe: Vec<Tensor> = test.iter().take(10).map(|(x, _)| x.clone()).collect();
+    let eq = shenjing::sim::verify(&mut snn, &mut sim, &probe, timesteps)?;
+    println!(
+        "equivalence: {}/{} frames bit-exact ({})",
+        eq.exact_frames,
+        eq.frames,
+        if eq.is_exact() { "zero mapping loss confirmed" } else { "MISMATCH" },
+    );
+    assert!(eq.is_exact());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! ResNet shortcuts on Shenjing: the diag(λ) normalization layer folding
+//! into the residual tail over the partial-sum NoC (§III), verified
+//! bit-exactly on the cycle-level simulator.
+//!
+//! Run with: `cargo run --release --example resnet_shortcuts`
+
+use rand::{Rng, SeedableRng};
+use shenjing::mapper::ir::CoreRole;
+use shenjing::prelude::*;
+use shenjing::snn::convert;
+
+fn main() -> Result<()> {
+    // A small residual network on a mid-sized architecture (64-input
+    // cores) so cycle-level simulation stays fast.
+    let arch = ArchSpec {
+        core_inputs: 64,
+        core_neurons: 64,
+        chip_rows: 8,
+        chip_cols: 8,
+        ..ArchSpec::paper()
+    };
+    let specs = [
+        LayerSpec::conv2d(3, 1, 4),
+        LayerSpec::relu(),
+        LayerSpec::residual(
+            vec![
+                LayerSpec::conv2d(3, 4, 4),
+                LayerSpec::relu(),
+                LayerSpec::conv2d(3, 4, 4),
+            ],
+            1.0,
+        ),
+        LayerSpec::relu(),
+        LayerSpec::avg_pool(2),
+        LayerSpec::dense(4 * 3 * 3, 5),
+    ];
+    println!("building conv → residual(conv, conv) → pool → dense on 6x6 inputs...");
+    let mut ann = Network::from_specs(&specs, 3)?;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let images: Vec<Tensor> = (0..8)
+        .map(|_| {
+            Tensor::from_vec(vec![6, 6, 1], (0..36).map(|_| rng.gen_range(0.0..1.0)).collect())
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut snn = convert(&mut ann, &images[..5], &ConversionOptions::default())?;
+    let mapping = Mapper::new(arch.clone()).map(&snn)?;
+
+    // Show the shortcut normalization cores inside the tail's fold groups.
+    println!("\nresidual tail fold groups (PS NoC adds main + shortcut partials):");
+    let tail_layer = &mapping.logical.layers[2];
+    for (i, group) in tail_layer.fold_groups.iter().enumerate() {
+        let roles: Vec<String> = group
+            .members
+            .iter()
+            .map(|m| match mapping.logical.core(*m).role {
+                CoreRole::Main => "conv".to_string(),
+                CoreRole::Shortcut => "diag(λ)".to_string(),
+            })
+            .collect();
+        println!("  group {i}: [{}] → root fires spikes", roles.join(" + "));
+    }
+
+    // Verify zero-loss mapping on the cycle simulator.
+    let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program)?;
+    let report = shenjing::sim::verify(&mut snn, &mut sim, &images, 20)?;
+    println!(
+        "\nequivalence across {} frames x {} timesteps: {}",
+        report.frames,
+        report.timesteps,
+        if report.is_exact() { "bit-exact" } else { "MISMATCH" },
+    );
+    assert!(report.is_exact());
+    println!(
+        "\"first demonstration of a SNN hardware that can be configured\n\
+         automatically to run residual networks\" — reproduced."
+    );
+    Ok(())
+}
