@@ -60,9 +60,7 @@ impl BlockwiseSnn {
         let mut layers = Vec::new();
         for layer in snn.layers() {
             let SnnLayer::Dense(d) = layer else {
-                return Err(Error::config(
-                    "block-level baseline supports dense stacks only",
-                ));
+                return Err(Error::config("block-level baseline supports dense stacks only"));
             };
             let blocks = d.in_dim().div_ceil(core_inputs).max(1);
             // Split the firing budget across blocks; prior architectures
@@ -170,7 +168,7 @@ impl BlockLayer {
         let mut out = vec![false; self.out_dim];
         if self.blocks == 1 {
             // Fits one core: identical to the exact model.
-            for o in 0..self.out_dim {
+            for (o, out_spike) in out.iter_mut().enumerate() {
                 let mut sum = 0i64;
                 for (j, &s) in input.iter().enumerate() {
                     if s {
@@ -181,20 +179,20 @@ impl BlockLayer {
                 *p += sum;
                 if *p > i64::from(self.threshold) {
                     *p -= i64::from(self.threshold);
-                    out[o] = true;
+                    *out_spike = true;
                 }
             }
             return out;
         }
         // Oversized layer: per-block partial IF, then spike aggregation.
-        for o in 0..self.out_dim {
+        for (o, out_spike) in out.iter_mut().enumerate() {
             let mut block_spikes = 0i64;
             for b in 0..self.blocks {
                 let lo = b * core_inputs;
                 let hi = ((b + 1) * core_inputs).min(self.in_dim);
                 let mut partial = 0i64;
-                for j in lo..hi {
-                    if input[j] {
+                for (j, &s) in input.iter().enumerate().take(hi).skip(lo) {
+                    if s {
                         partial += i64::from(self.weights[j * self.out_dim + o]);
                     }
                 }
@@ -211,7 +209,7 @@ impl BlockLayer {
             *p += block_spikes * i64::from(self.block_threshold);
             if *p > i64::from(self.threshold) {
                 *p -= i64::from(self.threshold);
-                out[o] = true;
+                *out_spike = true;
             }
         }
         out
@@ -277,17 +275,8 @@ mod tests {
 
     #[test]
     fn blockwise_rejects_non_dense() {
-        let conv = shenjing_snn::SpikingConv::new(
-            vec![W5::ZERO; 9],
-            3,
-            2,
-            2,
-            1,
-            1,
-            5,
-            1.0,
-        )
-        .unwrap();
+        let conv =
+            shenjing_snn::SpikingConv::new(vec![W5::ZERO; 9], 3, 2, 2, 1, 1, 5, 1.0).unwrap();
         let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv)]).unwrap();
         assert!(BlockwiseSnn::new(&snn, 16).is_err());
         let dense = SnnNetwork::new(vec![SnnLayer::Dense(

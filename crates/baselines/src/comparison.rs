@@ -101,12 +101,8 @@ impl std::fmt::Display for ComparisonRow {
             self.accuracy * 100.0,
             self.fps.map(|v| format!("{v:.0}")).unwrap_or_else(|| "N.A.".into()),
             self.voltage,
-            self.power_mw
-                .map(|v| format!("{v:.3} mW"))
-                .unwrap_or_else(|| "N.A.".into()),
-            self.uj_per_frame
-                .map(|v| format!("{v:.2} µJ/f"))
-                .unwrap_or_else(|| "N.A.".into()),
+            self.power_mw.map(|v| format!("{v:.3} mW")).unwrap_or_else(|| "N.A.".into()),
+            self.uj_per_frame.map(|v| format!("{v:.2} µJ/f")).unwrap_or_else(|| "N.A.".into()),
         )
     }
 }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use shenjing::core::{ArchSpec, Direction, LocalSum, NocSum, W5};
 use shenjing::hw::{
-    NeuronCore, PlaneSet, PsRouter, PsRouterOp, PsSendSource, PsDst, SpikeRouter, SpikeRouterOp,
+    NeuronCore, PlaneSet, PsDst, PsRouter, PsRouterOp, PsSendSource, SpikeRouter, SpikeRouterOp,
 };
 
 fn bench_hw(c: &mut Criterion) {
@@ -20,9 +20,7 @@ fn bench_hw(c: &mut Criterion) {
     for a in (0..arch.core_inputs).step_by(16) {
         core.set_axon(a, true).unwrap();
     }
-    c.bench_function("neuron_core_acc_256x256", |b| {
-        b.iter(|| core.accumulate(0b1111).unwrap())
-    });
+    c.bench_function("neuron_core_acc_256x256", |b| b.iter(|| core.accumulate(0b1111).unwrap()));
 
     // PS router: a full 256-plane SUM.
     let local: Vec<LocalSum> = (0..256).map(|i| LocalSum::new(i % 100).unwrap()).collect();

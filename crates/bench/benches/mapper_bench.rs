@@ -15,9 +15,7 @@ fn bench_mapper(c: &mut Criterion) {
         b.iter(|| Mapper::new(arch.clone()).map(&mlp).unwrap())
     });
 
-    c.bench_function("map_logical_mnist_cnn", |b| {
-        b.iter(|| map_logical(&arch, &cnn).unwrap())
-    });
+    c.bench_function("map_logical_mnist_cnn", |b| b.iter(|| map_logical(&arch, &cnn).unwrap()));
 
     let cnn_logical = map_logical(&arch, &cnn).unwrap();
     c.bench_function("place_greedy_mnist_cnn", |b| {

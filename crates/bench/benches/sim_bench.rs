@@ -11,12 +11,10 @@ fn bench_sim(c: &mut Criterion) {
     let snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
     let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
     let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
-    let input = Tensor::from_vec(vec![784], (0..784).map(|i| (i % 7) as f64 / 7.0).collect())
-        .unwrap();
+    let input =
+        Tensor::from_vec(vec![784], (0..784).map(|i| (i % 7) as f64 / 7.0).collect()).unwrap();
 
-    c.bench_function("cycle_sim_mlp_frame_t20", |b| {
-        b.iter(|| sim.run_frame(&input, 20).unwrap())
-    });
+    c.bench_function("cycle_sim_mlp_frame_t20", |b| b.iter(|| sim.run_frame(&input, 20).unwrap()));
 
     let mut abstract_snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
     c.bench_function("abstract_snn_mlp_frame_t20", |b| {

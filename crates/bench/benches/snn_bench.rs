@@ -23,13 +23,9 @@ fn bench_snn(c: &mut Criterion) {
     });
 
     let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
-    c.bench_function("abstract_snn_run_t20", |b| {
-        b.iter(|| snn.run(&calib[0], 20).unwrap())
-    });
+    c.bench_function("abstract_snn_run_t20", |b| b.iter(|| snn.run(&calib[0], 20).unwrap()));
 
-    c.bench_function("ann_forward_784_128_10", |b| {
-        b.iter(|| ann.forward(&calib[0]).unwrap())
-    });
+    c.bench_function("ann_forward_784_128_10", |b| b.iter(|| ann.forward(&calib[0]).unwrap()));
 }
 
 criterion_group! {

@@ -38,10 +38,8 @@ fn main() {
     let arch = ArchSpec::paper();
     let cnn = shenjing_bench::synthetic_snn(NetworkKind::MnistCnn);
     let greedy = Mapper::new(arch.clone()).map(&cnn).unwrap();
-    let naive = Mapper::new(arch)
-        .with_strategy(PlacementStrategy::RowMajorNaive)
-        .map(&cnn)
-        .unwrap();
+    let naive =
+        Mapper::new(arch).with_strategy(PlacementStrategy::RowMajorNaive).map(&cnn).unwrap();
     // Compare the traffic the compiled schedules actually generate:
     // greedy placement keeps fold groups adjacent and multicast chains
     // compact.

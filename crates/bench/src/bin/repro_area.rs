@@ -5,7 +5,10 @@ use shenjing::prelude::*;
 fn main() {
     println!("=== §IV: synthesis results (area) ===\n");
     let a = AreaBudget::paper();
-    println!("tile (neuron core + NoC routers): {:.2} mm², {:.3}M gates", a.tile_mm2, a.tile_mgates);
+    println!(
+        "tile (neuron core + NoC routers): {:.2} mm², {:.3}M gates",
+        a.tile_mm2, a.tile_mgates
+    );
     println!("  routers: {:.3} mm² ({:.0}%)", a.router_mm2(), a.router_fraction * 100.0);
     println!("  SRAM:    {:.3} mm² ({:.0}%)", a.sram_mm2(), a.sram_fraction * 100.0);
     println!("  other:   {:.3} mm²", a.other_mm2());

@@ -15,11 +15,8 @@ fn main() {
         let flat = &mapping.logical.flat[lm.flat_index];
         println!("\nlayer {li}: {}", flat.describe());
         for (gi, group) in lm.fold_groups.iter().enumerate() {
-            let coords: Vec<String> = group
-                .members
-                .iter()
-                .map(|m| mapping.placement.coord(*m).to_string())
-                .collect();
+            let coords: Vec<String> =
+                group.members.iter().map(|m| mapping.placement.coord(*m).to_string()).collect();
             println!("  fold group {gi}: tiles {} (root first)", coords.join(" <- "));
             // Print the Algorithm 1 fold schedule for this group.
             let n = group.members.len();
@@ -48,10 +45,7 @@ fn main() {
     let mut pairs = std::collections::BTreeMap::new();
     for link in &links {
         *pairs
-            .entry((
-                mapping.placement.coord(link.src),
-                mapping.placement.coord(link.dst),
-            ))
+            .entry((mapping.placement.coord(link.src), mapping.placement.coord(link.dst)))
             .or_insert(0usize) += 1;
     }
     println!("\nspike NoC connections (src tile -> dst tile: planes):");

@@ -8,7 +8,11 @@ use shenjing::hw::{
 };
 
 fn bit(b: bool) -> char {
-    if b { '1' } else { '0' }
+    if b {
+        '1'
+    } else {
+        '0'
+    }
 }
 
 fn main() {
@@ -59,10 +63,7 @@ fn main() {
             "SPIKE $SUM_OR_LOCAL".into(),
             SpikeRouterOp::Spike { from_ps_router: true, planes: planes.clone() },
         ),
-        (
-            "SEND $DST".into(),
-            SpikeRouterOp::Send { dst: Direction::East, planes: planes.clone() },
-        ),
+        ("SEND $DST".into(), SpikeRouterOp::Send { dst: Direction::East, planes: planes.clone() }),
         (
             "BYPASS $SRC, $DST".into(),
             SpikeRouterOp::Bypass {

@@ -22,12 +22,13 @@ fn main() {
     ];
     for (block, op, energy, cycles, published_mw) in rows {
         let reconstructed = m.active_power_mw_at(energy, cycles, 120e3);
-        println!(
-            "{block:<16} {op:<10} {reconstructed:>12.4} ({published_mw:>6.4}) {energy:>18.2}",
-        );
+        println!("{block:<16} {op:<10} {reconstructed:>12.4} ({published_mw:>6.4}) {energy:>18.2}",);
     }
     println!("\n(reconstructed power = energy x 256 neurons x 120 kHz / op cycles;");
     println!(" parenthesized = the paper's published power column — agreement");
     println!(" validates the per-neuron energy constants used by the power model)");
-    println!("\ninter-chip serial link: {} pJ/bit (56 Gb/s 28nm transceiver)", m.interchip_pj_per_bit);
+    println!(
+        "\ninter-chip serial link: {} pJ/bit (56 Gb/s 28nm transceiver)",
+        m.interchip_pj_per_bit
+    );
 }

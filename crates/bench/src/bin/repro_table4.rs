@@ -61,11 +61,13 @@ fn structural_row(kind: NetworkKind, arch: &ArchSpec) -> Row {
     }
 }
 
+type LabeledSet = Vec<(Tensor, usize)>;
+
 fn trained_cnn_accuracy(kind: NetworkKind, quick: bool) -> (f64, f64) {
     // Train the convolutional benchmark on its synthetic dataset and
     // report (ANN accuracy, abstract SNN accuracy).
     let (h, w, c) = kind.input_shape();
-    let (train, test): (Vec<(Tensor, usize)>, Vec<(Tensor, usize)>) = match kind {
+    let (train, test): (LabeledSet, LabeledSet) = match kind {
         NetworkKind::MnistCnn => {
             let data = SynthDigits::new(99).generate(if quick { 160 } else { 400 });
             train_test_split(data, 0.75)
@@ -160,11 +162,21 @@ fn main() {
         rows.push(row);
     }
 
-    let fmt_acc =
-        |v: Option<f64>| v.map(|a| format!("{:.4}", a)).unwrap_or_else(|| "-".into());
+    let fmt_acc = |v: Option<f64>| v.map(|a| format!("{:.4}", a)).unwrap_or_else(|| "-".into());
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>7} {:>6} {:>4} {:>5} {:>11} {:>10} {:>9} {:>9}",
-        "", "ANN", "SNN", "Shenjing", "#cores", "chips", "T", "fps", "freq", "power", "mJ/frame", "map(ms)"
+        "",
+        "ANN",
+        "SNN",
+        "Shenjing",
+        "#cores",
+        "chips",
+        "T",
+        "fps",
+        "freq",
+        "power",
+        "mJ/frame",
+        "map(ms)"
     );
     for r in &rows {
         println!(
@@ -186,9 +198,15 @@ fn main() {
 
     println!("\npaper reference:");
     println!("  MNIST MLP:    .9967/.9611/.9611  10 cores  120 kHz    1.35 mW  0.038 mJ/f  660 ms");
-    println!("  MNIST CNN:    .9913/.9715/.9715  705 cores 207 kHz    87.54 mW 2.92 mJ/f   2142 ms");
-    println!("  CIFAR CNN:    .7992/.7590/.7590  2977 (4c) 1.25 MHz   456.71 mW 15.22 mJ/f 4384 ms");
-    println!("  CIFAR ResNet: .7825/.7250/.7250  5863 (8c) 2.83 MHz   887.81 mW 29.59 mJ/f 12022 ms");
+    println!(
+        "  MNIST CNN:    .9913/.9715/.9715  705 cores 207 kHz    87.54 mW 2.92 mJ/f   2142 ms"
+    );
+    println!(
+        "  CIFAR CNN:    .7992/.7590/.7590  2977 (4c) 1.25 MHz   456.71 mW 15.22 mJ/f 4384 ms"
+    );
+    println!(
+        "  CIFAR ResNet: .7825/.7250/.7250  5863 (8c) 2.83 MHz   887.81 mW 29.59 mJ/f 12022 ms"
+    );
     println!("\n(accuracies here are on the synthetic stand-in datasets; the");
     println!(" reproduced claims are the SNN==Shenjing equality, the core/chip");
     println!(" structure, and the frequency/power/energy shape)");

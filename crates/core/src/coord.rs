@@ -33,12 +33,8 @@ pub enum Direction {
 impl Direction {
     /// All four directions, in N, S, E, W order (the port order used by the
     /// hardware control words of Table I).
-    pub const ALL: [Direction; 4] = [
-        Direction::North,
-        Direction::South,
-        Direction::East,
-        Direction::West,
-    ];
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::South, Direction::East, Direction::West];
 
     /// The direction pointing the opposite way.
     pub fn opposite(self) -> Direction {
@@ -310,14 +306,8 @@ mod tests {
     fn neighbor_at_edges() {
         assert_eq!(CoreCoord::new(0, 0).neighbor(Direction::North), None);
         assert_eq!(CoreCoord::new(0, 0).neighbor(Direction::West), None);
-        assert_eq!(
-            CoreCoord::new(0, 0).neighbor(Direction::South),
-            Some(CoreCoord::new(1, 0))
-        );
-        assert_eq!(
-            CoreCoord::new(0, 0).neighbor(Direction::East),
-            Some(CoreCoord::new(0, 1))
-        );
+        assert_eq!(CoreCoord::new(0, 0).neighbor(Direction::South), Some(CoreCoord::new(1, 0)));
+        assert_eq!(CoreCoord::new(0, 0).neighbor(Direction::East), Some(CoreCoord::new(0, 1)));
     }
 
     #[test]

@@ -100,24 +100,17 @@ impl Error {
 
     /// Shorthand for an [`Error::ShapeMismatch`].
     pub fn shape_mismatch(expected: impl Into<String>, found: impl Into<String>) -> Error {
-        Error::ShapeMismatch {
-            expected: expected.into(),
-            found: found.into(),
-        }
+        Error::ShapeMismatch { expected: expected.into(), found: found.into() }
     }
 
     /// Shorthand for an [`Error::MappingFailed`].
     pub fn mapping(reason: impl Into<String>) -> Error {
-        Error::MappingFailed {
-            reason: reason.into(),
-        }
+        Error::MappingFailed { reason: reason.into() }
     }
 
     /// Shorthand for an [`Error::InvalidConfig`].
     pub fn config(reason: impl Into<String>) -> Error {
-        Error::InvalidConfig {
-            reason: reason.into(),
-        }
+        Error::InvalidConfig { reason: reason.into() }
     }
 }
 
@@ -134,7 +127,10 @@ mod tests {
             Error::shape_mismatch("784 inputs", "512 inputs"),
             Error::mapping("no rectangle fits layer 3"),
             Error::InvalidSchedule { cycle: 12, reason: "link contention on (0,0)->N".into() },
-            Error::InvalidControl { component: "ps_router".into(), reason: "add without operand".into() },
+            Error::InvalidControl {
+                component: "ps_router".into(),
+                reason: "add without operand".into(),
+            },
             Error::config("timestep must be positive"),
         ];
         for e in samples {
@@ -155,9 +151,6 @@ mod tests {
         assert!(matches!(Error::out_of_bounds("x"), Error::OutOfBounds { .. }));
         assert!(matches!(Error::mapping("x"), Error::MappingFailed { .. }));
         assert!(matches!(Error::config("x"), Error::InvalidConfig { .. }));
-        assert!(matches!(
-            Error::shape_mismatch("a", "b"),
-            Error::ShapeMismatch { .. }
-        ));
+        assert!(matches!(Error::shape_mismatch("a", "b"), Error::ShapeMismatch { .. }));
     }
 }

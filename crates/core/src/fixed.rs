@@ -40,7 +40,9 @@ const fn signed_min(bits: u32) -> i32 {
 /// assert!(W5::new(16).is_err());
 /// assert!(W5::new(-17).is_err());
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct W5(i8);
 
 impl W5 {
@@ -111,7 +113,9 @@ impl TryFrom<i32> for W5 {
 /// assert_eq!(s.value(), 5);
 /// assert_eq!(s.widen().value(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct LocalSum(i16);
 
 impl LocalSum {
@@ -129,10 +133,7 @@ impl LocalSum {
     /// Returns [`Error::SumOverflow`] when out of range.
     pub fn new(value: i32) -> Result<LocalSum> {
         if value < signed_min(LOCAL_SUM_BITS) || value > signed_max(LOCAL_SUM_BITS) {
-            Err(Error::SumOverflow {
-                value: i64::from(value),
-                bits: LOCAL_SUM_BITS,
-            })
+            Err(Error::SumOverflow { value: i64::from(value), bits: LOCAL_SUM_BITS })
         } else {
             Ok(LocalSum(value as i16))
         }
@@ -178,7 +179,9 @@ impl std::fmt::Display for LocalSum {
 /// assert!(a.checked_add(b).is_err()); // 33000 exceeds 16 bits
 /// assert_eq!(a.checked_add(NocSum::new(-3000).unwrap()).unwrap().value(), 27000);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct NocSum(i16);
 
 impl NocSum {
@@ -196,10 +199,7 @@ impl NocSum {
     /// Returns [`Error::SumOverflow`] when out of range.
     pub fn new(value: i32) -> Result<NocSum> {
         if value < i32::from(i16::MIN) || value > i32::from(i16::MAX) {
-            Err(Error::SumOverflow {
-                value: i64::from(value),
-                bits: NOC_SUM_BITS,
-            })
+            Err(Error::SumOverflow { value: i64::from(value), bits: NOC_SUM_BITS })
         } else {
             Ok(NocSum(value as i16))
         }
@@ -256,10 +256,7 @@ pub fn quantize_weights(weights: &[f64]) -> (Vec<W5>, f64) {
         return (vec![W5::ZERO; weights.len()], 1.0);
     }
     let scale = f64::from(signed_max(WEIGHT_BITS)) / max_abs;
-    let q = weights
-        .iter()
-        .map(|w| W5::saturating((w * scale).round() as i32))
-        .collect();
+    let q = weights.iter().map(|w| W5::saturating((w * scale).round() as i32)).collect();
     (q, scale)
 }
 
@@ -316,11 +313,7 @@ mod tests {
         let b = NocSum::new(12767).unwrap();
         assert_eq!(a.checked_add(b).unwrap().value(), 32767);
         let c = NocSum::new(1).unwrap();
-        assert!(a
-            .checked_add(b)
-            .unwrap()
-            .checked_add(c)
-            .is_err());
+        assert!(a.checked_add(b).unwrap().checked_add(c).is_err());
     }
 
     #[test]

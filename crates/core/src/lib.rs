@@ -59,7 +59,9 @@ pub use rect::Rect;
 /// let n = NeuronId::new(17);
 /// assert_eq!(n.index(), 17);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NeuronId(u16);
 
 impl NeuronId {
@@ -98,7 +100,9 @@ impl From<u16> for NeuronId {
 /// use shenjing_core::AxonId;
 /// assert_eq!(AxonId::new(3).index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct AxonId(u16);
 
 impl AxonId {

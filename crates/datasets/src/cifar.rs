@@ -61,7 +61,7 @@ impl SynthCifar {
                 let v = y as f64 / SIDE as f64;
                 let base = pattern_value(class, u, v, phase);
                 for c in 0..CHANNELS {
-                    let noise = rng.gen_range(-noise_amp..noise_amp);
+                    let noise: f64 = rng.gen_range(-noise_amp..noise_amp);
                     let val = (base * tint[c] + noise).clamp(0.0, 1.0);
                     img[(y * SIDE + x) * CHANNELS + c] = val;
                 }
@@ -118,7 +118,8 @@ fn class_tint(class: usize, rng: &mut StdRng) -> [f64; 3] {
     };
     let mut tint = [0.0f64; 3];
     for (t, b) in tint.iter_mut().zip(base) {
-        *t = (b + rng.gen_range(-0.15..0.15)).clamp(0.1, 1.0);
+        let jitter: f64 = rng.gen_range(-0.15..0.15);
+        *t = (b + jitter).clamp(0.1, 1.0);
     }
     tint
 }

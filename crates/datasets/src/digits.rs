@@ -185,10 +185,7 @@ mod tests {
         };
         for i in 0..10 {
             for j in (i + 1)..10 {
-                assert!(
-                    dist(&means[i], &means[j]) > 1.0,
-                    "classes {i} and {j} look identical"
-                );
+                assert!(dist(&means[i], &means[j]) > 1.0, "classes {i} and {j} look identical");
             }
         }
     }

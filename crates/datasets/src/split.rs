@@ -26,10 +26,7 @@ pub fn train_test_split(
     data: Vec<LabelledImage>,
     train_fraction: f64,
 ) -> (Vec<LabelledImage>, Vec<LabelledImage>) {
-    assert!(
-        train_fraction > 0.0 && train_fraction < 1.0,
-        "train_fraction must be in (0, 1)"
-    );
+    assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0, 1)");
     let mut data = data;
     let cut = (data.len() as f64 * train_fraction).round() as usize;
     let test = data.split_off(cut.min(data.len()));
@@ -58,9 +55,8 @@ mod tests {
     fn split_is_class_balanced() {
         let data = SynthDigits::new(0).generate(100);
         let (train, test) = train_test_split(data, 0.5);
-        let count = |ds: &[LabelledImage], class: usize| {
-            ds.iter().filter(|(_, l)| *l == class).count()
-        };
+        let count =
+            |ds: &[LabelledImage], class: usize| ds.iter().filter(|(_, l)| *l == class).count();
         for class in 0..10 {
             assert_eq!(count(&train, class), 5);
             assert_eq!(count(&test, class), 5);

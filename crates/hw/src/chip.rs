@@ -52,9 +52,7 @@ impl Chip {
         if rows == 0 || cols == 0 {
             return Err(Error::config("chip dimensions must be positive"));
         }
-        let tiles = (0..rows as usize * cols as usize)
-            .map(|_| Tile::new(arch))
-            .collect();
+        let tiles = (0..rows as usize * cols as usize).map(|_| Tile::new(arch)).collect();
         Ok(Chip { arch: arch.clone(), rows, cols, tiles })
     }
 
@@ -119,9 +117,7 @@ impl Chip {
     /// errors) and reports data driven off the mesh edge.
     pub fn exec_cycle(&mut self, cycle: u64, ops: &[(CoreCoord, AtomicOp)]) -> Result<()> {
         for (coord, op) in ops {
-            self.tile_mut(*coord)?
-                .exec(op)
-                .map_err(|e| annotate_cycle(e, cycle))?;
+            self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
         }
         self.transfer(cycle)?;
         for tile in &mut self.tiles {
@@ -217,10 +213,7 @@ impl Chip {
     pub fn iter(&self) -> impl Iterator<Item = (CoreCoord, &Tile)> {
         let cols = self.cols;
         self.tiles.iter().enumerate().map(move |(i, t)| {
-            (
-                CoreCoord::new((i / cols as usize) as u16, (i % cols as usize) as u16),
-                t,
-            )
+            (CoreCoord::new((i / cols as usize) as u16, (i % cols as usize) as u16), t)
         })
     }
 
@@ -272,8 +265,7 @@ mod tests {
         t.core_mut().write_weight(0, 0, W5::new(7).unwrap()).unwrap();
         t.core_mut().set_axon(0, true).unwrap();
 
-        chip.exec_cycle(0, &[(src, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))])
-            .unwrap();
+        chip.exec_cycle(0, &[(src, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))]).unwrap();
         chip.exec_cycle(
             1,
             &[(
@@ -305,8 +297,7 @@ mod tests {
             t.core_mut().set_axon(0, true).unwrap();
         }
         let acc = |c| (c, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
-        chip.exec_cycle(0, &[acc(CoreCoord::new(1, 0)), acc(CoreCoord::new(0, 0))])
-            .unwrap();
+        chip.exec_cycle(0, &[acc(CoreCoord::new(1, 0)), acc(CoreCoord::new(0, 0))]).unwrap();
         chip.exec_cycle(
             1,
             &[(

@@ -63,9 +63,7 @@ impl TileProgram {
 
     /// Iterates `(cycle, op)` pairs in cycle order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &AtomicOp)> {
-        self.ops
-            .iter()
-            .flat_map(|(&cycle, ops)| ops.iter().map(move |op| (cycle, op)))
+        self.ops.iter().flat_map(|(&cycle, ops)| ops.iter().map(move |op| (cycle, op)))
     }
 
     /// Validates that no two ops of the same component family touch
@@ -273,9 +271,7 @@ mod tests {
     #[test]
     fn validate_rejects_overlapping_spike_planes() {
         let mut prog = TileProgram::new();
-        let spike = |planes| {
-            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::East, planes })
-        };
+        let spike = |planes| AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::East, planes });
         prog.push(3, spike(PlaneSet::all()));
         prog.push(3, spike(PlaneSet::from_indices([0u16])));
         assert!(matches!(prog.validate(), Err(Error::InvalidSchedule { cycle: 3, .. })));

@@ -218,10 +218,7 @@ impl NeuronCore {
         if banks == 0 || u16::from(banks) & !valid_mask != 0 {
             return Err(Error::InvalidControl {
                 component: "neuron_core".into(),
-                reason: format!(
-                    "bank mask {banks:#06b} invalid for a {}-bank core",
-                    self.banks
-                ),
+                reason: format!("bank mask {banks:#06b} invalid for a {}-bank core", self.banks),
             });
         }
         Ok(())

@@ -70,10 +70,7 @@ impl PlaneSet {
             PlaneSet::All => true,
             PlaneSet::Mask(words) => {
                 let word = idx as usize / 64;
-                words
-                    .get(word)
-                    .map(|w| w & (1u64 << (idx as usize % 64)) != 0)
-                    .unwrap_or(false)
+                words.get(word).map(|w| w & (1u64 << (idx as usize % 64)) != 0).unwrap_or(false)
             }
         }
     }

@@ -80,23 +80,18 @@ impl PsRouter {
         match op {
             PsRouterOp::Sum { src, consec, planes } => {
                 for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
-                    let incoming = self.take_input(*src, p).ok_or_else(|| {
-                        Error::InvalidControl {
+                    let incoming =
+                        self.take_input(*src, p).ok_or_else(|| Error::InvalidControl {
                             component: "ps_router".into(),
                             reason: format!("SUM on plane {p}: no data registered at port {src}"),
-                        }
-                    })?;
+                        })?;
                     let first = if *consec {
                         self.sum_buf[p as usize].ok_or_else(|| Error::InvalidControl {
                             component: "ps_router".into(),
                             reason: format!("SUM consec on plane {p}: empty accumulation register"),
                         })?
                     } else {
-                        local_ps
-                            .get(p as usize)
-                            .copied()
-                            .unwrap_or(LocalSum::ZERO)
-                            .widen()
+                        local_ps.get(p as usize).copied().unwrap_or(LocalSum::ZERO).widen()
                     };
                     self.sum_buf[p as usize] = Some(first.checked_add(incoming)?);
                 }
@@ -104,15 +99,15 @@ impl PsRouter {
             PsRouterOp::Send { source, dst, planes } => {
                 for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
                     let value = match source {
-                        PsSendSource::LocalPs => local_ps
-                            .get(p as usize)
-                            .copied()
-                            .unwrap_or(LocalSum::ZERO)
-                            .widen(),
+                        PsSendSource::LocalPs => {
+                            local_ps.get(p as usize).copied().unwrap_or(LocalSum::ZERO).widen()
+                        }
                         PsSendSource::SumBuf => {
                             self.sum_buf[p as usize].ok_or_else(|| Error::InvalidControl {
                                 component: "ps_router".into(),
-                                reason: format!("SEND sum_buf on plane {p}: empty accumulation register"),
+                                reason: format!(
+                                    "SEND sum_buf on plane {p}: empty accumulation register"
+                                ),
                             })?
                         }
                     };
@@ -121,11 +116,9 @@ impl PsRouter {
             }
             PsRouterOp::Bypass { src, dst, planes } => {
                 for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
-                    let value = self.take_input(*src, p).ok_or_else(|| {
-                        Error::InvalidControl {
-                            component: "ps_router".into(),
-                            reason: format!("BYPASS on plane {p}: no data registered at port {src}"),
-                        }
+                    let value = self.take_input(*src, p).ok_or_else(|| Error::InvalidControl {
+                        component: "ps_router".into(),
+                        reason: format!("BYPASS on plane {p}: no data registered at port {src}"),
                     })?;
                     self.write_out(*dst, p, value)?;
                 }
@@ -146,9 +139,7 @@ impl PsRouter {
         if self.inputs[idx].is_some() {
             return Err(Error::InvalidSchedule {
                 cycle: 0,
-                reason: format!(
-                    "ps input register contention at port {port}, plane {plane}"
-                ),
+                reason: format!("ps input register contention at port {port}, plane {plane}"),
             });
         }
         self.inputs[idx] = Some(value);

@@ -356,10 +356,7 @@ impl SpikeRouterSignals {
     /// spike-router operation (e.g. `spike_en` with `bypass`, or a bypass
     /// with neither a forward leg nor delivery).
     pub fn to_op(&self, planes: PlaneSet) -> Result<SpikeRouterOp> {
-        let set = [self.spike_en, self.inject_en, self.bypass]
-            .iter()
-            .filter(|b| **b)
-            .count();
+        let set = [self.spike_en, self.inject_en, self.bypass].iter().filter(|b| **b).count();
         if set != 1 {
             return Err(Error::InvalidControl {
                 component: "spike_router".into(),
@@ -404,16 +401,12 @@ impl NeuronCoreSignals {
     /// Lowers a neuron core op to its Table I signal values.
     pub fn from_op(op: &NeuronCoreOp) -> NeuronCoreSignals {
         match op {
-            NeuronCoreOp::LdWt { banks } => NeuronCoreSignals {
-                r_weight: false,
-                w_weight: banks & 0b1111,
-                acc: 0,
-            },
-            NeuronCoreOp::Acc { banks } => NeuronCoreSignals {
-                r_weight: true,
-                w_weight: 0,
-                acc: banks & 0b1111,
-            },
+            NeuronCoreOp::LdWt { banks } => {
+                NeuronCoreSignals { r_weight: false, w_weight: banks & 0b1111, acc: 0 }
+            }
+            NeuronCoreOp::Acc { banks } => {
+                NeuronCoreSignals { r_weight: true, w_weight: 0, acc: banks & 0b1111 }
+            }
         }
     }
 
@@ -458,11 +451,8 @@ mod tests {
                 ops.push(PsRouterOp::Sum { src, consec, planes: planes() });
             }
         }
-        let dsts: Vec<PsDst> = Direction::ALL
-            .into_iter()
-            .map(PsDst::Port)
-            .chain([PsDst::SpikingLogic])
-            .collect();
+        let dsts: Vec<PsDst> =
+            Direction::ALL.into_iter().map(PsDst::Port).chain([PsDst::SpikingLogic]).collect();
         for &dst in &dsts {
             for source in [PsSendSource::LocalPs, PsSendSource::SumBuf] {
                 ops.push(PsRouterOp::Send { source, dst, planes: planes() });
@@ -583,11 +573,7 @@ mod tests {
     #[test]
     fn invalid_words_rejected() {
         // add_en + bypass simultaneously
-        let bad = PsRouterSignals {
-            add_en: true,
-            bypass: true,
-            ..Default::default()
-        };
+        let bad = PsRouterSignals { add_en: true, bypass: true, ..Default::default() };
         assert!(bad.to_op(planes()).is_err());
 
         // spike router: nothing enabled
@@ -595,11 +581,7 @@ mod tests {
         assert!(bad.to_op(planes()).is_err());
 
         // spike router: two functions at once
-        let bad = SpikeRouterSignals {
-            spike_en: true,
-            inject_en: true,
-            ..Default::default()
-        };
+        let bad = SpikeRouterSignals { spike_en: true, inject_en: true, ..Default::default() };
         assert!(bad.to_op(planes()).is_err());
 
         // bypass that drops the spike

@@ -145,11 +145,9 @@ impl SpikeRouter {
             SpikeRouterOp::Bypass { src, dst, deliver, planes } => {
                 for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
                     let idx = self.reg_index(*src, p);
-                    let spike = self.inputs[idx].take().ok_or_else(|| {
-                        Error::InvalidControl {
-                            component: "spike_router".into(),
-                            reason: format!("BYPASS on plane {p}: no spike at port {src}"),
-                        }
+                    let spike = self.inputs[idx].take().ok_or_else(|| Error::InvalidControl {
+                        component: "spike_router".into(),
+                        reason: format!("BYPASS on plane {p}: no spike at port {src}"),
                     })?;
                     if *deliver {
                         self.deliveries.push((p, spike));

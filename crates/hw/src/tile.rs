@@ -113,8 +113,7 @@ impl Tile {
             },
             AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all()),
             AtomicOp::Spike(spike_op) => {
-                self.spike
-                    .exec(spike_op, self.core.local_ps_all(), self.ps.eject_mut())
+                self.spike.exec(spike_op, self.core.local_ps_all(), self.ps.eject_mut())
             }
         }
     }
@@ -187,9 +186,7 @@ mod tests {
         t.core_mut().set_axon(0, true).unwrap();
         t.exec(&AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 })).unwrap();
 
-        t.ps_mut()
-            .put_input(Direction::South, 0, shenjing_core::NocSum::new(6).unwrap())
-            .unwrap();
+        t.ps_mut().put_input(Direction::South, 0, shenjing_core::NocSum::new(6).unwrap()).unwrap();
         let plane0 = PlaneSet::from_indices([0u16]);
         t.exec(&AtomicOp::Ps(PsRouterOp::Sum {
             src: Direction::South,
@@ -205,11 +202,8 @@ mod tests {
         .unwrap();
 
         t.spike_mut().set_threshold(0, 9).unwrap();
-        t.exec(&AtomicOp::Spike(SpikeRouterOp::Spike {
-            from_ps_router: true,
-            planes: plane0,
-        }))
-        .unwrap();
+        t.exec(&AtomicOp::Spike(SpikeRouterOp::Spike { from_ps_router: true, planes: plane0 }))
+            .unwrap();
         // 4 (local) + 6 (incoming) = 10 > 9 → fire, residual 1.
         assert!(t.spike().spike_buffer(0));
         assert_eq!(t.spike().potential(0), 1);

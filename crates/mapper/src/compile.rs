@@ -25,8 +25,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
 use shenjing_hw::{
-    AtomicOp, ConfigMemory, NeuronCoreOp, PlaneSet, PsDst, PsRouterOp, PsSendSource,
-    SpikeRouterOp,
+    AtomicOp, ConfigMemory, NeuronCoreOp, PlaneSet, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp,
 };
 use shenjing_snn::SnnNetwork;
 
@@ -219,11 +218,8 @@ pub fn compile(
     }
 
     let last = mapping.layers.last().ok_or_else(|| Error::mapping("no layers"))?;
-    let output_map: Vec<(CoreCoord, u16)> = last
-        .output_location
-        .iter()
-        .map(|(cid, plane)| (placement.coord(*cid), *plane))
-        .collect();
+    let output_map: Vec<(CoreCoord, u16)> =
+        last.output_location.iter().map(|(cid, plane)| (placement.coord(*cid), *plane)).collect();
 
     let mut thresholds = Vec::new();
     for lm in &mapping.layers {
@@ -288,8 +284,7 @@ impl Compiler<'_> {
                 .program_mut(coord)
                 .push(acc_start, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
             self.stats.ops.core_acc += 1;
-            self.stats.ops.core_acc_neurons +=
-                self.mapping.core(cid).used_neurons() as u64;
+            self.stats.ops.core_acc_neurons += self.mapping.core(cid).used_neurons() as u64;
         }
         let after_acc = acc_start + acc_cycles;
         self.layer_last_cycle[l] = self.layer_last_cycle[l].max(after_acc);
@@ -310,15 +305,19 @@ impl Compiler<'_> {
                 while i < n {
                     let src = group.members[i];
                     let dst = group.members[i - f];
-                    let source = if received[i] > 0 {
-                        PsSendSource::SumBuf
-                    } else {
-                        PsSendSource::LocalPs
-                    };
+                    let source =
+                        if received[i] > 0 { PsSendSource::SumBuf } else { PsSendSource::LocalPs };
                     let consec = received[i - f] > 0;
                     let earliest = ready[i].max(ready[i - f]);
                     let sum_cycle = self.schedule_ps_transfer(
-                        src, dst, source, consec, &planes, plane_count, earliest, l,
+                        src,
+                        dst,
+                        source,
+                        consec,
+                        &planes,
+                        plane_count,
+                        earliest,
+                        l,
                     )?;
                     received[i - f] += 1;
                     ready[i - f] = sum_cycle + 1;
@@ -369,8 +368,7 @@ impl Compiler<'_> {
         // Spike distribution: links from this layer's roots to consumers.
         // Group per root: plane → ordered destination list.
         let links = self.links_from_layer(l);
-        let mut per_root: HashMap<LogicalCoreId, HashMap<u16, Vec<LogicalCoreId>>> =
-            HashMap::new();
+        let mut per_root: HashMap<LogicalCoreId, HashMap<u16, Vec<LogicalCoreId>>> = HashMap::new();
         for link in &links {
             let dsts = per_root.entry(link.src).or_default().entry(link.src_plane).or_default();
             if !dsts.contains(&link.dst) {
@@ -392,9 +390,9 @@ impl Compiler<'_> {
                 });
                 chains.entry(sorted).or_default().push(plane);
             }
-            let mut chain_list: Vec<(Vec<LogicalCoreId>, Vec<u16>)> =
-                chains.into_iter().collect();
+            let mut chain_list: Vec<(Vec<LogicalCoreId>, Vec<u16>)> = chains.into_iter().collect();
             chain_list.sort(); // deterministic order
+
             // Long multicast chains serialize delivery; split them into
             // bounded sub-chains that traverse the mesh concurrently
             // (each gets its own injection, the reservation table
@@ -406,7 +404,12 @@ impl Compiler<'_> {
                 let earliest = group_spike_cycle[gi] + 1;
                 for sub in chain.chunks(MAX_CHAIN) {
                     let deliveries = self.schedule_spike_multicast(
-                        root, sub, &planes, plane_count, earliest, l,
+                        root,
+                        sub,
+                        &planes,
+                        plane_count,
+                        earliest,
+                        l,
                     )?;
                     for (dst_core, cycle) in deliveries {
                         let entry = self.core_ready.entry(dst_core).or_insert(0);
@@ -422,11 +425,7 @@ impl Compiler<'_> {
     fn links_from_layer(&self, l: usize) -> Vec<crate::ir::SpikeLink> {
         let owned: std::collections::HashSet<LogicalCoreId> =
             self.mapping.layers[l].cores.iter().copied().collect();
-        self.mapping
-            .spike_links()
-            .into_iter()
-            .filter(|link| owned.contains(&link.src))
-            .collect()
+        self.mapping.spike_links().into_iter().filter(|link| owned.contains(&link.src)).collect()
     }
 
     fn next_free(
@@ -595,9 +594,7 @@ impl Compiler<'_> {
                 continue;
             }
             for (i, tile) in tiles.iter().enumerate() {
-                if !self
-                    .reservations
-                    .is_free(*tile, Component::Spike, start + 1 + i as u64, planes)
+                if !self.reservations.is_free(*tile, Component::Spike, start + 1 + i as u64, planes)
                 {
                     start += 1;
                     continue 'outer;

@@ -48,10 +48,8 @@ impl Fig4Regions {
             return Err(Error::config("kernel must be odd and positive"));
         }
         let boundary = kernel - 1;
-        let interior_side = patch_side
-            .checked_sub(boundary)
-            .filter(|s| *s > 0)
-            .ok_or_else(|| {
+        let interior_side =
+            patch_side.checked_sub(boundary).filter(|s| *s > 0).ok_or_else(|| {
                 Error::config(format!(
                     "patch {patch_side} too small for kernel {kernel} boundary accounting"
                 ))

@@ -485,9 +485,9 @@ fn flatten_layer(
                     let SnnLayer::Conv(tail) = inner else {
                         return Err(Error::mapping("residual tail must be a convolution"));
                     };
-                    let weight = tail.shortcut_weight().ok_or_else(|| {
-                        Error::mapping("residual tail lacks a shortcut weight")
-                    })?;
+                    let weight = tail
+                        .shortcut_weight()
+                        .ok_or_else(|| Error::mapping("residual tail lacks a shortcut weight"))?;
                     let idx = flat.len() - 1;
                     flat[idx].shortcut = Some(ShortcutSpec { weight, input_from: block_input });
                 }

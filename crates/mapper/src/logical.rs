@@ -70,17 +70,9 @@ pub fn map_logical(arch: &ArchSpec, snn: &SnnNetwork) -> Result<LogicalMapping> 
                 layer.input_from == InputFrom::External,
                 &mut cores,
             )?,
-            FlatLayerKind::Conv { kernel, h, w, in_ch, out_ch, .. } => map_conv(
-                arch,
-                flat_index,
-                layer,
-                *kernel,
-                *h,
-                *w,
-                *in_ch,
-                *out_ch,
-                &mut cores,
-            )?,
+            FlatLayerKind::Conv { kernel, h, w, in_ch, out_ch, .. } => {
+                map_conv(arch, flat_index, layer, *kernel, *h, *w, *in_ch, *out_ch, &mut cores)?
+            }
             FlatLayerKind::Pool { size, h, w, ch, .. } => {
                 map_pool(arch, flat_index, *size, *h, *w, *ch, &mut cores)?
             }
@@ -184,9 +176,7 @@ fn map_conv(
     let n_out = arch.core_neurons as usize;
     let t_in = (n_in as f64).sqrt().floor() as usize;
     let t_out = t_in.checked_sub(kernel - 1).filter(|t| *t > 0).ok_or_else(|| {
-        Error::mapping(format!(
-            "kernel {kernel} too large for a core input patch of {t_in}x{t_in}"
-        ))
+        Error::mapping(format!("kernel {kernel} too large for a core input patch of {t_in}x{t_in}"))
     })?;
     let pad = kernel / 2;
     let nh = h.div_ceil(t_out);
@@ -240,8 +230,7 @@ fn map_conv(
                     for iy in iy0..iy1 {
                         for ix in ix0..ix1 {
                             let axon = (iy - iy0) * t_in + (ix - ix0);
-                            core.axon_sources[axon] =
-                                AxonSource::Input((iy * w + ix) * in_ch + ci);
+                            core.axon_sources[axon] = AxonSource::Input((iy * w + ix) * in_ch + ci);
                         }
                     }
                     core.neuron_outputs = neuron_outputs.clone();
@@ -350,7 +339,7 @@ fn map_pool(
 fn assign_planes(
     arch: &ArchSpec,
     flat: &[FlatLayer],
-    cores: &mut Vec<LogicalCore>,
+    cores: &mut [LogicalCore],
     layers: &mut [LayerMapping],
 ) -> Result<()> {
     let n_in = arch.core_inputs as usize;
@@ -374,9 +363,7 @@ fn assign_planes(
                 let core = &cores[cid.0];
                 let from = match core.role {
                     CoreRole::Main => consumer_flat.input_from,
-                    CoreRole::Shortcut => {
-                        consumer_flat.shortcut.expect("shortcut core").input_from
-                    }
+                    CoreRole::Shortcut => consumer_flat.shortcut.expect("shortcut core").input_from,
                 };
                 if from != InputFrom::Layer(l) {
                     continue;
@@ -684,11 +671,9 @@ mod tests {
         let tail = SpikingConv::new(vec![w(1); 9 * 4], 3, 6, 6, 2, 2, 10, 1.0)
             .unwrap()
             .with_shortcut(w(7));
-        let res = shenjing_snn::SpikingResidual::new(vec![
-            SnnLayer::Conv(first),
-            SnnLayer::Conv(tail),
-        ])
-        .unwrap();
+        let res =
+            shenjing_snn::SpikingResidual::new(vec![SnnLayer::Conv(first), SnnLayer::Conv(tail)])
+                .unwrap();
         let snn = SnnNetwork::new(vec![SnnLayer::Conv(conv1), SnnLayer::Residual(res)]).unwrap();
         let mapping = map_logical(&small_arch(), &snn).unwrap();
         assert_eq!(mapping.flat.len(), 3, "three convs after flattening");
@@ -755,8 +740,7 @@ mod tests {
         // uses a single plane.
         assert_eq!(links.len(), 48);
         use std::collections::HashSet;
-        let planes: HashSet<(usize, u16)> =
-            links.iter().map(|l| (l.src.0, l.src_plane)).collect();
+        let planes: HashSet<(usize, u16)> = links.iter().map(|l| (l.src.0, l.src_plane)).collect();
         assert_eq!(planes.len(), 16, "one plane per output, multicast to 3 cores");
     }
 }

@@ -151,10 +151,8 @@ pub fn place(
             ids.sort_by_key(|id| (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             cols_used = (total as u64).div_ceil(u64::from(rows)) as u16;
             for (pos, id) in ids.into_iter().enumerate() {
-                coords[id.0] = CoreCoord::new(
-                    (pos % rows as usize) as u16,
-                    (pos / rows as usize) as u16,
-                );
+                coords[id.0] =
+                    CoreCoord::new((pos % rows as usize) as u16, (pos / rows as usize) as u16);
             }
         }
     }
@@ -220,9 +218,7 @@ mod tests {
         for layer in &mapping.layers {
             for group in &layer.fold_groups {
                 for pair in group.members.windows(2) {
-                    let d = placement
-                        .coord(pair[0])
-                        .manhattan_distance(placement.coord(pair[1]));
+                    let d = placement.coord(pair[0]).manhattan_distance(placement.coord(pair[1]));
                     assert_eq!(d, 1, "fold group members must be adjacent");
                 }
             }
@@ -253,12 +249,8 @@ mod tests {
     #[test]
     fn empty_mapping_rejected() {
         let arch = ArchSpec::paper();
-        let mapping = LogicalMapping {
-            arch: arch.clone(),
-            flat: vec![],
-            cores: vec![],
-            layers: vec![],
-        };
+        let mapping =
+            LogicalMapping { arch: arch.clone(), flat: vec![], cores: vec![], layers: vec![] };
         assert!(place(&arch, &mapping, PlacementStrategy::Greedy).is_err());
     }
 }

@@ -217,8 +217,8 @@ mod tests {
     #[test]
     fn collect_install_roundtrip_preserves_forward() {
         let mut net = sample_net();
-        let input = Tensor::from_vec(vec![4, 4, 1], (0..16).map(|i| i as f64 / 16.0).collect())
-            .unwrap();
+        let input =
+            Tensor::from_vec(vec![4, 4, 1], (0..16).map(|i| i as f64 / 16.0).collect()).unwrap();
         let expected = net.forward(&input).unwrap();
 
         let weights = collect_weights(&net);

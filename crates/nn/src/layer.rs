@@ -111,17 +111,17 @@ impl Layer {
     /// Returns [`Error::InvalidConfig`] for degenerate dimensions.
     pub fn from_spec(spec: &LayerSpec, rng: &mut StdRng) -> Result<Layer> {
         Ok(match spec {
-            LayerSpec::Dense { inputs, outputs } => Layer::Dense(Dense::new(*inputs, *outputs, rng)?),
+            LayerSpec::Dense { inputs, outputs } => {
+                Layer::Dense(Dense::new(*inputs, *outputs, rng)?)
+            }
             LayerSpec::Conv2d { kernel, in_ch, out_ch } => {
                 Layer::Conv2d(Conv2d::new(*kernel, *in_ch, *out_ch, rng)?)
             }
             LayerSpec::AvgPool2d { size } => Layer::AvgPool2d(AvgPool2d::new(*size)?),
             LayerSpec::Relu => Layer::Relu(Relu::new()),
             LayerSpec::Residual { body, lambda } => {
-                let layers = body
-                    .iter()
-                    .map(|s| Layer::from_spec(s, rng))
-                    .collect::<Result<Vec<_>>>()?;
+                let layers =
+                    body.iter().map(|s| Layer::from_spec(s, rng)).collect::<Result<Vec<_>>>()?;
                 Layer::Residual(Residual::new(layers, *lambda)?)
             }
         })
@@ -131,7 +131,9 @@ impl Layer {
     pub fn spec(&self) -> LayerSpec {
         match self {
             Layer::Dense(d) => LayerSpec::Dense { inputs: d.inputs, outputs: d.outputs },
-            Layer::Conv2d(c) => LayerSpec::Conv2d { kernel: c.kernel, in_ch: c.in_ch, out_ch: c.out_ch },
+            Layer::Conv2d(c) => {
+                LayerSpec::Conv2d { kernel: c.kernel, in_ch: c.in_ch, out_ch: c.out_ch }
+            }
             Layer::AvgPool2d(p) => LayerSpec::AvgPool2d { size: p.size },
             Layer::Relu(_) => LayerSpec::Relu,
             Layer::Residual(r) => LayerSpec::Residual {
@@ -288,7 +290,7 @@ impl Dense {
         }
         let g = grad_out.data();
         let mut grad_in = vec![0.0; self.inputs];
-        for i in 0..self.inputs {
+        for (i, gi) in grad_in.iter_mut().enumerate() {
             let row = &self.weights[i * self.outputs..(i + 1) * self.outputs];
             let grow = &mut self.grads[i * self.outputs..(i + 1) * self.outputs];
             let xi = x.data()[i];
@@ -297,7 +299,7 @@ impl Dense {
                 acc += row[o] * g[o];
                 grow[o] += xi * g[o];
             }
-            grad_in[i] = acc;
+            *gi = acc;
         }
         Tensor::from_vec(vec![self.inputs], grad_in)
     }
@@ -502,7 +504,10 @@ impl AvgPool2d {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let shape = input.shape();
-        if shape.len() != 3 || !shape[0].is_multiple_of(self.size) || !shape[1].is_multiple_of(self.size) {
+        if shape.len() != 3
+            || !shape[0].is_multiple_of(self.size)
+            || !shape[1].is_multiple_of(self.size)
+        {
             return Err(Error::shape_mismatch(
                 format!("(h, w, c) with h, w divisible by {}", self.size),
                 format!("{shape:?}"),
@@ -531,10 +536,8 @@ impl AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let shape = self
-            .cache_shape
-            .take()
-            .ok_or_else(|| Error::config("backward before forward"))?;
+        let shape =
+            self.cache_shape.take().ok_or_else(|| Error::config("backward before forward"))?;
         let (h, w, c) = (shape[0], shape[1], shape[2]);
         let (oh, ow) = (h / self.size, w / self.size);
         if grad_out.shape() != [oh, ow, c] {
@@ -674,9 +677,7 @@ mod tests {
     fn dense_forward_is_weighted_sum() {
         let mut d = Dense::new(2, 2, &mut rng()).unwrap();
         d.weights = vec![1.0, 2.0, 3.0, 4.0]; // w[0] = [1,2], w[1] = [3,4]
-        let out = d
-            .forward(&Tensor::from_vec(vec![2], vec![1.0, 0.5]).unwrap())
-            .unwrap();
+        let out = d.forward(&Tensor::from_vec(vec![2], vec![1.0, 0.5]).unwrap()).unwrap();
         assert_eq!(out.data(), &[1.0 + 1.5, 2.0 + 2.0]);
     }
 
@@ -735,7 +736,7 @@ mod tests {
         for w in c.weights.iter_mut() {
             *w = 0.0;
         }
-        let center = (3 + 1);
+        let center = 3 + 1;
         c.weights[center] = 1.0;
         let x = Tensor::from_vec(vec![2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = c.forward(&x).unwrap();
@@ -840,7 +841,7 @@ mod tests {
         for w in c.weights.iter_mut() {
             *w = 0.0;
         }
-        c.weights[(3 + 1)] = 1.0;
+        c.weights[3 + 1] = 1.0;
         let mut r = Residual::new(vec![Layer::Conv2d(c)], 0.5).unwrap();
         let x = Tensor::from_vec(vec![1, 2, 1], vec![2.0, 4.0]).unwrap();
         let out = r.forward(&x).unwrap();
@@ -853,7 +854,7 @@ mod tests {
         for w in c.weights.iter_mut() {
             *w = 0.0;
         }
-        c.weights[(3 + 1)] = 1.0;
+        c.weights[3 + 1] = 1.0;
         let mut r = Residual::new(vec![Layer::Conv2d(c)], 0.5).unwrap();
         let x = Tensor::from_vec(vec![1, 1, 1], vec![1.0]).unwrap();
         r.forward(&x).unwrap();
@@ -869,15 +870,15 @@ mod tests {
         let mut rng = rng();
         let body = vec![Layer::Conv2d(Conv2d::new(3, 1, 2, &mut rng).unwrap())];
         let mut r = Residual::new(body, 1.0).unwrap();
-        assert!(r.forward(&Tensor::zeros(vec![2, 2, 1])).is_err(), "channel change breaks identity");
+        assert!(
+            r.forward(&Tensor::zeros(vec![2, 2, 1])).is_err(),
+            "channel change breaks identity"
+        );
     }
 
     #[test]
     fn spec_roundtrip_and_param_count() {
-        let spec = LayerSpec::residual(
-            vec![LayerSpec::conv2d(3, 4, 4), LayerSpec::relu()],
-            1.0,
-        );
+        let spec = LayerSpec::residual(vec![LayerSpec::conv2d(3, 4, 4), LayerSpec::relu()], 1.0);
         assert_eq!(spec.param_count(), 3 * 3 * 4 * 4);
         let mut rng = rng();
         let layer = Layer::from_spec(&spec, &mut rng).unwrap();

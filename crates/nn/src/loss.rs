@@ -27,10 +27,7 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 /// Returns [`Error::OutOfBounds`] when `target` exceeds the class count.
 pub fn cross_entropy_loss(logits: &Tensor, target: usize) -> Result<f64> {
     if target >= logits.len() {
-        return Err(Error::out_of_bounds(format!(
-            "class {target} of {} logits",
-            logits.len()
-        )));
+        return Err(Error::out_of_bounds(format!("class {target} of {} logits", logits.len())));
     }
     let probs = softmax(logits);
     Ok(-(probs.data()[target].max(1e-15)).ln())
@@ -44,10 +41,7 @@ pub fn cross_entropy_loss(logits: &Tensor, target: usize) -> Result<f64> {
 /// Returns [`Error::OutOfBounds`] when `target` exceeds the class count.
 pub fn cross_entropy_grad(logits: &Tensor, target: usize) -> Result<Tensor> {
     if target >= logits.len() {
-        return Err(Error::out_of_bounds(format!(
-            "class {target} of {} logits",
-            logits.len()
-        )));
+        return Err(Error::out_of_bounds(format!("class {target} of {} logits", logits.len())));
     }
     let mut probs = softmax(logits);
     probs.data_mut()[target] -= 1.0;

@@ -34,10 +34,8 @@ impl Network {
     /// dimensions.
     pub fn from_specs(specs: &[LayerSpec], seed: u64) -> Result<Network> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let layers = specs
-            .iter()
-            .map(|s| Layer::from_spec(s, &mut rng))
-            .collect::<Result<Vec<_>>>()?;
+        let layers =
+            specs.iter().map(|s| Layer::from_spec(s, &mut rng)).collect::<Result<Vec<_>>>()?;
         Ok(Network { layers })
     }
 
@@ -122,10 +120,7 @@ impl Network {
     ///
     /// Propagates forward-pass errors.
     pub fn predict(&mut self, input: &Tensor) -> Result<usize> {
-        Ok(self
-            .forward(input)?
-            .argmax()
-            .expect("network output is never empty"))
+        Ok(self.forward(input)?.argmax().expect("network output is never empty"))
     }
 }
 
@@ -134,11 +129,8 @@ mod tests {
     use super::*;
 
     fn xor_net() -> Network {
-        Network::from_specs(
-            &[LayerSpec::dense(2, 8), LayerSpec::relu(), LayerSpec::dense(8, 2)],
-            3,
-        )
-        .unwrap()
+        Network::from_specs(&[LayerSpec::dense(2, 8), LayerSpec::relu(), LayerSpec::dense(8, 2)], 3)
+            .unwrap()
     }
 
     #[test]
@@ -151,9 +143,8 @@ mod tests {
     #[test]
     fn forward_collect_returns_all_activations() {
         let mut net = xor_net();
-        let acts = net
-            .forward_collect(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap())
-            .unwrap();
+        let acts =
+            net.forward_collect(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap()).unwrap();
         assert_eq!(acts.len(), 3);
         assert_eq!(acts[0].len(), 8);
         assert_eq!(acts[2].len(), 2);
@@ -178,12 +169,7 @@ mod tests {
     fn network_learns_xor() {
         // End-to-end training sanity: XOR is learnable by a 2-8-2 MLP.
         let mut net = xor_net();
-        let data = [
-            ([0.0, 0.0], 0usize),
-            ([0.0, 1.0], 1),
-            ([1.0, 0.0], 1),
-            ([1.0, 1.0], 0),
-        ];
+        let data = [([0.0, 0.0], 0usize), ([0.0, 1.0], 1), ([1.0, 0.0], 1), ([1.0, 1.0], 0)];
         for _ in 0..800 {
             for (x, y) in &data {
                 let input = Tensor::from_vec(vec![2], x.to_vec()).unwrap();

@@ -147,21 +147,13 @@ impl Tensor {
                 format!("{:?}", other.shape),
             ));
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
         Ok(Tensor { shape: self.shape.clone(), data })
     }
 
     /// A copy scaled by `factor`.
     pub fn scaled(&self, factor: f64) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|v| v * factor).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|v| v * factor).collect() }
     }
 
     fn offset(&self, index: &[usize]) -> Result<usize> {

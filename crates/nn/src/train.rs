@@ -131,8 +131,7 @@ mod tests {
 
     #[test]
     fn accuracy_on_empty_data() {
-        let mut net =
-            Network::from_specs(&[LayerSpec::dense(2, 2)], 0).unwrap();
+        let mut net = Network::from_specs(&[LayerSpec::dense(2, 2)], 0).unwrap();
         assert_eq!(accuracy(&mut net, &[]).unwrap(), 0.0);
     }
 

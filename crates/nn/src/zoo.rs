@@ -100,11 +100,7 @@ impl std::fmt::Display for NetworkKind {
 
 /// Table III (a): `Input(28,28,1) → FC1(784,512) → FC2(512,10)`.
 pub fn mnist_mlp() -> Vec<LayerSpec> {
-    vec![
-        LayerSpec::dense(784, 512),
-        LayerSpec::relu(),
-        LayerSpec::dense(512, 10),
-    ]
+    vec![LayerSpec::dense(784, 512), LayerSpec::relu(), LayerSpec::dense(512, 10)]
 }
 
 /// Table III (b): the MNIST CNN.
@@ -150,7 +146,7 @@ pub fn cifar_resnet() -> Vec<LayerSpec> {
     vec![
         LayerSpec::conv2d(5, 3, 16),
         LayerSpec::relu(),
-        LayerSpec::avg_pool(2), // 24 → 12
+        LayerSpec::avg_pool(2),       // 24 → 12
         LayerSpec::conv2d(5, 16, 32), // Res/Conv1
         LayerSpec::relu(),
         LayerSpec::residual(
@@ -208,9 +204,9 @@ mod tests {
     #[test]
     fn mnist_cnn_fc1_matches_table_iii() {
         // Table III gives FC1(1568, 128); 1568 must equal 7·7·32.
-        let has = mnist_cnn().iter().any(|s| {
-            matches!(s, LayerSpec::Dense { inputs: 1568, outputs: 128 })
-        });
+        let has = mnist_cnn()
+            .iter()
+            .any(|s| matches!(s, LayerSpec::Dense { inputs: 1568, outputs: 128 }));
         assert!(has);
     }
 
@@ -218,9 +214,8 @@ mod tests {
     fn cifar_fc1_matches_table_iii() {
         // Table III gives FC1(576, 256); 576 = 3·3·64 after three pools.
         for specs in [cifar_cnn(), cifar_resnet()] {
-            let has = specs.iter().any(|s| {
-                matches!(s, LayerSpec::Dense { inputs: 576, outputs: 256 })
-            });
+            let has =
+                specs.iter().any(|s| matches!(s, LayerSpec::Dense { inputs: 576, outputs: 256 }));
             assert!(has);
         }
     }

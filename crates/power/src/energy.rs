@@ -93,7 +93,12 @@ pub struct FrameEnergy {
 
 impl FrameEnergy {
     /// Computes the frame energy from per-timestep op counts.
-    pub fn from_ops(model: &EnergyModel, ops: &OpCounts, interchip_bits: u64, timesteps: u32) -> FrameEnergy {
+    pub fn from_ops(
+        model: &EnergyModel,
+        ops: &OpCounts,
+        interchip_bits: u64,
+        timesteps: u32,
+    ) -> FrameEnergy {
         let t = f64::from(timesteps);
         FrameEnergy {
             core_nj: ops.core_acc_neurons as f64 * model.core_acc_pj * 1e-3 * t,
@@ -163,8 +168,7 @@ mod tests {
             core_acc_neurons: 512,
         };
         let nj = m.timestep_energy_nj(&ops);
-        let manual =
-            (100.0 * 1.25 + 10.0 * 1.44 + 50.0 * 2.24 + 512.0 * 171.67) * 1e-3;
+        let manual = (100.0 * 1.25 + 10.0 * 1.44 + 50.0 * 2.24 + 512.0 * 171.67) * 1e-3;
         assert!((nj - manual).abs() < 1e-9);
     }
 

@@ -75,15 +75,7 @@ impl SystemEstimate {
         // mJ/frame: total power over one frame period.
         let mj_per_frame = power.total_mw() / fps;
 
-        SystemEstimate {
-            cores,
-            chips,
-            timesteps,
-            fps,
-            frequency_hz,
-            power,
-            mj_per_frame,
-        }
+        SystemEstimate { cores, chips, timesteps, fps, frequency_hz, power, mj_per_frame }
     }
 
     /// Power per core in mW (Table IV's "Power/Core" row).

@@ -30,11 +30,7 @@ fn table4_core_counts_within_15_percent() {
         let ours = mapping.total_cores() as f64;
         let paper = f64::from(kind.paper_core_count());
         let rel = (ours - paper).abs() / paper;
-        assert!(
-            rel < 0.15,
-            "{kind}: {ours} cores vs paper {paper} ({:.1}% off)",
-            rel * 100.0
-        );
+        assert!(rel < 0.15, "{kind}: {ours} cores vs paper {paper} ({:.1}% off)", rel * 100.0);
     }
 }
 
@@ -69,11 +65,7 @@ fn resnet_shortcut_cores_present_at_scale() {
     use shenjing::mapper::ir::CoreRole;
     let snn = snn_from_specs(&NetworkKind::CifarResNet.specs(), (24, 24, 3), 1).unwrap();
     let mapping = map_logical(&ArchSpec::paper(), &snn).unwrap();
-    let shortcut_cores = mapping
-        .cores
-        .iter()
-        .filter(|c| c.role == CoreRole::Shortcut)
-        .count();
+    let shortcut_cores = mapping.cores.iter().filter(|c| c.role == CoreRole::Shortcut).count();
     assert!(shortcut_cores > 0, "no shortcut normalization cores found");
     // One per (patch, channel) of the residual tail: 1 patch × 32 ch.
     assert_eq!(shortcut_cores, 32);
@@ -103,10 +95,7 @@ fn frequency_model_matches_paper_mlp_point() {
         40.0,
     );
     let khz = est.frequency_hz / 1e3;
-    assert!(
-        (105.0..135.0).contains(&khz),
-        "MLP operating point {khz:.1} kHz vs paper 120 kHz"
-    );
+    assert!((105.0..135.0).contains(&khz), "MLP operating point {khz:.1} kHz vs paper 120 kHz");
     // Power within 2x of the paper's 1.26-1.35 mW.
     let mw = est.power.total_mw();
     assert!((0.6..2.7).contains(&mw), "MLP power {mw:.2} mW vs paper ~1.3 mW");

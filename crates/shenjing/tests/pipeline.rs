@@ -12,11 +12,7 @@ fn digit_pipeline(hidden: usize, train_n: usize, seed: u64) -> (Network, Vec<(Te
     let train = flatten_images(&train);
     let test = flatten_images(&test);
     let mut ann = Network::from_specs(
-        &[
-            LayerSpec::dense(784, hidden),
-            LayerSpec::relu(),
-            LayerSpec::dense(hidden, 10),
-        ],
+        &[LayerSpec::dense(784, hidden), LayerSpec::relu(), LayerSpec::dense(hidden, 10)],
         seed,
     )
     .unwrap();
@@ -53,10 +49,7 @@ fn snn_conversion_loss_is_bounded() {
     let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
     let snn_acc = snn.evaluate(&test, 20).unwrap();
     assert!(ann_acc >= 0.75, "ANN should learn synthetic digits ({ann_acc})");
-    assert!(
-        snn_acc > ann_acc - 0.15,
-        "conversion loss too large: ANN {ann_acc} vs SNN {snn_acc}"
-    );
+    assert!(snn_acc > ann_acc - 0.15, "conversion loss too large: ANN {ann_acc} vs SNN {snn_acc}");
 }
 
 #[test]
@@ -71,10 +64,7 @@ fn no_ps_overflow_on_real_workload() {
         snn.run(x, 20).unwrap();
     }
     let max_sum = snn.max_abs_sum();
-    assert!(
-        max_sum <= i64::from(NocSum::MAX.value()),
-        "PS NoC width exceeded: {max_sum}"
-    );
+    assert!(max_sum <= i64::from(NocSum::MAX.value()), "PS NoC width exceeded: {max_sum}");
     assert!(max_sum > 0, "the statistic must be real");
 }
 
@@ -87,8 +77,7 @@ fn blockwise_baseline_loses_accuracy_relative_to_ps_noc() {
     let (mut ann, test) = digit_pipeline(32, 200, 41);
     let calib: Vec<Tensor> = test.iter().take(16).map(|(x, _)| x.clone()).collect();
     let mut snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
-    let mut blockwise =
-        shenjing::baselines::BlockwiseSnn::new(&snn, 256).unwrap();
+    let mut blockwise = shenjing::baselines::BlockwiseSnn::new(&snn, 256).unwrap();
 
     let probe: Vec<(Tensor, usize)> = test.into_iter().take(40).collect();
     let exact_acc = snn.evaluate(&probe, 20).unwrap();
@@ -107,10 +96,8 @@ fn placement_ablation_greedy_wins() {
     let snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
     let arch = ArchSpec::paper();
     let greedy = Mapper::new(arch.clone()).map(&snn).unwrap();
-    let naive = Mapper::new(arch)
-        .with_strategy(PlacementStrategy::RowMajorNaive)
-        .map(&snn)
-        .unwrap();
+    let naive =
+        Mapper::new(arch).with_strategy(PlacementStrategy::RowMajorNaive).map(&snn).unwrap();
     let g = greedy.program.stats.ps_hops + greedy.program.stats.spike_hops;
     let n = naive.program.stats.ps_hops + naive.program.stats.spike_hops;
     assert!(g <= n, "greedy compiled traffic {g} should beat naive {n}");

@@ -1,0 +1,57 @@
+//! Workspace smoke test: the quickstart pipeline end to end, scaled down
+//! so CI exercises every crate in the DAG — datasets → nn (train) → snn
+//! (convert) → mapper (place + compile) → sim (cycle-level equivalence)
+//! → power (Table IV-style estimate) — in a few seconds.
+
+use shenjing::datasets::{flatten_images, train_test_split};
+use shenjing::prelude::*;
+use shenjing::snn::convert;
+
+#[test]
+fn quickstart_pipeline_end_to_end() {
+    // 1. Deterministic synthetic digits.
+    let data = SynthDigits::new(11).generate(160);
+    let (train, test) = train_test_split(data, 0.75);
+    let train = flatten_images(&train);
+    let test = flatten_images(&test);
+
+    // 2. Train a tiny ANN.
+    let mut ann = Network::from_specs(
+        &[LayerSpec::dense(784, 24), LayerSpec::relu(), LayerSpec::dense(24, 10)],
+        5,
+    )
+    .expect("valid MLP specs");
+    Sgd::new(0.02, 4, 7).train(&mut ann, &train).expect("training runs");
+
+    // 3. Convert to the abstract SNN.
+    let calib: Vec<Tensor> = train.iter().take(16).map(|(x, _)| x.clone()).collect();
+    let mut snn =
+        convert(&mut ann, &calib, &ConversionOptions::default()).expect("ANN converts to an SNN");
+
+    // 4. Map onto the paper architecture.
+    let arch = ArchSpec::paper();
+    let mapping = Mapper::new(arch.clone()).map(&snn).expect("SNN maps onto the mesh");
+    assert!(mapping.logical.total_cores() > 0);
+
+    // 5. Cycle-level simulation agrees with the abstract model bit for
+    //    bit — the paper's zero-loss mapping claim.
+    let mut sim =
+        CycleSim::new(&arch, &mapping.logical, &mapping.program).expect("compiled program loads");
+    let timesteps = 10;
+    let probe: Vec<Tensor> = test.iter().take(4).map(|(x, _)| x.clone()).collect();
+    let eq = shenjing::sim::verify(&mut snn, &mut sim, &probe, timesteps)
+        .expect("equivalence harness runs");
+    assert!(eq.is_exact(), "mapping must be bit-exact: {eq:?}");
+
+    // 6. The power model produces a sane whole-system estimate.
+    let estimate = SystemEstimate::from_stats(
+        &EnergyModel::paper(),
+        &TileModel::paper(),
+        &mapping.program.stats,
+        mapping.logical.total_cores(),
+        mapping.placement.chips,
+        timesteps,
+        30.0,
+    );
+    assert!(estimate.power.total_mw() > 0.0, "power estimate must be positive");
+}

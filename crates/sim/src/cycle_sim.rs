@@ -141,9 +141,7 @@ impl CycleSim {
         let potentials = self
             .output_map
             .iter()
-            .map(|(coord, plane)| {
-                Ok(i64::from(self.chip.tile(*coord)?.spike().potential(*plane)))
-            })
+            .map(|(coord, plane)| Ok(i64::from(self.chip.tile(*coord)?.spike().potential(*plane))))
             .collect::<Result<Vec<i64>>>()?;
 
         Ok(SnnOutput { spike_counts, potentials, spikes_by_step })

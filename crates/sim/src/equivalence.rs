@@ -58,12 +58,7 @@ pub fn verify(
             first_mismatch = Some(i);
         }
     }
-    Ok(EquivalenceReport {
-        frames: inputs.len(),
-        timesteps,
-        exact_frames: exact,
-        first_mismatch,
-    })
+    Ok(EquivalenceReport { frames: inputs.len(), timesteps, exact_frames: exact, first_mismatch })
 }
 
 #[cfg(test)]
@@ -93,10 +88,7 @@ mod tests {
         let mut sim = CycleSim::new(arch, &mapping.logical, &mapping.program).unwrap();
         let inputs = random_inputs(4, input_dim, seed + 2);
         let report = verify(&mut snn, &mut sim, &inputs, 16).unwrap();
-        assert!(
-            report.is_exact(),
-            "mapped hardware diverged from the abstract SNN: {report:?}"
-        );
+        assert!(report.is_exact(), "mapped hardware diverged from the abstract SNN: {report:?}");
     }
 
     #[test]
@@ -179,11 +171,7 @@ mod tests {
             LayerSpec::conv2d(3, 1, 2),
             LayerSpec::relu(),
             LayerSpec::residual(
-                vec![
-                    LayerSpec::conv2d(3, 2, 2),
-                    LayerSpec::relu(),
-                    LayerSpec::conv2d(3, 2, 2),
-                ],
+                vec![LayerSpec::conv2d(3, 2, 2), LayerSpec::relu(), LayerSpec::conv2d(3, 2, 2)],
                 1.0,
             ),
             LayerSpec::relu(),

@@ -93,7 +93,7 @@ mod tests {
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let inputs: Vec<Tensor> = (0..5)
+        let inputs: Vec<Tensor> = (0..8)
             .map(|_| {
                 Tensor::from_vec(vec![40], (0..40).map(|_| rng.gen_range(0.3..1.0)).collect())
                     .unwrap()
@@ -163,21 +163,15 @@ mod tests {
         }
         // Almost all thresholds influence some output spike on these
         // inputs; a small number may be on dead neurons.
-        assert!(
-            caught * 10 >= tried * 7,
-            "only {caught}/{tried} threshold faults caught"
-        );
+        assert!(caught * 10 >= tried * 7, "only {caught}/{tried} threshold faults caught");
     }
 
     #[test]
     fn out_of_range_faults_rejected() {
         let (_, mapping, _, _) = build();
         assert!(inject(&mapping.program, Fault::DropOp { index: usize::MAX }).is_err());
-        assert!(inject(
-            &mapping.program,
-            Fault::PerturbThreshold { index: usize::MAX, delta: 1 }
-        )
-        .is_err());
+        assert!(inject(&mapping.program, Fault::PerturbThreshold { index: usize::MAX, delta: 1 })
+            .is_err());
     }
 
     #[test]

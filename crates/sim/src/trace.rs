@@ -205,11 +205,7 @@ mod tests {
         let mut b = tiny_chip();
         // Perturb b: one different weight on tile (1,1) with a live axon.
         for chip in [&mut a, &mut b] {
-            chip.tile_mut(CoreCoord::new(1, 1))
-                .unwrap()
-                .core_mut()
-                .set_axon(2, true)
-                .unwrap();
+            chip.tile_mut(CoreCoord::new(1, 1)).unwrap().core_mut().set_axon(2, true).unwrap();
         }
         b.tile_mut(CoreCoord::new(1, 1))
             .unwrap()

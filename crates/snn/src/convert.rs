@@ -175,9 +175,7 @@ fn collect_leaf_activations(
                     }
                 }
                 if !tail_leaf_seen {
-                    return Err(Error::config(
-                        "residual body must end in a weight-carrying layer",
-                    ));
+                    return Err(Error::config("residual body must end in a weight-carrying layer"));
                 }
                 let block_sum = inner.add(&block_in.scaled(lambda))?;
                 acts.push(max_positive(&block_sum));
@@ -228,15 +226,10 @@ impl ConvertCtx<'_> {
                 let lambda_in = self.lambda_prev;
                 let lambda_out = self.next_lambda();
                 let ratio = lambda_in / lambda_out;
-                let normalized: Vec<f64> = d
-                    .weights_raw()
-                    .iter()
-                    .map(|w| w * ratio)
-                    .collect();
+                let normalized: Vec<f64> = d.weights_raw().iter().map(|w| w * ratio).collect();
                 let (weights, scale) = shenjing_core::fixed::quantize_weights(&normalized);
                 let threshold = (scale.round() as i32).max(1);
-                let snn =
-                    SpikingDense::new(weights, d.inputs(), d.outputs(), threshold, scale)?;
+                let snn = SpikingDense::new(weights, d.inputs(), d.outputs(), threshold, scale)?;
                 self.lambda_prev = lambda_out;
                 *shape = vec![d.outputs()];
                 self.record(
@@ -271,7 +264,12 @@ impl ConvertCtx<'_> {
                     lambda_out,
                     scale,
                     threshold,
-                    format!("conv {k}x{k} {ci}->{co}", k = c.kernel(), ci = c.in_ch(), co = c.out_ch()),
+                    format!(
+                        "conv {k}x{k} {ci}->{co}",
+                        k = c.kernel(),
+                        ci = c.in_ch(),
+                        co = c.out_ch()
+                    ),
                 );
                 Ok(Some(SnnLayer::Conv(snn)))
             }
@@ -299,9 +297,7 @@ impl ConvertCtx<'_> {
                     if is_tail {
                         // Convert the tail with the shortcut folded in.
                         let Layer::Conv2d(c) = l else {
-                            return Err(Error::config(
-                                "residual tail must be a convolution",
-                            ));
+                            return Err(Error::config("residual tail must be a convolution"));
                         };
                         let (h, w) = (shape[0], shape[1]);
                         let lambda_in = self.lambda_prev;
@@ -318,8 +314,7 @@ impl ConvertCtx<'_> {
                             .iter()
                             .map(|wv| W5::saturating((wv * scale).round() as i32))
                             .collect();
-                        let shortcut_q =
-                            W5::saturating((shortcut_float * scale).round() as i32);
+                        let shortcut_q = W5::saturating((shortcut_float * scale).round() as i32);
                         let threshold = (scale.round() as i32).max(1);
                         let snn = SpikingConv::new(
                             weights,
@@ -456,11 +451,9 @@ mod tests {
             2,
         )
         .unwrap();
-        let calibration = vec![Tensor::from_vec(
-            vec![4, 4, 1],
-            (0..16).map(|i| (i % 4) as f64 / 4.0).collect(),
-        )
-        .unwrap()];
+        let calibration =
+            vec![Tensor::from_vec(vec![4, 4, 1], (0..16).map(|i| (i % 4) as f64 / 4.0).collect())
+                .unwrap()];
         let mut snn = convert(&mut ann, &calibration, &ConversionOptions::default()).unwrap();
         assert_eq!(snn.layers().len(), 3, "conv, pool, dense");
         let out = snn.run(&calibration[0], 10).unwrap();
@@ -474,11 +467,7 @@ mod tests {
                 LayerSpec::conv2d(3, 1, 2),
                 LayerSpec::relu(),
                 LayerSpec::residual(
-                    vec![
-                        LayerSpec::conv2d(3, 2, 2),
-                        LayerSpec::relu(),
-                        LayerSpec::conv2d(3, 2, 2),
-                    ],
+                    vec![LayerSpec::conv2d(3, 2, 2), LayerSpec::relu(), LayerSpec::conv2d(3, 2, 2)],
                     1.0,
                 ),
                 LayerSpec::relu(),

@@ -207,9 +207,8 @@ mod tests {
         let mut enc = RateEncoder::new(&tensor(vec![0.0, 0.25, 0.5, 0.75, 1.0]));
         let t = 40;
         let train = enc.train(t).unwrap();
-        let counts: Vec<u32> = (0..5)
-            .map(|i| train.iter().filter(|step| step[i]).count() as u32)
-            .collect();
+        let counts: Vec<u32> =
+            (0..5).map(|i| train.iter().filter(|step| step[i]).count() as u32).collect();
         assert_eq!(counts, vec![0, 10, 20, 30, 40]);
     }
 

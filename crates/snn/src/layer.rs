@@ -301,12 +301,10 @@ impl SpikingConv {
                                 continue;
                             }
                             let ox = ox - kx;
-                            let w_base =
-                                ((ky * self.kernel + kx) * self.in_ch + ci) * self.out_ch;
+                            let w_base = ((ky * self.kernel + kx) * self.in_ch + ci) * self.out_ch;
                             let out_base = (oy * self.w + ox) * self.out_ch;
                             for co in 0..self.out_ch {
-                                sums[out_base + co] +=
-                                    i64::from(self.weights[w_base + co].value());
+                                sums[out_base + co] += i64::from(self.weights[w_base + co].value());
                             }
                         }
                     }
@@ -384,9 +382,7 @@ impl SpikingPool {
         scale: f64,
     ) -> Result<SpikingPool> {
         if size == 0 || !h.is_multiple_of(size) || !w.is_multiple_of(size) {
-            return Err(Error::config(format!(
-                "pool size {size} must divide {h}x{w}"
-            )));
+            return Err(Error::config(format!("pool size {size} must divide {h}x{w}")));
         }
         if threshold <= 0 {
             return Err(Error::config("threshold must be positive"));
@@ -696,9 +692,7 @@ mod tests {
     fn conv_shortcut_contributes() {
         let mut weights = vec![W5::ZERO; 9];
         weights[4] = w(1);
-        let c = SpikingConv::new(weights, 3, 1, 1, 1, 1, 3, 1.0)
-            .unwrap()
-            .with_shortcut(w(5));
+        let c = SpikingConv::new(weights, 3, 1, 1, 1, 1, 3, 1.0).unwrap().with_shortcut(w(5));
         let mut c = c;
         // body input no spike, shortcut spike: sum = 5 > 3 → fire.
         let out = c.step(&[false], Some(&[true])).unwrap();
@@ -738,9 +732,8 @@ mod tests {
         let mut id_weights = vec![W5::ZERO; 9];
         id_weights[4] = w(2);
         let first = SpikingConv::new(id_weights, 3, 1, 1, 1, 1, 10, 1.0).unwrap();
-        let tail = SpikingConv::new(vec![W5::ZERO; 9], 3, 1, 1, 1, 1, 5, 1.0)
-            .unwrap()
-            .with_shortcut(w(8));
+        let tail =
+            SpikingConv::new(vec![W5::ZERO; 9], 3, 1, 1, 1, 1, 5, 1.0).unwrap().with_shortcut(w(8));
         let mut res =
             SpikingResidual::new(vec![SnnLayer::Conv(first), SnnLayer::Conv(tail)]).unwrap();
         let out = res.step(&[true]).unwrap();

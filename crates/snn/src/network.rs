@@ -277,17 +277,11 @@ mod tests {
 
     #[test]
     fn tie_breaks_by_potential() {
-        let out = SnnOutput {
-            spike_counts: vec![3, 3],
-            potentials: vec![1, 4],
-            spikes_by_step: vec![],
-        };
+        let out =
+            SnnOutput { spike_counts: vec![3, 3], potentials: vec![1, 4], spikes_by_step: vec![] };
         assert_eq!(out.predicted_class(), 1);
-        let out = SnnOutput {
-            spike_counts: vec![3, 3],
-            potentials: vec![4, 4],
-            spikes_by_step: vec![],
-        };
+        let out =
+            SnnOutput { spike_counts: vec![3, 3], potentials: vec![4, 4], spikes_by_step: vec![] };
         assert_eq!(out.predicted_class(), 0, "full tie → lowest index");
     }
 

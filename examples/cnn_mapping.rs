@@ -11,8 +11,10 @@ use shenjing::snn::snn_from_specs;
 
 fn main() -> Result<()> {
     let arch = ArchSpec::paper();
-    println!("mapping the Table III topologies onto {}x{}-tile chips...\n",
-        arch.chip_rows, arch.chip_cols);
+    println!(
+        "mapping the Table III topologies onto {}x{}-tile chips...\n",
+        arch.chip_rows, arch.chip_cols
+    );
     println!(
         "{:<16} {:>8} {:>8} {:>7} {:>10} {:>12} {:>12} {:>10}",
         "network", "cores", "paper", "chips", "freq", "power (mW)", "mJ/frame", "map (ms)"

@@ -71,18 +71,12 @@ fn main() -> Result<()> {
     println!("  #cores:       {:>8}      (paper: 10)", est.cores);
     println!("  timestep T:   {timesteps:>8}      (paper: 20)");
     println!("  fps:          {fps:>8}      (paper: 40)");
-    println!(
-        "  frequency:    {:>8.1} kHz (paper: 120 kHz)",
-        est.frequency_hz / 1e3
-    );
+    println!("  frequency:    {:>8.1} kHz (paper: 120 kHz)", est.frequency_hz / 1e3);
     println!(
         "  power:        {:>8.3} mW  (paper: 1.35 mW simulated, 1.26 mW RTL)",
         est.power.total_mw()
     );
-    println!(
-        "  power/core:   {:>8.3} mW  (paper: 0.135 mW)",
-        est.power_per_core_mw()
-    );
+    println!("  power/core:   {:>8.3} mW  (paper: 0.135 mW)", est.power_per_core_mw());
     println!("  mJ/frame:     {:>8.4}     (paper: 0.038)", est.mj_per_frame);
     println!("  mapping time: {mapping_ms:>8} ms  (paper: 660 ms)");
     Ok(())

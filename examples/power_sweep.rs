@@ -8,17 +8,19 @@ use shenjing::prelude::*;
 
 fn main() {
     let model = TileModel::paper();
-    println!("fitted tile model: P(f) = {:.1} µW + {:.3} nJ/cycle × f", model.static_uw,
-        model.energy_per_cycle_nj);
+    println!(
+        "fitted tile model: P(f) = {:.1} µW + {:.3} nJ/cycle × f",
+        model.static_uw, model.energy_per_cycle_nj
+    );
     println!("\nFig. 5 sweep (MNIST MLP, T = 20, ~150 cycles/timestep):");
-    println!("{:>6} {:>12} {:>14} {:>14} {:>10}", "fps", "freq (kHz)", "paper (kHz)", "model (µW)", "paper(µW)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>10}",
+        "fps", "freq (kHz)", "paper (kHz)", "model (µW)", "paper(µW)"
+    );
     for (fps, paper_khz, paper_uw) in FIG5_POINTS {
         let freq = TileModel::frequency_for(f64::from(fps), 20, 152);
         let power = model.power_uw(freq);
-        println!(
-            "{fps:>6} {:>12.1} {paper_khz:>14.0} {power:>14.1} {paper_uw:>10.0}",
-            freq / 1e3,
-        );
+        println!("{fps:>6} {:>12.1} {paper_khz:>14.0} {power:>14.1} {paper_uw:>10.0}", freq / 1e3,);
     }
 
     let area = AreaBudget::paper();

@@ -23,11 +23,7 @@ fn main() -> Result<()> {
         LayerSpec::conv2d(3, 1, 4),
         LayerSpec::relu(),
         LayerSpec::residual(
-            vec![
-                LayerSpec::conv2d(3, 4, 4),
-                LayerSpec::relu(),
-                LayerSpec::conv2d(3, 4, 4),
-            ],
+            vec![LayerSpec::conv2d(3, 4, 4), LayerSpec::relu(), LayerSpec::conv2d(3, 4, 4)],
             1.0,
         ),
         LayerSpec::relu(),

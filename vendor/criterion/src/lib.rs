@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Provides the exact surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`,
+//! [`criterion_group!`] / [`criterion_main!`] with `harness = false` —
+//! backed by a simple median-of-samples wall-clock timer instead of
+//! criterion's full statistical machinery. Output is one line per
+//! benchmark: median per-iteration time and iterations per second.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: collects samples and reports a median.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        // Calibration pass: pick an iteration count that makes one sample
+        // take roughly a millisecond, so Instant resolution is irrelevant.
+        bencher.calibrate();
+        for _ in 0..self.sample_size {
+            body(&mut bencher);
+        }
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{name:<40} median {:>12}  ({:.1}e3 iter/s, {} samples x {} iters)",
+            format_time(median),
+            1.0 / median / 1e3,
+            self.sample_size,
+            bencher.iters_per_sample,
+        );
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn calibrate(&mut self) {
+        self.iters_per_sample = 1;
+        self.samples.clear();
+    }
+
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.samples.is_empty() && self.iters_per_sample == 1 {
+            // First call: scale the per-sample iteration count so a
+            // sample takes ~1 ms (capped to keep total runtime bounded).
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed().max(Duration::from_nanos(20));
+            let target = Duration::from_millis(1);
+            self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline stand-in for `serde` (API subset).
+//!
+//! No crates.io access exists in this environment, so the workspace
+//! vendors a minimal serialization framework that is call-site compatible
+//! with the serde surface the sources use: the [`Serialize`] /
+//! [`Deserialize`] traits and derive macros (including `#[serde(skip)]`
+//! and `#[serde(with = "module")]`), generic [`Serializer`] /
+//! [`Deserializer`] bounds, and [`Serializer::collect_seq`].
+//!
+//! Unlike upstream serde's visitor-based zero-copy data model, this stub
+//! routes everything through one owned tree, [`Content`] — equivalent to
+//! a JSON value. That collapses the 30-method serializer interface to a
+//! single required method while keeping user code source-compatible.
+//! `serde_json` (also vendored) prints and parses [`Content`] directly.
+//!
+//! Encoding conventions match serde's JSON defaults: structs are maps,
+//! newtype wrappers are transparent, unit enum variants are strings,
+//! data-carrying variants are single-entry maps, and map containers with
+//! non-string keys serialize as sequences of `[key, value]` pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned data-model tree every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (unit, unit structs, `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer; `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (JSON array).
+    Seq(Vec<Content>),
+    /// A string-keyed map (JSON object); preserves insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Removes and returns the entry for `key`, if present.
+    ///
+    /// Returns `None` for non-map content. Used by derived
+    /// `Deserialize` impls to consume struct fields.
+    pub fn take_entry(&mut self, key: &str) -> Option<Content> {
+        match self {
+            Content::Map(entries) => {
+                entries.iter().position(|(k, _)| k == key).map(|i| entries.remove(i).1)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The error produced when converting to or from [`Content`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentError(String);
+
+impl ContentError {
+    /// Creates an error carrying `msg`.
+    pub fn new(msg: impl fmt::Display) -> ContentError {
+        ContentError(msg.to_string())
+    }
+}
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+/// Serialization-side error support.
+pub mod ser {
+    /// Trait every [`Serializer::Error`](crate::Serializer::Error) implements.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::ContentError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::ContentError::new(msg)
+        }
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    /// Trait every [`Deserializer::Error`](crate::Deserializer::Error) implements.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::ContentError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::ContentError::new(msg)
+        }
+    }
+}
+
+/// A data format that can serialize any [`Serialize`] value.
+pub trait Serializer: Sized {
+    /// Output type on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes an already-built data-model tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an iterator as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let mut items = Vec::new();
+        for item in iter {
+            items.push(to_content(&item).map_err(ser::Error::custom)?);
+        }
+        self.serialize_content(Content::Seq(items))
+    }
+}
+
+/// A data format that can deserialize any [`Deserialize`] value.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the input as a data-model tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The identity serializer: produces the [`Content`] tree itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// The identity deserializer: yields a stored [`Content`] tree.
+#[derive(Debug, Clone)]
+pub struct ContentDeserializer {
+    content: Content,
+}
+
+impl ContentDeserializer {
+    /// Wraps a tree for deserialization.
+    pub fn new(content: Content) -> ContentDeserializer {
+        ContentDeserializer { content }
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn take_content(self) -> Result<Content, ContentError> {
+        Ok(self.content)
+    }
+}
+
+/// Serializes any value to a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Deserializes any value from a [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Int(*self as i128))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Int(n) => <$t>::try_from(n).map_err(|_| {
+                        de::Error::custom(format!(
+                            "integer {} out of range for {}", n, stringify!($t),
+                        ))
+                    }),
+                    other => Err(de::Error::custom(format!(
+                        "expected integer, found {:?}", other,
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Float(f64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Float(x) => Ok(x as $t),
+                    // JSON has one number type: integral literals are
+                    // valid floating-point values.
+                    Content::Int(n) => Ok(n as $t),
+                    other => Err(de::Error::custom(format!(
+                        "expected float, found {:?}", other,
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::custom(format!("expected char, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(de::Error::custom(format!("expected null, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+fn serialize_iter<S, I>(serializer: S, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: IntoIterator,
+    I::Item: Serialize,
+{
+    serializer.collect_seq(iter)
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+fn content_seq<E: de::Error>(content: Content) -> Result<Vec<Content>, E> {
+    match content {
+        Content::Seq(items) => Ok(items),
+        other => Err(de::Error::custom(format!("expected sequence, found {other:?}"))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer.take_content()?)?
+            .into_iter()
+            .map(|c| from_content(c).map_err(de::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> =
+            from_content(deserializer.take_content()?).map_err(de::Error::custom)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, found {n}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer.take_content()?)?
+            .into_iter()
+            .map(|c| from_content(c).map_err(de::Error::custom))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort the rendered elements.
+        let mut items = Vec::new();
+        for item in self {
+            items.push(to_content(item).map_err(ser::Error::custom)?);
+        }
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        serializer.serialize_content(Content::Seq(items))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer.take_content()?)?
+            .into_iter()
+            .map(|c| from_content(c).map_err(de::Error::custom))
+            .collect()
+    }
+}
+
+// Maps serialize as sequences of `[key, value]` pairs: JSON object keys
+// must be strings, and the workspace's maps are keyed by structured
+// coordinates. This mirrors what upstream serde users do manually via
+// `#[serde(with)]` (and what the one `with`-module in the tree does).
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(K, V)> =
+            from_content(deserializer.take_content()?).map_err(de::Error::custom)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::new();
+        for pair in self {
+            items.push(to_content(&pair).map_err(ser::Error::custom)?);
+        }
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        serializer.serialize_content(Content::Seq(items))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(K, V)> =
+            from_content(deserializer.take_content()?).map_err(de::Error::custom)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_content(&self.$idx).map_err(ser::Error::custom)?,)+
+                ];
+                serializer.serialize_content(Content::Seq(items))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items = content_seq(deserializer.take_content()?)?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(de::Error::custom(format!(
+                        "expected tuple of {expected}, found sequence of {}", items.len(),
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($({
+                    let _ = $idx;
+                    from_content::<$name>(iter.next().unwrap()).map_err(de::Error::custom)?
+                },)+))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (T0: 0)
+    (T0: 0, T1: 1)
+    (T0: 0, T1: 1, T2: 2)
+    (T0: 0, T1: 1, T2: 2, T3: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_content(&42u16).unwrap(), Content::Int(42));
+        assert_eq!(from_content::<u16>(Content::Int(42)).unwrap(), 42);
+        assert!(from_content::<u8>(Content::Int(300)).is_err());
+        assert_eq!(from_content::<f64>(Content::Int(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u8, "a".to_string()), (2, "b".to_string())];
+        let c = to_content(&v).unwrap();
+        let back: Vec<(u8, String)> = from_content(c).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert((1u8, 2u8), vec![3u32]);
+        let back: BTreeMap<(u8, u8), Vec<u32>> = from_content(to_content(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_content(&None::<u8>).unwrap(), Content::Null);
+        let back: Option<u8> = from_content(Content::Int(7)).unwrap();
+        assert_eq!(back, Some(7));
+    }
+
+    #[test]
+    fn collect_seq_of_pairs() {
+        let m: BTreeMap<u8, bool> = [(1, true), (2, false)].into_iter().collect();
+        let c = ContentSerializer.collect_seq(m.iter()).unwrap();
+        match c {
+            Content::Seq(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Upstream `serde_derive` builds on `syn`/`quote`; neither is available
+//! offline, so this crate parses the derive input token stream by hand.
+//! Supported input shapes — which cover every derived type in the
+//! workspace — are non-generic named structs, tuple structs, unit
+//! structs, and enums with unit/tuple/named variants, plus the field
+//! attributes `#[serde(skip)]` and `#[serde(with = "module")]`.
+//!
+//! Encoding matches upstream serde's JSON-facing defaults: structs map to
+//! string-keyed maps, newtype wrappers are transparent, unit variants are
+//! bare strings, and data-carrying variants are single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field facts the generators need.
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// The parsed derive input.
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Collects `#[serde(...)]` facts from one attribute group, if it is one.
+fn apply_serde_attr(group_stream: TokenStream, skip: &mut bool, with: &mut Option<String>) {
+    let mut inner = group_stream.into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // a doc comment or some other attribute
+    }
+    let args = match inner.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return,
+    };
+    let mut args = args.into_iter().peekable();
+    while let Some(tok) = args.next() {
+        if let TokenTree::Ident(id) = tok {
+            match id.to_string().as_str() {
+                "skip" => *skip = true,
+                "with" => {
+                    // with = "path"
+                    args.next(); // `=`
+                    if let Some(TokenTree::Literal(lit)) = args.next() {
+                        *with = Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                }
+                other => panic!("serde_derive (vendored): unsupported attribute `{other}`"),
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut with = None;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.next() {
+                apply_serde_attr(g.stream(), &mut skip, &mut with);
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip, with });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes (doc comments, mostly).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional explicit discriminant, then the separating comma.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as strings, then re-parsed).
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+/// `fields.push(("name", content))` lines for a named field list, where
+/// each field is reachable via the expression prefix `access` (`&self.x`
+/// for structs, `x` for matched variant bindings).
+fn push_named_fields(out: &mut String, fields: &[Field], self_access: bool) {
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let access = if self_access { format!("&self.{}", f.name) } else { f.name.clone() };
+        let content = match &f.with {
+            Some(path) => format!(
+                "{path}::serialize({access}, ::serde::ContentSerializer).map_err({SER_ERR})?"
+            ),
+            None => format!("::serde::to_content({access}).map_err({SER_ERR})?"),
+        };
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{}\"), {content}));\n",
+            f.name
+        ));
+    }
+}
+
+/// `name: <expr>` initializers reading named fields out of `__content`.
+fn named_field_inits(fields: &[Field], type_name: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+            continue;
+        }
+        let convert = match &f.with {
+            Some(path) => format!(
+                "{path}::deserialize(::serde::ContentDeserializer::new(__c)).map_err({DE_ERR})?"
+            ),
+            None => format!("::serde::from_content(__c).map_err({DE_ERR})?"),
+        };
+        out.push_str(&format!(
+            "{name}: match __content.take_entry(\"{name}\") {{\n\
+             ::core::option::Option::Some(__c) => {convert},\n\
+             ::core::option::Option::None => return ::core::result::Result::Err({DE_ERR}(\
+             \"missing field `{name}` in {type_name}\")),\n\
+             }},\n",
+            name = f.name,
+        ));
+    }
+    out
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::NamedStruct { name, fields } => {
+            let mut b = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
+                 = ::std::vec::Vec::new();\n",
+            );
+            push_named_fields(&mut b, fields, true);
+            b.push_str("__serializer.serialize_content(::serde::Content::Map(__fields))");
+            (name, b)
+        }
+        Input::TupleStruct { name, arity: 1 } => {
+            (name, String::from("::serde::Serialize::serialize(&self.0, __serializer)"))
+        }
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::to_content(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "__serializer.serialize_content(::serde::Content::Seq(vec![{}]))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Input::UnitStruct { name } => {
+            (name, String::from("__serializer.serialize_content(::serde::Content::Null)"))
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_content(\
+                         ::serde::Content::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            format!("::serde::to_content(__f0).map_err({SER_ERR})?")
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::to_content({b}).map_err({SER_ERR})?"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let __inner = {inner};\n\
+                             __serializer.serialize_content(::serde::Content::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), __inner)]))\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| if f.skip { format!("{}: _", f.name) } else { f.name.clone() })
+                            .collect();
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n",
+                        );
+                        push_named_fields(&mut inner, fields, false);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             {inner}\
+                             __serializer.serialize_content(::serde::Content::Map(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Map(__fields))]))\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, __serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::NamedStruct { name, fields } => {
+            let inits = named_field_inits(fields, name);
+            (
+                name,
+                format!(
+                    "let mut __content = ::serde::Deserializer::take_content(__deserializer)?;\n\
+                     if !matches!(__content, ::serde::Content::Map(_)) {{\n\
+                     return ::core::result::Result::Err({DE_ERR}(\
+                     \"expected map for struct {name}\"));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}}})"
+                ),
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::core::result::Result::Ok({name}(::serde::from_content(\
+                 ::serde::Deserializer::take_content(__deserializer)?).map_err({DE_ERR})?))"
+            ),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|_| format!("::serde::from_content(__items.remove(0)).map_err({DE_ERR})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __content = ::serde::Deserializer::take_content(__deserializer)?;\n\
+                     let mut __items = match __content {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {arity} => __s,\n\
+                     __other => return ::core::result::Result::Err({DE_ERR}(format!(\
+                     \"expected sequence of {arity} for {name}, found {{:?}}\", __other))),\n\
+                     }};\n\
+                     ::core::result::Result::Ok({name}({items}))",
+                    items = items.join(", "),
+                ),
+            )
+        }
+        Input::UnitStruct { name } => (
+            name,
+            format!(
+                "::serde::Deserializer::take_content(__deserializer)?;\n\
+                 ::core::result::Result::Ok({name})"
+            ),
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::from_content(__value).map_err({DE_ERR})?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|_| {
+                                format!(
+                                    "::serde::from_content(__items.remove(0)).map_err({DE_ERR})?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __items = match __value {{\n\
+                             ::serde::Content::Seq(__s) if __s.len() == {arity} => __s,\n\
+                             __other => return ::core::result::Result::Err({DE_ERR}(format!(\
+                             \"expected sequence of {arity} for {name}::{vname}, found {{:?}}\", \
+                             __other))),\n\
+                             }};\n\
+                             ::core::result::Result::Ok({name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits = named_field_inits(fields, &format!("{name}::{vname}"));
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __content = __value;\n\
+                             if !matches!(__content, ::serde::Content::Map(_)) {{\n\
+                             return ::core::result::Result::Err({DE_ERR}(\
+                             \"expected map for variant {name}::{vname}\"));\n\
+                             }}\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match ::serde::Deserializer::take_content(__deserializer)? {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                     \"unknown unit variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Content::Map(mut __entries) if __entries.len() == 1 => {{\n\
+                     let (__key, __value) = __entries.remove(0);\n\
+                     match __key.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err({DE_ERR}(format!(\
+                     \"invalid content for enum {name}: {{:?}}\", __other))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(__deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
