@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use shenjing::prelude::*;
 use shenjing::snn::snn_from_specs;
-use shenjing_mapper::{map_logical, place};
 
 fn bench_mapper(c: &mut Criterion) {
     let arch = ArchSpec::paper();

@@ -1,0 +1,78 @@
+//! Serving-runtime throughput: the batched engine against a sequential
+//! `CycleSim` loop, plus the end-to-end scheduler path.
+//!
+//! The acceptance bar from the runtime subsystem's introduction: batched
+//! execution at batch 16 must clear ≥3× the frames/sec of the sequential
+//! loop on `ArchSpec::paper()` (it lands far above that — see the
+//! CycleSim-throughput entry in ROADMAP.md for measured numbers).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shenjing::prelude::*;
+use shenjing::snn::snn_from_specs;
+
+const BATCH: usize = 16;
+const TIMESTEPS: u32 = 8;
+
+fn bench_runtime(c: &mut Criterion) {
+    let arch = ArchSpec::paper();
+    let snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
+    let model = CompiledModel::compile(&arch, &snn).unwrap();
+    let frames: Vec<Tensor> = (0..BATCH)
+        .map(|k| {
+            Tensor::from_vec(vec![784], (0..784).map(|i| ((i + k * 37) % 7) as f64 / 7.0).collect())
+                .unwrap()
+        })
+        .collect();
+
+    // Baseline: one chip replica advancing the 16 frames one at a time.
+    let mut sequential = model.instantiate().unwrap();
+    c.bench_function("runtime_sequential_16_frames_t8", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|f| sequential.run_frame(f, TIMESTEPS).unwrap().spike_counts[0])
+                .sum::<u32>()
+        })
+    });
+
+    // The batched engine: one pass over the schedule advances all 16.
+    let mut batched = model.instantiate_batched(BATCH).unwrap();
+    c.bench_function("runtime_batched_16_frames_t8", |b| {
+        b.iter(|| batched.run_batch(&frames, TIMESTEPS).unwrap())
+    });
+
+    // Cheap instantiation from the shared artifact (the per-worker cost
+    // the decoded program amortizes).
+    c.bench_function("runtime_instantiate_replica", |b| b.iter(|| model.instantiate().unwrap()));
+
+    // End to end through queue + batching policy + worker shards.
+    c.bench_function("runtime_serve_32_frames_2_workers", |b| {
+        b.iter(|| {
+            let runtime = Runtime::start(
+                model.clone(),
+                RuntimeConfig {
+                    workers: 2,
+                    max_batch: BATCH,
+                    max_wait: Duration::from_millis(1),
+                    timesteps: TIMESTEPS,
+                },
+            )
+            .unwrap();
+            let mut doubled: Vec<Tensor> = frames.clone();
+            doubled.extend(frames.iter().cloned());
+            let replies = runtime.infer_many(&doubled).unwrap();
+            runtime.shutdown().unwrap();
+            replies.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // The sequential baseline costs ~30 s per sample; keep the group short.
+    config = Criterion::default().sample_size(3);
+    targets = bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,1219 @@
+//! Batched (multi-frame) variants of the tile components, SoA over lanes.
+//!
+//! The compiled schedule is *static*: which registers hold data at which
+//! cycle is decided entirely by the program, never by the data flowing
+//! through them (a `SEND` moves even a 0-valued spike). Register occupancy
+//! is therefore identical across inference frames, and a batch of `B`
+//! frames can share one pass over the per-cycle control words: each
+//! register keeps a single occupancy bit but carries `B` payload lanes
+//! (structure-of-arrays), and every atomic op advances all lanes at once.
+//!
+//! This is the serving runtime's execution engine: it amortizes program
+//! decode, the cycle loop and the transfer-phase occupancy scan over the
+//! whole batch, and it allocates nothing per cycle (the chip reuses its
+//! transfer scratch buffers). Payload arithmetic runs per lane in exactly
+//! the order of the single-frame components, so a batched run is
+//! bit-identical to `B` sequential single-frame runs (`shenjing-sim`
+//! proves this property against random networks).
+//!
+//! Range checking: lane sums are validated against the same 13-bit local /
+//! 16-bit NoC widths as the single-frame path. For any architecture whose
+//! worst-case core sum fits the local width (all built-in ones; the paper
+//! sizes the accumulator that way) `ACC` overflow is impossible and the
+//! batched sweep skips the per-addition checks; for architectures where a
+//! running sum *could* leave the range mid-accumulation, `ACC` falls back
+//! to a per-step checked sweep in the scalar core's exact order, so error
+//! behavior matches sequential runs there too.
+
+use shenjing_core::fixed::{LOCAL_SUM_BITS, NOC_SUM_BITS};
+use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, Result, W5};
+
+use crate::ops::{AtomicOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+
+const NOC_MAX: i32 = i16::MAX as i32;
+const NOC_MIN: i32 = i16::MIN as i32;
+const LOCAL_MAX: i32 = (1 << (LOCAL_SUM_BITS - 1)) - 1;
+const LOCAL_MIN: i32 = -(1 << (LOCAL_SUM_BITS - 1));
+
+fn reg_index(port: Direction, plane: u16) -> usize {
+    plane as usize * 4 + port.encode() as usize
+}
+
+/// Batched neuron core: shared weights, per-lane axons and partial sums.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, W5};
+/// use shenjing_hw::BatchNeuronCore;
+///
+/// let arch = ArchSpec::tiny();
+/// let mut core = BatchNeuronCore::new(&arch, 2);
+/// core.write_weight(0, 0, W5::new(3)?)?;
+/// core.set_axon(0, 1, true)?; // axon 0 spikes in lane 1 only
+/// core.accumulate(0b1111)?;
+/// assert_eq!(core.local_ps(0, 0), 0);
+/// assert_eq!(core.local_ps(0, 1), 3);
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNeuronCore {
+    inputs: u16,
+    neurons: u16,
+    banks: u16,
+    batch: usize,
+    /// Row-major `[axon][neuron]` weight array (shared by every lane).
+    weights: Vec<W5>,
+    /// `[axon][lane]` spike bits.
+    axons: Vec<bool>,
+    /// `[neuron][lane]` local partial sums.
+    local_ps: Vec<i32>,
+}
+
+impl BatchNeuronCore {
+    /// Creates a core with all-zero weights and idle axons in every lane.
+    pub fn new(arch: &ArchSpec, batch: usize) -> BatchNeuronCore {
+        BatchNeuronCore {
+            inputs: arch.core_inputs,
+            neurons: arch.core_neurons,
+            banks: arch.sram_banks,
+            batch,
+            weights: vec![W5::ZERO; arch.core_inputs as usize * arch.core_neurons as usize],
+            axons: vec![false; arch.core_inputs as usize * batch],
+            local_ps: vec![0; arch.core_neurons as usize * batch],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Loads a full `inputs × neurons` weight block (row-major by axon).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `block` has the wrong length.
+    pub fn load_weights(&mut self, block: &[W5]) -> Result<()> {
+        if block.len() != self.weights.len() {
+            return Err(Error::shape_mismatch(
+                format!("{} weights", self.weights.len()),
+                format!("{} weights", block.len()),
+            ));
+        }
+        self.weights.copy_from_slice(block);
+        Ok(())
+    }
+
+    /// Writes one synaptic weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` or `neuron` exceed the
+    /// core dimensions.
+    pub fn write_weight(&mut self, axon: u16, neuron: u16, w: W5) -> Result<()> {
+        if axon >= self.inputs || neuron >= self.neurons {
+            return Err(Error::out_of_bounds(format!(
+                "synapse ({axon},{neuron}) of a {}x{} core",
+                self.inputs, self.neurons
+            )));
+        }
+        self.weights[axon as usize * self.neurons as usize + neuron as usize] = w;
+        Ok(())
+    }
+
+    /// Sets or clears one axon's spike bit in one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` or `lane` are out of
+    /// range.
+    pub fn set_axon(&mut self, axon: u16, lane: usize, spiking: bool) -> Result<()> {
+        if axon >= self.inputs || lane >= self.batch {
+            return Err(Error::out_of_bounds(format!(
+                "axon {axon} lane {lane} of a {}-input, {}-lane core",
+                self.inputs, self.batch
+            )));
+        }
+        self.axons[axon as usize * self.batch + lane] = spiking;
+        Ok(())
+    }
+
+    /// Clears every axon in every lane (start of a new timestep).
+    pub fn clear_axons(&mut self) {
+        self.axons.iter_mut().for_each(|a| *a = false);
+    }
+
+    /// The local partial sum of `neuron` in `lane`.
+    pub fn local_ps(&self, neuron: u16, lane: usize) -> i32 {
+        self.local_ps[neuron as usize * self.batch + lane]
+    }
+
+    /// All local partial sums, `[neuron][lane]`.
+    pub fn local_ps_all(&self) -> &[i32] {
+        &self.local_ps
+    }
+
+    /// Executes `ACC` on every lane: recomputes the partial sums of the
+    /// neurons in the enabled `banks` from the current axon lanes. Axons
+    /// idle in every lane are skipped entirely, so sparse activity pays
+    /// only for the weight rows it touches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SumOverflow`] if any lane's sum leaves the 13-bit
+    /// local range (only reachable on architectures with more than 256
+    /// inputs per core), and [`Error::InvalidControl`] for an invalid
+    /// bank mask.
+    pub fn accumulate(&mut self, banks: u8) -> Result<()> {
+        let valid_mask = (1u16 << self.banks) - 1;
+        if banks == 0 || u16::from(banks) & !valid_mask != 0 {
+            return Err(Error::InvalidControl {
+                component: "neuron_core".into(),
+                reason: format!("bank mask {banks:#06b} invalid for a {}-bank core", self.banks),
+            });
+        }
+        let b = self.batch;
+        let neurons = self.neurons as usize;
+        let per_bank = neurons / self.banks as usize;
+        let n_banks = self.banks as usize;
+        let enabled = |bank: usize| banks & (1 << bank) != 0;
+        // Can any running sum leave the 13-bit range at all? Not when the
+        // all-axons-spiking extreme still fits (the paper's sizing; holds
+        // for every built-in arch).
+        let overflow_possible = i32::from(self.inputs) * W5::MAX.value() > LOCAL_MAX
+            || i32::from(self.inputs) * W5::MIN.value() < LOCAL_MIN;
+
+        let BatchNeuronCore { weights, axons, local_ps, .. } = self;
+        if overflow_possible {
+            // Checked sweep in the scalar core's exact order (bank →
+            // neuron → axon), so a mid-accumulation excursion errors for
+            // precisely the frames where the sequential path would.
+            for bank in (0..n_banks).filter(|&k| enabled(k)) {
+                for n in bank * per_bank..(bank + 1) * per_bank {
+                    for lane in 0..b {
+                        let mut sum = 0i32;
+                        for (a, lanes) in axons.chunks_exact(b).enumerate() {
+                            if lanes[lane] {
+                                sum += weights[a * neurons + n].value();
+                                if !(LOCAL_MIN..=LOCAL_MAX).contains(&sum) {
+                                    return Err(Error::SumOverflow {
+                                        value: i64::from(sum),
+                                        bits: LOCAL_SUM_BITS,
+                                    });
+                                }
+                            }
+                        }
+                        local_ps[n * b + lane] = sum;
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        for bank in (0..n_banks).filter(|&k| enabled(k)) {
+            local_ps[bank * per_bank * b..(bank + 1) * per_bank * b].fill(0);
+        }
+        for (a, lanes) in axons.chunks_exact(b).enumerate() {
+            if !lanes.iter().any(|&s| s) {
+                continue;
+            }
+            let row = &weights[a * neurons..(a + 1) * neurons];
+            for bank in (0..n_banks).filter(|&k| enabled(k)) {
+                for n in bank * per_bank..(bank + 1) * per_bank {
+                    let w = row[n].value();
+                    if w == 0 {
+                        continue;
+                    }
+                    for (dst, &spiking) in local_ps[n * b..(n + 1) * b].iter_mut().zip(lanes) {
+                        if spiking {
+                            *dst += w;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Batched PS-NoC router block: one occupancy bit and `B` payload lanes
+/// per register.
+#[derive(Debug, Clone)]
+pub struct BatchPsRouter {
+    planes: u16,
+    batch: usize,
+    /// `[plane * 4 + port]` occupancy bits of the input registers.
+    in_occ: Vec<bool>,
+    /// `[(plane * 4 + port)][lane]` input payloads.
+    in_val: Vec<i32>,
+    out_occ: Vec<bool>,
+    out_val: Vec<i32>,
+    /// `[plane]` / `[plane][lane]` accumulation registers (`sum_buf`).
+    sum_occ: Vec<bool>,
+    sum_val: Vec<i32>,
+    /// `[plane]` / `[plane][lane]` ejection registers toward the IF logic.
+    eject_occ: Vec<bool>,
+    eject_val: Vec<i32>,
+}
+
+impl BatchPsRouter {
+    /// Creates the batched router block for a tile with `planes` neurons.
+    pub fn new(planes: u16, batch: usize) -> BatchPsRouter {
+        let p = planes as usize;
+        BatchPsRouter {
+            planes,
+            batch,
+            in_occ: vec![false; p * 4],
+            in_val: vec![0; p * 4 * batch],
+            out_occ: vec![false; p * 4],
+            out_val: vec![0; p * 4 * batch],
+            sum_occ: vec![false; p],
+            sum_val: vec![0; p * batch],
+            eject_occ: vec![false; p],
+            eject_val: vec![0; p * batch],
+        }
+    }
+
+    /// The accumulation register of `plane` in `lane`, if occupied.
+    pub fn sum_buf(&self, plane: u16, lane: usize) -> Option<i32> {
+        self.sum_occ[plane as usize].then(|| self.sum_val[plane as usize * self.batch + lane])
+    }
+
+    /// Peeks an input register lane without consuming it.
+    pub fn peek_input(&self, port: Direction, plane: u16, lane: usize) -> Option<i32> {
+        let idx = reg_index(port, plane);
+        self.in_occ[idx].then(|| self.in_val[idx * self.batch + lane])
+    }
+
+    /// Executes one op across its plane set on every lane. `local_ps` is
+    /// the batched core's `[neuron][lane]` partial sums.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PsRouter::exec`](crate::PsRouter::exec), with
+    /// the 16-bit adder overflow checked per lane.
+    pub fn exec(&mut self, op: &PsRouterOp, local_ps: &[i32]) -> Result<()> {
+        let b = self.batch;
+        let total = self.planes;
+        let BatchPsRouter {
+            in_occ,
+            in_val,
+            out_occ,
+            out_val,
+            sum_occ,
+            sum_val,
+            eject_occ,
+            eject_val,
+            ..
+        } = self;
+        let local = |p: u16, lane: usize| local_ps.get(p as usize * b + lane).copied().unwrap_or(0);
+        match op {
+            PsRouterOp::Sum { src, consec, planes } => {
+                for p in planes.iter(total) {
+                    let idx = reg_index(*src, p);
+                    if !in_occ[idx] {
+                        return Err(Error::InvalidControl {
+                            component: "ps_router".into(),
+                            reason: format!("SUM on plane {p}: no data registered at port {src}"),
+                        });
+                    }
+                    if *consec && !sum_occ[p as usize] {
+                        return Err(Error::InvalidControl {
+                            component: "ps_router".into(),
+                            reason: format!("SUM consec on plane {p}: empty accumulation register"),
+                        });
+                    }
+                    in_occ[idx] = false;
+                    for lane in 0..b {
+                        let first =
+                            if *consec { sum_val[p as usize * b + lane] } else { local(p, lane) };
+                        let v = first + in_val[idx * b + lane];
+                        if !(NOC_MIN..=NOC_MAX).contains(&v) {
+                            return Err(Error::SumOverflow {
+                                value: i64::from(v),
+                                bits: NOC_SUM_BITS,
+                            });
+                        }
+                        sum_val[p as usize * b + lane] = v;
+                    }
+                    sum_occ[p as usize] = true;
+                }
+            }
+            PsRouterOp::Send { source, dst, planes } => {
+                for p in planes.iter(total) {
+                    if matches!(source, PsSendSource::SumBuf) && !sum_occ[p as usize] {
+                        return Err(Error::InvalidControl {
+                            component: "ps_router".into(),
+                            reason: format!(
+                                "SEND sum_buf on plane {p}: empty accumulation register"
+                            ),
+                        });
+                    }
+                    let (occ, val, base) = match dst {
+                        PsDst::Port(d) => {
+                            let idx = reg_index(*d, p);
+                            if out_occ[idx] {
+                                return Err(Error::InvalidSchedule {
+                                    cycle: 0,
+                                    reason: format!(
+                                        "ps output register contention at port {d}, plane {p}"
+                                    ),
+                                });
+                            }
+                            (&mut out_occ[idx], &mut *out_val, idx * b)
+                        }
+                        PsDst::SpikingLogic => {
+                            if eject_occ[p as usize] {
+                                return Err(Error::InvalidSchedule {
+                                    cycle: 0,
+                                    reason: format!("ps eject register contention at plane {p}"),
+                                });
+                            }
+                            (&mut eject_occ[p as usize], &mut *eject_val, p as usize * b)
+                        }
+                    };
+                    for lane in 0..b {
+                        val[base + lane] = match source {
+                            PsSendSource::LocalPs => local(p, lane),
+                            PsSendSource::SumBuf => sum_val[p as usize * b + lane],
+                        };
+                    }
+                    *occ = true;
+                }
+            }
+            PsRouterOp::Bypass { src, dst, planes } => {
+                for p in planes.iter(total) {
+                    let idx = reg_index(*src, p);
+                    if !in_occ[idx] {
+                        return Err(Error::InvalidControl {
+                            component: "ps_router".into(),
+                            reason: format!(
+                                "BYPASS on plane {p}: no data registered at port {src}"
+                            ),
+                        });
+                    }
+                    in_occ[idx] = false;
+                    let (occ, val, base) = match dst {
+                        PsDst::Port(d) => {
+                            let oidx = reg_index(*d, p);
+                            if out_occ[oidx] {
+                                return Err(Error::InvalidSchedule {
+                                    cycle: 0,
+                                    reason: format!(
+                                        "ps output register contention at port {d}, plane {p}"
+                                    ),
+                                });
+                            }
+                            (&mut out_occ[oidx], &mut *out_val, oidx * b)
+                        }
+                        PsDst::SpikingLogic => {
+                            if eject_occ[p as usize] {
+                                return Err(Error::InvalidSchedule {
+                                    cycle: 0,
+                                    reason: format!("ps eject register contention at plane {p}"),
+                                });
+                            }
+                            (&mut eject_occ[p as usize], &mut *eject_val, p as usize * b)
+                        }
+                    };
+                    for lane in 0..b {
+                        val[base + lane] = in_val[idx * b + lane];
+                    }
+                    *occ = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes incoming lane payloads into the input register of `port`
+    /// (the batched chip fabric's transfer phase calls this).
+    ///
+    /// # Errors
+    ///
+    /// Returns a contention error when the register still holds unconsumed
+    /// data.
+    pub fn put_input(&mut self, port: Direction, plane: u16, lanes: &[i32]) -> Result<()> {
+        let idx = reg_index(port, plane);
+        if self.in_occ[idx] {
+            return Err(Error::InvalidSchedule {
+                cycle: 0,
+                reason: format!("ps input register contention at port {port}, plane {plane}"),
+            });
+        }
+        self.in_occ[idx] = true;
+        self.in_val[idx * self.batch..(idx + 1) * self.batch].copy_from_slice(lanes);
+        Ok(())
+    }
+
+    /// Drains the output register of `port`/`plane` into `dst`, returning
+    /// whether it was occupied.
+    pub fn take_output_into(&mut self, port: Direction, plane: u16, dst: &mut Vec<i32>) -> bool {
+        let idx = reg_index(port, plane);
+        if !self.out_occ[idx] {
+            return false;
+        }
+        self.out_occ[idx] = false;
+        dst.extend_from_slice(&self.out_val[idx * self.batch..(idx + 1) * self.batch]);
+        true
+    }
+
+    /// Whether any output register holds data awaiting transfer.
+    pub fn has_pending_output(&self) -> bool {
+        self.out_occ.iter().any(|&o| o)
+    }
+
+    /// Clears all register occupancy (new inference frame).
+    pub fn reset(&mut self) {
+        self.in_occ.iter_mut().for_each(|o| *o = false);
+        self.out_occ.iter_mut().for_each(|o| *o = false);
+        self.sum_occ.iter_mut().for_each(|o| *o = false);
+        self.eject_occ.iter_mut().for_each(|o| *o = false);
+    }
+
+    fn eject_parts(&mut self) -> (&mut [bool], &mut [i32]) {
+        (&mut self.eject_occ, &mut self.eject_val)
+    }
+}
+
+/// Batched spike-NoC router with per-lane IF state.
+#[derive(Debug, Clone)]
+pub struct BatchSpikeRouter {
+    planes: u16,
+    batch: usize,
+    /// `[plane][lane]` membrane potentials.
+    potential: Vec<i32>,
+    /// `[plane]` firing thresholds (configuration, shared by all lanes).
+    threshold: Vec<i32>,
+    /// `[plane][lane]` spike bits from the latest `SPIKE` op.
+    spike_buf: Vec<bool>,
+    in_occ: Vec<bool>,
+    in_val: Vec<bool>,
+    out_occ: Vec<bool>,
+    out_val: Vec<bool>,
+    /// Planes delivered to the local core this cycle, with their lane
+    /// payloads appended to `delivered_val` in the same order.
+    delivered_planes: Vec<u16>,
+    delivered_val: Vec<bool>,
+}
+
+impl BatchSpikeRouter {
+    /// Creates the batched router block for a tile with `planes` neurons.
+    pub fn new(planes: u16, batch: usize) -> BatchSpikeRouter {
+        let p = planes as usize;
+        BatchSpikeRouter {
+            planes,
+            batch,
+            potential: vec![0; p * batch],
+            threshold: vec![crate::SpikeRouter::DEFAULT_THRESHOLD; p],
+            spike_buf: vec![false; p * batch],
+            in_occ: vec![false; p * 4],
+            in_val: vec![false; p * 4 * batch],
+            out_occ: vec![false; p * 4],
+            out_val: vec![false; p * 4 * batch],
+            delivered_planes: Vec::new(),
+            delivered_val: Vec::new(),
+        }
+    }
+
+    /// Configures the firing threshold of one plane (all lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `threshold` is not positive.
+    pub fn set_threshold(&mut self, plane: u16, threshold: i32) -> Result<()> {
+        if threshold <= 0 {
+            return Err(Error::config(format!(
+                "threshold {threshold} on plane {plane} must be positive"
+            )));
+        }
+        self.threshold[plane as usize] = threshold;
+        Ok(())
+    }
+
+    /// The membrane potential of `plane` in `lane`.
+    pub fn potential(&self, plane: u16, lane: usize) -> i32 {
+        self.potential[plane as usize * self.batch + lane]
+    }
+
+    /// The spike produced by the latest `SPIKE` op on `plane` in `lane`.
+    pub fn spike_buffer(&self, plane: u16, lane: usize) -> bool {
+        self.spike_buf[plane as usize * self.batch + lane]
+    }
+
+    /// Integrates a weighted-sum value into one lane's potential, firing
+    /// when it exceeds the threshold (reset by subtraction).
+    pub fn integrate_value(&mut self, plane: u16, lane: usize, sum: i32) {
+        let idx = plane as usize * self.batch + lane;
+        self.potential[idx] += sum;
+        if self.potential[idx] > self.threshold[plane as usize] {
+            self.spike_buf[idx] = true;
+            self.potential[idx] -= self.threshold[plane as usize];
+        } else {
+            self.spike_buf[idx] = false;
+        }
+    }
+
+    /// Executes one op on every lane. `local_ps` is the batched core's
+    /// `[neuron][lane]` sums; `ps_eject_occ`/`ps_eject_val` are the PS
+    /// router's batched ejection registers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SpikeRouter::exec`](crate::SpikeRouter::exec).
+    pub fn exec(
+        &mut self,
+        op: &SpikeRouterOp,
+        local_ps: &[i32],
+        ps_eject_occ: &mut [bool],
+        ps_eject_val: &mut [i32],
+    ) -> Result<()> {
+        let b = self.batch;
+        let total = self.planes;
+        match op {
+            SpikeRouterOp::Spike { from_ps_router, planes } => {
+                for p in planes.iter(total) {
+                    if *from_ps_router {
+                        if !ps_eject_occ.get(p as usize).copied().unwrap_or(false) {
+                            return Err(Error::InvalidControl {
+                                component: "spike_router".into(),
+                                reason: format!(
+                                    "SPIKE from PS router on plane {p}: no ejected sum"
+                                ),
+                            });
+                        }
+                        ps_eject_occ[p as usize] = false;
+                        for lane in 0..b {
+                            self.integrate_value(p, lane, ps_eject_val[p as usize * b + lane]);
+                        }
+                    } else {
+                        for lane in 0..b {
+                            let sum = local_ps.get(p as usize * b + lane).copied().unwrap_or(0);
+                            self.integrate_value(p, lane, sum);
+                        }
+                    }
+                }
+            }
+            SpikeRouterOp::Send { dst, planes } => {
+                let BatchSpikeRouter { spike_buf, out_occ, out_val, .. } = self;
+                for p in planes.iter(total) {
+                    let idx = reg_index(*dst, p);
+                    if out_occ[idx] {
+                        return Err(Error::InvalidSchedule {
+                            cycle: 0,
+                            reason: format!(
+                                "spike output register contention at port {dst}, plane {p}"
+                            ),
+                        });
+                    }
+                    out_occ[idx] = true;
+                    out_val[idx * b..(idx + 1) * b]
+                        .copy_from_slice(&spike_buf[p as usize * b..(p as usize + 1) * b]);
+                }
+            }
+            SpikeRouterOp::Bypass { src, dst, deliver, planes } => {
+                let BatchSpikeRouter {
+                    in_occ,
+                    in_val,
+                    out_occ,
+                    out_val,
+                    delivered_planes,
+                    delivered_val,
+                    ..
+                } = self;
+                for p in planes.iter(total) {
+                    let idx = reg_index(*src, p);
+                    if !in_occ[idx] {
+                        return Err(Error::InvalidControl {
+                            component: "spike_router".into(),
+                            reason: format!("BYPASS on plane {p}: no spike at port {src}"),
+                        });
+                    }
+                    in_occ[idx] = false;
+                    if *deliver {
+                        delivered_planes.push(p);
+                        delivered_val.extend_from_slice(&in_val[idx * b..(idx + 1) * b]);
+                    }
+                    if let Some(d) = dst {
+                        let oidx = reg_index(*d, p);
+                        if out_occ[oidx] {
+                            return Err(Error::InvalidSchedule {
+                                cycle: 0,
+                                reason: format!(
+                                    "spike output register contention at port {d}, plane {p}"
+                                ),
+                            });
+                        }
+                        out_occ[oidx] = true;
+                        out_val[oidx * b..(oidx + 1) * b]
+                            .copy_from_slice(&in_val[idx * b..(idx + 1) * b]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes incoming lane spikes into the input register of `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a contention error when the register still holds unconsumed
+    /// spikes.
+    pub fn put_input(&mut self, port: Direction, plane: u16, lanes: &[bool]) -> Result<()> {
+        let idx = reg_index(port, plane);
+        if self.in_occ[idx] {
+            return Err(Error::InvalidSchedule {
+                cycle: 0,
+                reason: format!("spike input register contention at port {port}, plane {plane}"),
+            });
+        }
+        self.in_occ[idx] = true;
+        self.in_val[idx * self.batch..(idx + 1) * self.batch].copy_from_slice(lanes);
+        Ok(())
+    }
+
+    /// Drains the output register of `port`/`plane` into `dst`, returning
+    /// whether it was occupied.
+    pub fn take_output_into(&mut self, port: Direction, plane: u16, dst: &mut Vec<bool>) -> bool {
+        let idx = reg_index(port, plane);
+        if !self.out_occ[idx] {
+            return false;
+        }
+        self.out_occ[idx] = false;
+        dst.extend_from_slice(&self.out_val[idx * self.batch..(idx + 1) * self.batch]);
+        true
+    }
+
+    /// Whether any output register holds spikes awaiting transfer.
+    pub fn has_pending_output(&self) -> bool {
+        self.out_occ.iter().any(|&o| o)
+    }
+
+    /// Clears crossbar occupancy and spike buffers but **keeps membrane
+    /// potentials** (they persist across timesteps of one frame).
+    pub fn reset_network_state(&mut self) {
+        self.in_occ.iter_mut().for_each(|o| *o = false);
+        self.out_occ.iter_mut().for_each(|o| *o = false);
+        self.spike_buf.iter_mut().for_each(|s| *s = false);
+        self.delivered_planes.clear();
+        self.delivered_val.clear();
+    }
+
+    /// Zeroes membrane potentials in every lane (new inference frame).
+    pub fn reset_potentials(&mut self) {
+        self.potential.iter_mut().for_each(|v| *v = 0);
+    }
+}
+
+/// One batched tile: batched core + batched routers + the delivery remap.
+#[derive(Debug, Clone)]
+pub struct BatchTile {
+    core: BatchNeuronCore,
+    ps: BatchPsRouter,
+    spike: BatchSpikeRouter,
+    /// Per-plane delivery remap, identical in role to
+    /// [`Tile::set_axon_map`](crate::Tile::set_axon_map).
+    axon_map: Vec<u16>,
+}
+
+impl BatchTile {
+    /// Creates a batched tile for the given architecture and lane count.
+    pub fn new(arch: &ArchSpec, batch: usize) -> BatchTile {
+        BatchTile {
+            core: BatchNeuronCore::new(arch, batch),
+            ps: BatchPsRouter::new(arch.core_neurons, batch),
+            spike: BatchSpikeRouter::new(arch.core_neurons, batch),
+            axon_map: (0..arch.core_neurons).collect(),
+        }
+    }
+
+    /// The batched neuron core.
+    pub fn core(&self) -> &BatchNeuronCore {
+        &self.core
+    }
+
+    /// Mutable batched neuron core (weight loading, axon injection).
+    pub fn core_mut(&mut self) -> &mut BatchNeuronCore {
+        &mut self.core
+    }
+
+    /// The batched PS router block.
+    pub fn ps(&self) -> &BatchPsRouter {
+        &self.ps
+    }
+
+    /// Mutable batched PS router block.
+    pub fn ps_mut(&mut self) -> &mut BatchPsRouter {
+        &mut self.ps
+    }
+
+    /// The batched spike router block.
+    pub fn spike(&self) -> &BatchSpikeRouter {
+        &self.spike
+    }
+
+    /// Mutable batched spike router block.
+    pub fn spike_mut(&mut self) -> &mut BatchSpikeRouter {
+        &mut self.spike
+    }
+
+    /// Executes one atomic operation on this tile (all lanes at once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the component's error, exactly as
+    /// [`Tile::exec`](crate::Tile::exec).
+    pub fn exec(&mut self, op: &AtomicOp) -> Result<()> {
+        match op {
+            AtomicOp::Core(core_op) => match core_op {
+                crate::ops::NeuronCoreOp::LdWt { .. } => Ok(()),
+                crate::ops::NeuronCoreOp::Acc { banks } => self.core.accumulate(*banks),
+            },
+            AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all()),
+            AtomicOp::Spike(spike_op) => {
+                let (eject_occ, eject_val) = self.ps.eject_parts();
+                self.spike.exec(spike_op, self.core.local_ps_all(), eject_occ, eject_val)
+            }
+        }
+    }
+
+    /// Moves spikes delivered by the spike router into the core's axon
+    /// lanes through the axon map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when a delivered plane exceeds the
+    /// core's axon count (a mapper bug).
+    pub fn commit_deliveries(&mut self) -> Result<()> {
+        let b = self.spike.batch;
+        let BatchTile { core, spike, axon_map, .. } = self;
+        for (i, &plane) in spike.delivered_planes.iter().enumerate() {
+            let axon = axon_map[plane as usize];
+            for (lane, &spiking) in spike.delivered_val[i * b..(i + 1) * b].iter().enumerate() {
+                if spiking {
+                    core.set_axon(axon, lane, true)?;
+                }
+            }
+        }
+        spike.delivered_planes.clear();
+        spike.delivered_val.clear();
+        Ok(())
+    }
+
+    /// Clears crossbar/network state, keeping potentials and weights.
+    pub fn reset_network_state(&mut self) {
+        self.ps.reset();
+        self.spike.reset_network_state();
+    }
+
+    /// Full frame reset: network state, membrane potentials and axons.
+    pub fn reset_frame(&mut self) {
+        self.reset_network_state();
+        self.spike.reset_potentials();
+        self.core.clear_axons();
+    }
+}
+
+/// A mesh of batched tiles advancing `B` frames per pass over the
+/// schedule, with reusable transfer scratch (no per-cycle allocation).
+#[derive(Debug, Clone)]
+pub struct BatchChip {
+    arch: ArchSpec,
+    rows: u16,
+    cols: u16,
+    batch: usize,
+    tiles: Vec<BatchTile>,
+    /// Transfer scratch: `(destination tile, input port, plane)` per move,
+    /// lane payloads appended to the payload buffers in the same order.
+    ps_moves: Vec<(usize, Direction, u16)>,
+    ps_payload: Vec<i32>,
+    spike_moves: Vec<(usize, Direction, u16)>,
+    spike_payload: Vec<bool>,
+}
+
+impl BatchChip {
+    /// Creates a `rows × cols` mesh of fresh batched tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when either dimension or the lane
+    /// count is zero, or the architecture fails validation.
+    pub fn new(arch: &ArchSpec, rows: u16, cols: u16, batch: usize) -> Result<BatchChip> {
+        arch.validate()?;
+        if rows == 0 || cols == 0 {
+            return Err(Error::config("chip dimensions must be positive"));
+        }
+        if batch == 0 {
+            return Err(Error::config("batch size must be positive"));
+        }
+        let tiles =
+            (0..rows as usize * cols as usize).map(|_| BatchTile::new(arch, batch)).collect();
+        Ok(BatchChip {
+            arch: arch.clone(),
+            rows,
+            cols,
+            batch,
+            tiles,
+            ps_moves: Vec::new(),
+            ps_payload: Vec::new(),
+            spike_moves: Vec::new(),
+            spike_payload: Vec::new(),
+        })
+    }
+
+    /// The architecture this chip instantiates.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    /// Number of lanes (frames in flight).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Mesh rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Mesh columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Whether `coord` addresses a tile on this chip.
+    pub fn contains(&self, coord: CoreCoord) -> bool {
+        coord.row < self.rows && coord.col < self.cols
+    }
+
+    /// The tile at `coord`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for coordinates off the mesh.
+    pub fn tile(&self, coord: CoreCoord) -> Result<&BatchTile> {
+        let idx = self.index(coord)?;
+        Ok(&self.tiles[idx])
+    }
+
+    /// Mutable tile access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for coordinates off the mesh.
+    pub fn tile_mut(&mut self, coord: CoreCoord) -> Result<&mut BatchTile> {
+        let idx = self.index(coord)?;
+        Ok(&mut self.tiles[idx])
+    }
+
+    /// Executes one synchronous cycle for all lanes: the scheduled ops,
+    /// the transfer phase, then spike delivery.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Chip::exec_cycle`](crate::Chip::exec_cycle).
+    pub fn exec_cycle(&mut self, cycle: u64, ops: &[(CoreCoord, AtomicOp)]) -> Result<()> {
+        for (coord, op) in ops {
+            self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        self.transfer(cycle)?;
+        for tile in &mut self.tiles {
+            tile.commit_deliveries()?;
+        }
+        Ok(())
+    }
+
+    /// The transfer phase: drains every occupied output register into the
+    /// adjacent input register, moving all lanes together.
+    fn transfer(&mut self, cycle: u64) -> Result<()> {
+        let planes = self.arch.core_neurons;
+        let (rows, cols) = (self.rows, self.cols);
+        let BatchChip { tiles, ps_moves, ps_payload, spike_moves, spike_payload, .. } = self;
+        ps_moves.clear();
+        ps_payload.clear();
+        spike_moves.clear();
+        spike_payload.clear();
+
+        for row in 0..rows {
+            for col in 0..cols {
+                let src = CoreCoord::new(row, col);
+                let src_idx = row as usize * cols as usize + col as usize;
+                if !tiles[src_idx].ps.has_pending_output()
+                    && !tiles[src_idx].spike.has_pending_output()
+                {
+                    continue;
+                }
+                for dir in Direction::ALL {
+                    let dst = src
+                        .neighbor(dir)
+                        .filter(|d| d.row < rows && d.col < cols)
+                        .map(|d| d.row as usize * cols as usize + d.col as usize);
+                    for plane in 0..planes {
+                        if tiles[src_idx].ps.take_output_into(dir, plane, ps_payload) {
+                            let dst = dst.ok_or_else(|| Error::InvalidSchedule {
+                                cycle,
+                                reason: format!(
+                                    "ps data driven off the mesh edge at {src} port {dir}"
+                                ),
+                            })?;
+                            ps_moves.push((dst, dir.opposite(), plane));
+                        }
+                        if tiles[src_idx].spike.take_output_into(dir, plane, spike_payload) {
+                            let dst = dst.ok_or_else(|| Error::InvalidSchedule {
+                                cycle,
+                                reason: format!(
+                                    "spike driven off the mesh edge at {src} port {dir}"
+                                ),
+                            })?;
+                            spike_moves.push((dst, dir.opposite(), plane));
+                        }
+                    }
+                }
+            }
+        }
+
+        let b = self.batch;
+        for (i, (idx, port, plane)) in ps_moves.iter().enumerate() {
+            tiles[*idx]
+                .ps
+                .put_input(*port, *plane, &ps_payload[i * b..(i + 1) * b])
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        for (i, (idx, port, plane)) in spike_moves.iter().enumerate() {
+            tiles[*idx]
+                .spike
+                .put_input(*port, *plane, &spike_payload[i * b..(i + 1) * b])
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        Ok(())
+    }
+
+    /// Resets crossbar/network state on every tile (between timesteps).
+    pub fn reset_network_state(&mut self) {
+        self.tiles.iter_mut().for_each(BatchTile::reset_network_state);
+    }
+
+    /// Full frame reset on every tile.
+    pub fn reset_frame(&mut self) {
+        self.tiles.iter_mut().for_each(BatchTile::reset_frame);
+    }
+
+    /// Clears every core's axon lanes (per-timestep input refresh).
+    pub fn clear_axons(&mut self) {
+        self.tiles.iter_mut().for_each(|t| t.core.clear_axons());
+    }
+
+    fn index(&self, coord: CoreCoord) -> Result<usize> {
+        if !self.contains(coord) {
+            return Err(Error::out_of_bounds(format!(
+                "tile {coord} on a {}x{} chip",
+                self.rows, self.cols
+            )));
+        }
+        Ok(coord.row as usize * self.cols as usize + coord.col as usize)
+    }
+}
+
+fn annotate_cycle(e: Error, cycle: u64) -> Error {
+    match e {
+        Error::InvalidSchedule { reason, .. } => Error::InvalidSchedule { cycle, reason },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::NeuronCoreOp;
+    use crate::plane::PlaneSet;
+    use crate::{Chip, NeuronCore};
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    #[test]
+    fn batched_acc_matches_scalar_core_per_lane() {
+        let arch = ArchSpec::tiny();
+        let mut batched = BatchNeuronCore::new(&arch, 3);
+        let mut scalars: Vec<NeuronCore> = (0..3).map(|_| NeuronCore::new(&arch)).collect();
+        for a in 0..arch.core_inputs {
+            for n in 0..arch.core_neurons {
+                let weight = w((i32::from(a) * 7 + i32::from(n) * 3) % 31 - 15);
+                batched.write_weight(a, n, weight).unwrap();
+                for s in &mut scalars {
+                    s.write_weight(a, n, weight).unwrap();
+                }
+            }
+        }
+        // Different spike pattern per lane.
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            for a in 0..arch.core_inputs {
+                let spiking = (a as usize + lane).is_multiple_of(lane + 2);
+                batched.set_axon(a, lane, spiking).unwrap();
+                scalar.set_axon(a, spiking).unwrap();
+            }
+        }
+        batched.accumulate(0b0110).unwrap();
+        for s in &mut scalars {
+            s.accumulate(0b0110).unwrap();
+        }
+        for n in 0..arch.core_neurons {
+            for (lane, s) in scalars.iter().enumerate() {
+                assert_eq!(
+                    batched.local_ps(n, lane),
+                    s.local_ps(n).value(),
+                    "neuron {n} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_arch_takes_the_checked_path_and_matches_scalar() {
+        // 512 inputs × weight ±15 can leave the 13-bit range mid-sweep;
+        // the batched core must mirror the scalar core's per-step checks.
+        let arch = ArchSpec { core_inputs: 512, core_neurons: 16, ..ArchSpec::tiny() };
+        let mut batched = BatchNeuronCore::new(&arch, 2);
+        let mut scalar = NeuronCore::new(&arch);
+
+        // Every axon drives neuron 0 with +15. Lane 0 spikes the even
+        // axons (256 × 15 = 3840, in range); lane 1 — like the scalar
+        // core — spikes the first 300 axons, whose running sum crosses
+        // 4095 at the 274th addition.
+        for a in 0..arch.core_inputs {
+            batched.write_weight(a, 0, w(15)).unwrap();
+            scalar.write_weight(a, 0, w(15)).unwrap();
+            batched.set_axon(a, 0, a.is_multiple_of(2)).unwrap();
+        }
+        batched.accumulate(0b1111).unwrap();
+        assert_eq!(batched.local_ps(0, 0), 256 * 15, "benign lanes still accumulate");
+
+        for a in 0..300 {
+            batched.set_axon(a, 1, true).unwrap();
+            scalar.set_axon(a, true).unwrap();
+        }
+        let batched_err = batched.accumulate(0b1111).unwrap_err();
+        let scalar_err = scalar.accumulate(0b1111).unwrap_err();
+        assert_eq!(batched_err, scalar_err, "overflow must match the scalar core exactly");
+    }
+
+    #[test]
+    fn lanes_diverge_through_the_ps_fabric() {
+        // Lane 0 and lane 1 carry different values through the same
+        // schedule: (1,0) sends its local PS north into (0,0).
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 2, 2, 2).unwrap();
+        let src = CoreCoord::new(1, 0);
+        let t = chip.tile_mut(src).unwrap();
+        t.core_mut().write_weight(0, 0, w(7)).unwrap();
+        t.core_mut().set_axon(0, 0, true).unwrap(); // lane 0 only
+        chip.exec_cycle(0, &[(src, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))]).unwrap();
+        chip.exec_cycle(
+            1,
+            &[(
+                src,
+                AtomicOp::Ps(PsRouterOp::Send {
+                    source: PsSendSource::LocalPs,
+                    dst: PsDst::Port(Direction::North),
+                    planes: PlaneSet::all(),
+                }),
+            )],
+        )
+        .unwrap();
+        let dst = chip.tile(CoreCoord::new(0, 0)).unwrap();
+        assert_eq!(dst.ps().peek_input(Direction::South, 0, 0), Some(7));
+        assert_eq!(dst.ps().peek_input(Direction::South, 0, 1), Some(0));
+    }
+
+    #[test]
+    fn data_off_the_edge_is_an_error() {
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 2, 2, 2).unwrap();
+        let err = chip
+            .exec_cycle(
+                3,
+                &[(
+                    CoreCoord::new(0, 0),
+                    AtomicOp::Ps(PsRouterOp::Send {
+                        source: PsSendSource::LocalPs,
+                        dst: PsDst::Port(Direction::North),
+                        planes: PlaneSet::from_indices([0u16]),
+                    }),
+                )],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSchedule { cycle: 3, .. }));
+    }
+
+    #[test]
+    fn batched_if_state_is_per_lane() {
+        let arch = ArchSpec::tiny();
+        let mut r = BatchSpikeRouter::new(arch.core_neurons, 2);
+        r.set_threshold(0, 10).unwrap();
+        r.integrate_value(0, 0, 15); // lane 0 fires
+        r.integrate_value(0, 1, 4); // lane 1 subthreshold
+        assert!(r.spike_buffer(0, 0));
+        assert!(!r.spike_buffer(0, 1));
+        assert_eq!(r.potential(0, 0), 5);
+        assert_eq!(r.potential(0, 1), 4);
+    }
+
+    #[test]
+    fn batched_and_scalar_chips_agree_on_a_fold() {
+        // Run the scalar chip's two-core fold scenario in lane 1 of a
+        // batch while lane 0 stays idle; results must match per lane.
+        let arch = ArchSpec::tiny();
+        let mut scalar = Chip::new(&arch, 2, 2).unwrap();
+        let mut batched = BatchChip::new(&arch, 2, 2, 2).unwrap();
+        for (coord, weight) in [(CoreCoord::new(1, 0), 7), (CoreCoord::new(0, 0), 5)] {
+            scalar.tile_mut(coord).unwrap().core_mut().write_weight(0, 0, w(weight)).unwrap();
+            scalar.tile_mut(coord).unwrap().core_mut().set_axon(0, true).unwrap();
+            batched.tile_mut(coord).unwrap().core_mut().write_weight(0, 0, w(weight)).unwrap();
+            batched.tile_mut(coord).unwrap().core_mut().set_axon(0, 1, true).unwrap();
+        }
+        let ops0 = [
+            (CoreCoord::new(1, 0), AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 })),
+            (CoreCoord::new(0, 0), AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 })),
+        ];
+        let ops1 = [(
+            CoreCoord::new(1, 0),
+            AtomicOp::Ps(PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::North),
+                planes: PlaneSet::all(),
+            }),
+        )];
+        let ops2 = [(
+            CoreCoord::new(0, 0),
+            AtomicOp::Ps(PsRouterOp::Sum {
+                src: Direction::South,
+                consec: false,
+                planes: PlaneSet::all(),
+            }),
+        )];
+        for (c, ops) in [(0u64, &ops0[..]), (1, &ops1[..]), (2, &ops2[..])] {
+            scalar.exec_cycle(c, ops).unwrap();
+            batched.exec_cycle(c, ops).unwrap();
+        }
+        let expect = scalar.tile(CoreCoord::new(0, 0)).unwrap().ps().sum_buf(0).unwrap().value();
+        let got = batched.tile(CoreCoord::new(0, 0)).unwrap().ps().sum_buf(0, 1).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(
+            batched.tile(CoreCoord::new(0, 0)).unwrap().ps().sum_buf(0, 0),
+            Some(0),
+            "idle lane folds zeros through the same schedule"
+        );
+    }
+
+    #[test]
+    fn construction_validation() {
+        let arch = ArchSpec::tiny();
+        assert!(BatchChip::new(&arch, 0, 2, 4).is_err());
+        assert!(BatchChip::new(&arch, 2, 2, 0).is_err());
+        let chip = BatchChip::new(&arch, 2, 3, 4).unwrap();
+        assert_eq!(chip.batch(), 4);
+        assert!(chip.contains(CoreCoord::new(1, 2)));
+        assert!(chip.tile(CoreCoord::new(2, 0)).is_err());
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chip;
 pub mod config;
 pub mod neuron_core;
@@ -55,6 +56,7 @@ pub mod signals;
 pub mod spike_router;
 pub mod tile;
 
+pub use batch::{BatchChip, BatchNeuronCore, BatchPsRouter, BatchSpikeRouter, BatchTile};
 pub use chip::Chip;
 pub use config::{ConfigMemory, TileProgram};
 pub use neuron_core::NeuronCore;

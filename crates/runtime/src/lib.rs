@@ -1,0 +1,56 @@
+//! Batched, multi-chip inference serving over compiled Shenjing models.
+//!
+//! The paper validates its cycle-level simulator one frame at a time;
+//! this crate turns that faithful-but-slow reproduction into a
+//! throughput engine, the way TrueNorth-style deployments amortize the
+//! static per-cycle configuration across many inputs. Three layers:
+//!
+//! 1. **Compiled artifact** — [`CompiledModel`] runs the mapping
+//!    toolchain once and decodes the program (schedule flattened, weight
+//!    blocks materialized) into an `Arc`-shared image that instantiates
+//!    per-worker simulator replicas cheaply.
+//! 2. **Batched execution** — each replica is a
+//!    [`BatchSim`](shenjing_sim::BatchSim): the compiled schedule is
+//!    static, so register occupancy is identical across frames and one
+//!    pass over the per-cycle control words advances a whole batch
+//!    (SoA payload lanes), bit-identically to sequential single-frame
+//!    runs.
+//! 3. **Scheduler/serving** — [`Runtime`] owns a shared request queue
+//!    and `workers` shards, each holding one chip replica. A shard
+//!    gathers up to `max_batch` requests, holding the batch open at most
+//!    `max_wait` for stragglers, then answers every rider; per-request
+//!    latency and aggregate throughput land in [`RuntimeStats`].
+//!
+//! # Example
+//!
+//! ```
+//! use shenjing_core::{ArchSpec, W5};
+//! use shenjing_nn::Tensor;
+//! use shenjing_runtime::{CompiledModel, Runtime, RuntimeConfig};
+//! use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+//!
+//! // A trained-and-converted SNN (hand-built here) compiled once…
+//! let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+//!     SpikingDense::new(vec![W5::new(3)?; 8], 4, 2, 5, 1.0)?,
+//! )])?;
+//! let model = CompiledModel::compile(&ArchSpec::tiny(), &snn)?;
+//!
+//! // …serves traffic from N worker shards, batching as it goes.
+//! let runtime = Runtime::start(model, RuntimeConfig::default())?;
+//! let reply = runtime.infer(Tensor::from_vec(vec![4], vec![1.0, 0.0, 0.5, 0.5])?)?;
+//! println!("class {} in {:?}", reply.predicted, reply.latency);
+//! let stats = runtime.shutdown()?;
+//! assert_eq!(stats.completed, 1);
+//! # Ok::<(), shenjing_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod server;
+pub mod stats;
+
+pub use model::CompiledModel;
+pub use server::{InferenceReply, PendingReply, Runtime, RuntimeConfig};
+pub use stats::RuntimeStats;

@@ -1,0 +1,171 @@
+//! The compiled-artifact layer: build once, instantiate per worker.
+
+use std::sync::Arc;
+
+use shenjing_core::{ArchSpec, Result};
+use shenjing_mapper::{Mapper, Mapping};
+use shenjing_sim::{BatchSim, CycleSim, DecodedProgram};
+use shenjing_snn::SnnNetwork;
+
+/// A model compiled and decoded for serving.
+///
+/// `CompiledModel` runs the mapping toolchain once (logical split,
+/// placement, compilation) and decodes the result — schedule flattened,
+/// weight blocks materialized — into an [`Arc`]-shared artifact. From it,
+/// any number of simulator replicas can be stood up cheaply: each
+/// [`instantiate`](CompiledModel::instantiate) /
+/// [`instantiate_batched`](CompiledModel::instantiate_batched) call
+/// allocates fresh chip state but shares the program, the way a real
+/// deployment writes one compiled configuration image into every chip's
+/// configuration memories.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, W5};
+/// use shenjing_runtime::CompiledModel;
+/// use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+///
+/// let weights = vec![W5::new(4)?; 8];
+/// let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+///     SpikingDense::new(weights, 4, 2, 6, 1.0)?,
+/// )])?;
+/// let model = CompiledModel::compile(&ArchSpec::tiny(), &snn)?;
+/// assert_eq!(model.input_len(), 4);
+/// assert_eq!(model.output_len(), 2);
+/// let _worker = model.instantiate_batched(8)?;
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    program: Arc<DecodedProgram>,
+    total_cores: usize,
+    chips: usize,
+}
+
+impl CompiledModel {
+    /// Maps `snn` onto `arch` with the default toolchain and decodes the
+    /// compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`shenjing_core::Error::MappingFailed`] when the network
+    /// cannot be mapped onto the architecture.
+    pub fn compile(arch: &ArchSpec, snn: &SnnNetwork) -> Result<CompiledModel> {
+        let mapping = Mapper::new(arch.clone()).map(snn)?;
+        CompiledModel::from_mapping(arch, &mapping)
+    }
+
+    /// Decodes an already-computed mapping (useful when the caller needs
+    /// the [`Mapping`] for statistics or a custom placement strategy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors.
+    pub fn from_mapping(arch: &ArchSpec, mapping: &Mapping) -> Result<CompiledModel> {
+        let program = DecodedProgram::decode(arch, &mapping.logical, &mapping.program)?;
+        Ok(CompiledModel {
+            program: Arc::new(program),
+            total_cores: mapping.logical.total_cores(),
+            chips: usize::from(mapping.placement.chips),
+        })
+    }
+
+    /// The shared decoded program.
+    pub fn program(&self) -> &Arc<DecodedProgram> {
+        &self.program
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &ArchSpec {
+        self.program.arch()
+    }
+
+    /// Number of external input lines one frame carries.
+    pub fn input_len(&self) -> usize {
+        self.program.input_len()
+    }
+
+    /// Number of network outputs one frame produces.
+    pub fn output_len(&self) -> usize {
+        self.program.output_len()
+    }
+
+    /// Cycles in one timestep block.
+    pub fn block_cycles(&self) -> u64 {
+        self.program.block_cycles()
+    }
+
+    /// Logical cores the model occupies.
+    pub fn total_cores(&self) -> usize {
+        self.total_cores
+    }
+
+    /// Physical chips the placement spans.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Stands up a fresh single-frame simulator replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/bounds errors when the program references tiles
+    /// outside the mesh.
+    pub fn instantiate(&self) -> Result<CycleSim> {
+        CycleSim::from_decoded(Arc::clone(&self.program))
+    }
+
+    /// Stands up a fresh `batch`-lane simulator replica.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`instantiate`](CompiledModel::instantiate), plus
+    /// [`shenjing_core::Error::InvalidConfig`] for a zero batch.
+    pub fn instantiate_batched(&self, batch: usize) -> Result<BatchSim> {
+        BatchSim::from_decoded(Arc::clone(&self.program), batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_core::W5;
+    use shenjing_nn::Tensor;
+    use shenjing_snn::{SnnLayer, SpikingDense};
+
+    fn model() -> CompiledModel {
+        let weights: Vec<W5> = (0..8 * 4).map(|i| W5::saturating(i % 9 - 4)).collect();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 8, 4, 5, 1.0).unwrap(),
+        )])
+        .unwrap();
+        CompiledModel::compile(&ArchSpec::tiny(), &snn).unwrap()
+    }
+
+    #[test]
+    fn replicas_share_the_program_and_agree() {
+        let model = model();
+        assert_eq!(model.input_len(), 8);
+        assert_eq!(model.output_len(), 4);
+        assert!(model.total_cores() >= 1);
+        let mut a = model.instantiate().unwrap();
+        let mut b = model.instantiate().unwrap();
+        assert!(Arc::ptr_eq(a.decoded(), b.decoded()), "one artifact, many replicas");
+        let input = Tensor::from_vec(vec![8], vec![0.9; 8]).unwrap();
+        assert_eq!(a.run_frame(&input, 7).unwrap(), b.run_frame(&input, 7).unwrap());
+    }
+
+    #[test]
+    fn batched_replica_matches_single_frame() {
+        let model = model();
+        let mut single = model.instantiate().unwrap();
+        let mut batched = model.instantiate_batched(2).unwrap();
+        let inputs = [
+            Tensor::from_vec(vec![8], vec![0.4; 8]).unwrap(),
+            Tensor::from_vec(vec![8], vec![0.8; 8]).unwrap(),
+        ];
+        let outs = batched.run_batch(&inputs, 11).unwrap();
+        for (input, got) in inputs.iter().zip(&outs) {
+            assert_eq!(*got, single.run_frame(input, 11).unwrap());
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! The scheduler/serving layer: request queue, batching policy, workers.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use shenjing_core::{Error, Result};
+use shenjing_nn::Tensor;
+use shenjing_snn::SnnOutput;
+
+use crate::model::CompiledModel;
+use crate::stats::{RuntimeStats, StatsInner};
+
+/// Batching and sharding policy of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker shards; each owns one batched chip replica.
+    pub workers: usize,
+    /// Largest batch a worker executes in one pass (its lane count).
+    pub max_batch: usize,
+    /// How long a worker holds an under-full batch open for stragglers,
+    /// measured from the oldest queued request's enqueue time.
+    pub max_wait: Duration,
+    /// Rate-coding spike-train length applied to every frame (batches
+    /// must be uniform: the block schedule is static).
+    pub timesteps: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 2,
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            timesteps: 20,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::config("runtime needs at least one worker"));
+        }
+        if self.max_batch == 0 {
+            return Err(Error::config("max_batch must be positive"));
+        }
+        if self.timesteps == 0 {
+            return Err(Error::config("timesteps must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// One answered inference request.
+#[derive(Debug, Clone)]
+pub struct InferenceReply {
+    /// The frame's full spiking output.
+    pub output: SnnOutput,
+    /// Convenience: `output.predicted_class()`.
+    pub predicted: usize,
+    /// Enqueue→reply latency.
+    pub latency: Duration,
+    /// Which worker shard served the request.
+    pub worker: usize,
+    /// How many frames shared the batch this request rode in.
+    pub batch_size: usize,
+}
+
+struct Request {
+    input: Tensor,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<InferenceReply>>,
+}
+
+struct QueueInner {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueInner>,
+    /// Signalled on submit and on shutdown.
+    arrivals: Condvar,
+    stats: Mutex<StatsInner>,
+    started: Instant,
+    config: RuntimeConfig,
+}
+
+/// A handle on a submitted request; resolve it with
+/// [`wait`](PendingReply::wait).
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: mpsc::Receiver<Result<InferenceReply>>,
+}
+
+impl PendingReply {
+    /// Blocks until the runtime answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the frame's simulation error, or
+    /// [`Error::InvalidConfig`] when the runtime shut down before
+    /// answering.
+    pub fn wait(self) -> Result<InferenceReply> {
+        self.rx.recv().unwrap_or_else(|_| Err(Error::config("runtime shut down before answering")))
+    }
+}
+
+/// A batched, sharded inference server over a [`CompiledModel`].
+///
+/// Requests enter one shared queue; each of `workers` shards owns a
+/// `max_batch`-lane chip replica, gathers up to `max_batch` requests
+/// (waiting at most `max_wait` from the oldest request for stragglers),
+/// and advances them all in one pass over the compiled schedule.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, W5};
+/// use shenjing_nn::Tensor;
+/// use shenjing_runtime::{CompiledModel, Runtime, RuntimeConfig};
+/// use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+///
+/// let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+///     SpikingDense::new(vec![W5::new(4)?; 8], 4, 2, 6, 1.0)?,
+/// )])?;
+/// let model = CompiledModel::compile(&ArchSpec::tiny(), &snn)?;
+/// let runtime = Runtime::start(model, RuntimeConfig::default())?;
+/// let reply = runtime.infer(Tensor::from_vec(vec![4], vec![1.0, 0.5, 0.0, 0.25])?)?;
+/// assert_eq!(reply.output.spike_counts.len(), 2);
+/// let stats = runtime.shutdown()?;
+/// assert_eq!(stats.completed, 1);
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    input_len: usize,
+}
+
+impl Runtime {
+    /// Compiles nothing — the model is already built — but instantiates
+    /// one batched chip replica per worker and starts the shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero worker/batch/timestep
+    /// configuration and propagates replica instantiation errors.
+    pub fn start(model: CompiledModel, config: RuntimeConfig) -> Result<Runtime> {
+        config.validate()?;
+        let input_len = model.input_len();
+        // Instantiate every replica before spawning anything, so a bad
+        // program fails fast on the caller's thread.
+        let mut replicas = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            replicas.push(model.instantiate_batched(config.max_batch)?);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false }),
+            arrivals: Condvar::new(),
+            stats: Mutex::new(StatsInner::default()),
+            started: Instant::now(),
+            config,
+        });
+        let workers = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(id, sim)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(id, sim, &shared))
+            })
+            .collect();
+        Ok(Runtime { shared, workers, input_len })
+    }
+
+    /// Enqueues one frame and returns immediately with a handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] for a wrong-length input and
+    /// [`Error::InvalidConfig`] after shutdown.
+    pub fn submit(&self, input: Tensor) -> Result<PendingReply> {
+        if input.len() != self.input_len {
+            return Err(Error::shape_mismatch(
+                format!("{} inputs", self.input_len),
+                format!("{}", input.len()),
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            if queue.shutdown {
+                return Err(Error::config("runtime is shut down"));
+            }
+            queue.pending.push_back(Request { input, enqueued: Instant::now(), reply: tx });
+        }
+        self.shared.arrivals.notify_one();
+        Ok(PendingReply { rx })
+    }
+
+    /// Submits one frame and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Runtime::submit) and [`PendingReply::wait`].
+    pub fn infer(&self, input: Tensor) -> Result<InferenceReply> {
+        self.submit(input)?.wait()
+    }
+
+    /// Submits every frame, then waits for all replies in input order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first frame whose submission or execution fails.
+    pub fn infer_many(&self, inputs: &[Tensor]) -> Result<Vec<InferenceReply>> {
+        let pending: Vec<PendingReply> =
+            inputs.iter().map(|x| self.submit(x.clone())).collect::<Result<_>>()?;
+        pending.into_iter().map(PendingReply::wait).collect()
+    }
+
+    /// A snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let inner = self.shared.stats.lock().expect("stats lock");
+        RuntimeStats::snapshot(&inner, self.shared.started.elapsed())
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers and
+    /// returns the final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if a worker panicked.
+    pub fn shutdown(mut self) -> Result<RuntimeStats> {
+        self.begin_shutdown();
+        let workers = std::mem::take(&mut self.workers);
+        for handle in workers {
+            handle.join().map_err(|_| Error::config("runtime worker panicked"))?;
+        }
+        Ok(self.stats())
+    }
+
+    fn begin_shutdown(&self) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.shutdown = true;
+        drop(queue);
+        self.shared.arrivals.notify_all();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // `shutdown()` already joined; otherwise stop the shards so the
+        // process does not leak blocked threads.
+        self.begin_shutdown();
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Gathers a batch according to the max-batch/max-wait policy, runs it,
+/// and answers every request in it. On shutdown, drains the queue first.
+fn worker_loop(id: usize, mut sim: shenjing_sim::BatchSim, shared: &Shared) {
+    let config = &shared.config;
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            // Sleep until there is work or the runtime stops.
+            while queue.pending.is_empty() {
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.arrivals.wait(queue).expect("queue lock");
+            }
+            // Hold the batch open for stragglers, bounded by the oldest
+            // request's deadline.
+            let deadline = queue.pending.front().expect("non-empty").enqueued + config.max_wait;
+            while queue.pending.len() < config.max_batch && !queue.shutdown {
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (q, timeout) =
+                    shared.arrivals.wait_timeout(queue, remaining).expect("queue lock");
+                queue = q;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = queue.pending.len().min(config.max_batch);
+            queue.pending.drain(..take).collect::<Vec<Request>>()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Move the tensors out instead of cloning them onto the hot path;
+        // only the enqueue time and reply channel outlive the execution.
+        let (inputs, meta): (Vec<Tensor>, Vec<_>) =
+            batch.into_iter().map(|r| (r.input, (r.enqueued, r.reply))).unzip();
+        let exec_start = Instant::now();
+        let result = sim.run_batch(&inputs, config.timesteps);
+        let busy = exec_start.elapsed();
+        let answered = Instant::now();
+
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.batches += 1;
+        stats.busy_time += busy;
+        if meta.len() == config.max_batch {
+            stats.full_batches += 1;
+        }
+        match result {
+            Ok(outputs) => {
+                let batch_size = meta.len();
+                for ((enqueued, reply_tx), output) in meta.into_iter().zip(outputs) {
+                    let latency = answered.duration_since(enqueued);
+                    stats.completed += 1;
+                    stats.total_latency += latency;
+                    stats.max_latency = stats.max_latency.max(latency);
+                    let reply = InferenceReply {
+                        predicted: output.predicted_class(),
+                        output,
+                        latency,
+                        worker: id,
+                        batch_size,
+                    };
+                    let _ = reply_tx.send(Ok(reply));
+                }
+            }
+            Err(e) => {
+                // A schedule violation poisons the whole batch; every
+                // rider learns why.
+                stats.failed += meta.len() as u64;
+                for (_, reply_tx) in meta {
+                    let _ = reply_tx.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_core::{ArchSpec, W5};
+    use shenjing_sim::CycleSim;
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+    fn model() -> CompiledModel {
+        let weights: Vec<W5> = (0..12 * 3).map(|i| W5::saturating(i % 11 - 5)).collect();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 12, 3, 4, 1.0).unwrap(),
+        )])
+        .unwrap();
+        CompiledModel::compile(&ArchSpec::tiny(), &snn).unwrap()
+    }
+
+    fn frame(seed: usize) -> Tensor {
+        Tensor::from_vec(vec![12], (0..12).map(|i| ((i + seed) % 4) as f64 / 3.0).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_requests_and_matches_single_frame_sim() {
+        let model = model();
+        let mut reference: CycleSim = model.instantiate().unwrap();
+        let runtime = Runtime::start(
+            model,
+            RuntimeConfig { workers: 2, max_batch: 4, timesteps: 9, ..Default::default() },
+        )
+        .unwrap();
+        let inputs: Vec<Tensor> = (0..10).map(frame).collect();
+        let replies = runtime.infer_many(&inputs).unwrap();
+        for (input, reply) in inputs.iter().zip(&replies) {
+            let want = reference.run_frame(input, 9).unwrap();
+            assert_eq!(reply.output, want, "serving path must stay bit-exact");
+            assert_eq!(reply.predicted, want.predicted_class());
+            assert!(reply.batch_size >= 1 && reply.batch_size <= 4);
+        }
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.batches >= 3, "4-lane workers need ≥3 batches for 10 frames");
+        assert!(stats.mean_batch_occupancy >= 1.0);
+        assert!(stats.frames_per_sec > 0.0);
+    }
+
+    #[test]
+    fn batching_policy_groups_concurrent_requests() {
+        // One worker, generous wait: requests submitted together should
+        // share batches rather than run one by one.
+        let model = model();
+        let runtime = Runtime::start(
+            model,
+            RuntimeConfig {
+                workers: 1,
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                timesteps: 5,
+            },
+        )
+        .unwrap();
+        let pending: Vec<PendingReply> =
+            (0..8).map(|k| runtime.submit(frame(k)).unwrap()).collect();
+        let replies: Vec<InferenceReply> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
+        assert!(
+            replies.iter().any(|r| r.batch_size > 1),
+            "co-submitted requests should share a batch"
+        );
+        let stats = runtime.shutdown().unwrap();
+        assert!(stats.batches < 8, "expected batching, got {} batches", stats.batches);
+    }
+
+    #[test]
+    fn input_validation_and_shutdown_behavior() {
+        let model = model();
+        let runtime = Runtime::start(model, RuntimeConfig::default()).unwrap();
+        assert!(runtime.submit(Tensor::zeros(vec![3])).is_err(), "wrong shape rejected");
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = model();
+        for config in [
+            RuntimeConfig { workers: 0, ..Default::default() },
+            RuntimeConfig { max_batch: 0, ..Default::default() },
+            RuntimeConfig { timesteps: 0, ..Default::default() },
+        ] {
+            assert!(Runtime::start(model.clone(), config).is_err());
+        }
+    }
+
+    #[test]
+    fn drop_without_shutdown_terminates_workers() {
+        let model = model();
+        let runtime = Runtime::start(model, RuntimeConfig::default()).unwrap();
+        let reply = runtime.infer(frame(0)).unwrap();
+        assert!(!reply.output.spike_counts.is_empty());
+        drop(runtime); // must not hang
+    }
+}

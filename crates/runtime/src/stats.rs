@@ -1,0 +1,71 @@
+//! Serving statistics: per-request latency and aggregate throughput.
+
+use std::time::Duration;
+
+/// Mutable counters the workers update under the stats lock.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StatsInner {
+    pub completed: u64,
+    pub failed: u64,
+    pub batches: u64,
+    pub full_batches: u64,
+    pub total_latency: Duration,
+    pub max_latency: Duration,
+    pub busy_time: Duration,
+}
+
+/// A snapshot of the runtime's aggregate serving statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches that ran at the configured maximum size.
+    pub full_batches: u64,
+    /// Mean frames per executed batch (the batching policy's efficiency).
+    pub mean_batch_occupancy: f64,
+    /// Mean enqueue→reply latency of successful requests.
+    pub mean_latency: Duration,
+    /// Worst observed enqueue→reply latency.
+    pub max_latency: Duration,
+    /// Total wall-clock the workers spent executing batches (summed over
+    /// workers, so it can exceed `elapsed`).
+    pub busy_time: Duration,
+    /// Wall-clock since the runtime started.
+    pub elapsed: Duration,
+    /// Successful frames per second of wall-clock since start.
+    pub frames_per_sec: f64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn snapshot(inner: &StatsInner, elapsed: Duration) -> RuntimeStats {
+        let done = inner.completed + inner.failed;
+        RuntimeStats {
+            completed: inner.completed,
+            failed: inner.failed,
+            batches: inner.batches,
+            full_batches: inner.full_batches,
+            mean_batch_occupancy: if inner.batches == 0 {
+                0.0
+            } else {
+                done as f64 / inner.batches as f64
+            },
+            mean_latency: if inner.completed == 0 {
+                Duration::ZERO
+            } else {
+                inner.total_latency / u32::try_from(inner.completed).unwrap_or(u32::MAX)
+            },
+            max_latency: inner.max_latency,
+            busy_time: inner.busy_time,
+            elapsed,
+            frames_per_sec: if elapsed.is_zero() {
+                0.0
+            } else {
+                inner.completed as f64 / elapsed.as_secs_f64()
+            },
+        }
+    }
+}

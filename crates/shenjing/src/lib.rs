@@ -22,7 +22,8 @@
 //! | [`nn`] | from-scratch ANN substrate + the Table III model zoo |
 //! | [`snn`] | ANN→SNN conversion (Cao-style normalization, 5-bit quantization) and the abstract integer SNN simulator |
 //! | [`mapper`] | the Fig. 3 toolchain: logical splitting (Algorithm 1 folds, Fig. 4 conv tiling), placement, cycle-by-cycle compilation |
-//! | [`sim`] | the cycle-level functional simulator + bit-exact equivalence checking |
+//! | [`sim`] | the cycle-level functional simulator (single-frame and batched) + bit-exact equivalence checking |
+//! | [`runtime`] | batched, multi-chip inference serving: compiled model artifacts, a batching scheduler, worker shards, latency/throughput stats |
 //! | [`power`] | Table II energies, the Fig. 5 tile model, Table IV estimation, §IV area |
 //! | [`datasets`] | deterministic synthetic MNIST/CIFAR stand-ins |
 //! | [`baselines`] | block-level spike aggregation (TrueNorth-style) and Table V data |
@@ -66,18 +67,23 @@ pub use shenjing_hw as hw;
 pub use shenjing_mapper as mapper;
 pub use shenjing_nn as nn;
 pub use shenjing_power as power;
+pub use shenjing_runtime as runtime;
 pub use shenjing_sim as sim;
 pub use shenjing_snn as snn;
 
 pub use shenjing_core::ArchSpec;
+// The mapper's phase entry points, re-exported so downstream code (and
+// the workspace's own benches) never depends on the internal crates.
+pub use shenjing_mapper::{compile, map_logical, place};
 
 /// The most commonly needed items, for `use shenjing::prelude::*`.
 pub mod prelude {
     pub use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, NocSum, Result, W5};
     pub use shenjing_datasets::{SynthCifar, SynthDigits};
-    pub use shenjing_mapper::{Mapper, Mapping, PlacementStrategy};
+    pub use shenjing_mapper::{map_logical, place, Mapper, Mapping, PlacementStrategy};
     pub use shenjing_nn::{LayerSpec, Network, NetworkKind, Sgd, Tensor};
     pub use shenjing_power::{AreaBudget, EnergyModel, SystemEstimate, TileModel};
-    pub use shenjing_sim::CycleSim;
+    pub use shenjing_runtime::{CompiledModel, Runtime, RuntimeConfig, RuntimeStats};
+    pub use shenjing_sim::{BatchSim, CycleSim};
     pub use shenjing_snn::{convert, ConversionOptions, SnnNetwork};
 }

@@ -1,0 +1,267 @@
+//! The batched cycle-level simulator: B frames per pass over the program.
+//!
+//! [`BatchSim`] executes the same decoded program as [`CycleSim`] on a
+//! [`BatchChip`], advancing up to `B` independent inference frames with a
+//! single traversal of the per-cycle control words. Because the schedule
+//! determines register occupancy independently of the data (see
+//! [`shenjing_hw::batch`]), the batched run is **bit-identical** to
+//! running the same frames one at a time through [`CycleSim`] — the
+//! property test in `tests/batch_equivalence.rs` enforces this against
+//! random networks, inputs and batch sizes.
+//!
+//! This is the throughput engine behind `shenjing-runtime`: program
+//! decode, the cycle loop and the transfer-phase scan are paid once per
+//! batch instead of once per frame.
+
+use std::sync::Arc;
+
+use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
+use shenjing_hw::{AtomicOp, BatchChip};
+use shenjing_mapper::{CompiledProgram, LogicalMapping};
+use shenjing_nn::Tensor;
+use shenjing_snn::{RateEncoder, SnnOutput};
+
+use crate::cycle_sim::DecodedProgram;
+
+/// A batched simulator over one chip replica.
+#[derive(Debug, Clone)]
+pub struct BatchSim {
+    chip: BatchChip,
+    program: Arc<DecodedProgram>,
+    batch: usize,
+}
+
+impl BatchSim {
+    /// Decodes `program` and builds a `batch`-lane chip mesh with weights
+    /// and thresholds loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/bounds errors when the program references tiles or
+    /// planes outside the mesh, and [`Error::InvalidConfig`] for a zero
+    /// batch size.
+    pub fn new(
+        arch: &ArchSpec,
+        mapping: &LogicalMapping,
+        program: &CompiledProgram,
+        batch: usize,
+    ) -> Result<BatchSim> {
+        BatchSim::from_decoded(Arc::new(DecodedProgram::decode(arch, mapping, program)?), batch)
+    }
+
+    /// Instantiates a batched simulator from a shared decoded program.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSim::new`].
+    pub fn from_decoded(program: Arc<DecodedProgram>, batch: usize) -> Result<BatchSim> {
+        let mut chip = BatchChip::new(&program.arch, program.mesh_rows, program.mesh_cols, batch)?;
+        for (coord, block) in &program.weight_blocks {
+            chip.tile_mut(*coord)?.core_mut().load_weights(block)?;
+        }
+        for (coord, plane, threshold) in &program.thresholds {
+            chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
+        }
+        Ok(BatchSim { chip, program, batch })
+    }
+
+    /// Number of frame lanes this simulator advances per pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The shared decoded program this simulator executes.
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.program
+    }
+
+    /// Runs up to `batch` inference frames at once: `inputs[i]` becomes
+    /// lane `i`, every lane sees the same `timesteps` of rate-coded
+    /// input, and the outputs come back in input order.
+    ///
+    /// Lanes beyond `inputs.len()` idle through the schedule (they carry
+    /// all-zero frames), so partial batches are valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an empty or oversized batch
+    /// and zero timesteps, [`Error::ShapeMismatch`] when any input length
+    /// differs from the mapped network's, and propagates hardware-level
+    /// schedule violations.
+    pub fn run_batch(&mut self, inputs: &[Tensor], timesteps: u32) -> Result<Vec<SnnOutput>> {
+        if inputs.is_empty() {
+            return Err(Error::config("batch must contain at least one frame"));
+        }
+        if inputs.len() > self.batch {
+            return Err(Error::config(format!(
+                "{} frames exceed the {}-lane batch",
+                inputs.len(),
+                self.batch
+            )));
+        }
+        for input in inputs {
+            if input.len() != self.program.input_map.len() {
+                return Err(Error::shape_mismatch(
+                    format!("{} inputs", self.program.input_map.len()),
+                    format!("{}", input.len()),
+                ));
+            }
+        }
+        if timesteps == 0 {
+            return Err(Error::config("timesteps must be positive"));
+        }
+
+        self.chip.reset_frame();
+        let mut encoders: Vec<RateEncoder> = inputs.iter().map(RateEncoder::new).collect();
+        let out_len = self.program.output_map.len();
+        let frames = inputs.len();
+        let mut spike_counts = vec![vec![0u32; out_len]; frames];
+        let mut spikes_by_step: Vec<Vec<Vec<bool>>> =
+            vec![Vec::with_capacity(timesteps as usize); frames];
+
+        for _ in 0..timesteps {
+            // Fresh axons; inject every lane's input spikes for this step.
+            self.chip.clear_axons();
+            for (lane, encoder) in encoders.iter_mut().enumerate() {
+                let spikes = encoder.next_timestep();
+                for (i, spiking) in spikes.iter().enumerate() {
+                    if !spiking {
+                        continue;
+                    }
+                    for (coord, axon) in &self.program.input_map[i] {
+                        self.chip.tile_mut(*coord)?.core_mut().set_axon(*axon, lane, true)?;
+                    }
+                }
+            }
+
+            // One pass over the static block advances every lane.
+            let mut idx = 0usize;
+            for cycle in 0..self.program.block_cycles {
+                let schedule = &self.program.schedule;
+                let ops: &[(CoreCoord, AtomicOp)] =
+                    if idx < schedule.len() && schedule[idx].0 == cycle {
+                        let ops = &schedule[idx].1;
+                        idx += 1;
+                        ops
+                    } else {
+                        &[]
+                    };
+                self.chip.exec_cycle(cycle, ops)?;
+            }
+
+            // Read output spikes per lane, then clear network state
+            // (potentials persist across timesteps).
+            for (lane, (counts, steps)) in
+                spike_counts.iter_mut().zip(spikes_by_step.iter_mut()).enumerate()
+            {
+                let mut step = vec![false; out_len];
+                for (o, (coord, plane)) in self.program.output_map.iter().enumerate() {
+                    let fired = self.chip.tile(*coord)?.spike().spike_buffer(*plane, lane);
+                    step[o] = fired;
+                    counts[o] += u32::from(fired);
+                }
+                steps.push(step);
+            }
+            self.chip.reset_network_state();
+        }
+
+        let mut outputs = Vec::with_capacity(frames);
+        for (lane, (counts, steps)) in spike_counts.into_iter().zip(spikes_by_step).enumerate() {
+            let potentials = self
+                .program
+                .output_map
+                .iter()
+                .map(|(coord, plane)| {
+                    Ok(i64::from(self.chip.tile(*coord)?.spike().potential(*plane, lane)))
+                })
+                .collect::<Result<Vec<i64>>>()?;
+            outputs.push(SnnOutput { spike_counts: counts, potentials, spikes_by_step: steps });
+        }
+        Ok(outputs)
+    }
+
+    /// Predicted classes for up to `batch` frames at once.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_batch`](BatchSim::run_batch).
+    pub fn predict_batch(&mut self, inputs: &[Tensor], timesteps: u32) -> Result<Vec<usize>> {
+        Ok(self.run_batch(inputs, timesteps)?.iter().map(SnnOutput::predicted_class).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_sim::CycleSim;
+    use shenjing_core::W5;
+    use shenjing_mapper::Mapper;
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+    fn w(v: i32) -> W5 {
+        W5::new(v).unwrap()
+    }
+
+    fn two_layer_snn() -> SnnNetwork {
+        let l1 = SpikingDense::new(vec![w(3); 8 * 4], 8, 4, 6, 1.0).unwrap();
+        let l2 = SpikingDense::new(vec![w(5); 4 * 2], 4, 2, 7, 1.0).unwrap();
+        SnnNetwork::new(vec![SnnLayer::Dense(l1), SnnLayer::Dense(l2)]).unwrap()
+    }
+
+    #[test]
+    fn batched_equals_sequential_on_a_two_layer_net() {
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let decoded =
+            Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
+        let mut seq = CycleSim::from_decoded(Arc::clone(&decoded)).unwrap();
+        let mut batched = BatchSim::from_decoded(decoded, 3).unwrap();
+
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|k| {
+                Tensor::from_vec(vec![8], (0..8).map(|i| ((i + k) % 5) as f64 / 4.0).collect())
+                    .unwrap()
+            })
+            .collect();
+        let batch_out = batched.run_batch(&inputs, 9).unwrap();
+        for (input, got) in inputs.iter().zip(&batch_out) {
+            let want = seq.run_frame(input, 9).unwrap();
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn partial_batches_and_reuse() {
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut seq = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+        let mut batched = BatchSim::new(&arch, &mapping.logical, &mapping.program, 4).unwrap();
+
+        let input = Tensor::from_vec(vec![8], vec![0.7; 8]).unwrap();
+        // A 1-frame batch in a 4-lane simulator, run twice (state resets).
+        for _ in 0..2 {
+            let got = batched.run_batch(std::slice::from_ref(&input), 6).unwrap();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0], seq.run_frame(&input, 6).unwrap());
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut batched = BatchSim::new(&arch, &mapping.logical, &mapping.program, 2).unwrap();
+        let ok = Tensor::zeros(vec![8]);
+        assert!(batched.run_batch(&[], 5).is_err(), "empty batch");
+        assert!(
+            batched.run_batch(&[ok.clone(), ok.clone(), ok.clone()], 5).is_err(),
+            "oversized batch"
+        );
+        assert!(batched.run_batch(&[Tensor::zeros(vec![3])], 5).is_err(), "wrong shape");
+        assert!(batched.run_batch(&[ok], 0).is_err(), "zero timesteps");
+        assert!(BatchSim::new(&arch, &mapping.logical, &mapping.program, 0).is_err());
+    }
+}

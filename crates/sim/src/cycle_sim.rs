@@ -1,22 +1,108 @@
 //! Executing compiled programs on the hardware component models.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
+use shenjing_core::{ArchSpec, CoreCoord, Error, Result, W5};
 use shenjing_hw::{AtomicOp, Chip};
 use shenjing_mapper::{CompiledProgram, LogicalMapping};
 use shenjing_nn::Tensor;
 use shenjing_snn::{RateEncoder, SnnOutput};
 
+/// A compiled program decoded into the form the simulators execute:
+/// the schedule flattened into one cycle-ordered list, every logical
+/// core's weight block materialized, thresholds and I/O maps resolved.
+///
+/// Decoding is the expensive, shareable part of standing up a simulator.
+/// One `Arc<DecodedProgram>` can instantiate any number of [`CycleSim`]s
+/// or [`BatchSim`](crate::BatchSim)s — the serving runtime's worker shards
+/// each hold a chip replica but share this artifact.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    pub(crate) arch: ArchSpec,
+    pub(crate) mesh_rows: u16,
+    pub(crate) mesh_cols: u16,
+    /// Ops per cycle, flattened from the configuration memories.
+    pub(crate) schedule: Vec<(u64, Vec<(CoreCoord, AtomicOp)>)>,
+    pub(crate) block_cycles: u64,
+    pub(crate) input_map: Vec<Vec<(CoreCoord, u16)>>,
+    pub(crate) output_map: Vec<(CoreCoord, u16)>,
+    /// Materialized `LD_WT` payloads, one block per mapped core.
+    pub(crate) weight_blocks: Vec<(CoreCoord, Vec<W5>)>,
+    pub(crate) thresholds: Vec<(CoreCoord, u16, i32)>,
+}
+
+impl DecodedProgram {
+    /// Decodes a compiled program: materializes weight blocks and indexes
+    /// the schedule by cycle.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (kept fallible for future
+    /// validation); mapping/bounds errors surface on instantiation.
+    pub fn decode(
+        arch: &ArchSpec,
+        mapping: &LogicalMapping,
+        program: &CompiledProgram,
+    ) -> Result<DecodedProgram> {
+        let mut weight_blocks = Vec::with_capacity(program.core_at.len());
+        for (coord, core_id) in &program.core_at {
+            let core = mapping.core(*core_id);
+            let flat = &mapping.flat[core.layer];
+            weight_blocks.push((*coord, core.materialize_weights(flat)));
+        }
+
+        let mut by_cycle: BTreeMap<u64, Vec<(CoreCoord, AtomicOp)>> = BTreeMap::new();
+        for (coord, prog) in program.config.iter() {
+            for (cycle, op) in prog.iter() {
+                by_cycle.entry(cycle).or_default().push((coord, op.clone()));
+            }
+        }
+
+        Ok(DecodedProgram {
+            arch: arch.clone(),
+            mesh_rows: program.mesh_rows,
+            mesh_cols: program.mesh_cols,
+            schedule: by_cycle.into_iter().collect(),
+            block_cycles: program.block_cycles,
+            input_map: program.input_map.clone(),
+            output_map: program.output_map.clone(),
+            weight_blocks,
+            thresholds: program.thresholds.clone(),
+        })
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    /// Number of external input lines the program expects.
+    pub fn input_len(&self) -> usize {
+        self.input_map.len()
+    }
+
+    /// Number of network outputs the program produces.
+    pub fn output_len(&self) -> usize {
+        self.output_map.len()
+    }
+
+    /// Cycles in one timestep block.
+    pub fn block_cycles(&self) -> u64 {
+        self.block_cycles
+    }
+
+    /// Mesh dimensions `(rows, cols)`.
+    pub fn mesh_dims(&self) -> (u16, u16) {
+        (self.mesh_rows, self.mesh_cols)
+    }
+}
+
 /// The cycle-level simulator: a [`Chip`] loaded with a compiled program.
 #[derive(Debug, Clone)]
 pub struct CycleSim {
     chip: Chip,
-    /// Ops per cycle, flattened from the configuration memories.
-    schedule: Vec<(u64, Vec<(CoreCoord, AtomicOp)>)>,
-    block_cycles: u64,
-    input_map: Vec<Vec<(CoreCoord, u16)>>,
-    output_map: Vec<(CoreCoord, u16)>,
+    program: Arc<DecodedProgram>,
 }
 
 impl CycleSim {
@@ -32,35 +118,25 @@ impl CycleSim {
         mapping: &LogicalMapping,
         program: &CompiledProgram,
     ) -> Result<CycleSim> {
-        let mut chip = Chip::new(arch, program.mesh_rows, program.mesh_cols)?;
+        CycleSim::from_decoded(Arc::new(DecodedProgram::decode(arch, mapping, program)?))
+    }
 
-        // LD_WT: materialize each logical core's weight block into its tile.
-        for (coord, core_id) in &program.core_at {
-            let core = mapping.core(*core_id);
-            let flat = &mapping.flat[core.layer];
-            let block = core.materialize_weights(flat);
-            chip.tile_mut(*coord)?.core_mut().load_weights(&block)?;
+    /// Instantiates a simulator from a shared decoded program (cheap: one
+    /// chip allocation plus weight block loads, no re-decoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/bounds errors when the program references tiles or
+    /// planes outside the mesh.
+    pub fn from_decoded(program: Arc<DecodedProgram>) -> Result<CycleSim> {
+        let mut chip = Chip::new(&program.arch, program.mesh_rows, program.mesh_cols)?;
+        for (coord, block) in &program.weight_blocks {
+            chip.tile_mut(*coord)?.core_mut().load_weights(block)?;
         }
-        // Thresholds at fold roots.
         for (coord, plane, threshold) in &program.thresholds {
             chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
         }
-
-        // Index the schedule by cycle.
-        let mut by_cycle: BTreeMap<u64, Vec<(CoreCoord, AtomicOp)>> = BTreeMap::new();
-        for (coord, prog) in program.config.iter() {
-            for (cycle, op) in prog.iter() {
-                by_cycle.entry(cycle).or_default().push((coord, op.clone()));
-            }
-        }
-
-        Ok(CycleSim {
-            chip,
-            schedule: by_cycle.into_iter().collect(),
-            block_cycles: program.block_cycles,
-            input_map: program.input_map.clone(),
-            output_map: program.output_map.clone(),
-        })
+        Ok(CycleSim { chip, program })
     }
 
     /// The mesh.
@@ -68,9 +144,14 @@ impl CycleSim {
         &self.chip
     }
 
+    /// The shared decoded program this simulator executes.
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.program
+    }
+
     /// Cycles in one timestep block.
     pub fn block_cycles(&self) -> u64 {
-        self.block_cycles
+        self.program.block_cycles
     }
 
     /// Runs one inference frame: `timesteps` of rate-coded input.
@@ -84,9 +165,9 @@ impl CycleSim {
     /// from the mapped network's, and propagates any hardware-level
     /// schedule violation (which would indicate a compiler bug).
     pub fn run_frame(&mut self, input: &Tensor, timesteps: u32) -> Result<SnnOutput> {
-        if input.len() != self.input_map.len() {
+        if input.len() != self.program.input_map.len() {
             return Err(Error::shape_mismatch(
-                format!("{} inputs", self.input_map.len()),
+                format!("{} inputs", self.program.input_map.len()),
                 format!("{}", input.len()),
             ));
         }
@@ -95,7 +176,7 @@ impl CycleSim {
         }
         self.chip.reset_frame();
         let mut encoder = RateEncoder::new(input);
-        let out_len = self.output_map.len();
+        let out_len = self.program.output_map.len();
         let mut spike_counts = vec![0u32; out_len];
         let mut spikes_by_step = Vec::with_capacity(timesteps as usize);
 
@@ -107,17 +188,18 @@ impl CycleSim {
                 if !spiking {
                     continue;
                 }
-                for (coord, axon) in &self.input_map[i] {
+                for (coord, axon) in &self.program.input_map[i] {
                     self.chip.tile_mut(*coord)?.core_mut().set_axon(*axon, true)?;
                 }
             }
 
             // Execute the static block.
             let mut idx = 0usize;
-            for cycle in 0..self.block_cycles {
+            for cycle in 0..self.program.block_cycles {
+                let schedule = &self.program.schedule;
                 let ops: &[(CoreCoord, AtomicOp)] =
-                    if idx < self.schedule.len() && self.schedule[idx].0 == cycle {
-                        let ops = &self.schedule[idx].1;
+                    if idx < schedule.len() && schedule[idx].0 == cycle {
+                        let ops = &schedule[idx].1;
                         idx += 1;
                         ops
                     } else {
@@ -129,7 +211,7 @@ impl CycleSim {
             // Read output spikes, then clear network state (potentials
             // persist across timesteps).
             let mut step = vec![false; out_len];
-            for (o, (coord, plane)) in self.output_map.iter().enumerate() {
+            for (o, (coord, plane)) in self.program.output_map.iter().enumerate() {
                 let fired = self.chip.tile(*coord)?.spike().spike_buffer(*plane);
                 step[o] = fired;
                 spike_counts[o] += u32::from(fired);
@@ -139,6 +221,7 @@ impl CycleSim {
         }
 
         let potentials = self
+            .program
             .output_map
             .iter()
             .map(|(coord, plane)| Ok(i64::from(self.chip.tile(*coord)?.spike().potential(*plane))))

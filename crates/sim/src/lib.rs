@@ -43,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cycle_sim;
 pub mod equivalence;
 pub mod fault;
 pub mod trace;
 
-pub use cycle_sim::CycleSim;
+pub use batch::BatchSim;
+pub use cycle_sim::{CycleSim, DecodedProgram};
 pub use equivalence::{verify, EquivalenceReport};
 pub use fault::{inject, Fault};
 pub use trace::{compare_traces, digest_chip, trace_block, Divergence, StateDigest};

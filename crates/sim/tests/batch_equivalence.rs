@@ -1,0 +1,94 @@
+//! Property: batched execution is bit-identical to sequential execution.
+//!
+//! The batched engine's whole claim is that it only restructures *when*
+//! work happens, never *what* is computed: running `B` frames through
+//! [`BatchSim`] must produce exactly the `SnnOutput`s that `B` sequential
+//! [`CycleSim::run_frame`] calls produce — every spike of every timestep
+//! and every residual potential. This file drives that claim over random
+//! small networks, weights, inputs, batch sizes and timestep counts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use shenjing_core::{ArchSpec, W5};
+use shenjing_mapper::Mapper;
+use shenjing_nn::Tensor;
+use shenjing_sim::{BatchSim, CycleSim, DecodedProgram};
+use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+/// Largest dimensions the strategies below draw (the weight/input pools
+/// are sized for them).
+const MAX_IN: usize = 40;
+const MAX_OUT: usize = 8;
+const MAX_BATCH: usize = 5;
+
+fn dense_layer(weights: &[i32], n_in: usize, n_out: usize, theta: i32) -> SnnLayer {
+    let ws: Vec<W5> = weights[..n_in * n_out].iter().map(|&v| W5::new(v).unwrap()).collect();
+    SnnLayer::Dense(SpikingDense::new(ws, n_in, n_out, theta, 1.0).unwrap())
+}
+
+fn frames(pool: &[f64], n_in: usize, batch: usize) -> Vec<Tensor> {
+    (0..batch)
+        .map(|k| Tensor::from_vec(vec![n_in], pool[k * n_in..(k + 1) * n_in].to_vec()).unwrap())
+        .collect()
+}
+
+/// Maps `snn` on the tiny arch and asserts batched == sequential for the
+/// given frames.
+fn assert_batched_equals_sequential(snn: &SnnNetwork, inputs: &[Tensor], timesteps: u32) {
+    let arch = ArchSpec::tiny();
+    let mapping = Mapper::new(arch.clone()).map(snn).unwrap();
+    let decoded =
+        Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
+    let mut sequential = CycleSim::from_decoded(Arc::clone(&decoded)).unwrap();
+    let mut batched = BatchSim::from_decoded(decoded, inputs.len()).unwrap();
+
+    let batch_out = batched.run_batch(inputs, timesteps).unwrap();
+    assert_eq!(batch_out.len(), inputs.len());
+    for (lane, (input, got)) in inputs.iter().zip(&batch_out).enumerate() {
+        let want = sequential.run_frame(input, timesteps).unwrap();
+        assert_eq!(
+            *got,
+            want,
+            "lane {lane} diverged from the sequential run (batch {})",
+            inputs.len()
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn batched_single_layer_matches_sequential(
+        n_in in 2usize..=MAX_IN,
+        n_out in 1usize..=MAX_OUT,
+        theta in 1i32..=30,
+        batch in 1usize..=MAX_BATCH,
+        timesteps in 2u32..=8,
+        weights in proptest::collection::vec(-15i32..=15, MAX_IN * MAX_OUT),
+        pool in proptest::collection::vec(0.0f64..1.0, MAX_BATCH * MAX_IN),
+    ) {
+        let snn = SnnNetwork::new(vec![dense_layer(&weights, n_in, n_out, theta)]).unwrap();
+        let inputs = frames(&pool, n_in, batch);
+        assert_batched_equals_sequential(&snn, &inputs, timesteps);
+    }
+
+    #[test]
+    fn batched_two_layer_matches_sequential(
+        n_in in 2usize..=20,
+        n_mid in 1usize..=MAX_OUT,
+        n_out in 1usize..=4,
+        theta in 2i32..=20,
+        batch in 2usize..=MAX_BATCH,
+        timesteps in 2u32..=6,
+        weights in proptest::collection::vec(-15i32..=15, 20 * MAX_OUT + MAX_OUT * 4),
+        pool in proptest::collection::vec(0.0f64..1.0, MAX_BATCH * 20),
+    ) {
+        // Two chained layers exercise the spike NoC between layers on top
+        // of the PS folds inside each.
+        let l1 = dense_layer(&weights, n_in, n_mid, theta);
+        let l2 = dense_layer(&weights[20 * MAX_OUT..], n_mid, n_out, theta);
+        let snn = SnnNetwork::new(vec![l1, l2]).unwrap();
+        let inputs = frames(&pool, n_in, batch);
+        assert_batched_equals_sequential(&snn, &inputs, timesteps);
+    }
+}

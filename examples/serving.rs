@@ -1,0 +1,84 @@
+//! Serving: compile a digit classifier once, then serve inference
+//! traffic through the batched, sharded runtime — and verify along the
+//! way that the serving path loses nothing over the single-frame
+//! simulator.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::time::{Duration, Instant};
+
+use shenjing::datasets::{flatten_images, train_test_split};
+use shenjing::prelude::*;
+use shenjing::snn::convert;
+
+fn main() -> Result<()> {
+    // 1. Train and convert, as in the quickstart.
+    let data = SynthDigits::new(23).generate(300);
+    let (train, test) = train_test_split(data, 0.8);
+    let train = flatten_images(&train);
+    let test = flatten_images(&test);
+    println!("training a 784-32-10 MLP on {} synthetic digits...", train.len());
+    let mut ann = Network::from_specs(
+        &[LayerSpec::dense(784, 32), LayerSpec::relu(), LayerSpec::dense(32, 10)],
+        5,
+    )?;
+    Sgd::new(0.02, 4, 6).train(&mut ann, &train)?;
+    let calib: Vec<Tensor> = train.iter().take(24).map(|(x, _)| x.clone()).collect();
+    let snn = convert(&mut ann, &calib, &ConversionOptions::default())?;
+
+    // 2. Compile once into a shared artifact.
+    let arch = ArchSpec::paper();
+    let model = CompiledModel::compile(&arch, &snn)?;
+    println!(
+        "compiled: {} cores on {} chip(s), {} inputs -> {} outputs, {} cycles/timestep",
+        model.total_cores(),
+        model.chips(),
+        model.input_len(),
+        model.output_len(),
+        model.block_cycles(),
+    );
+
+    // 3. Serve a burst of traffic: 2 worker shards, 8-frame batches.
+    let timesteps = 12;
+    let config =
+        RuntimeConfig { workers: 2, max_batch: 8, max_wait: Duration::from_millis(5), timesteps };
+    let runtime = Runtime::start(model.clone(), config)?;
+    let frames: Vec<Tensor> = test.iter().take(48).map(|(x, _)| x.clone()).collect();
+    let started = Instant::now();
+    let replies = runtime.infer_many(&frames)?;
+    let wall = started.elapsed();
+    let stats = runtime.shutdown()?;
+    println!(
+        "served {} frames in {:.1} ms: {:.1} frames/s, {} batches (mean occupancy {:.1})",
+        stats.completed,
+        wall.as_secs_f64() * 1e3,
+        stats.completed as f64 / wall.as_secs_f64(),
+        stats.batches,
+        stats.mean_batch_occupancy,
+    );
+    println!(
+        "latency: mean {:.2} ms, max {:.2} ms",
+        stats.mean_latency.as_secs_f64() * 1e3,
+        stats.max_latency.as_secs_f64() * 1e3,
+    );
+
+    // 4. The serving path is bit-exact against the single-frame simulator
+    //    (spot-checked here; the property test in shenjing-sim covers it
+    //    exhaustively).
+    let mut reference = model.instantiate()?;
+    for ((frame, _), reply) in test.iter().take(4).zip(&replies) {
+        let want = reference.run_frame(frame, timesteps)?;
+        assert_eq!(reply.output, want, "batched serving must stay bit-exact");
+    }
+    let correct = test
+        .iter()
+        .take(48)
+        .zip(&replies)
+        .filter(|((_, label), reply)| reply.predicted == *label)
+        .count();
+    println!(
+        "accuracy over the served frames: {:.1}% (bit-exact vs the single-frame simulator)",
+        100.0 * correct as f64 / replies.len() as f64
+    );
+    Ok(())
+}

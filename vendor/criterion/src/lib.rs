@@ -6,6 +6,11 @@
 //! backed by a simple median-of-samples wall-clock timer instead of
 //! criterion's full statistical machinery. Output is one line per
 //! benchmark: median per-iteration time and iterations per second.
+//!
+//! Quick mode: setting `SHENJING_BENCH_SAMPLES=<n>` caps every
+//! benchmark's sample count at `n` (at least 2), regardless of what the
+//! bench configures. CI's bench-smoke job uses it to run the criterion
+//! benches fast while still producing comparable median lines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,11 +44,19 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        // Quick mode: an environment cap overrides the configured count.
+        let samples = match std::env::var("SHENJING_BENCH_SAMPLES") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) => self.sample_size.min(n.max(2)),
+                Err(_) => self.sample_size,
+            },
+            Err(_) => self.sample_size,
+        };
         let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: 1 };
         // Calibration pass: pick an iteration count that makes one sample
         // take roughly a millisecond, so Instant resolution is irrelevant.
         bencher.calibrate();
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             body(&mut bencher);
         }
         let mut per_iter: Vec<f64> = bencher
@@ -57,7 +70,7 @@ impl Criterion {
             "{name:<40} median {:>12}  ({:.1}e3 iter/s, {} samples x {} iters)",
             format_time(median),
             1.0 / median / 1e3,
-            self.sample_size,
+            samples,
             bencher.iters_per_sample,
         );
         self
