@@ -16,6 +16,12 @@ fn bench_sim(c: &mut Criterion) {
 
     c.bench_function("cycle_sim_mlp_frame_t20", |b| b.iter(|| sim.run_frame(&input, 20).unwrap()));
 
+    // The sequential-path headline number (ROADMAP perf table): one frame
+    // of the MNIST MLP on the paper arch at T=8, the configuration the
+    // ~1.84 s/frame seed baseline was quoted at. Tracked by the bench
+    // regression gate, not by prose.
+    c.bench_function("single_frame_mlp_t8", |b| b.iter(|| sim.run_frame(&input, 8).unwrap()));
+
     let mut abstract_snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
     c.bench_function("abstract_snn_mlp_frame_t20", |b| {
         b.iter(|| abstract_snn.run(&input, 20).unwrap())

@@ -1,0 +1,114 @@
+//! The bench regression gate binary (CI's automated median comparison).
+//!
+//! ```text
+//! bench_gate check  <medians.txt> [--baseline-dir DIR]   # fail on regression
+//! bench_gate update <medians.txt> [--baseline-dir DIR]   # rewrite baselines
+//! ```
+//!
+//! `check` parses the vendored-criterion median lines in `<medians.txt>`
+//! (the CI `bench-medians` artifact), compares them against the
+//! `BENCH_<name>.json` baselines committed under `crates/bench/baselines/`,
+//! and exits non-zero when any median regresses more than the tolerance
+//! (default 15%; override with `SHENJING_BENCH_TOLERANCE=0.25`) or a
+//! baselined benchmark disappears from the artifact. `update` regenerates
+//! the baseline files from the artifact — run it (and commit the result)
+//! when a perf change intentionally moves a median.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shenjing_bench::regression::{
+    compare, parse_medians, read_baselines, write_baselines, DEFAULT_TOLERANCE,
+};
+
+fn default_baseline_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate <check|update> <medians.txt> [--baseline-dir DIR]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, medians_path) = match (args.first(), args.get(1)) {
+        (Some(mode), Some(path)) if mode == "check" || mode == "update" => {
+            (mode.clone(), PathBuf::from(path))
+        }
+        _ => return usage(),
+    };
+    let baseline_dir = match args.get(2).map(String::as_str) {
+        Some("--baseline-dir") => match args.get(3) {
+            Some(dir) => PathBuf::from(dir),
+            None => return usage(),
+        },
+        Some(_) => return usage(),
+        None => default_baseline_dir(),
+    };
+
+    let text = match std::fs::read_to_string(&medians_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", medians_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let current = parse_medians(&text);
+    if current.is_empty() {
+        eprintln!("bench_gate: no criterion median lines found in {}", medians_path.display());
+        return ExitCode::from(2);
+    }
+
+    if mode == "update" {
+        if let Err(e) = write_baselines(&baseline_dir, &current) {
+            eprintln!("bench_gate: cannot write baselines: {e}");
+            return ExitCode::from(2);
+        }
+        println!("bench_gate: wrote {} baselines to {}", current.len(), baseline_dir.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let tolerance = std::env::var("SHENJING_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let baselines = match read_baselines(&baseline_dir) {
+        Ok(baselines) => baselines,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read baselines: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_gate: no baselines in {} — run `bench_gate update` and commit them",
+            baseline_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    for record in &current {
+        let against = baselines
+            .iter()
+            .find(|b| b.name == record.name)
+            .map(|b| format!("baseline {:.0} ns", b.median_ns))
+            .unwrap_or_else(|| "no baseline (new bench — commit one)".into());
+        println!("{:<40} {:>14.0} ns  vs {}", record.name, record.median_ns, against);
+    }
+
+    let failures = compare(&baselines, &current, tolerance);
+    if failures.is_empty() {
+        println!(
+            "bench_gate: OK — {} benchmarks within {:.0}% of baseline",
+            current.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("bench_gate: FAIL {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

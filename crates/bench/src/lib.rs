@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod regression;
+
 use shenjing::datasets::{flatten_images, train_test_split};
 use shenjing::prelude::*;
 use shenjing::snn::{convert, snn_from_specs};

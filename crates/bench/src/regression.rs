@@ -1,0 +1,274 @@
+//! The bench regression gate: parse criterion median lines, persist them
+//! as per-benchmark `BENCH_<name>.json` baselines, and fail when a median
+//! regresses beyond a tolerance.
+//!
+//! CI's bench-smoke job pipes every bench's stdout into a
+//! `bench-medians.txt` artifact; the `bench_gate` binary turns that
+//! artifact into [`BenchRecord`]s and compares them against the baselines
+//! committed under `crates/bench/baselines/`. The comparison logic lives
+//! here (in the library) so it is unit-tested like any other code; the
+//! binary is a thin argument-parsing wrapper.
+//!
+//! Baselines are quick-mode medians (`SHENJING_BENCH_SAMPLES=3`) from the
+//! reference container; the tolerance absorbs sampling noise, and
+//! `SHENJING_BENCH_TOLERANCE` can widen it for noisier machines.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Default relative regression tolerance: +15% over baseline fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One benchmark's identity and median, as parsed from a medians artifact
+/// or a committed baseline file.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchRecord {
+    /// The criterion benchmark name (e.g. `single_frame_mlp_t8`).
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// One gate failure: either a measurable regression or a benchmark that
+/// has a committed baseline but vanished from the artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateFailure {
+    /// The current median exceeds baseline × (1 + tolerance).
+    Regressed {
+        /// Benchmark name.
+        name: String,
+        /// Committed baseline median (ns).
+        baseline_ns: f64,
+        /// Measured median (ns).
+        current_ns: f64,
+    },
+    /// The artifact no longer contains a baselined benchmark — a silently
+    /// dropped bench must not read as a pass.
+    Missing {
+        /// Benchmark name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateFailure::Regressed { name, baseline_ns, current_ns } => write!(
+                f,
+                "{name}: {current_ns:.0} ns vs baseline {baseline_ns:.0} ns ({:+.1}%)",
+                (current_ns / baseline_ns - 1.0) * 100.0
+            ),
+            GateFailure::Missing { name } => {
+                write!(f, "{name}: baselined benchmark missing from the medians artifact")
+            }
+        }
+    }
+}
+
+/// Parses the medians artifact: every line of the form
+/// `<name> median <value> <unit> (...)` emitted by the vendored criterion.
+/// Unrecognized lines (cargo output, blank lines) are skipped.
+pub fn parse_medians(text: &str) -> Vec<BenchRecord> {
+    text.lines().filter_map(parse_median_line).collect()
+}
+
+fn parse_median_line(line: &str) -> Option<BenchRecord> {
+    let (name_part, rest) = line.split_once(" median ")?;
+    let name = name_part.trim();
+    if name.is_empty() || name.contains(' ') {
+        return None;
+    }
+    let mut fields = rest.split_whitespace();
+    let value: f64 = fields.next()?.parse().ok()?;
+    let scale = match fields.next()? {
+        "ns" => 1.0,
+        "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(BenchRecord { name: name.to_string(), median_ns: value * scale })
+}
+
+/// The baseline file name for one benchmark: `BENCH_<name>.json`.
+pub fn baseline_file_name(bench: &str) -> String {
+    format!("BENCH_{bench}.json")
+}
+
+/// Writes one `BENCH_<name>.json` per record into `dir` (created if
+/// absent). The directory is *regenerated*: baselines of benchmarks no
+/// longer in `records` are deleted, so a renamed or removed benchmark
+/// cannot leave an orphan file behind that would fail every later
+/// `check` as [`GateFailure::Missing`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_baselines(dir: &Path, records: &[BenchRecord]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for stale in read_baselines(dir)? {
+        if !records.iter().any(|r| r.name == stale.name) {
+            fs::remove_file(dir.join(baseline_file_name(&stale.name)))?;
+        }
+    }
+    for record in records {
+        let json = serde_json::to_string_pretty(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(dir.join(baseline_file_name(&record.name)), json + "\n")?;
+    }
+    Ok(())
+}
+
+/// Reads every `BENCH_*.json` baseline in `dir`, sorted by name. An
+/// absent directory reads as no baselines.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and malformed baseline files.
+pub fn read_baselines(dir: &Path) -> io::Result<Vec<BenchRecord>> {
+    let mut records = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(records),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let is_baseline = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"));
+        if !is_baseline {
+            continue;
+        }
+        let record: BenchRecord =
+            serde_json::from_str(&fs::read_to_string(&path)?).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+            })?;
+        records.push(record);
+    }
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(records)
+}
+
+/// Compares current medians against baselines. A benchmark regresses when
+/// `current > baseline * (1 + tolerance)`; a baselined benchmark absent
+/// from `current` fails as [`GateFailure::Missing`]. Benchmarks without a
+/// baseline (newly added) pass — commit their baseline to start gating
+/// them.
+pub fn compare(
+    baselines: &[BenchRecord],
+    current: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<GateFailure> {
+    let mut failures = Vec::new();
+    for baseline in baselines {
+        match current.iter().find(|c| c.name == baseline.name) {
+            None => failures.push(GateFailure::Missing { name: baseline.name.clone() }),
+            Some(c) if c.median_ns > baseline.median_ns * (1.0 + tolerance) => {
+                failures.push(GateFailure::Regressed {
+                    name: baseline.name.clone(),
+                    baseline_ns: baseline.median_ns,
+                    current_ns: c.median_ns,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+   Compiling shenjing-bench v0.1.0 (/root/repo/crates/bench)
+     Running benches/hw_bench.rs (target/release/deps/hw_bench)
+neuron_core_acc_256x256                  median     3.365 us  (297.2e3 iter/s, 5 samples x 178 iters)
+spike_router_send_256_planes             median     443.5 ns  (2254.6e3 iter/s, 9 samples x 437 iters)
+single_frame_mlp_t8                      median    10.591 ms  (0.1e3 iter/s, 3 samples x 1 iters)
+runtime_sequential_16_frames             median     1.812 s  (0.0e3 iter/s, 2 samples x 1 iters)
+";
+
+    #[test]
+    fn parses_criterion_lines_and_units() {
+        let records = parse_medians(SAMPLE);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].name, "neuron_core_acc_256x256");
+        assert!((records[0].median_ns - 3365.0).abs() < 1e-6);
+        assert!((records[1].median_ns - 443.5).abs() < 1e-6);
+        assert!((records[2].median_ns - 10_591_000.0).abs() < 1e-3);
+        assert!((records[3].median_ns - 1_812_000_000.0).abs() < 1e-1);
+    }
+
+    #[test]
+    fn non_bench_lines_are_skipped() {
+        assert!(parse_medians("warning: unused\n\ncargo stuff\n").is_empty());
+        // A line with "median" but garbage fields must not parse.
+        assert!(parse_medians("two words median 5 parsecs (x)").is_empty());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = vec![BenchRecord { name: "b".into(), median_ns: 1000.0 }];
+        let ok = vec![BenchRecord { name: "b".into(), median_ns: 1100.0 }];
+        let bad = vec![BenchRecord { name: "b".into(), median_ns: 1200.0 }];
+        assert!(compare(&baseline, &ok, DEFAULT_TOLERANCE).is_empty());
+        let failures = compare(&baseline, &bad, DEFAULT_TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(&failures[0], GateFailure::Regressed { name, .. } if name == "b"));
+    }
+
+    #[test]
+    fn missing_baselined_bench_fails_and_new_bench_passes() {
+        let baseline = vec![BenchRecord { name: "old".into(), median_ns: 10.0 }];
+        let current = vec![BenchRecord { name: "new".into(), median_ns: 99999.0 }];
+        let failures = compare(&baseline, &current, DEFAULT_TOLERANCE);
+        assert_eq!(failures, vec![GateFailure::Missing { name: "old".into() }]);
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let baseline = vec![BenchRecord { name: "b".into(), median_ns: 1000.0 }];
+        let current = vec![BenchRecord { name: "b".into(), median_ns: 10.0 }];
+        assert!(compare(&baseline, &current, 0.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_files_roundtrip() {
+        let dir =
+            std::env::temp_dir().join(format!("shenjing_bench_gate_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let records = parse_medians(SAMPLE);
+        write_baselines(&dir, &records).unwrap();
+        assert!(dir.join("BENCH_single_frame_mlp_t8.json").is_file());
+        let mut read = read_baselines(&dir).unwrap();
+        read.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut expect = records.clone();
+        expect.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(read, expect);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn update_removes_stale_baselines() {
+        let dir =
+            std::env::temp_dir().join(format!("shenjing_bench_gate_stale_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let old = vec![BenchRecord { name: "renamed_away".into(), median_ns: 5.0 }];
+        write_baselines(&dir, &old).unwrap();
+        let new = vec![BenchRecord { name: "renamed_to".into(), median_ns: 5.0 }];
+        write_baselines(&dir, &new).unwrap();
+        assert_eq!(read_baselines(&dir).unwrap(), new, "stale baseline must be deleted");
+        assert!(!dir.join("BENCH_renamed_away.json").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reading_absent_dir_is_empty() {
+        let dir = std::env::temp_dir().join("shenjing_bench_gate_definitely_absent");
+        assert!(read_baselines(&dir).unwrap().is_empty());
+    }
+}

@@ -16,6 +16,15 @@
 //! bit-identical to `B` sequential single-frame runs (`shenjing-sim`
 //! proves this property against random networks).
 //!
+//! The *sequential* components have since adopted the same shape —
+//! [`NeuronCore`](crate::NeuronCore) keeps a maintained active-axon list,
+//! the routers keep per-direction output occupancy masks, and
+//! [`Chip`](crate::Chip) reuses its transfer move buffers — so batching's
+//! remaining advantage is amortizing the per-cycle control-word walk and
+//! occupancy scan across lanes, which pays off as activity density rises
+//! (sparse single frames can outrun the dense SoA sweep; see the ROADMAP
+//! perf table for the measured crossover).
+//!
 //! Range checking: lane sums are validated against the same 13-bit local /
 //! 16-bit NoC widths as the single-frame path. For any architecture whose
 //! worst-case core sum fits the local width (all built-in ones; the paper
@@ -155,7 +164,9 @@ impl BatchNeuronCore {
     /// Executes `ACC` on every lane: recomputes the partial sums of the
     /// neurons in the enabled `banks` from the current axon lanes. Axons
     /// idle in every lane are skipped entirely, so sparse activity pays
-    /// only for the weight rows it touches.
+    /// only for the weight rows it touches — the same axon-major shape as
+    /// [`NeuronCore::accumulate`](crate::NeuronCore::accumulate), whose
+    /// rustdoc states the shared checked-fallback condition.
     ///
     /// # Errors
     ///

@@ -38,6 +38,19 @@ pub struct Chip {
     rows: u16,
     cols: u16,
     tiles: Vec<Tile>,
+    /// When set, cycles run the retained dense reference semantics
+    /// (per-register transfer probing, dense `ACC`) instead of the sparse
+    /// fast path. Both are bit-identical; the sequential equivalence
+    /// proptests compare them.
+    reference: bool,
+    /// Transfer scratch, reused across cycles (no per-cycle allocation):
+    /// the sorted, deduplicated indices of tiles that executed ops this
+    /// cycle — the only tiles that can hold pending outputs or deliveries.
+    active_tiles: Vec<usize>,
+    /// Transfer scratch: collected PS moves `(dst tile, port, plane, value)`.
+    ps_moves: Vec<(usize, Direction, u16, shenjing_core::NocSum)>,
+    /// Transfer scratch: collected spike moves.
+    spike_moves: Vec<(usize, Direction, u16, bool)>,
 }
 
 impl Chip {
@@ -53,7 +66,26 @@ impl Chip {
             return Err(Error::config("chip dimensions must be positive"));
         }
         let tiles = (0..rows as usize * cols as usize).map(|_| Tile::new(arch)).collect();
-        Ok(Chip { arch: arch.clone(), rows, cols, tiles })
+        Ok(Chip {
+            arch: arch.clone(),
+            rows,
+            cols,
+            tiles,
+            reference: false,
+            active_tiles: Vec::new(),
+            ps_moves: Vec::new(),
+            spike_moves: Vec::new(),
+        })
+    }
+
+    /// Switches the whole mesh between the optimized sparse hot path and
+    /// the retained dense reference implementation. The two are
+    /// bit-identical — outputs, state and error cycles — a property the
+    /// sequential equivalence proptests assert; reference mode exists as
+    /// that comparison's gold standard, not as a user-facing feature.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference = on;
+        self.tiles.iter_mut().for_each(|t| t.set_reference_mode(on));
     }
 
     /// Creates a full paper-sized chip (28×28 tiles of 256×256 cores).
@@ -115,20 +147,117 @@ impl Chip {
     ///
     /// Propagates component errors (annotated with `cycle` for schedule
     /// errors) and reports data driven off the mesh edge.
+    ///
+    /// After an error the chip is mid-cycle and its register state is
+    /// unspecified (the sparse and reference paths abort at equivalent but
+    /// not register-identical points, and undrained outputs may remain);
+    /// call [`reset_network_state`](Chip::reset_network_state) or
+    /// [`reset_frame`](Chip::reset_frame) before executing further cycles
+    /// — as the cycle-level simulator does by starting every frame with a
+    /// reset. The bit-identical guarantee between the two modes covers
+    /// completed cycles, the error itself, and all post-reset state.
     pub fn exec_cycle(&mut self, cycle: u64, ops: &[(CoreCoord, AtomicOp)]) -> Result<()> {
         for (coord, op) in ops {
             self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
         }
-        self.transfer(cycle)?;
-        for tile in &mut self.tiles {
-            tile.commit_deliveries()?;
+        if self.reference {
+            self.transfer_reference(cycle)?;
+            for tile in &mut self.tiles {
+                tile.commit_deliveries()?;
+            }
+        } else {
+            // Outputs and deliveries can only originate from ops (SEND /
+            // BYPASS), and the transfer phase drains every pending output
+            // each cycle, so only this cycle's op tiles need visiting.
+            self.collect_active_tiles(ops);
+            self.transfer(cycle)?;
+            for i in 0..self.active_tiles.len() {
+                let idx = self.active_tiles[i];
+                self.tiles[idx].commit_deliveries()?;
+            }
         }
         Ok(())
     }
 
-    /// The transfer phase: drains every output register into the adjacent
-    /// input register.
+    /// Fills `active_tiles` with the sorted, deduplicated tile indices of
+    /// `ops` (already bounds-checked by the execute loop). Sorting keeps
+    /// the transfer scan in the reference row-major order, so schedule
+    /// errors fire identically.
+    fn collect_active_tiles(&mut self, ops: &[(CoreCoord, AtomicOp)]) {
+        self.active_tiles.clear();
+        let cols = self.cols as usize;
+        self.active_tiles.extend(ops.iter().map(|(c, _)| c.row as usize * cols + c.col as usize));
+        self.active_tiles.sort_unstable();
+        self.active_tiles.dedup();
+    }
+
+    /// The transfer phase: drains every occupied output register into the
+    /// adjacent input register. Sparse-activity fast path: visits only
+    /// this cycle's op tiles and, per direction, only the planes the
+    /// routers' occupancy masks report, reusing the chip's move buffers
+    /// instead of allocating per cycle (the shape `BatchChip` uses).
     fn transfer(&mut self, cycle: u64) -> Result<()> {
+        let (rows, cols) = (self.rows, self.cols);
+        let Chip { tiles, active_tiles, ps_moves, spike_moves, .. } = self;
+        ps_moves.clear();
+        spike_moves.clear();
+
+        for &src_idx in active_tiles.iter() {
+            let src =
+                CoreCoord::new((src_idx / cols as usize) as u16, (src_idx % cols as usize) as u16);
+            let tile = &mut tiles[src_idx];
+            if !tile.ps().has_pending_output() && !tile.spike().has_pending_output() {
+                continue;
+            }
+            for dir in Direction::ALL {
+                let ps_first = tile.ps().first_pending(dir);
+                let spike_first = tile.spike().first_pending(dir);
+                if ps_first.is_none() && spike_first.is_none() {
+                    continue;
+                }
+                let dst = src.neighbor(dir).filter(|d| d.row < rows && d.col < cols);
+                let Some(dst) = dst else {
+                    // The reference scan probes planes in ascending order,
+                    // PS before spike within a plane; report the error the
+                    // first occupied register would have raised there.
+                    let ps_fires_first = match (ps_first, spike_first) {
+                        (Some(p), Some(s)) => p <= s,
+                        (ps, _) => ps.is_some(),
+                    };
+                    let what = if ps_fires_first { "ps data" } else { "spike" };
+                    return Err(Error::InvalidSchedule {
+                        cycle,
+                        reason: format!("{what} driven off the mesh edge at {src} port {dir}"),
+                    });
+                };
+                let dst_idx = dst.row as usize * cols as usize + dst.col as usize;
+                let port = dir.opposite();
+                while let Some((plane, v)) = tile.ps_mut().take_next_output(dir) {
+                    ps_moves.push((dst_idx, port, plane, v));
+                }
+                while let Some((plane, s)) = tile.spike_mut().take_next_output(dir) {
+                    spike_moves.push((dst_idx, port, plane, s));
+                }
+            }
+        }
+
+        for &(idx, port, plane, v) in ps_moves.iter() {
+            tiles[idx].ps_mut().put_input(port, plane, v).map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        for &(idx, port, plane, s) in spike_moves.iter() {
+            tiles[idx]
+                .spike_mut()
+                .put_input(port, plane, s)
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        Ok(())
+    }
+
+    /// The retained reference transfer: probes all `4 × core_neurons`
+    /// output registers of every tile. [`transfer`](Chip::transfer) must
+    /// stay bit-identical to this — moves, state and error cycles — which
+    /// the sequential equivalence proptests assert.
+    fn transfer_reference(&mut self, cycle: u64) -> Result<()> {
         let planes = self.arch.core_neurons;
         // Collect (destination tile, port, plane, payload) first, then
         // write: all links switch simultaneously.
@@ -415,6 +544,102 @@ mod tests {
         // Two sends in one cycle to the same port: contention at cycle 7.
         let err = chip.exec_cycle(7, &[send.clone(), send]).unwrap_err();
         assert!(matches!(err, Error::InvalidSchedule { cycle: 7, .. }));
+    }
+
+    #[test]
+    fn transfer_scratch_is_reused_across_cycles() {
+        // A two-tile pipeline moving full plane sets every cycle: after the
+        // warm-up cycles size the move buffers, steady-state transfer must
+        // never reallocate (the allocator-free property BatchChip documents,
+        // asserted via capacity stability).
+        let mut chip = Chip::new(&ArchSpec::tiny(), 1, 2).unwrap();
+        let send_ps = (
+            CoreCoord::new(0, 0),
+            AtomicOp::Ps(PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::East),
+                planes: PlaneSet::all(),
+            }),
+        );
+        let send_spike = (
+            CoreCoord::new(0, 0),
+            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() }),
+        );
+        let consume_ps = (
+            CoreCoord::new(0, 1),
+            AtomicOp::Ps(PsRouterOp::Sum {
+                src: Direction::West,
+                consec: false,
+                planes: PlaneSet::all(),
+            }),
+        );
+        let consume_spike = (
+            CoreCoord::new(0, 1),
+            AtomicOp::Spike(SpikeRouterOp::Bypass {
+                src: Direction::West,
+                dst: None,
+                deliver: true,
+                planes: PlaneSet::all(),
+            }),
+        );
+        let steady = [send_ps.clone(), send_spike.clone(), consume_ps, consume_spike];
+
+        chip.exec_cycle(0, &[send_ps, send_spike]).unwrap();
+        chip.exec_cycle(1, &steady).unwrap();
+        let caps =
+            (chip.active_tiles.capacity(), chip.ps_moves.capacity(), chip.spike_moves.capacity());
+        for cycle in 2..50 {
+            chip.exec_cycle(cycle, &steady).unwrap();
+        }
+        assert_eq!(
+            caps,
+            (chip.active_tiles.capacity(), chip.ps_moves.capacity(), chip.spike_moves.capacity()),
+            "steady-state transfer must reuse its scratch, not reallocate"
+        );
+    }
+
+    #[test]
+    fn reference_mode_matches_fast_path_on_a_fold() {
+        // Smoke-level check of the retained reference semantics (the full
+        // comparison lives in the equivalence proptests).
+        let run = |reference: bool| {
+            let mut chip = chip_2x2();
+            chip.set_reference_mode(reference);
+            for (coord, w) in [(CoreCoord::new(1, 0), 7), (CoreCoord::new(0, 0), 5)] {
+                let t = chip.tile_mut(coord).unwrap();
+                t.core_mut().write_weight(0, 0, W5::new(w).unwrap()).unwrap();
+                t.core_mut().set_axon(0, true).unwrap();
+            }
+            let acc = |c| (c, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
+            chip.exec_cycle(0, &[acc(CoreCoord::new(1, 0)), acc(CoreCoord::new(0, 0))]).unwrap();
+            chip.exec_cycle(
+                1,
+                &[(
+                    CoreCoord::new(1, 0),
+                    AtomicOp::Ps(PsRouterOp::Send {
+                        source: PsSendSource::LocalPs,
+                        dst: PsDst::Port(Direction::North),
+                        planes: PlaneSet::all(),
+                    }),
+                )],
+            )
+            .unwrap();
+            chip.exec_cycle(
+                2,
+                &[(
+                    CoreCoord::new(0, 0),
+                    AtomicOp::Ps(PsRouterOp::Sum {
+                        src: Direction::South,
+                        consec: false,
+                        planes: PlaneSet::all(),
+                    }),
+                )],
+            )
+            .unwrap();
+            chip.tile(CoreCoord::new(0, 0)).unwrap().ps().sum_buf(0)
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(false), Some(shenjing_core::NocSum::new(12).unwrap()));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod batch;
 pub mod chip;
 pub mod config;
 pub mod neuron_core;
+mod occupancy;
 pub mod ops;
 pub mod plane;
 pub mod ps_router;

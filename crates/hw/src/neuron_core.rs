@@ -15,6 +15,10 @@
 
 use shenjing_core::{ArchSpec, Error, LocalSum, Result, W5};
 
+/// Sentinel in `active_pos` marking an idle axon. Valid because positions
+/// inside the active list are `< core_inputs <= u16::MAX`.
+const AXON_IDLE: u16 = u16::MAX;
+
 /// One tile's neuron core.
 ///
 /// ```
@@ -36,8 +40,16 @@ pub struct NeuronCore {
     banks: u16,
     /// Row-major `[axon][neuron]` weight array.
     weights: Vec<W5>,
-    /// One spike bit per axon.
-    axons: Vec<bool>,
+    /// Indices of currently spiking axons, unordered (swap-removed).
+    active: Vec<u16>,
+    /// `[axon]` position of the axon inside `active`, or [`AXON_IDLE`].
+    active_pos: Vec<u16>,
+    /// Wide per-neuron accumulation scratch for the sparse `ACC` sweep.
+    scratch: Vec<i32>,
+    /// Whether a running `ACC` sum can leave the 13-bit local range at all
+    /// (only on custom architectures with more inputs than the paper's
+    /// accumulator sizing covers); forces the per-step-checked sweep.
+    checked_acc: bool,
     /// Latest local partial sum per neuron.
     local_ps: Vec<LocalSum>,
     /// Whether weights have been loaded at least once.
@@ -47,12 +59,17 @@ pub struct NeuronCore {
 impl NeuronCore {
     /// Creates a core with all-zero weights and idle axons.
     pub fn new(arch: &ArchSpec) -> NeuronCore {
+        let worst = i32::from(arch.core_inputs);
         NeuronCore {
             inputs: arch.core_inputs,
             neurons: arch.core_neurons,
             banks: arch.sram_banks,
             weights: vec![W5::ZERO; arch.core_inputs as usize * arch.core_neurons as usize],
-            axons: vec![false; arch.core_inputs as usize],
+            active: Vec::new(),
+            active_pos: vec![AXON_IDLE; arch.core_inputs as usize],
+            scratch: vec![0; arch.core_neurons as usize],
+            checked_acc: worst * W5::MAX.value() > LocalSum::MAX.value()
+                || worst * W5::MIN.value() < LocalSum::MIN.value(),
             local_ps: vec![LocalSum::ZERO; arch.core_neurons as usize],
             loaded: false,
         }
@@ -120,7 +137,17 @@ impl NeuronCore {
                 self.inputs
             )));
         }
-        self.axons[axon as usize] = spiking;
+        let pos = self.active_pos[axon as usize];
+        if spiking && pos == AXON_IDLE {
+            self.active_pos[axon as usize] = self.active.len() as u16;
+            self.active.push(axon);
+        } else if !spiking && pos != AXON_IDLE {
+            self.active.swap_remove(pos as usize);
+            if let Some(&moved) = self.active.get(pos as usize) {
+                self.active_pos[moved as usize] = pos;
+            }
+            self.active_pos[axon as usize] = AXON_IDLE;
+        }
         Ok(())
     }
 
@@ -136,24 +163,44 @@ impl NeuronCore {
                 self.inputs
             )));
         }
-        Ok(self.axons[axon as usize])
+        Ok(self.active_pos[axon as usize] != AXON_IDLE)
     }
 
-    /// Clears every axon (start of a new timestep).
+    /// Clears every axon (start of a new timestep). Costs `O(active)`, not
+    /// `O(inputs)`.
     pub fn clear_axons(&mut self) {
-        self.axons.iter_mut().for_each(|a| *a = false);
+        for &a in &self.active {
+            self.active_pos[a as usize] = AXON_IDLE;
+        }
+        self.active.clear();
     }
 
     /// Number of axons currently spiking — the paper's switching-activity
     /// statistic ("average number of spiking axons per core in each time
-    /// step") that drives the power model.
+    /// step") that drives the power model. A maintained counter: `O(1)`,
+    /// safe to sample per core per timestep.
     pub fn active_axon_count(&self) -> usize {
-        self.axons.iter().filter(|a| **a).count()
+        self.active.len()
     }
 
     /// Executes `ACC`: recomputes the local partial sums of every neuron in
     /// the enabled `banks` (bit `i` enables bank `i`) from the current axon
     /// buffer. Neurons in disabled banks keep their previous sums.
+    ///
+    /// This is the sparse-activity fast path: it sweeps axon-major over the
+    /// maintained active-axon list, accumulating each active weight row into
+    /// a wide `i32` scratch and clamp-checking into [`LocalSum`] once per
+    /// neuron — `O(active × neurons)` instead of the reference
+    /// `O(inputs × neurons)`.
+    ///
+    /// **Fallback condition:** the single clamp check is only sound when no
+    /// *running* sum can leave the 13-bit local range mid-sweep, i.e. when
+    /// `core_inputs × |W5::MAX or MIN| ≤ LocalSum::MAX/MIN` (the paper sizes
+    /// the accumulator exactly that way, so every built-in architecture
+    /// qualifies). For oversized custom architectures the core falls back to
+    /// [`accumulate_reference`](NeuronCore::accumulate_reference), whose
+    /// per-step checks error on precisely the addition where the hardware
+    /// accumulator would saturate — mirroring `BatchNeuronCore::accumulate`.
     ///
     /// # Errors
     ///
@@ -162,6 +209,49 @@ impl NeuronCore {
     /// [`Error::InvalidControl`] if `banks` enables a bank the core does
     /// not have.
     pub fn accumulate(&mut self, banks: u8) -> Result<()> {
+        if self.checked_acc {
+            return self.accumulate_reference(banks);
+        }
+        self.check_banks(banks)?;
+        let neurons = self.neurons as usize;
+        let per_bank = (self.neurons / self.banks) as usize;
+        let n_banks = self.banks as usize;
+        let enabled = |bank: usize| banks & (1 << bank) != 0;
+        let NeuronCore { weights, active, scratch, local_ps, .. } = self;
+
+        for bank in (0..n_banks).filter(|&k| enabled(k)) {
+            scratch[bank * per_bank..(bank + 1) * per_bank].fill(0);
+        }
+        for &a in active.iter() {
+            let row = &weights[a as usize * neurons..(a as usize + 1) * neurons];
+            for bank in (0..n_banks).filter(|&k| enabled(k)) {
+                for n in bank * per_bank..(bank + 1) * per_bank {
+                    scratch[n] += row[n].value();
+                }
+            }
+        }
+        for bank in (0..n_banks).filter(|&k| enabled(k)) {
+            for n in bank * per_bank..(bank + 1) * per_bank {
+                // Cannot fail here (see the fallback condition above); the
+                // clamp check keeps the accumulator width contract explicit.
+                local_ps[n] = LocalSum::new(scratch[n])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The retained reference implementation of `ACC`: a dense
+    /// `O(inputs × neurons)` sweep in bank → neuron → axon order with a
+    /// range check after every addition, exactly as the seed simulator
+    /// executed it. [`accumulate`](NeuronCore::accumulate) must stay
+    /// bit-identical to this — outputs *and* errors — which the sequential
+    /// equivalence proptests assert; it also serves as the fallback when
+    /// the fast path's no-mid-sweep-overflow precondition does not hold.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`accumulate`](NeuronCore::accumulate).
+    pub fn accumulate_reference(&mut self, banks: u8) -> Result<()> {
         self.check_banks(banks)?;
         let per_bank = self.neurons / self.banks;
         for bank in 0..self.banks {
@@ -172,8 +262,8 @@ impl NeuronCore {
             let hi = lo + per_bank as usize;
             for n in lo..hi {
                 let mut sum = LocalSum::ZERO;
-                for (a, &spiking) in self.axons.iter().enumerate() {
-                    if spiking {
+                for a in 0..self.inputs as usize {
+                    if self.active_pos[a] != AXON_IDLE {
                         sum = sum.add_weight(self.weights[a * self.neurons as usize + n])?;
                     }
                 }
@@ -328,6 +418,60 @@ mod tests {
         assert_eq!(core.active_axon_count(), 1);
         core.clear_axons();
         assert_eq!(core.active_axon_count(), 0);
+    }
+
+    #[test]
+    fn active_list_survives_redundant_and_out_of_order_updates() {
+        let mut core = tiny_core();
+        core.set_axon(3, true).unwrap();
+        core.set_axon(3, true).unwrap(); // redundant set
+        core.set_axon(7, true).unwrap();
+        core.set_axon(11, true).unwrap();
+        assert_eq!(core.active_axon_count(), 3);
+        core.set_axon(3, false).unwrap(); // middle removal (swap_remove path)
+        core.set_axon(3, false).unwrap(); // redundant clear
+        assert_eq!(core.active_axon_count(), 2);
+        assert!(!core.axon(3).unwrap());
+        assert!(core.axon(7).unwrap());
+        assert!(core.axon(11).unwrap());
+        core.clear_axons();
+        assert_eq!(core.active_axon_count(), 0);
+        assert!(!core.axon(7).unwrap());
+    }
+
+    #[test]
+    fn sparse_and_reference_acc_agree() {
+        let arch = ArchSpec::tiny();
+        let mut fast = NeuronCore::new(&arch);
+        for a in 0..arch.core_inputs {
+            for n in 0..arch.core_neurons {
+                fast.write_weight(a, n, W5::saturating(i32::from(a * 3 + n) % 31 - 15)).unwrap();
+            }
+        }
+        for a in [0u16, 2, 5, 13] {
+            fast.set_axon(a, true).unwrap();
+        }
+        let mut reference = fast.clone();
+        fast.accumulate(0b0101).unwrap();
+        reference.accumulate_reference(0b0101).unwrap();
+        assert_eq!(fast.local_ps_all(), reference.local_ps_all());
+    }
+
+    #[test]
+    fn oversized_arch_overflow_matches_reference() {
+        // 512 inputs × weight 15 can leave the 13-bit range mid-sweep, so
+        // `accumulate` must take the per-step-checked fallback and fail on
+        // the same addition as the reference sweep.
+        let arch = ArchSpec { core_inputs: 512, core_neurons: 16, ..ArchSpec::tiny() };
+        let mut fast = NeuronCore::new(&arch);
+        for a in 0..300u16 {
+            fast.write_weight(a, 0, W5::MAX).unwrap();
+            fast.set_axon(a, true).unwrap();
+        }
+        let mut reference = fast.clone();
+        let fast_err = fast.accumulate(0b1111).unwrap_err();
+        let reference_err = reference.accumulate_reference(0b1111).unwrap_err();
+        assert_eq!(fast_err, reference_err);
     }
 
     #[test]

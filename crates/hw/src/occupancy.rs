@@ -1,0 +1,95 @@
+//! Per-direction occupancy bitmasks over the router output registers.
+//!
+//! The transfer phase of the chip fabric used to probe every
+//! `(direction, plane)` output register of every tile each cycle —
+//! `4 × core_neurons` `Option` loads per router even when nothing was in
+//! flight. Both sequential routers now mirror the batched engine's
+//! occupancy-first bookkeeping: one bit per output register, grouped by
+//! direction so the fabric can jump straight to the occupied planes with
+//! a word scan. Payloads stay in the existing register vectors; these
+//! masks only index them.
+//!
+//! Layout: word `port.encode() * words + w` masks planes
+//! `64*w .. 64*w + 64` of that port, with `words = ceil(planes / 64)`.
+
+use shenjing_core::Direction;
+
+/// Number of 64-bit mask words needed per direction for `planes` planes.
+#[inline]
+pub(crate) fn occ_words(planes: u16) -> usize {
+    (planes as usize).div_ceil(64)
+}
+
+/// Marks `(port, plane)` occupied.
+#[inline]
+pub(crate) fn occ_set(occ: &mut [u64], words: usize, port: Direction, plane: u16) {
+    let base = port.encode() as usize * words;
+    occ[base + plane as usize / 64] |= 1u64 << (plane as usize % 64);
+}
+
+/// Marks `(port, plane)` free.
+#[inline]
+pub(crate) fn occ_clear(occ: &mut [u64], words: usize, port: Direction, plane: u16) {
+    let base = port.encode() as usize * words;
+    occ[base + plane as usize / 64] &= !(1u64 << (plane as usize % 64));
+}
+
+/// The lowest occupied plane at `port`, if any.
+#[inline]
+pub(crate) fn occ_first(occ: &[u64], words: usize, port: Direction) -> Option<u16> {
+    let base = port.encode() as usize * words;
+    occ[base..base + words].iter().enumerate().find_map(|(w, &word)| {
+        (word != 0).then(|| (w * 64 + word.trailing_zeros() as usize) as u16)
+    })
+}
+
+/// Whether any register of any port is occupied.
+#[inline]
+pub(crate) fn occ_any(occ: &[u64]) -> bool {
+    occ.iter().any(|&w| w != 0)
+}
+
+/// Marks every plane of `port` occupied (bulk whole-port writes).
+#[inline]
+pub(crate) fn occ_fill(occ: &mut [u64], words: usize, port: Direction, planes: u16) {
+    let base = port.encode() as usize * words;
+    for (w, word) in occ[base..base + words].iter_mut().enumerate() {
+        let remaining = planes as usize - (w * 64).min(planes as usize);
+        *word = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_first_clear_roundtrip() {
+        let words = occ_words(256);
+        assert_eq!(words, 4);
+        let mut occ = vec![0u64; words * 4];
+        assert_eq!(occ_first(&occ, words, Direction::East), None);
+        occ_set(&mut occ, words, Direction::East, 200);
+        occ_set(&mut occ, words, Direction::East, 7);
+        occ_set(&mut occ, words, Direction::West, 63);
+        assert_eq!(occ_first(&occ, words, Direction::East), Some(7));
+        assert_eq!(occ_first(&occ, words, Direction::West), Some(63));
+        assert_eq!(occ_first(&occ, words, Direction::North), None);
+        occ_clear(&mut occ, words, Direction::East, 7);
+        assert_eq!(occ_first(&occ, words, Direction::East), Some(200));
+        occ_clear(&mut occ, words, Direction::East, 200);
+        occ_clear(&mut occ, words, Direction::West, 63);
+        assert!(!occ_any(&occ));
+    }
+
+    #[test]
+    fn sub_word_plane_counts() {
+        // A 16-plane tile still gets one full word per direction.
+        let words = occ_words(16);
+        assert_eq!(words, 1);
+        let mut occ = vec![0u64; words * 4];
+        occ_set(&mut occ, words, Direction::South, 15);
+        assert_eq!(occ_first(&occ, words, Direction::South), Some(15));
+        assert!(occ_any(&occ));
+    }
+}

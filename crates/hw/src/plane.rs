@@ -118,9 +118,70 @@ impl PlaneSet {
         }
     }
 
-    /// Iterates the selected plane indices among `0..total`.
-    pub fn iter(&self, total: u16) -> impl Iterator<Item = u16> + '_ {
-        (0..total).filter(move |&i| self.contains(i))
+    /// Iterates the selected plane indices among `0..total`, ascending.
+    ///
+    /// For [`PlaneSet::All`] this is a plain range; for a mask it walks the
+    /// words popping one set bit per step — `O(selected + words)`, not
+    /// `O(total)` membership probes. The router `exec` loops run on this
+    /// iterator, so it is hot-path code.
+    pub fn iter(&self, total: u16) -> PlaneIter<'_> {
+        let mode = match self {
+            PlaneSet::All => PlaneIterMode::All(0..total),
+            PlaneSet::Mask(words) => PlaneIterMode::Mask {
+                words,
+                word: words.first().copied().unwrap_or(0),
+                word_idx: 0,
+            },
+        };
+        PlaneIter { total, mode }
+    }
+}
+
+/// Iterator over the planes of a [`PlaneSet`], yielded in ascending order
+/// (see [`PlaneSet::iter`]).
+#[derive(Debug, Clone)]
+pub struct PlaneIter<'a> {
+    total: u16,
+    mode: PlaneIterMode<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum PlaneIterMode<'a> {
+    All(std::ops::Range<u16>),
+    Mask { words: &'a [u64], word: u64, word_idx: usize },
+}
+
+impl Iterator for PlaneIter<'_> {
+    type Item = u16;
+
+    #[inline]
+    fn next(&mut self) -> Option<u16> {
+        match &mut self.mode {
+            PlaneIterMode::All(range) => range.next(),
+            PlaneIterMode::Mask { words, word, word_idx } => loop {
+                if *word == 0 {
+                    *word_idx += 1;
+                    match words.get(*word_idx) {
+                        Some(&w) => {
+                            *word = w;
+                            continue;
+                        }
+                        None => return None,
+                    }
+                }
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1; // pop the lowest set bit
+                let plane = *word_idx * 64 + bit;
+                if plane < self.total as usize {
+                    return Some(plane as u16);
+                }
+                // Mask words may carry bits at or beyond `total`; indices
+                // ascend, so the first such bit exhausts the iteration.
+                *word = 0;
+                *word_idx = words.len();
+                return None;
+            },
+        }
     }
 }
 
@@ -193,6 +254,36 @@ mod tests {
         assert_eq!(v, vec![1, 3, 5]);
         let all: Vec<u16> = PlaneSet::all().iter(4).collect();
         assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn iter_walks_word_boundaries() {
+        // Bits straddling the 64-bit word seams must come out in order.
+        let s = PlaneSet::from_indices([0u16, 63, 64, 127, 128, 255]);
+        let v: Vec<u16> = s.iter(256).collect();
+        assert_eq!(v, vec![0, 63, 64, 127, 128, 255]);
+    }
+
+    #[test]
+    fn iter_stops_at_total() {
+        // Mask bits at or beyond `total` are not yielded, and a bit past
+        // the first out-of-range one does not resurrect the iterator.
+        let s = PlaneSet::from_indices([2u16, 10, 20, 300]);
+        let v: Vec<u16> = s.iter(16).collect();
+        assert_eq!(v, vec![2, 10]);
+        let mut it = s.iter(16);
+        assert_eq!(it.next(), Some(2));
+        assert_eq!(it.next(), Some(10));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None, "exhausted iterator stays exhausted");
+    }
+
+    #[test]
+    fn iter_of_empty_and_all() {
+        assert_eq!(PlaneSet::empty().iter(64).count(), 0);
+        assert_eq!(PlaneSet::Mask(vec![0, 0, 0]).iter(256).count(), 0);
+        let all: Vec<u16> = PlaneSet::all().iter(3).collect();
+        assert_eq!(all, vec![0, 1, 2]);
     }
 
     #[test]

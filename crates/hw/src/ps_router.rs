@@ -14,6 +14,7 @@
 
 use shenjing_core::{Direction, Error, LocalSum, NocSum, Result};
 
+use crate::occupancy::{occ_any, occ_clear, occ_first, occ_set, occ_words};
 use crate::ops::{PsDst, PsRouterOp, PsSendSource};
 
 /// All PS-NoC planes of one tile.
@@ -39,10 +40,16 @@ use crate::ops::{PsDst, PsRouterOp, PsSendSource};
 #[derive(Debug, Clone)]
 pub struct PsRouter {
     planes: u16,
-    /// `[plane * 4 + port]` input registers.
+    /// `[port * planes + plane]` input registers.
     inputs: Vec<Option<NocSum>>,
-    /// `[plane * 4 + port]` output registers.
+    /// `[port * planes + plane]` output registers.
     outputs: Vec<Option<NocSum>>,
+    /// Per-direction occupancy of `outputs`: word `port * words + w` masks
+    /// planes `64*w .. 64*w+64` of that port (`words = ceil(planes/64)`).
+    /// Lets the chip's transfer phase visit only occupied (port, plane)
+    /// pairs instead of probing every register, the same occupancy-first
+    /// shape `BatchPsRouter` uses.
+    out_occ: Vec<u64>,
     /// `[plane]` accumulation registers (Table I's `sum_buf`).
     sum_buf: Vec<Option<NocSum>>,
     /// `[plane]` ejection registers toward the IF/spiking logic.
@@ -56,6 +63,7 @@ impl PsRouter {
             planes,
             inputs: vec![None; planes as usize * 4],
             outputs: vec![None; planes as usize * 4],
+            out_occ: vec![0; occ_words(planes) * 4],
             sum_buf: vec![None; planes as usize],
             eject: vec![None; planes as usize],
         }
@@ -79,7 +87,7 @@ impl PsRouter {
     pub fn exec(&mut self, op: &PsRouterOp, local_ps: &[LocalSum]) -> Result<()> {
         match op {
             PsRouterOp::Sum { src, consec, planes } => {
-                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                for p in planes.iter(self.planes) {
                     let incoming =
                         self.take_input(*src, p).ok_or_else(|| Error::InvalidControl {
                             component: "ps_router".into(),
@@ -97,7 +105,7 @@ impl PsRouter {
                 }
             }
             PsRouterOp::Send { source, dst, planes } => {
-                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                for p in planes.iter(self.planes) {
                     let value = match source {
                         PsSendSource::LocalPs => {
                             local_ps.get(p as usize).copied().unwrap_or(LocalSum::ZERO).widen()
@@ -115,7 +123,7 @@ impl PsRouter {
                 }
             }
             PsRouterOp::Bypass { src, dst, planes } => {
-                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                for p in planes.iter(self.planes) {
                     let value = self.take_input(*src, p).ok_or_else(|| Error::InvalidControl {
                         component: "ps_router".into(),
                         reason: format!("BYPASS on plane {p}: no data registered at port {src}"),
@@ -149,7 +157,27 @@ impl PsRouter {
     /// Removes and returns the output register of `port`/`plane`.
     pub fn take_output(&mut self, port: Direction, plane: u16) -> Option<NocSum> {
         let idx = self.reg_index(port, plane);
-        self.outputs[idx].take()
+        let taken = self.outputs[idx].take();
+        if taken.is_some() {
+            occ_clear(&mut self.out_occ, occ_words(self.planes), port, plane);
+        }
+        taken
+    }
+
+    /// The lowest-indexed plane with a pending output at `port`, if any
+    /// (an occupancy-mask word scan, no per-plane probing).
+    pub fn first_pending(&self, port: Direction) -> Option<u16> {
+        occ_first(&self.out_occ, occ_words(self.planes), port)
+    }
+
+    /// Removes and returns the lowest-plane pending output at `port` as
+    /// `(plane, value)`. Draining a port is `O(occupied + mask words)`:
+    /// repeated calls walk the occupancy mask in ascending plane order and
+    /// return [`None`] once the port is empty.
+    pub fn take_next_output(&mut self, port: Direction) -> Option<(u16, NocSum)> {
+        let plane = self.first_pending(port)?;
+        let value = self.take_output(port, plane).expect("occupancy mask tracks outputs");
+        Some((plane, value))
     }
 
     /// Removes and returns the ejection register toward the spiking logic.
@@ -180,13 +208,16 @@ impl PsRouter {
     pub fn reset(&mut self) {
         self.inputs.iter_mut().for_each(|r| *r = None);
         self.outputs.iter_mut().for_each(|r| *r = None);
+        self.out_occ.iter_mut().for_each(|w| *w = 0);
         self.sum_buf.iter_mut().for_each(|r| *r = None);
         self.eject.iter_mut().for_each(|r| *r = None);
     }
 
-    /// Whether any output register holds data awaiting transfer.
+    /// Whether any output register holds data awaiting transfer (an
+    /// occupancy-mask scan: `4 × ceil(planes/64)` words, not
+    /// `4 × planes` registers).
     pub fn has_pending_output(&self) -> bool {
-        self.outputs.iter().any(|r| r.is_some())
+        occ_any(&self.out_occ)
     }
 
     fn take_input(&mut self, port: Direction, plane: u16) -> Option<NocSum> {
@@ -205,6 +236,7 @@ impl PsRouter {
                     });
                 }
                 self.outputs[idx] = Some(value);
+                occ_set(&mut self.out_occ, occ_words(self.planes), d, plane);
             }
             PsDst::SpikingLogic => {
                 if self.eject[plane as usize].is_some() {
@@ -219,8 +251,12 @@ impl PsRouter {
         Ok(())
     }
 
+    /// Port-major register layout: the transfer phase and the `exec` loops
+    /// walk planes with the port fixed, so `[port][plane]` keeps those
+    /// walks sequential in memory.
+    #[inline]
     fn reg_index(&self, port: Direction, plane: u16) -> usize {
-        plane as usize * 4 + port.encode() as usize
+        port.encode() as usize * self.planes as usize + plane as usize
     }
 }
 
@@ -401,6 +437,90 @@ mod tests {
         assert_eq!(r.take_output(Direction::South, 1), Some(noc(11)));
         assert_eq!(r.take_output(Direction::South, 2), None);
         assert_eq!(r.take_output(Direction::South, 3), Some(noc(13)));
+    }
+
+    #[test]
+    fn empty_plane_set_is_a_noop() {
+        let mut r = PsRouter::new(4);
+        r.exec(
+            &PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::North),
+                planes: PlaneSet::empty(),
+            },
+            &local(&[1, 2, 3, 4]),
+        )
+        .unwrap();
+        assert!(!r.has_pending_output());
+        assert_eq!(r.first_pending(Direction::North), None);
+        assert_eq!(r.take_next_output(Direction::North), None);
+    }
+
+    #[test]
+    fn full_mask_occupies_every_plane() {
+        // An explicit full mask (not PlaneSet::All) across a word boundary.
+        let mut r = PsRouter::new(80);
+        let sums: Vec<LocalSum> = (0..80).map(|i| LocalSum::new(i).unwrap()).collect();
+        r.exec(
+            &PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::East),
+                planes: PlaneSet::from_range(0..80),
+            },
+            &sums,
+        )
+        .unwrap();
+        assert_eq!(r.first_pending(Direction::East), Some(0));
+        for expect in 0..80u16 {
+            let (plane, v) = r.take_next_output(Direction::East).unwrap();
+            assert_eq!(plane, expect);
+            assert_eq!(v.value(), i32::from(expect));
+        }
+        assert!(!r.has_pending_output());
+    }
+
+    #[test]
+    fn single_high_plane_index_tracked() {
+        // Plane 255 sits in the last occupancy word of a 256-plane tile.
+        let mut r = PsRouter::new(256);
+        let sums: Vec<LocalSum> = (0..256).map(|_| LocalSum::new(9).unwrap()).collect();
+        r.exec(
+            &PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::South),
+                planes: PlaneSet::from_indices([255u16]),
+            },
+            &sums,
+        )
+        .unwrap();
+        assert!(r.has_pending_output());
+        assert_eq!(r.first_pending(Direction::South), Some(255));
+        assert_eq!(r.first_pending(Direction::North), None);
+        assert_eq!(r.take_next_output(Direction::South), Some((255, noc(9))));
+        assert!(!r.has_pending_output());
+    }
+
+    #[test]
+    fn take_after_take_drains_in_ascending_plane_order() {
+        let mut r = PsRouter::new(256);
+        let sums: Vec<LocalSum> = (0..256).map(|i| LocalSum::new(i).unwrap()).collect();
+        r.exec(
+            &PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::West),
+                planes: PlaneSet::from_indices([200u16, 3, 64, 65]),
+            },
+            &sums,
+        )
+        .unwrap();
+        // Mixed draining: a direct take in the middle must not disturb the
+        // mask walk.
+        assert_eq!(r.take_next_output(Direction::West), Some((3, noc(3))));
+        assert_eq!(r.take_output(Direction::West, 65), Some(noc(65)));
+        assert_eq!(r.take_next_output(Direction::West), Some((64, noc(64))));
+        assert_eq!(r.take_next_output(Direction::West), Some((200, noc(200))));
+        assert_eq!(r.take_next_output(Direction::West), None);
+        assert_eq!(r.take_output(Direction::West, 200), None, "take drains the mask too");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use shenjing_core::{Direction, Error, LocalSum, NocSum, Result};
 
+use crate::occupancy::{occ_any, occ_clear, occ_fill, occ_first, occ_set, occ_words};
 use crate::ops::SpikeRouterOp;
 
 /// All spike-NoC planes of one tile.
@@ -39,10 +40,14 @@ pub struct SpikeRouter {
     threshold: Vec<i32>,
     /// `[plane]` locally generated spike bits.
     spike_buf: Vec<bool>,
-    /// `[plane * 4 + port]` input registers.
+    /// `[port * planes + plane]` input registers.
     inputs: Vec<Option<bool>>,
-    /// `[plane * 4 + port]` output registers.
+    /// `[port * planes + plane]` output registers.
     outputs: Vec<Option<bool>>,
+    /// Per-direction occupancy of `outputs`, same layout and role as
+    /// [`PsRouter`](crate::PsRouter)'s: the transfer phase walks only
+    /// occupied (port, plane) pairs.
+    out_occ: Vec<u64>,
     /// Spikes delivered to the local core this cycle: `(plane, value)`.
     deliveries: Vec<(u16, bool)>,
 }
@@ -60,6 +65,7 @@ impl SpikeRouter {
             spike_buf: vec![false; planes as usize],
             inputs: vec![None; planes as usize * 4],
             outputs: vec![None; planes as usize * 4],
+            out_occ: vec![0; occ_words(planes) * 4],
             deliveries: Vec::new(),
         }
     }
@@ -118,7 +124,7 @@ impl SpikeRouter {
     ) -> Result<()> {
         match op {
             SpikeRouterOp::Spike { from_ps_router, planes } => {
-                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                for p in planes.iter(self.planes) {
                     let sum = if *from_ps_router {
                         ps_eject
                             .get_mut(p as usize)
@@ -137,13 +143,38 @@ impl SpikeRouter {
                 }
             }
             SpikeRouterOp::Send { dst, planes } => {
-                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
-                    let spike = self.spike_buf[p as usize];
-                    self.write_out(*dst, p, spike)?;
+                if matches!(planes, crate::PlaneSet::All) {
+                    // Bulk whole-port path: one contention scan over the
+                    // occupancy words, then a straight copy of the spike
+                    // buffer into the port's (port-major, contiguous)
+                    // output slice. Errors match the per-plane loop: the
+                    // lowest occupied plane reports contention.
+                    let words = occ_words(self.planes);
+                    if let Some(p) = occ_first(&self.out_occ, words, *dst) {
+                        return Err(Error::InvalidSchedule {
+                            cycle: 0,
+                            reason: format!(
+                                "spike output register contention at port {dst}, plane {p}"
+                            ),
+                        });
+                    }
+                    let base = self.reg_index(*dst, 0);
+                    for (out, &spike) in self.outputs[base..base + self.planes as usize]
+                        .iter_mut()
+                        .zip(&self.spike_buf)
+                    {
+                        *out = Some(spike);
+                    }
+                    occ_fill(&mut self.out_occ, words, *dst, self.planes);
+                } else {
+                    for p in planes.iter(self.planes) {
+                        let spike = self.spike_buf[p as usize];
+                        self.write_out(*dst, p, spike)?;
+                    }
                 }
             }
             SpikeRouterOp::Bypass { src, dst, deliver, planes } => {
-                for p in planes.clone().iter(self.planes).collect::<Vec<_>>() {
+                for p in planes.iter(self.planes) {
                     let idx = self.reg_index(*src, p);
                     let spike = self.inputs[idx].take().ok_or_else(|| Error::InvalidControl {
                         component: "spike_router".into(),
@@ -196,7 +227,26 @@ impl SpikeRouter {
     /// Removes and returns the output register of `port`/`plane`.
     pub fn take_output(&mut self, port: Direction, plane: u16) -> Option<bool> {
         let idx = self.reg_index(port, plane);
-        self.outputs[idx].take()
+        let taken = self.outputs[idx].take();
+        if taken.is_some() {
+            occ_clear(&mut self.out_occ, occ_words(self.planes), port, plane);
+        }
+        taken
+    }
+
+    /// The lowest-indexed plane with a pending spike at `port`, if any
+    /// (an occupancy-mask word scan, no per-plane probing).
+    pub fn first_pending(&self, port: Direction) -> Option<u16> {
+        occ_first(&self.out_occ, occ_words(self.planes), port)
+    }
+
+    /// Removes and returns the lowest-plane pending spike at `port` as
+    /// `(plane, spike)`. Repeated calls drain the port in ascending plane
+    /// order and return [`None`] once it is empty.
+    pub fn take_next_output(&mut self, port: Direction) -> Option<(u16, bool)> {
+        let plane = self.first_pending(port)?;
+        let spike = self.take_output(port, plane).expect("occupancy mask tracks outputs");
+        Some((plane, spike))
     }
 
     /// Drains the spikes delivered to the local core this cycle.
@@ -204,9 +254,10 @@ impl SpikeRouter {
         std::mem::take(&mut self.deliveries)
     }
 
-    /// Whether any output register holds a spike awaiting transfer.
+    /// Whether any output register holds a spike awaiting transfer (an
+    /// occupancy-mask scan, not a register sweep).
     pub fn has_pending_output(&self) -> bool {
-        self.outputs.iter().any(|r| r.is_some())
+        occ_any(&self.out_occ)
     }
 
     /// Clears crossbar registers and spike buffers but **keeps membrane
@@ -214,6 +265,7 @@ impl SpikeRouter {
     pub fn reset_network_state(&mut self) {
         self.inputs.iter_mut().for_each(|r| *r = None);
         self.outputs.iter_mut().for_each(|r| *r = None);
+        self.out_occ.iter_mut().for_each(|w| *w = 0);
         self.spike_buf.iter_mut().for_each(|s| *s = false);
         self.deliveries.clear();
     }
@@ -232,11 +284,15 @@ impl SpikeRouter {
             });
         }
         self.outputs[idx] = Some(spike);
+        occ_set(&mut self.out_occ, occ_words(self.planes), dst, plane);
         Ok(())
     }
 
+    /// Port-major register layout, as in [`PsRouter`]: per-direction walks
+    /// stay sequential in memory.
+    #[inline]
     fn reg_index(&self, port: Direction, plane: u16) -> usize {
-        plane as usize * 4 + port.encode() as usize
+        port.encode() as usize * self.planes as usize + plane as usize
     }
 }
 
@@ -445,6 +501,63 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, Error::InvalidSchedule { .. }));
+    }
+
+    #[test]
+    fn occupancy_edge_cases() {
+        let mut r = SpikeRouter::new(256);
+        let mut eject = vec![None; 256];
+        // Empty mask: nothing occupied.
+        r.exec(
+            &SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::empty() },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert!(!r.has_pending_output());
+        assert_eq!(r.take_next_output(Direction::East), None);
+
+        // Single high plane index lands in the last occupancy word.
+        r.integrate_value(255, 10); // fires (default threshold 1)
+        r.exec(
+            &SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::from_indices([255u16]) },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert_eq!(r.first_pending(Direction::East), Some(255));
+        assert_eq!(r.take_next_output(Direction::East), Some((255, true)));
+
+        // Full mask: every plane pending, take-after-take drains ascending.
+        r.exec(
+            &SpikeRouterOp::Send { dst: Direction::West, planes: PlaneSet::all() },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        for expect in 0..256u16 {
+            let (plane, _) = r.take_next_output(Direction::West).unwrap();
+            assert_eq!(plane, expect);
+        }
+        assert_eq!(r.take_next_output(Direction::West), None);
+        assert!(!r.has_pending_output());
+    }
+
+    #[test]
+    fn network_reset_clears_occupancy() {
+        let mut r = SpikeRouter::new(16);
+        let mut eject = vec![None; 16];
+        r.integrate_value(2, 5);
+        r.exec(
+            &SpikeRouterOp::Send { dst: Direction::North, planes: PlaneSet::from_indices([2u16]) },
+            &local(&[0]),
+            &mut eject,
+        )
+        .unwrap();
+        assert!(r.has_pending_output());
+        r.reset_network_state();
+        assert!(!r.has_pending_output());
+        assert_eq!(r.take_next_output(Direction::North), None);
     }
 
     #[test]

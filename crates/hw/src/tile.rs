@@ -34,6 +34,11 @@ pub struct Tile {
     /// toolchain configures it so producer neuron planes line up with
     /// consumer axon slots. Identity by default.
     axon_map: Vec<u16>,
+    /// When set, `ACC` ops run the retained dense reference sweep instead
+    /// of the sparse fast path (see [`Chip::set_reference_mode`]).
+    ///
+    /// [`Chip::set_reference_mode`]: crate::Chip::set_reference_mode
+    reference: bool,
 }
 
 impl Tile {
@@ -44,7 +49,15 @@ impl Tile {
             ps: PsRouter::new(arch.core_neurons),
             spike: SpikeRouter::new(arch.core_neurons),
             axon_map: (0..arch.core_neurons).collect(),
+            reference: false,
         }
+    }
+
+    /// Switches this tile between the sparse `ACC` fast path and the
+    /// retained dense reference implementation (both bit-identical; the
+    /// equivalence proptests compare them).
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference = on;
     }
 
     /// Configures the delivery remap for one plane: spikes ejected on
@@ -109,7 +122,13 @@ impl Tile {
                     // LD_WT op models its timing and energy.
                     Ok(())
                 }
-                crate::ops::NeuronCoreOp::Acc { banks } => self.core.accumulate(*banks),
+                crate::ops::NeuronCoreOp::Acc { banks } => {
+                    if self.reference {
+                        self.core.accumulate_reference(*banks)
+                    } else {
+                        self.core.accumulate(*banks)
+                    }
+                }
             },
             AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all()),
             AtomicOp::Spike(spike_op) => {

@@ -1,9 +1,10 @@
 //! Property-based tests of the hardware component semantics.
 
 use proptest::prelude::*;
-use shenjing_core::{ArchSpec, Direction, LocalSum, NocSum, W5};
+use shenjing_core::{ArchSpec, CoreCoord, Direction, LocalSum, NocSum, W5};
 use shenjing_hw::{
-    NeuronCore, PlaneSet, PsDst, PsRouter, PsRouterOp, PsSendSource, SpikeRouter, SpikeRouterOp,
+    AtomicOp, Chip, NeuronCore, NeuronCoreOp, PlaneSet, PsDst, PsRouter, PsRouterOp, PsSendSource,
+    SpikeRouter, SpikeRouterOp,
 };
 
 proptest! {
@@ -134,5 +135,115 @@ proptest! {
             total - spikes * i64::from(threshold),
             "potential must account for every spike"
         );
+    }
+
+    /// The sparse-activity `ACC` fast path is bit-identical to the retained
+    /// dense reference sweep — sums *and* errors — across core sizes that
+    /// straddle the checked-fallback boundary (`inputs × |W5| ≤ 13 bits`),
+    /// activity densities and bank masks, including overflow-inducing
+    /// weight/activity combinations on oversized cores.
+    #[test]
+    fn sparse_acc_is_bit_identical_to_reference(
+        inputs in 1u16..=300,
+        weights in proptest::collection::vec(-16i32..=15, 300 * 8),
+        activity in proptest::collection::vec(0.0f64..1.0, 300),
+        density in 0.0f64..1.0,
+        banks in 1u8..=15,
+    ) {
+        let arch = ArchSpec { core_inputs: inputs, core_neurons: 8, ..ArchSpec::tiny() };
+        let mut fast = NeuronCore::new(&arch);
+        for a in 0..inputs {
+            for n in 0..8u16 {
+                let w = W5::new(weights[a as usize * 8 + n as usize]).unwrap();
+                fast.write_weight(a, n, w).unwrap();
+            }
+        }
+        for a in 0..inputs {
+            fast.set_axon(a, activity[a as usize] < density).unwrap();
+        }
+        let mut reference = fast.clone();
+        let fast_res = fast.accumulate(banks);
+        let reference_res = reference.accumulate_reference(banks);
+        prop_assert_eq!(&fast_res, &reference_res);
+        prop_assert_eq!(fast.active_axon_count(), reference.active_axon_count());
+        if fast_res.is_ok() {
+            prop_assert_eq!(fast.local_ps_all(), reference.local_ps_all());
+        }
+    }
+
+    /// The sparse, occupancy-driven transfer phase is bit-identical to the
+    /// reference per-register scan: same delivered values, and the same
+    /// off-mesh-edge / contention errors with the same cycle annotation.
+    #[test]
+    fn sparse_transfer_is_bit_identical_to_reference(
+        row in 0u16..2,
+        col in 0u16..2,
+        dir_code in 0u8..4,
+        plane_sel in proptest::collection::vec(any::<bool>(), 16),
+        cycle in 0u64..1000,
+        contend in any::<bool>(),
+    ) {
+        let arch = ArchSpec::tiny();
+        let mut fast = Chip::new(&arch, 2, 2).unwrap();
+        let mut reference = Chip::new(&arch, 2, 2).unwrap();
+        reference.set_reference_mode(true);
+
+        let src = CoreCoord::new(row, col);
+        let dir = Direction::decode(dir_code).unwrap();
+        let planes: PlaneSet = plane_sel
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(i as u16))
+            .collect();
+        if planes.is_empty() {
+            continue;
+        }
+
+        for chip in [&mut fast, &mut reference] {
+            let core = chip.tile_mut(src).unwrap().core_mut();
+            for n in 0..16u16 {
+                core.write_weight(0, n, W5::new(i32::from(n) - 8).unwrap()).unwrap();
+            }
+            core.set_axon(0, true).unwrap();
+        }
+        let acc = [(src, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))];
+        let send = [(
+            src,
+            AtomicOp::Ps(PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(dir),
+                planes,
+            }),
+        )];
+        let fast_res = fast.exec_cycle(cycle, &acc).and_then(|()| {
+            fast.exec_cycle(cycle + 1, &send).and_then(|()| {
+                if contend {
+                    // Re-send without the neighbor consuming its input:
+                    // input-register contention two cycles later.
+                    fast.exec_cycle(cycle + 2, &send)
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        let reference_res = reference.exec_cycle(cycle, &acc).and_then(|()| {
+            reference.exec_cycle(cycle + 1, &send).and_then(|()| {
+                if contend { reference.exec_cycle(cycle + 2, &send) } else { Ok(()) }
+            })
+        });
+        prop_assert_eq!(&fast_res, &reference_res);
+
+        if fast_res.is_ok() {
+            let dst = src.neighbor(dir).unwrap();
+            let port = dir.opposite();
+            for p in 0..16u16 {
+                prop_assert_eq!(
+                    fast.tile(dst).unwrap().ps().peek_input(port, p),
+                    reference.tile(dst).unwrap().ps().peek_input(port, p),
+                    "plane {} diverged after transfer",
+                    p
+                );
+            }
+        }
     }
 }

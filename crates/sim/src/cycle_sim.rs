@@ -144,6 +144,16 @@ impl CycleSim {
         &self.chip
     }
 
+    /// Switches the underlying chip between the optimized sparse hot path
+    /// (activity-indexed `ACC`, occupancy-masked transfer) and the retained
+    /// dense reference semantics. Both are bit-identical — outputs,
+    /// membrane state and error cycles — a property
+    /// [`equivalence::verify_sequential`](crate::equivalence::verify_sequential)
+    /// checks and the sequential equivalence proptest enforces.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.chip.set_reference_mode(on);
+    }
+
     /// The shared decoded program this simulator executes.
     pub fn decoded(&self) -> &Arc<DecodedProgram> {
         &self.program

@@ -6,12 +6,15 @@
 //! partial-sum NoCs accumulate exact integer sums across cores (Table IV's
 //! identical "Abstract SNN Accu." and "Shenjing Accu." rows).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use shenjing_core::Result;
 use shenjing_nn::Tensor;
 use shenjing_snn::SnnNetwork;
 
-use crate::cycle_sim::CycleSim;
+use crate::cycle_sim::{CycleSim, DecodedProgram};
+use crate::trace::digest_chip;
 
 /// The outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +56,50 @@ pub fn verify(
         if abstract_out.spikes_by_step == hw_out.spikes_by_step
             && abstract_out.spike_counts == hw_out.spike_counts
         {
+            exact += 1;
+        } else if first_mismatch.is_none() {
+            first_mismatch = Some(i);
+        }
+    }
+    Ok(EquivalenceReport { frames: inputs.len(), timesteps, exact_frames: exact, first_mismatch })
+}
+
+/// Runs `inputs` through two instantiations of the same decoded program —
+/// one on the optimized sparse hot path, one on the retained dense
+/// reference implementation — and compares them bit for bit: the full
+/// [`SnnOutput`](shenjing_snn::SnnOutput) (or the exact error, for frames
+/// that fail, e.g. on overflow-inducing weights) *and* a whole-chip state
+/// digest after every frame, covering every membrane potential, axon bit
+/// and in-flight register of every tile.
+///
+/// This is the executable gate behind the sparse-activity fast path: the
+/// sequential equivalence proptest drives it over random networks and
+/// activity densities.
+///
+/// # Errors
+///
+/// Returns instantiation errors; per-frame run errors are *compared*, not
+/// propagated (matching errors count as exact frames).
+pub fn verify_sequential(
+    program: &Arc<DecodedProgram>,
+    inputs: &[Tensor],
+    timesteps: u32,
+) -> Result<EquivalenceReport> {
+    let mut fast = CycleSim::from_decoded(Arc::clone(program))?;
+    let mut reference = CycleSim::from_decoded(Arc::clone(program))?;
+    reference.set_reference_mode(true);
+
+    let mut exact = 0usize;
+    let mut first_mismatch = None;
+    for (i, input) in inputs.iter().enumerate() {
+        let fast_out = fast.run_frame(input, timesteps);
+        let reference_out = reference.run_frame(input, timesteps);
+        // State is only compared for frames that completed: an erroring
+        // frame legitimately leaves the two chips mid-cycle at different
+        // points, and the next frame's reset clears all dynamic state.
+        let states_match =
+            fast_out.is_err() || digest_chip(0, fast.chip()) == digest_chip(0, reference.chip());
+        if fast_out == reference_out && states_match {
             exact += 1;
         } else if first_mismatch.is_none() {
             first_mismatch = Some(i);

@@ -51,6 +51,6 @@ pub mod trace;
 
 pub use batch::BatchSim;
 pub use cycle_sim::{CycleSim, DecodedProgram};
-pub use equivalence::{verify, EquivalenceReport};
+pub use equivalence::{verify, verify_sequential, EquivalenceReport};
 pub use fault::{inject, Fault};
 pub use trace::{compare_traces, digest_chip, trace_block, Divergence, StateDigest};
