@@ -22,6 +22,17 @@ fn bench_sim(c: &mut Criterion) {
     // regression gate, not by prose.
     c.bench_function("single_frame_mlp_t8", |b| b.iter(|| sim.run_frame(&input, 8).unwrap()));
 
+    // The dense counterpart of `single_frame_mlp_t8`: the same mapped MLP
+    // fed a saturating input (every pixel 1.0, so every input axon spikes
+    // every timestep) pushes the sparse-activity engines to worst-case
+    // density. The pair tracks the dense/sparse crossover in CI: sparse
+    // wins shrink this gap toward zero, capacity-proportional regressions
+    // widen it.
+    let dense_input = Tensor::from_vec(vec![784], vec![1.0; 784]).unwrap();
+    c.bench_function("single_frame_dense_mlp_t8", |b| {
+        b.iter(|| sim.run_frame(&dense_input, 8).unwrap())
+    });
+
     let mut abstract_snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
     c.bench_function("abstract_snn_mlp_frame_t20", |b| {
         b.iter(|| abstract_snn.run(&input, 20).unwrap())

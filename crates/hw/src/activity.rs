@@ -1,0 +1,143 @@
+//! The maintained active-index set behind every sparse-activity sweep.
+//!
+//! PR 3 gave the sequential [`NeuronCore`](crate::NeuronCore) a
+//! maintained active-axon list (swap-removed, with a position map) so
+//! `ACC` pays for activity instead of capacity. The batched engine needs
+//! the identical bookkeeping — an axon is *active* when any lane spikes
+//! on it — so the structure lives here, lane-width-agnostic: the caller
+//! decides what "active" means (one spike bit for the scalar core, a
+//! nonzero lane count for the batched core) and [`ActiveSet`] tracks the
+//! membership in `O(1)` per update with `O(active)` iteration and clear.
+//!
+//! Membership order is unspecified (swap-removal reorders); every sweep
+//! built on this set must therefore be order-insensitive — exact integer
+//! accumulation is, which is what the equivalence proptests pin down.
+
+/// Sentinel in the position map marking an idle index. Valid because
+/// positions inside the active list are `< capacity <= u16::MAX`.
+const IDLE: u16 = u16::MAX;
+
+/// A set over `0..capacity` indices with `O(1)` insert/remove/contains,
+/// `O(members)` iteration and clear, and a maintained count.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Member indices, unordered (swap-removed).
+    members: Vec<u16>,
+    /// `[index]` position of the index inside `members`, or [`IDLE`].
+    pos: Vec<u16>,
+}
+
+impl ActiveSet {
+    /// Creates an empty set over `0..capacity`.
+    pub fn new(capacity: u16) -> ActiveSet {
+        ActiveSet { members: Vec::new(), pos: vec![IDLE; capacity as usize] }
+    }
+
+    /// Inserts `index`; returns whether it was newly inserted.
+    pub fn insert(&mut self, index: u16) -> bool {
+        if self.pos[index as usize] != IDLE {
+            return false;
+        }
+        self.pos[index as usize] = self.members.len() as u16;
+        self.members.push(index);
+        true
+    }
+
+    /// Removes `index`; returns whether it was a member.
+    pub fn remove(&mut self, index: u16) -> bool {
+        let p = self.pos[index as usize];
+        if p == IDLE {
+            return false;
+        }
+        self.members.swap_remove(p as usize);
+        if let Some(&moved) = self.members.get(p as usize) {
+            self.pos[moved as usize] = p;
+        }
+        self.pos[index as usize] = IDLE;
+        true
+    }
+
+    /// Whether `index` is a member.
+    pub fn contains(&self, index: u16) -> bool {
+        self.pos[index as usize] != IDLE
+    }
+
+    /// Number of members — a maintained counter, `O(1)`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates the members in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Empties the set. Costs `O(members)`, not `O(capacity)`.
+    pub fn clear(&mut self) {
+        for &m in &self.members {
+            self.pos[m as usize] = IDLE;
+        }
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = ActiveSet::new(16);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "redundant insert is a no-op");
+        assert!(s.insert(7));
+        assert!(s.insert(11));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3) && s.contains(7) && s.contains(11));
+        assert!(!s.contains(4));
+        assert!(s.remove(3), "middle removal (swap_remove path)");
+        assert!(!s.remove(3), "redundant remove is a no-op");
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(3));
+        let mut members: Vec<u16> = s.iter().collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![7, 11]);
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut s = ActiveSet::new(8);
+        for i in [0u16, 2, 5, 7] {
+            s.insert(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        for i in 0..8u16 {
+            assert!(!s.contains(i));
+        }
+        assert!(s.insert(5), "cleared indices can re-enter");
+    }
+
+    #[test]
+    fn swap_removal_keeps_positions_consistent() {
+        let mut s = ActiveSet::new(8);
+        for i in 0..8u16 {
+            s.insert(i);
+        }
+        // Remove from the front repeatedly: every removal moves the tail
+        // member into the hole, exercising the position fix-up.
+        for i in 0..8u16 {
+            assert!(s.remove(i));
+            for j in i + 1..8 {
+                assert!(s.contains(j), "removing {i} must not evict {j}");
+            }
+        }
+        assert!(s.is_empty());
+    }
+}

@@ -8,22 +8,29 @@
 //! register keeps a single occupancy bit but carries `B` payload lanes
 //! (structure-of-arrays), and every atomic op advances all lanes at once.
 //!
-//! This is the serving runtime's execution engine: it amortizes program
-//! decode, the cycle loop and the transfer-phase occupancy scan over the
-//! whole batch, and it allocates nothing per cycle (the chip reuses its
-//! transfer scratch buffers). Payload arithmetic runs per lane in exactly
-//! the order of the single-frame components, so a batched run is
-//! bit-identical to `B` sequential single-frame runs (`shenjing-sim`
-//! proves this property against random networks).
+//! Both engines are now built on the **same sparse-activity core**:
 //!
-//! The *sequential* components have since adopted the same shape —
-//! [`NeuronCore`](crate::NeuronCore) keeps a maintained active-axon list,
-//! the routers keep per-direction output occupancy masks, and
-//! [`Chip`](crate::Chip) reuses its transfer move buffers — so batching's
-//! remaining advantage is amortizing the per-cycle control-word walk and
-//! occupancy scan across lanes, which pays off as activity density rises
-//! (sparse single frames can outrun the dense SoA sweep; see the ROADMAP
-//! perf table for the measured crossover).
+//! * [`BatchNeuronCore`] maintains the same [`ActiveSet`] of spiking axons
+//!   as the sequential [`NeuronCore`](crate::NeuronCore) (an axon is
+//!   active when *any* lane spikes on it), so `ACC` sweeps active weight
+//!   rows instead of scanning capacity;
+//! * [`BatchPsRouter`]/[`BatchSpikeRouter`] keep the same per-direction
+//!   [`PortOccupancy`] masks as their sequential counterparts, so the
+//!   transfer phase jumps straight to occupied (direction, plane) pairs;
+//! * [`BatchChip`] visits only this cycle's op tiles (the only possible
+//!   sources of outputs and deliveries) and reuses its transfer move
+//!   buffers, exactly like [`Chip`](crate::Chip).
+//!
+//! The dense capacity walks survive only as the retained **reference
+//! mode** ([`BatchChip::set_reference_mode`]), mirroring the sequential
+//! engine: per-register transfer probing and a per-step-checked dense
+//! `ACC` sweep. Fast and reference modes are bit-identical — outputs,
+//! whole-chip digests and error cycles — which
+//! `shenjing-sim::equivalence::verify_batched` checks and the batched
+//! equivalence proptests enforce. With the sparse shape shared, the
+//! batched engine's cost scales with activity like the sequential one's,
+//! and batching is strictly additive: it amortizes the control-word walk
+//! and the occupancy scan across lanes at every activity level.
 //!
 //! Range checking: lane sums are validated against the same 13-bit local /
 //! 16-bit NoC widths as the single-frame path. For any architecture whose
@@ -31,12 +38,15 @@
 //! sizes the accumulator that way) `ACC` overflow is impossible and the
 //! batched sweep skips the per-addition checks; for architectures where a
 //! running sum *could* leave the range mid-accumulation, `ACC` falls back
-//! to a per-step checked sweep in the scalar core's exact order, so error
-//! behavior matches sequential runs there too.
+//! to the per-step-checked reference sweep in the scalar core's exact
+//! order, so error behavior matches sequential runs there too.
 
 use shenjing_core::fixed::{LOCAL_SUM_BITS, NOC_SUM_BITS};
 use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, Result, W5};
 
+use crate::activity::ActiveSet;
+use crate::neuron_core::acc_overflow_possible;
+use crate::occupancy::PortOccupancy;
 use crate::ops::{AtomicOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
 
 const NOC_MAX: i32 = i16::MAX as i32;
@@ -44,8 +54,12 @@ const NOC_MIN: i32 = i16::MIN as i32;
 const LOCAL_MAX: i32 = (1 << (LOCAL_SUM_BITS - 1)) - 1;
 const LOCAL_MIN: i32 = -(1 << (LOCAL_SUM_BITS - 1));
 
-fn reg_index(port: Direction, plane: u16) -> usize {
-    plane as usize * 4 + port.encode() as usize
+/// Port-major register layout, as in the sequential routers: the
+/// transfer phase and the `exec` loops walk planes with the port fixed,
+/// so `[port][plane]` keeps those walks sequential in memory.
+#[inline]
+fn reg_index(planes: u16, port: Direction, plane: u16) -> usize {
+    port.encode() as usize * planes as usize + plane as usize
 }
 
 /// Batched neuron core: shared weights, per-lane axons and partial sums.
@@ -73,6 +87,14 @@ pub struct BatchNeuronCore {
     weights: Vec<W5>,
     /// `[axon][lane]` spike bits.
     axons: Vec<bool>,
+    /// Axons spiking in at least one lane — the shared maintained-list
+    /// component the sequential core uses, so the `ACC` sweep pays for
+    /// activity instead of capacity.
+    active: ActiveSet,
+    /// `[axon]` number of lanes currently spiking on the axon (membership
+    /// in `active` is `lane_count > 0`). Wide enough that no realizable
+    /// lane count can wrap it.
+    lane_count: Vec<u32>,
     /// `[neuron][lane]` local partial sums.
     local_ps: Vec<i32>,
 }
@@ -87,6 +109,8 @@ impl BatchNeuronCore {
             batch,
             weights: vec![W5::ZERO; arch.core_inputs as usize * arch.core_neurons as usize],
             axons: vec![false; arch.core_inputs as usize * batch],
+            active: ActiveSet::new(arch.core_inputs),
+            lane_count: vec![0; arch.core_inputs as usize],
             local_ps: vec![0; arch.core_neurons as usize * batch],
         }
     }
@@ -94,6 +118,16 @@ impl BatchNeuronCore {
     /// Number of lanes.
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// Number of input axons.
+    pub fn inputs(&self) -> u16 {
+        self.inputs
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> u16 {
+        self.neurons
     }
 
     /// Loads a full `inputs × neurons` weight block (row-major by axon).
@@ -142,13 +176,59 @@ impl BatchNeuronCore {
                 self.inputs, self.batch
             )));
         }
-        self.axons[axon as usize * self.batch + lane] = spiking;
+        let bit = &mut self.axons[axon as usize * self.batch + lane];
+        if *bit == spiking {
+            return Ok(());
+        }
+        *bit = spiking;
+        let count = &mut self.lane_count[axon as usize];
+        if spiking {
+            *count += 1;
+            if *count == 1 {
+                self.active.insert(axon);
+            }
+        } else {
+            *count -= 1;
+            if *count == 0 {
+                self.active.remove(axon);
+            }
+        }
         Ok(())
     }
 
-    /// Clears every axon in every lane (start of a new timestep).
+    /// One axon's spike bit in one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `axon` or `lane` are out of
+    /// range.
+    pub fn axon(&self, axon: u16, lane: usize) -> Result<bool> {
+        if axon >= self.inputs || lane >= self.batch {
+            return Err(Error::out_of_bounds(format!(
+                "axon {axon} lane {lane} of a {}-input, {}-lane core",
+                self.inputs, self.batch
+            )));
+        }
+        Ok(self.axons[axon as usize * self.batch + lane])
+    }
+
+    /// Clears every axon in every lane (start of a new timestep). Costs
+    /// `O(active × lanes)`, not `O(inputs × lanes)`.
     pub fn clear_axons(&mut self) {
-        self.axons.iter_mut().for_each(|a| *a = false);
+        let b = self.batch;
+        for a in self.active.iter() {
+            self.axons[a as usize * b..(a as usize + 1) * b].fill(false);
+            self.lane_count[a as usize] = 0;
+        }
+        self.active.clear();
+    }
+
+    /// Number of axons spiking in at least one lane — the batched
+    /// counterpart of
+    /// [`NeuronCore::active_axon_count`](crate::NeuronCore::active_axon_count),
+    /// a maintained `O(1)` counter.
+    pub fn active_axon_count(&self) -> usize {
+        self.active.len()
     }
 
     /// The local partial sum of `neuron` in `lane`.
@@ -162,11 +242,13 @@ impl BatchNeuronCore {
     }
 
     /// Executes `ACC` on every lane: recomputes the partial sums of the
-    /// neurons in the enabled `banks` from the current axon lanes. Axons
-    /// idle in every lane are skipped entirely, so sparse activity pays
-    /// only for the weight rows it touches — the same axon-major shape as
-    /// [`NeuronCore::accumulate`](crate::NeuronCore::accumulate), whose
-    /// rustdoc states the shared checked-fallback condition.
+    /// neurons in the enabled `banks` from the current axon lanes, sweeping
+    /// axon-major over the maintained active-axon list — the same sparse
+    /// shape as [`NeuronCore::accumulate`](crate::NeuronCore::accumulate),
+    /// whose rustdoc states the shared checked-fallback condition. When the
+    /// fallback condition holds (oversized custom architectures), this
+    /// delegates to
+    /// [`accumulate_reference`](BatchNeuronCore::accumulate_reference).
     ///
     /// # Errors
     ///
@@ -175,58 +257,23 @@ impl BatchNeuronCore {
     /// inputs per core), and [`Error::InvalidControl`] for an invalid
     /// bank mask.
     pub fn accumulate(&mut self, banks: u8) -> Result<()> {
-        let valid_mask = (1u16 << self.banks) - 1;
-        if banks == 0 || u16::from(banks) & !valid_mask != 0 {
-            return Err(Error::InvalidControl {
-                component: "neuron_core".into(),
-                reason: format!("bank mask {banks:#06b} invalid for a {}-bank core", self.banks),
-            });
+        if acc_overflow_possible(self.inputs) {
+            return self.accumulate_reference(banks);
         }
+        self.check_banks(banks)?;
         let b = self.batch;
         let neurons = self.neurons as usize;
         let per_bank = neurons / self.banks as usize;
         let n_banks = self.banks as usize;
         let enabled = |bank: usize| banks & (1 << bank) != 0;
-        // Can any running sum leave the 13-bit range at all? Not when the
-        // all-axons-spiking extreme still fits (the paper's sizing; holds
-        // for every built-in arch).
-        let overflow_possible = i32::from(self.inputs) * W5::MAX.value() > LOCAL_MAX
-            || i32::from(self.inputs) * W5::MIN.value() < LOCAL_MIN;
-
-        let BatchNeuronCore { weights, axons, local_ps, .. } = self;
-        if overflow_possible {
-            // Checked sweep in the scalar core's exact order (bank →
-            // neuron → axon), so a mid-accumulation excursion errors for
-            // precisely the frames where the sequential path would.
-            for bank in (0..n_banks).filter(|&k| enabled(k)) {
-                for n in bank * per_bank..(bank + 1) * per_bank {
-                    for lane in 0..b {
-                        let mut sum = 0i32;
-                        for (a, lanes) in axons.chunks_exact(b).enumerate() {
-                            if lanes[lane] {
-                                sum += weights[a * neurons + n].value();
-                                if !(LOCAL_MIN..=LOCAL_MAX).contains(&sum) {
-                                    return Err(Error::SumOverflow {
-                                        value: i64::from(sum),
-                                        bits: LOCAL_SUM_BITS,
-                                    });
-                                }
-                            }
-                        }
-                        local_ps[n * b + lane] = sum;
-                    }
-                }
-            }
-            return Ok(());
-        }
+        let BatchNeuronCore { weights, axons, active, local_ps, .. } = self;
 
         for bank in (0..n_banks).filter(|&k| enabled(k)) {
             local_ps[bank * per_bank * b..(bank + 1) * per_bank * b].fill(0);
         }
-        for (a, lanes) in axons.chunks_exact(b).enumerate() {
-            if !lanes.iter().any(|&s| s) {
-                continue;
-            }
+        for a in active.iter() {
+            let a = a as usize;
+            let lanes = &axons[a * b..(a + 1) * b];
             let row = &weights[a * neurons..(a + 1) * neurons];
             for bank in (0..n_banks).filter(|&k| enabled(k)) {
                 for n in bank * per_bank..(bank + 1) * per_bank {
@@ -244,19 +291,76 @@ impl BatchNeuronCore {
         }
         Ok(())
     }
+
+    /// The retained reference implementation of `ACC`: a dense
+    /// `O(inputs × neurons × lanes)` sweep in the scalar core's exact
+    /// order (bank → neuron → lane → axon) with a range check after every
+    /// addition, exactly as the seed batched engine executed it.
+    /// [`accumulate`](BatchNeuronCore::accumulate) must stay bit-identical
+    /// to this — outputs *and* errors — which the batched equivalence
+    /// proptests assert; it also serves as the fallback when the fast
+    /// path's no-mid-sweep-overflow precondition does not hold, erroring
+    /// for precisely the frames where the sequential path would.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`accumulate`](BatchNeuronCore::accumulate).
+    pub fn accumulate_reference(&mut self, banks: u8) -> Result<()> {
+        self.check_banks(banks)?;
+        let b = self.batch;
+        let neurons = self.neurons as usize;
+        let per_bank = neurons / self.banks as usize;
+        let n_banks = self.banks as usize;
+        let enabled = |bank: usize| banks & (1 << bank) != 0;
+        let BatchNeuronCore { weights, axons, local_ps, .. } = self;
+        for bank in (0..n_banks).filter(|&k| enabled(k)) {
+            for n in bank * per_bank..(bank + 1) * per_bank {
+                for lane in 0..b {
+                    let mut sum = 0i32;
+                    for (a, lanes) in axons.chunks_exact(b).enumerate() {
+                        if lanes[lane] {
+                            sum += weights[a * neurons + n].value();
+                            if !(LOCAL_MIN..=LOCAL_MAX).contains(&sum) {
+                                return Err(Error::SumOverflow {
+                                    value: i64::from(sum),
+                                    bits: LOCAL_SUM_BITS,
+                                });
+                            }
+                        }
+                    }
+                    local_ps[n * b + lane] = sum;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_banks(&self, banks: u8) -> Result<()> {
+        let valid_mask = (1u16 << self.banks) - 1;
+        if banks == 0 || u16::from(banks) & !valid_mask != 0 {
+            return Err(Error::InvalidControl {
+                component: "neuron_core".into(),
+                reason: format!("bank mask {banks:#06b} invalid for a {}-bank core", self.banks),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Batched PS-NoC router block: one occupancy bit and `B` payload lanes
-/// per register.
+/// per register, with the same per-direction [`PortOccupancy`] masks over
+/// the output registers as the sequential [`PsRouter`](crate::PsRouter).
 #[derive(Debug, Clone)]
 pub struct BatchPsRouter {
     planes: u16,
     batch: usize,
-    /// `[plane * 4 + port]` occupancy bits of the input registers.
+    /// `[port * planes + plane]` occupancy bits of the input registers.
     in_occ: Vec<bool>,
-    /// `[(plane * 4 + port)][lane]` input payloads.
+    /// `[(port * planes + plane)][lane]` input payloads.
     in_val: Vec<i32>,
-    out_occ: Vec<bool>,
+    /// Per-direction occupancy of the output registers — the transfer
+    /// phase walks only occupied (port, plane) pairs.
+    out_occ: PortOccupancy,
     out_val: Vec<i32>,
     /// `[plane]` / `[plane][lane]` accumulation registers (`sum_buf`).
     sum_occ: Vec<bool>,
@@ -275,7 +379,7 @@ impl BatchPsRouter {
             batch,
             in_occ: vec![false; p * 4],
             in_val: vec![0; p * 4 * batch],
-            out_occ: vec![false; p * 4],
+            out_occ: PortOccupancy::new(planes),
             out_val: vec![0; p * 4 * batch],
             sum_occ: vec![false; p],
             sum_val: vec![0; p * batch],
@@ -291,7 +395,7 @@ impl BatchPsRouter {
 
     /// Peeks an input register lane without consuming it.
     pub fn peek_input(&self, port: Direction, plane: u16, lane: usize) -> Option<i32> {
-        let idx = reg_index(port, plane);
+        let idx = reg_index(self.planes, port, plane);
         self.in_occ[idx].then(|| self.in_val[idx * self.batch + lane])
     }
 
@@ -320,7 +424,7 @@ impl BatchPsRouter {
         match op {
             PsRouterOp::Sum { src, consec, planes } => {
                 for p in planes.iter(total) {
-                    let idx = reg_index(*src, p);
+                    let idx = reg_index(total, *src, p);
                     if !in_occ[idx] {
                         return Err(Error::InvalidControl {
                             component: "ps_router".into(),
@@ -359,10 +463,9 @@ impl BatchPsRouter {
                             ),
                         });
                     }
-                    let (occ, val, base) = match dst {
+                    let (val, base) = match dst {
                         PsDst::Port(d) => {
-                            let idx = reg_index(*d, p);
-                            if out_occ[idx] {
+                            if out_occ.contains(*d, p) {
                                 return Err(Error::InvalidSchedule {
                                     cycle: 0,
                                     reason: format!(
@@ -370,7 +473,8 @@ impl BatchPsRouter {
                                     ),
                                 });
                             }
-                            (&mut out_occ[idx], &mut *out_val, idx * b)
+                            out_occ.set(*d, p);
+                            (&mut *out_val, reg_index(total, *d, p) * b)
                         }
                         PsDst::SpikingLogic => {
                             if eject_occ[p as usize] {
@@ -379,7 +483,8 @@ impl BatchPsRouter {
                                     reason: format!("ps eject register contention at plane {p}"),
                                 });
                             }
-                            (&mut eject_occ[p as usize], &mut *eject_val, p as usize * b)
+                            eject_occ[p as usize] = true;
+                            (&mut *eject_val, p as usize * b)
                         }
                     };
                     for lane in 0..b {
@@ -388,12 +493,11 @@ impl BatchPsRouter {
                             PsSendSource::SumBuf => sum_val[p as usize * b + lane],
                         };
                     }
-                    *occ = true;
                 }
             }
             PsRouterOp::Bypass { src, dst, planes } => {
                 for p in planes.iter(total) {
-                    let idx = reg_index(*src, p);
+                    let idx = reg_index(total, *src, p);
                     if !in_occ[idx] {
                         return Err(Error::InvalidControl {
                             component: "ps_router".into(),
@@ -403,10 +507,9 @@ impl BatchPsRouter {
                         });
                     }
                     in_occ[idx] = false;
-                    let (occ, val, base) = match dst {
+                    let (val, base) = match dst {
                         PsDst::Port(d) => {
-                            let oidx = reg_index(*d, p);
-                            if out_occ[oidx] {
+                            if out_occ.contains(*d, p) {
                                 return Err(Error::InvalidSchedule {
                                     cycle: 0,
                                     reason: format!(
@@ -414,7 +517,8 @@ impl BatchPsRouter {
                                     ),
                                 });
                             }
-                            (&mut out_occ[oidx], &mut *out_val, oidx * b)
+                            out_occ.set(*d, p);
+                            (&mut *out_val, reg_index(total, *d, p) * b)
                         }
                         PsDst::SpikingLogic => {
                             if eject_occ[p as usize] {
@@ -423,13 +527,13 @@ impl BatchPsRouter {
                                     reason: format!("ps eject register contention at plane {p}"),
                                 });
                             }
-                            (&mut eject_occ[p as usize], &mut *eject_val, p as usize * b)
+                            eject_occ[p as usize] = true;
+                            (&mut *eject_val, p as usize * b)
                         }
                     };
                     for lane in 0..b {
                         val[base + lane] = in_val[idx * b + lane];
                     }
-                    *occ = true;
                 }
             }
         }
@@ -444,7 +548,7 @@ impl BatchPsRouter {
     /// Returns a contention error when the register still holds unconsumed
     /// data.
     pub fn put_input(&mut self, port: Direction, plane: u16, lanes: &[i32]) -> Result<()> {
-        let idx = reg_index(port, plane);
+        let idx = reg_index(self.planes, port, plane);
         if self.in_occ[idx] {
             return Err(Error::InvalidSchedule {
                 cycle: 0,
@@ -459,24 +563,42 @@ impl BatchPsRouter {
     /// Drains the output register of `port`/`plane` into `dst`, returning
     /// whether it was occupied.
     pub fn take_output_into(&mut self, port: Direction, plane: u16, dst: &mut Vec<i32>) -> bool {
-        let idx = reg_index(port, plane);
-        if !self.out_occ[idx] {
+        if !self.out_occ.contains(port, plane) {
             return false;
         }
-        self.out_occ[idx] = false;
+        self.out_occ.clear(port, plane);
+        let idx = reg_index(self.planes, port, plane);
         dst.extend_from_slice(&self.out_val[idx * self.batch..(idx + 1) * self.batch]);
         true
     }
 
-    /// Whether any output register holds data awaiting transfer.
+    /// The lowest-indexed plane with a pending output at `port`, if any
+    /// (an occupancy-mask word scan, no per-plane probing).
+    pub fn first_pending(&self, port: Direction) -> Option<u16> {
+        self.out_occ.first(port)
+    }
+
+    /// Drains the lowest-plane pending output at `port` into `dst`,
+    /// returning its plane. Repeated calls walk the occupancy mask in
+    /// ascending plane order and return [`None`] once the port is empty —
+    /// the batched counterpart of
+    /// [`PsRouter::take_next_output`](crate::PsRouter::take_next_output).
+    pub fn take_next_output_into(&mut self, port: Direction, dst: &mut Vec<i32>) -> Option<u16> {
+        let plane = self.first_pending(port)?;
+        assert!(self.take_output_into(port, plane, dst), "occupancy mask tracks outputs");
+        Some(plane)
+    }
+
+    /// Whether any output register holds data awaiting transfer (an
+    /// occupancy-mask scan, not a register sweep).
     pub fn has_pending_output(&self) -> bool {
-        self.out_occ.iter().any(|&o| o)
+        self.out_occ.any()
     }
 
     /// Clears all register occupancy (new inference frame).
     pub fn reset(&mut self) {
         self.in_occ.iter_mut().for_each(|o| *o = false);
-        self.out_occ.iter_mut().for_each(|o| *o = false);
+        self.out_occ.reset();
         self.sum_occ.iter_mut().for_each(|o| *o = false);
         self.eject_occ.iter_mut().for_each(|o| *o = false);
     }
@@ -486,7 +608,8 @@ impl BatchPsRouter {
     }
 }
 
-/// Batched spike-NoC router with per-lane IF state.
+/// Batched spike-NoC router with per-lane IF state and the shared
+/// per-direction [`PortOccupancy`] output masks.
 #[derive(Debug, Clone)]
 pub struct BatchSpikeRouter {
     planes: u16,
@@ -499,7 +622,7 @@ pub struct BatchSpikeRouter {
     spike_buf: Vec<bool>,
     in_occ: Vec<bool>,
     in_val: Vec<bool>,
-    out_occ: Vec<bool>,
+    out_occ: PortOccupancy,
     out_val: Vec<bool>,
     /// Planes delivered to the local core this cycle, with their lane
     /// payloads appended to `delivered_val` in the same order.
@@ -519,7 +642,7 @@ impl BatchSpikeRouter {
             spike_buf: vec![false; p * batch],
             in_occ: vec![false; p * 4],
             in_val: vec![false; p * 4 * batch],
-            out_occ: vec![false; p * 4],
+            out_occ: PortOccupancy::new(planes),
             out_val: vec![false; p * 4 * batch],
             delivered_planes: Vec::new(),
             delivered_val: Vec::new(),
@@ -606,9 +729,14 @@ impl BatchSpikeRouter {
             }
             SpikeRouterOp::Send { dst, planes } => {
                 let BatchSpikeRouter { spike_buf, out_occ, out_val, .. } = self;
-                for p in planes.iter(total) {
-                    let idx = reg_index(*dst, p);
-                    if out_occ[idx] {
+                if matches!(planes, crate::PlaneSet::All) {
+                    // Bulk whole-port path, as in the sequential router:
+                    // one contention scan over the occupancy words, then a
+                    // straight copy of the (contiguous) spike-buffer lanes
+                    // into the port's output slice. Errors match the
+                    // per-plane loop: the lowest occupied plane reports
+                    // contention.
+                    if let Some(p) = out_occ.first(*dst) {
                         return Err(Error::InvalidSchedule {
                             cycle: 0,
                             reason: format!(
@@ -616,9 +744,24 @@ impl BatchSpikeRouter {
                             ),
                         });
                     }
-                    out_occ[idx] = true;
-                    out_val[idx * b..(idx + 1) * b]
-                        .copy_from_slice(&spike_buf[p as usize * b..(p as usize + 1) * b]);
+                    let base = reg_index(total, *dst, 0) * b;
+                    out_val[base..base + total as usize * b].copy_from_slice(spike_buf);
+                    out_occ.fill(*dst, total);
+                } else {
+                    for p in planes.iter(total) {
+                        if out_occ.contains(*dst, p) {
+                            return Err(Error::InvalidSchedule {
+                                cycle: 0,
+                                reason: format!(
+                                    "spike output register contention at port {dst}, plane {p}"
+                                ),
+                            });
+                        }
+                        out_occ.set(*dst, p);
+                        let idx = reg_index(total, *dst, p);
+                        out_val[idx * b..(idx + 1) * b]
+                            .copy_from_slice(&spike_buf[p as usize * b..(p as usize + 1) * b]);
+                    }
                 }
             }
             SpikeRouterOp::Bypass { src, dst, deliver, planes } => {
@@ -632,7 +775,7 @@ impl BatchSpikeRouter {
                     ..
                 } = self;
                 for p in planes.iter(total) {
-                    let idx = reg_index(*src, p);
+                    let idx = reg_index(total, *src, p);
                     if !in_occ[idx] {
                         return Err(Error::InvalidControl {
                             component: "spike_router".into(),
@@ -645,8 +788,7 @@ impl BatchSpikeRouter {
                         delivered_val.extend_from_slice(&in_val[idx * b..(idx + 1) * b]);
                     }
                     if let Some(d) = dst {
-                        let oidx = reg_index(*d, p);
-                        if out_occ[oidx] {
+                        if out_occ.contains(*d, p) {
                             return Err(Error::InvalidSchedule {
                                 cycle: 0,
                                 reason: format!(
@@ -654,7 +796,8 @@ impl BatchSpikeRouter {
                                 ),
                             });
                         }
-                        out_occ[oidx] = true;
+                        out_occ.set(*d, p);
+                        let oidx = reg_index(total, *d, p);
                         out_val[oidx * b..(oidx + 1) * b]
                             .copy_from_slice(&in_val[idx * b..(idx + 1) * b]);
                     }
@@ -671,7 +814,7 @@ impl BatchSpikeRouter {
     /// Returns a contention error when the register still holds unconsumed
     /// spikes.
     pub fn put_input(&mut self, port: Direction, plane: u16, lanes: &[bool]) -> Result<()> {
-        let idx = reg_index(port, plane);
+        let idx = reg_index(self.planes, port, plane);
         if self.in_occ[idx] {
             return Err(Error::InvalidSchedule {
                 cycle: 0,
@@ -686,25 +829,40 @@ impl BatchSpikeRouter {
     /// Drains the output register of `port`/`plane` into `dst`, returning
     /// whether it was occupied.
     pub fn take_output_into(&mut self, port: Direction, plane: u16, dst: &mut Vec<bool>) -> bool {
-        let idx = reg_index(port, plane);
-        if !self.out_occ[idx] {
+        if !self.out_occ.contains(port, plane) {
             return false;
         }
-        self.out_occ[idx] = false;
+        self.out_occ.clear(port, plane);
+        let idx = reg_index(self.planes, port, plane);
         dst.extend_from_slice(&self.out_val[idx * self.batch..(idx + 1) * self.batch]);
         true
     }
 
-    /// Whether any output register holds spikes awaiting transfer.
+    /// The lowest-indexed plane with a pending spike at `port`, if any
+    /// (an occupancy-mask word scan, no per-plane probing).
+    pub fn first_pending(&self, port: Direction) -> Option<u16> {
+        self.out_occ.first(port)
+    }
+
+    /// Drains the lowest-plane pending spike at `port` into `dst`,
+    /// returning its plane; [`None`] once the port is empty.
+    pub fn take_next_output_into(&mut self, port: Direction, dst: &mut Vec<bool>) -> Option<u16> {
+        let plane = self.first_pending(port)?;
+        assert!(self.take_output_into(port, plane, dst), "occupancy mask tracks outputs");
+        Some(plane)
+    }
+
+    /// Whether any output register holds spikes awaiting transfer (an
+    /// occupancy-mask scan, not a register sweep).
     pub fn has_pending_output(&self) -> bool {
-        self.out_occ.iter().any(|&o| o)
+        self.out_occ.any()
     }
 
     /// Clears crossbar occupancy and spike buffers but **keeps membrane
     /// potentials** (they persist across timesteps of one frame).
     pub fn reset_network_state(&mut self) {
         self.in_occ.iter_mut().for_each(|o| *o = false);
-        self.out_occ.iter_mut().for_each(|o| *o = false);
+        self.out_occ.reset();
         self.spike_buf.iter_mut().for_each(|s| *s = false);
         self.delivered_planes.clear();
         self.delivered_val.clear();
@@ -725,6 +883,9 @@ pub struct BatchTile {
     /// Per-plane delivery remap, identical in role to
     /// [`Tile::set_axon_map`](crate::Tile::set_axon_map).
     axon_map: Vec<u16>,
+    /// When set, `ACC` ops run the retained dense reference sweep instead
+    /// of the sparse fast path (see [`BatchChip::set_reference_mode`]).
+    reference: bool,
 }
 
 impl BatchTile {
@@ -735,7 +896,15 @@ impl BatchTile {
             ps: BatchPsRouter::new(arch.core_neurons, batch),
             spike: BatchSpikeRouter::new(arch.core_neurons, batch),
             axon_map: (0..arch.core_neurons).collect(),
+            reference: false,
         }
+    }
+
+    /// Switches this tile between the sparse `ACC` fast path and the
+    /// retained dense reference implementation (both bit-identical; the
+    /// batched equivalence proptests compare them).
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference = on;
     }
 
     /// The batched neuron core.
@@ -778,7 +947,13 @@ impl BatchTile {
         match op {
             AtomicOp::Core(core_op) => match core_op {
                 crate::ops::NeuronCoreOp::LdWt { .. } => Ok(()),
-                crate::ops::NeuronCoreOp::Acc { banks } => self.core.accumulate(*banks),
+                crate::ops::NeuronCoreOp::Acc { banks } => {
+                    if self.reference {
+                        self.core.accumulate_reference(*banks)
+                    } else {
+                        self.core.accumulate(*banks)
+                    }
+                }
             },
             AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all()),
             AtomicOp::Spike(spike_op) => {
@@ -827,6 +1002,11 @@ impl BatchTile {
 
 /// A mesh of batched tiles advancing `B` frames per pass over the
 /// schedule, with reusable transfer scratch (no per-cycle allocation).
+///
+/// The transfer phase mirrors [`Chip`](crate::Chip)'s sparse shape: it
+/// visits only this cycle's op tiles and, per direction, only the planes
+/// the routers' occupancy masks report. The retained dense probe survives
+/// as [reference mode](BatchChip::set_reference_mode).
 #[derive(Debug, Clone)]
 pub struct BatchChip {
     arch: ArchSpec,
@@ -834,6 +1014,15 @@ pub struct BatchChip {
     cols: u16,
     batch: usize,
     tiles: Vec<BatchTile>,
+    /// When set, cycles run the retained dense reference semantics
+    /// (per-register transfer probing, per-step-checked dense `ACC`)
+    /// instead of the sparse fast path. Both are bit-identical; the
+    /// batched equivalence proptests compare them.
+    reference: bool,
+    /// Transfer scratch, reused across cycles: the sorted, deduplicated
+    /// indices of tiles that executed ops this cycle — the only tiles
+    /// that can hold pending outputs or deliveries.
+    active_tiles: Vec<usize>,
     /// Transfer scratch: `(destination tile, input port, plane)` per move,
     /// lane payloads appended to the payload buffers in the same order.
     ps_moves: Vec<(usize, Direction, u16)>,
@@ -865,11 +1054,25 @@ impl BatchChip {
             cols,
             batch,
             tiles,
+            reference: false,
+            active_tiles: Vec::new(),
             ps_moves: Vec::new(),
             ps_payload: Vec::new(),
             spike_moves: Vec::new(),
             spike_payload: Vec::new(),
         })
+    }
+
+    /// Switches the whole mesh between the optimized sparse hot path and
+    /// the retained dense reference implementation, with the same contract
+    /// as [`Chip::set_reference_mode`](crate::Chip::set_reference_mode):
+    /// the two are bit-identical — outputs, state and error cycles — a
+    /// property the batched equivalence proptests assert; reference mode
+    /// exists as that comparison's gold standard, not as a user-facing
+    /// feature.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference = on;
+        self.tiles.iter_mut().for_each(|t| t.set_reference_mode(on));
     }
 
     /// The architecture this chip instantiates.
@@ -917,28 +1120,129 @@ impl BatchChip {
         Ok(&mut self.tiles[idx])
     }
 
+    /// Iterates tiles with their coordinates, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreCoord, &BatchTile)> {
+        let cols = self.cols;
+        self.tiles.iter().enumerate().map(move |(i, t)| {
+            (CoreCoord::new((i / cols as usize) as u16, (i % cols as usize) as u16), t)
+        })
+    }
+
+    /// Sum of axons spiking in at least one lane across all cores (the
+    /// batched counterpart of
+    /// [`Chip::active_axon_count`](crate::Chip::active_axon_count)).
+    pub fn active_axon_count(&self) -> usize {
+        self.tiles.iter().map(|t| t.core().active_axon_count()).sum()
+    }
+
     /// Executes one synchronous cycle for all lanes: the scheduled ops,
     /// the transfer phase, then spike delivery.
     ///
     /// # Errors
     ///
-    /// Same contract as [`Chip::exec_cycle`](crate::Chip::exec_cycle).
+    /// Same contract as [`Chip::exec_cycle`](crate::Chip::exec_cycle),
+    /// including the post-error state caveat documented there.
     pub fn exec_cycle(&mut self, cycle: u64, ops: &[(CoreCoord, AtomicOp)]) -> Result<()> {
         for (coord, op) in ops {
             self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
         }
-        self.transfer(cycle)?;
-        for tile in &mut self.tiles {
-            tile.commit_deliveries()?;
+        if self.reference {
+            self.transfer_reference(cycle)?;
+            for tile in &mut self.tiles {
+                tile.commit_deliveries()?;
+            }
+        } else {
+            // Outputs and deliveries can only originate from ops (SEND /
+            // BYPASS), and the transfer phase drains every pending output
+            // each cycle, so only this cycle's op tiles need visiting.
+            self.collect_active_tiles(ops);
+            self.transfer(cycle)?;
+            for i in 0..self.active_tiles.len() {
+                let idx = self.active_tiles[i];
+                self.tiles[idx].commit_deliveries()?;
+            }
         }
         Ok(())
     }
 
+    /// Fills `active_tiles` with the sorted, deduplicated tile indices of
+    /// `ops` (already bounds-checked by the execute loop). Sorting keeps
+    /// the transfer scan in the reference row-major order, so schedule
+    /// errors fire identically.
+    fn collect_active_tiles(&mut self, ops: &[(CoreCoord, AtomicOp)]) {
+        self.active_tiles.clear();
+        let cols = self.cols as usize;
+        self.active_tiles.extend(ops.iter().map(|(c, _)| c.row as usize * cols + c.col as usize));
+        self.active_tiles.sort_unstable();
+        self.active_tiles.dedup();
+    }
+
     /// The transfer phase: drains every occupied output register into the
-    /// adjacent input register, moving all lanes together.
+    /// adjacent input register, moving all lanes together. Sparse-activity
+    /// fast path: visits only this cycle's op tiles and, per direction,
+    /// only the planes the routers' occupancy masks report — the same
+    /// shape as [`Chip::transfer`](crate::Chip).
     fn transfer(&mut self, cycle: u64) -> Result<()> {
+        let (rows, cols) = (self.rows, self.cols);
+        let b = self.batch;
+        let BatchChip {
+            tiles, active_tiles, ps_moves, ps_payload, spike_moves, spike_payload, ..
+        } = self;
+        ps_moves.clear();
+        ps_payload.clear();
+        spike_moves.clear();
+        spike_payload.clear();
+
+        for &src_idx in active_tiles.iter() {
+            let src =
+                CoreCoord::new((src_idx / cols as usize) as u16, (src_idx % cols as usize) as u16);
+            let tile = &mut tiles[src_idx];
+            if !tile.ps().has_pending_output() && !tile.spike().has_pending_output() {
+                continue;
+            }
+            for dir in Direction::ALL {
+                let ps_first = tile.ps().first_pending(dir);
+                let spike_first = tile.spike().first_pending(dir);
+                if ps_first.is_none() && spike_first.is_none() {
+                    continue;
+                }
+                let dst = src.neighbor(dir).filter(|d| d.row < rows && d.col < cols);
+                let Some(dst) = dst else {
+                    // The reference scan probes planes in ascending order,
+                    // PS before spike within a plane; report the error the
+                    // first occupied register would have raised there.
+                    let ps_fires_first = match (ps_first, spike_first) {
+                        (Some(p), Some(s)) => p <= s,
+                        (ps, _) => ps.is_some(),
+                    };
+                    let what = if ps_fires_first { "ps data" } else { "spike" };
+                    return Err(Error::InvalidSchedule {
+                        cycle,
+                        reason: format!("{what} driven off the mesh edge at {src} port {dir}"),
+                    });
+                };
+                let dst_idx = dst.row as usize * cols as usize + dst.col as usize;
+                let port = dir.opposite();
+                while let Some(plane) = tile.ps_mut().take_next_output_into(dir, ps_payload) {
+                    ps_moves.push((dst_idx, port, plane));
+                }
+                while let Some(plane) = tile.spike_mut().take_next_output_into(dir, spike_payload) {
+                    spike_moves.push((dst_idx, port, plane));
+                }
+            }
+        }
+
+        apply_moves(tiles, b, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
+    }
+
+    /// The retained reference transfer: probes all `4 × core_neurons`
+    /// output registers of every tile. [`transfer`](BatchChip::transfer)
+    /// must stay bit-identical to this — moves, state and error cycles —
+    /// which the batched equivalence proptests assert.
+    fn transfer_reference(&mut self, cycle: u64) -> Result<()> {
         let planes = self.arch.core_neurons;
         let (rows, cols) = (self.rows, self.cols);
+        let b = self.batch;
         let BatchChip { tiles, ps_moves, ps_payload, spike_moves, spike_payload, .. } = self;
         ps_moves.clear();
         ps_payload.clear();
@@ -983,20 +1287,7 @@ impl BatchChip {
             }
         }
 
-        let b = self.batch;
-        for (i, (idx, port, plane)) in ps_moves.iter().enumerate() {
-            tiles[*idx]
-                .ps
-                .put_input(*port, *plane, &ps_payload[i * b..(i + 1) * b])
-                .map_err(|e| annotate_cycle(e, cycle))?;
-        }
-        for (i, (idx, port, plane)) in spike_moves.iter().enumerate() {
-            tiles[*idx]
-                .spike
-                .put_input(*port, *plane, &spike_payload[i * b..(i + 1) * b])
-                .map_err(|e| annotate_cycle(e, cycle))?;
-        }
-        Ok(())
+        apply_moves(tiles, b, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
     }
 
     /// Resets crossbar/network state on every tile (between timesteps).
@@ -1023,6 +1314,35 @@ impl BatchChip {
         }
         Ok(coord.row as usize * self.cols as usize + coord.col as usize)
     }
+}
+
+/// Applies collected transfer moves into the destination tiles' input
+/// registers, `b` payload lanes per move. Shared by the sparse and
+/// reference transfer phases, whose bit-identity contract covers exactly
+/// this application order and error annotation — one implementation, no
+/// drift.
+fn apply_moves(
+    tiles: &mut [BatchTile],
+    b: usize,
+    cycle: u64,
+    ps_moves: &[(usize, Direction, u16)],
+    ps_payload: &[i32],
+    spike_moves: &[(usize, Direction, u16)],
+    spike_payload: &[bool],
+) -> Result<()> {
+    for (i, (idx, port, plane)) in ps_moves.iter().enumerate() {
+        tiles[*idx]
+            .ps
+            .put_input(*port, *plane, &ps_payload[i * b..(i + 1) * b])
+            .map_err(|e| annotate_cycle(e, cycle))?;
+    }
+    for (i, (idx, port, plane)) in spike_moves.iter().enumerate() {
+        tiles[*idx]
+            .spike
+            .put_input(*port, *plane, &spike_payload[i * b..(i + 1) * b])
+            .map_err(|e| annotate_cycle(e, cycle))?;
+    }
+    Ok(())
 }
 
 fn annotate_cycle(e: Error, cycle: u64) -> Error {
@@ -1078,6 +1398,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sparse_and_reference_acc_agree_per_lane() {
+        let arch = ArchSpec::tiny();
+        let mut fast = BatchNeuronCore::new(&arch, 2);
+        for a in 0..arch.core_inputs {
+            for n in 0..arch.core_neurons {
+                fast.write_weight(a, n, W5::saturating(i32::from(a * 3 + n) % 31 - 15)).unwrap();
+            }
+        }
+        for (a, lane) in [(0u16, 0usize), (2, 1), (5, 0), (5, 1), (13, 1)] {
+            fast.set_axon(a, lane, true).unwrap();
+        }
+        let mut reference = fast.clone();
+        fast.accumulate(0b0101).unwrap();
+        reference.accumulate_reference(0b0101).unwrap();
+        assert_eq!(fast.local_ps_all(), reference.local_ps_all());
+    }
+
+    #[test]
+    fn active_axon_list_tracks_lanes() {
+        let arch = ArchSpec::tiny();
+        let mut core = BatchNeuronCore::new(&arch, 3);
+        core.set_axon(4, 0, true).unwrap();
+        core.set_axon(4, 2, true).unwrap();
+        core.set_axon(9, 1, true).unwrap();
+        assert_eq!(core.active_axon_count(), 2, "axon 4 counts once across lanes");
+        core.set_axon(4, 0, false).unwrap();
+        assert_eq!(core.active_axon_count(), 2, "axon 4 still spikes in lane 2");
+        core.set_axon(4, 2, false).unwrap();
+        assert_eq!(core.active_axon_count(), 1);
+        assert!(!core.axon(4, 0).unwrap());
+        assert!(core.axon(9, 1).unwrap());
+        core.set_axon(9, 1, true).unwrap(); // redundant set
+        assert_eq!(core.active_axon_count(), 1);
+        core.clear_axons();
+        assert_eq!(core.active_axon_count(), 0);
+        assert!(!core.axon(9, 1).unwrap());
     }
 
     #[test]
@@ -1218,6 +1577,114 @@ mod tests {
     }
 
     #[test]
+    fn reference_mode_matches_fast_path_on_a_fold() {
+        // Smoke-level check of the retained reference semantics (the full
+        // comparison lives in the batched equivalence proptests).
+        let run = |reference: bool| {
+            let arch = ArchSpec::tiny();
+            let mut chip = BatchChip::new(&arch, 2, 2, 2).unwrap();
+            chip.set_reference_mode(reference);
+            for (coord, weight) in [(CoreCoord::new(1, 0), 7), (CoreCoord::new(0, 0), 5)] {
+                let t = chip.tile_mut(coord).unwrap();
+                t.core_mut().write_weight(0, 0, w(weight)).unwrap();
+                t.core_mut().set_axon(0, 1, true).unwrap();
+            }
+            let acc = |c| (c, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }));
+            chip.exec_cycle(0, &[acc(CoreCoord::new(1, 0)), acc(CoreCoord::new(0, 0))]).unwrap();
+            chip.exec_cycle(
+                1,
+                &[(
+                    CoreCoord::new(1, 0),
+                    AtomicOp::Ps(PsRouterOp::Send {
+                        source: PsSendSource::LocalPs,
+                        dst: PsDst::Port(Direction::North),
+                        planes: PlaneSet::all(),
+                    }),
+                )],
+            )
+            .unwrap();
+            chip.exec_cycle(
+                2,
+                &[(
+                    CoreCoord::new(0, 0),
+                    AtomicOp::Ps(PsRouterOp::Sum {
+                        src: Direction::South,
+                        consec: false,
+                        planes: PlaneSet::all(),
+                    }),
+                )],
+            )
+            .unwrap();
+            chip.tile(CoreCoord::new(0, 0)).unwrap().ps().sum_buf(0, 1)
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(false), Some(12));
+    }
+
+    #[test]
+    fn transfer_scratch_is_reused_across_cycles() {
+        // The allocator-free steady-state property the sequential chip
+        // asserts, on the batched fabric: full plane sets moving every
+        // cycle must not grow the move/payload buffers after warm-up.
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 1, 2, 3).unwrap();
+        let send_ps = (
+            CoreCoord::new(0, 0),
+            AtomicOp::Ps(PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::Port(Direction::East),
+                planes: PlaneSet::all(),
+            }),
+        );
+        let send_spike = (
+            CoreCoord::new(0, 0),
+            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::East, planes: PlaneSet::all() }),
+        );
+        let consume_ps = (
+            CoreCoord::new(0, 1),
+            AtomicOp::Ps(PsRouterOp::Sum {
+                src: Direction::West,
+                consec: false,
+                planes: PlaneSet::all(),
+            }),
+        );
+        let consume_spike = (
+            CoreCoord::new(0, 1),
+            AtomicOp::Spike(SpikeRouterOp::Bypass {
+                src: Direction::West,
+                dst: None,
+                deliver: true,
+                planes: PlaneSet::all(),
+            }),
+        );
+        let steady = [send_ps.clone(), send_spike.clone(), consume_ps, consume_spike];
+
+        chip.exec_cycle(0, &[send_ps, send_spike]).unwrap();
+        chip.exec_cycle(1, &steady).unwrap();
+        let caps = (
+            chip.active_tiles.capacity(),
+            chip.ps_moves.capacity(),
+            chip.ps_payload.capacity(),
+            chip.spike_moves.capacity(),
+            chip.spike_payload.capacity(),
+        );
+        for cycle in 2..50 {
+            chip.exec_cycle(cycle, &steady).unwrap();
+        }
+        assert_eq!(
+            caps,
+            (
+                chip.active_tiles.capacity(),
+                chip.ps_moves.capacity(),
+                chip.ps_payload.capacity(),
+                chip.spike_moves.capacity(),
+                chip.spike_payload.capacity(),
+            ),
+            "steady-state transfer must reuse its scratch, not reallocate"
+        );
+    }
+
+    #[test]
     fn construction_validation() {
         let arch = ArchSpec::tiny();
         assert!(BatchChip::new(&arch, 0, 2, 4).is_err());
@@ -1226,5 +1693,6 @@ mod tests {
         assert_eq!(chip.batch(), 4);
         assert!(chip.contains(CoreCoord::new(1, 2)));
         assert!(chip.tile(CoreCoord::new(2, 0)).is_err());
+        assert_eq!(chip.iter().count(), 6);
     }
 }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod batch;
 pub mod chip;
 pub mod config;
@@ -57,6 +58,7 @@ pub mod signals;
 pub mod spike_router;
 pub mod tile;
 
+pub use activity::ActiveSet;
 pub use batch::{BatchChip, BatchNeuronCore, BatchPsRouter, BatchSpikeRouter, BatchTile};
 pub use chip::Chip;
 pub use config::{ConfigMemory, TileProgram};

@@ -15,9 +15,18 @@
 
 use shenjing_core::{ArchSpec, Error, LocalSum, Result, W5};
 
-/// Sentinel in `active_pos` marking an idle axon. Valid because positions
-/// inside the active list are `< core_inputs <= u16::MAX`.
-const AXON_IDLE: u16 = u16::MAX;
+use crate::activity::ActiveSet;
+
+/// Whether a running `ACC` sum over `inputs` axons can leave the 13-bit
+/// local range at all. Not when the all-axons-spiking extreme still fits
+/// (the paper's accumulator sizing; holds for every built-in arch) — the
+/// shared fast-path gate of [`NeuronCore`] and
+/// [`BatchNeuronCore`](crate::BatchNeuronCore).
+pub(crate) fn acc_overflow_possible(inputs: u16) -> bool {
+    let worst = i32::from(inputs);
+    worst * W5::MAX.value() > LocalSum::MAX.value()
+        || worst * W5::MIN.value() < LocalSum::MIN.value()
+}
 
 /// One tile's neuron core.
 ///
@@ -40,10 +49,9 @@ pub struct NeuronCore {
     banks: u16,
     /// Row-major `[axon][neuron]` weight array.
     weights: Vec<W5>,
-    /// Indices of currently spiking axons, unordered (swap-removed).
-    active: Vec<u16>,
-    /// `[axon]` position of the axon inside `active`, or [`AXON_IDLE`].
-    active_pos: Vec<u16>,
+    /// The currently spiking axons (the shared maintained-list component
+    /// the batched core uses too).
+    active: ActiveSet,
     /// Wide per-neuron accumulation scratch for the sparse `ACC` sweep.
     scratch: Vec<i32>,
     /// Whether a running `ACC` sum can leave the 13-bit local range at all
@@ -59,17 +67,14 @@ pub struct NeuronCore {
 impl NeuronCore {
     /// Creates a core with all-zero weights and idle axons.
     pub fn new(arch: &ArchSpec) -> NeuronCore {
-        let worst = i32::from(arch.core_inputs);
         NeuronCore {
             inputs: arch.core_inputs,
             neurons: arch.core_neurons,
             banks: arch.sram_banks,
             weights: vec![W5::ZERO; arch.core_inputs as usize * arch.core_neurons as usize],
-            active: Vec::new(),
-            active_pos: vec![AXON_IDLE; arch.core_inputs as usize],
+            active: ActiveSet::new(arch.core_inputs),
             scratch: vec![0; arch.core_neurons as usize],
-            checked_acc: worst * W5::MAX.value() > LocalSum::MAX.value()
-                || worst * W5::MIN.value() < LocalSum::MIN.value(),
+            checked_acc: acc_overflow_possible(arch.core_inputs),
             local_ps: vec![LocalSum::ZERO; arch.core_neurons as usize],
             loaded: false,
         }
@@ -137,16 +142,10 @@ impl NeuronCore {
                 self.inputs
             )));
         }
-        let pos = self.active_pos[axon as usize];
-        if spiking && pos == AXON_IDLE {
-            self.active_pos[axon as usize] = self.active.len() as u16;
-            self.active.push(axon);
-        } else if !spiking && pos != AXON_IDLE {
-            self.active.swap_remove(pos as usize);
-            if let Some(&moved) = self.active.get(pos as usize) {
-                self.active_pos[moved as usize] = pos;
-            }
-            self.active_pos[axon as usize] = AXON_IDLE;
+        if spiking {
+            self.active.insert(axon);
+        } else {
+            self.active.remove(axon);
         }
         Ok(())
     }
@@ -163,15 +162,12 @@ impl NeuronCore {
                 self.inputs
             )));
         }
-        Ok(self.active_pos[axon as usize] != AXON_IDLE)
+        Ok(self.active.contains(axon))
     }
 
     /// Clears every axon (start of a new timestep). Costs `O(active)`, not
     /// `O(inputs)`.
     pub fn clear_axons(&mut self) {
-        for &a in &self.active {
-            self.active_pos[a as usize] = AXON_IDLE;
-        }
         self.active.clear();
     }
 
@@ -222,7 +218,7 @@ impl NeuronCore {
         for bank in (0..n_banks).filter(|&k| enabled(k)) {
             scratch[bank * per_bank..(bank + 1) * per_bank].fill(0);
         }
-        for &a in active.iter() {
+        for a in active.iter() {
             let row = &weights[a as usize * neurons..(a as usize + 1) * neurons];
             for bank in (0..n_banks).filter(|&k| enabled(k)) {
                 for n in bank * per_bank..(bank + 1) * per_bank {
@@ -262,9 +258,10 @@ impl NeuronCore {
             let hi = lo + per_bank as usize;
             for n in lo..hi {
                 let mut sum = LocalSum::ZERO;
-                for a in 0..self.inputs as usize {
-                    if self.active_pos[a] != AXON_IDLE {
-                        sum = sum.add_weight(self.weights[a * self.neurons as usize + n])?;
+                for a in 0..self.inputs {
+                    if self.active.contains(a) {
+                        sum =
+                            sum.add_weight(self.weights[a as usize * self.neurons as usize + n])?;
                     }
                 }
                 self.local_ps[n] = sum;

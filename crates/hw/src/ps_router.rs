@@ -14,7 +14,7 @@
 
 use shenjing_core::{Direction, Error, LocalSum, NocSum, Result};
 
-use crate::occupancy::{occ_any, occ_clear, occ_first, occ_set, occ_words};
+use crate::occupancy::PortOccupancy;
 use crate::ops::{PsDst, PsRouterOp, PsSendSource};
 
 /// All PS-NoC planes of one tile.
@@ -44,12 +44,11 @@ pub struct PsRouter {
     inputs: Vec<Option<NocSum>>,
     /// `[port * planes + plane]` output registers.
     outputs: Vec<Option<NocSum>>,
-    /// Per-direction occupancy of `outputs`: word `port * words + w` masks
-    /// planes `64*w .. 64*w+64` of that port (`words = ceil(planes/64)`).
-    /// Lets the chip's transfer phase visit only occupied (port, plane)
-    /// pairs instead of probing every register, the same occupancy-first
-    /// shape `BatchPsRouter` uses.
-    out_occ: Vec<u64>,
+    /// Per-direction occupancy of `outputs`: lets the chip's transfer
+    /// phase visit only occupied (port, plane) pairs instead of probing
+    /// every register — the same shared [`PortOccupancy`] bookkeeping
+    /// `BatchPsRouter` uses.
+    out_occ: PortOccupancy,
     /// `[plane]` accumulation registers (Table I's `sum_buf`).
     sum_buf: Vec<Option<NocSum>>,
     /// `[plane]` ejection registers toward the IF/spiking logic.
@@ -63,7 +62,7 @@ impl PsRouter {
             planes,
             inputs: vec![None; planes as usize * 4],
             outputs: vec![None; planes as usize * 4],
-            out_occ: vec![0; occ_words(planes) * 4],
+            out_occ: PortOccupancy::new(planes),
             sum_buf: vec![None; planes as usize],
             eject: vec![None; planes as usize],
         }
@@ -159,7 +158,7 @@ impl PsRouter {
         let idx = self.reg_index(port, plane);
         let taken = self.outputs[idx].take();
         if taken.is_some() {
-            occ_clear(&mut self.out_occ, occ_words(self.planes), port, plane);
+            self.out_occ.clear(port, plane);
         }
         taken
     }
@@ -167,7 +166,7 @@ impl PsRouter {
     /// The lowest-indexed plane with a pending output at `port`, if any
     /// (an occupancy-mask word scan, no per-plane probing).
     pub fn first_pending(&self, port: Direction) -> Option<u16> {
-        occ_first(&self.out_occ, occ_words(self.planes), port)
+        self.out_occ.first(port)
     }
 
     /// Removes and returns the lowest-plane pending output at `port` as
@@ -208,7 +207,7 @@ impl PsRouter {
     pub fn reset(&mut self) {
         self.inputs.iter_mut().for_each(|r| *r = None);
         self.outputs.iter_mut().for_each(|r| *r = None);
-        self.out_occ.iter_mut().for_each(|w| *w = 0);
+        self.out_occ.reset();
         self.sum_buf.iter_mut().for_each(|r| *r = None);
         self.eject.iter_mut().for_each(|r| *r = None);
     }
@@ -217,7 +216,7 @@ impl PsRouter {
     /// occupancy-mask scan: `4 × ceil(planes/64)` words, not
     /// `4 × planes` registers).
     pub fn has_pending_output(&self) -> bool {
-        occ_any(&self.out_occ)
+        self.out_occ.any()
     }
 
     fn take_input(&mut self, port: Direction, plane: u16) -> Option<NocSum> {
@@ -236,7 +235,7 @@ impl PsRouter {
                     });
                 }
                 self.outputs[idx] = Some(value);
-                occ_set(&mut self.out_occ, occ_words(self.planes), d, plane);
+                self.out_occ.set(d, plane);
             }
             PsDst::SpikingLogic => {
                 if self.eject[plane as usize].is_some() {

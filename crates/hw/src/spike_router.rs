@@ -16,7 +16,7 @@
 
 use shenjing_core::{Direction, Error, LocalSum, NocSum, Result};
 
-use crate::occupancy::{occ_any, occ_clear, occ_fill, occ_first, occ_set, occ_words};
+use crate::occupancy::PortOccupancy;
 use crate::ops::SpikeRouterOp;
 
 /// All spike-NoC planes of one tile.
@@ -44,10 +44,10 @@ pub struct SpikeRouter {
     inputs: Vec<Option<bool>>,
     /// `[port * planes + plane]` output registers.
     outputs: Vec<Option<bool>>,
-    /// Per-direction occupancy of `outputs`, same layout and role as
-    /// [`PsRouter`](crate::PsRouter)'s: the transfer phase walks only
-    /// occupied (port, plane) pairs.
-    out_occ: Vec<u64>,
+    /// Per-direction occupancy of `outputs`, the same shared
+    /// [`PortOccupancy`] as [`PsRouter`](crate::PsRouter)'s: the transfer
+    /// phase walks only occupied (port, plane) pairs.
+    out_occ: PortOccupancy,
     /// Spikes delivered to the local core this cycle: `(plane, value)`.
     deliveries: Vec<(u16, bool)>,
 }
@@ -65,7 +65,7 @@ impl SpikeRouter {
             spike_buf: vec![false; planes as usize],
             inputs: vec![None; planes as usize * 4],
             outputs: vec![None; planes as usize * 4],
-            out_occ: vec![0; occ_words(planes) * 4],
+            out_occ: PortOccupancy::new(planes),
             deliveries: Vec::new(),
         }
     }
@@ -149,8 +149,7 @@ impl SpikeRouter {
                     // buffer into the port's (port-major, contiguous)
                     // output slice. Errors match the per-plane loop: the
                     // lowest occupied plane reports contention.
-                    let words = occ_words(self.planes);
-                    if let Some(p) = occ_first(&self.out_occ, words, *dst) {
+                    if let Some(p) = self.out_occ.first(*dst) {
                         return Err(Error::InvalidSchedule {
                             cycle: 0,
                             reason: format!(
@@ -165,7 +164,7 @@ impl SpikeRouter {
                     {
                         *out = Some(spike);
                     }
-                    occ_fill(&mut self.out_occ, words, *dst, self.planes);
+                    self.out_occ.fill(*dst, self.planes);
                 } else {
                     for p in planes.iter(self.planes) {
                         let spike = self.spike_buf[p as usize];
@@ -229,7 +228,7 @@ impl SpikeRouter {
         let idx = self.reg_index(port, plane);
         let taken = self.outputs[idx].take();
         if taken.is_some() {
-            occ_clear(&mut self.out_occ, occ_words(self.planes), port, plane);
+            self.out_occ.clear(port, plane);
         }
         taken
     }
@@ -237,7 +236,7 @@ impl SpikeRouter {
     /// The lowest-indexed plane with a pending spike at `port`, if any
     /// (an occupancy-mask word scan, no per-plane probing).
     pub fn first_pending(&self, port: Direction) -> Option<u16> {
-        occ_first(&self.out_occ, occ_words(self.planes), port)
+        self.out_occ.first(port)
     }
 
     /// Removes and returns the lowest-plane pending spike at `port` as
@@ -257,7 +256,7 @@ impl SpikeRouter {
     /// Whether any output register holds a spike awaiting transfer (an
     /// occupancy-mask scan, not a register sweep).
     pub fn has_pending_output(&self) -> bool {
-        occ_any(&self.out_occ)
+        self.out_occ.any()
     }
 
     /// Clears crossbar registers and spike buffers but **keeps membrane
@@ -265,7 +264,7 @@ impl SpikeRouter {
     pub fn reset_network_state(&mut self) {
         self.inputs.iter_mut().for_each(|r| *r = None);
         self.outputs.iter_mut().for_each(|r| *r = None);
-        self.out_occ.iter_mut().for_each(|w| *w = 0);
+        self.out_occ.reset();
         self.spike_buf.iter_mut().for_each(|s| *s = false);
         self.deliveries.clear();
     }
@@ -284,7 +283,7 @@ impl SpikeRouter {
             });
         }
         self.outputs[idx] = Some(spike);
-        occ_set(&mut self.out_occ, occ_words(self.planes), dst, plane);
+        self.out_occ.set(dst, plane);
         Ok(())
     }
 

@@ -16,10 +16,14 @@
 //!    (SoA payload lanes), bit-identically to sequential single-frame
 //!    runs.
 //! 3. **Scheduler/serving** — [`Runtime`] owns a shared request queue
-//!    and `workers` shards, each holding one chip replica. A shard
-//!    gathers up to `max_batch` requests, holding the batch open at most
-//!    `max_wait` for stragglers, then answers every rider; per-request
-//!    latency and aggregate throughput land in [`RuntimeStats`].
+//!    and `workers` shards, each holding chip replicas of both engines.
+//!    A shard gathers up to `max_batch` requests, holding the batch open
+//!    at most `max_wait` for stragglers, picks an engine per batch via
+//!    the [`EnginePolicy`] (auto dispatch measures per-engine cost and
+//!    observed activity density; see [`RuntimeConfig::engine`]), then
+//!    answers every rider; per-request latency (with p50/p95/p99
+//!    percentiles), per-engine frame counters and aggregate throughput
+//!    land in [`RuntimeStats`].
 //!
 //! # Example
 //!
@@ -52,5 +56,5 @@ pub mod server;
 pub mod stats;
 
 pub use model::CompiledModel;
-pub use server::{InferenceReply, PendingReply, Runtime, RuntimeConfig};
+pub use server::{Engine, EnginePolicy, InferenceReply, PendingReply, Runtime, RuntimeConfig};
 pub use stats::RuntimeStats;

@@ -1,4 +1,5 @@
-//! The scheduler/serving layer: request queue, batching policy, workers.
+//! The scheduler/serving layer: request queue, batching policy, workers,
+//! and the adaptive per-batch engine dispatch.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -13,10 +14,37 @@ use shenjing_snn::SnnOutput;
 use crate::model::CompiledModel;
 use crate::stats::{RuntimeStats, StatsInner};
 
+/// Which execution engine a worker runs a gathered batch on.
+///
+/// Both engines share one sparse-activity core and are bit-identical (the
+/// batched equivalence proptests in `shenjing-sim` pin this), so dispatch
+/// is purely a performance decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The single-frame [`CycleSim`](shenjing_sim::CycleSim), run once per
+    /// frame of the batch.
+    Sequential,
+    /// The SoA [`BatchSim`](shenjing_sim::BatchSim), advancing all frames
+    /// in one pass over the schedule.
+    Batched,
+}
+
+/// How a [`Runtime`] picks the engine for each gathered batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePolicy {
+    /// Measure and decide per batch (see [`RuntimeConfig::engine`]).
+    #[default]
+    Auto,
+    /// Always run frames one at a time on the sequential engine.
+    ForceSequential,
+    /// Always run gathered batches on the batched engine.
+    ForceBatched,
+}
+
 /// Batching and sharding policy of a [`Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Worker shards; each owns one batched chip replica.
+    /// Worker shards; each owns one chip replica per enabled engine.
     pub workers: usize,
     /// Largest batch a worker executes in one pass (its lane count).
     pub max_batch: usize,
@@ -26,6 +54,21 @@ pub struct RuntimeConfig {
     /// Rate-coding spike-train length applied to every frame (batches
     /// must be uniform: the block schedule is static).
     pub timesteps: u32,
+    /// Engine dispatch policy. With both engines on the shared sparse
+    /// core, the batched engine still advances all `max_batch` SoA lanes
+    /// regardless of how many frames occupy them, so an under-full batch
+    /// pays roughly a full pass; the sequential engine pays per frame,
+    /// and its per-frame cost tracks the observed activity density. In
+    /// [`Auto`](EnginePolicy::Auto) mode each worker therefore measures
+    /// both costs as it serves (an EMA of sequential ns/frame and of
+    /// batched ns/pass — the density dependence is captured by the
+    /// measurement) and runs a batch of `n` frames sequentially when
+    /// `n × seq_frame < batched_pass`, batched otherwise; a batch of one
+    /// always runs sequentially, and multi-frame batches are
+    /// periodically diverted to the non-preferred engine so both
+    /// estimates keep tracking the traffic. Force modes pin the engine
+    /// for experiments and regression benches.
+    pub engine: EnginePolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -35,6 +78,7 @@ impl Default for RuntimeConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(2),
             timesteps: 20,
+            engine: EnginePolicy::Auto,
         }
     }
 }
@@ -67,6 +111,8 @@ pub struct InferenceReply {
     pub worker: usize,
     /// How many frames shared the batch this request rode in.
     pub batch_size: usize,
+    /// Which engine the dispatch policy ran the batch on.
+    pub engine: Engine,
 }
 
 struct Request {
@@ -109,12 +155,14 @@ impl PendingReply {
     }
 }
 
-/// A batched, sharded inference server over a [`CompiledModel`].
+/// A batched, sharded inference server over a [`CompiledModel`] with
+/// adaptive engine dispatch.
 ///
-/// Requests enter one shared queue; each of `workers` shards owns a
-/// `max_batch`-lane chip replica, gathers up to `max_batch` requests
+/// Requests enter one shared queue; each of `workers` shards owns chip
+/// replicas of the enabled engines, gathers up to `max_batch` requests
 /// (waiting at most `max_wait` from the oldest request for stragglers),
-/// and advances them all in one pass over the compiled schedule.
+/// and advances them on whichever engine the [`EnginePolicy`] picks —
+/// bit-identically either way.
 ///
 /// ```
 /// use shenjing_core::{ArchSpec, W5};
@@ -139,9 +187,109 @@ pub struct Runtime {
     input_len: usize,
 }
 
+/// One worker shard's engines: replicas are only instantiated for the
+/// engines its policy can dispatch to.
+struct WorkerEngines {
+    sequential: Option<shenjing_sim::CycleSim>,
+    batched: Option<shenjing_sim::BatchSim>,
+    timings: EngineTimings,
+    probes: ProbeState,
+}
+
+/// Measured per-engine cost EMAs feeding the auto dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineTimings {
+    /// Sequential engine: smoothed nanoseconds per *frame*.
+    seq_frame_ns: Option<f64>,
+    /// Batched engine: smoothed nanoseconds per *pass* (the lane count
+    /// bounds it regardless of occupancy; activity density moves it, so
+    /// it must keep being re-measured — see [`pick_engine`]'s probes).
+    batch_pass_ns: Option<f64>,
+}
+
+/// EMA smoothing factor for the engine cost measurements.
+const TIMING_ALPHA: f64 = 0.3;
+
+/// In auto mode, every this-many multi-frame batches that the crossover
+/// prefers one engine for are diverted to the *other* engine instead.
+/// Only the chosen engine's EMA updates, so without probes a stale (or
+/// never-seeded) estimate locks the dispatch in: a pessimistic batched
+/// EMA would pin sequential forever, and under sustained multi-frame
+/// traffic the sequential EMA would never even be seeded (batches of one
+/// are its only other source). Symmetric periodic probes bound both
+/// failure modes to one diverted batch per interval.
+const ENGINE_PROBE_INTERVAL: u32 = 16;
+
+/// Per-engine probe countdowns (see [`ENGINE_PROBE_INTERVAL`]).
+#[derive(Debug, Clone, Copy)]
+struct ProbeState {
+    sequential: u32,
+    batched: u32,
+}
+
+impl Default for ProbeState {
+    fn default() -> ProbeState {
+        ProbeState { sequential: ENGINE_PROBE_INTERVAL, batched: ENGINE_PROBE_INTERVAL }
+    }
+}
+
+fn ema(old: Option<f64>, sample: f64) -> Option<f64> {
+    Some(match old {
+        None => sample,
+        Some(v) => v * (1.0 - TIMING_ALPHA) + sample * TIMING_ALPHA,
+    })
+}
+
+/// The dispatch decision for a gathered batch of `frames` requests (see
+/// [`RuntimeConfig::engine`] for the heuristic). `probes` is the worker's
+/// [`ENGINE_PROBE_INTERVAL`] state.
+fn pick_engine(
+    policy: EnginePolicy,
+    frames: usize,
+    timings: &EngineTimings,
+    probes: &mut ProbeState,
+) -> Engine {
+    match policy {
+        EnginePolicy::ForceSequential => Engine::Sequential,
+        EnginePolicy::ForceBatched => Engine::Batched,
+        EnginePolicy::Auto => {
+            if frames <= 1 {
+                // A batch of one has nothing to amortize the SoA pass
+                // over; the sequential engine is never slower there.
+                return Engine::Sequential;
+            }
+            let preferred = match (timings.seq_frame_ns, timings.batch_pass_ns) {
+                (Some(seq), Some(pass)) if frames as f64 * seq < pass => Engine::Sequential,
+                // Before both EMAs exist, favor the batched engine (it
+                // amortizes whatever the batch holds); the sequential
+                // probe below seeds the missing measurement.
+                _ => Engine::Batched,
+            };
+            match preferred {
+                Engine::Sequential => {
+                    if probes.batched == 0 {
+                        probes.batched = ENGINE_PROBE_INTERVAL;
+                        return Engine::Batched;
+                    }
+                    probes.batched -= 1;
+                }
+                Engine::Batched => {
+                    if probes.sequential == 0 {
+                        probes.sequential = ENGINE_PROBE_INTERVAL;
+                        return Engine::Sequential;
+                    }
+                    probes.sequential -= 1;
+                }
+            }
+            preferred
+        }
+    }
+}
+
 impl Runtime {
     /// Compiles nothing — the model is already built — but instantiates
-    /// one batched chip replica per worker and starts the shards.
+    /// the per-worker chip replicas the dispatch policy needs and starts
+    /// the shards.
     ///
     /// # Errors
     ///
@@ -152,9 +300,22 @@ impl Runtime {
         let input_len = model.input_len();
         // Instantiate every replica before spawning anything, so a bad
         // program fails fast on the caller's thread.
-        let mut replicas = Vec::with_capacity(config.workers);
+        let mut engines = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            replicas.push(model.instantiate_batched(config.max_batch)?);
+            let sequential = match config.engine {
+                EnginePolicy::ForceBatched => None,
+                _ => Some(model.instantiate()?),
+            };
+            let batched = match config.engine {
+                EnginePolicy::ForceSequential => None,
+                _ => Some(model.instantiate_batched(config.max_batch)?),
+            };
+            engines.push(WorkerEngines {
+                sequential,
+                batched,
+                timings: EngineTimings::default(),
+                probes: ProbeState::default(),
+            });
         }
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false }),
@@ -163,12 +324,12 @@ impl Runtime {
             started: Instant::now(),
             config,
         });
-        let workers = replicas
+        let workers = engines
             .into_iter()
             .enumerate()
-            .map(|(id, sim)| {
+            .map(|(id, engines)| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(id, sim, &shared))
+                std::thread::spawn(move || worker_loop(id, engines, &shared))
             })
             .collect();
         Ok(Runtime { shared, workers, input_len })
@@ -259,9 +420,10 @@ impl Drop for Runtime {
     }
 }
 
-/// Gathers a batch according to the max-batch/max-wait policy, runs it,
-/// and answers every request in it. On shutdown, drains the queue first.
-fn worker_loop(id: usize, mut sim: shenjing_sim::BatchSim, shared: &Shared) {
+/// Gathers a batch according to the max-batch/max-wait policy, picks an
+/// engine per the dispatch policy, runs it, and answers every request in
+/// it. On shutdown, drains the queue first.
+fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
     let config = &shared.config;
     loop {
         let batch = {
@@ -300,41 +462,86 @@ fn worker_loop(id: usize, mut sim: shenjing_sim::BatchSim, shared: &Shared) {
         // only the enqueue time and reply channel outlive the execution.
         let (inputs, meta): (Vec<Tensor>, Vec<_>) =
             batch.into_iter().map(|r| (r.input, (r.enqueued, r.reply))).unzip();
+        let frames = inputs.len();
+        // Observed input activity density: under rate coding, a pixel's
+        // value is its per-timestep spike probability, so the mean value
+        // is the expected fraction of input axons spiking per step.
+        let density = inputs
+            .iter()
+            .map(|t| t.data().iter().sum::<f64>() / t.len().max(1) as f64)
+            .sum::<f64>()
+            / frames as f64;
+        let engine = pick_engine(config.engine, frames, &engines.timings, &mut engines.probes);
+
         let exec_start = Instant::now();
-        let result = sim.run_batch(&inputs, config.timesteps);
+        let results: Vec<Result<SnnOutput>> = match engine {
+            Engine::Sequential => {
+                let sim = engines.sequential.as_mut().expect("policy keeps a sequential replica");
+                // Per-frame execution, per-frame verdicts: one erroring
+                // frame does not poison its co-riders.
+                inputs.iter().map(|f| sim.run_frame(f, config.timesteps)).collect()
+            }
+            Engine::Batched => {
+                let sim = engines.batched.as_mut().expect("policy keeps a batched replica");
+                match sim.run_batch(&inputs, config.timesteps) {
+                    Ok(outputs) => outputs.into_iter().map(Ok).collect(),
+                    // A schedule violation poisons the whole batch; every
+                    // rider learns why.
+                    Err(e) => (0..frames).map(|_| Err(e.clone())).collect(),
+                }
+            }
+        };
         let busy = exec_start.elapsed();
         let answered = Instant::now();
+        match engine {
+            Engine::Sequential => {
+                engines.timings.seq_frame_ns =
+                    ema(engines.timings.seq_frame_ns, busy.as_nanos() as f64 / frames as f64);
+            }
+            Engine::Batched => {
+                engines.timings.batch_pass_ns =
+                    ema(engines.timings.batch_pass_ns, busy.as_nanos() as f64);
+            }
+        }
 
         let mut stats = shared.stats.lock().expect("stats lock");
         stats.batches += 1;
         stats.busy_time += busy;
-        if meta.len() == config.max_batch {
+        if frames == config.max_batch {
             stats.full_batches += 1;
         }
-        match result {
-            Ok(outputs) => {
-                let batch_size = meta.len();
-                for ((enqueued, reply_tx), output) in meta.into_iter().zip(outputs) {
+        match engine {
+            Engine::Sequential => {
+                stats.sequential_batches += 1;
+                stats.sequential_frames += frames as u64;
+            }
+            Engine::Batched => {
+                stats.batched_batches += 1;
+                stats.batched_frames += frames as u64;
+            }
+        }
+        stats.density_weighted_sum += density * frames as f64;
+        for ((enqueued, reply_tx), result) in meta.into_iter().zip(results) {
+            match result {
+                Ok(output) => {
                     let latency = answered.duration_since(enqueued);
                     stats.completed += 1;
                     stats.total_latency += latency;
                     stats.max_latency = stats.max_latency.max(latency);
+                    stats.record_latency(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
                     let reply = InferenceReply {
                         predicted: output.predicted_class(),
                         output,
                         latency,
                         worker: id,
-                        batch_size,
+                        batch_size: frames,
+                        engine,
                     };
                     let _ = reply_tx.send(Ok(reply));
                 }
-            }
-            Err(e) => {
-                // A schedule violation poisons the whole batch; every
-                // rider learns why.
-                stats.failed += meta.len() as u64;
-                for (_, reply_tx) in meta {
-                    let _ = reply_tx.send(Err(e.clone()));
+                Err(e) => {
+                    stats.failed += 1;
+                    let _ = reply_tx.send(Err(e));
                 }
             }
         }
@@ -383,8 +590,18 @@ mod tests {
         assert_eq!(stats.completed, 10);
         assert_eq!(stats.failed, 0);
         assert!(stats.batches >= 3, "4-lane workers need ≥3 batches for 10 frames");
+        assert_eq!(
+            stats.sequential_batches + stats.batched_batches,
+            stats.batches,
+            "every batch ran on exactly one engine"
+        );
+        assert_eq!(stats.sequential_frames + stats.batched_frames, 10);
         assert!(stats.mean_batch_occupancy >= 1.0);
         assert!(stats.frames_per_sec > 0.0);
+        assert!(stats.p50_latency <= stats.p95_latency);
+        assert!(stats.p95_latency <= stats.p99_latency);
+        assert!(stats.p99_latency <= stats.max_latency);
+        assert!(stats.mean_input_density > 0.0 && stats.mean_input_density < 1.0);
     }
 
     #[test]
@@ -399,6 +616,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(50),
                 timesteps: 5,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -411,6 +629,132 @@ mod tests {
         );
         let stats = runtime.shutdown().unwrap();
         assert!(stats.batches < 8, "expected batching, got {} batches", stats.batches);
+    }
+
+    #[test]
+    fn forced_engines_are_obeyed_and_bit_exact() {
+        let model = model();
+        let mut reference: CycleSim = model.instantiate().unwrap();
+        for (policy, engine) in [
+            (EnginePolicy::ForceSequential, Engine::Sequential),
+            (EnginePolicy::ForceBatched, Engine::Batched),
+        ] {
+            let runtime = Runtime::start(
+                model.clone(),
+                RuntimeConfig {
+                    workers: 1,
+                    max_batch: 4,
+                    timesteps: 7,
+                    engine: policy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let inputs: Vec<Tensor> = (0..6).map(frame).collect();
+            let replies = runtime.infer_many(&inputs).unwrap();
+            for (input, reply) in inputs.iter().zip(&replies) {
+                assert_eq!(reply.engine, engine, "policy {policy:?} must pin the engine");
+                let want = reference.run_frame(input, 7).unwrap();
+                assert_eq!(reply.output, want, "both engines serve bit-exact outputs");
+            }
+            let stats = runtime.shutdown().unwrap();
+            match engine {
+                Engine::Sequential => {
+                    assert_eq!(stats.sequential_frames, 6);
+                    assert_eq!(stats.batched_frames, 0);
+                }
+                Engine::Batched => {
+                    assert_eq!(stats.batched_frames, 6);
+                    assert_eq!(stats.sequential_frames, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_runs_single_frame_batches_sequentially() {
+        let model = model();
+        let runtime = Runtime::start(
+            model,
+            RuntimeConfig { workers: 1, max_batch: 8, timesteps: 5, ..Default::default() },
+        )
+        .unwrap();
+        // Strictly serialized submissions: every gathered batch holds one
+        // frame, so auto dispatch must choose the sequential engine.
+        for k in 0..4 {
+            let reply = runtime.infer(frame(k)).unwrap();
+            assert_eq!(reply.engine, Engine::Sequential);
+            assert_eq!(reply.batch_size, 1);
+        }
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.sequential_frames, 4);
+        assert_eq!(stats.batched_frames, 0);
+    }
+
+    #[test]
+    fn pick_engine_crossover() {
+        fn ps() -> ProbeState {
+            ProbeState::default()
+        }
+        let none = EngineTimings::default();
+        // Forced policies ignore measurements.
+        assert_eq!(
+            pick_engine(EnginePolicy::ForceSequential, 16, &none, &mut ps()),
+            Engine::Sequential
+        );
+        assert_eq!(pick_engine(EnginePolicy::ForceBatched, 1, &none, &mut ps()), Engine::Batched);
+        // Auto: batches of one are always sequential; unmeasured larger
+        // batches go batched to learn its cost.
+        assert_eq!(pick_engine(EnginePolicy::Auto, 1, &none, &mut ps()), Engine::Sequential);
+        assert_eq!(pick_engine(EnginePolicy::Auto, 2, &none, &mut ps()), Engine::Batched);
+        // Auto with measurements: a 16-lane pass costing 100 µs vs 10 µs
+        // sequential frames puts the crossover at 10 frames.
+        let t = EngineTimings { seq_frame_ns: Some(10_000.0), batch_pass_ns: Some(100_000.0) };
+        assert_eq!(pick_engine(EnginePolicy::Auto, 4, &t, &mut ps()), Engine::Sequential);
+        assert_eq!(pick_engine(EnginePolicy::Auto, 9, &t, &mut ps()), Engine::Sequential);
+        assert_eq!(pick_engine(EnginePolicy::Auto, 10, &t, &mut ps()), Engine::Batched);
+        assert_eq!(pick_engine(EnginePolicy::Auto, 16, &t, &mut ps()), Engine::Batched);
+    }
+
+    #[test]
+    fn auto_dispatch_periodically_probes_the_unpreferred_engine() {
+        // A stale or never-seeded EMA must not lock the dispatch onto one
+        // engine: every ENGINE_PROBE_INTERVAL multi-frame batches the
+        // crossover prefers one engine for, one is diverted to the other
+        // so its measurement keeps tracking the traffic.
+        let seq_wins =
+            EngineTimings { seq_frame_ns: Some(1_000.0), batch_pass_ns: Some(1_000_000.0) };
+        let mut probes = ProbeState::default();
+        let mut diverted = 0u32;
+        for _ in 0..2 * (ENGINE_PROBE_INTERVAL + 1) {
+            if pick_engine(EnginePolicy::Auto, 4, &seq_wins, &mut probes) == Engine::Batched {
+                diverted += 1;
+            }
+        }
+        assert_eq!(diverted, 2, "one batched probe per interval");
+
+        // The mirror direction, including the bootstrap case where the
+        // sequential EMA was never seeded (sustained multi-frame traffic
+        // has no n=1 batches to learn it from).
+        let seq_unseeded = EngineTimings { seq_frame_ns: None, batch_pass_ns: Some(1_000.0) };
+        let mut probes = ProbeState::default();
+        let mut diverted = 0u32;
+        for _ in 0..2 * (ENGINE_PROBE_INTERVAL + 1) {
+            if pick_engine(EnginePolicy::Auto, 4, &seq_unseeded, &mut probes) == Engine::Sequential
+            {
+                diverted += 1;
+            }
+        }
+        assert_eq!(diverted, 2, "one sequential probe per interval seeds/refreshes its EMA");
+
+        // Single-frame batches never probe (sequential is never slower).
+        let mut probes = ProbeState { sequential: 0, batched: 0 };
+        assert_eq!(pick_engine(EnginePolicy::Auto, 1, &seq_wins, &mut probes), Engine::Sequential);
+        assert_eq!(
+            (probes.sequential, probes.batched),
+            (0, 0),
+            "the n=1 shortcut leaves the probe state alone"
+        );
     }
 
     #[test]

@@ -1,6 +1,14 @@
-//! Serving statistics: per-request latency and aggregate throughput.
+//! Serving statistics: per-request latency and aggregate throughput,
+//! with latency percentiles and per-engine dispatch counters so the
+//! adaptive engine choice is observable.
 
 use std::time::Duration;
+
+/// Cap on the retained latency sample. Beyond it, reservoir sampling
+/// keeps a uniform subset, bounding both the memory of a long-running
+/// server and the clone-and-sort cost of every snapshot (taken under the
+/// stats lock the workers share).
+pub(crate) const LATENCY_SAMPLE_CAP: usize = 4096;
 
 /// Mutable counters the workers update under the stats lock.
 #[derive(Debug, Clone, Default)]
@@ -12,6 +20,23 @@ pub(crate) struct StatsInner {
     pub total_latency: Duration,
     pub max_latency: Duration,
     pub busy_time: Duration,
+    /// A bounded, uniform sample of successful requests' enqueue→reply
+    /// latencies, for percentiles (see [`StatsInner::record_latency`]).
+    pub latencies_ns: Vec<u64>,
+    /// Successful requests observed by the latency reservoir (its `k`).
+    pub latency_samples_seen: u64,
+    /// Batches dispatched to the sparse-sequential engine, and the frames
+    /// they carried.
+    pub sequential_batches: u64,
+    pub sequential_frames: u64,
+    /// Batches dispatched to the batched SoA engine, and the frames they
+    /// carried.
+    pub batched_batches: u64,
+    pub batched_frames: u64,
+    /// Σ (observed input activity density × frames), over all batches —
+    /// the rate-coded input's mean pixel value is the expected fraction
+    /// of input axons spiking per timestep.
+    pub density_weighted_sum: f64,
 }
 
 /// A snapshot of the runtime's aggregate serving statistics.
@@ -29,8 +54,25 @@ pub struct RuntimeStats {
     pub mean_batch_occupancy: f64,
     /// Mean enqueue→reply latency of successful requests.
     pub mean_latency: Duration,
+    /// Median enqueue→reply latency of successful requests.
+    pub p50_latency: Duration,
+    /// 95th-percentile enqueue→reply latency of successful requests.
+    pub p95_latency: Duration,
+    /// 99th-percentile enqueue→reply latency of successful requests.
+    pub p99_latency: Duration,
     /// Worst observed enqueue→reply latency.
     pub max_latency: Duration,
+    /// Batches the dispatch policy ran on the sparse-sequential engine.
+    pub sequential_batches: u64,
+    /// Frames served by the sparse-sequential engine.
+    pub sequential_frames: u64,
+    /// Batches the dispatch policy ran on the batched SoA engine.
+    pub batched_batches: u64,
+    /// Frames served by the batched SoA engine.
+    pub batched_frames: u64,
+    /// Mean observed input activity density per frame (the fraction of
+    /// input axons expected to spike each timestep under rate coding).
+    pub mean_input_density: f64,
     /// Total wall-clock the workers spent executing batches (summed over
     /// workers, so it can exceed `elapsed`).
     pub busy_time: Duration,
@@ -40,9 +82,44 @@ pub struct RuntimeStats {
     pub frames_per_sec: f64,
 }
 
+impl StatsInner {
+    /// Records one successful request's latency into the bounded
+    /// reservoir (Algorithm R: the `k`-th observed sample replaces a
+    /// uniformly random slot with probability `CAP / k`). The randomness
+    /// is a SplitMix64 hash of the sample count — deterministic for a
+    /// given arrival order, no RNG state to carry.
+    pub(crate) fn record_latency(&mut self, ns: u64) {
+        self.latency_samples_seen += 1;
+        if self.latencies_ns.len() < LATENCY_SAMPLE_CAP {
+            self.latencies_ns.push(ns);
+            return;
+        }
+        let mut z = self.latency_samples_seen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let slot = (z % self.latency_samples_seen) as usize;
+        if slot < LATENCY_SAMPLE_CAP {
+            self.latencies_ns[slot] = ns;
+        }
+    }
+}
+
+/// The `q`-quantile (0..=1) of an ascending-sorted latency sample, by
+/// the nearest-rank method. Zero for an empty sample.
+fn percentile(sorted_ns: &[u64], q: f64) -> Duration {
+    if sorted_ns.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    Duration::from_nanos(sorted_ns[rank - 1])
+}
+
 impl RuntimeStats {
     pub(crate) fn snapshot(inner: &StatsInner, elapsed: Duration) -> RuntimeStats {
         let done = inner.completed + inner.failed;
+        let mut sorted = inner.latencies_ns.clone();
+        sorted.sort_unstable();
         RuntimeStats {
             completed: inner.completed,
             failed: inner.failed,
@@ -58,7 +135,19 @@ impl RuntimeStats {
             } else {
                 inner.total_latency / u32::try_from(inner.completed).unwrap_or(u32::MAX)
             },
+            p50_latency: percentile(&sorted, 0.50),
+            p95_latency: percentile(&sorted, 0.95),
+            p99_latency: percentile(&sorted, 0.99),
             max_latency: inner.max_latency,
+            sequential_batches: inner.sequential_batches,
+            sequential_frames: inner.sequential_frames,
+            batched_batches: inner.batched_batches,
+            batched_frames: inner.batched_frames,
+            mean_input_density: if done == 0 {
+                0.0
+            } else {
+                inner.density_weighted_sum / done as f64
+            },
             busy_time: inner.busy_time,
             elapsed,
             frames_per_sec: if elapsed.is_zero() {
@@ -67,5 +156,56 @@ impl RuntimeStats {
                 inner.completed as f64 / elapsed.as_secs_f64()
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let mut inner = StatsInner::default();
+        for i in 0..3 * LATENCY_SAMPLE_CAP as u64 {
+            inner.record_latency(i);
+        }
+        assert_eq!(inner.latencies_ns.len(), LATENCY_SAMPLE_CAP, "reservoir stays capped");
+        assert_eq!(inner.latency_samples_seen, 3 * LATENCY_SAMPLE_CAP as u64);
+        // The retained sample is not just the first CAP values: later
+        // arrivals must have displaced some early ones.
+        assert!(
+            inner.latencies_ns.iter().any(|&ns| ns >= LATENCY_SAMPLE_CAP as u64),
+            "reservoir must admit samples beyond the cap"
+        );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), Duration::from_nanos(50));
+        assert_eq!(percentile(&sorted, 0.95), Duration::from_nanos(95));
+        assert_eq!(percentile(&sorted, 0.99), Duration::from_nanos(99));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[7], 0.99), Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn snapshot_derives_percentiles_and_density() {
+        let inner = StatsInner {
+            completed: 4,
+            batches: 2,
+            latencies_ns: vec![400, 100, 300, 200],
+            sequential_batches: 1,
+            sequential_frames: 1,
+            batched_batches: 1,
+            batched_frames: 3,
+            density_weighted_sum: 4.0 * 0.25,
+            ..Default::default()
+        };
+        let stats = RuntimeStats::snapshot(&inner, Duration::from_secs(1));
+        assert_eq!(stats.p50_latency, Duration::from_nanos(200));
+        assert_eq!(stats.p99_latency, Duration::from_nanos(400));
+        assert_eq!(stats.sequential_frames + stats.batched_frames, 4);
+        assert!((stats.mean_input_density - 0.25).abs() < 1e-12);
     }
 }

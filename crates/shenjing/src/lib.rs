@@ -83,7 +83,9 @@ pub mod prelude {
     pub use shenjing_mapper::{map_logical, place, Mapper, Mapping, PlacementStrategy};
     pub use shenjing_nn::{LayerSpec, Network, NetworkKind, Sgd, Tensor};
     pub use shenjing_power::{AreaBudget, EnergyModel, SystemEstimate, TileModel};
-    pub use shenjing_runtime::{CompiledModel, Runtime, RuntimeConfig, RuntimeStats};
+    pub use shenjing_runtime::{
+        CompiledModel, Engine, EnginePolicy, Runtime, RuntimeConfig, RuntimeStats,
+    };
     pub use shenjing_sim::{BatchSim, CycleSim};
     pub use shenjing_snn::{convert, ConversionOptions, SnnNetwork};
 }

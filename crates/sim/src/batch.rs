@@ -70,6 +70,22 @@ impl BatchSim {
         self.batch
     }
 
+    /// The batched mesh.
+    pub fn chip(&self) -> &BatchChip {
+        &self.chip
+    }
+
+    /// Switches the underlying batched chip between the optimized sparse
+    /// hot path (active-axon `ACC`, occupancy-masked transfer) and the
+    /// retained dense reference semantics — `set_reference_mode` parity
+    /// with [`CycleSim`](crate::CycleSim). Both are bit-identical —
+    /// outputs, lane state and error cycles — a property
+    /// [`equivalence::verify_batched`](crate::equivalence::verify_batched)
+    /// checks and the batched equivalence proptests enforce.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.chip.set_reference_mode(on);
+    }
+
     /// The shared decoded program this simulator executes.
     pub fn decoded(&self) -> &Arc<DecodedProgram> {
         &self.program

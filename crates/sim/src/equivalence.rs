@@ -13,8 +13,9 @@ use shenjing_core::Result;
 use shenjing_nn::Tensor;
 use shenjing_snn::SnnNetwork;
 
+use crate::batch::BatchSim;
 use crate::cycle_sim::{CycleSim, DecodedProgram};
-use crate::trace::digest_chip;
+use crate::trace::{digest_batch_chip, digest_chip};
 
 /// The outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +107,56 @@ pub fn verify_sequential(
         }
     }
     Ok(EquivalenceReport { frames: inputs.len(), timesteps, exact_frames: exact, first_mismatch })
+}
+
+/// Runs `inputs` through two `batch`-lane instantiations of the same
+/// decoded program — one on the optimized sparse hot path, one on the
+/// retained dense reference implementation — and compares them bit for
+/// bit, mirroring [`verify_sequential`]: every lane's full
+/// [`SnnOutput`](shenjing_snn::SnnOutput) (or the exact error, for
+/// batches that fail, e.g. on overflow-inducing weights) *and* a
+/// whole-chip, all-lane state digest after every batch.
+///
+/// Each `report` frame here is one *batch pass*: `inputs` is chunked into
+/// `batch`-sized groups and every group runs through both engines.
+///
+/// This is the executable gate behind the unified sparse core in the
+/// batched engine; the batched equivalence proptests drive it over random
+/// networks, activity densities and batch widths.
+///
+/// # Errors
+///
+/// Returns instantiation errors; per-batch run errors are *compared*, not
+/// propagated (matching errors count as exact frames).
+pub fn verify_batched(
+    program: &Arc<DecodedProgram>,
+    inputs: &[Tensor],
+    timesteps: u32,
+    batch: usize,
+) -> Result<EquivalenceReport> {
+    let mut fast = BatchSim::from_decoded(Arc::clone(program), batch)?;
+    let mut reference = BatchSim::from_decoded(Arc::clone(program), batch)?;
+    reference.set_reference_mode(true);
+
+    let mut exact = 0usize;
+    let mut first_mismatch = None;
+    let mut passes = 0usize;
+    for (i, group) in inputs.chunks(batch).enumerate() {
+        passes += 1;
+        let fast_out = fast.run_batch(group, timesteps);
+        let reference_out = reference.run_batch(group, timesteps);
+        // State is only compared for batches that completed: an erroring
+        // batch legitimately leaves the two chips mid-cycle at different
+        // points, and the next batch's reset clears all dynamic state.
+        let states_match = fast_out.is_err()
+            || digest_batch_chip(0, fast.chip()) == digest_batch_chip(0, reference.chip());
+        if fast_out == reference_out && states_match {
+            exact += 1;
+        } else if first_mismatch.is_none() {
+            first_mismatch = Some(i);
+        }
+    }
+    Ok(EquivalenceReport { frames: passes, timesteps, exact_frames: exact, first_mismatch })
 }
 
 #[cfg(test)]

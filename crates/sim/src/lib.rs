@@ -51,6 +51,8 @@ pub mod trace;
 
 pub use batch::BatchSim;
 pub use cycle_sim::{CycleSim, DecodedProgram};
-pub use equivalence::{verify, verify_sequential, EquivalenceReport};
+pub use equivalence::{verify, verify_batched, verify_sequential, EquivalenceReport};
 pub use fault::{inject, Fault};
-pub use trace::{compare_traces, digest_chip, trace_block, Divergence, StateDigest};
+pub use trace::{
+    compare_traces, digest_batch_chip, digest_chip, trace_block, Divergence, StateDigest,
+};

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 use shenjing_core::{CoreCoord, Direction, Result};
-use shenjing_hw::{AtomicOp, Chip};
+use shenjing_hw::{AtomicOp, BatchChip, Chip};
 
 /// A compact, deterministic digest of one tile's architectural state.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,6 +87,58 @@ pub fn digest_chip(cycle: u64, chip: &Chip) -> StateDigest {
     StateDigest {
         cycle,
         tiles: chip.iter().map(|(coord, tile)| digest_tile(coord, tile)).collect(),
+    }
+}
+
+fn digest_batch_tile(coord: CoreCoord, tile: &shenjing_hw::BatchTile, batch: usize) -> TileDigest {
+    let core = tile.core();
+    let planes = core.neurons();
+
+    let mut axons = FNV_OFFSET;
+    for a in 0..core.inputs() {
+        for lane in 0..batch {
+            fnv(&mut axons, &[u8::from(core.axon(a, lane).expect("in range"))]);
+        }
+    }
+
+    let mut local_ps = FNV_OFFSET;
+    for s in core.local_ps_all() {
+        fnv(&mut local_ps, &s.to_le_bytes());
+    }
+
+    let mut ps_router = FNV_OFFSET;
+    for p in 0..planes {
+        for lane in 0..batch {
+            let v = tile.ps().sum_buf(p, lane).unwrap_or(i32::MIN);
+            fnv(&mut ps_router, &v.to_le_bytes());
+            for d in Direction::ALL {
+                let v = tile.ps().peek_input(d, p, lane).unwrap_or(i32::MIN);
+                fnv(&mut ps_router, &v.to_le_bytes());
+            }
+        }
+    }
+
+    let mut spike_router = FNV_OFFSET;
+    for p in 0..planes {
+        for lane in 0..batch {
+            fnv(&mut spike_router, &tile.spike().potential(p, lane).to_le_bytes());
+            fnv(&mut spike_router, &[u8::from(tile.spike().spike_buffer(p, lane))]);
+        }
+    }
+
+    TileDigest { coord, axons, local_ps, ps_router, spike_router }
+}
+
+/// Captures the digest of every tile of a batched chip, covering every
+/// lane: axon bits, local partial sums, PS router state (sum_buf and
+/// in-flight inputs) and spike router state (potentials, spike buffers) —
+/// the batched counterpart of [`digest_chip`], consumed by
+/// [`verify_batched`](crate::equivalence::verify_batched).
+pub fn digest_batch_chip(cycle: u64, chip: &BatchChip) -> StateDigest {
+    let batch = chip.batch();
+    StateDigest {
+        cycle,
+        tiles: chip.iter().map(|(coord, tile)| digest_batch_tile(coord, tile, batch)).collect(),
     }
 }
 

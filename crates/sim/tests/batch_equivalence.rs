@@ -1,11 +1,21 @@
-//! Property: batched execution is bit-identical to sequential execution.
+//! Property: batched execution is bit-identical to sequential execution,
+//! and the batched sparse fast path is bit-identical to the batched dense
+//! reference implementation.
 //!
 //! The batched engine's whole claim is that it only restructures *when*
 //! work happens, never *what* is computed: running `B` frames through
 //! [`BatchSim`] must produce exactly the `SnnOutput`s that `B` sequential
 //! [`CycleSim::run_frame`] calls produce — every spike of every timestep
-//! and every residual potential. This file drives that claim over random
-//! small networks, weights, inputs, batch sizes and timestep counts.
+//! and every residual potential. Since the batched engine adopted the
+//! sequential engine's sparse-activity core (active-axon `ACC`,
+//! occupancy-masked transfer), the claim is pinned in *two* directions:
+//! batched-vs-sequential per lane, and batched-fast-vs-batched-reference
+//! via [`verify_batched`] (outputs, whole-chip all-lane digests and error
+//! cycles, including `ACC` overflow). This file drives both over random
+//! small networks, weights, inputs, timestep counts — and, crucially, the
+//! full activity-density × batch-width grid (silent through saturating,
+//! widths including `B = 1`), so the dense/sparse crossover region itself
+//! is covered, not just the endpoints.
 
 use std::sync::Arc;
 
@@ -13,7 +23,7 @@ use proptest::prelude::*;
 use shenjing_core::{ArchSpec, W5};
 use shenjing_mapper::Mapper;
 use shenjing_nn::Tensor;
-use shenjing_sim::{BatchSim, CycleSim, DecodedProgram};
+use shenjing_sim::{verify_batched, BatchSim, CycleSim, DecodedProgram};
 use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
 
 /// Largest dimensions the strategies below draw (the weight/input pools
@@ -33,15 +43,17 @@ fn frames(pool: &[f64], n_in: usize, batch: usize) -> Vec<Tensor> {
         .collect()
 }
 
-/// Maps `snn` on the tiny arch and asserts batched == sequential for the
-/// given frames.
+/// Maps `snn` on the tiny arch and asserts, for the given frames, both
+/// equivalence directions: batched == sequential per lane, and batched
+/// fast path == batched reference implementation (outputs, digests and
+/// error cycles, via [`verify_batched`]).
 fn assert_batched_equals_sequential(snn: &SnnNetwork, inputs: &[Tensor], timesteps: u32) {
     let arch = ArchSpec::tiny();
     let mapping = Mapper::new(arch.clone()).map(snn).unwrap();
     let decoded =
         Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
     let mut sequential = CycleSim::from_decoded(Arc::clone(&decoded)).unwrap();
-    let mut batched = BatchSim::from_decoded(decoded, inputs.len()).unwrap();
+    let mut batched = BatchSim::from_decoded(Arc::clone(&decoded), inputs.len()).unwrap();
 
     let batch_out = batched.run_batch(inputs, timesteps).unwrap();
     assert_eq!(batch_out.len(), inputs.len());
@@ -54,6 +66,12 @@ fn assert_batched_equals_sequential(snn: &SnnNetwork, inputs: &[Tensor], timeste
             inputs.len()
         );
     }
+
+    let report = verify_batched(&decoded, inputs, timesteps, inputs.len()).unwrap();
+    assert!(
+        report.is_exact(),
+        "batched sparse fast path diverged from the batched reference: {report:?}"
+    );
 }
 
 proptest! {
@@ -90,5 +108,76 @@ proptest! {
         let snn = SnnNetwork::new(vec![l1, l2]).unwrap();
         let inputs = frames(&pool, n_in, batch);
         assert_batched_equals_sequential(&snn, &inputs, timesteps);
+    }
+
+    /// The crossover grid: activity density swept from silent (≈0%)
+    /// through MNIST-like (~6%) and half-active (~50%) to saturating
+    /// (100%), crossed with batch widths *including `B = 1`* — the lane
+    /// count where the batched engine degenerates into the sequential
+    /// shape. Every (density, width) cell must agree with the sequential
+    /// engine per lane and with the batched dense reference bit for bit.
+    #[test]
+    fn batched_matches_sequential_across_density_and_width(
+        n_in in 4usize..=MAX_IN,
+        n_out in 1usize..=MAX_OUT,
+        theta in 1i32..=30,
+        batch in 1usize..=MAX_BATCH,
+        timesteps in 2u32..=6,
+        density_step in 0usize..4,
+        jitter in 0.0f64..0.05,
+        weights in proptest::collection::vec(-15i32..=15, MAX_IN * MAX_OUT),
+        pool in proptest::collection::vec(0.0f64..1.0, MAX_BATCH * MAX_IN),
+    ) {
+        // The four regimes from the ROADMAP perf table; jitter keeps the
+        // grid from degenerating into four exact constants.
+        let density = [0.0, 0.06, 0.5, 1.0][density_step] + jitter;
+        let snn = SnnNetwork::new(vec![dense_layer(&weights, n_in, n_out, theta)]).unwrap();
+        let inputs: Vec<Tensor> = (0..batch)
+            .map(|k| {
+                let vals = pool[k * n_in..(k + 1) * n_in]
+                    .iter()
+                    .map(|v| if density >= 1.0 { 1.0 } else { (v * density).min(1.0) })
+                    .collect();
+                Tensor::from_vec(vec![n_in], vals).unwrap()
+            })
+            .collect();
+        assert_batched_equals_sequential(&snn, &inputs, timesteps);
+    }
+
+    /// Overflow-inducing weights on an oversized custom core: batches
+    /// whose running `ACC` sum leaves the 13-bit accumulator must fail
+    /// with exactly the reference's error — erroring batches count as
+    /// exact in [`verify_batched`], like in `verify_sequential`.
+    #[test]
+    fn batched_oversized_core_overflow_matches_reference(
+        n_in in 280usize..=400,
+        theta in 1i32..=30,
+        batch in 1usize..=3usize,
+        timesteps in 1u32..=3,
+        density in 0.8f64..1.0,
+        magnitude in 12i32..=15,
+    ) {
+        let arch = ArchSpec {
+            core_inputs: 512,
+            core_neurons: 16,
+            chip_rows: 4,
+            chip_cols: 4,
+            ..ArchSpec::tiny()
+        };
+        // All-positive maximal weights: a dense-enough lane overflows the
+        // local accumulator partway through the checked sweep.
+        let weights = vec![magnitude; n_in * 2];
+        let snn = SnnNetwork::new(vec![dense_layer(&weights, n_in, 2, theta)]).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let decoded =
+            Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
+        let inputs: Vec<Tensor> = (0..batch)
+            .map(|_| Tensor::from_vec(vec![n_in], vec![density; n_in]).unwrap())
+            .collect();
+        let report = verify_batched(&decoded, &inputs, timesteps, batch).unwrap();
+        prop_assert!(
+            report.is_exact(),
+            "overflow batches must error identically on both paths: {report:?}"
+        );
     }
 }

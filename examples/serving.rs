@@ -38,10 +38,17 @@ fn main() -> Result<()> {
         model.block_cycles(),
     );
 
-    // 3. Serve a burst of traffic: 2 worker shards, 8-frame batches.
+    // 3. Serve a burst of traffic: 2 worker shards, 8-frame batches, and
+    //    the auto engine policy deciding per batch between the sparse
+    //    sequential engine and the batched SoA engine.
     let timesteps = 12;
-    let config =
-        RuntimeConfig { workers: 2, max_batch: 8, max_wait: Duration::from_millis(5), timesteps };
+    let config = RuntimeConfig {
+        workers: 2,
+        max_batch: 8,
+        max_wait: Duration::from_millis(5),
+        timesteps,
+        engine: EnginePolicy::Auto,
+    };
     let runtime = Runtime::start(model.clone(), config)?;
     let frames: Vec<Tensor> = test.iter().take(48).map(|(x, _)| x.clone()).collect();
     let started = Instant::now();
@@ -57,9 +64,21 @@ fn main() -> Result<()> {
         stats.mean_batch_occupancy,
     );
     println!(
-        "latency: mean {:.2} ms, max {:.2} ms",
+        "latency: mean {:.2} ms, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
         stats.mean_latency.as_secs_f64() * 1e3,
+        stats.p50_latency.as_secs_f64() * 1e3,
+        stats.p95_latency.as_secs_f64() * 1e3,
+        stats.p99_latency.as_secs_f64() * 1e3,
         stats.max_latency.as_secs_f64() * 1e3,
+    );
+    println!(
+        "engine dispatch: {} frames sparse-sequential ({} batches), {} frames batched ({} batches), \
+         mean input density {:.1}%",
+        stats.sequential_frames,
+        stats.sequential_batches,
+        stats.batched_frames,
+        stats.batched_batches,
+        100.0 * stats.mean_input_density,
     );
 
     // 4. The serving path is bit-exact against the single-frame simulator
