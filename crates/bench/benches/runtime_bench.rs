@@ -44,6 +44,14 @@ fn bench_runtime(c: &mut Criterion) {
         b.iter(|| batched.run_batch(&frames, TIMESTEPS).unwrap())
     });
 
+    // Under-full batch on the same 16-lane replica: with lane-occupancy
+    // execution this must cost ~4 lanes of payload plus one control-word
+    // walk (occupancy-bound), not a full 16-lane pass (capacity-bound).
+    // The acceptance bar is ≤ ~1.5× the 4-frame sequential cost.
+    c.bench_function("runtime_batched_4of16_frames_t8", |b| {
+        b.iter(|| batched.run_batch(&frames[..4], TIMESTEPS).unwrap())
+    });
+
     // Cheap instantiation from the shared artifact (the per-worker cost
     // the decoded program amortizes).
     c.bench_function("runtime_instantiate_replica", |b| b.iter(|| model.instantiate().unwrap()));

@@ -67,6 +67,13 @@ impl ActiveSet {
         self.members.len()
     }
 
+    /// Capacity of the backing member list — observability for the
+    /// allocation-stability tests: steady-state sweeps and lane scrubs
+    /// must reuse this storage, not grow it.
+    pub fn member_capacity(&self) -> usize {
+        self.members.capacity()
+    }
+
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
@@ -75,6 +82,26 @@ impl ActiveSet {
     /// Iterates the members in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
         self.members.iter().copied()
+    }
+
+    /// Keeps only the members for which `keep` returns `true`, in one
+    /// `O(members)` pass (swap-removal, order remains unspecified). This
+    /// is the primitive behind per-lane scrubbing in the batched core:
+    /// removing while iterating without collecting into scratch.
+    pub fn retain(&mut self, mut keep: impl FnMut(u16) -> bool) {
+        let mut i = 0;
+        while i < self.members.len() {
+            let m = self.members[i];
+            if keep(m) {
+                i += 1;
+                continue;
+            }
+            self.members.swap_remove(i);
+            if let Some(&moved) = self.members.get(i) {
+                self.pos[moved as usize] = i as u16;
+            }
+            self.pos[m as usize] = IDLE;
+        }
     }
 
     /// Empties the set. Costs `O(members)`, not `O(capacity)`.
@@ -122,6 +149,25 @@ mod tests {
             assert!(!s.contains(i));
         }
         assert!(s.insert(5), "cleared indices can re-enter");
+    }
+
+    #[test]
+    fn retain_drops_members_and_fixes_positions() {
+        let mut s = ActiveSet::new(16);
+        for i in 0..16u16 {
+            s.insert(i);
+        }
+        s.retain(|i| i % 3 == 0);
+        let mut members: Vec<u16> = s.iter().collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 3, 6, 9, 12, 15]);
+        for i in 0..16u16 {
+            assert_eq!(s.contains(i), i % 3 == 0, "index {i}");
+        }
+        // Positions stay consistent: removal after retain still works.
+        assert!(s.remove(9));
+        assert!(!s.contains(9));
+        assert_eq!(s.len(), 5);
     }
 
     #[test]

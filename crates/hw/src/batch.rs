@@ -15,16 +15,32 @@
 //!   active when *any* lane spikes on it), so `ACC` sweeps active weight
 //!   rows instead of scanning capacity;
 //! * [`BatchPsRouter`]/[`BatchSpikeRouter`] keep the same per-direction
-//!   [`PortOccupancy`] masks as their sequential counterparts, so the
+//!   `PortOccupancy` masks as their sequential counterparts, so the
 //!   transfer phase jumps straight to occupied (direction, plane) pairs;
 //! * [`BatchChip`] visits only this cycle's op tiles (the only possible
 //!   sources of outputs and deliveries) and reuses its transfer move
 //!   buffers, exactly like [`Chip`](crate::Chip).
 //!
+//! On top of the activity axis, every batched component now operates
+//! over an explicit **lane-occupancy set** ([`LaneSet`]): the chip tracks
+//! which of its `max_batch` SoA lanes hold in-flight frames, and every
+//! per-lane payload walk — `ACC` sweeps, router lane loops, transfer
+//! payload copies, clears, scrubs and state digests — touches only the
+//! occupied lanes. A 3-of-16 batch pays for 3 lanes of payload
+//! everywhere, so an under-full pass is occupancy-bound, not
+//! capacity-bound. Lanes enter the set clean ([`BatchChip::occupy_lane`])
+//! and are scrubbed in `O(that lane's active state)` when they leave
+//! ([`BatchChip::release_lane`]): active-axon bits via the maintained
+//! set, membrane potentials and spike buffers via a per-tile
+//! touched-plane set — never a dense sweep. Unoccupied lanes may hold
+//! stale payload; nothing reads them, which is exactly why occupancy must
+//! flow through *every* walk.
+//!
 //! The dense capacity walks survive only as the retained **reference
 //! mode** ([`BatchChip::set_reference_mode`]), mirroring the sequential
 //! engine: per-register transfer probing and a per-step-checked dense
-//! `ACC` sweep. Fast and reference modes are bit-identical — outputs,
+//! `ACC` sweep (dense over *axons*; both modes walk only occupied
+//! lanes). Fast and reference modes are bit-identical — outputs,
 //! whole-chip digests and error cycles — which
 //! `shenjing-sim::equivalence::verify_batched` checks and the batched
 //! equivalence proptests enforce. With the sparse shape shared, the
@@ -45,6 +61,7 @@ use shenjing_core::fixed::{LOCAL_SUM_BITS, NOC_SUM_BITS};
 use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, Result, W5};
 
 use crate::activity::ActiveSet;
+use crate::lanes::LaneSet;
 use crate::neuron_core::acc_overflow_possible;
 use crate::occupancy::PortOccupancy;
 use crate::ops::{AtomicOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
@@ -62,17 +79,59 @@ fn reg_index(planes: u16, port: Direction, plane: u16) -> usize {
     port.encode() as usize * planes as usize + plane as usize
 }
 
+/// Appends `reg`'s occupied lanes to `dst`, ascending — the transfer
+/// phase's payload stride is the occupied-lane count, never the lane
+/// capacity. Contiguous occupancy collapses into one slice copy.
+#[inline]
+fn gather_lanes<T: Copy>(dst: &mut Vec<T>, reg: &[T], lanes: &LaneSet) {
+    match lanes.contiguous_len() {
+        Some(k) => dst.extend_from_slice(&reg[..k]),
+        None => dst.extend(lanes.as_slice().iter().map(|&lane| reg[lane])),
+    }
+}
+
+/// Copies the occupied lanes of one capacity-wide register slice into
+/// another, leaving unoccupied lanes untouched.
+#[inline]
+fn copy_lanes<T: Copy>(dst: &mut [T], src: &[T], lanes: &LaneSet) {
+    match lanes.contiguous_len() {
+        Some(k) => dst[..k].copy_from_slice(&src[..k]),
+        None => {
+            for &lane in lanes.as_slice() {
+                dst[lane] = src[lane];
+            }
+        }
+    }
+}
+
+/// Scatters one payload value per occupied lane (ascending) into `reg`'s
+/// lane slots, leaving unoccupied lanes untouched — the inverse of
+/// [`gather_lanes`].
+#[inline]
+fn scatter_lanes<T: Copy>(reg: &mut [T], payload: &[T], lanes: &LaneSet) {
+    debug_assert_eq!(payload.len(), lanes.len(), "payload stride is the occupied-lane count");
+    match lanes.contiguous_len() {
+        Some(k) => reg[..k].copy_from_slice(payload),
+        None => {
+            for (&lane, &v) in lanes.as_slice().iter().zip(payload) {
+                reg[lane] = v;
+            }
+        }
+    }
+}
+
 /// Batched neuron core: shared weights, per-lane axons and partial sums.
 ///
 /// ```
 /// use shenjing_core::{ArchSpec, W5};
-/// use shenjing_hw::BatchNeuronCore;
+/// use shenjing_hw::{BatchNeuronCore, LaneSet};
 ///
 /// let arch = ArchSpec::tiny();
 /// let mut core = BatchNeuronCore::new(&arch, 2);
+/// let lanes = LaneSet::full(2);
 /// core.write_weight(0, 0, W5::new(3)?)?;
 /// core.set_axon(0, 1, true)?; // axon 0 spikes in lane 1 only
-/// core.accumulate(0b1111)?;
+/// core.accumulate(0b1111, &lanes)?;
 /// assert_eq!(core.local_ps(0, 0), 0);
 /// assert_eq!(core.local_ps(0, 1), 3);
 /// # Ok::<(), shenjing_core::Error>(())
@@ -97,6 +156,11 @@ pub struct BatchNeuronCore {
     lane_count: Vec<u32>,
     /// `[neuron][lane]` local partial sums.
     local_ps: Vec<i32>,
+    /// OR of every `ACC` bank mask executed since construction —
+    /// schedule-determined, so lane-independent. Partial sums can only be
+    /// nonzero in these banks, which keeps the lane-release scrub
+    /// bounded by the banks the program actually accumulates into.
+    touched_banks: u8,
 }
 
 impl BatchNeuronCore {
@@ -112,6 +176,7 @@ impl BatchNeuronCore {
             active: ActiveSet::new(arch.core_inputs),
             lane_count: vec![0; arch.core_inputs as usize],
             local_ps: vec![0; arch.core_neurons as usize * batch],
+            touched_banks: 0,
         }
     }
 
@@ -212,15 +277,63 @@ impl BatchNeuronCore {
         Ok(self.axons[axon as usize * self.batch + lane])
     }
 
-    /// Clears every axon in every lane (start of a new timestep). Costs
-    /// `O(active × lanes)`, not `O(inputs × lanes)`.
-    pub fn clear_axons(&mut self) {
+    /// Clears every axon in every *occupied* lane (start of a new
+    /// timestep). Costs `O(active × occupied lanes)`, not
+    /// `O(inputs × max_batch)`.
+    ///
+    /// Relies on the chip-level invariant that axon bits only exist in
+    /// occupied lanes (injection and delivery walk occupied lanes, and
+    /// [`scrub_lane`](BatchNeuronCore::scrub_lane) clears a lane's bits
+    /// when it is released), so clearing the occupied lanes empties every
+    /// active axon's lane count.
+    pub fn clear_axons(&mut self, lanes: &LaneSet) {
         let b = self.batch;
         for a in self.active.iter() {
-            self.axons[a as usize * b..(a as usize + 1) * b].fill(false);
+            let base = a as usize * b;
+            match lanes.contiguous_len() {
+                Some(k) => self.axons[base..base + k].fill(false),
+                None => {
+                    for &lane in lanes.as_slice() {
+                        self.axons[base + lane] = false;
+                    }
+                }
+            }
+            debug_assert!(
+                self.axons[base..base + b].iter().all(|&bit| !bit),
+                "axon {a} spikes in an unoccupied lane"
+            );
             self.lane_count[a as usize] = 0;
         }
         self.active.clear();
+    }
+
+    /// The lane-release scrub: removes `lane`'s spike bits from every
+    /// active axon (shrinking the maintained active set where the lane
+    /// was an axon's last spiker) and zeroes its partial sums in the
+    /// banks the program has ever `ACC`'d into, so a re-occupied lane
+    /// really is all-zero dynamic state. Costs
+    /// `O(active + touched banks)` — never a dense
+    /// `O(inputs + neurons) × capacity` sweep.
+    pub fn scrub_lane(&mut self, lane: usize) {
+        let b = self.batch;
+        let per_bank = self.neurons as usize / self.banks as usize;
+        let n_banks = self.banks as usize;
+        let touched = self.touched_banks;
+        let BatchNeuronCore { axons, lane_count, active, local_ps, .. } = self;
+        active.retain(|a| {
+            let bit = &mut axons[a as usize * b + lane];
+            if !*bit {
+                return true;
+            }
+            *bit = false;
+            lane_count[a as usize] -= 1;
+            lane_count[a as usize] > 0
+        });
+        for bank in (0..n_banks).filter(|&bk| touched & (1 << bk) != 0) {
+            for n in bank * per_bank..(bank + 1) * per_bank {
+                local_ps[n * b + lane] = 0;
+            }
+        }
     }
 
     /// Number of axons spiking in at least one lane — the batched
@@ -241,26 +354,31 @@ impl BatchNeuronCore {
         &self.local_ps
     }
 
-    /// Executes `ACC` on every lane: recomputes the partial sums of the
-    /// neurons in the enabled `banks` from the current axon lanes, sweeping
-    /// axon-major over the maintained active-axon list — the same sparse
-    /// shape as [`NeuronCore::accumulate`](crate::NeuronCore::accumulate),
-    /// whose rustdoc states the shared checked-fallback condition. When the
+    /// Executes `ACC` on every *occupied* lane: recomputes the partial
+    /// sums of the neurons in the enabled `banks` from the current axon
+    /// lanes, sweeping axon-major over the maintained active-axon list —
+    /// the same sparse shape as
+    /// [`NeuronCore::accumulate`](crate::NeuronCore::accumulate), whose
+    /// rustdoc states the shared checked-fallback condition. When the
     /// fallback condition holds (oversized custom architectures), this
     /// delegates to
     /// [`accumulate_reference`](BatchNeuronCore::accumulate_reference).
+    /// When the occupied lanes form a contiguous prefix `0..k` (every
+    /// packed batch), the per-neuron walks collapse into length-`k` slice
+    /// operations — at full occupancy, exactly the capacity-wide sweep.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SumOverflow`] if any lane's sum leaves the 13-bit
-    /// local range (only reachable on architectures with more than 256
-    /// inputs per core), and [`Error::InvalidControl`] for an invalid
-    /// bank mask.
-    pub fn accumulate(&mut self, banks: u8) -> Result<()> {
+    /// Returns [`Error::SumOverflow`] if any occupied lane's sum leaves
+    /// the 13-bit local range (only reachable on architectures with more
+    /// than 256 inputs per core), and [`Error::InvalidControl`] for an
+    /// invalid bank mask.
+    pub fn accumulate(&mut self, banks: u8, lanes: &LaneSet) -> Result<()> {
         if acc_overflow_possible(self.inputs) {
-            return self.accumulate_reference(banks);
+            return self.accumulate_reference(banks, lanes);
         }
         self.check_banks(banks)?;
+        self.touched_banks |= banks;
         let b = self.batch;
         let neurons = self.neurons as usize;
         let per_bank = neurons / self.banks as usize;
@@ -268,22 +386,58 @@ impl BatchNeuronCore {
         let enabled = |bank: usize| banks & (1 << bank) != 0;
         let BatchNeuronCore { weights, axons, active, local_ps, .. } = self;
 
-        for bank in (0..n_banks).filter(|&k| enabled(k)) {
-            local_ps[bank * per_bank * b..(bank + 1) * per_bank * b].fill(0);
+        match lanes.contiguous_len() {
+            Some(k) if k == b => {
+                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                    local_ps[bank * per_bank * b..(bank + 1) * per_bank * b].fill(0);
+                }
+            }
+            Some(k) => {
+                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                    for n in bank * per_bank..(bank + 1) * per_bank {
+                        local_ps[n * b..n * b + k].fill(0);
+                    }
+                }
+            }
+            None => {
+                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                    for n in bank * per_bank..(bank + 1) * per_bank {
+                        for &lane in lanes.as_slice() {
+                            local_ps[n * b + lane] = 0;
+                        }
+                    }
+                }
+            }
         }
         for a in active.iter() {
             let a = a as usize;
-            let lanes = &axons[a * b..(a + 1) * b];
             let row = &weights[a * neurons..(a + 1) * neurons];
-            for bank in (0..n_banks).filter(|&k| enabled(k)) {
-                for n in bank * per_bank..(bank + 1) * per_bank {
-                    let w = row[n].value();
-                    if w == 0 {
-                        continue;
+            if let Some(k) = lanes.contiguous_len() {
+                let spikes = &axons[a * b..a * b + k];
+                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                    for n in bank * per_bank..(bank + 1) * per_bank {
+                        let w = row[n].value();
+                        if w == 0 {
+                            continue;
+                        }
+                        for (dst, &spiking) in local_ps[n * b..n * b + k].iter_mut().zip(spikes) {
+                            if spiking {
+                                *dst += w;
+                            }
+                        }
                     }
-                    for (dst, &spiking) in local_ps[n * b..(n + 1) * b].iter_mut().zip(lanes) {
-                        if spiking {
-                            *dst += w;
+                }
+            } else {
+                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                    for n in bank * per_bank..(bank + 1) * per_bank {
+                        let w = row[n].value();
+                        if w == 0 {
+                            continue;
+                        }
+                        for &lane in lanes.as_slice() {
+                            if axons[a * b + lane] {
+                                local_ps[n * b + lane] += w;
+                            }
                         }
                     }
                 }
@@ -292,10 +446,12 @@ impl BatchNeuronCore {
         Ok(())
     }
 
-    /// The retained reference implementation of `ACC`: a dense
-    /// `O(inputs × neurons × lanes)` sweep in the scalar core's exact
-    /// order (bank → neuron → lane → axon) with a range check after every
-    /// addition, exactly as the seed batched engine executed it.
+    /// The retained reference implementation of `ACC`: a dense-over-axons
+    /// `O(inputs × neurons × occupied lanes)` sweep in the scalar core's
+    /// exact order (bank → neuron → lane → axon, lanes ascending) with a
+    /// range check after every addition, exactly as the seed batched
+    /// engine executed it — restricted, like the fast path, to the
+    /// occupied lanes.
     /// [`accumulate`](BatchNeuronCore::accumulate) must stay bit-identical
     /// to this — outputs *and* errors — which the batched equivalence
     /// proptests assert; it also serves as the fallback when the fast
@@ -305,8 +461,9 @@ impl BatchNeuronCore {
     /// # Errors
     ///
     /// Same contract as [`accumulate`](BatchNeuronCore::accumulate).
-    pub fn accumulate_reference(&mut self, banks: u8) -> Result<()> {
+    pub fn accumulate_reference(&mut self, banks: u8, lanes: &LaneSet) -> Result<()> {
         self.check_banks(banks)?;
+        self.touched_banks |= banks;
         let b = self.batch;
         let neurons = self.neurons as usize;
         let per_bank = neurons / self.banks as usize;
@@ -315,10 +472,10 @@ impl BatchNeuronCore {
         let BatchNeuronCore { weights, axons, local_ps, .. } = self;
         for bank in (0..n_banks).filter(|&k| enabled(k)) {
             for n in bank * per_bank..(bank + 1) * per_bank {
-                for lane in 0..b {
+                for &lane in lanes.as_slice() {
                     let mut sum = 0i32;
-                    for (a, lanes) in axons.chunks_exact(b).enumerate() {
-                        if lanes[lane] {
+                    for (a, spikes) in axons.chunks_exact(b).enumerate() {
+                        if spikes[lane] {
                             sum += weights[a * neurons + n].value();
                             if !(LOCAL_MIN..=LOCAL_MAX).contains(&sum) {
                                 return Err(Error::SumOverflow {
@@ -348,7 +505,7 @@ impl BatchNeuronCore {
 }
 
 /// Batched PS-NoC router block: one occupancy bit and `B` payload lanes
-/// per register, with the same per-direction [`PortOccupancy`] masks over
+/// per register, with the same per-direction `PortOccupancy` masks over
 /// the output registers as the sequential [`PsRouter`](crate::PsRouter).
 #[derive(Debug, Clone)]
 pub struct BatchPsRouter {
@@ -399,14 +556,15 @@ impl BatchPsRouter {
         self.in_occ[idx].then(|| self.in_val[idx * self.batch + lane])
     }
 
-    /// Executes one op across its plane set on every lane. `local_ps` is
-    /// the batched core's `[neuron][lane]` partial sums.
+    /// Executes one op across its plane set on every *occupied* lane.
+    /// `local_ps` is the batched core's `[neuron][lane]` partial sums.
     ///
     /// # Errors
     ///
     /// Same contract as [`PsRouter::exec`](crate::PsRouter::exec), with
-    /// the 16-bit adder overflow checked per lane.
-    pub fn exec(&mut self, op: &PsRouterOp, local_ps: &[i32]) -> Result<()> {
+    /// the 16-bit adder overflow checked per occupied lane (ascending
+    /// lane order, so the erroring lane is deterministic).
+    pub fn exec(&mut self, op: &PsRouterOp, local_ps: &[i32], lanes: &LaneSet) -> Result<()> {
         let b = self.batch;
         let total = self.planes;
         let BatchPsRouter {
@@ -438,7 +596,7 @@ impl BatchPsRouter {
                         });
                     }
                     in_occ[idx] = false;
-                    for lane in 0..b {
+                    for &lane in lanes.as_slice() {
                         let first =
                             if *consec { sum_val[p as usize * b + lane] } else { local(p, lane) };
                         let v = first + in_val[idx * b + lane];
@@ -487,7 +645,7 @@ impl BatchPsRouter {
                             (&mut *eject_val, p as usize * b)
                         }
                     };
-                    for lane in 0..b {
+                    for &lane in lanes.as_slice() {
                         val[base + lane] = match source {
                             PsSendSource::LocalPs => local(p, lane),
                             PsSendSource::SumBuf => sum_val[p as usize * b + lane],
@@ -531,7 +689,7 @@ impl BatchPsRouter {
                             (&mut *eject_val, p as usize * b)
                         }
                     };
-                    for lane in 0..b {
+                    for &lane in lanes.as_slice() {
                         val[base + lane] = in_val[idx * b + lane];
                     }
                 }
@@ -540,14 +698,22 @@ impl BatchPsRouter {
         Ok(())
     }
 
-    /// Writes incoming lane payloads into the input register of `port`
-    /// (the batched chip fabric's transfer phase calls this).
+    /// Writes incoming occupied-lane payloads into the input register of
+    /// `port` (the batched chip fabric's transfer phase calls this).
+    /// `payload` carries one value per occupied lane, ascending — the
+    /// transfer phase's move stride.
     ///
     /// # Errors
     ///
     /// Returns a contention error when the register still holds unconsumed
     /// data.
-    pub fn put_input(&mut self, port: Direction, plane: u16, lanes: &[i32]) -> Result<()> {
+    pub fn put_input(
+        &mut self,
+        port: Direction,
+        plane: u16,
+        payload: &[i32],
+        lanes: &LaneSet,
+    ) -> Result<()> {
         let idx = reg_index(self.planes, port, plane);
         if self.in_occ[idx] {
             return Err(Error::InvalidSchedule {
@@ -556,19 +722,25 @@ impl BatchPsRouter {
             });
         }
         self.in_occ[idx] = true;
-        self.in_val[idx * self.batch..(idx + 1) * self.batch].copy_from_slice(lanes);
+        scatter_lanes(&mut self.in_val[idx * self.batch..(idx + 1) * self.batch], payload, lanes);
         Ok(())
     }
 
-    /// Drains the output register of `port`/`plane` into `dst`, returning
-    /// whether it was occupied.
-    pub fn take_output_into(&mut self, port: Direction, plane: u16, dst: &mut Vec<i32>) -> bool {
+    /// Drains the occupied lanes of the output register of `port`/`plane`
+    /// into `dst`, returning whether it was occupied.
+    pub fn take_output_into(
+        &mut self,
+        port: Direction,
+        plane: u16,
+        dst: &mut Vec<i32>,
+        lanes: &LaneSet,
+    ) -> bool {
         if !self.out_occ.contains(port, plane) {
             return false;
         }
         self.out_occ.clear(port, plane);
         let idx = reg_index(self.planes, port, plane);
-        dst.extend_from_slice(&self.out_val[idx * self.batch..(idx + 1) * self.batch]);
+        gather_lanes(dst, &self.out_val[idx * self.batch..(idx + 1) * self.batch], lanes);
         true
     }
 
@@ -578,14 +750,19 @@ impl BatchPsRouter {
         self.out_occ.first(port)
     }
 
-    /// Drains the lowest-plane pending output at `port` into `dst`,
-    /// returning its plane. Repeated calls walk the occupancy mask in
-    /// ascending plane order and return [`None`] once the port is empty —
-    /// the batched counterpart of
+    /// Drains the lowest-plane pending output at `port` into `dst`
+    /// (occupied lanes only), returning its plane. Repeated calls walk the
+    /// occupancy mask in ascending plane order and return [`None`] once
+    /// the port is empty — the batched counterpart of
     /// [`PsRouter::take_next_output`](crate::PsRouter::take_next_output).
-    pub fn take_next_output_into(&mut self, port: Direction, dst: &mut Vec<i32>) -> Option<u16> {
+    pub fn take_next_output_into(
+        &mut self,
+        port: Direction,
+        dst: &mut Vec<i32>,
+        lanes: &LaneSet,
+    ) -> Option<u16> {
         let plane = self.first_pending(port)?;
-        assert!(self.take_output_into(port, plane, dst), "occupancy mask tracks outputs");
+        assert!(self.take_output_into(port, plane, dst, lanes), "occupancy mask tracks outputs");
         Some(plane)
     }
 
@@ -609,7 +786,7 @@ impl BatchPsRouter {
 }
 
 /// Batched spike-NoC router with per-lane IF state and the shared
-/// per-direction [`PortOccupancy`] output masks.
+/// per-direction `PortOccupancy` output masks.
 #[derive(Debug, Clone)]
 pub struct BatchSpikeRouter {
     planes: u16,
@@ -624,10 +801,18 @@ pub struct BatchSpikeRouter {
     in_val: Vec<bool>,
     out_occ: PortOccupancy,
     out_val: Vec<bool>,
-    /// Planes delivered to the local core this cycle, with their lane
-    /// payloads appended to `delivered_val` in the same order.
+    /// Planes delivered to the local core this cycle, with their
+    /// *occupied*-lane payloads appended to `delivered_val` in the same
+    /// order (stride = occupied-lane count).
     delivered_planes: Vec<u16>,
     delivered_val: Vec<bool>,
+    /// Planes whose IF state was ever integrated since construction —
+    /// schedule-determined, so lane-independent. Membrane potentials and
+    /// spike buffers can only be nonzero on these planes, which is what
+    /// makes the per-lane scrub ([`scrub_lane`](BatchSpikeRouter::scrub_lane))
+    /// and the per-timestep spike-buffer clear `O(touched)` instead of a
+    /// dense `O(planes)` sweep.
+    touched: ActiveSet,
 }
 
 impl BatchSpikeRouter {
@@ -646,6 +831,7 @@ impl BatchSpikeRouter {
             out_val: vec![false; p * 4 * batch],
             delivered_planes: Vec::new(),
             delivered_val: Vec::new(),
+            touched: ActiveSet::new(planes),
         }
     }
 
@@ -675,8 +861,10 @@ impl BatchSpikeRouter {
     }
 
     /// Integrates a weighted-sum value into one lane's potential, firing
-    /// when it exceeds the threshold (reset by subtraction).
+    /// when it exceeds the threshold (reset by subtraction). Marks the
+    /// plane touched, so lane scrubs know where IF state can live.
     pub fn integrate_value(&mut self, plane: u16, lane: usize, sum: i32) {
+        self.touched.insert(plane);
         let idx = plane as usize * self.batch + lane;
         self.potential[idx] += sum;
         if self.potential[idx] > self.threshold[plane as usize] {
@@ -687,9 +875,9 @@ impl BatchSpikeRouter {
         }
     }
 
-    /// Executes one op on every lane. `local_ps` is the batched core's
-    /// `[neuron][lane]` sums; `ps_eject_occ`/`ps_eject_val` are the PS
-    /// router's batched ejection registers.
+    /// Executes one op on every *occupied* lane. `local_ps` is the batched
+    /// core's `[neuron][lane]` sums; `ps_eject_occ`/`ps_eject_val` are the
+    /// PS router's batched ejection registers.
     ///
     /// # Errors
     ///
@@ -700,6 +888,7 @@ impl BatchSpikeRouter {
         local_ps: &[i32],
         ps_eject_occ: &mut [bool],
         ps_eject_val: &mut [i32],
+        lanes: &LaneSet,
     ) -> Result<()> {
         let b = self.batch;
         let total = self.planes;
@@ -716,11 +905,11 @@ impl BatchSpikeRouter {
                             });
                         }
                         ps_eject_occ[p as usize] = false;
-                        for lane in 0..b {
+                        for &lane in lanes.as_slice() {
                             self.integrate_value(p, lane, ps_eject_val[p as usize * b + lane]);
                         }
                     } else {
-                        for lane in 0..b {
+                        for &lane in lanes.as_slice() {
                             let sum = local_ps.get(p as usize * b + lane).copied().unwrap_or(0);
                             self.integrate_value(p, lane, sum);
                         }
@@ -732,10 +921,11 @@ impl BatchSpikeRouter {
                 if matches!(planes, crate::PlaneSet::All) {
                     // Bulk whole-port path, as in the sequential router:
                     // one contention scan over the occupancy words, then a
-                    // straight copy of the (contiguous) spike-buffer lanes
-                    // into the port's output slice. Errors match the
-                    // per-plane loop: the lowest occupied plane reports
-                    // contention.
+                    // straight copy of the spike-buffer lanes into the
+                    // port's output slice — the whole buffer at full
+                    // occupancy, per-plane occupied-lane copies otherwise.
+                    // Errors match the per-plane loop: the lowest occupied
+                    // plane reports contention.
                     if let Some(p) = out_occ.first(*dst) {
                         return Err(Error::InvalidSchedule {
                             cycle: 0,
@@ -745,7 +935,17 @@ impl BatchSpikeRouter {
                         });
                     }
                     let base = reg_index(total, *dst, 0) * b;
-                    out_val[base..base + total as usize * b].copy_from_slice(spike_buf);
+                    if lanes.is_full() {
+                        out_val[base..base + total as usize * b].copy_from_slice(spike_buf);
+                    } else {
+                        for p in 0..total as usize {
+                            copy_lanes(
+                                &mut out_val[base + p * b..base + (p + 1) * b],
+                                &spike_buf[p * b..(p + 1) * b],
+                                lanes,
+                            );
+                        }
+                    }
                     out_occ.fill(*dst, total);
                 } else {
                     for p in planes.iter(total) {
@@ -759,8 +959,11 @@ impl BatchSpikeRouter {
                         }
                         out_occ.set(*dst, p);
                         let idx = reg_index(total, *dst, p);
-                        out_val[idx * b..(idx + 1) * b]
-                            .copy_from_slice(&spike_buf[p as usize * b..(p as usize + 1) * b]);
+                        copy_lanes(
+                            &mut out_val[idx * b..(idx + 1) * b],
+                            &spike_buf[p as usize * b..(p as usize + 1) * b],
+                            lanes,
+                        );
                     }
                 }
             }
@@ -785,7 +988,7 @@ impl BatchSpikeRouter {
                     in_occ[idx] = false;
                     if *deliver {
                         delivered_planes.push(p);
-                        delivered_val.extend_from_slice(&in_val[idx * b..(idx + 1) * b]);
+                        gather_lanes(delivered_val, &in_val[idx * b..(idx + 1) * b], lanes);
                     }
                     if let Some(d) = dst {
                         if out_occ.contains(*d, p) {
@@ -798,8 +1001,11 @@ impl BatchSpikeRouter {
                         }
                         out_occ.set(*d, p);
                         let oidx = reg_index(total, *d, p);
-                        out_val[oidx * b..(oidx + 1) * b]
-                            .copy_from_slice(&in_val[idx * b..(idx + 1) * b]);
+                        copy_lanes(
+                            &mut out_val[oidx * b..(oidx + 1) * b],
+                            &in_val[idx * b..(idx + 1) * b],
+                            lanes,
+                        );
                     }
                 }
             }
@@ -807,13 +1013,20 @@ impl BatchSpikeRouter {
         Ok(())
     }
 
-    /// Writes incoming lane spikes into the input register of `port`.
+    /// Writes incoming occupied-lane spikes into the input register of
+    /// `port`. `payload` carries one spike per occupied lane, ascending.
     ///
     /// # Errors
     ///
     /// Returns a contention error when the register still holds unconsumed
     /// spikes.
-    pub fn put_input(&mut self, port: Direction, plane: u16, lanes: &[bool]) -> Result<()> {
+    pub fn put_input(
+        &mut self,
+        port: Direction,
+        plane: u16,
+        payload: &[bool],
+        lanes: &LaneSet,
+    ) -> Result<()> {
         let idx = reg_index(self.planes, port, plane);
         if self.in_occ[idx] {
             return Err(Error::InvalidSchedule {
@@ -822,19 +1035,25 @@ impl BatchSpikeRouter {
             });
         }
         self.in_occ[idx] = true;
-        self.in_val[idx * self.batch..(idx + 1) * self.batch].copy_from_slice(lanes);
+        scatter_lanes(&mut self.in_val[idx * self.batch..(idx + 1) * self.batch], payload, lanes);
         Ok(())
     }
 
-    /// Drains the output register of `port`/`plane` into `dst`, returning
-    /// whether it was occupied.
-    pub fn take_output_into(&mut self, port: Direction, plane: u16, dst: &mut Vec<bool>) -> bool {
+    /// Drains the occupied lanes of the output register of `port`/`plane`
+    /// into `dst`, returning whether it was occupied.
+    pub fn take_output_into(
+        &mut self,
+        port: Direction,
+        plane: u16,
+        dst: &mut Vec<bool>,
+        lanes: &LaneSet,
+    ) -> bool {
         if !self.out_occ.contains(port, plane) {
             return false;
         }
         self.out_occ.clear(port, plane);
         let idx = reg_index(self.planes, port, plane);
-        dst.extend_from_slice(&self.out_val[idx * self.batch..(idx + 1) * self.batch]);
+        gather_lanes(dst, &self.out_val[idx * self.batch..(idx + 1) * self.batch], lanes);
         true
     }
 
@@ -844,11 +1063,17 @@ impl BatchSpikeRouter {
         self.out_occ.first(port)
     }
 
-    /// Drains the lowest-plane pending spike at `port` into `dst`,
-    /// returning its plane; [`None`] once the port is empty.
-    pub fn take_next_output_into(&mut self, port: Direction, dst: &mut Vec<bool>) -> Option<u16> {
+    /// Drains the lowest-plane pending spike at `port` into `dst`
+    /// (occupied lanes only), returning its plane; [`None`] once the port
+    /// is empty.
+    pub fn take_next_output_into(
+        &mut self,
+        port: Direction,
+        dst: &mut Vec<bool>,
+        lanes: &LaneSet,
+    ) -> Option<u16> {
         let plane = self.first_pending(port)?;
-        assert!(self.take_output_into(port, plane, dst), "occupancy mask tracks outputs");
+        assert!(self.take_output_into(port, plane, dst, lanes), "occupancy mask tracks outputs");
         Some(plane)
     }
 
@@ -858,19 +1083,49 @@ impl BatchSpikeRouter {
         self.out_occ.any()
     }
 
-    /// Clears crossbar occupancy and spike buffers but **keeps membrane
-    /// potentials** (they persist across timesteps of one frame).
-    pub fn reset_network_state(&mut self) {
+    /// Clears crossbar occupancy and the occupied lanes' spike buffers but
+    /// **keeps membrane potentials** (they persist across timesteps of one
+    /// frame). The spike-buffer clear walks touched planes × occupied
+    /// lanes — spikes can only exist there — not the dense
+    /// `planes × max_batch` rectangle.
+    pub fn reset_network_state(&mut self, lanes: &LaneSet) {
+        self.reset_crossbar();
+        let b = self.batch;
+        for p in self.touched.iter() {
+            let base = p as usize * b;
+            match lanes.contiguous_len() {
+                Some(k) => self.spike_buf[base..base + k].fill(false),
+                None => {
+                    for &lane in lanes.as_slice() {
+                        self.spike_buf[base + lane] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears only the crossbar occupancy and pending deliveries — the
+    /// lane-independent half of [`reset_network_state`]. The frame reset
+    /// uses this so the per-lane spike-buffer walk happens exactly once
+    /// (inside [`scrub_lane`](BatchSpikeRouter::scrub_lane)), not twice.
+    ///
+    /// [`reset_network_state`]: BatchSpikeRouter::reset_network_state
+    pub fn reset_crossbar(&mut self) {
         self.in_occ.iter_mut().for_each(|o| *o = false);
         self.out_occ.reset();
-        self.spike_buf.iter_mut().for_each(|s| *s = false);
         self.delivered_planes.clear();
         self.delivered_val.clear();
     }
 
-    /// Zeroes membrane potentials in every lane (new inference frame).
-    pub fn reset_potentials(&mut self) {
-        self.potential.iter_mut().for_each(|v| *v = 0);
+    /// Zeroes one lane's membrane potentials and spike buffer, in
+    /// `O(touched planes)` — the IF half of the lane-release scrub (and of
+    /// the per-pass frame reset for lanes that stay occupied).
+    pub fn scrub_lane(&mut self, lane: usize) {
+        let b = self.batch;
+        for p in self.touched.iter() {
+            self.potential[p as usize * b + lane] = 0;
+            self.spike_buf[p as usize * b + lane] = false;
+        }
     }
 }
 
@@ -937,45 +1192,48 @@ impl BatchTile {
         &mut self.spike
     }
 
-    /// Executes one atomic operation on this tile (all lanes at once).
+    /// Executes one atomic operation on this tile (all occupied lanes at
+    /// once).
     ///
     /// # Errors
     ///
     /// Propagates the component's error, exactly as
     /// [`Tile::exec`](crate::Tile::exec).
-    pub fn exec(&mut self, op: &AtomicOp) -> Result<()> {
+    pub fn exec(&mut self, op: &AtomicOp, lanes: &LaneSet) -> Result<()> {
         match op {
             AtomicOp::Core(core_op) => match core_op {
                 crate::ops::NeuronCoreOp::LdWt { .. } => Ok(()),
                 crate::ops::NeuronCoreOp::Acc { banks } => {
                     if self.reference {
-                        self.core.accumulate_reference(*banks)
+                        self.core.accumulate_reference(*banks, lanes)
                     } else {
-                        self.core.accumulate(*banks)
+                        self.core.accumulate(*banks, lanes)
                     }
                 }
             },
-            AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all()),
+            AtomicOp::Ps(ps_op) => self.ps.exec(ps_op, self.core.local_ps_all(), lanes),
             AtomicOp::Spike(spike_op) => {
                 let (eject_occ, eject_val) = self.ps.eject_parts();
-                self.spike.exec(spike_op, self.core.local_ps_all(), eject_occ, eject_val)
+                self.spike.exec(spike_op, self.core.local_ps_all(), eject_occ, eject_val, lanes)
             }
         }
     }
 
     /// Moves spikes delivered by the spike router into the core's axon
-    /// lanes through the axon map.
+    /// lanes through the axon map (occupied lanes only — the delivery
+    /// payloads were gathered at that stride).
     ///
     /// # Errors
     ///
     /// Returns [`Error::OutOfBounds`] when a delivered plane exceeds the
     /// core's axon count (a mapper bug).
-    pub fn commit_deliveries(&mut self) -> Result<()> {
-        let b = self.spike.batch;
+    pub fn commit_deliveries(&mut self, lanes: &LaneSet) -> Result<()> {
+        let k = lanes.len();
         let BatchTile { core, spike, axon_map, .. } = self;
         for (i, &plane) in spike.delivered_planes.iter().enumerate() {
             let axon = axon_map[plane as usize];
-            for (lane, &spiking) in spike.delivered_val[i * b..(i + 1) * b].iter().enumerate() {
+            let payload = &spike.delivered_val[i * k..(i + 1) * k];
+            for (&lane, &spiking) in lanes.as_slice().iter().zip(payload) {
                 if spiking {
                     core.set_axon(axon, lane, true)?;
                 }
@@ -987,16 +1245,30 @@ impl BatchTile {
     }
 
     /// Clears crossbar/network state, keeping potentials and weights.
-    pub fn reset_network_state(&mut self) {
+    pub fn reset_network_state(&mut self, lanes: &LaneSet) {
         self.ps.reset();
-        self.spike.reset_network_state();
+        self.spike.reset_network_state(lanes);
     }
 
-    /// Full frame reset: network state, membrane potentials and axons.
-    pub fn reset_frame(&mut self) {
-        self.reset_network_state();
-        self.spike.reset_potentials();
-        self.core.clear_axons();
+    /// Full frame reset of the occupied lanes: network state, membrane
+    /// potentials and axons.
+    pub fn reset_frame(&mut self, lanes: &LaneSet) {
+        self.ps.reset();
+        // Crossbar-only reset here: scrub_lane owns the per-lane
+        // spike-buffer and potential walk, so it runs exactly once.
+        self.spike.reset_crossbar();
+        for &lane in lanes.as_slice() {
+            self.spike.scrub_lane(lane);
+        }
+        self.core.clear_axons(lanes);
+    }
+
+    /// Scrubs one lane's dynamic state — active-axon bits, membrane
+    /// potential, spike buffer — in `O(this lane's active state)`, for
+    /// lane release.
+    pub fn scrub_lane(&mut self, lane: usize) {
+        self.core.scrub_lane(lane);
+        self.spike.scrub_lane(lane);
     }
 }
 
@@ -1014,6 +1286,15 @@ pub struct BatchChip {
     cols: u16,
     batch: usize,
     tiles: Vec<BatchTile>,
+    /// Which of the `batch` SoA lanes hold in-flight frames. Every
+    /// per-lane walk on this chip — op execution, transfer payloads,
+    /// clears, digests — is restricted to this set; a fresh chip starts
+    /// fully occupied. Mutate only through
+    /// [`occupy_lane`](BatchChip::occupy_lane) /
+    /// [`release_lane`](BatchChip::release_lane), and only between
+    /// cycles: the transfer payload stride is the occupied-lane count,
+    /// so occupancy is a per-pass decision, never a mid-cycle one.
+    lanes: LaneSet,
     /// When set, cycles run the retained dense reference semantics
     /// (per-register transfer probing, per-step-checked dense `ACC`)
     /// instead of the sparse fast path. Both are bit-identical; the
@@ -1054,6 +1335,7 @@ impl BatchChip {
             cols,
             batch,
             tiles,
+            lanes: LaneSet::full(batch),
             reference: false,
             active_tiles: Vec::new(),
             ps_moves: Vec::new(),
@@ -1080,9 +1362,58 @@ impl BatchChip {
         &self.arch
     }
 
-    /// Number of lanes (frames in flight).
+    /// Number of lanes (the SoA capacity, not the occupied count).
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The occupied-lane set every per-lane walk on this chip is
+    /// restricted to.
+    pub fn lanes(&self) -> &LaneSet {
+        &self.lanes
+    }
+
+    /// Marks `lane` occupied, returning whether it was newly occupied.
+    /// The lane is clean (all-zero dynamic state): a fresh chip's lanes
+    /// start clean and [`release_lane`](BatchChip::release_lane) scrubs on
+    /// the way out, so occupation itself is `O(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `lane` exceeds the lane
+    /// capacity.
+    pub fn occupy_lane(&mut self, lane: usize) -> Result<bool> {
+        self.check_lane(lane)?;
+        Ok(self.lanes.occupy(lane))
+    }
+
+    /// Releases `lane` (a finished frame leaving the batch), scrubbing its
+    /// dynamic state in `O(that lane's active state)`: active-axon bits
+    /// via the maintained per-core sets, membrane potentials and spike
+    /// buffers via the per-tile touched-plane sets — never a dense
+    /// `O(inputs + planes) × capacity` sweep. Returns whether the lane was
+    /// occupied (releasing a free lane is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] when `lane` exceeds the lane
+    /// capacity.
+    pub fn release_lane(&mut self, lane: usize) -> Result<bool> {
+        self.check_lane(lane)?;
+        if !self.lanes.release(lane) {
+            return Ok(false);
+        }
+        for tile in &mut self.tiles {
+            tile.scrub_lane(lane);
+        }
+        Ok(true)
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<()> {
+        if lane >= self.batch {
+            return Err(Error::out_of_bounds(format!("lane {lane} of a {}-lane chip", self.batch)));
+        }
+        Ok(())
     }
 
     /// Mesh rows.
@@ -1144,12 +1475,15 @@ impl BatchChip {
     /// including the post-error state caveat documented there.
     pub fn exec_cycle(&mut self, cycle: u64, ops: &[(CoreCoord, AtomicOp)]) -> Result<()> {
         for (coord, op) in ops {
-            self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
+            let idx = self.index(*coord)?;
+            let BatchChip { tiles, lanes, .. } = self;
+            tiles[idx].exec(op, lanes).map_err(|e| annotate_cycle(e, cycle))?;
         }
         if self.reference {
             self.transfer_reference(cycle)?;
-            for tile in &mut self.tiles {
-                tile.commit_deliveries()?;
+            let BatchChip { tiles, lanes, .. } = self;
+            for tile in tiles.iter_mut() {
+                tile.commit_deliveries(lanes)?;
             }
         } else {
             // Outputs and deliveries can only originate from ops (SEND /
@@ -1159,7 +1493,8 @@ impl BatchChip {
             self.transfer(cycle)?;
             for i in 0..self.active_tiles.len() {
                 let idx = self.active_tiles[i];
-                self.tiles[idx].commit_deliveries()?;
+                let BatchChip { tiles, lanes, .. } = self;
+                tiles[idx].commit_deliveries(lanes)?;
             }
         }
         Ok(())
@@ -1178,15 +1513,22 @@ impl BatchChip {
     }
 
     /// The transfer phase: drains every occupied output register into the
-    /// adjacent input register, moving all lanes together. Sparse-activity
-    /// fast path: visits only this cycle's op tiles and, per direction,
-    /// only the planes the routers' occupancy masks report — the same
-    /// shape as [`Chip::transfer`](crate::Chip).
+    /// adjacent input register, moving the occupied lanes together
+    /// (payload stride = occupied-lane count). Sparse-activity fast path:
+    /// visits only this cycle's op tiles and, per direction, only the
+    /// planes the routers' occupancy masks report — the same shape as
+    /// [`Chip::transfer`](crate::Chip).
     fn transfer(&mut self, cycle: u64) -> Result<()> {
         let (rows, cols) = (self.rows, self.cols);
-        let b = self.batch;
         let BatchChip {
-            tiles, active_tiles, ps_moves, ps_payload, spike_moves, spike_payload, ..
+            tiles,
+            lanes,
+            active_tiles,
+            ps_moves,
+            ps_payload,
+            spike_moves,
+            spike_payload,
+            ..
         } = self;
         ps_moves.clear();
         ps_payload.clear();
@@ -1223,16 +1565,19 @@ impl BatchChip {
                 };
                 let dst_idx = dst.row as usize * cols as usize + dst.col as usize;
                 let port = dir.opposite();
-                while let Some(plane) = tile.ps_mut().take_next_output_into(dir, ps_payload) {
+                while let Some(plane) = tile.ps_mut().take_next_output_into(dir, ps_payload, lanes)
+                {
                     ps_moves.push((dst_idx, port, plane));
                 }
-                while let Some(plane) = tile.spike_mut().take_next_output_into(dir, spike_payload) {
+                while let Some(plane) =
+                    tile.spike_mut().take_next_output_into(dir, spike_payload, lanes)
+                {
                     spike_moves.push((dst_idx, port, plane));
                 }
             }
         }
 
-        apply_moves(tiles, b, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
+        apply_moves(tiles, lanes, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
     }
 
     /// The retained reference transfer: probes all `4 × core_neurons`
@@ -1242,8 +1587,7 @@ impl BatchChip {
     fn transfer_reference(&mut self, cycle: u64) -> Result<()> {
         let planes = self.arch.core_neurons;
         let (rows, cols) = (self.rows, self.cols);
-        let b = self.batch;
-        let BatchChip { tiles, ps_moves, ps_payload, spike_moves, spike_payload, .. } = self;
+        let BatchChip { tiles, lanes, ps_moves, ps_payload, spike_moves, spike_payload, .. } = self;
         ps_moves.clear();
         ps_payload.clear();
         spike_moves.clear();
@@ -1264,7 +1608,7 @@ impl BatchChip {
                         .filter(|d| d.row < rows && d.col < cols)
                         .map(|d| d.row as usize * cols as usize + d.col as usize);
                     for plane in 0..planes {
-                        if tiles[src_idx].ps.take_output_into(dir, plane, ps_payload) {
+                        if tiles[src_idx].ps.take_output_into(dir, plane, ps_payload, lanes) {
                             let dst = dst.ok_or_else(|| Error::InvalidSchedule {
                                 cycle,
                                 reason: format!(
@@ -1273,7 +1617,7 @@ impl BatchChip {
                             })?;
                             ps_moves.push((dst, dir.opposite(), plane));
                         }
-                        if tiles[src_idx].spike.take_output_into(dir, plane, spike_payload) {
+                        if tiles[src_idx].spike.take_output_into(dir, plane, spike_payload, lanes) {
                             let dst = dst.ok_or_else(|| Error::InvalidSchedule {
                                 cycle,
                                 reason: format!(
@@ -1287,22 +1631,26 @@ impl BatchChip {
             }
         }
 
-        apply_moves(tiles, b, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
+        apply_moves(tiles, lanes, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
     }
 
     /// Resets crossbar/network state on every tile (between timesteps).
     pub fn reset_network_state(&mut self) {
-        self.tiles.iter_mut().for_each(BatchTile::reset_network_state);
+        let BatchChip { tiles, lanes, .. } = self;
+        tiles.iter_mut().for_each(|t| t.reset_network_state(lanes));
     }
 
-    /// Full frame reset on every tile.
+    /// Full frame reset of the occupied lanes on every tile.
     pub fn reset_frame(&mut self) {
-        self.tiles.iter_mut().for_each(BatchTile::reset_frame);
+        let BatchChip { tiles, lanes, .. } = self;
+        tiles.iter_mut().for_each(|t| t.reset_frame(lanes));
     }
 
-    /// Clears every core's axon lanes (per-timestep input refresh).
+    /// Clears every core's occupied axon lanes (per-timestep input
+    /// refresh).
     pub fn clear_axons(&mut self) {
-        self.tiles.iter_mut().for_each(|t| t.core.clear_axons());
+        let BatchChip { tiles, lanes, .. } = self;
+        tiles.iter_mut().for_each(|t| t.core.clear_axons(lanes));
     }
 
     fn index(&self, coord: CoreCoord) -> Result<usize> {
@@ -1317,29 +1665,30 @@ impl BatchChip {
 }
 
 /// Applies collected transfer moves into the destination tiles' input
-/// registers, `b` payload lanes per move. Shared by the sparse and
-/// reference transfer phases, whose bit-identity contract covers exactly
-/// this application order and error annotation — one implementation, no
-/// drift.
+/// registers, one payload value per *occupied* lane per move. Shared by
+/// the sparse and reference transfer phases, whose bit-identity contract
+/// covers exactly this application order and error annotation — one
+/// implementation, no drift.
 fn apply_moves(
     tiles: &mut [BatchTile],
-    b: usize,
+    lanes: &LaneSet,
     cycle: u64,
     ps_moves: &[(usize, Direction, u16)],
     ps_payload: &[i32],
     spike_moves: &[(usize, Direction, u16)],
     spike_payload: &[bool],
 ) -> Result<()> {
+    let k = lanes.len();
     for (i, (idx, port, plane)) in ps_moves.iter().enumerate() {
         tiles[*idx]
             .ps
-            .put_input(*port, *plane, &ps_payload[i * b..(i + 1) * b])
+            .put_input(*port, *plane, &ps_payload[i * k..(i + 1) * k], lanes)
             .map_err(|e| annotate_cycle(e, cycle))?;
     }
     for (i, (idx, port, plane)) in spike_moves.iter().enumerate() {
         tiles[*idx]
             .spike
-            .put_input(*port, *plane, &spike_payload[i * b..(i + 1) * b])
+            .put_input(*port, *plane, &spike_payload[i * k..(i + 1) * k], lanes)
             .map_err(|e| annotate_cycle(e, cycle))?;
     }
     Ok(())
@@ -1385,7 +1734,7 @@ mod tests {
                 scalar.set_axon(a, spiking).unwrap();
             }
         }
-        batched.accumulate(0b0110).unwrap();
+        batched.accumulate(0b0110, &LaneSet::full(3)).unwrap();
         for s in &mut scalars {
             s.accumulate(0b0110).unwrap();
         }
@@ -1413,8 +1762,8 @@ mod tests {
             fast.set_axon(a, lane, true).unwrap();
         }
         let mut reference = fast.clone();
-        fast.accumulate(0b0101).unwrap();
-        reference.accumulate_reference(0b0101).unwrap();
+        fast.accumulate(0b0101, &LaneSet::full(2)).unwrap();
+        reference.accumulate_reference(0b0101, &LaneSet::full(2)).unwrap();
         assert_eq!(fast.local_ps_all(), reference.local_ps_all());
     }
 
@@ -1434,7 +1783,7 @@ mod tests {
         assert!(core.axon(9, 1).unwrap());
         core.set_axon(9, 1, true).unwrap(); // redundant set
         assert_eq!(core.active_axon_count(), 1);
-        core.clear_axons();
+        core.clear_axons(&LaneSet::full(3));
         assert_eq!(core.active_axon_count(), 0);
         assert!(!core.axon(9, 1).unwrap());
     }
@@ -1456,14 +1805,14 @@ mod tests {
             scalar.write_weight(a, 0, w(15)).unwrap();
             batched.set_axon(a, 0, a.is_multiple_of(2)).unwrap();
         }
-        batched.accumulate(0b1111).unwrap();
+        batched.accumulate(0b1111, &LaneSet::full(2)).unwrap();
         assert_eq!(batched.local_ps(0, 0), 256 * 15, "benign lanes still accumulate");
 
         for a in 0..300 {
             batched.set_axon(a, 1, true).unwrap();
             scalar.set_axon(a, true).unwrap();
         }
-        let batched_err = batched.accumulate(0b1111).unwrap_err();
+        let batched_err = batched.accumulate(0b1111, &LaneSet::full(2)).unwrap_err();
         let scalar_err = scalar.accumulate(0b1111).unwrap_err();
         assert_eq!(batched_err, scalar_err, "overflow must match the scalar core exactly");
     }
@@ -1682,6 +2031,155 @@ mod tests {
             ),
             "steady-state transfer must reuse its scratch, not reallocate"
         );
+    }
+
+    #[test]
+    fn non_contiguous_occupancy_routes_only_occupied_lanes() {
+        // Lanes {0, 2} of 4 occupied (a drained-holes pattern): the fabric
+        // must carry both lanes' distinct payloads at stride 2.
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 2, 2, 4).unwrap();
+        assert!(chip.release_lane(1).unwrap());
+        assert!(chip.release_lane(3).unwrap());
+        assert!(!chip.release_lane(3).unwrap(), "releasing a free lane is a no-op");
+        assert!(chip.release_lane(4).is_err(), "lane beyond capacity");
+        assert_eq!(chip.lanes().as_slice(), &[0, 2]);
+        assert_eq!(chip.lanes().contiguous_len(), None);
+
+        let src = CoreCoord::new(1, 0);
+        let t = chip.tile_mut(src).unwrap();
+        t.core_mut().write_weight(0, 0, w(7)).unwrap();
+        t.core_mut().set_axon(0, 0, true).unwrap(); // lane 0 spikes, lane 2 idle
+        chip.exec_cycle(0, &[(src, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))]).unwrap();
+        chip.exec_cycle(
+            1,
+            &[(
+                src,
+                AtomicOp::Ps(PsRouterOp::Send {
+                    source: PsSendSource::LocalPs,
+                    dst: PsDst::Port(Direction::North),
+                    planes: PlaneSet::all(),
+                }),
+            )],
+        )
+        .unwrap();
+        let dst = chip.tile(CoreCoord::new(0, 0)).unwrap();
+        assert_eq!(dst.ps().peek_input(Direction::South, 0, 0), Some(7));
+        assert_eq!(dst.ps().peek_input(Direction::South, 0, 2), Some(0));
+    }
+
+    #[test]
+    fn release_lane_scrubs_lane_state_and_membership() {
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 1, 2, 3).unwrap();
+        let c = CoreCoord::new(0, 0);
+        let t = chip.tile_mut(c).unwrap();
+        // Axon 4 spikes in lanes 0 and 1; axon 9 in lane 1 only.
+        t.core_mut().write_weight(4, 0, w(7)).unwrap();
+        t.core_mut().write_weight(9, 0, w(3)).unwrap();
+        t.core_mut().set_axon(4, 0, true).unwrap();
+        t.core_mut().set_axon(4, 1, true).unwrap();
+        t.core_mut().set_axon(9, 1, true).unwrap();
+        // Integrate potential on plane 3 in every occupied lane.
+        t.spike_mut().set_threshold(3, 100).unwrap();
+        for lane in 0..3 {
+            t.spike_mut().integrate_value(3, lane, 5 + lane as i32);
+        }
+        chip.exec_cycle(0, &[(c, AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1111 }))]).unwrap();
+        assert_eq!(chip.active_axon_count(), 2);
+        assert_eq!(chip.tile(c).unwrap().core().local_ps(0, 1), 10);
+
+        assert!(chip.release_lane(1).unwrap());
+        let t = chip.tile(c).unwrap();
+        assert_eq!(
+            chip.active_axon_count(),
+            1,
+            "axon 9 spiked only in the released lane and must leave the active set"
+        );
+        assert!(t.core().axon(4, 0).unwrap(), "other lanes keep their spikes");
+        assert!(!t.core().axon(4, 1).unwrap());
+        assert!(!t.core().axon(9, 1).unwrap());
+        assert_eq!(t.spike().potential(3, 1), 0, "released lane's potential is scrubbed");
+        assert_eq!(t.spike().potential(3, 0), 5);
+        assert_eq!(t.spike().potential(3, 2), 7);
+        assert_eq!(t.core().local_ps(0, 1), 0, "released lane's partial sums are scrubbed");
+        assert_eq!(t.core().local_ps(0, 0), 7, "other lanes keep their partial sums");
+
+        // Re-occupation hands back a clean lane.
+        assert!(chip.occupy_lane(1).unwrap());
+        let t = chip.tile(c).unwrap();
+        assert!(!t.core().axon(9, 1).unwrap());
+        assert_eq!(t.spike().potential(3, 1), 0);
+        assert_eq!(t.core().local_ps(0, 1), 0);
+    }
+
+    #[test]
+    fn lane_release_scrubs_without_allocating() {
+        // The lane-clear counterpart of the transfer-scratch test: a
+        // steady occupy→run→release churn must reuse the maintained sets
+        // (active axons, touched planes, the lane set itself) — clearing a
+        // finished frame's lane is O(its active state), with no dense
+        // sweeps and no allocation in steady state.
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 1, 1, 4).unwrap();
+        let c = CoreCoord::new(0, 0);
+        let churn = |chip: &mut BatchChip, round: usize| {
+            for lane in 0..4 {
+                chip.occupy_lane(lane).unwrap();
+            }
+            let t = chip.tile_mut(c).unwrap();
+            for a in 0..8u16 {
+                for lane in 0..4 {
+                    t.core_mut()
+                        .set_axon(a, lane, (a as usize + lane + round).is_multiple_of(3))
+                        .unwrap();
+                }
+            }
+            for p in 0..6u16 {
+                for lane in 0..4 {
+                    t.spike_mut().integrate_value(p, lane, 1 + p as i32);
+                }
+            }
+            for lane in 0..4 {
+                chip.release_lane(lane).unwrap();
+            }
+        };
+        churn(&mut chip, 0);
+        let caps = |chip: &BatchChip| {
+            let t = chip.tile(c).unwrap();
+            (
+                chip.lanes.member_capacity(),
+                t.core().active.member_capacity(),
+                t.spike().touched.member_capacity(),
+            )
+        };
+        let warm = caps(&chip);
+        for round in 1..20 {
+            churn(&mut chip, round);
+        }
+        assert_eq!(caps(&chip), warm, "lane scrubs must reuse the maintained sets");
+        assert_eq!(chip.active_axon_count(), 0, "full churn leaves no active state behind");
+    }
+
+    #[test]
+    fn under_full_frame_reset_only_touches_occupied_lanes() {
+        // reset_frame on a 2-of-3 chip scrubs the occupied lanes and
+        // leaves the (stale-by-design) unoccupied lane alone — nothing
+        // reads it until a release scrubs it.
+        let arch = ArchSpec::tiny();
+        let mut chip = BatchChip::new(&arch, 1, 1, 3).unwrap();
+        let c = CoreCoord::new(0, 0);
+        for lane in 0..3 {
+            chip.tile_mut(c).unwrap().spike_mut().integrate_value(0, lane, 9);
+        }
+        // Lane 1 leaves the batch (scrubbed); lanes 0 and 2 stay.
+        chip.release_lane(1).unwrap();
+        chip.reset_frame();
+        let t = chip.tile(c).unwrap();
+        assert_eq!(t.spike().potential(0, 0), 0);
+        assert_eq!(t.spike().potential(0, 1), 0);
+        assert_eq!(t.spike().potential(0, 2), 0);
+        assert_eq!(chip.lanes().len(), 2);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod activity;
 pub mod batch;
 pub mod chip;
 pub mod config;
+pub mod lanes;
 pub mod neuron_core;
 mod occupancy;
 pub mod ops;
@@ -62,6 +63,7 @@ pub use activity::ActiveSet;
 pub use batch::{BatchChip, BatchNeuronCore, BatchPsRouter, BatchSpikeRouter, BatchTile};
 pub use chip::Chip;
 pub use config::{ConfigMemory, TileProgram};
+pub use lanes::LaneSet;
 pub use neuron_core::NeuronCore;
 pub use ops::{AtomicOp, NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
 pub use plane::PlaneSet;

@@ -1,0 +1,169 @@
+//! The unified execution-engine abstraction the worker shards drive.
+//!
+//! Both simulators serve gathered batches through one
+//! `plan → execute → drain` lifecycle over a
+//! [`CompiledModel`](crate::CompiledModel) replica, so the scheduler
+//! carries **no per-engine plumbing**: a worker holds `Box<dyn Engine>`
+//! slots, plans the gathered frame count onto whichever one the
+//! [`EnginePolicy`](crate::EnginePolicy) picks, executes, and drains.
+//! The engines are bit-identical on every frame (the batched equivalence
+//! proptests in `shenjing-sim` pin this), so dispatch is purely a
+//! performance decision — and with the batched engine occupancy-bound
+//! (its `plan` occupies exactly the gathered lanes; see
+//! [`LaneSet`](shenjing_sim::LaneSet)), both engines' costs scale with
+//! the frame count, which is what lets the scheduler compare them per
+//! unit.
+
+use shenjing_core::{Error, Result};
+use shenjing_nn::Tensor;
+use shenjing_sim::{BatchSim, CycleSim};
+use shenjing_snn::SnnOutput;
+
+/// Which engine implementation served a batch — the label carried by
+/// [`InferenceReply`](crate::InferenceReply) and the per-engine counters
+/// in [`RuntimeStats`](crate::RuntimeStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The single-frame sparse-sequential [`CycleSim`], run once per
+    /// frame.
+    Sequential,
+    /// The lane-occupancy SoA [`BatchSim`], advancing all gathered frames
+    /// in one pass over the schedule.
+    Batched,
+}
+
+/// One worker-owned chip replica serving gathered batches.
+///
+/// Lifecycle per batch: [`plan`](Engine::plan) the gathered frame count,
+/// [`execute`](Engine::execute) the frames, [`drain`](Engine::drain) so
+/// the replica idles clean for the next batch. Implemented by both
+/// [`CycleSim`] (plan and drain are no-ops; execution is one
+/// `run_frame` per frame) and [`BatchSim`] (plan occupies lanes `0..n`,
+/// drain releases them in `O(their active state)`).
+pub trait Engine: Send {
+    /// Which engine this is, for replies and stats.
+    fn kind(&self) -> EngineKind;
+
+    /// Prepares the replica for a gathered batch of `frames` requests —
+    /// the batched engine reconciles its lane occupancy here, so the
+    /// following [`execute`](Engine::execute) pays for occupancy, not
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the replica cannot hold
+    /// `frames` frames; a plan error fails the whole batch.
+    fn plan(&mut self, frames: usize) -> Result<()>;
+
+    /// Advances every planned frame, returning one verdict per frame in
+    /// input order.
+    fn execute(&mut self, inputs: &[Tensor], timesteps: u32) -> Vec<Result<SnnOutput>>;
+
+    /// Releases per-batch resources so the replica idles clean (finished
+    /// frames leave their lanes on the batched engine).
+    fn drain(&mut self);
+}
+
+impl Engine for CycleSim {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sequential
+    }
+
+    fn plan(&mut self, _frames: usize) -> Result<()> {
+        Ok(())
+    }
+
+    fn execute(&mut self, inputs: &[Tensor], timesteps: u32) -> Vec<Result<SnnOutput>> {
+        // Per-frame execution, per-frame verdicts: one erroring frame
+        // does not poison its co-riders.
+        inputs.iter().map(|f| self.run_frame(f, timesteps)).collect()
+    }
+
+    fn drain(&mut self) {}
+}
+
+impl Engine for BatchSim {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Batched
+    }
+
+    fn plan(&mut self, frames: usize) -> Result<()> {
+        if frames > self.batch() {
+            return Err(Error::config(format!(
+                "{frames} frames exceed the {}-lane replica",
+                self.batch()
+            )));
+        }
+        let prefix: Vec<usize> = (0..frames).collect();
+        self.set_occupied_lanes(&prefix)
+    }
+
+    fn execute(&mut self, inputs: &[Tensor], timesteps: u32) -> Vec<Result<SnnOutput>> {
+        match self.run_occupied(inputs, timesteps) {
+            Ok(outputs) => outputs.into_iter().map(Ok).collect(),
+            // A schedule violation poisons the whole batch; every rider
+            // learns why.
+            Err(e) => (0..inputs.len()).map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn drain(&mut self) {
+        let occupied: Vec<usize> = self.lanes().iter().collect();
+        for lane in occupied {
+            let _ = self.release_lane(lane);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompiledModel;
+    use shenjing_core::{ArchSpec, W5};
+    use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+    fn model() -> CompiledModel {
+        let weights: Vec<W5> = (0..8 * 3).map(|i| W5::saturating(i % 9 - 4)).collect();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 8, 3, 5, 1.0).unwrap(),
+        )])
+        .unwrap();
+        CompiledModel::compile(&ArchSpec::tiny(), &snn).unwrap()
+    }
+
+    #[test]
+    fn both_engines_agree_through_the_trait() {
+        let model = model();
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(model.instantiate().unwrap()),
+            Box::new(model.instantiate_batched(4).unwrap()),
+        ];
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|k| {
+                Tensor::from_vec(vec![8], (0..8).map(|i| ((i + k) % 4) as f64 / 3.0).collect())
+                    .unwrap()
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        for engine in &mut engines {
+            engine.plan(inputs.len()).unwrap();
+            let results = engine.execute(&inputs, 7);
+            engine.drain();
+            outputs.push(results.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>());
+        }
+        assert_eq!(engines[0].kind(), EngineKind::Sequential);
+        assert_eq!(engines[1].kind(), EngineKind::Batched);
+        assert_eq!(outputs[0], outputs[1], "the trait serves bit-identical frames");
+    }
+
+    #[test]
+    fn batched_plan_occupies_and_drain_releases() {
+        let model = model();
+        let mut sim = model.instantiate_batched(8).unwrap();
+        Engine::plan(&mut sim, 3).unwrap();
+        assert_eq!(sim.lanes().as_slice(), &[0, 1, 2]);
+        Engine::drain(&mut sim);
+        assert!(sim.lanes().is_empty(), "drained replicas idle clean");
+        assert!(Engine::plan(&mut sim, 9).is_err(), "over-capacity plans fail the batch");
+    }
+}

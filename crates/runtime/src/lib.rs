@@ -9,21 +9,26 @@
 //!    toolchain once and decodes the program (schedule flattened, weight
 //!    blocks materialized) into an `Arc`-shared image that instantiates
 //!    per-worker simulator replicas cheaply.
-//! 2. **Batched execution** — each replica is a
-//!    [`BatchSim`](shenjing_sim::BatchSim): the compiled schedule is
+//! 2. **Batched execution** — each replica serves through the [`Engine`]
+//!    trait's uniform `plan → execute → drain` lifecycle, implemented by
+//!    both the single-frame [`CycleSim`](shenjing_sim::CycleSim) and the
+//!    SoA [`BatchSim`](shenjing_sim::BatchSim). The compiled schedule is
 //!    static, so register occupancy is identical across frames and one
-//!    pass over the per-cycle control words advances a whole batch
-//!    (SoA payload lanes), bit-identically to sequential single-frame
-//!    runs.
+//!    pass over the per-cycle control words advances a whole batch —
+//!    bit-identically to sequential single-frame runs, and
+//!    *occupancy-bound*: planning an `n`-of-`max_batch` batch occupies
+//!    exactly `n` lanes, so under-full passes pay for the frames they
+//!    carry.
 //! 3. **Scheduler/serving** — [`Runtime`] owns a shared request queue
-//!    and `workers` shards, each holding chip replicas of both engines.
-//!    A shard gathers up to `max_batch` requests, holding the batch open
-//!    at most `max_wait` for stragglers, picks an engine per batch via
-//!    the [`EnginePolicy`] (auto dispatch measures per-engine cost and
-//!    observed activity density; see [`RuntimeConfig::engine`]), then
-//!    answers every rider; per-request latency (with p50/p95/p99
-//!    percentiles), per-engine frame counters and aggregate throughput
-//!    land in [`RuntimeStats`].
+//!    and `workers` shards, each holding [`Engine`] replicas. A shard
+//!    gathers up to `max_batch` requests, holding the batch open at most
+//!    `max_wait` for stragglers, picks an engine per batch via the
+//!    [`EnginePolicy`] (auto dispatch is a marginal-cost model over
+//!    EMA'd per-occupied-lane batched cost vs per-frame sequential cost;
+//!    see [`RuntimeConfig::engine`]), then answers every rider;
+//!    per-request latency (with p50/p95/p99 percentiles), per-engine
+//!    frame counters, a batch-occupancy histogram and aggregate
+//!    throughput land in [`RuntimeStats`].
 //!
 //! # Example
 //!
@@ -51,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod model;
 pub mod server;
 pub mod stats;
 
+pub use engine::{Engine, EngineKind};
 pub use model::CompiledModel;
-pub use server::{Engine, EnginePolicy, InferenceReply, PendingReply, Runtime, RuntimeConfig};
+pub use server::{EnginePolicy, InferenceReply, PendingReply, Runtime, RuntimeConfig};
 pub use stats::RuntimeStats;

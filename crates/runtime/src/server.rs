@@ -11,23 +11,9 @@ use shenjing_core::{Error, Result};
 use shenjing_nn::Tensor;
 use shenjing_snn::SnnOutput;
 
+use crate::engine::{Engine, EngineKind};
 use crate::model::CompiledModel;
 use crate::stats::{RuntimeStats, StatsInner};
-
-/// Which execution engine a worker runs a gathered batch on.
-///
-/// Both engines share one sparse-activity core and are bit-identical (the
-/// batched equivalence proptests in `shenjing-sim` pin this), so dispatch
-/// is purely a performance decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Engine {
-    /// The single-frame [`CycleSim`](shenjing_sim::CycleSim), run once per
-    /// frame of the batch.
-    Sequential,
-    /// The SoA [`BatchSim`](shenjing_sim::BatchSim), advancing all frames
-    /// in one pass over the schedule.
-    Batched,
-}
 
 /// How a [`Runtime`] picks the engine for each gathered batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,20 +40,24 @@ pub struct RuntimeConfig {
     /// Rate-coding spike-train length applied to every frame (batches
     /// must be uniform: the block schedule is static).
     pub timesteps: u32,
-    /// Engine dispatch policy. With both engines on the shared sparse
-    /// core, the batched engine still advances all `max_batch` SoA lanes
-    /// regardless of how many frames occupy them, so an under-full batch
-    /// pays roughly a full pass; the sequential engine pays per frame,
-    /// and its per-frame cost tracks the observed activity density. In
-    /// [`Auto`](EnginePolicy::Auto) mode each worker therefore measures
-    /// both costs as it serves (an EMA of sequential ns/frame and of
-    /// batched ns/pass — the density dependence is captured by the
-    /// measurement) and runs a batch of `n` frames sequentially when
-    /// `n × seq_frame < batched_pass`, batched otherwise; a batch of one
-    /// always runs sequentially, and multi-frame batches are
-    /// periodically diverted to the non-preferred engine so both
-    /// estimates keep tracking the traffic. Force modes pin the engine
-    /// for experiments and regression benches.
+    /// Engine dispatch policy. With the batched engine occupancy-bound
+    /// (its plan occupies exactly the gathered lanes, so an `n`-frame
+    /// batch pays for `n` lanes of payload plus one control-word walk),
+    /// *both* engines' costs scale with the frame count, and the
+    /// crossover reduces to a marginal-cost comparison. In
+    /// [`Auto`](EnginePolicy::Auto) mode each worker EMA-measures, per
+    /// engine, the nanoseconds per cost unit it observes as it serves —
+    /// per frame for the sequential engine, per occupied lane for the
+    /// batched one, bucketed by batch occupancy so the batched engine's
+    /// fixed-cost amortization (its per-lane unit falls as batches fill)
+    /// never prices one occupancy with another's measurement; activity
+    /// density shifts are captured by the measurement — and runs a batch
+    /// of `n ≥ 2`
+    /// frames on whichever engine's unit cost is lower; a batch of one
+    /// always runs sequentially (nothing to amortize), and multi-frame
+    /// batches are periodically diverted to the non-preferred engine so
+    /// both estimates keep tracking the traffic. Force modes pin the
+    /// engine for experiments and regression benches.
     pub engine: EnginePolicy,
 }
 
@@ -112,7 +102,7 @@ pub struct InferenceReply {
     /// How many frames shared the batch this request rode in.
     pub batch_size: usize,
     /// Which engine the dispatch policy ran the batch on.
-    pub engine: Engine,
+    pub engine: EngineKind,
 }
 
 struct Request {
@@ -187,24 +177,73 @@ pub struct Runtime {
     input_len: usize,
 }
 
+/// One engine replica a worker can dispatch to, with its measured cost.
+struct EngineSlot {
+    engine: Box<dyn Engine>,
+    /// EMA'd nanoseconds per cost unit — per frame for the sequential
+    /// engine, per occupied lane for the batched one — **bucketed by
+    /// batch occupancy** (`unit_ns[frames]`, index 0 unused). The
+    /// batched engine's fixed control-word walk amortizes across more
+    /// lanes in fuller batches, so its per-lane unit falls with
+    /// occupancy; a single scalar EMA learned at one occupancy would
+    /// misprice another (e.g. a full-batch unit applied to a 2-frame
+    /// batch hides the fixed cost). The sequential engine's unit is flat
+    /// across occupancies; its buckets simply converge. Activity density
+    /// moves every bucket, which is why they keep being re-measured —
+    /// see [`pick_engine`]'s probes.
+    unit_ns: Vec<Option<f64>>,
+}
+
+impl EngineSlot {
+    fn new(engine: Box<dyn Engine>, max_batch: usize) -> EngineSlot {
+        EngineSlot { engine, unit_ns: vec![None; max_batch + 1] }
+    }
+
+    /// Folds one measured batch (`busy / frames`) into its occupancy
+    /// bucket.
+    fn record(&mut self, frames: usize, unit: f64) {
+        if let Some(slot) = self.unit_ns.get_mut(frames) {
+            *slot = ema(*slot, unit);
+        }
+    }
+
+    /// The unit-cost estimate for a batch of `frames`: this occupancy's
+    /// own EMA when measured, otherwise the nearest measured occupancy's
+    /// — the closest point on the amortization curve observed so far.
+    fn estimate(&self, frames: usize) -> Option<f64> {
+        if let Some(unit) = self.unit_ns.get(frames).copied().flatten() {
+            return Some(unit);
+        }
+        (1..self.unit_ns.len())
+            .filter_map(|n| self.unit_ns[n].map(|u| (n.abs_diff(frames), u)))
+            .min_by_key(|&(distance, _)| distance)
+            .map(|(_, unit)| unit)
+    }
+}
+
 /// One worker shard's engines: replicas are only instantiated for the
 /// engines its policy can dispatch to.
 struct WorkerEngines {
-    sequential: Option<shenjing_sim::CycleSim>,
-    batched: Option<shenjing_sim::BatchSim>,
-    timings: EngineTimings,
+    sequential: Option<EngineSlot>,
+    batched: Option<EngineSlot>,
     probes: ProbeState,
 }
 
-/// Measured per-engine cost EMAs feeding the auto dispatch.
-#[derive(Debug, Clone, Copy, Default)]
-struct EngineTimings {
-    /// Sequential engine: smoothed nanoseconds per *frame*.
-    seq_frame_ns: Option<f64>,
-    /// Batched engine: smoothed nanoseconds per *pass* (the lane count
-    /// bounds it regardless of occupancy; activity density moves it, so
-    /// it must keep being re-measured — see [`pick_engine`]'s probes).
-    batch_pass_ns: Option<f64>,
+impl WorkerEngines {
+    fn estimate(&self, kind: EngineKind, frames: usize) -> Option<f64> {
+        match kind {
+            EngineKind::Sequential => self.sequential.as_ref().and_then(|s| s.estimate(frames)),
+            EngineKind::Batched => self.batched.as_ref().and_then(|s| s.estimate(frames)),
+        }
+    }
+
+    fn slot_mut(&mut self, kind: EngineKind) -> &mut EngineSlot {
+        match kind {
+            EngineKind::Sequential => self.sequential.as_mut(),
+            EngineKind::Batched => self.batched.as_mut(),
+        }
+        .expect("the policy keeps a replica for every engine it can pick")
+    }
 }
 
 /// EMA smoothing factor for the engine cost measurements.
@@ -241,42 +280,47 @@ fn ema(old: Option<f64>, sample: f64) -> Option<f64> {
 }
 
 /// The dispatch decision for a gathered batch of `frames` requests (see
-/// [`RuntimeConfig::engine`] for the heuristic). `probes` is the worker's
+/// [`RuntimeConfig::engine`] for the heuristic): a marginal-cost model
+/// comparing the EMA'd per-occupied-lane batched cost against the
+/// per-frame sequential cost — with occupancy-bound execution, an
+/// `n`-frame batch costs ≈ `n × unit` on either engine, so the units
+/// compare directly at every `n ≥ 2`. `probes` is the worker's
 /// [`ENGINE_PROBE_INTERVAL`] state.
 fn pick_engine(
     policy: EnginePolicy,
     frames: usize,
-    timings: &EngineTimings,
+    seq_unit_ns: Option<f64>,
+    batch_unit_ns: Option<f64>,
     probes: &mut ProbeState,
-) -> Engine {
+) -> EngineKind {
     match policy {
-        EnginePolicy::ForceSequential => Engine::Sequential,
-        EnginePolicy::ForceBatched => Engine::Batched,
+        EnginePolicy::ForceSequential => EngineKind::Sequential,
+        EnginePolicy::ForceBatched => EngineKind::Batched,
         EnginePolicy::Auto => {
             if frames <= 1 {
                 // A batch of one has nothing to amortize the SoA pass
                 // over; the sequential engine is never slower there.
-                return Engine::Sequential;
+                return EngineKind::Sequential;
             }
-            let preferred = match (timings.seq_frame_ns, timings.batch_pass_ns) {
-                (Some(seq), Some(pass)) if frames as f64 * seq < pass => Engine::Sequential,
+            let preferred = match (seq_unit_ns, batch_unit_ns) {
+                (Some(seq), Some(lane)) if seq < lane => EngineKind::Sequential,
                 // Before both EMAs exist, favor the batched engine (it
                 // amortizes whatever the batch holds); the sequential
                 // probe below seeds the missing measurement.
-                _ => Engine::Batched,
+                _ => EngineKind::Batched,
             };
             match preferred {
-                Engine::Sequential => {
+                EngineKind::Sequential => {
                     if probes.batched == 0 {
                         probes.batched = ENGINE_PROBE_INTERVAL;
-                        return Engine::Batched;
+                        return EngineKind::Batched;
                     }
                     probes.batched -= 1;
                 }
-                Engine::Batched => {
+                EngineKind::Batched => {
                     if probes.sequential == 0 {
                         probes.sequential = ENGINE_PROBE_INTERVAL;
-                        return Engine::Sequential;
+                        return EngineKind::Sequential;
                     }
                     probes.sequential -= 1;
                 }
@@ -302,20 +346,18 @@ impl Runtime {
         // program fails fast on the caller's thread.
         let mut engines = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            let sequential = match config.engine {
+            let sequential: Option<EngineSlot> = match config.engine {
                 EnginePolicy::ForceBatched => None,
-                _ => Some(model.instantiate()?),
+                _ => Some(EngineSlot::new(Box::new(model.instantiate()?), config.max_batch)),
             };
-            let batched = match config.engine {
+            let batched: Option<EngineSlot> = match config.engine {
                 EnginePolicy::ForceSequential => None,
-                _ => Some(model.instantiate_batched(config.max_batch)?),
+                _ => Some(EngineSlot::new(
+                    Box::new(model.instantiate_batched(config.max_batch)?),
+                    config.max_batch,
+                )),
             };
-            engines.push(WorkerEngines {
-                sequential,
-                batched,
-                timings: EngineTimings::default(),
-                probes: ProbeState::default(),
-            });
+            engines.push(WorkerEngines { sequential, batched, probes: ProbeState::default() });
         }
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false }),
@@ -471,38 +513,32 @@ fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
             .map(|t| t.data().iter().sum::<f64>() / t.len().max(1) as f64)
             .sum::<f64>()
             / frames as f64;
-        let engine = pick_engine(config.engine, frames, &engines.timings, &mut engines.probes);
+        let engine = pick_engine(
+            config.engine,
+            frames,
+            engines.estimate(EngineKind::Sequential, frames),
+            engines.estimate(EngineKind::Batched, frames),
+            &mut engines.probes,
+        );
 
+        // The uniform plan → execute → drain lifecycle over the chosen
+        // replica; both engines answer per-frame verdicts through it.
+        let slot = engines.slot_mut(engine);
         let exec_start = Instant::now();
-        let results: Vec<Result<SnnOutput>> = match engine {
-            Engine::Sequential => {
-                let sim = engines.sequential.as_mut().expect("policy keeps a sequential replica");
-                // Per-frame execution, per-frame verdicts: one erroring
-                // frame does not poison its co-riders.
-                inputs.iter().map(|f| sim.run_frame(f, config.timesteps)).collect()
+        let results: Vec<Result<SnnOutput>> = match slot.engine.plan(frames) {
+            Ok(()) => {
+                let results = slot.engine.execute(&inputs, config.timesteps);
+                slot.engine.drain();
+                results
             }
-            Engine::Batched => {
-                let sim = engines.batched.as_mut().expect("policy keeps a batched replica");
-                match sim.run_batch(&inputs, config.timesteps) {
-                    Ok(outputs) => outputs.into_iter().map(Ok).collect(),
-                    // A schedule violation poisons the whole batch; every
-                    // rider learns why.
-                    Err(e) => (0..frames).map(|_| Err(e.clone())).collect(),
-                }
-            }
+            Err(e) => (0..frames).map(|_| Err(e.clone())).collect(),
         };
         let busy = exec_start.elapsed();
         let answered = Instant::now();
-        match engine {
-            Engine::Sequential => {
-                engines.timings.seq_frame_ns =
-                    ema(engines.timings.seq_frame_ns, busy.as_nanos() as f64 / frames as f64);
-            }
-            Engine::Batched => {
-                engines.timings.batch_pass_ns =
-                    ema(engines.timings.batch_pass_ns, busy.as_nanos() as f64);
-            }
-        }
+        // Per-unit marginal cost: frames for the sequential engine,
+        // occupied lanes for the batched one — the same number, recorded
+        // into this occupancy's bucket.
+        slot.record(frames, busy.as_nanos() as f64 / frames as f64);
 
         let mut stats = shared.stats.lock().expect("stats lock");
         stats.batches += 1;
@@ -510,12 +546,13 @@ fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
         if frames == config.max_batch {
             stats.full_batches += 1;
         }
+        stats.record_occupancy(frames, config.max_batch);
         match engine {
-            Engine::Sequential => {
+            EngineKind::Sequential => {
                 stats.sequential_batches += 1;
                 stats.sequential_frames += frames as u64;
             }
-            Engine::Batched => {
+            EngineKind::Batched => {
                 stats.batched_batches += 1;
                 stats.batched_frames += frames as u64;
             }
@@ -636,8 +673,8 @@ mod tests {
         let model = model();
         let mut reference: CycleSim = model.instantiate().unwrap();
         for (policy, engine) in [
-            (EnginePolicy::ForceSequential, Engine::Sequential),
-            (EnginePolicy::ForceBatched, Engine::Batched),
+            (EnginePolicy::ForceSequential, EngineKind::Sequential),
+            (EnginePolicy::ForceBatched, EngineKind::Batched),
         ] {
             let runtime = Runtime::start(
                 model.clone(),
@@ -659,15 +696,25 @@ mod tests {
             }
             let stats = runtime.shutdown().unwrap();
             match engine {
-                Engine::Sequential => {
+                EngineKind::Sequential => {
                     assert_eq!(stats.sequential_frames, 6);
                     assert_eq!(stats.batched_frames, 0);
                 }
-                Engine::Batched => {
+                EngineKind::Batched => {
                     assert_eq!(stats.batched_frames, 6);
                     assert_eq!(stats.sequential_frames, 0);
                 }
             }
+            assert_eq!(
+                stats
+                    .occupancy_histogram
+                    .iter()
+                    .enumerate()
+                    .map(|(n, c)| n as u64 * c)
+                    .sum::<u64>(),
+                6,
+                "the occupancy histogram accounts for every frame"
+            );
         }
     }
 
@@ -683,37 +730,92 @@ mod tests {
         // frame, so auto dispatch must choose the sequential engine.
         for k in 0..4 {
             let reply = runtime.infer(frame(k)).unwrap();
-            assert_eq!(reply.engine, Engine::Sequential);
+            assert_eq!(reply.engine, EngineKind::Sequential);
             assert_eq!(reply.batch_size, 1);
         }
         let stats = runtime.shutdown().unwrap();
         assert_eq!(stats.sequential_frames, 4);
         assert_eq!(stats.batched_frames, 0);
+        assert_eq!(stats.occupancy_histogram[1], 4, "four single-frame batches");
     }
 
     #[test]
-    fn pick_engine_crossover() {
+    fn pick_engine_marginal_cost_crossover() {
         fn ps() -> ProbeState {
             ProbeState::default()
         }
-        let none = EngineTimings::default();
         // Forced policies ignore measurements.
         assert_eq!(
-            pick_engine(EnginePolicy::ForceSequential, 16, &none, &mut ps()),
-            Engine::Sequential
+            pick_engine(EnginePolicy::ForceSequential, 16, None, None, &mut ps()),
+            EngineKind::Sequential
         );
-        assert_eq!(pick_engine(EnginePolicy::ForceBatched, 1, &none, &mut ps()), Engine::Batched);
+        assert_eq!(
+            pick_engine(EnginePolicy::ForceBatched, 1, None, None, &mut ps()),
+            EngineKind::Batched
+        );
         // Auto: batches of one are always sequential; unmeasured larger
         // batches go batched to learn its cost.
-        assert_eq!(pick_engine(EnginePolicy::Auto, 1, &none, &mut ps()), Engine::Sequential);
-        assert_eq!(pick_engine(EnginePolicy::Auto, 2, &none, &mut ps()), Engine::Batched);
-        // Auto with measurements: a 16-lane pass costing 100 µs vs 10 µs
-        // sequential frames puts the crossover at 10 frames.
-        let t = EngineTimings { seq_frame_ns: Some(10_000.0), batch_pass_ns: Some(100_000.0) };
-        assert_eq!(pick_engine(EnginePolicy::Auto, 4, &t, &mut ps()), Engine::Sequential);
-        assert_eq!(pick_engine(EnginePolicy::Auto, 9, &t, &mut ps()), Engine::Sequential);
-        assert_eq!(pick_engine(EnginePolicy::Auto, 10, &t, &mut ps()), Engine::Batched);
-        assert_eq!(pick_engine(EnginePolicy::Auto, 16, &t, &mut ps()), Engine::Batched);
+        assert_eq!(
+            pick_engine(EnginePolicy::Auto, 1, None, None, &mut ps()),
+            EngineKind::Sequential
+        );
+        assert_eq!(pick_engine(EnginePolicy::Auto, 2, None, None, &mut ps()), EngineKind::Batched);
+        // Auto with measurements is a per-unit marginal-cost comparison:
+        // occupancy-bound passes make an n-frame batch cost ≈ n × unit on
+        // either engine, so a cheaper batched lane wins at every n ≥ 2 —
+        // the crossover collapsed to n = 1.
+        let (seq, lane) = (Some(10_000.0), Some(6_000.0));
+        assert_eq!(
+            pick_engine(EnginePolicy::Auto, 1, seq, lane, &mut ps()),
+            EngineKind::Sequential
+        );
+        for frames in [2, 4, 16] {
+            assert_eq!(
+                pick_engine(EnginePolicy::Auto, frames, seq, lane, &mut ps()),
+                EngineKind::Batched,
+                "a cheaper per-lane cost wins every {frames}-frame batch"
+            );
+        }
+        // And a costlier batched lane (e.g. very sparse frames, where the
+        // control-word walk dominates a 2-lane pass) loses them.
+        let (seq, lane) = (Some(10_000.0), Some(14_000.0));
+        for frames in [2, 4, 16] {
+            assert_eq!(
+                pick_engine(EnginePolicy::Auto, frames, seq, lane, &mut ps()),
+                EngineKind::Sequential
+            );
+        }
+    }
+
+    #[test]
+    fn unit_cost_buckets_are_per_occupancy() {
+        // The batched engine's per-lane unit falls as batches fill (its
+        // fixed control-word walk amortizes), so a full-batch measurement
+        // must not price a small batch once the small batch has its own:
+        // each occupancy owns a bucket, with nearest-bucket fallback
+        // before any measurement exists there.
+        let model = model();
+        let mut slot = EngineSlot::new(Box::new(model.instantiate_batched(16).unwrap()), 16);
+        assert_eq!(slot.estimate(4), None, "no measurements yet");
+        slot.record(16, 2_000.0); // cheap per-lane unit at full occupancy
+        assert_eq!(slot.estimate(16), Some(2_000.0));
+        assert_eq!(slot.estimate(2), Some(2_000.0), "nearest bucket seeds unmeasured occupancies");
+        slot.record(2, 8_000.0); // a 2-frame pass barely amortizes the walk
+        assert_eq!(slot.estimate(2), Some(8_000.0), "own bucket wins once measured");
+        assert_eq!(slot.estimate(16), Some(2_000.0), "full-batch bucket is unaffected");
+        assert_eq!(slot.estimate(3), Some(8_000.0), "fallback picks the closest measurement");
+        // A dispatch decision at n=2 now sees the honest 2-frame unit: a
+        // 5 µs sequential frame beats the 8 µs batched lane there while
+        // full batches keep preferring the 2 µs lane.
+        let mut probes = ProbeState::default();
+        assert_eq!(
+            pick_engine(EnginePolicy::Auto, 2, Some(5_000.0), slot.estimate(2), &mut probes),
+            EngineKind::Sequential
+        );
+        assert_eq!(
+            pick_engine(EnginePolicy::Auto, 16, Some(5_000.0), slot.estimate(16), &mut probes),
+            EngineKind::Batched
+        );
     }
 
     #[test]
@@ -722,12 +824,11 @@ mod tests {
         // engine: every ENGINE_PROBE_INTERVAL multi-frame batches the
         // crossover prefers one engine for, one is diverted to the other
         // so its measurement keeps tracking the traffic.
-        let seq_wins =
-            EngineTimings { seq_frame_ns: Some(1_000.0), batch_pass_ns: Some(1_000_000.0) };
+        let (seq, lane) = (Some(1_000.0), Some(1_000_000.0));
         let mut probes = ProbeState::default();
         let mut diverted = 0u32;
         for _ in 0..2 * (ENGINE_PROBE_INTERVAL + 1) {
-            if pick_engine(EnginePolicy::Auto, 4, &seq_wins, &mut probes) == Engine::Batched {
+            if pick_engine(EnginePolicy::Auto, 4, seq, lane, &mut probes) == EngineKind::Batched {
                 diverted += 1;
             }
         }
@@ -736,11 +837,11 @@ mod tests {
         // The mirror direction, including the bootstrap case where the
         // sequential EMA was never seeded (sustained multi-frame traffic
         // has no n=1 batches to learn it from).
-        let seq_unseeded = EngineTimings { seq_frame_ns: None, batch_pass_ns: Some(1_000.0) };
         let mut probes = ProbeState::default();
         let mut diverted = 0u32;
         for _ in 0..2 * (ENGINE_PROBE_INTERVAL + 1) {
-            if pick_engine(EnginePolicy::Auto, 4, &seq_unseeded, &mut probes) == Engine::Sequential
+            if pick_engine(EnginePolicy::Auto, 4, None, Some(1_000.0), &mut probes)
+                == EngineKind::Sequential
             {
                 diverted += 1;
             }
@@ -749,7 +850,10 @@ mod tests {
 
         // Single-frame batches never probe (sequential is never slower).
         let mut probes = ProbeState { sequential: 0, batched: 0 };
-        assert_eq!(pick_engine(EnginePolicy::Auto, 1, &seq_wins, &mut probes), Engine::Sequential);
+        assert_eq!(
+            pick_engine(EnginePolicy::Auto, 1, seq, lane, &mut probes),
+            EngineKind::Sequential
+        );
         assert_eq!(
             (probes.sequential, probes.batched),
             (0, 0),

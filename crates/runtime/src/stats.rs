@@ -37,6 +37,9 @@ pub(crate) struct StatsInner {
     /// the rate-coded input's mean pixel value is the expected fraction
     /// of input axons spiking per timestep.
     pub density_weighted_sum: f64,
+    /// `occupancy_counts[n]` = batches that carried `n` frames (index 0
+    /// unused; sized `max_batch + 1` on first record).
+    pub occupancy_counts: Vec<u64>,
 }
 
 /// A snapshot of the runtime's aggregate serving statistics.
@@ -52,6 +55,13 @@ pub struct RuntimeStats {
     pub full_batches: u64,
     /// Mean frames per executed batch (the batching policy's efficiency).
     pub mean_batch_occupancy: f64,
+    /// Batch-occupancy histogram: `occupancy_histogram[n]` = batches that
+    /// carried exactly `n` frames (index 0 unused; the vector spans
+    /// `0..=max_batch` once any batch has run). With occupancy-bound
+    /// batched execution, this is the distribution of what under-full
+    /// passes actually cost — the observability behind the marginal-cost
+    /// engine dispatch.
+    pub occupancy_histogram: Vec<u64>,
     /// Mean enqueue→reply latency of successful requests.
     pub mean_latency: Duration,
     /// Median enqueue→reply latency of successful requests.
@@ -103,6 +113,15 @@ impl StatsInner {
             self.latencies_ns[slot] = ns;
         }
     }
+
+    /// Counts one executed batch of `frames` frames into the occupancy
+    /// histogram (lazily sized to `max_batch + 1` slots).
+    pub(crate) fn record_occupancy(&mut self, frames: usize, max_batch: usize) {
+        if self.occupancy_counts.len() <= max_batch.max(frames) {
+            self.occupancy_counts.resize(max_batch.max(frames) + 1, 0);
+        }
+        self.occupancy_counts[frames] += 1;
+    }
 }
 
 /// The `q`-quantile (0..=1) of an ascending-sorted latency sample, by
@@ -130,6 +149,7 @@ impl RuntimeStats {
             } else {
                 done as f64 / inner.batches as f64
             },
+            occupancy_histogram: inner.occupancy_counts.clone(),
             mean_latency: if inner.completed == 0 {
                 Duration::ZERO
             } else {
@@ -187,6 +207,18 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.99), Duration::from_nanos(99));
         assert_eq!(percentile(&[], 0.5), Duration::ZERO);
         assert_eq!(percentile(&[7], 0.99), Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn occupancy_histogram_counts_by_frames() {
+        let mut inner = StatsInner::default();
+        inner.record_occupancy(1, 4);
+        inner.record_occupancy(4, 4);
+        inner.record_occupancy(4, 4);
+        inner.record_occupancy(2, 4);
+        assert_eq!(inner.occupancy_counts, vec![0, 1, 1, 0, 2]);
+        let stats = RuntimeStats::snapshot(&inner, Duration::from_secs(1));
+        assert_eq!(stats.occupancy_histogram, vec![0, 1, 1, 0, 2]);
     }
 
     #[test]

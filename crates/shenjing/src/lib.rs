@@ -80,11 +80,12 @@ pub use shenjing_mapper::{compile, map_logical, place};
 pub mod prelude {
     pub use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, NocSum, Result, W5};
     pub use shenjing_datasets::{SynthCifar, SynthDigits};
+    pub use shenjing_hw::LaneSet;
     pub use shenjing_mapper::{map_logical, place, Mapper, Mapping, PlacementStrategy};
     pub use shenjing_nn::{LayerSpec, Network, NetworkKind, Sgd, Tensor};
     pub use shenjing_power::{AreaBudget, EnergyModel, SystemEstimate, TileModel};
     pub use shenjing_runtime::{
-        CompiledModel, Engine, EnginePolicy, Runtime, RuntimeConfig, RuntimeStats,
+        CompiledModel, Engine, EngineKind, EnginePolicy, Runtime, RuntimeConfig, RuntimeStats,
     };
     pub use shenjing_sim::{BatchSim, CycleSim};
     pub use shenjing_snn::{convert, ConversionOptions, SnnNetwork};

@@ -1,22 +1,35 @@
 //! The batched cycle-level simulator: B frames per pass over the program.
 //!
-//! [`BatchSim`] executes the same decoded program as [`CycleSim`] on a
+//! [`BatchSim`] executes the same decoded program as
+//! [`CycleSim`](crate::CycleSim) on a
 //! [`BatchChip`], advancing up to `B` independent inference frames with a
 //! single traversal of the per-cycle control words. Because the schedule
 //! determines register occupancy independently of the data (see
 //! [`shenjing_hw::batch`]), the batched run is **bit-identical** to
-//! running the same frames one at a time through [`CycleSim`] — the
+//! running the same frames one at a time through
+//! [`CycleSim`](crate::CycleSim) — the
 //! property test in `tests/batch_equivalence.rs` enforces this against
 //! random networks, inputs and batch sizes.
 //!
 //! This is the throughput engine behind `shenjing-runtime`: program
 //! decode, the cycle loop and the transfer-phase scan are paid once per
 //! batch instead of once per frame.
+//!
+//! Execution is **occupancy-bound, not capacity-bound**: the chip's
+//! [`LaneSet`] tracks which SoA lanes hold frames, and every per-lane
+//! payload walk touches only those, so an under-full batch pays for the
+//! frames it carries plus one control-word walk — not for `max_batch`
+//! lanes. [`run_batch`](BatchSim::run_batch) packs frames into lanes
+//! `0..n`; [`set_occupied_lanes`](BatchSim::set_occupied_lanes) /
+//! [`release_lane`](BatchSim::release_lane) +
+//! [`run_occupied`](BatchSim::run_occupied) serve arbitrary (including
+//! non-contiguous, post-drain) lane patterns, with finished frames
+//! leaving in `O(their active state)`.
 
 use std::sync::Arc;
 
 use shenjing_core::{ArchSpec, CoreCoord, Error, Result};
-use shenjing_hw::{AtomicOp, BatchChip};
+use shenjing_hw::{AtomicOp, BatchChip, LaneSet};
 use shenjing_mapper::{CompiledProgram, LogicalMapping};
 use shenjing_nn::Tensor;
 use shenjing_snn::{RateEncoder, SnnOutput};
@@ -91,12 +104,63 @@ impl BatchSim {
         &self.program
     }
 
+    /// The chip's occupied-lane set (which SoA lanes hold frames).
+    pub fn lanes(&self) -> &LaneSet {
+        self.chip.lanes()
+    }
+
+    /// Reconciles lane occupancy to exactly `lanes`: frames parked in
+    /// lanes outside the set are drained (scrubbed in `O(their active
+    /// state)`), and the requested lanes are occupied. Non-contiguous
+    /// patterns — holes left by drained frames — are valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for a lane beyond the capacity and
+    /// [`Error::InvalidConfig`] for a duplicated lane.
+    pub fn set_occupied_lanes(&mut self, lanes: &[usize]) -> Result<()> {
+        let mut want = LaneSet::empty(self.batch);
+        for &lane in lanes {
+            if lane >= self.batch {
+                return Err(Error::out_of_bounds(format!(
+                    "lane {lane} of a {}-lane simulator",
+                    self.batch
+                )));
+            }
+            if !want.occupy(lane) {
+                return Err(Error::config(format!("lane {lane} listed twice")));
+            }
+        }
+        let current: Vec<usize> = self.chip.lanes().iter().collect();
+        for lane in current {
+            if !want.contains(lane) {
+                self.chip.release_lane(lane)?;
+            }
+        }
+        for &lane in lanes {
+            self.chip.occupy_lane(lane)?;
+        }
+        Ok(())
+    }
+
+    /// Releases one lane — a finished frame leaving the batch — scrubbing
+    /// its state in `O(that lane's active state)`. Returns whether the
+    /// lane was occupied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfBounds`] for a lane beyond the capacity.
+    pub fn release_lane(&mut self, lane: usize) -> Result<bool> {
+        self.chip.release_lane(lane)
+    }
+
     /// Runs up to `batch` inference frames at once: `inputs[i]` becomes
-    /// lane `i`, every lane sees the same `timesteps` of rate-coded
+    /// lane `i`, every frame sees the same `timesteps` of rate-coded
     /// input, and the outputs come back in input order.
     ///
-    /// Lanes beyond `inputs.len()` idle through the schedule (they carry
-    /// all-zero frames), so partial batches are valid.
+    /// Occupancy is reconciled to lanes `0..inputs.len()` first, so an
+    /// under-full batch pays for the frames it carries (plus one walk
+    /// over the control words), not for `batch` lanes.
     ///
     /// # Errors
     ///
@@ -105,6 +169,8 @@ impl BatchSim {
     /// differs from the mapped network's, and propagates hardware-level
     /// schedule violations.
     pub fn run_batch(&mut self, inputs: &[Tensor], timesteps: u32) -> Result<Vec<SnnOutput>> {
+        // Validate everything before reconciling occupancy, so a rejected
+        // batch leaves the parked lane set untouched.
         if inputs.is_empty() {
             return Err(Error::config("batch must contain at least one frame"));
         }
@@ -126,7 +192,51 @@ impl BatchSim {
         if timesteps == 0 {
             return Err(Error::config("timesteps must be positive"));
         }
+        let prefix: Vec<usize> = (0..inputs.len()).collect();
+        self.set_occupied_lanes(&prefix)?;
+        self.run_occupied(inputs, timesteps)
+    }
 
+    /// Runs one frame per *occupied* lane: `inputs[i]` rides the `i`-th
+    /// occupied lane in ascending lane order, and the outputs come back
+    /// in input order. This is the lane-pattern-agnostic core behind
+    /// [`run_batch`](BatchSim::run_batch); pair it with
+    /// [`set_occupied_lanes`](BatchSim::set_occupied_lanes) or
+    /// [`release_lane`](BatchSim::release_lane) to serve post-drain,
+    /// non-contiguous patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `inputs` does not match the
+    /// occupied-lane count (or both are empty) and for zero timesteps,
+    /// [`Error::ShapeMismatch`] for wrong-length inputs, and propagates
+    /// hardware-level schedule violations.
+    pub fn run_occupied(&mut self, inputs: &[Tensor], timesteps: u32) -> Result<Vec<SnnOutput>> {
+        if inputs.is_empty() {
+            return Err(Error::config("batch must contain at least one frame"));
+        }
+        if inputs.len() != self.chip.lanes().len() {
+            return Err(Error::config(format!(
+                "{} frames for {} occupied lanes",
+                inputs.len(),
+                self.chip.lanes().len()
+            )));
+        }
+        for input in inputs {
+            if input.len() != self.program.input_map.len() {
+                return Err(Error::shape_mismatch(
+                    format!("{} inputs", self.program.input_map.len()),
+                    format!("{}", input.len()),
+                ));
+            }
+        }
+        if timesteps == 0 {
+            return Err(Error::config("timesteps must be positive"));
+        }
+
+        // Snapshot the lane assignment once per pass (occupancy cannot
+        // change mid-pass; the payload stride depends on it).
+        let lane_ids: Vec<usize> = self.chip.lanes().iter().collect();
         self.chip.reset_frame();
         let mut encoders: Vec<RateEncoder> = inputs.iter().map(RateEncoder::new).collect();
         let out_len = self.program.output_map.len();
@@ -136,9 +246,10 @@ impl BatchSim {
             vec![Vec::with_capacity(timesteps as usize); frames];
 
         for _ in 0..timesteps {
-            // Fresh axons; inject every lane's input spikes for this step.
+            // Fresh axons; inject every frame's input spikes for this step
+            // into its lane.
             self.chip.clear_axons();
-            for (lane, encoder) in encoders.iter_mut().enumerate() {
+            for (&lane, encoder) in lane_ids.iter().zip(encoders.iter_mut()) {
                 let spikes = encoder.next_timestep();
                 for (i, spiking) in spikes.iter().enumerate() {
                     if !spiking {
@@ -150,7 +261,7 @@ impl BatchSim {
                 }
             }
 
-            // One pass over the static block advances every lane.
+            // One pass over the static block advances every occupied lane.
             let mut idx = 0usize;
             for cycle in 0..self.program.block_cycles {
                 let schedule = &self.program.schedule;
@@ -165,10 +276,10 @@ impl BatchSim {
                 self.chip.exec_cycle(cycle, ops)?;
             }
 
-            // Read output spikes per lane, then clear network state
+            // Read output spikes per frame, then clear network state
             // (potentials persist across timesteps).
-            for (lane, (counts, steps)) in
-                spike_counts.iter_mut().zip(spikes_by_step.iter_mut()).enumerate()
+            for ((&lane, counts), steps) in
+                lane_ids.iter().zip(spike_counts.iter_mut()).zip(spikes_by_step.iter_mut())
             {
                 let mut step = vec![false; out_len];
                 for (o, (coord, plane)) in self.program.output_map.iter().enumerate() {
@@ -182,7 +293,7 @@ impl BatchSim {
         }
 
         let mut outputs = Vec::with_capacity(frames);
-        for (lane, (counts, steps)) in spike_counts.into_iter().zip(spikes_by_step).enumerate() {
+        for ((&lane, counts), steps) in lane_ids.iter().zip(spike_counts).zip(spikes_by_step) {
             let potentials = self
                 .program
                 .output_map
@@ -279,5 +390,83 @@ mod tests {
         assert!(batched.run_batch(&[Tensor::zeros(vec![3])], 5).is_err(), "wrong shape");
         assert!(batched.run_batch(&[ok], 0).is_err(), "zero timesteps");
         assert!(BatchSim::new(&arch, &mapping.logical, &mapping.program, 0).is_err());
+        assert!(batched.set_occupied_lanes(&[0, 2]).is_err(), "lane beyond capacity");
+        assert!(batched.set_occupied_lanes(&[1, 1]).is_err(), "duplicate lane");
+        batched.set_occupied_lanes(&[1]).unwrap();
+        assert!(
+            batched.run_occupied(&[Tensor::zeros(vec![8]), Tensor::zeros(vec![8])], 5).is_err(),
+            "frame count must match the occupied-lane count"
+        );
+    }
+
+    #[test]
+    fn rejected_run_batch_leaves_occupancy_untouched() {
+        // Validation happens before occupancy reconciliation: a rejected
+        // batch must not drain or reshape the parked lane set.
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut batched = BatchSim::new(&arch, &mapping.logical, &mapping.program, 4).unwrap();
+        batched.set_occupied_lanes(&[0, 2]).unwrap();
+        assert!(batched.run_batch(&[], 5).is_err());
+        assert!(batched.run_batch(&[Tensor::zeros(vec![3])], 5).is_err());
+        assert!(batched.run_batch(&[Tensor::zeros(vec![8])], 0).is_err());
+        assert_eq!(
+            batched.lanes().as_slice(),
+            &[0, 2],
+            "rejected batches must not touch the lane set"
+        );
+    }
+
+    #[test]
+    fn under_full_batches_occupy_only_their_lanes() {
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut batched = BatchSim::new(&arch, &mapping.logical, &mapping.program, 8).unwrap();
+        assert!(batched.lanes().is_full(), "a fresh simulator starts fully occupied");
+        let inputs: Vec<Tensor> =
+            (0..3).map(|_| Tensor::from_vec(vec![8], vec![0.6; 8]).unwrap()).collect();
+        batched.run_batch(&inputs, 4).unwrap();
+        assert_eq!(batched.lanes().as_slice(), &[0, 1, 2], "3-of-8 pass occupies 3 lanes");
+    }
+
+    #[test]
+    fn non_contiguous_lanes_after_drains_match_sequential() {
+        // Run a full batch, drain two finished frames (leaving holes),
+        // then serve new frames on the remaining non-contiguous lanes —
+        // every pass must stay bit-exact against the sequential engine.
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let decoded =
+            Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
+        let mut seq = CycleSim::from_decoded(Arc::clone(&decoded)).unwrap();
+        let mut batched = BatchSim::from_decoded(decoded, 4).unwrap();
+
+        let frame = |k: usize| {
+            Tensor::from_vec(vec![8], (0..8).map(|i| ((i + k) % 5) as f64 / 4.0).collect()).unwrap()
+        };
+        let full: Vec<Tensor> = (0..4).map(frame).collect();
+        let got = batched.run_batch(&full, 7).unwrap();
+        for (input, out) in full.iter().zip(&got) {
+            assert_eq!(*out, seq.run_frame(input, 7).unwrap());
+        }
+
+        // Frames in lanes 1 and 3 finish and drain.
+        assert!(batched.release_lane(1).unwrap());
+        assert!(batched.release_lane(3).unwrap());
+        assert_eq!(batched.lanes().as_slice(), &[0, 2]);
+        assert_eq!(batched.lanes().contiguous_len(), None);
+
+        let fresh: Vec<Tensor> = (5..7).map(frame).collect();
+        let got = batched.run_occupied(&fresh, 7).unwrap();
+        for (input, out) in fresh.iter().zip(&got) {
+            assert_eq!(
+                *out,
+                seq.run_frame(input, 7).unwrap(),
+                "post-drain non-contiguous lanes must stay bit-exact"
+            );
+        }
     }
 }

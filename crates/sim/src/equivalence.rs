@@ -118,7 +118,11 @@ pub fn verify_sequential(
 /// whole-chip, all-lane state digest after every batch.
 ///
 /// Each `report` frame here is one *batch pass*: `inputs` is chunked into
-/// `batch`-sized groups and every group runs through both engines.
+/// `batch`-sized groups and every group runs through both engines. An
+/// under-full final chunk runs at its own lane occupancy, and the state
+/// digests cover exactly the occupied lanes (unoccupied lanes hold stale
+/// payload by design); use [`verify_batched_lanes`] to pin non-contiguous
+/// occupancy patterns.
 ///
 /// This is the executable gate behind the unified sparse core in the
 /// batched engine; the batched equivalence proptests drive it over random
@@ -157,6 +161,47 @@ pub fn verify_batched(
         }
     }
     Ok(EquivalenceReport { frames: passes, timesteps, exact_frames: exact, first_mismatch })
+}
+
+/// [`verify_batched`] for one explicit lane pattern: both `batch`-lane
+/// instantiations occupy exactly `lanes` (which may be non-contiguous —
+/// the post-drain shape), run `inputs` through them in one pass, and are
+/// compared bit for bit: every frame's full
+/// [`SnnOutput`](shenjing_snn::SnnOutput) (or the exact error) *and* the
+/// occupied-lane whole-chip digest.
+///
+/// The occupancy-sweep proptests drive this over random lane subsets to
+/// pin that the lane-occupancy engine is bit-exact at every occupancy
+/// level, not just for packed prefixes.
+///
+/// # Errors
+///
+/// Returns instantiation and lane-validation errors (`inputs` must have
+/// one frame per listed lane); run errors are *compared*, not propagated.
+pub fn verify_batched_lanes(
+    program: &Arc<DecodedProgram>,
+    inputs: &[Tensor],
+    timesteps: u32,
+    batch: usize,
+    lanes: &[usize],
+) -> Result<EquivalenceReport> {
+    let mut fast = BatchSim::from_decoded(Arc::clone(program), batch)?;
+    let mut reference = BatchSim::from_decoded(Arc::clone(program), batch)?;
+    reference.set_reference_mode(true);
+    fast.set_occupied_lanes(lanes)?;
+    reference.set_occupied_lanes(lanes)?;
+
+    let fast_out = fast.run_occupied(inputs, timesteps);
+    let reference_out = reference.run_occupied(inputs, timesteps);
+    let states_match = fast_out.is_err()
+        || digest_batch_chip(0, fast.chip()) == digest_batch_chip(0, reference.chip());
+    let exact = usize::from(fast_out == reference_out && states_match);
+    Ok(EquivalenceReport {
+        frames: 1,
+        timesteps,
+        exact_frames: exact,
+        first_mismatch: (exact == 0).then_some(0),
+    })
 }
 
 #[cfg(test)]

@@ -51,8 +51,14 @@ pub mod trace;
 
 pub use batch::BatchSim;
 pub use cycle_sim::{CycleSim, DecodedProgram};
-pub use equivalence::{verify, verify_batched, verify_sequential, EquivalenceReport};
+// `BatchSim`'s occupancy API speaks in terms of the hardware crate's
+// lane set; re-exported so downstream crates need not depend on
+// `shenjing-hw` to name it.
+pub use equivalence::{
+    verify, verify_batched, verify_batched_lanes, verify_sequential, EquivalenceReport,
+};
 pub use fault::{inject, Fault};
+pub use shenjing_hw::LaneSet;
 pub use trace::{
     compare_traces, digest_batch_chip, digest_chip, trace_block, Divergence, StateDigest,
 };

@@ -90,25 +90,32 @@ pub fn digest_chip(cycle: u64, chip: &Chip) -> StateDigest {
     }
 }
 
-fn digest_batch_tile(coord: CoreCoord, tile: &shenjing_hw::BatchTile, batch: usize) -> TileDigest {
+fn digest_batch_tile(
+    coord: CoreCoord,
+    tile: &shenjing_hw::BatchTile,
+    lanes: &shenjing_hw::LaneSet,
+) -> TileDigest {
     let core = tile.core();
     let planes = core.neurons();
+    let batch = lanes.batch();
 
     let mut axons = FNV_OFFSET;
     for a in 0..core.inputs() {
-        for lane in 0..batch {
+        for &lane in lanes.as_slice() {
             fnv(&mut axons, &[u8::from(core.axon(a, lane).expect("in range"))]);
         }
     }
 
     let mut local_ps = FNV_OFFSET;
-    for s in core.local_ps_all() {
-        fnv(&mut local_ps, &s.to_le_bytes());
+    for chunk in core.local_ps_all().chunks_exact(batch) {
+        for &lane in lanes.as_slice() {
+            fnv(&mut local_ps, &chunk[lane].to_le_bytes());
+        }
     }
 
     let mut ps_router = FNV_OFFSET;
     for p in 0..planes {
-        for lane in 0..batch {
+        for &lane in lanes.as_slice() {
             let v = tile.ps().sum_buf(p, lane).unwrap_or(i32::MIN);
             fnv(&mut ps_router, &v.to_le_bytes());
             for d in Direction::ALL {
@@ -120,7 +127,7 @@ fn digest_batch_tile(coord: CoreCoord, tile: &shenjing_hw::BatchTile, batch: usi
 
     let mut spike_router = FNV_OFFSET;
     for p in 0..planes {
-        for lane in 0..batch {
+        for &lane in lanes.as_slice() {
             fnv(&mut spike_router, &tile.spike().potential(p, lane).to_le_bytes());
             fnv(&mut spike_router, &[u8::from(tile.spike().spike_buffer(p, lane))]);
         }
@@ -130,15 +137,19 @@ fn digest_batch_tile(coord: CoreCoord, tile: &shenjing_hw::BatchTile, batch: usi
 }
 
 /// Captures the digest of every tile of a batched chip, covering every
-/// lane: axon bits, local partial sums, PS router state (sum_buf and
-/// in-flight inputs) and spike router state (potentials, spike buffers) —
-/// the batched counterpart of [`digest_chip`], consumed by
-/// [`verify_batched`](crate::equivalence::verify_batched).
+/// *occupied* lane: axon bits, local partial sums, PS router state
+/// (sum_buf and in-flight inputs) and spike router state (potentials,
+/// spike buffers) — the batched counterpart of [`digest_chip`], consumed
+/// by [`verify_batched`](crate::equivalence::verify_batched).
+///
+/// Unoccupied lanes are excluded by design: the lane-occupancy engine
+/// leaves stale payload there (nothing reads it), so only the occupied
+/// lanes carry architecturally meaningful state.
 pub fn digest_batch_chip(cycle: u64, chip: &BatchChip) -> StateDigest {
-    let batch = chip.batch();
+    let lanes = chip.lanes();
     StateDigest {
         cycle,
-        tiles: chip.iter().map(|(coord, tile)| digest_batch_tile(coord, tile, batch)).collect(),
+        tiles: chip.iter().map(|(coord, tile)| digest_batch_tile(coord, tile, lanes)).collect(),
     }
 }
 

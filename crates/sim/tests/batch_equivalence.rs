@@ -23,7 +23,7 @@ use proptest::prelude::*;
 use shenjing_core::{ArchSpec, W5};
 use shenjing_mapper::Mapper;
 use shenjing_nn::Tensor;
-use shenjing_sim::{verify_batched, BatchSim, CycleSim, DecodedProgram};
+use shenjing_sim::{verify_batched, verify_batched_lanes, BatchSim, CycleSim, DecodedProgram};
 use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
 
 /// Largest dimensions the strategies below draw (the weight/input pools
@@ -142,6 +142,136 @@ proptest! {
             })
             .collect();
         assert_batched_equals_sequential(&snn, &inputs, timesteps);
+    }
+
+    /// The lane-occupancy grid: a `cap`-lane simulator serving
+    /// 1..=cap frames parked on an arbitrary lane subset — contiguous
+    /// prefixes and the non-contiguous hole patterns that drains leave —
+    /// crossed with the activity-density sweep. Every (occupancy,
+    /// density) cell must agree with the sequential engine per frame
+    /// *and* with the batched dense reference bit for bit (outputs and
+    /// occupied-lane digests, via [`verify_batched_lanes`]).
+    #[test]
+    fn batched_matches_sequential_across_occupancy_patterns(
+        n_in in 4usize..=MAX_IN,
+        n_out in 1usize..=MAX_OUT,
+        theta in 1i32..=30,
+        cap in 2usize..=MAX_BATCH,
+        lane_mask in 1u32..32,
+        timesteps in 2u32..=6,
+        density_step in 0usize..4,
+        jitter in 0.0f64..0.05,
+        weights in proptest::collection::vec(-15i32..=15, MAX_IN * MAX_OUT),
+        pool in proptest::collection::vec(0.0f64..1.0, MAX_BATCH * MAX_IN),
+    ) {
+        // Fold the drawn mask onto the capacity; an empty selection
+        // becomes "lane 0 only" so every case exercises the engine.
+        let lane_mask = match lane_mask % (1u32 << cap) {
+            0 => 1,
+            m => m,
+        };
+        let lanes: Vec<usize> = (0..cap).filter(|&l| lane_mask & (1 << l) != 0).collect();
+        let density = [0.0, 0.06, 0.5, 1.0][density_step] + jitter;
+        let snn = SnnNetwork::new(vec![dense_layer(&weights, n_in, n_out, theta)]).unwrap();
+        let inputs: Vec<Tensor> = (0..lanes.len())
+            .map(|k| {
+                let vals = pool[k * n_in..(k + 1) * n_in]
+                    .iter()
+                    .map(|v| if density >= 1.0 { 1.0 } else { (v * density).min(1.0) })
+                    .collect();
+                Tensor::from_vec(vec![n_in], vals).unwrap()
+            })
+            .collect();
+
+        let arch = ArchSpec::tiny();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let decoded =
+            Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
+
+        // Direction 1: every occupied lane agrees with the sequential run.
+        let mut sequential = CycleSim::from_decoded(Arc::clone(&decoded)).unwrap();
+        let mut batched = BatchSim::from_decoded(Arc::clone(&decoded), cap).unwrap();
+        batched.set_occupied_lanes(&lanes).unwrap();
+        let batch_out = batched.run_occupied(&inputs, timesteps).unwrap();
+        for ((input, got), lane) in inputs.iter().zip(&batch_out).zip(&lanes) {
+            let want = sequential.run_frame(input, timesteps).unwrap();
+            prop_assert_eq!(
+                got,
+                &want,
+                "lane {} diverged from the sequential run (occupancy {:?} of {})",
+                lane,
+                &lanes,
+                cap
+            );
+        }
+
+        // Direction 2: fast path == dense reference at this occupancy.
+        let report = verify_batched_lanes(&decoded, &inputs, timesteps, cap, &lanes).unwrap();
+        prop_assert!(
+            report.is_exact(),
+            "sparse fast path diverged from the reference at occupancy {:?}: {report:?}",
+            &lanes
+        );
+    }
+
+    /// Drain-then-refill: a full pass, a random subset of lanes released
+    /// (finished frames leaving), and a second pass on the surviving
+    /// non-contiguous pattern. The second pass must be bit-exact against
+    /// sequential runs — i.e. the `O(active state)` lane scrub leaves no
+    /// residue behind and the stale unoccupied lanes leak into nothing.
+    #[test]
+    fn drained_lanes_leave_no_residue(
+        n_in in 2usize..=20,
+        n_mid in 1usize..=MAX_OUT,
+        n_out in 1usize..=4,
+        theta in 2i32..=20,
+        cap in 2usize..=MAX_BATCH,
+        drain_mask in 1u32..31,
+        timesteps in 2u32..=6,
+        weights in proptest::collection::vec(-15i32..=15, 20 * MAX_OUT + MAX_OUT * 4),
+        pool in proptest::collection::vec(0.0f64..1.0, 2 * MAX_BATCH * 20),
+    ) {
+        // Fold the drain mask onto the capacity, draining at least one
+        // lane and keeping at least one survivor.
+        let drain_mask = match drain_mask % (1u32 << cap) {
+            0 => 1,
+            m if m == (1u32 << cap) - 1 => m & !(1 << (cap - 1)),
+            m => m,
+        };
+        let survivors: Vec<usize> = (0..cap).filter(|&l| drain_mask & (1 << l) == 0).collect();
+        let l1 = dense_layer(&weights, n_in, n_mid, theta);
+        let l2 = dense_layer(&weights[20 * MAX_OUT..], n_mid, n_out, theta);
+        let snn = SnnNetwork::new(vec![l1, l2]).unwrap();
+        let arch = ArchSpec::tiny();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let decoded =
+            Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap());
+        let mut sequential = CycleSim::from_decoded(Arc::clone(&decoded)).unwrap();
+        let mut batched = BatchSim::from_decoded(Arc::clone(&decoded), cap).unwrap();
+
+        let first = frames(&pool, n_in, cap);
+        let got = batched.run_batch(&first, timesteps).unwrap();
+        for (input, out) in first.iter().zip(&got) {
+            prop_assert_eq!(out, &sequential.run_frame(input, timesteps).unwrap());
+        }
+
+        for lane in 0..cap {
+            if !survivors.contains(&lane) {
+                batched.release_lane(lane).unwrap();
+            }
+        }
+        let second = frames(&pool[MAX_BATCH * 20..], n_in, survivors.len());
+        let got = batched.run_occupied(&second, timesteps).unwrap();
+        for ((input, out), lane) in second.iter().zip(&got).zip(&survivors) {
+            let want = sequential.run_frame(input, timesteps).unwrap();
+            prop_assert_eq!(
+                out,
+                &want,
+                "surviving lane {} diverged after draining {:?}",
+                lane,
+                (0..cap).filter(|l| !survivors.contains(l)).collect::<Vec<_>>()
+            );
+        }
     }
 
     /// Overflow-inducing weights on an oversized custom core: batches

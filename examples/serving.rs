@@ -80,6 +80,17 @@ fn main() -> Result<()> {
         stats.batched_batches,
         100.0 * stats.mean_input_density,
     );
+    let occupancy: Vec<String> = stats
+        .occupancy_histogram
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(frames, count)| format!("{frames} frames x{count}"))
+        .collect();
+    println!(
+        "batch occupancy (under-full passes pay per occupied lane): [{}]",
+        occupancy.join(", ")
+    );
 
     // 4. The serving path is bit-exact against the single-frame simulator
     //    (spot-checked here; the property test in shenjing-sim covers it
