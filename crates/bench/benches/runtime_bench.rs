@@ -56,11 +56,15 @@ fn bench_runtime(c: &mut Criterion) {
     // the decoded program amortizes).
     c.bench_function("runtime_instantiate_replica", |b| b.iter(|| model.instantiate().unwrap()));
 
-    // End to end through queue + batching policy + worker shards.
+    // End to end through registry + admission + batching policy + worker
+    // shards (every worker warm, as the pre-registry runtime was).
     c.bench_function("runtime_serve_32_frames_2_workers", |b| {
         b.iter(|| {
-            let runtime = Runtime::start(
-                model.clone(),
+            let registry = ModelRegistry::new()
+                .with_model("mnist", model.clone(), ServeOptions::default().with_warm_replicas(2))
+                .unwrap();
+            let runtime = Runtime::serve(
+                registry,
                 RuntimeConfig {
                     workers: 2,
                     max_batch: BATCH,
@@ -70,9 +74,12 @@ fn bench_runtime(c: &mut Criterion) {
                 },
             )
             .unwrap();
-            let mut doubled: Vec<Tensor> = frames.clone();
-            doubled.extend(frames.iter().cloned());
-            let replies = runtime.infer_many(&doubled).unwrap();
+            let requests: Vec<InferenceRequest> = frames
+                .iter()
+                .chain(frames.iter())
+                .map(|f| InferenceRequest::new("mnist", f.clone()))
+                .collect();
+            let replies = runtime.infer_many(&requests).unwrap();
             runtime.shutdown().unwrap();
             replies.len()
         })

@@ -63,6 +63,54 @@ pub enum Error {
         /// Why the configuration is invalid.
         reason: String,
     },
+    /// A serving tier refused to admit a request (admission control,
+    /// deadline enforcement, shutdown). Unlike the other variants this is
+    /// not a fault in the caller's data: the work was valid but the
+    /// service declined it, and the caller is expected to match on the
+    /// [`RejectReason`] to decide whether to retry, shed or escalate.
+    Rejected {
+        /// Why the request was refused.
+        reason: RejectReason,
+    },
+}
+
+/// Why a serving tier refused to admit a request.
+///
+/// Carried by [`Error::Rejected`] and serialized verbatim into wire
+/// replies, so a remote client sees the same typed reason a local caller
+/// matches on.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RejectReason {
+    /// No model is registered under the requested id.
+    UnknownModel {
+        /// The id the request named.
+        id: String,
+    },
+    /// The shared request queue is at its configured depth bound;
+    /// admitting more would trade bounded latency for unbounded memory.
+    QueueFull {
+        /// The configured queue depth that was reached.
+        limit: usize,
+    },
+    /// The request's deadline had already passed — on admission, or while
+    /// it waited in the queue — so executing it could only burn a lane on
+    /// an answer nobody is waiting for.
+    DeadlineExpired,
+    /// The runtime is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::UnknownModel { id } => write!(f, "no model registered as `{id}`"),
+            RejectReason::QueueFull { limit } => {
+                write!(f, "request queue full ({limit} pending)")
+            }
+            RejectReason::DeadlineExpired => write!(f, "deadline expired before execution"),
+            RejectReason::ShuttingDown => write!(f, "runtime is shutting down"),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -86,6 +134,7 @@ impl std::fmt::Display for Error {
                 write!(f, "invalid control for {component}: {reason}")
             }
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::Rejected { reason } => write!(f, "request rejected: {reason}"),
         }
     }
 }
@@ -106,6 +155,19 @@ impl Error {
     /// Shorthand for an [`Error::MappingFailed`].
     pub fn mapping(reason: impl Into<String>) -> Error {
         Error::MappingFailed { reason: reason.into() }
+    }
+
+    /// Shorthand for an [`Error::Rejected`].
+    pub fn rejected(reason: RejectReason) -> Error {
+        Error::Rejected { reason }
+    }
+
+    /// The typed admission verdict, when this error is a rejection.
+    pub fn reject_reason(&self) -> Option<&RejectReason> {
+        match self {
+            Error::Rejected { reason } => Some(reason),
+            _ => None,
+        }
     }
 
     /// Shorthand for an [`Error::InvalidConfig`].

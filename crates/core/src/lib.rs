@@ -43,7 +43,7 @@ pub mod rect;
 
 pub use arch::ArchSpec;
 pub use coord::{ChipCoord, CoreCoord, Direction, GlobalCoreCoord};
-pub use error::{Error, Result};
+pub use error::{Error, RejectReason, Result};
 pub use fixed::{LocalSum, NocSum, W5};
 pub use rect::Rect;
 

@@ -21,8 +21,9 @@ use shenjing_snn::SnnOutput;
 
 /// Which engine implementation served a batch — the label carried by
 /// [`InferenceReply`](crate::InferenceReply) and the per-engine counters
-/// in [`RuntimeStats`](crate::RuntimeStats).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// in [`RuntimeStats`](crate::RuntimeStats). Serializes as a bare string
+/// in the wire format (see [`wire`](crate::wire)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum EngineKind {
     /// The single-frame sparse-sequential [`CycleSim`], run once per
     /// frame.

@@ -19,24 +19,37 @@
 //!    *occupancy-bound*: planning an `n`-of-`max_batch` batch occupies
 //!    exactly `n` lanes, so under-full passes pay for the frames they
 //!    carry.
-//! 3. **Scheduler/serving** — [`Runtime`] owns a shared request queue
-//!    and `workers` shards, each holding [`Engine`] replicas. A shard
-//!    gathers up to `max_batch` requests, holding the batch open at most
-//!    `max_wait` for stragglers, picks an engine per batch via the
-//!    [`EnginePolicy`] (auto dispatch is a marginal-cost model over
-//!    EMA'd per-occupied-lane batched cost vs per-frame sequential cost;
-//!    see [`RuntimeConfig::engine`]), then answers every rider;
-//!    per-request latency (with p50/p95/p99 percentiles), per-engine
-//!    frame counters, a batch-occupancy histogram and aggregate
-//!    throughput land in [`RuntimeStats`].
+//! 3. **Serving tier** — a [`ModelRegistry`] holds many compiled
+//!    artifacts under string ids, each with per-model [`ServeOptions`]
+//!    (priority, deadline SLO, warm-replica pool). [`Runtime::serve`]
+//!    puts one admission-controlled, depth-bounded request queue in
+//!    front of them: typed [`InferenceRequest`]s are admitted or
+//!    refused with a [`RejectReason`](shenjing_core::RejectReason)
+//!    (queue full, unknown model, expired deadline, shutdown); workers
+//!    dequeue deadline-aware (priority, then earliest deadline),
+//!    fail expired requests fast without burning a lane, and gather
+//!    **single-model** batches of up to `max_batch` requests (holding
+//!    under-full batches open at most `max_wait` for stragglers, capped
+//!    by the earliest queued deadline). Each batch runs on whichever
+//!    engine the [`EnginePolicy`] picks (auto dispatch is a
+//!    marginal-cost model over EMA'd per-occupied-lane batched cost vs
+//!    per-frame sequential cost; see [`RuntimeConfig::engine`]) —
+//!    bit-identically either way. Per-request latency (with p50/p95/p99
+//!    percentiles), per-engine frame counters, admission verdicts, a
+//!    batch-occupancy histogram and throughput land in [`RuntimeStats`],
+//!    aggregate and per model. Requests and replies round-trip through
+//!    the JSON [`wire`] format, so the tier can sit behind a socket.
 //!
 //! # Example
 //!
 //! ```
 //! use shenjing_core::{ArchSpec, W5};
 //! use shenjing_nn::Tensor;
-//! use shenjing_runtime::{CompiledModel, Runtime, RuntimeConfig};
+//! use shenjing_runtime::{
+//!     CompiledModel, InferenceRequest, ModelRegistry, Runtime, RuntimeConfig, ServeOptions,
+//! };
 //! use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+//! use std::time::Duration;
 //!
 //! // A trained-and-converted SNN (hand-built here) compiled once…
 //! let snn = SnnNetwork::new(vec![SnnLayer::Dense(
@@ -44,12 +57,23 @@
 //! )])?;
 //! let model = CompiledModel::compile(&ArchSpec::tiny(), &snn)?;
 //!
-//! // …serves traffic from N worker shards, batching as it goes.
-//! let runtime = Runtime::start(model, RuntimeConfig::default())?;
-//! let reply = runtime.infer(Tensor::from_vec(vec![4], vec![1.0, 0.0, 0.5, 0.5])?)?;
+//! // …registered under an id with its serving policy…
+//! let registry = ModelRegistry::new().with_model(
+//!     "digits",
+//!     model,
+//!     ServeOptions::default().with_deadline(Duration::from_secs(5)),
+//! )?;
+//!
+//! // …serves typed requests from N worker shards, batching as it goes.
+//! let runtime = Runtime::serve(registry, RuntimeConfig::builder().workers(2).build()?)?;
+//! let reply = runtime.infer(InferenceRequest::new(
+//!     "digits",
+//!     Tensor::from_vec(vec![4], vec![1.0, 0.0, 0.5, 0.5])?,
+//! ))?;
 //! println!("class {} in {:?}", reply.predicted, reply.latency);
 //! let stats = runtime.shutdown()?;
 //! assert_eq!(stats.completed, 1);
+//! assert_eq!(stats.models[0].id, "digits");
 //! # Ok::<(), shenjing_core::Error>(())
 //! ```
 
@@ -60,8 +84,12 @@ pub mod engine;
 pub mod model;
 pub mod server;
 pub mod stats;
+pub mod wire;
 
 pub use engine::{Engine, EngineKind};
-pub use model::CompiledModel;
-pub use server::{EnginePolicy, InferenceReply, PendingReply, Runtime, RuntimeConfig};
-pub use stats::RuntimeStats;
+pub use model::{CompiledModel, ModelRegistry, ServeOptions};
+pub use server::{
+    EnginePolicy, InferenceReply, InferenceRequest, PendingReply, Runtime, RuntimeConfig,
+    RuntimeConfigBuilder, DEFAULT_MODEL_ID,
+};
+pub use stats::{ModelStats, RuntimeStats};

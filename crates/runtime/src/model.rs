@@ -1,8 +1,11 @@
-//! The compiled-artifact layer: build once, instantiate per worker.
+//! The compiled-artifact layer: build once, instantiate per worker —
+//! and the [`ModelRegistry`] that holds many compiled artifacts for the
+//! multi-model serving tier.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use shenjing_core::{ArchSpec, Result};
+use shenjing_core::{ArchSpec, Error, Result};
 use shenjing_mapper::{Mapper, Mapping};
 use shenjing_sim::{BatchSim, CycleSim, DecodedProgram};
 use shenjing_snn::SnnNetwork;
@@ -125,6 +128,184 @@ impl CompiledModel {
     }
 }
 
+/// Per-model serving policy, set when a model is registered.
+///
+/// ```
+/// use std::time::Duration;
+/// use shenjing_runtime::ServeOptions;
+///
+/// let opts = ServeOptions::default()
+///     .with_priority(2)
+///     .with_deadline(Duration::from_millis(50))
+///     .with_warm_replicas(2);
+/// assert_eq!(opts.priority, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServeOptions {
+    /// Scheduling priority; higher-priority requests dequeue first.
+    /// A request's own priority, when set, overrides this default.
+    pub priority: u8,
+    /// Default deadline budget (SLO) applied to requests that carry none:
+    /// a request unanswered this long after submission is dropped instead
+    /// of burning a lane. `None` means requests wait indefinitely.
+    pub deadline: Option<Duration>,
+    /// How many worker shards pre-instantiate this model's chip replicas
+    /// at startup (capped at the runtime's worker count). Remaining
+    /// workers instantiate on first use (~one replica-instantiation cost,
+    /// counted in [`RuntimeStats::cold_starts`](crate::RuntimeStats)).
+    pub warm_replicas: usize,
+    /// Rate-coding spike-train length for this model's frames, overriding
+    /// the runtime-wide [`RuntimeConfig::timesteps`](crate::RuntimeConfig)
+    /// when set — a cheap knob to serve a large model at a shorter train
+    /// next to small models at full fidelity.
+    pub timesteps: Option<u32>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { priority: 0, deadline: None, warm_replicas: 1, timesteps: None }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the scheduling priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> ServeOptions {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the default deadline budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> ServeOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the warm-replica pool size.
+    #[must_use]
+    pub fn with_warm_replicas(mut self, workers: usize) -> ServeOptions {
+        self.warm_replicas = workers;
+        self
+    }
+
+    /// Sets a per-model spike-train length override.
+    #[must_use]
+    pub fn with_timesteps(mut self, timesteps: u32) -> ServeOptions {
+        self.timesteps = Some(timesteps);
+        self
+    }
+}
+
+/// One registered model: id, artifact, policy.
+#[derive(Debug, Clone)]
+pub(crate) struct ModelEntry {
+    pub(crate) id: String,
+    pub(crate) model: CompiledModel,
+    pub(crate) options: ServeOptions,
+}
+
+/// Many compiled artifacts registered under string ids, the unit a
+/// [`Runtime`](crate::Runtime) serves.
+///
+/// Replica instantiation from a [`CompiledModel`] is cheap (the decoded
+/// program is `Arc`-shared), so a registry of heterogeneous models — the
+/// paper's Table III zoo hosted on one accelerator — costs one decode per
+/// model plus per-worker chip state for the warm pools.
+///
+/// ```
+/// use shenjing_core::{ArchSpec, W5};
+/// use shenjing_runtime::{CompiledModel, ModelRegistry, ServeOptions};
+/// use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+///
+/// let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+///     SpikingDense::new(vec![W5::new(3)?; 8], 4, 2, 5, 1.0)?,
+/// )])?;
+/// let model = CompiledModel::compile(&ArchSpec::tiny(), &snn)?;
+/// let mut registry = ModelRegistry::new();
+/// registry.register("digits", model, ServeOptions::default())?;
+/// assert_eq!(registry.len(), 1);
+/// assert!(registry.get("digits").is_some());
+/// # Ok::<(), shenjing_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers `model` under `id` with the given serving policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an empty or duplicate id.
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        model: CompiledModel,
+        options: ServeOptions,
+    ) -> Result<()> {
+        let id = id.into();
+        if id.is_empty() {
+            return Err(Error::config("model id must be non-empty"));
+        }
+        if self.entries.iter().any(|e| e.id == id) {
+            return Err(Error::config(format!("model `{id}` is already registered")));
+        }
+        self.entries.push(ModelEntry { id, model, options });
+        Ok(())
+    }
+
+    /// Builder-style [`register`](ModelRegistry::register).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`register`](ModelRegistry::register).
+    pub fn with_model(
+        mut self,
+        id: impl Into<String>,
+        model: CompiledModel,
+        options: ServeOptions,
+    ) -> Result<ModelRegistry> {
+        self.register(id, model, options)?;
+        Ok(self)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.id.as_str())
+    }
+
+    /// The compiled artifact registered under `id`.
+    pub fn get(&self, id: &str) -> Option<&CompiledModel> {
+        self.entries.iter().find(|e| e.id == id).map(|e| &e.model)
+    }
+
+    /// The serving policy registered under `id`.
+    pub fn options(&self, id: &str) -> Option<&ServeOptions> {
+        self.entries.iter().find(|e| e.id == id).map(|e| &e.options)
+    }
+
+    pub(crate) fn into_entries(self) -> Vec<ModelEntry> {
+        self.entries
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +333,21 @@ mod tests {
         assert!(Arc::ptr_eq(a.decoded(), b.decoded()), "one artifact, many replicas");
         let input = Tensor::from_vec(vec![8], vec![0.9; 8]).unwrap();
         assert_eq!(a.run_frame(&input, 7).unwrap(), b.run_frame(&input, 7).unwrap());
+    }
+
+    #[test]
+    fn registry_rejects_duplicate_and_empty_ids() {
+        let model = model();
+        let mut registry = ModelRegistry::new();
+        registry.register("a", model.clone(), ServeOptions::default()).unwrap();
+        assert!(registry.register("a", model.clone(), ServeOptions::default()).is_err());
+        assert!(registry.register("", model.clone(), ServeOptions::default()).is_err());
+        let registry =
+            registry.with_model("b", model, ServeOptions::default().with_priority(3)).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.ids().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(registry.options("b").unwrap().priority, 3);
+        assert!(registry.get("missing").is_none());
     }
 
     #[test]

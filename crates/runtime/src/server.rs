@@ -1,19 +1,26 @@
-//! The scheduler/serving layer: request queue, batching policy, workers,
-//! and the adaptive per-batch engine dispatch.
+//! The multi-model scheduler/serving layer: a registry of compiled
+//! models behind one admission-controlled request queue, deadline-aware
+//! dequeue ordering, per-model batch formation, worker shards, and the
+//! adaptive per-batch engine dispatch.
 
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use shenjing_core::{Error, Result};
+use shenjing_core::{Error, RejectReason, Result};
 use shenjing_nn::Tensor;
 use shenjing_snn::SnnOutput;
 
 use crate::engine::{Engine, EngineKind};
-use crate::model::CompiledModel;
+use crate::model::{CompiledModel, ModelEntry, ModelRegistry, ServeOptions};
 use crate::stats::{RuntimeStats, StatsInner};
+
+/// The id the deprecated single-model [`Runtime::start`] shim registers
+/// its model under.
+pub const DEFAULT_MODEL_ID: &str = "default";
 
 /// How a [`Runtime`] picks the engine for each gathered batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,18 +34,28 @@ pub enum EnginePolicy {
     ForceBatched,
 }
 
-/// Batching and sharding policy of a [`Runtime`].
+/// Batching, sharding and admission policy of a [`Runtime`].
+///
+/// Construct it with struct syntax plus `..Default::default()`, or
+/// through the validating [`builder`](RuntimeConfig::builder).
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Worker shards; each owns one chip replica per enabled engine.
+    /// Worker shards; each owns one chip replica per enabled engine for
+    /// every model it has served (see
+    /// [`ServeOptions::warm_replicas`](crate::ServeOptions)).
     pub workers: usize,
     /// Largest batch a worker executes in one pass (its lane count).
+    /// Batches never mix models: a pass serves one model's requests.
     pub max_batch: usize,
     /// How long a worker holds an under-full batch open for stragglers,
-    /// measured from the oldest queued request's enqueue time.
+    /// measured from the oldest queued request's enqueue time — and
+    /// capped by the earliest deadline among the gathered model's queued
+    /// requests, so a straggler wait never expires its own batch.
     pub max_wait: Duration,
     /// Rate-coding spike-train length applied to every frame (batches
-    /// must be uniform: the block schedule is static).
+    /// must be uniform: the block schedule is static). A model registered
+    /// with [`ServeOptions::timesteps`](crate::ServeOptions) overrides
+    /// this for its own frames.
     pub timesteps: u32,
     /// Engine dispatch policy. With the batched engine occupancy-bound
     /// (its plan occupies exactly the gathered lanes, so an `n`-frame
@@ -59,6 +76,11 @@ pub struct RuntimeConfig {
     /// both estimates keep tracking the traffic. Force modes pin the
     /// engine for experiments and regression benches.
     pub engine: EnginePolicy,
+    /// Admission bound: requests beyond this many pending are rejected
+    /// with [`RejectReason::QueueFull`] instead of queued — backpressure
+    /// the caller sees immediately, rather than unbounded memory and
+    /// latency it discovers later.
+    pub queue_depth: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -69,11 +91,25 @@ impl Default for RuntimeConfig {
             max_wait: Duration::from_millis(2),
             timesteps: 20,
             engine: EnginePolicy::Auto,
+            queue_depth: 256,
         }
     }
 }
 
 impl RuntimeConfig {
+    /// A validating builder starting from the defaults.
+    ///
+    /// ```
+    /// use shenjing_runtime::RuntimeConfig;
+    /// let config = RuntimeConfig::builder().workers(4).max_batch(8).build()?;
+    /// assert_eq!(config.workers, 4);
+    /// assert!(RuntimeConfig::builder().workers(0).build().is_err());
+    /// # Ok::<(), shenjing_core::Error>(())
+    /// ```
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { config: RuntimeConfig::default() }
+    }
+
     fn validate(&self) -> Result<()> {
         if self.workers == 0 {
             return Err(Error::config("runtime needs at least one worker"));
@@ -84,13 +120,141 @@ impl RuntimeConfig {
         if self.timesteps == 0 {
             return Err(Error::config("timesteps must be positive"));
         }
+        if self.queue_depth == 0 {
+            return Err(Error::config("queue_depth must be positive"));
+        }
+        if self.max_batch > self.queue_depth {
+            return Err(Error::config(format!(
+                "max_batch ({}) exceeds queue_depth ({}): no full batch could ever be admitted",
+                self.max_batch, self.queue_depth
+            )));
+        }
         Ok(())
     }
 }
 
-/// One answered inference request.
+/// Builder for [`RuntimeConfig`] whose [`build`](RuntimeConfigBuilder::build)
+/// rejects zero workers/batch/timesteps/queue depth and contradictory
+/// settings (`max_batch > queue_depth`) with typed
+/// [`Error::InvalidConfig`] values.
 #[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the worker shard count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> RuntimeConfigBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the largest batch a worker executes in one pass.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> RuntimeConfigBuilder {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the straggler window an under-full batch is held open for.
+    #[must_use]
+    pub fn max_wait(mut self, max_wait: Duration) -> RuntimeConfigBuilder {
+        self.config.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the default rate-coding spike-train length.
+    #[must_use]
+    pub fn timesteps(mut self, timesteps: u32) -> RuntimeConfigBuilder {
+        self.config.timesteps = timesteps;
+        self
+    }
+
+    /// Sets the engine dispatch policy.
+    #[must_use]
+    pub fn engine(mut self, engine: EnginePolicy) -> RuntimeConfigBuilder {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the admission bound on pending requests.
+    #[must_use]
+    pub fn queue_depth(mut self, queue_depth: usize) -> RuntimeConfigBuilder {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero workers, batch size,
+    /// timesteps or queue depth, and for `max_batch > queue_depth`.
+    pub fn build(self) -> Result<RuntimeConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// One typed inference request: which model, what input, and how urgent.
+///
+/// Round-trips through the wire format (see [`wire`](crate::wire)), so a
+/// remote client submits exactly what a local caller constructs.
+///
+/// ```
+/// use std::time::Duration;
+/// use shenjing_nn::Tensor;
+/// use shenjing_runtime::InferenceRequest;
+///
+/// let request = InferenceRequest::new("digits", Tensor::zeros(vec![4]))
+///     .with_deadline(Duration::from_millis(20))
+///     .with_priority(3);
+/// assert_eq!(request.model_id, "digits");
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InferenceRequest {
+    /// Which registered model should serve the frame.
+    pub model_id: String,
+    /// The input frame (must match the model's input length).
+    pub input: Tensor,
+    /// Deadline budget measured from submission: if unanswered this long
+    /// after [`submit`](Runtime::submit), the request is dropped instead
+    /// of burning a lane. `None` falls back to the model's
+    /// [`ServeOptions::deadline`](crate::ServeOptions); a zero budget is
+    /// rejected at admission.
+    pub deadline: Option<Duration>,
+    /// Scheduling priority (higher dequeues first). `None` falls back to
+    /// the model's [`ServeOptions::priority`](crate::ServeOptions).
+    pub priority: Option<u8>,
+}
+
+impl InferenceRequest {
+    /// A request for `model_id` with the model's registered defaults.
+    pub fn new(model_id: impl Into<String>, input: Tensor) -> InferenceRequest {
+        InferenceRequest { model_id: model_id.into(), input, deadline: None, priority: None }
+    }
+
+    /// Sets a per-request deadline budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> InferenceRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a per-request priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> InferenceRequest {
+        self.priority = Some(priority);
+        self
+    }
+}
+
+/// One answered inference request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InferenceReply {
+    /// Which registered model served the frame.
+    pub model_id: String,
     /// The frame's full spiking output.
     pub output: SnnOutput,
     /// Convenience: `output.predicted_class()`.
@@ -106,23 +270,94 @@ pub struct InferenceReply {
 }
 
 struct Request {
+    model: usize,
     input: Tensor,
     enqueued: Instant,
+    /// Absolute expiry, resolved at admission from the request's budget
+    /// (or the model's default SLO).
+    deadline: Option<Instant>,
+    priority: u8,
+    /// Admission order, the FIFO tie-breaker.
+    seq: u64,
     reply: mpsc::Sender<Result<InferenceReply>>,
+}
+
+/// The dequeue order: priority (higher first), then deadline (earlier
+/// first, deadline-less last), then admission order.
+fn schedule_order(a: &Request, b: &Request) -> Ordering {
+    b.priority
+        .cmp(&a.priority)
+        .then_with(|| match (a.deadline, b.deadline) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => Ordering::Equal,
+        })
+        .then_with(|| a.seq.cmp(&b.seq))
 }
 
 struct QueueInner {
     pending: VecDeque<Request>,
+    next_seq: u64,
     shutdown: bool,
+}
+
+/// Aggregate counters plus one [`StatsInner`] per registered model, all
+/// under one lock so a request's counts move together.
+struct AllStats {
+    aggregate: StatsInner,
+    per_model: Vec<StatsInner>,
+}
+
+impl AllStats {
+    /// The two counter sets a model's event lands in.
+    fn both(&mut self, model: usize) -> [&mut StatsInner; 2] {
+        [&mut self.aggregate, &mut self.per_model[model]]
+    }
+}
+
+/// One registered model, resolved for serving.
+struct ModelRuntime {
+    id: String,
+    model: CompiledModel,
+    options: ServeOptions,
+    input_len: usize,
 }
 
 struct Shared {
     queue: Mutex<QueueInner>,
     /// Signalled on submit and on shutdown.
     arrivals: Condvar,
-    stats: Mutex<StatsInner>,
+    /// Lock order: `queue` before `stats`, never the reverse.
+    stats: Mutex<AllStats>,
+    models: Vec<ModelRuntime>,
     started: Instant,
     config: RuntimeConfig,
+}
+
+impl Shared {
+    /// Drops every expired request in `pending`, answering each with
+    /// [`RejectReason::DeadlineExpired`] — fail fast, no lane burned.
+    /// Caller holds the queue lock; the stats lock is taken inside
+    /// (queue→stats order).
+    fn sweep_expired(&self, pending: &mut VecDeque<Request>, now: Instant) {
+        if pending.iter().all(|r| r.deadline.is_none_or(|d| d > now)) {
+            return;
+        }
+        let mut stats = self.stats.lock().expect("stats lock");
+        let mut kept = VecDeque::with_capacity(pending.len());
+        for request in pending.drain(..) {
+            if request.deadline.is_some_and(|d| d <= now) {
+                for s in stats.both(request.model) {
+                    s.expired_in_queue += 1;
+                }
+                let _ = request.reply.send(Err(Error::rejected(RejectReason::DeadlineExpired)));
+            } else {
+                kept.push_back(request);
+            }
+        }
+        *pending = kept;
+    }
 }
 
 /// A handle on a submitted request; resolve it with
@@ -137,7 +372,8 @@ impl PendingReply {
     ///
     /// # Errors
     ///
-    /// Propagates the frame's simulation error, or
+    /// Propagates the frame's simulation error, returns
+    /// [`Error::Rejected`] when the request expired in the queue, or
     /// [`Error::InvalidConfig`] when the runtime shut down before
     /// answering.
     pub fn wait(self) -> Result<InferenceReply> {
@@ -145,36 +381,47 @@ impl PendingReply {
     }
 }
 
-/// A batched, sharded inference server over a [`CompiledModel`] with
-/// adaptive engine dispatch.
+/// A batched, sharded, multi-model inference server over a
+/// [`ModelRegistry`] with admission control, deadline-aware scheduling
+/// and adaptive engine dispatch.
 ///
-/// Requests enter one shared queue; each of `workers` shards owns chip
-/// replicas of the enabled engines, gathers up to `max_batch` requests
-/// (waiting at most `max_wait` from the oldest request for stragglers),
-/// and advances them on whichever engine the [`EnginePolicy`] picks —
-/// bit-identically either way.
+/// Requests enter one shared, depth-bounded queue as typed
+/// [`InferenceRequest`]s; each of `workers` shards picks the
+/// highest-priority / earliest-deadline request, gathers up to
+/// `max_batch` requests **of that request's model** (batches never mix
+/// models — the compiled schedule is per-model), and advances them on
+/// whichever engine the [`EnginePolicy`] picks — bit-identically either
+/// way. Expired requests are dropped at admission, in the queue, and at
+/// batch formation without occupying a lane.
 ///
 /// ```
 /// use shenjing_core::{ArchSpec, W5};
 /// use shenjing_nn::Tensor;
-/// use shenjing_runtime::{CompiledModel, Runtime, RuntimeConfig};
+/// use shenjing_runtime::{
+///     CompiledModel, InferenceRequest, ModelRegistry, Runtime, RuntimeConfig, ServeOptions,
+/// };
 /// use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
 ///
 /// let snn = SnnNetwork::new(vec![SnnLayer::Dense(
 ///     SpikingDense::new(vec![W5::new(4)?; 8], 4, 2, 6, 1.0)?,
 /// )])?;
 /// let model = CompiledModel::compile(&ArchSpec::tiny(), &snn)?;
-/// let runtime = Runtime::start(model, RuntimeConfig::default())?;
-/// let reply = runtime.infer(Tensor::from_vec(vec![4], vec![1.0, 0.5, 0.0, 0.25])?)?;
+/// let registry = ModelRegistry::new().with_model("digits", model, ServeOptions::default())?;
+/// let runtime = Runtime::serve(registry, RuntimeConfig::default())?;
+/// let reply = runtime.infer(InferenceRequest::new(
+///     "digits",
+///     Tensor::from_vec(vec![4], vec![1.0, 0.5, 0.0, 0.25])?,
+/// ))?;
+/// assert_eq!(reply.model_id, "digits");
 /// assert_eq!(reply.output.spike_counts.len(), 2);
 /// let stats = runtime.shutdown()?;
 /// assert_eq!(stats.completed, 1);
+/// assert_eq!(stats.models[0].stats.completed, 1);
 /// # Ok::<(), shenjing_core::Error>(())
 /// ```
 pub struct Runtime {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    input_len: usize,
 }
 
 /// One engine replica a worker can dispatch to, with its measured cost.
@@ -221,8 +468,8 @@ impl EngineSlot {
     }
 }
 
-/// One worker shard's engines: replicas are only instantiated for the
-/// engines its policy can dispatch to.
+/// One worker shard's engines **for one model**: replicas are only
+/// instantiated for the engines its policy can dispatch to.
 struct WorkerEngines {
     sequential: Option<EngineSlot>,
     batched: Option<EngineSlot>,
@@ -244,6 +491,22 @@ impl WorkerEngines {
         }
         .expect("the policy keeps a replica for every engine it can pick")
     }
+}
+
+/// Instantiates the engine replicas one worker needs for one model.
+fn build_worker_engines(model: &CompiledModel, config: &RuntimeConfig) -> Result<WorkerEngines> {
+    let sequential: Option<EngineSlot> = match config.engine {
+        EnginePolicy::ForceBatched => None,
+        _ => Some(EngineSlot::new(Box::new(model.instantiate()?), config.max_batch)),
+    };
+    let batched: Option<EngineSlot> = match config.engine {
+        EnginePolicy::ForceSequential => None,
+        _ => Some(EngineSlot::new(
+            Box::new(model.instantiate_batched(config.max_batch)?),
+            config.max_batch,
+        )),
+    };
+    Ok(WorkerEngines { sequential, batched, probes: ProbeState::default() })
 }
 
 /// EMA smoothing factor for the engine cost measurements.
@@ -331,42 +594,63 @@ fn pick_engine(
 }
 
 impl Runtime {
-    /// Compiles nothing — the model is already built — but instantiates
-    /// the per-worker chip replicas the dispatch policy needs and starts
-    /// the shards.
+    /// Starts serving every model in `registry` from `workers` shards.
+    ///
+    /// Warm pools are instantiated here, on the caller's thread, so a
+    /// bad program fails fast: worker `w` pre-instantiates a model's
+    /// replicas iff `w < warm_replicas` (capped at the worker count).
+    /// Other workers instantiate on first use, counted in
+    /// [`RuntimeStats::cold_starts`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] for a zero worker/batch/timestep
-    /// configuration and propagates replica instantiation errors.
-    pub fn start(model: CompiledModel, config: RuntimeConfig) -> Result<Runtime> {
+    /// Returns [`Error::InvalidConfig`] for an invalid configuration
+    /// (see [`RuntimeConfig::builder`]) or an empty registry, and
+    /// propagates replica instantiation errors.
+    pub fn serve(registry: ModelRegistry, config: RuntimeConfig) -> Result<Runtime> {
         config.validate()?;
-        let input_len = model.input_len();
-        // Instantiate every replica before spawning anything, so a bad
-        // program fails fast on the caller's thread.
-        let mut engines = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let sequential: Option<EngineSlot> = match config.engine {
-                EnginePolicy::ForceBatched => None,
-                _ => Some(EngineSlot::new(Box::new(model.instantiate()?), config.max_batch)),
-            };
-            let batched: Option<EngineSlot> = match config.engine {
-                EnginePolicy::ForceSequential => None,
-                _ => Some(EngineSlot::new(
-                    Box::new(model.instantiate_batched(config.max_batch)?),
-                    config.max_batch,
-                )),
-            };
-            engines.push(WorkerEngines { sequential, batched, probes: ProbeState::default() });
+        if registry.is_empty() {
+            return Err(Error::config("registry must hold at least one model"));
         }
+        let entries: Vec<ModelEntry> = registry.into_entries();
+        let models: Vec<ModelRuntime> = entries
+            .into_iter()
+            .map(|e| ModelRuntime {
+                input_len: e.model.input_len(),
+                id: e.id,
+                model: e.model,
+                options: e.options,
+            })
+            .collect();
+        // Per-worker, per-model engine slots; `None` until warmed or
+        // cold-started.
+        let mut worker_engines: Vec<Vec<Option<WorkerEngines>>> = Vec::new();
+        for w in 0..config.workers {
+            let mut slots = Vec::with_capacity(models.len());
+            for m in &models {
+                let warm = w < m.options.warm_replicas.min(config.workers);
+                slots.push(if warm {
+                    Some(build_worker_engines(&m.model, &config)?)
+                } else {
+                    None
+                });
+            }
+            worker_engines.push(slots);
+        }
+        let per_model = vec![StatsInner::default(); models.len()];
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueInner { pending: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(QueueInner {
+                pending: VecDeque::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
             arrivals: Condvar::new(),
-            stats: Mutex::new(StatsInner::default()),
+            stats: Mutex::new(AllStats { aggregate: StatsInner::default(), per_model }),
+            models,
             started: Instant::now(),
             config,
         });
-        let workers = engines
+        let workers = worker_engines
             .into_iter()
             .enumerate()
             .map(|(id, engines)| {
@@ -374,58 +658,139 @@ impl Runtime {
                 std::thread::spawn(move || worker_loop(id, engines, &shared))
             })
             .collect();
-        Ok(Runtime { shared, workers, input_len })
+        Ok(Runtime { shared, workers })
     }
 
-    /// Enqueues one frame and returns immediately with a handle.
+    /// Single-model compatibility shim: registers `model` as
+    /// [`DEFAULT_MODEL_ID`] with every worker warm and starts serving.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ShapeMismatch`] for a wrong-length input and
-    /// [`Error::InvalidConfig`] after shutdown.
-    pub fn submit(&self, input: Tensor) -> Result<PendingReply> {
-        if input.len() != self.input_len {
+    /// Same as [`serve`](Runtime::serve).
+    #[deprecated(since = "0.1.0", note = "use Runtime::serve with a ModelRegistry")]
+    pub fn start(model: CompiledModel, config: RuntimeConfig) -> Result<Runtime> {
+        let options = ServeOptions::default().with_warm_replicas(config.workers);
+        let registry = ModelRegistry::new().with_model(DEFAULT_MODEL_ID, model, options)?;
+        Runtime::serve(registry, config)
+    }
+
+    /// The registered model ids, in registration order.
+    pub fn model_ids(&self) -> Vec<String> {
+        self.shared.models.iter().map(|m| m.id.clone()).collect()
+    }
+
+    /// Enqueues one request and returns immediately with a handle.
+    ///
+    /// Admission control happens here: unknown model ids, zero deadline
+    /// budgets, a full queue and a shutting-down runtime are refused
+    /// with typed [`Error::Rejected`] reasons (each counted in
+    /// [`RuntimeStats`]); wrong-length inputs are a caller bug and fail
+    /// with [`Error::ShapeMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Rejected`] (match on
+    /// [`reject_reason`](Error::reject_reason)) or
+    /// [`Error::ShapeMismatch`].
+    pub fn submit(&self, request: InferenceRequest) -> Result<PendingReply> {
+        let InferenceRequest { model_id, input, deadline, priority } = request;
+        let Some(model) = self.shared.models.iter().position(|m| m.id == model_id) else {
+            let mut stats = self.shared.stats.lock().expect("stats lock");
+            stats.aggregate.rejected_unknown_model += 1;
+            return Err(Error::rejected(RejectReason::UnknownModel { id: model_id }));
+        };
+        let entry = &self.shared.models[model];
+        if input.len() != entry.input_len {
             return Err(Error::shape_mismatch(
-                format!("{} inputs", self.input_len),
+                format!("{} inputs for model `{model_id}`", entry.input_len),
                 format!("{}", input.len()),
             ));
         }
+        let budget = deadline.or(entry.options.deadline);
+        if budget.is_some_and(|b| b.is_zero()) {
+            let mut stats = self.shared.stats.lock().expect("stats lock");
+            for s in stats.both(model) {
+                s.rejected_deadline += 1;
+            }
+            return Err(Error::rejected(RejectReason::DeadlineExpired));
+        }
+        let priority = priority.unwrap_or(entry.options.priority);
         let (tx, rx) = mpsc::channel();
         {
             let mut queue = self.shared.queue.lock().expect("queue lock");
             if queue.shutdown {
-                return Err(Error::config("runtime is shut down"));
+                return Err(Error::rejected(RejectReason::ShuttingDown));
             }
-            queue.pending.push_back(Request { input, enqueued: Instant::now(), reply: tx });
+            if queue.pending.len() >= self.shared.config.queue_depth {
+                let limit = self.shared.config.queue_depth;
+                let mut stats = self.shared.stats.lock().expect("stats lock");
+                for s in stats.both(model) {
+                    s.rejected_queue_full += 1;
+                }
+                return Err(Error::rejected(RejectReason::QueueFull { limit }));
+            }
+            let now = Instant::now();
+            let seq = queue.next_seq;
+            queue.next_seq += 1;
+            queue.pending.push_back(Request {
+                model,
+                input,
+                enqueued: now,
+                deadline: budget.map(|b| now + b),
+                priority,
+                seq,
+                reply: tx,
+            });
         }
-        self.shared.arrivals.notify_one();
+        // `notify_all`, not `notify_one`: the one woken worker might be
+        // mid-straggler-wait on another model's batch and go back to
+        // sleep, leaving this request to idle workers that never heard.
+        self.shared.arrivals.notify_all();
         Ok(PendingReply { rx })
     }
 
-    /// Submits one frame and blocks for its reply.
+    /// Submits one request and blocks for its reply.
     ///
     /// # Errors
     ///
     /// See [`submit`](Runtime::submit) and [`PendingReply::wait`].
-    pub fn infer(&self, input: Tensor) -> Result<InferenceReply> {
-        self.submit(input)?.wait()
+    pub fn infer(&self, request: InferenceRequest) -> Result<InferenceReply> {
+        self.submit(request)?.wait()
     }
 
-    /// Submits every frame, then waits for all replies in input order.
+    /// Submits every request, then waits for all replies in input order.
     ///
     /// # Errors
     ///
-    /// Fails on the first frame whose submission or execution fails.
-    pub fn infer_many(&self, inputs: &[Tensor]) -> Result<Vec<InferenceReply>> {
+    /// Fails on the first request whose submission or execution fails.
+    pub fn infer_many(&self, requests: &[InferenceRequest]) -> Result<Vec<InferenceReply>> {
         let pending: Vec<PendingReply> =
-            inputs.iter().map(|x| self.submit(x.clone())).collect::<Result<_>>()?;
+            requests.iter().map(|r| self.submit(r.clone())).collect::<Result<_>>()?;
         pending.into_iter().map(PendingReply::wait).collect()
     }
 
-    /// A snapshot of the aggregate serving statistics.
+    /// A snapshot of the aggregate serving statistics, with one
+    /// [`ModelStats`](crate::ModelStats) per registered model in
+    /// [`RuntimeStats::models`].
     pub fn stats(&self) -> RuntimeStats {
-        let inner = self.shared.stats.lock().expect("stats lock");
-        RuntimeStats::snapshot(&inner, self.shared.started.elapsed())
+        let stats = self.shared.stats.lock().expect("stats lock");
+        self.snapshot(&stats)
+    }
+
+    /// The statistics of one registered model, or `None` for an unknown
+    /// id.
+    pub fn model_stats(&self, id: &str) -> Option<RuntimeStats> {
+        let model = self.shared.models.iter().position(|m| m.id == id)?;
+        let stats = self.shared.stats.lock().expect("stats lock");
+        Some(RuntimeStats::snapshot(&stats.per_model[model], self.shared.started.elapsed()))
+    }
+
+    fn snapshot(&self, stats: &MutexGuard<'_, AllStats>) -> RuntimeStats {
+        RuntimeStats::snapshot_with_models(
+            &stats.aggregate,
+            self.shared.models.iter().map(|m| m.id.as_str()).zip(stats.per_model.iter()),
+            self.shared.started.elapsed(),
+        )
     }
 
     /// Stops accepting requests, drains the queue, joins the workers and
@@ -462,42 +827,60 @@ impl Drop for Runtime {
     }
 }
 
-/// Gathers a batch according to the max-batch/max-wait policy, picks an
-/// engine per the dispatch policy, runs it, and answers every request in
-/// it. On shutdown, drains the queue first.
-fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
+/// Picks the most urgent queued request, gathers a single-model batch
+/// around it per the max-batch/max-wait policy (capped by that model's
+/// earliest queued deadline), sweeps expired requests out without
+/// burning lanes, picks an engine per the dispatch policy, runs it, and
+/// answers every rider. On shutdown, drains the queue first.
+fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shared) {
     let config = &shared.config;
-    loop {
-        let batch = {
+    'serve: loop {
+        let (model, batch) = {
             let mut queue = shared.queue.lock().expect("queue lock");
-            // Sleep until there is work or the runtime stops.
-            while queue.pending.is_empty() {
-                if queue.shutdown {
-                    return;
+            loop {
+                while queue.pending.is_empty() {
+                    if queue.shutdown {
+                        return;
+                    }
+                    queue = shared.arrivals.wait(queue).expect("queue lock");
                 }
-                queue = shared.arrivals.wait(queue).expect("queue lock");
-            }
-            // Hold the batch open for stragglers, bounded by the oldest
-            // request's deadline.
-            let deadline = queue.pending.front().expect("non-empty").enqueued + config.max_wait;
-            while queue.pending.len() < config.max_batch && !queue.shutdown {
+                // Expired requests fail fast here — before one could be
+                // picked as the batch head or ride along in a batch.
+                shared.sweep_expired(&mut queue.pending, Instant::now());
+                if queue.pending.is_empty() {
+                    continue;
+                }
+                // The batch forms around the most urgent request; only
+                // its model's requests may ride along.
+                let head =
+                    queue.pending.iter().min_by(|a, b| schedule_order(a, b)).expect("non-empty");
+                let (model, head_enqueued) = (head.model, head.enqueued);
+                let gathered = queue.pending.iter().filter(|r| r.model == model);
+                let count = gathered.clone().count();
+                if count >= config.max_batch || queue.shutdown {
+                    break (model, take_batch(&mut queue.pending, model, config.max_batch));
+                }
+                // Hold the batch open for stragglers — but never past the
+                // earliest deadline it would have to answer.
+                let mut wait_until = head_enqueued + config.max_wait;
+                if let Some(earliest) = gathered.clone().filter_map(|r| r.deadline).min() {
+                    wait_until = wait_until.min(earliest);
+                }
                 let now = Instant::now();
-                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                let Some(remaining) =
+                    wait_until.checked_duration_since(now).filter(|d| !d.is_zero())
                 else {
-                    break;
+                    break (model, take_batch(&mut queue.pending, model, config.max_batch));
                 };
-                let (q, timeout) =
+                let (q, _timeout) =
                     shared.arrivals.wait_timeout(queue, remaining).expect("queue lock");
                 queue = q;
-                if timeout.timed_out() {
-                    break;
-                }
+                // Loop around: re-sweep, re-pick (a higher-priority
+                // arrival may have moved the head), re-count.
             }
-            let take = queue.pending.len().min(config.max_batch);
-            queue.pending.drain(..take).collect::<Vec<Request>>()
         };
         if batch.is_empty() {
-            continue;
+            continue 'serve;
         }
 
         // Move the tensors out instead of cloning them onto the hot path;
@@ -513,21 +896,48 @@ fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
             .map(|t| t.data().iter().sum::<f64>() / t.len().max(1) as f64)
             .sum::<f64>()
             / frames as f64;
+
+        // Outside the warm pool this worker instantiates on first use —
+        // one cold start per (worker, model), then the replicas persist.
+        if engines[model].is_none() {
+            match build_worker_engines(&shared.models[model].model, config) {
+                Ok(built) => {
+                    engines[model] = Some(built);
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    for s in stats.both(model) {
+                        s.cold_starts += 1;
+                    }
+                }
+                Err(e) => {
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    for s in stats.both(model) {
+                        s.failed += frames as u64;
+                    }
+                    drop(stats);
+                    for (_, reply_tx) in meta {
+                        let _ = reply_tx.send(Err(e.clone()));
+                    }
+                    continue 'serve;
+                }
+            }
+        }
+        let model_engines = engines[model].as_mut().expect("instantiated above");
+        let timesteps = shared.models[model].options.timesteps.unwrap_or(config.timesteps);
         let engine = pick_engine(
             config.engine,
             frames,
-            engines.estimate(EngineKind::Sequential, frames),
-            engines.estimate(EngineKind::Batched, frames),
-            &mut engines.probes,
+            model_engines.estimate(EngineKind::Sequential, frames),
+            model_engines.estimate(EngineKind::Batched, frames),
+            &mut model_engines.probes,
         );
 
         // The uniform plan → execute → drain lifecycle over the chosen
         // replica; both engines answer per-frame verdicts through it.
-        let slot = engines.slot_mut(engine);
+        let slot = model_engines.slot_mut(engine);
         let exec_start = Instant::now();
         let results: Vec<Result<SnnOutput>> = match slot.engine.plan(frames) {
             Ok(()) => {
-                let results = slot.engine.execute(&inputs, config.timesteps);
+                let results = slot.engine.execute(&inputs, timesteps);
                 slot.engine.drain();
                 results
             }
@@ -541,32 +951,37 @@ fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
         slot.record(frames, busy.as_nanos() as f64 / frames as f64);
 
         let mut stats = shared.stats.lock().expect("stats lock");
-        stats.batches += 1;
-        stats.busy_time += busy;
-        if frames == config.max_batch {
-            stats.full_batches += 1;
-        }
-        stats.record_occupancy(frames, config.max_batch);
-        match engine {
-            EngineKind::Sequential => {
-                stats.sequential_batches += 1;
-                stats.sequential_frames += frames as u64;
+        for s in stats.both(model) {
+            s.batches += 1;
+            s.busy_time += busy;
+            if frames == config.max_batch {
+                s.full_batches += 1;
             }
-            EngineKind::Batched => {
-                stats.batched_batches += 1;
-                stats.batched_frames += frames as u64;
+            s.record_occupancy(frames, config.max_batch);
+            match engine {
+                EngineKind::Sequential => {
+                    s.sequential_batches += 1;
+                    s.sequential_frames += frames as u64;
+                }
+                EngineKind::Batched => {
+                    s.batched_batches += 1;
+                    s.batched_frames += frames as u64;
+                }
             }
+            s.density_weighted_sum += density * frames as f64;
         }
-        stats.density_weighted_sum += density * frames as f64;
         for ((enqueued, reply_tx), result) in meta.into_iter().zip(results) {
             match result {
                 Ok(output) => {
                     let latency = answered.duration_since(enqueued);
-                    stats.completed += 1;
-                    stats.total_latency += latency;
-                    stats.max_latency = stats.max_latency.max(latency);
-                    stats.record_latency(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                    for s in stats.both(model) {
+                        s.completed += 1;
+                        s.total_latency += latency;
+                        s.max_latency = s.max_latency.max(latency);
+                        s.record_latency(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                    }
                     let reply = InferenceReply {
+                        model_id: shared.models[model].id.clone(),
                         predicted: output.predicted_class(),
                         output,
                         latency,
@@ -577,12 +992,29 @@ fn worker_loop(id: usize, mut engines: WorkerEngines, shared: &Shared) {
                     let _ = reply_tx.send(Ok(reply));
                 }
                 Err(e) => {
-                    stats.failed += 1;
+                    for s in stats.both(model) {
+                        s.failed += 1;
+                    }
                     let _ = reply_tx.send(Err(e));
                 }
             }
         }
     }
+}
+
+/// Removes up to `max_batch` of `model`'s requests from `pending` in
+/// schedule order (see [`schedule_order`]) and returns them, most urgent
+/// first. Other models' requests stay queued untouched.
+fn take_batch(pending: &mut VecDeque<Request>, model: usize, max_batch: usize) -> Vec<Request> {
+    let mut picked: Vec<usize> =
+        pending.iter().enumerate().filter(|(_, r)| r.model == model).map(|(i, _)| i).collect();
+    picked.sort_by(|&a, &b| schedule_order(&pending[a], &pending[b]));
+    picked.truncate(max_batch);
+    // Remove back-to-front so earlier indices stay valid.
+    picked.sort_unstable_by(|a, b| b.cmp(a));
+    let mut batch: Vec<Request> = picked.into_iter().filter_map(|i| pending.remove(i)).collect();
+    batch.sort_by(schedule_order);
+    batch
 }
 
 #[cfg(test)]
@@ -592,10 +1024,22 @@ mod tests {
     use shenjing_sim::CycleSim;
     use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
 
+    /// A 12-input, 3-output model (the tests' "model A").
     fn model() -> CompiledModel {
         let weights: Vec<W5> = (0..12 * 3).map(|i| W5::saturating(i % 11 - 5)).collect();
         let snn = SnnNetwork::new(vec![SnnLayer::Dense(
             SpikingDense::new(weights, 12, 3, 4, 1.0).unwrap(),
+        )])
+        .unwrap();
+        CompiledModel::compile(&ArchSpec::tiny(), &snn).unwrap()
+    }
+
+    /// An 8-input, 2-output model (the tests' "model B") — a different
+    /// input length, so a cross-model batch could not even execute.
+    fn model_b() -> CompiledModel {
+        let weights: Vec<W5> = (0..8 * 2).map(|i| W5::saturating(i % 7 - 3)).collect();
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 8, 2, 3, 1.0).unwrap(),
         )])
         .unwrap();
         CompiledModel::compile(&ArchSpec::tiny(), &snn).unwrap()
@@ -606,21 +1050,35 @@ mod tests {
             .unwrap()
     }
 
+    fn frame_b(seed: usize) -> Tensor {
+        Tensor::from_vec(vec![8], (0..8).map(|i| ((i + seed) % 3) as f64 / 2.0).collect()).unwrap()
+    }
+
+    fn single(model: CompiledModel, config: RuntimeConfig) -> Runtime {
+        let registry =
+            ModelRegistry::new().with_model("m", model, ServeOptions::default()).unwrap();
+        Runtime::serve(registry, config).unwrap()
+    }
+
+    fn request(seed: usize) -> InferenceRequest {
+        InferenceRequest::new("m", frame(seed))
+    }
+
     #[test]
     fn serves_requests_and_matches_single_frame_sim() {
         let model = model();
         let mut reference: CycleSim = model.instantiate().unwrap();
-        let runtime = Runtime::start(
+        let runtime = single(
             model,
             RuntimeConfig { workers: 2, max_batch: 4, timesteps: 9, ..Default::default() },
-        )
-        .unwrap();
-        let inputs: Vec<Tensor> = (0..10).map(frame).collect();
-        let replies = runtime.infer_many(&inputs).unwrap();
-        for (input, reply) in inputs.iter().zip(&replies) {
-            let want = reference.run_frame(input, 9).unwrap();
+        );
+        let requests: Vec<InferenceRequest> = (0..10).map(request).collect();
+        let replies = runtime.infer_many(&requests).unwrap();
+        for (req, reply) in requests.iter().zip(&replies) {
+            let want = reference.run_frame(&req.input, 9).unwrap();
             assert_eq!(reply.output, want, "serving path must stay bit-exact");
             assert_eq!(reply.predicted, want.predicted_class());
+            assert_eq!(reply.model_id, "m");
             assert!(reply.batch_size >= 1 && reply.batch_size <= 4);
         }
         let stats = runtime.shutdown().unwrap();
@@ -639,15 +1097,19 @@ mod tests {
         assert!(stats.p95_latency <= stats.p99_latency);
         assert!(stats.p99_latency <= stats.max_latency);
         assert!(stats.mean_input_density > 0.0 && stats.mean_input_density < 1.0);
+        // The single model's view mirrors the aggregate.
+        assert_eq!(stats.models.len(), 1);
+        assert_eq!(stats.models[0].id, "m");
+        assert_eq!(stats.models[0].stats.completed, 10);
+        assert_eq!(stats.models[0].stats.batches, stats.batches);
     }
 
     #[test]
     fn batching_policy_groups_concurrent_requests() {
         // One worker, generous wait: requests submitted together should
         // share batches rather than run one by one.
-        let model = model();
-        let runtime = Runtime::start(
-            model,
+        let runtime = single(
+            model(),
             RuntimeConfig {
                 workers: 1,
                 max_batch: 8,
@@ -655,10 +1117,9 @@ mod tests {
                 timesteps: 5,
                 ..Default::default()
             },
-        )
-        .unwrap();
+        );
         let pending: Vec<PendingReply> =
-            (0..8).map(|k| runtime.submit(frame(k)).unwrap()).collect();
+            (0..8).map(|k| runtime.submit(request(k)).unwrap()).collect();
         let replies: Vec<InferenceReply> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
         assert!(
             replies.iter().any(|r| r.batch_size > 1),
@@ -676,7 +1137,7 @@ mod tests {
             (EnginePolicy::ForceSequential, EngineKind::Sequential),
             (EnginePolicy::ForceBatched, EngineKind::Batched),
         ] {
-            let runtime = Runtime::start(
+            let runtime = single(
                 model.clone(),
                 RuntimeConfig {
                     workers: 1,
@@ -685,13 +1146,12 @@ mod tests {
                     engine: policy,
                     ..Default::default()
                 },
-            )
-            .unwrap();
-            let inputs: Vec<Tensor> = (0..6).map(frame).collect();
-            let replies = runtime.infer_many(&inputs).unwrap();
-            for (input, reply) in inputs.iter().zip(&replies) {
+            );
+            let requests: Vec<InferenceRequest> = (0..6).map(request).collect();
+            let replies = runtime.infer_many(&requests).unwrap();
+            for (req, reply) in requests.iter().zip(&replies) {
                 assert_eq!(reply.engine, engine, "policy {policy:?} must pin the engine");
-                let want = reference.run_frame(input, 7).unwrap();
+                let want = reference.run_frame(&req.input, 7).unwrap();
                 assert_eq!(reply.output, want, "both engines serve bit-exact outputs");
             }
             let stats = runtime.shutdown().unwrap();
@@ -720,16 +1180,14 @@ mod tests {
 
     #[test]
     fn auto_dispatch_runs_single_frame_batches_sequentially() {
-        let model = model();
-        let runtime = Runtime::start(
-            model,
+        let runtime = single(
+            model(),
             RuntimeConfig { workers: 1, max_batch: 8, timesteps: 5, ..Default::default() },
-        )
-        .unwrap();
+        );
         // Strictly serialized submissions: every gathered batch holds one
         // frame, so auto dispatch must choose the sequential engine.
         for k in 0..4 {
-            let reply = runtime.infer(frame(k)).unwrap();
+            let reply = runtime.infer(request(k)).unwrap();
             assert_eq!(reply.engine, EngineKind::Sequential);
             assert_eq!(reply.batch_size, 1);
         }
@@ -862,32 +1320,347 @@ mod tests {
     }
 
     #[test]
-    fn input_validation_and_shutdown_behavior() {
-        let model = model();
-        let runtime = Runtime::start(model, RuntimeConfig::default()).unwrap();
-        assert!(runtime.submit(Tensor::zeros(vec![3])).is_err(), "wrong shape rejected");
+    fn admission_rejects_unknown_models_and_wrong_shapes() {
+        let runtime = single(model(), RuntimeConfig::default());
+        let err = runtime.submit(InferenceRequest::new("ghost", frame(0))).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(&RejectReason::UnknownModel { id: "ghost".into() }));
+        let err = runtime.submit(InferenceRequest::new("m", Tensor::zeros(vec![3]))).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "wrong shape is a caller bug");
         let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.rejected_unknown_model, 1);
         assert_eq!(stats.completed, 0);
     }
 
     #[test]
-    fn config_validation() {
-        let model = model();
-        for config in [
-            RuntimeConfig { workers: 0, ..Default::default() },
-            RuntimeConfig { max_batch: 0, ..Default::default() },
-            RuntimeConfig { timesteps: 0, ..Default::default() },
-        ] {
-            assert!(Runtime::start(model.clone(), config).is_err());
+    fn spent_deadline_budget_fails_fast_without_burning_a_lane() {
+        let runtime = single(model(), RuntimeConfig::default());
+        let err = runtime
+            .submit(InferenceRequest::new("m", frame(0)).with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err.reject_reason(), Some(&RejectReason::DeadlineExpired));
+        // A model-default SLO of zero is enforced the same way.
+        let registry = ModelRegistry::new()
+            .with_model("slo", model(), ServeOptions::default().with_deadline(Duration::ZERO))
+            .unwrap();
+        let strict = Runtime::serve(registry, RuntimeConfig::default()).unwrap();
+        let err = strict.submit(InferenceRequest::new("slo", frame(0))).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(&RejectReason::DeadlineExpired));
+        let stats = strict.shutdown().unwrap();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.models[0].stats.rejected_deadline, 1);
+        assert_eq!(stats.batches, 0, "no lane was occupied for the dead request");
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.batches, 0);
+    }
+
+    /// Pins the single worker into a long straggler wait on a
+    /// high-priority model so the queue state is deterministic while the
+    /// test pokes at it.
+    fn pinned_worker_runtime(max_wait: Duration, queue_depth: usize) -> Runtime {
+        let registry = ModelRegistry::new()
+            .with_model("pin", model(), ServeOptions::default().with_priority(10))
+            .unwrap()
+            .with_model("bulk", model_b(), ServeOptions::default())
+            .unwrap();
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait,
+            timesteps: 3,
+            queue_depth,
+            ..Default::default()
+        };
+        Runtime::serve(registry, config).unwrap()
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backpressure_under_a_saturated_worker() {
+        // The pin request parks the only worker in a 10 s straggler wait
+        // (its model outranks everything, and a second pin frame never
+        // comes), so bulk requests pile up deterministically.
+        let runtime = pinned_worker_runtime(Duration::from_secs(10), 4);
+        let pin = runtime.submit(InferenceRequest::new("pin", frame(0))).unwrap();
+        let bulk: Vec<PendingReply> = (0..3)
+            .map(|k| runtime.submit(InferenceRequest::new("bulk", frame_b(k))).unwrap())
+            .collect();
+        // Queue now holds 1 pin + 3 bulk = its whole depth bound.
+        let err = runtime.submit(InferenceRequest::new("bulk", frame_b(9))).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(&RejectReason::QueueFull { limit: 4 }));
+        // Shutdown breaks the straggler wait and drains everything that
+        // *was* admitted.
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected_queue_full, 1);
+        let bulk_stats = stats.models.iter().find(|m| m.id == "bulk").unwrap();
+        assert_eq!(bulk_stats.stats.rejected_queue_full, 1, "the rejection lands on its model");
+        assert_eq!(bulk_stats.stats.completed, 3);
+        assert!(pin.wait().is_ok());
+        for reply in bulk {
+            assert!(reply.wait().is_ok());
         }
     }
 
     #[test]
+    fn queued_requests_expire_without_occupying_a_lane() {
+        // The worker sits in a 400 ms straggler wait on the pin model;
+        // the bulk request's 30 ms deadline passes while it waits, so the
+        // sweep must drop it — before any lane is planned for it.
+        let runtime = pinned_worker_runtime(Duration::from_millis(400), 64);
+        let pin = runtime.submit(InferenceRequest::new("pin", frame(0))).unwrap();
+        let doomed = runtime
+            .submit(
+                InferenceRequest::new("bulk", frame_b(0)).with_deadline(Duration::from_millis(30)),
+            )
+            .unwrap();
+        let err = doomed.wait().unwrap_err();
+        assert_eq!(err.reject_reason(), Some(&RejectReason::DeadlineExpired));
+        assert!(pin.wait().is_ok());
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.expired_in_queue, 1);
+        let bulk_stats = stats.models.iter().find(|m| m.id == "bulk").unwrap();
+        assert_eq!(bulk_stats.stats.expired_in_queue, 1);
+        assert_eq!(bulk_stats.stats.batches, 0, "the expired request never formed a batch");
+        assert_eq!(stats.completed, 1, "only the pin request executed");
+    }
+
+    #[test]
+    fn mixed_model_traffic_never_forms_a_cross_model_batch() {
+        let (a, b) = (model(), model_b());
+        let mut ref_a: CycleSim = a.instantiate().unwrap();
+        let mut ref_b: CycleSim = b.instantiate().unwrap();
+        let registry = ModelRegistry::new()
+            .with_model("a", a, ServeOptions::default().with_warm_replicas(2))
+            .unwrap()
+            .with_model("b", b, ServeOptions::default().with_warm_replicas(2))
+            .unwrap();
+        let config = RuntimeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(10),
+            timesteps: 6,
+            ..Default::default()
+        };
+        let runtime = Runtime::serve(registry, config).unwrap();
+        // Interleave the two models' traffic as hard as possible.
+        let requests: Vec<InferenceRequest> = (0..40)
+            .map(|k| {
+                if k % 2 == 0 {
+                    InferenceRequest::new("a", frame(k))
+                } else {
+                    InferenceRequest::new("b", frame_b(k))
+                }
+            })
+            .collect();
+        let replies = runtime.infer_many(&requests).unwrap();
+        for (req, reply) in requests.iter().zip(&replies) {
+            assert_eq!(reply.model_id, req.model_id);
+            let want = if req.model_id == "a" {
+                ref_a.run_frame(&req.input, 6).unwrap()
+            } else {
+                ref_b.run_frame(&req.input, 6).unwrap()
+            };
+            assert_eq!(reply.output, want, "bit-exact per model under mixed traffic");
+        }
+        let stats = runtime.shutdown().unwrap();
+        let a_stats = &stats.models[0].stats;
+        let b_stats = &stats.models[1].stats;
+        // Per-model batch counters are the cross-batch assertion: every
+        // aggregate batch is attributed to exactly one model, and each
+        // model's batches carried exactly its own 20 frames.
+        assert_eq!(a_stats.batches + b_stats.batches, stats.batches);
+        assert_eq!(a_stats.sequential_frames + a_stats.batched_frames, 20);
+        assert_eq!(b_stats.sequential_frames + b_stats.batched_frames, 20);
+        assert_eq!(a_stats.completed, 20);
+        assert_eq!(b_stats.completed, 20);
+        assert_eq!(stats.completed, 40);
+    }
+
+    #[test]
+    fn schedule_order_ranks_priority_then_deadline_then_fifo() {
+        let now = Instant::now();
+        let (tx, _rx) = mpsc::channel();
+        let req = |priority: u8, deadline: Option<Duration>, seq: u64| Request {
+            model: 0,
+            input: frame(0),
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            priority,
+            seq,
+            reply: tx.clone(),
+        };
+        let urgent = req(5, Some(Duration::from_millis(1)), 10);
+        let urgent_later = req(5, Some(Duration::from_millis(9)), 2);
+        let urgent_open = req(5, None, 0);
+        let background = req(0, Some(Duration::from_micros(1)), 1);
+        assert_eq!(schedule_order(&urgent, &background), Ordering::Less, "priority first");
+        assert_eq!(
+            schedule_order(&urgent, &urgent_later),
+            Ordering::Less,
+            "earlier deadline breaks priority ties"
+        );
+        assert_eq!(
+            schedule_order(&urgent_later, &urgent_open),
+            Ordering::Less,
+            "any deadline outranks none"
+        );
+        assert_eq!(
+            schedule_order(&req(1, None, 3), &req(1, None, 7)),
+            Ordering::Less,
+            "FIFO among equals"
+        );
+
+        // take_batch honors the order and leaves other models queued.
+        let mut pending: VecDeque<Request> = VecDeque::new();
+        pending.push_back(req(0, None, 0));
+        pending.push_back(req(3, None, 1));
+        let mut other = req(9, None, 2);
+        other.model = 1;
+        pending.push_back(other);
+        pending.push_back(req(3, Some(Duration::from_millis(5)), 3));
+        let batch = take_batch(&mut pending, 0, 2);
+        assert_eq!(
+            batch.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 1],
+            "deadline-bearing priority-3 first, then FIFO priority-3"
+        );
+        assert_eq!(
+            pending.iter().map(|r| (r.model, r.seq)).collect::<Vec<_>>(),
+            vec![(0, 0), (1, 2)],
+            "the other model's request and the overflow stay queued"
+        );
+    }
+
+    #[test]
+    fn warm_pools_and_cold_starts_are_accounted() {
+        // warm_replicas = 0: the only worker must cold-start on first use.
+        let registry = ModelRegistry::new()
+            .with_model("m", model(), ServeOptions::default().with_warm_replicas(0))
+            .unwrap();
+        let runtime =
+            Runtime::serve(registry, RuntimeConfig { workers: 1, ..Default::default() }).unwrap();
+        runtime.infer(request(0)).unwrap();
+        runtime.infer(request(1)).unwrap();
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.cold_starts, 1, "one cold start, then the replicas persist");
+        assert_eq!(stats.completed, 2);
+
+        // Default warm pool (1) covers a single worker: no cold starts.
+        let runtime = single(model(), RuntimeConfig { workers: 1, ..Default::default() });
+        runtime.infer(request(0)).unwrap();
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.cold_starts, 0);
+    }
+
+    #[test]
+    fn per_request_priority_and_deadline_override_model_defaults() {
+        let registry = ModelRegistry::new()
+            .with_model(
+                "m",
+                model(),
+                ServeOptions::default().with_priority(1).with_deadline(Duration::from_secs(60)),
+            )
+            .unwrap();
+        let runtime = Runtime::serve(registry, RuntimeConfig::default()).unwrap();
+        // The per-request zero budget overrides the model's generous SLO.
+        let err = runtime.infer(InferenceRequest::new("m", frame(0)).with_deadline(Duration::ZERO));
+        assert_eq!(err.unwrap_err().reject_reason(), Some(&RejectReason::DeadlineExpired));
+        // And a normal request under the model SLO still serves.
+        assert!(runtime.infer(request(1)).is_ok());
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn model_stats_lookup_and_ids() {
+        let runtime = single(model(), RuntimeConfig::default());
+        assert_eq!(runtime.model_ids(), vec!["m".to_string()]);
+        runtime.infer(request(0)).unwrap();
+        assert_eq!(runtime.model_stats("m").unwrap().completed, 1);
+        assert!(runtime.model_stats("ghost").is_none());
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn config_builder_validates_and_defaults_hold() {
+        let config = RuntimeConfig::builder()
+            .workers(3)
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .timesteps(9)
+            .engine(EnginePolicy::ForceSequential)
+            .queue_depth(32)
+            .build()
+            .unwrap();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.max_batch, 4);
+        assert_eq!(config.timesteps, 9);
+        assert_eq!(config.engine, EnginePolicy::ForceSequential);
+        assert_eq!(config.queue_depth, 32);
+        for bad in [
+            RuntimeConfig::builder().workers(0).build(),
+            RuntimeConfig::builder().max_batch(0).build(),
+            RuntimeConfig::builder().timesteps(0).build(),
+            RuntimeConfig::builder().queue_depth(0).build(),
+            RuntimeConfig::builder().max_batch(64).queue_depth(8).build(),
+        ] {
+            assert!(matches!(bad, Err(Error::InvalidConfig { .. })));
+        }
+        // The unvalidated Default stays consistent with the builder.
+        assert!(RuntimeConfig::builder().build().is_ok());
+        let registry =
+            ModelRegistry::new().with_model("m", model(), ServeOptions::default()).unwrap();
+        assert!(
+            Runtime::serve(registry, RuntimeConfig { workers: 0, ..Default::default() }).is_err()
+        );
+        assert!(
+            Runtime::serve(ModelRegistry::new(), RuntimeConfig::default()).is_err(),
+            "an empty registry cannot serve"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_start_shim_serves_through_the_registry() {
+        let runtime = Runtime::start(model(), RuntimeConfig::default()).unwrap();
+        assert_eq!(runtime.model_ids(), vec![DEFAULT_MODEL_ID.to_string()]);
+        let reply = runtime.infer(InferenceRequest::new(DEFAULT_MODEL_ID, frame(0))).unwrap();
+        assert_eq!(reply.model_id, DEFAULT_MODEL_ID);
+        let stats = runtime.shutdown().unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.models[0].id, DEFAULT_MODEL_ID);
+    }
+
+    #[test]
+    fn submitting_after_shutdown_is_a_typed_rejection() {
+        let runtime = single(model(), RuntimeConfig::default());
+        runtime.begin_shutdown();
+        let err = runtime.submit(request(0)).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(&RejectReason::ShuttingDown));
+    }
+
+    #[test]
     fn drop_without_shutdown_terminates_workers() {
-        let model = model();
-        let runtime = Runtime::start(model, RuntimeConfig::default()).unwrap();
-        let reply = runtime.infer(frame(0)).unwrap();
+        let runtime = single(model(), RuntimeConfig::default());
+        let reply = runtime.infer(request(0)).unwrap();
         assert!(!reply.output.spike_counts.is_empty());
         drop(runtime); // must not hang
+    }
+
+    #[test]
+    fn per_model_timestep_override_is_applied() {
+        let model = model();
+        let mut reference: CycleSim = model.instantiate().unwrap();
+        let registry = ModelRegistry::new()
+            .with_model("short", model, ServeOptions::default().with_timesteps(3))
+            .unwrap();
+        let runtime = Runtime::serve(
+            registry,
+            RuntimeConfig { workers: 1, timesteps: 20, ..Default::default() },
+        )
+        .unwrap();
+        let reply = runtime.infer(InferenceRequest::new("short", frame(0))).unwrap();
+        let want = reference.run_frame(&frame(0), 3).unwrap();
+        assert_eq!(reply.output, want, "the model override, not the global 20, ran");
+        runtime.shutdown().unwrap();
     }
 }

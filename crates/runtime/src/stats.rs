@@ -1,6 +1,7 @@
 //! Serving statistics: per-request latency and aggregate throughput,
-//! with latency percentiles and per-engine dispatch counters so the
-//! adaptive engine choice is observable.
+//! with latency percentiles, per-engine dispatch counters, admission
+//! verdicts, and per-model views so the multi-model serving tier is
+//! observable end to end.
 
 use std::time::Duration;
 
@@ -40,6 +41,22 @@ pub(crate) struct StatsInner {
     /// `occupancy_counts[n]` = batches that carried `n` frames (index 0
     /// unused; sized `max_batch + 1` on first record).
     pub occupancy_counts: Vec<u64>,
+    /// Requests refused at admission because the shared queue was at its
+    /// configured depth bound.
+    pub rejected_queue_full: u64,
+    /// Requests refused at admission because their deadline budget was
+    /// already spent (zero or negative on arrival).
+    pub rejected_deadline: u64,
+    /// Requests admitted but dropped from the queue when their deadline
+    /// passed before a worker could serve them (failed fast, no lane
+    /// occupied).
+    pub expired_in_queue: u64,
+    /// Requests naming a model id with no registration (aggregate only:
+    /// there is no model to attribute them to).
+    pub rejected_unknown_model: u64,
+    /// Times a worker had to instantiate a replica on demand because the
+    /// model's warm pool did not cover it.
+    pub cold_starts: u64,
 }
 
 /// A snapshot of the runtime's aggregate serving statistics.
@@ -90,6 +107,31 @@ pub struct RuntimeStats {
     pub elapsed: Duration,
     /// Successful frames per second of wall-clock since start.
     pub frames_per_sec: f64,
+    /// Requests refused at admission: queue at its depth bound.
+    pub rejected_queue_full: u64,
+    /// Requests refused at admission: deadline already spent on arrival.
+    pub rejected_deadline: u64,
+    /// Admitted requests dropped when their deadline passed in the queue
+    /// (no lane was occupied for them).
+    pub expired_in_queue: u64,
+    /// Requests naming an unregistered model id (aggregate view only).
+    pub rejected_unknown_model: u64,
+    /// On-demand replica instantiations outside the warm pools.
+    pub cold_starts: u64,
+    /// Per-model statistics, in registration order. Empty in the
+    /// per-model views themselves (the nesting is one level deep).
+    pub models: Vec<ModelStats>,
+}
+
+/// One registered model's serving statistics, inside
+/// [`RuntimeStats::models`].
+#[derive(Debug, Clone, Default)]
+pub struct ModelStats {
+    /// The model's registered id.
+    pub id: String,
+    /// The model's own counters, percentiles and occupancy histogram
+    /// (its `models` field is empty).
+    pub stats: RuntimeStats,
 }
 
 impl StatsInner {
@@ -175,7 +217,29 @@ impl RuntimeStats {
             } else {
                 inner.completed as f64 / elapsed.as_secs_f64()
             },
+            rejected_queue_full: inner.rejected_queue_full,
+            rejected_deadline: inner.rejected_deadline,
+            expired_in_queue: inner.expired_in_queue,
+            rejected_unknown_model: inner.rejected_unknown_model,
+            cold_starts: inner.cold_starts,
+            models: Vec::new(),
         }
+    }
+
+    /// Snapshots an aggregate plus its per-model views in one pass.
+    pub(crate) fn snapshot_with_models<'a>(
+        aggregate: &StatsInner,
+        models: impl Iterator<Item = (&'a str, &'a StatsInner)>,
+        elapsed: Duration,
+    ) -> RuntimeStats {
+        let mut stats = RuntimeStats::snapshot(aggregate, elapsed);
+        stats.models = models
+            .map(|(id, inner)| ModelStats {
+                id: id.to_string(),
+                stats: RuntimeStats::snapshot(inner, elapsed),
+            })
+            .collect();
+        stats
     }
 }
 

@@ -23,7 +23,7 @@
 //! | [`snn`] | ANN→SNN conversion (Cao-style normalization, 5-bit quantization) and the abstract integer SNN simulator |
 //! | [`mapper`] | the Fig. 3 toolchain: logical splitting (Algorithm 1 folds, Fig. 4 conv tiling), placement, cycle-by-cycle compilation |
 //! | [`sim`] | the cycle-level functional simulator (single-frame and batched) + bit-exact equivalence checking |
-//! | [`runtime`] | batched, multi-chip inference serving: compiled model artifacts, a batching scheduler, worker shards, latency/throughput stats |
+//! | [`runtime`] | the multi-model serving tier: a model registry with per-model SLOs, admission control, deadline-aware batching scheduler, worker shards, a JSON wire format, per-model latency/throughput stats |
 //! | [`power`] | Table II energies, the Fig. 5 tile model, Table IV estimation, §IV area |
 //! | [`datasets`] | deterministic synthetic MNIST/CIFAR stand-ins |
 //! | [`baselines`] | block-level spike aggregation (TrueNorth-style) and Table V data |
@@ -78,14 +78,18 @@ pub use shenjing_mapper::{compile, map_logical, place};
 
 /// The most commonly needed items, for `use shenjing::prelude::*`.
 pub mod prelude {
-    pub use shenjing_core::{ArchSpec, CoreCoord, Direction, Error, NocSum, Result, W5};
+    pub use shenjing_core::{
+        ArchSpec, CoreCoord, Direction, Error, NocSum, RejectReason, Result, W5,
+    };
     pub use shenjing_datasets::{SynthCifar, SynthDigits};
     pub use shenjing_hw::LaneSet;
     pub use shenjing_mapper::{map_logical, place, Mapper, Mapping, PlacementStrategy};
     pub use shenjing_nn::{LayerSpec, Network, NetworkKind, Sgd, Tensor};
     pub use shenjing_power::{AreaBudget, EnergyModel, SystemEstimate, TileModel};
     pub use shenjing_runtime::{
-        CompiledModel, Engine, EngineKind, EnginePolicy, Runtime, RuntimeConfig, RuntimeStats,
+        CompiledModel, Engine, EngineKind, EnginePolicy, InferenceReply, InferenceRequest,
+        ModelRegistry, ModelStats, Runtime, RuntimeConfig, RuntimeConfigBuilder, RuntimeStats,
+        ServeOptions, DEFAULT_MODEL_ID,
     };
     pub use shenjing_sim::{BatchSim, CycleSim};
     pub use shenjing_snn::{convert, ConversionOptions, SnnNetwork};

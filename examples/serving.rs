@@ -1,7 +1,7 @@
-//! Serving: compile a digit classifier once, then serve inference
-//! traffic through the batched, sharded runtime — and verify along the
-//! way that the serving path loses nothing over the single-frame
-//! simulator.
+//! Multi-model serving: compile two classifiers once, register them
+//! under ids with per-model SLOs, then drive mixed traffic through the
+//! admission-controlled runtime — and verify along the way that the
+//! serving path loses nothing over the single-frame simulator.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -9,10 +9,11 @@ use std::time::{Duration, Instant};
 
 use shenjing::datasets::{flatten_images, train_test_split};
 use shenjing::prelude::*;
-use shenjing::snn::convert;
+use shenjing::runtime::wire;
+use shenjing::snn::{convert, snn_from_specs};
 
 fn main() -> Result<()> {
-    // 1. Train and convert, as in the quickstart.
+    // 1. Train and convert a digit classifier, as in the quickstart.
     let data = SynthDigits::new(23).generate(300);
     let (train, test) = train_test_split(data, 0.8);
     let train = flatten_images(&train);
@@ -26,34 +27,72 @@ fn main() -> Result<()> {
     let calib: Vec<Tensor> = train.iter().take(24).map(|(x, _)| x.clone()).collect();
     let snn = convert(&mut ann, &calib, &ConversionOptions::default())?;
 
-    // 2. Compile once into a shared artifact.
+    // 2. Compile both tenants once into shared artifacts: the trained
+    //    classifier, and a synthetic-weight copy of the zoo's MNIST MLP
+    //    standing in for a second tenant.
     let arch = ArchSpec::paper();
-    let model = CompiledModel::compile(&arch, &snn)?;
-    println!(
-        "compiled: {} cores on {} chip(s), {} inputs -> {} outputs, {} cycles/timestep",
-        model.total_cores(),
-        model.chips(),
-        model.input_len(),
-        model.output_len(),
-        model.block_cycles(),
-    );
+    let digits = CompiledModel::compile(&arch, &snn)?;
+    let zoo_snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7)?;
+    let zoo = CompiledModel::compile(&arch, &zoo_snn)?;
+    for (id, m) in [("digits", &digits), ("zoo", &zoo)] {
+        println!(
+            "compiled `{id}`: {} cores on {} chip(s), {} inputs -> {} outputs",
+            m.total_cores(),
+            m.chips(),
+            m.input_len(),
+            m.output_len(),
+        );
+    }
 
-    // 3. Serve a burst of traffic: 2 worker shards, 8-frame batches, and
-    //    the auto engine policy deciding per batch between the sparse
-    //    sequential engine and the batched SoA engine.
+    // 3. Register them with per-model policies: the trained classifier is
+    //    latency-critical (higher priority, 250 ms SLO, warm on every
+    //    worker); the zoo tenant is best-effort with one warm replica.
     let timesteps = 12;
-    let config = RuntimeConfig {
-        workers: 2,
-        max_batch: 8,
-        max_wait: Duration::from_millis(5),
-        timesteps,
-        engine: EnginePolicy::Auto,
-    };
-    let runtime = Runtime::start(model.clone(), config)?;
+    let registry = ModelRegistry::new()
+        .with_model(
+            "digits",
+            digits.clone(),
+            ServeOptions::default()
+                .with_priority(2)
+                .with_deadline(Duration::from_millis(250))
+                .with_warm_replicas(2),
+        )?
+        .with_model("zoo", zoo, ServeOptions::default().with_timesteps(8))?;
+    let config = RuntimeConfig::builder()
+        .workers(2)
+        .max_batch(8)
+        .max_wait(Duration::from_millis(5))
+        .timesteps(timesteps)
+        .queue_depth(128)
+        .build()?;
+    let runtime = Runtime::serve(registry, config)?;
+
+    // 4. Mixed traffic: every third request goes to the zoo tenant. The
+    //    digit requests ride the wire format both ways, the way a remote
+    //    client would submit them.
     let frames: Vec<Tensor> = test.iter().take(48).map(|(x, _)| x.clone()).collect();
     let started = Instant::now();
-    let replies = runtime.infer_many(&frames)?;
+    let mut pending = Vec::new();
+    for (k, frame) in frames.iter().enumerate() {
+        let request = if k % 3 == 2 {
+            InferenceRequest::new("zoo", frame.clone())
+        } else {
+            InferenceRequest::new("digits", frame.clone())
+        };
+        let decoded = wire::decode_request(&wire::encode_request(&request)?)?;
+        pending.push(runtime.submit(decoded)?);
+    }
+    let replies: Vec<InferenceReply> =
+        pending.into_iter().map(|p| p.wait()).collect::<Result<_>>()?;
     let wall = started.elapsed();
+
+    // 5. Admission control in action: an already-spent deadline budget is
+    //    refused with a typed reason before it could burn a lane.
+    let doomed = InferenceRequest::new("digits", frames[0].clone()).with_deadline(Duration::ZERO);
+    if let Err(e) = runtime.submit(doomed) {
+        println!("admission control: {e} ({:?})", e.reject_reason());
+    }
+
     let stats = runtime.shutdown()?;
     println!(
         "served {} frames in {:.1} ms: {:.1} frames/s, {} batches (mean occupancy {:.1})",
@@ -63,14 +102,18 @@ fn main() -> Result<()> {
         stats.batches,
         stats.mean_batch_occupancy,
     );
-    println!(
-        "latency: mean {:.2} ms, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
-        stats.mean_latency.as_secs_f64() * 1e3,
-        stats.p50_latency.as_secs_f64() * 1e3,
-        stats.p95_latency.as_secs_f64() * 1e3,
-        stats.p99_latency.as_secs_f64() * 1e3,
-        stats.max_latency.as_secs_f64() * 1e3,
-    );
+    for model in &stats.models {
+        let s = &model.stats;
+        println!(
+            "  `{}`: {} frames in {} batches, p50 {:.2} ms, p99 {:.2} ms, {} cold start(s)",
+            model.id,
+            s.completed,
+            s.batches,
+            s.p50_latency.as_secs_f64() * 1e3,
+            s.p99_latency.as_secs_f64() * 1e3,
+            s.cold_starts,
+        );
+    }
     println!(
         "engine dispatch: {} frames sparse-sequential ({} batches), {} frames batched ({} batches), \
          mean input density {:.1}%",
@@ -80,35 +123,31 @@ fn main() -> Result<()> {
         stats.batched_batches,
         100.0 * stats.mean_input_density,
     );
-    let occupancy: Vec<String> = stats
-        .occupancy_histogram
-        .iter()
-        .enumerate()
-        .filter(|(_, &count)| count > 0)
-        .map(|(frames, count)| format!("{frames} frames x{count}"))
-        .collect();
     println!(
-        "batch occupancy (under-full passes pay per occupied lane): [{}]",
-        occupancy.join(", ")
+        "admission: {} queue-full, {} dead-on-arrival, {} expired in queue",
+        stats.rejected_queue_full, stats.rejected_deadline, stats.expired_in_queue,
     );
 
-    // 4. The serving path is bit-exact against the single-frame simulator
-    //    (spot-checked here; the property test in shenjing-sim covers it
-    //    exhaustively).
-    let mut reference = model.instantiate()?;
-    for ((frame, _), reply) in test.iter().take(4).zip(&replies) {
+    // 6. The serving path is bit-exact against the single-frame simulator
+    //    (spot-checked here; the property tests cover it exhaustively) —
+    //    and batches never mixed tenants.
+    let mut reference = digits.instantiate()?;
+    for ((frame, _), reply) in test.iter().take(2).zip(&replies) {
         let want = reference.run_frame(frame, timesteps)?;
         assert_eq!(reply.output, want, "batched serving must stay bit-exact");
     }
+    let per_model_batches: u64 = stats.models.iter().map(|m| m.stats.batches).sum();
+    assert_eq!(per_model_batches, stats.batches, "every batch belongs to exactly one model");
     let correct = test
         .iter()
         .take(48)
         .zip(&replies)
-        .filter(|((_, label), reply)| reply.predicted == *label)
+        .filter(|((_, label), reply)| reply.model_id == "digits" && reply.predicted == *label)
         .count();
+    let digit_replies = replies.iter().filter(|r| r.model_id == "digits").count();
     println!(
-        "accuracy over the served frames: {:.1}% (bit-exact vs the single-frame simulator)",
-        100.0 * correct as f64 / replies.len() as f64
+        "accuracy over the served digit frames: {:.1}% (bit-exact vs the single-frame simulator)",
+        100.0 * correct as f64 / digit_replies as f64
     );
     Ok(())
 }

@@ -474,6 +474,38 @@ where
     }
 }
 
+// Matches upstream serde's encoding of `std::time::Duration`: a struct
+// with `secs` and `nanos` fields (so a registry-serde swap round-trips).
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(vec![
+            ("secs".to_string(), Content::Int(i128::from(self.as_secs()))),
+            ("nanos".to_string(), Content::Int(i128::from(self.subsec_nanos()))),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut content = deserializer.take_content()?;
+        let field = |content: &mut Content, key: &str| -> Result<i128, D::Error> {
+            match content.take_entry(key) {
+                Some(Content::Int(n)) => Ok(n),
+                other => Err(de::Error::custom(format!("Duration field `{key}`: found {other:?}"))),
+            }
+        };
+        let secs = field(&mut content, "secs")?;
+        let nanos = field(&mut content, "nanos")?;
+        let secs = u64::try_from(secs)
+            .map_err(|_| de::Error::custom(format!("Duration secs {secs} out of range")))?;
+        let nanos = u32::try_from(nanos)
+            .ok()
+            .filter(|&n| n < 1_000_000_000)
+            .ok_or_else(|| de::Error::custom(format!("Duration nanos {nanos} out of range")))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 macro_rules! impl_serialize_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
@@ -540,6 +572,25 @@ mod tests {
         assert_eq!(to_content(&None::<u8>).unwrap(), Content::Null);
         let back: Option<u8> = from_content(Content::Int(7)).unwrap();
         assert_eq!(back, Some(7));
+    }
+
+    #[test]
+    fn duration_roundtrip_matches_upstream_shape() {
+        let d = std::time::Duration::new(3, 250_000_000);
+        let c = to_content(&d).unwrap();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("secs".to_string(), Content::Int(3)),
+                ("nanos".to_string(), Content::Int(250_000_000)),
+            ])
+        );
+        assert_eq!(from_content::<std::time::Duration>(c).unwrap(), d);
+        let bad = Content::Map(vec![
+            ("secs".to_string(), Content::Int(1)),
+            ("nanos".to_string(), Content::Int(2_000_000_000)),
+        ]);
+        assert!(from_content::<std::time::Duration>(bad).is_err(), "nanos must stay sub-second");
     }
 
     #[test]
