@@ -149,11 +149,17 @@ fn main() {
     );
     for model in &stats.models {
         let s = &model.stats;
+        // Rejections and in-queue expiries ride along with the latency
+        // percentiles: an open-loop mix that only reports p50/p99 can
+        // hide a tier that hits its SLO by shedding load instead of
+        // serving it.
         let detail = format!(
-            "{} frames, {} batches, p95 {:.3} ms",
+            "{} frames, {} batches, p95 {:.3} ms, {} rejected, {} expired in queue",
             s.completed,
             s.batches,
-            s.p95_latency.as_secs_f64() * 1e3
+            s.p95_latency.as_secs_f64() * 1e3,
+            s.rejected_queue_full + s.rejected_deadline,
+            s.expired_in_queue,
         );
         let tag = if model.id == "mnist-mlp" { "mlp" } else { "cnn" };
         print_median(&format!("loadgen_mix_{tag}_p50"), s.p50_latency, &detail);

@@ -3,6 +3,7 @@
 //! ```text
 //! bench_gate check  <medians.txt> [--baseline-dir DIR]   # fail on regression
 //! bench_gate update <medians.txt> [--baseline-dir DIR]   # rewrite baselines
+//! bench_gate trace-check <trace.json>                    # validate a telemetry trace
 //! ```
 //!
 //! `check` parses the vendored-criterion median lines in `<medians.txt>`
@@ -13,25 +14,81 @@
 //! baselined benchmark disappears from the artifact. `update` regenerates
 //! the baseline files from the artifact — run it (and commit the result)
 //! when a perf change intentionally moves a median.
+//!
+//! `trace-check` parses a Chrome-trace JSON file exported by the
+//! runtime's telemetry layer (`Runtime::trace_json`, or the serving
+//! example's `SHENJING_TRACE_OUT` dump), runs the structural validator
+//! (monotone non-overlapping lifecycle slices, phase slices confined to
+//! their execute window), and fails if the trace is malformed or
+//! records no requests — CI's proof that the observability path stays
+//! Perfetto-loadable.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use shenjing::telemetry::{validate, ChromeTrace};
 use shenjing_bench::regression::{
     compare, parse_medians, read_baselines, write_baselines, DEFAULT_TOLERANCE,
 };
+
+fn trace_check(path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let trace: ChromeTrace = match serde_json::from_str(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("bench_gate: {} is not Chrome-trace JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&trace) {
+        Ok(summary) if summary.requests > 0 => {
+            println!(
+                "bench_gate: trace OK — {} events, {} request spans, {} phase slices",
+                summary.events, summary.requests, summary.phase_slices,
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!(
+                "bench_gate: FAIL {} validates but records no request spans — \
+                 was the workload traced with sampling enabled?",
+                path.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: FAIL {} is structurally invalid: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn default_baseline_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines"))
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_gate <check|update> <medians.txt> [--baseline-dir DIR]");
+    eprintln!(
+        "usage: bench_gate <check|update> <medians.txt> [--baseline-dir DIR]\n       \
+         bench_gate trace-check <trace.json>"
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-check") {
+        return match (args.get(1), args.len()) {
+            (Some(path), 2) => trace_check(&PathBuf::from(path)),
+            _ => usage(),
+        };
+    }
     let (mode, medians_path) = match (args.first(), args.get(1)) {
         (Some(mode), Some(path)) if mode == "check" || mode == "update" => {
             (mode.clone(), PathBuf::from(path))

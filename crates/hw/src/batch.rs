@@ -1500,6 +1500,56 @@ impl BatchChip {
         Ok(())
     }
 
+    /// [`exec_cycle`](BatchChip::exec_cycle) with per-phase wall-clock
+    /// attribution into `phases` — the batched counterpart of
+    /// [`Chip::exec_cycle_phased`](crate::Chip::exec_cycle_phased),
+    /// with the same order, results, and error semantics as the
+    /// unprofiled path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`exec_cycle`](BatchChip::exec_cycle). Time
+    /// spent in a phase that errors is not attributed.
+    pub fn exec_cycle_phased(
+        &mut self,
+        cycle: u64,
+        ops: &[(CoreCoord, AtomicOp)],
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<()> {
+        use std::time::Instant;
+        for (coord, op) in ops {
+            let t = Instant::now();
+            let idx = self.index(*coord)?;
+            let BatchChip { tiles, lanes, .. } = self;
+            tiles[idx].exec(op, lanes).map_err(|e| annotate_cycle(e, cycle))?;
+            phases.record_op(op, t.elapsed().as_nanos() as u64);
+        }
+        if self.reference {
+            let t = Instant::now();
+            self.transfer_reference(cycle)?;
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            let BatchChip { tiles, lanes, .. } = self;
+            for tile in tiles.iter_mut() {
+                tile.commit_deliveries(lanes)?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        } else {
+            let t = Instant::now();
+            self.collect_active_tiles(ops);
+            self.transfer(cycle)?;
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            for i in 0..self.active_tiles.len() {
+                let idx = self.active_tiles[i];
+                let BatchChip { tiles, lanes, .. } = self;
+                tiles[idx].commit_deliveries(lanes)?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        }
+        Ok(())
+    }
+
     /// Fills `active_tiles` with the sorted, deduplicated tile indices of
     /// `ops` (already bounds-checked by the execute loop). Sorting keeps
     /// the transfer scan in the reference row-major order, so schedule

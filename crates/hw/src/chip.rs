@@ -179,6 +179,54 @@ impl Chip {
         Ok(())
     }
 
+    /// [`exec_cycle`](Chip::exec_cycle) with per-phase wall-clock
+    /// attribution: op time is split into ACC (core ops) and SEND
+    /// (router ops), and the transfer sweep and delivery drain are
+    /// timed separately into `phases`. Execution order, results, and
+    /// error semantics are identical to the unprofiled path; the only
+    /// extra work is the clock reads, so this variant is reserved for
+    /// profiled (sampled) passes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`exec_cycle`](Chip::exec_cycle). Time spent
+    /// in a phase that errors is not attributed.
+    pub fn exec_cycle_phased(
+        &mut self,
+        cycle: u64,
+        ops: &[(CoreCoord, AtomicOp)],
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<()> {
+        use std::time::Instant;
+        for (coord, op) in ops {
+            let t = Instant::now();
+            self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
+            phases.record_op(op, t.elapsed().as_nanos() as u64);
+        }
+        if self.reference {
+            let t = Instant::now();
+            self.transfer_reference(cycle)?;
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            for tile in &mut self.tiles {
+                tile.commit_deliveries()?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        } else {
+            let t = Instant::now();
+            self.collect_active_tiles(ops);
+            self.transfer(cycle)?;
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            for i in 0..self.active_tiles.len() {
+                let idx = self.active_tiles[i];
+                self.tiles[idx].commit_deliveries()?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        }
+        Ok(())
+    }
+
     /// Fills `active_tiles` with the sorted, deduplicated tile indices of
     /// `ops` (already bounds-checked by the execute loop). Sorting keeps
     /// the transfer scan in the reference row-major order, so schedule

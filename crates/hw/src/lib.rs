@@ -53,6 +53,7 @@ pub mod lanes;
 pub mod neuron_core;
 mod occupancy;
 pub mod ops;
+pub mod phases;
 pub mod plane;
 pub mod ps_router;
 pub mod signals;
@@ -66,6 +67,7 @@ pub use config::{ConfigMemory, TileProgram};
 pub use lanes::LaneSet;
 pub use neuron_core::NeuronCore;
 pub use ops::{AtomicOp, NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRouterOp};
+pub use phases::CyclePhases;
 pub use plane::PlaneSet;
 pub use ps_router::PsRouter;
 pub use signals::{ControlWord, NeuronCoreSignals, PsRouterSignals, SpikeRouterSignals};

@@ -1,0 +1,76 @@
+//! Per-phase wall-clock attribution for one executed cycle.
+//!
+//! A cycle has four phases in both chip models: core ACC operations,
+//! router SEND operations, the inter-tile transfer sweep, and delivery
+//! drain. [`CyclePhases`] is the dependency-free accumulator
+//! `exec_cycle_phased` fills in — the simulator folds it into its
+//! telemetry profile, keeping this crate free of any telemetry
+//! dependency.
+
+use crate::ops::AtomicOp;
+
+/// Host nanoseconds one or more cycles spent in each hardware phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CyclePhases {
+    /// Time inside neuron-core (ACC-class) operations.
+    pub acc_ns: u64,
+    /// Time inside PS-router and spike-router (SEND-class) operations.
+    pub send_ns: u64,
+    /// Time inside the inter-tile transfer sweep.
+    pub transfer_ns: u64,
+    /// Time committing queued deliveries.
+    pub drain_ns: u64,
+}
+
+impl CyclePhases {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &CyclePhases) {
+        self.acc_ns += other.acc_ns;
+        self.send_ns += other.send_ns;
+        self.transfer_ns += other.transfer_ns;
+        self.drain_ns += other.drain_ns;
+    }
+
+    /// Total attributed nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.acc_ns + self.send_ns + self.transfer_ns + self.drain_ns
+    }
+
+    /// Adds an op's elapsed time to the phase its class belongs to:
+    /// neuron-core ops are ACC work, router ops are SEND work.
+    pub(crate) fn record_op(&mut self, op: &AtomicOp, ns: u64) {
+        if matches!(op, AtomicOp::Core(_)) {
+            self.acc_ns += ns;
+        } else {
+            self.send_ns += ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{NeuronCoreOp, PsRouterOp};
+    use crate::PlaneSet;
+    use shenjing_core::Direction;
+
+    #[test]
+    fn ops_classify_into_acc_and_send() {
+        let mut phases = CyclePhases::default();
+        phases.record_op(&AtomicOp::Core(NeuronCoreOp::Acc { banks: 0b1 }), 5);
+        phases.record_op(
+            &AtomicOp::Ps(PsRouterOp::Sum {
+                src: Direction::North,
+                consec: false,
+                planes: PlaneSet::all(),
+            }),
+            7,
+        );
+        assert_eq!(phases.acc_ns, 5);
+        assert_eq!(phases.send_ns, 7);
+        let mut total = CyclePhases::default();
+        total.merge(&phases);
+        total.merge(&phases);
+        assert_eq!(total.total_ns(), 24);
+    }
+}

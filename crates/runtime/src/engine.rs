@@ -63,6 +63,21 @@ pub trait Engine: Send {
     /// Releases per-batch resources so the replica idles clean (finished
     /// frames leave their lanes on the batched engine).
     fn drain(&mut self);
+
+    /// Turns per-pass phase profiling on for subsequent
+    /// [`execute`](Engine::execute) calls (and off again). The scheduler
+    /// enables this only for batches carrying a telemetry-sampled
+    /// request, so unprofiled batches run the untouched fast path. The
+    /// default is a no-op for engines without profiling support (or with
+    /// the `telemetry` feature off).
+    fn set_profiling(&mut self, _on: bool) {}
+
+    /// Takes the phase profile accumulated since profiling was enabled,
+    /// stopping profiling. `None` when profiling was never on (or the
+    /// `telemetry` feature is off).
+    fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
+        None
+    }
 }
 
 impl Engine for CycleSim {
@@ -81,6 +96,16 @@ impl Engine for CycleSim {
     }
 
     fn drain(&mut self) {}
+
+    #[cfg(feature = "telemetry")]
+    fn set_profiling(&mut self, on: bool) {
+        CycleSim::set_profiling(self, on);
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
+        CycleSim::take_profile(self)
+    }
 }
 
 impl Engine for BatchSim {
@@ -113,6 +138,16 @@ impl Engine for BatchSim {
         for lane in occupied {
             let _ = self.release_lane(lane);
         }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn set_profiling(&mut self, on: bool) {
+        BatchSim::set_profiling(self, on);
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
+        BatchSim::take_profile(self)
     }
 }
 
@@ -155,6 +190,41 @@ mod tests {
         assert_eq!(engines[0].kind(), EngineKind::Sequential);
         assert_eq!(engines[1].kind(), EngineKind::Batched);
         assert_eq!(outputs[0], outputs[1], "the trait serves bit-identical frames");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn profiling_flows_through_the_trait_on_both_engines() {
+        let model = model();
+        let inputs: Vec<Tensor> =
+            vec![Tensor::from_vec(vec![8], (0..8).map(|i| i as f64 / 8.0).collect()).unwrap(); 2];
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(model.instantiate().unwrap()),
+            Box::new(model.instantiate_batched(4).unwrap()),
+        ];
+        for engine in &mut engines {
+            assert!(engine.take_profile().is_none(), "profiling starts off");
+            engine.set_profiling(true);
+            engine.plan(inputs.len()).unwrap();
+            for r in engine.execute(&inputs, 5) {
+                r.unwrap();
+            }
+            engine.drain();
+            let profile = engine.take_profile().expect("profiled batch yields a profile");
+            match engine.kind() {
+                // One pass per frame, each 5 timesteps long.
+                EngineKind::Sequential => {
+                    assert_eq!((profile.passes, profile.timesteps), (2, 10));
+                }
+                // One SoA pass advances both frames together.
+                EngineKind::Batched => {
+                    assert_eq!((profile.passes, profile.timesteps), (1, 5));
+                    assert_eq!(profile.occupied_lane_steps, 2, "two lanes were occupied");
+                }
+            }
+            assert!(profile.total_phase_ns() > 0);
+            assert!(engine.take_profile().is_none(), "take_profile stops profiling");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The paper validates its cycle-level simulator one frame at a time;
 //! this crate turns that faithful-but-slow reproduction into a
 //! throughput engine, the way TrueNorth-style deployments amortize the
-//! static per-cycle configuration across many inputs. Three layers:
+//! static per-cycle configuration across many inputs. Four layers:
 //!
 //! 1. **Compiled artifact** — [`CompiledModel`] runs the mapping
 //!    toolchain once and decodes the program (schedule flattened, weight
@@ -39,6 +39,14 @@
 //!    batch-occupancy histogram and throughput land in [`RuntimeStats`],
 //!    aggregate and per model. Requests and replies round-trip through
 //!    the JSON [`wire`] format, so the tier can sit behind a socket.
+//! 4. **Telemetry** — every runtime owns a [`Telemetry`] hub: always-on
+//!    counters, gauges and timing histograms, plus sampled per-request
+//!    lifecycle spans (admitted → batch-formed → planned → executed →
+//!    drained → replied) whose carrying batches are phase-profiled
+//!    (ACC / SEND / transfer / drain pass time) through the [`Engine`]
+//!    trait. Export either as a Perfetto-loadable Chrome trace
+//!    ([`Runtime::trace_json`]) or as a Prometheus text snapshot with
+//!    queue-wait vs service-time quantiles ([`Runtime::metrics_text`]).
 //!
 //! # Example
 //!
@@ -93,3 +101,5 @@ pub use server::{
     RuntimeConfigBuilder, DEFAULT_MODEL_ID,
 };
 pub use stats::{ModelStats, RuntimeStats};
+
+pub use shenjing_telemetry::{Telemetry, TelemetryConfig};

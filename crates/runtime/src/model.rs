@@ -107,6 +107,19 @@ impl CompiledModel {
         self.chips
     }
 
+    /// The Prometheus label set describing this artifact — the
+    /// serving tier registers a `shenjing_model_info` gauge with these
+    /// labels per registered model, the idiomatic way to expose static
+    /// facts (size, placement) next to live counters.
+    pub(crate) fn info_labels(&self, id: &str) -> String {
+        format!(
+            "{{model=\"{id}\",cores=\"{}\",chips=\"{}\",block_cycles=\"{}\"}}",
+            self.total_cores,
+            self.chips,
+            self.block_cycles()
+        )
+    }
+
     /// Stands up a fresh single-frame simulator replica.
     ///
     /// # Errors

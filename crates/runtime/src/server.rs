@@ -13,10 +13,11 @@ use std::time::{Duration, Instant};
 use shenjing_core::{Error, RejectReason, Result};
 use shenjing_nn::Tensor;
 use shenjing_snn::SnnOutput;
+use shenjing_telemetry::{Counter, Gauge, SpanRecord, Telemetry, TelemetryConfig, TimeHistogram};
 
 use crate::engine::{Engine, EngineKind};
 use crate::model::{CompiledModel, ModelEntry, ModelRegistry, ServeOptions};
-use crate::stats::{RuntimeStats, StatsInner};
+use crate::stats::{self, RuntimeStats, StatsInner};
 
 /// The id the deprecated single-model [`Runtime::start`] shim registers
 /// its model under.
@@ -81,6 +82,12 @@ pub struct RuntimeConfig {
     /// the caller sees immediately, rather than unbounded memory and
     /// latency it discovers later.
     pub queue_depth: usize,
+    /// Observability policy: how often request lifecycles are sampled
+    /// into spans (and their batches phase-profiled), and how many spans
+    /// the ring retains. The default 1-in-16 sampling keeps the hot path
+    /// at a few atomic ops per request; see
+    /// [`TelemetryConfig::dense`] for full traces.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +99,7 @@ impl Default for RuntimeConfig {
             timesteps: 20,
             engine: EnginePolicy::Auto,
             queue_depth: 256,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -185,6 +193,13 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Sets the telemetry sampling/retention policy.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> RuntimeConfigBuilder {
+        self.config.telemetry = telemetry;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -261,6 +276,11 @@ pub struct InferenceReply {
     pub predicted: usize,
     /// Enqueue→reply latency.
     pub latency: Duration,
+    /// The queue-wait share of that latency: enqueue→batch-formed. The
+    /// remainder is service time (planning, execution, draining, reply
+    /// delivery), so a caller can see whether a slow answer waited or
+    /// computed.
+    pub queue_wait: Duration,
     /// Which worker shard served the request.
     pub worker: usize,
     /// How many frames shared the batch this request rode in.
@@ -279,6 +299,10 @@ struct Request {
     priority: u8,
     /// Admission order, the FIFO tie-breaker.
     seq: u64,
+    /// Whether this request won the telemetry sampling decision at
+    /// admission: its lifecycle becomes a span, and the batch carrying
+    /// it is phase-profiled.
+    sampled: bool,
     reply: mpsc::Sender<Result<InferenceReply>>,
 }
 
@@ -324,6 +348,46 @@ struct ModelRuntime {
     input_len: usize,
 }
 
+/// Pre-resolved hot-path instrument handles: the registry's
+/// get-or-create takes a lock and a name lookup, so the workers hold
+/// the `Arc`s directly and pay only the atomic update.
+struct TelemetryHandles {
+    /// Live `shenjing_queue_depth` gauge: +1 per admission, −1 per
+    /// dequeue (batch formation or in-queue expiry).
+    queue_depth: Arc<Gauge>,
+    /// `shenjing_queue_wait_duration_seconds` histogram.
+    queue_wait: Arc<TimeHistogram>,
+    /// `shenjing_service_duration_seconds` histogram.
+    service: Arc<TimeHistogram>,
+    /// `shenjing_request_duration_seconds` (end-to-end) histogram.
+    e2e: Arc<TimeHistogram>,
+    /// `shenjing_engine_phase_ns_total{phase=…}` counters, filled from
+    /// profiled batches' [`PassProfile`](shenjing_telemetry::PassProfile)s.
+    phases: [(&'static str, Arc<Counter>); 4],
+    /// `shenjing_profiled_batches_total`.
+    profiled_batches: Arc<Counter>,
+}
+
+impl TelemetryHandles {
+    fn new(telemetry: &Telemetry) -> TelemetryHandles {
+        let registry = telemetry.registry();
+        TelemetryHandles {
+            queue_depth: registry.gauge("shenjing_queue_depth"),
+            queue_wait: registry.histogram("shenjing_queue_wait_duration_seconds"),
+            service: registry.histogram("shenjing_service_duration_seconds"),
+            e2e: registry.histogram("shenjing_request_duration_seconds"),
+            phases: ["acc", "send", "transfer", "drain"].map(|phase| {
+                (
+                    phase,
+                    registry
+                        .counter(&format!("shenjing_engine_phase_ns_total{{phase=\"{phase}\"}}")),
+                )
+            }),
+            profiled_batches: registry.counter("shenjing_profiled_batches_total"),
+        }
+    }
+}
+
 struct Shared {
     queue: Mutex<QueueInner>,
     /// Signalled on submit and on shutdown.
@@ -333,6 +397,9 @@ struct Shared {
     models: Vec<ModelRuntime>,
     started: Instant,
     config: RuntimeConfig,
+    /// The runtime's telemetry hub (epoch, registry, span ring).
+    telemetry: Arc<Telemetry>,
+    handles: TelemetryHandles,
 }
 
 impl Shared {
@@ -351,6 +418,7 @@ impl Shared {
                 for s in stats.both(request.model) {
                     s.expired_in_queue += 1;
                 }
+                self.handles.queue_depth.sub(1);
                 let _ = request.reply.send(Err(Error::rejected(RejectReason::DeadlineExpired)));
             } else {
                 kept.push_back(request);
@@ -638,6 +706,14 @@ impl Runtime {
             worker_engines.push(slots);
         }
         let per_model = vec![StatsInner::default(); models.len()];
+        let telemetry = Arc::new(Telemetry::new(config.telemetry.clone()));
+        // Static facts as info gauges, the Prometheus idiom for joining
+        // live counters with model size/placement at query time.
+        for m in &models {
+            let labels = m.model.info_labels(&m.id);
+            telemetry.registry().gauge(&format!("shenjing_model_info{labels}")).set(1);
+        }
+        let handles = TelemetryHandles::new(&telemetry);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueInner {
                 pending: VecDeque::new(),
@@ -649,6 +725,8 @@ impl Runtime {
             models,
             started: Instant::now(),
             config,
+            telemetry,
+            handles,
         });
         let workers = worker_engines
             .into_iter()
@@ -739,8 +817,10 @@ impl Runtime {
                 deadline: budget.map(|b| now + b),
                 priority,
                 seq,
+                sampled: self.shared.telemetry.sample(),
                 reply: tx,
             });
+            self.shared.handles.queue_depth.add(1);
         }
         // `notify_all`, not `notify_one`: the one woken worker might be
         // mid-straggler-wait on another model's batch and go back to
@@ -773,23 +853,82 @@ impl Runtime {
     /// [`ModelStats`](crate::ModelStats) per registered model in
     /// [`RuntimeStats::models`].
     pub fn stats(&self) -> RuntimeStats {
+        let (depth, per_model) = self.queue_depths();
         let stats = self.shared.stats.lock().expect("stats lock");
-        self.snapshot(&stats)
+        self.snapshot(&stats, depth, &per_model)
     }
 
     /// The statistics of one registered model, or `None` for an unknown
     /// id.
     pub fn model_stats(&self, id: &str) -> Option<RuntimeStats> {
         let model = self.shared.models.iter().position(|m| m.id == id)?;
+        let (_, per_model) = self.queue_depths();
         let stats = self.shared.stats.lock().expect("stats lock");
-        Some(RuntimeStats::snapshot(&stats.per_model[model], self.shared.started.elapsed()))
+        Some(RuntimeStats::snapshot(
+            &stats.per_model[model],
+            self.shared.started.elapsed(),
+            per_model[model],
+        ))
     }
 
-    fn snapshot(&self, stats: &MutexGuard<'_, AllStats>) -> RuntimeStats {
+    /// The runtime's telemetry hub: the live metric registry, the
+    /// sampled request-span ring, and the exporters
+    /// ([`Telemetry::chrome_trace_json`], [`Telemetry::prometheus`]).
+    /// The returned handle stays valid across [`shutdown`](Runtime::shutdown).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
+    /// The full Prometheus-style text metrics snapshot: the live
+    /// registry (queue-depth gauge, duration histograms, per-phase
+    /// pass-time totals, model info) followed by the stats-derived
+    /// families (request counters, admission verdicts, and queue-wait
+    /// vs service-time quantiles, aggregate and per model).
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.shared.telemetry.prometheus();
+        stats::render_prometheus(&self.stats(), &mut out);
+        out
+    }
+
+    /// The sampled request spans as Chrome-trace JSON — load the string
+    /// in Perfetto or `chrome://tracing` to see one track per request
+    /// with lifecycle and engine-phase slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures as [`Error::InvalidConfig`].
+    pub fn trace_json(&self) -> Result<String> {
+        self.shared.telemetry.chrome_trace_json()
+    }
+
+    /// Counts the queued requests, aggregate and per model index. Takes
+    /// (and releases) the queue lock only, so callers honor the
+    /// queue→stats lock order by calling this *before* locking stats.
+    fn queue_depths(&self) -> (u64, Vec<u64>) {
+        let queue = self.shared.queue.lock().expect("queue lock");
+        let mut per_model = vec![0u64; self.shared.models.len()];
+        for r in &queue.pending {
+            per_model[r.model] += 1;
+        }
+        (queue.pending.len() as u64, per_model)
+    }
+
+    fn snapshot(
+        &self,
+        stats: &MutexGuard<'_, AllStats>,
+        queue_depth: u64,
+        per_model_depth: &[u64],
+    ) -> RuntimeStats {
         RuntimeStats::snapshot_with_models(
             &stats.aggregate,
-            self.shared.models.iter().map(|m| m.id.as_str()).zip(stats.per_model.iter()),
+            self.shared
+                .models
+                .iter()
+                .zip(stats.per_model.iter())
+                .zip(per_model_depth)
+                .map(|((m, inner), &depth)| (m.id.as_str(), inner, depth)),
             self.shared.started.elapsed(),
+            queue_depth,
         )
     }
 
@@ -882,12 +1021,19 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
         if batch.is_empty() {
             continue 'serve;
         }
+        // The batch exists from here: queue wait ends, service begins.
+        let formed = Instant::now();
+        shared.handles.queue_depth.sub(batch.len() as i64);
 
         // Move the tensors out instead of cloning them onto the hot path;
-        // only the enqueue time and reply channel outlive the execution.
+        // only the request metadata and reply channel outlive the
+        // execution.
         let (inputs, meta): (Vec<Tensor>, Vec<_>) =
-            batch.into_iter().map(|r| (r.input, (r.enqueued, r.reply))).unzip();
+            batch.into_iter().map(|r| (r.input, (r.enqueued, r.seq, r.sampled, r.reply))).unzip();
         let frames = inputs.len();
+        // One sampled rider is enough to phase-profile the whole batch
+        // (the profile describes the shared passes, not one request).
+        let profiling = meta.iter().any(|(_, _, sampled, _)| *sampled);
         // Observed input activity density: under rate coding, a pixel's
         // value is its per-timestep spike probability, so the mean value
         // is the expected fraction of input axons spiking per step.
@@ -914,7 +1060,7 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
                         s.failed += frames as u64;
                     }
                     drop(stats);
-                    for (_, reply_tx) in meta {
+                    for (_, _, _, reply_tx) in meta {
                         let _ = reply_tx.send(Err(e.clone()));
                     }
                     continue 'serve;
@@ -934,17 +1080,42 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
         // The uniform plan → execute → drain lifecycle over the chosen
         // replica; both engines answer per-frame verdicts through it.
         let slot = model_engines.slot_mut(engine);
+        if profiling {
+            slot.engine.set_profiling(true);
+        }
         let exec_start = Instant::now();
-        let results: Vec<Result<SnnOutput>> = match slot.engine.plan(frames) {
-            Ok(()) => {
-                let results = slot.engine.execute(&inputs, timesteps);
-                slot.engine.drain();
-                results
-            }
-            Err(e) => (0..frames).map(|_| Err(e.clone())).collect(),
-        };
+        let (results, planned_at, executed_at): (Vec<Result<SnnOutput>>, Instant, Instant) =
+            match slot.engine.plan(frames) {
+                Ok(()) => {
+                    let planned_at = Instant::now();
+                    let results = slot.engine.execute(&inputs, timesteps);
+                    let executed_at = Instant::now();
+                    slot.engine.drain();
+                    (results, planned_at, executed_at)
+                }
+                Err(e) => {
+                    let now = Instant::now();
+                    ((0..frames).map(|_| Err(e.clone())).collect(), now, now)
+                }
+            };
         let busy = exec_start.elapsed();
         let answered = Instant::now();
+        // `take_profile` also stops profiling, so the next (unsampled)
+        // batch runs the untouched fast path.
+        let profile = if profiling { slot.engine.take_profile() } else { None };
+        if let Some(p) = &profile {
+            for (name, ns) in p.phase_ns() {
+                let counter = shared
+                    .handles
+                    .phases
+                    .iter()
+                    .find(|(phase, _)| *phase == name)
+                    .map(|(_, counter)| counter)
+                    .expect("the four phase counters cover every profile phase");
+                counter.add(ns);
+            }
+            shared.handles.profiled_batches.inc();
+        }
         // Per-unit marginal cost: frames for the sequential engine,
         // occupied lanes for the batched one — the same number, recorded
         // into this occupancy's bucket.
@@ -970,26 +1141,55 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
             }
             s.density_weighted_sum += density * frames as f64;
         }
-        for ((enqueued, reply_tx), result) in meta.into_iter().zip(results) {
+        for ((enqueued, seq, sampled, reply_tx), result) in meta.into_iter().zip(results) {
             match result {
                 Ok(output) => {
                     let latency = answered.duration_since(enqueued);
+                    // Queue wait and service partition the latency at the
+                    // batch-formed instant shared by every rider.
+                    let queue_wait = formed.saturating_duration_since(enqueued);
+                    let service = answered.saturating_duration_since(formed);
+                    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
                     for s in stats.both(model) {
                         s.completed += 1;
                         s.total_latency += latency;
                         s.max_latency = s.max_latency.max(latency);
-                        s.record_latency(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                        s.record_latency(ns(latency), ns(queue_wait), ns(service));
                     }
+                    shared.handles.e2e.record(latency);
+                    shared.handles.queue_wait.record(queue_wait);
+                    shared.handles.service.record(service);
                     let reply = InferenceReply {
                         model_id: shared.models[model].id.clone(),
                         predicted: output.predicted_class(),
                         output,
                         latency,
+                        queue_wait,
                         worker: id,
                         batch_size: frames,
                         engine,
                     };
                     let _ = reply_tx.send(Ok(reply));
+                    if sampled {
+                        let t = &shared.telemetry;
+                        t.record_span(SpanRecord {
+                            id: seq,
+                            model: shared.models[model].id.clone(),
+                            worker: id as u64,
+                            engine: match engine {
+                                EngineKind::Sequential => "sequential".to_string(),
+                                EngineKind::Batched => "batched".to_string(),
+                            },
+                            batch_size: frames as u64,
+                            admitted_us: t.instant_us(enqueued),
+                            formed_us: t.instant_us(formed),
+                            planned_us: t.instant_us(planned_at),
+                            executed_us: t.instant_us(executed_at),
+                            drained_us: t.instant_us(answered),
+                            replied_us: t.now_us(),
+                            phases: profile.clone(),
+                        });
+                    }
                 }
                 Err(e) => {
                     for s in stats.both(model) {
@@ -1402,6 +1602,83 @@ mod tests {
     }
 
     #[test]
+    fn sampled_requests_record_ordered_spans_with_phase_profiles() {
+        // Dense sampling on the PR 6 pinned-worker harness shape: one
+        // worker, a priority-pinned model next to a bulk one, so every
+        // request's lifecycle must land in the span ring — across
+        // models — with ordered timestamps and a phase profile.
+        let registry = ModelRegistry::new()
+            .with_model("pin", model(), ServeOptions::default().with_priority(10))
+            .unwrap()
+            .with_model("bulk", model_b(), ServeOptions::default())
+            .unwrap();
+        let config = RuntimeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            timesteps: 3,
+            telemetry: TelemetryConfig::dense(),
+            ..Default::default()
+        };
+        let runtime = Runtime::serve(registry, config).unwrap();
+        let telemetry = runtime.telemetry();
+        for k in 0..3 {
+            let reply = runtime.infer(InferenceRequest::new("pin", frame(k))).unwrap();
+            assert!(reply.queue_wait <= reply.latency, "queue wait is a share of the latency");
+            runtime.infer(InferenceRequest::new("bulk", frame_b(k))).unwrap();
+        }
+        let metrics = runtime.metrics_text();
+        let stats = runtime.shutdown().unwrap();
+
+        let spans = telemetry.spans();
+        assert_eq!(spans.len(), 6, "dense sampling records every request");
+        assert!(spans.iter().any(|s| s.model == "pin"));
+        assert!(spans.iter().any(|s| s.model == "bulk"));
+        for span in &spans {
+            assert!(span.is_monotone(), "lifecycle timestamps must be ordered: {span:?}");
+            assert_eq!(span.engine, "sequential", "serialized single-frame batches");
+            let phases = span.phases.as_ref().expect("sampled batches carry a phase profile");
+            assert!(phases.total_phase_ns() > 0, "phase times account for the pass");
+            assert_eq!(phases.timesteps, 3, "one 3-timestep frame per batch");
+            assert!(phases.active_axon_steps > 0);
+        }
+        // The whole ring exports as a valid Chrome trace with one
+        // request slice per span plus engine-phase children.
+        let summary = shenjing_telemetry::validate(&telemetry.chrome_trace()).unwrap();
+        assert_eq!(summary.requests, 6);
+        assert!(summary.phase_slices > 0);
+        // And the text snapshot exposes both the registry families and
+        // the stats-derived quantile split.
+        assert!(metrics.contains("shenjing_engine_phase_ns_total{phase=\"acc\"}"));
+        assert!(metrics.contains("shenjing_profiled_batches_total 6"));
+        assert!(metrics.contains("shenjing_queue_wait_seconds{quantile=\"0.5\"}"));
+        assert!(metrics.contains("shenjing_model_info{model=\"pin\""));
+        assert!(stats.p50_service > Duration::ZERO, "service time was measured");
+        assert!(stats.p99_service <= stats.max_latency);
+        assert_eq!(stats.queue_depth, 0, "a drained runtime holds no queued requests");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_spans() {
+        let registry =
+            ModelRegistry::new().with_model("m", model(), ServeOptions::default()).unwrap();
+        let config = RuntimeConfig {
+            workers: 1,
+            telemetry: TelemetryConfig::disabled(),
+            ..Default::default()
+        };
+        let runtime = Runtime::serve(registry, config).unwrap();
+        let telemetry = runtime.telemetry();
+        runtime.infer(request(0)).unwrap();
+        runtime.shutdown().unwrap();
+        assert!(telemetry.spans().is_empty(), "disabled sampling records nothing");
+        assert!(
+            telemetry.prometheus().contains("shenjing_request_duration_seconds_count 1"),
+            "counters stay live even with sampling disabled"
+        );
+    }
+
+    #[test]
     fn queued_requests_expire_without_occupying_a_lane() {
         // The worker sits in a 400 ms straggler wait on the pin model;
         // the bulk request's 30 ms deadline passes while it waits, so the
@@ -1487,6 +1764,7 @@ mod tests {
             deadline: deadline.map(|d| now + d),
             priority,
             seq,
+            sampled: false,
             reply: tx.clone(),
         };
         let urgent = req(5, Some(Duration::from_millis(1)), 10);

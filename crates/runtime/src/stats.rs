@@ -5,11 +5,49 @@
 
 use std::time::Duration;
 
-/// Cap on the retained latency sample. Beyond it, reservoir sampling
+/// Cap on each retained timing sample. Beyond it, reservoir sampling
 /// keeps a uniform subset, bounding both the memory of a long-running
 /// server and the clone-and-sort cost of every snapshot (taken under the
 /// stats lock the workers share).
 pub(crate) const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// A bounded, uniform sample of nanosecond timings (Algorithm R: the
+/// `k`-th observed value replaces a uniformly random slot with
+/// probability `CAP / k`). The randomness is a SplitMix64 hash of the
+/// sample count — deterministic for a given arrival order, no RNG state
+/// to carry.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Reservoir {
+    pub samples: Vec<u64>,
+    /// Values observed so far (the reservoir's `k`).
+    pub seen: u64,
+}
+
+impl Reservoir {
+    /// Records one value into the bounded reservoir.
+    pub(crate) fn record(&mut self, ns: u64) {
+        self.seen += 1;
+        if self.samples.len() < LATENCY_SAMPLE_CAP {
+            self.samples.push(ns);
+            return;
+        }
+        let mut z = self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let slot = (z % self.seen) as usize;
+        if slot < LATENCY_SAMPLE_CAP {
+            self.samples[slot] = ns;
+        }
+    }
+
+    /// The retained sample, ascending — the form [`percentile`] wants.
+    pub(crate) fn sorted(&self) -> Vec<u64> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted
+    }
+}
 
 /// Mutable counters the workers update under the stats lock.
 #[derive(Debug, Clone, Default)]
@@ -21,11 +59,15 @@ pub(crate) struct StatsInner {
     pub total_latency: Duration,
     pub max_latency: Duration,
     pub busy_time: Duration,
-    /// A bounded, uniform sample of successful requests' enqueue→reply
-    /// latencies, for percentiles (see [`StatsInner::record_latency`]).
-    pub latencies_ns: Vec<u64>,
-    /// Successful requests observed by the latency reservoir (its `k`).
-    pub latency_samples_seen: u64,
+    /// Successful requests' end-to-end enqueue→reply latencies.
+    pub latency: Reservoir,
+    /// The queue-wait share of those latencies: enqueue→batch-formed,
+    /// the time admission control and scheduling cost the request.
+    pub queue_wait: Reservoir,
+    /// The service share: batch-formed→answered, the time the engines
+    /// cost it. Queue wait and service partition the end-to-end latency,
+    /// so a fat p99 points at the queue or at the engines, not at both.
+    pub service: Reservoir,
     /// Batches dispatched to the sparse-sequential engine, and the frames
     /// they carried.
     pub sequential_batches: u64,
@@ -89,6 +131,24 @@ pub struct RuntimeStats {
     pub p99_latency: Duration,
     /// Worst observed enqueue→reply latency.
     pub max_latency: Duration,
+    /// Median queue-wait (enqueue→batch-formed) of successful requests.
+    /// Queue wait and service partition the end-to-end latency: a fat
+    /// tail here blames admission/scheduling, not the engines.
+    pub p50_queue_wait: Duration,
+    /// 95th-percentile queue-wait of successful requests.
+    pub p95_queue_wait: Duration,
+    /// 99th-percentile queue-wait of successful requests.
+    pub p99_queue_wait: Duration,
+    /// Median service time (batch-formed→answered) of successful
+    /// requests — what the plan → execute → drain lifecycle cost them.
+    pub p50_service: Duration,
+    /// 95th-percentile service time of successful requests.
+    pub p95_service: Duration,
+    /// 99th-percentile service time of successful requests.
+    pub p99_service: Duration,
+    /// Requests sitting in the queue at snapshot time (a point-in-time
+    /// gauge, not a counter).
+    pub queue_depth: u64,
     /// Batches the dispatch policy ran on the sparse-sequential engine.
     pub sequential_batches: u64,
     /// Frames served by the sparse-sequential engine.
@@ -135,25 +195,13 @@ pub struct ModelStats {
 }
 
 impl StatsInner {
-    /// Records one successful request's latency into the bounded
-    /// reservoir (Algorithm R: the `k`-th observed sample replaces a
-    /// uniformly random slot with probability `CAP / k`). The randomness
-    /// is a SplitMix64 hash of the sample count — deterministic for a
-    /// given arrival order, no RNG state to carry.
-    pub(crate) fn record_latency(&mut self, ns: u64) {
-        self.latency_samples_seen += 1;
-        if self.latencies_ns.len() < LATENCY_SAMPLE_CAP {
-            self.latencies_ns.push(ns);
-            return;
-        }
-        let mut z = self.latency_samples_seen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let slot = (z % self.latency_samples_seen) as usize;
-        if slot < LATENCY_SAMPLE_CAP {
-            self.latencies_ns[slot] = ns;
-        }
+    /// Records one successful request's timing split into the three
+    /// bounded reservoirs: end-to-end latency, its queue-wait share, and
+    /// its service share.
+    pub(crate) fn record_latency(&mut self, latency_ns: u64, queue_wait_ns: u64, service_ns: u64) {
+        self.latency.record(latency_ns);
+        self.queue_wait.record(queue_wait_ns);
+        self.service.record(service_ns);
     }
 
     /// Counts one executed batch of `frames` frames into the occupancy
@@ -177,10 +225,15 @@ fn percentile(sorted_ns: &[u64], q: f64) -> Duration {
 }
 
 impl RuntimeStats {
-    pub(crate) fn snapshot(inner: &StatsInner, elapsed: Duration) -> RuntimeStats {
+    pub(crate) fn snapshot(
+        inner: &StatsInner,
+        elapsed: Duration,
+        queue_depth: u64,
+    ) -> RuntimeStats {
         let done = inner.completed + inner.failed;
-        let mut sorted = inner.latencies_ns.clone();
-        sorted.sort_unstable();
+        let sorted = inner.latency.sorted();
+        let sorted_wait = inner.queue_wait.sorted();
+        let sorted_service = inner.service.sorted();
         RuntimeStats {
             completed: inner.completed,
             failed: inner.failed,
@@ -201,6 +254,13 @@ impl RuntimeStats {
             p95_latency: percentile(&sorted, 0.95),
             p99_latency: percentile(&sorted, 0.99),
             max_latency: inner.max_latency,
+            p50_queue_wait: percentile(&sorted_wait, 0.50),
+            p95_queue_wait: percentile(&sorted_wait, 0.95),
+            p99_queue_wait: percentile(&sorted_wait, 0.99),
+            p50_service: percentile(&sorted_service, 0.50),
+            p95_service: percentile(&sorted_service, 0.95),
+            p99_service: percentile(&sorted_service, 0.99),
+            queue_depth,
             sequential_batches: inner.sequential_batches,
             sequential_frames: inner.sequential_frames,
             batched_batches: inner.batched_batches,
@@ -226,20 +286,85 @@ impl RuntimeStats {
         }
     }
 
-    /// Snapshots an aggregate plus its per-model views in one pass.
+    /// Snapshots an aggregate plus its per-model views in one pass; each
+    /// model's item carries its share of the current queue depth.
     pub(crate) fn snapshot_with_models<'a>(
         aggregate: &StatsInner,
-        models: impl Iterator<Item = (&'a str, &'a StatsInner)>,
+        models: impl Iterator<Item = (&'a str, &'a StatsInner, u64)>,
         elapsed: Duration,
+        queue_depth: u64,
     ) -> RuntimeStats {
-        let mut stats = RuntimeStats::snapshot(aggregate, elapsed);
+        let mut stats = RuntimeStats::snapshot(aggregate, elapsed, queue_depth);
         stats.models = models
-            .map(|(id, inner)| ModelStats {
+            .map(|(id, inner, depth)| ModelStats {
                 id: id.to_string(),
-                stats: RuntimeStats::snapshot(inner, elapsed),
+                stats: RuntimeStats::snapshot(inner, elapsed, depth),
             })
             .collect();
         stats
+    }
+}
+
+/// Renders the stats-snapshot families (request counters, admission
+/// verdicts, and the queue-wait / service / end-to-end quantiles) as
+/// Prometheus text exposition lines, appended to `out`. Complements the
+/// live-registry render: together they form
+/// [`Runtime::metrics_text`](crate::Runtime::metrics_text).
+pub(crate) fn render_prometheus(stats: &RuntimeStats, out: &mut String) {
+    use std::fmt::Write;
+    let mut family = |name: &str, kind: &str, lines: &[(String, String)]| {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, value) in lines {
+            let _ = writeln!(out, "{name}{labels} {value}");
+        }
+    };
+    let count = |v: u64| (String::new(), v.to_string());
+    family("shenjing_requests_completed_total", "counter", &[count(stats.completed)]);
+    family("shenjing_requests_failed_total", "counter", &[count(stats.failed)]);
+    family("shenjing_batches_total", "counter", &[count(stats.batches)]);
+    family("shenjing_cold_starts_total", "counter", &[count(stats.cold_starts)]);
+    family(
+        "shenjing_requests_rejected_total",
+        "counter",
+        &[
+            ("{reason=\"queue_full\"}".into(), stats.rejected_queue_full.to_string()),
+            ("{reason=\"deadline\"}".into(), stats.rejected_deadline.to_string()),
+            ("{reason=\"expired_in_queue\"}".into(), stats.expired_in_queue.to_string()),
+            ("{reason=\"unknown_model\"}".into(), stats.rejected_unknown_model.to_string()),
+        ],
+    );
+    let quantiles = |p50: Duration, p95: Duration, p99: Duration| {
+        vec![
+            ("{quantile=\"0.5\"}".to_string(), format!("{}", p50.as_secs_f64())),
+            ("{quantile=\"0.95\"}".to_string(), format!("{}", p95.as_secs_f64())),
+            ("{quantile=\"0.99\"}".to_string(), format!("{}", p99.as_secs_f64())),
+        ]
+    };
+    family(
+        "shenjing_request_latency_seconds",
+        "gauge",
+        &quantiles(stats.p50_latency, stats.p95_latency, stats.p99_latency),
+    );
+    family(
+        "shenjing_queue_wait_seconds",
+        "gauge",
+        &quantiles(stats.p50_queue_wait, stats.p95_queue_wait, stats.p99_queue_wait),
+    );
+    family(
+        "shenjing_service_time_seconds",
+        "gauge",
+        &quantiles(stats.p50_service, stats.p95_service, stats.p99_service),
+    );
+    let per_model = |field: fn(&RuntimeStats) -> u64| {
+        stats
+            .models
+            .iter()
+            .map(|m| (format!("{{model=\"{}\"}}", m.id), field(&m.stats).to_string()))
+            .collect::<Vec<_>>()
+    };
+    if !stats.models.is_empty() {
+        family("shenjing_model_completed_total", "counter", &per_model(|s| s.completed));
+        family("shenjing_model_queue_depth", "gauge", &per_model(|s| s.queue_depth));
     }
 }
 
@@ -249,18 +374,29 @@ mod tests {
 
     #[test]
     fn latency_reservoir_is_bounded() {
-        let mut inner = StatsInner::default();
+        let mut reservoir = Reservoir::default();
         for i in 0..3 * LATENCY_SAMPLE_CAP as u64 {
-            inner.record_latency(i);
+            reservoir.record(i);
         }
-        assert_eq!(inner.latencies_ns.len(), LATENCY_SAMPLE_CAP, "reservoir stays capped");
-        assert_eq!(inner.latency_samples_seen, 3 * LATENCY_SAMPLE_CAP as u64);
+        assert_eq!(reservoir.samples.len(), LATENCY_SAMPLE_CAP, "reservoir stays capped");
+        assert_eq!(reservoir.seen, 3 * LATENCY_SAMPLE_CAP as u64);
         // The retained sample is not just the first CAP values: later
         // arrivals must have displaced some early ones.
         assert!(
-            inner.latencies_ns.iter().any(|&ns| ns >= LATENCY_SAMPLE_CAP as u64),
+            reservoir.samples.iter().any(|&ns| ns >= LATENCY_SAMPLE_CAP as u64),
             "reservoir must admit samples beyond the cap"
         );
+    }
+
+    #[test]
+    fn record_latency_feeds_all_three_reservoirs() {
+        let mut inner = StatsInner::default();
+        inner.record_latency(100, 30, 70);
+        inner.record_latency(200, 50, 150);
+        assert_eq!(inner.latency.samples, vec![100, 200]);
+        assert_eq!(inner.queue_wait.samples, vec![30, 50]);
+        assert_eq!(inner.service.samples, vec![70, 150]);
+        assert_eq!(inner.latency.seen, 2);
     }
 
     #[test]
@@ -281,7 +417,7 @@ mod tests {
         inner.record_occupancy(4, 4);
         inner.record_occupancy(2, 4);
         assert_eq!(inner.occupancy_counts, vec![0, 1, 1, 0, 2]);
-        let stats = RuntimeStats::snapshot(&inner, Duration::from_secs(1));
+        let stats = RuntimeStats::snapshot(&inner, Duration::from_secs(1), 0);
         assert_eq!(stats.occupancy_histogram, vec![0, 1, 1, 0, 2]);
     }
 
@@ -290,7 +426,9 @@ mod tests {
         let inner = StatsInner {
             completed: 4,
             batches: 2,
-            latencies_ns: vec![400, 100, 300, 200],
+            latency: Reservoir { samples: vec![400, 100, 300, 200], seen: 4 },
+            queue_wait: Reservoir { samples: vec![40, 10, 30, 20], seen: 4 },
+            service: Reservoir { samples: vec![360, 90, 270, 180], seen: 4 },
             sequential_batches: 1,
             sequential_frames: 1,
             batched_batches: 1,
@@ -298,10 +436,41 @@ mod tests {
             density_weighted_sum: 4.0 * 0.25,
             ..Default::default()
         };
-        let stats = RuntimeStats::snapshot(&inner, Duration::from_secs(1));
+        let stats = RuntimeStats::snapshot(&inner, Duration::from_secs(1), 7);
         assert_eq!(stats.p50_latency, Duration::from_nanos(200));
         assert_eq!(stats.p99_latency, Duration::from_nanos(400));
+        assert_eq!(stats.p50_queue_wait, Duration::from_nanos(20));
+        assert_eq!(stats.p99_queue_wait, Duration::from_nanos(40));
+        assert_eq!(stats.p50_service, Duration::from_nanos(180));
+        assert_eq!(stats.p99_service, Duration::from_nanos(360));
+        assert_eq!(stats.queue_depth, 7);
         assert_eq!(stats.sequential_frames + stats.batched_frames, 4);
         assert!((stats.mean_input_density - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_render_exposes_quantiles_and_verdicts() {
+        let inner = StatsInner {
+            completed: 3,
+            rejected_queue_full: 2,
+            latency: Reservoir { samples: vec![1_000_000, 2_000_000, 3_000_000], seen: 3 },
+            queue_wait: Reservoir { samples: vec![250_000, 500_000, 750_000], seen: 3 },
+            service: Reservoir { samples: vec![750_000, 1_500_000, 2_250_000], seen: 3 },
+            ..Default::default()
+        };
+        let stats = RuntimeStats::snapshot_with_models(
+            &inner,
+            std::iter::once(("digits", &inner, 4)),
+            Duration::from_secs(1),
+            4,
+        );
+        let mut out = String::new();
+        render_prometheus(&stats, &mut out);
+        assert!(out.contains("# TYPE shenjing_queue_wait_seconds gauge"));
+        assert!(out.contains("shenjing_queue_wait_seconds{quantile=\"0.5\"} 0.0005"));
+        assert!(out.contains("shenjing_service_time_seconds{quantile=\"0.99\"} 0.00225"));
+        assert!(out.contains("shenjing_requests_rejected_total{reason=\"queue_full\"} 2"));
+        assert!(out.contains("shenjing_model_completed_total{model=\"digits\"} 3"));
+        assert!(out.contains("shenjing_model_queue_depth{model=\"digits\"} 4"));
     }
 }

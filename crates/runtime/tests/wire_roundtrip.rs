@@ -68,6 +68,8 @@ proptest! {
                 predicted: output.predicted_class(),
                 output,
                 latency: Duration::from_nanos(latency_ns),
+                // Queue wait is a portion of the end-to-end latency.
+                queue_wait: Duration::from_nanos(latency_ns / 3),
                 worker,
                 batch_size,
                 engine: if batched { EngineKind::Batched } else { EngineKind::Sequential },

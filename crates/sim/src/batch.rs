@@ -42,6 +42,9 @@ pub struct BatchSim {
     chip: BatchChip,
     program: Arc<DecodedProgram>,
     batch: usize,
+    /// Accumulating phase profile while profiling is on (`None` = off).
+    #[cfg(feature = "telemetry")]
+    profile: Option<shenjing_telemetry::PassProfile>,
 }
 
 impl BatchSim {
@@ -75,7 +78,35 @@ impl BatchSim {
         for (coord, plane, threshold) in &program.thresholds {
             chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
         }
-        Ok(BatchSim { chip, program, batch })
+        Ok(BatchSim {
+            chip,
+            program,
+            batch,
+            #[cfg(feature = "telemetry")]
+            profile: None,
+        })
+    }
+
+    /// Starts (or stops) per-pass phase profiling: while on, every
+    /// [`run_occupied`](BatchSim::run_occupied) pass accumulates ACC /
+    /// SEND / transfer / drain wall-clock time plus active-axon and
+    /// occupied-lane counts into a
+    /// [`PassProfile`](shenjing_telemetry::PassProfile). Off by
+    /// default — the unprofiled cycle loop is untouched.
+    #[cfg(feature = "telemetry")]
+    pub fn set_profiling(&mut self, on: bool) {
+        if on {
+            self.profile.get_or_insert_with(Default::default);
+        } else {
+            self.profile = None;
+        }
+    }
+
+    /// Takes the accumulated profile, stopping profiling. `None` when
+    /// profiling was never started (or already taken).
+    #[cfg(feature = "telemetry")]
+    pub fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
+        self.profile.take()
     }
 
     /// Number of frame lanes this simulator advances per pass.
@@ -244,6 +275,10 @@ impl BatchSim {
         let mut spike_counts = vec![vec![0u32; out_len]; frames];
         let mut spikes_by_step: Vec<Vec<Vec<bool>>> =
             vec![Vec::with_capacity(timesteps as usize); frames];
+        #[cfg(feature = "telemetry")]
+        let profiling = self.profile.is_some();
+        #[cfg(feature = "telemetry")]
+        let mut phases = shenjing_hw::CyclePhases::default();
 
         for _ in 0..timesteps {
             // Fresh axons; inject every frame's input spikes for this step
@@ -260,6 +295,12 @@ impl BatchSim {
                     }
                 }
             }
+            #[cfg(feature = "telemetry")]
+            if profiling {
+                if let Some(p) = self.profile.as_mut() {
+                    p.active_axon_steps += self.chip.active_axon_count() as u64;
+                }
+            }
 
             // One pass over the static block advances every occupied lane.
             let mut idx = 0usize;
@@ -273,6 +314,11 @@ impl BatchSim {
                     } else {
                         &[]
                     };
+                #[cfg(feature = "telemetry")]
+                if profiling {
+                    self.chip.exec_cycle_phased(cycle, ops, &mut phases)?;
+                    continue;
+                }
                 self.chip.exec_cycle(cycle, ops)?;
             }
 
@@ -303,6 +349,18 @@ impl BatchSim {
                 })
                 .collect::<Result<Vec<i64>>>()?;
             outputs.push(SnnOutput { spike_counts: counts, potentials, spikes_by_step: steps });
+        }
+
+        #[cfg(feature = "telemetry")]
+        if let Some(p) = self.profile.as_mut() {
+            p.passes += 1;
+            p.timesteps += u64::from(timesteps);
+            p.cycles += u64::from(timesteps) * self.program.block_cycles;
+            p.occupied_lane_steps += lane_ids.len() as u64;
+            p.acc_ns += phases.acc_ns;
+            p.send_ns += phases.send_ns;
+            p.transfer_ns += phases.transfer_ns;
+            p.drain_ns += phases.drain_ns;
         }
         Ok(outputs)
     }
@@ -397,6 +455,30 @@ mod tests {
             batched.run_occupied(&[Tensor::zeros(vec![8]), Tensor::zeros(vec![8])], 5).is_err(),
             "frame count must match the occupied-lane count"
         );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn profiling_counts_occupied_lanes_and_stays_bit_exact() {
+        let arch = ArchSpec::tiny();
+        let snn = two_layer_snn();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        let mut batched = BatchSim::new(&arch, &mapping.logical, &mapping.program, 4).unwrap();
+        let inputs: Vec<Tensor> =
+            (0..3).map(|_| Tensor::from_vec(vec![8], vec![0.6; 8]).unwrap()).collect();
+        let plain = batched.run_batch(&inputs, 6).unwrap();
+
+        batched.set_profiling(true);
+        let profiled = batched.run_batch(&inputs, 6).unwrap();
+        assert_eq!(profiled, plain, "profiling must not perturb results");
+        let p = batched.take_profile().unwrap();
+        assert_eq!(p.passes, 1);
+        assert_eq!(p.timesteps, 6);
+        assert_eq!(p.cycles, 6 * batched.decoded().block_cycles());
+        assert_eq!(p.occupied_lane_steps, 3, "3-of-4 pass occupies 3 lanes");
+        assert!(p.active_axon_steps > 0);
+        assert!(p.total_phase_ns() > 0);
+        assert!(batched.take_profile().is_none(), "take_profile stops profiling");
     }
 
     #[test]

@@ -103,6 +103,9 @@ impl DecodedProgram {
 pub struct CycleSim {
     chip: Chip,
     program: Arc<DecodedProgram>,
+    /// Accumulating phase profile while profiling is on (`None` = off).
+    #[cfg(feature = "telemetry")]
+    profile: Option<shenjing_telemetry::PassProfile>,
 }
 
 impl CycleSim {
@@ -136,7 +139,33 @@ impl CycleSim {
         for (coord, plane, threshold) in &program.thresholds {
             chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
         }
-        Ok(CycleSim { chip, program })
+        Ok(CycleSim {
+            chip,
+            program,
+            #[cfg(feature = "telemetry")]
+            profile: None,
+        })
+    }
+
+    /// Starts (or stops) per-pass phase profiling: while on, every
+    /// [`run_frame`](CycleSim::run_frame) accumulates ACC / SEND /
+    /// transfer / drain wall-clock time and active-axon counts into a
+    /// [`PassProfile`](shenjing_telemetry::PassProfile). Off by
+    /// default — the unprofiled cycle loop is untouched.
+    #[cfg(feature = "telemetry")]
+    pub fn set_profiling(&mut self, on: bool) {
+        if on {
+            self.profile.get_or_insert_with(Default::default);
+        } else {
+            self.profile = None;
+        }
+    }
+
+    /// Takes the accumulated profile, stopping profiling. `None` when
+    /// profiling was never started (or already taken).
+    #[cfg(feature = "telemetry")]
+    pub fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
+        self.profile.take()
     }
 
     /// The mesh.
@@ -189,6 +218,10 @@ impl CycleSim {
         let out_len = self.program.output_map.len();
         let mut spike_counts = vec![0u32; out_len];
         let mut spikes_by_step = Vec::with_capacity(timesteps as usize);
+        #[cfg(feature = "telemetry")]
+        let profiling = self.profile.is_some();
+        #[cfg(feature = "telemetry")]
+        let mut phases = shenjing_hw::CyclePhases::default();
 
         for _ in 0..timesteps {
             // Fresh axons; inject this timestep's input spikes.
@@ -200,6 +233,12 @@ impl CycleSim {
                 }
                 for (coord, axon) in &self.program.input_map[i] {
                     self.chip.tile_mut(*coord)?.core_mut().set_axon(*axon, true)?;
+                }
+            }
+            #[cfg(feature = "telemetry")]
+            if profiling {
+                if let Some(p) = self.profile.as_mut() {
+                    p.active_axon_steps += self.chip.active_axon_count() as u64;
                 }
             }
 
@@ -215,6 +254,11 @@ impl CycleSim {
                     } else {
                         &[]
                     };
+                #[cfg(feature = "telemetry")]
+                if profiling {
+                    self.chip.exec_cycle_phased(cycle, ops, &mut phases)?;
+                    continue;
+                }
                 self.chip.exec_cycle(cycle, ops)?;
             }
 
@@ -236,6 +280,17 @@ impl CycleSim {
             .iter()
             .map(|(coord, plane)| Ok(i64::from(self.chip.tile(*coord)?.spike().potential(*plane))))
             .collect::<Result<Vec<i64>>>()?;
+
+        #[cfg(feature = "telemetry")]
+        if let Some(p) = self.profile.as_mut() {
+            p.passes += 1;
+            p.timesteps += u64::from(timesteps);
+            p.cycles += u64::from(timesteps) * self.program.block_cycles;
+            p.acc_ns += phases.acc_ns;
+            p.send_ns += phases.send_ns;
+            p.transfer_ns += phases.transfer_ns;
+            p.drain_ns += phases.drain_ns;
+        }
 
         Ok(SnnOutput { spike_counts, potentials, spikes_by_step })
     }
@@ -331,6 +386,33 @@ mod tests {
         let a = sim.run_frame(&input, 12).unwrap();
         let b = sim.run_frame(&input, 12).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn profiling_accounts_passes_and_stays_bit_exact() {
+        let arch = ArchSpec::tiny();
+        let weights = vec![w(3); 8 * 4];
+        let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+            SpikingDense::new(weights, 8, 4, 10, 1.0).unwrap(),
+        )])
+        .unwrap();
+        let mut sim = build_sim(&snn, &arch);
+        let input = Tensor::from_vec(vec![8], vec![0.6; 8]).unwrap();
+        let plain = sim.run_frame(&input, 12).unwrap();
+        assert!(sim.take_profile().is_none(), "profiling is off by default");
+
+        sim.set_profiling(true);
+        let profiled = sim.run_frame(&input, 12).unwrap();
+        assert_eq!(profiled, plain, "profiling must not perturb results");
+        let p = sim.take_profile().unwrap();
+        assert_eq!(p.passes, 1);
+        assert_eq!(p.timesteps, 12);
+        assert_eq!(p.cycles, 12 * sim.block_cycles());
+        assert_eq!(p.occupied_lane_steps, 0, "the sequential engine has no lanes");
+        assert!(p.active_axon_steps > 0, "0.6-rate inputs must activate axons");
+        assert!(p.total_phase_ns() > 0, "phases must attribute some time");
+        assert!(sim.take_profile().is_none(), "take_profile stops profiling");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Chrome-trace-format (Perfetto-loadable) export of sampled spans.
+//!
+//! The exporter renders every request as its own track (`tid` =
+//! request id): a named thread-metadata event, one parent `"X"` slice
+//! covering admitted → replied, five lifecycle child slices (queued,
+//! plan, execute, drain, reply), and — when the carrying batch was
+//! profiled — four engine-phase slices (acc, send, transfer, drain)
+//! laid out sequentially inside the execute window, scaled to their
+//! measured share of the pass. Children are constructed end-to-start,
+//! so phase timestamps are monotone and non-overlapping per request
+//! *by construction*; [`validate`] re-checks that on a parsed trace.
+//!
+//! The JSON shape is pinned by typed structs that both serialize and
+//! deserialize through the vendored `serde_json`, so a dumped trace can
+//! be round-trip-validated (`bench_gate trace-check`) without a schema.
+
+use shenjing_core::{Error, Result};
+
+use crate::span::SpanRecord;
+
+/// The single process id every event reports.
+pub const TRACE_PID: u64 = 1;
+
+/// A Chrome "JSON Object Format" trace: the one key Perfetto needs.
+#[allow(non_snake_case)]
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChromeTrace {
+    /// The flat event list (`X` duration slices plus `M` metadata).
+    pub traceEvents: Vec<ChromeEvent>,
+}
+
+/// One trace event. Every field is always emitted (the vendored serde
+/// derive treats missing keys as errors on the way back in), matching
+/// the subset of the Chrome trace-event schema the viewers read.
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChromeEvent {
+    /// Slice label ("queued", "acc", the model id, …).
+    pub name: String,
+    /// Event category: `"request"`, `"lifecycle"`, or `"engine"`.
+    pub cat: String,
+    /// Phase type: `"X"` (complete slice) or `"M"` (metadata).
+    pub ph: String,
+    /// Start, microseconds since the telemetry epoch.
+    pub ts: f64,
+    /// Duration in microseconds (zero for metadata).
+    pub dur: f64,
+    /// Process id (always [`TRACE_PID`]).
+    pub pid: u64,
+    /// Thread id: the request id, giving each request its own track.
+    pub tid: u64,
+    /// Structured payload shown in the viewer's detail pane.
+    pub args: EventArgs,
+}
+
+/// Event payload. All keys are always present (`null` when not
+/// applicable) so the typed deserializer can validate any event.
+#[derive(Debug, Default, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventArgs {
+    /// Track name (thread-metadata events only).
+    pub name: Option<String>,
+    /// Model id (request slices).
+    pub model: Option<String>,
+    /// Carrying engine (request slices).
+    pub engine: Option<String>,
+    /// Worker shard (request slices).
+    pub worker: Option<u64>,
+    /// Frames in the carrying batch (request slices).
+    pub batch_size: Option<u64>,
+    /// Profiled passes (execute slices).
+    pub passes: Option<u64>,
+    /// Profiled timesteps (execute slices).
+    pub timesteps: Option<u64>,
+    /// Profiled cycles (execute slices).
+    pub cycles: Option<u64>,
+    /// Active-axon timestep sum (execute slices).
+    pub active_axon_steps: Option<u64>,
+    /// Occupied-lane pass sum (execute slices).
+    pub occupied_lane_steps: Option<u64>,
+    /// Measured nanoseconds behind a scaled phase slice (engine
+    /// slices) — the unscaled value the slice width was derived from.
+    pub phase_ns: Option<u64>,
+}
+
+fn slice(name: &str, cat: &str, ts: f64, dur: f64, tid: u64, args: EventArgs) -> ChromeEvent {
+    ChromeEvent {
+        name: name.to_string(),
+        cat: cat.to_string(),
+        ph: "X".to_string(),
+        ts,
+        dur,
+        pid: TRACE_PID,
+        tid,
+        args,
+    }
+}
+
+/// Renders sampled spans as a Chrome trace, one track per request.
+pub fn chrome_trace(spans: &[SpanRecord]) -> ChromeTrace {
+    let mut events = Vec::with_capacity(spans.len() * 11);
+    for span in spans {
+        events.push(ChromeEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: "M".to_string(),
+            ts: 0.0,
+            dur: 0.0,
+            pid: TRACE_PID,
+            tid: span.id,
+            args: EventArgs {
+                name: Some(format!("request {} ({})", span.id, span.model)),
+                ..EventArgs::default()
+            },
+        });
+        events.push(slice(
+            &span.model,
+            "request",
+            span.admitted_us,
+            (span.replied_us - span.admitted_us).max(0.0),
+            span.id,
+            EventArgs {
+                model: Some(span.model.clone()),
+                engine: Some(span.engine.clone()),
+                worker: Some(span.worker),
+                batch_size: Some(span.batch_size),
+                ..EventArgs::default()
+            },
+        ));
+        let mut start = span.admitted_us;
+        for (name, end) in span.segments() {
+            // Clamp so a malformed span still yields a monotone track.
+            let end = end.max(start);
+            let mut args = EventArgs::default();
+            if name == "execute" {
+                if let Some(p) = &span.phases {
+                    args.passes = Some(p.passes);
+                    args.timesteps = Some(p.timesteps);
+                    args.cycles = Some(p.cycles);
+                    args.active_axon_steps = Some(p.active_axon_steps);
+                    args.occupied_lane_steps = Some(p.occupied_lane_steps);
+                }
+            }
+            events.push(slice(name, "lifecycle", start, end - start, span.id, args));
+            start = end;
+        }
+        if let Some(p) = &span.phases {
+            let window = (span.executed_us - span.planned_us).max(0.0);
+            let total = p.total_phase_ns();
+            if total > 0 {
+                // Sequential slices scaled to the execute window: each
+                // starts exactly where the previous one ends.
+                let mut t = span.planned_us.max(span.admitted_us);
+                for (name, ns) in p.phase_ns() {
+                    let dur = window * (ns as f64 / total as f64);
+                    let args = EventArgs { phase_ns: Some(ns), ..EventArgs::default() };
+                    events.push(slice(name, "engine", t, dur, span.id, args));
+                    t += dur;
+                }
+            }
+        }
+    }
+    ChromeTrace { traceEvents: events }
+}
+
+/// What [`validate`] measured about a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Request tracks (parent `"request"` slices).
+    pub requests: usize,
+    /// Engine-phase slices across all tracks.
+    pub phase_slices: usize,
+}
+
+/// Checks the invariants the exporter promises: every event carries a
+/// known phase type and a non-negative duration, and within each track
+/// the lifecycle slices — and separately the engine-phase slices — are
+/// monotone and non-overlapping in time.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidControl`] naming the first violated
+/// invariant.
+pub fn validate(trace: &ChromeTrace) -> Result<TraceSummary> {
+    let bad = |reason: String| Error::InvalidControl { component: "chrome trace".into(), reason };
+    let mut requests = 0usize;
+    let mut phase_slices = 0usize;
+    // Events arrive grouped per track; track the running end per
+    // (tid, cat) for the two child categories.
+    let mut last_end: std::collections::BTreeMap<(u64, &str), f64> =
+        std::collections::BTreeMap::new();
+    for event in &trace.traceEvents {
+        match event.ph.as_str() {
+            "M" => continue,
+            "X" => {}
+            other => return Err(bad(format!("unknown phase type `{other}`"))),
+        }
+        if !(event.dur >= 0.0 && event.ts.is_finite() && event.dur.is_finite()) {
+            return Err(bad(format!("non-finite or negative slice at ts {}", event.ts)));
+        }
+        let cat = match event.cat.as_str() {
+            "request" => {
+                requests += 1;
+                continue;
+            }
+            "lifecycle" => "lifecycle",
+            "engine" => {
+                phase_slices += 1;
+                "engine"
+            }
+            other => return Err(bad(format!("unknown category `{other}`"))),
+        };
+        let end = last_end.entry((event.tid, cat)).or_insert(f64::NEG_INFINITY);
+        // Tolerate only float representation slack, not real overlap.
+        if event.ts < *end - 1e-6 {
+            return Err(bad(format!(
+                "overlapping {cat} slices on track {}: `{}` starts at {} before {}",
+                event.tid, event.name, event.ts, end
+            )));
+        }
+        *end = event.ts.max(*end) + event.dur;
+    }
+    Ok(TraceSummary { events: trace.traceEvents.len(), requests, phase_slices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PassProfile;
+
+    fn span() -> SpanRecord {
+        SpanRecord {
+            id: 7,
+            model: "digits".into(),
+            worker: 1,
+            engine: "batched".into(),
+            batch_size: 4,
+            admitted_us: 10.0,
+            formed_us: 25.0,
+            planned_us: 26.0,
+            executed_us: 90.0,
+            drained_us: 95.0,
+            replied_us: 99.0,
+            phases: Some(PassProfile {
+                passes: 1,
+                timesteps: 8,
+                cycles: 80,
+                acc_ns: 4_000,
+                send_ns: 2_000,
+                transfer_ns: 3_000,
+                drain_ns: 1_000,
+                active_axon_steps: 64,
+                occupied_lane_steps: 4,
+            }),
+        }
+    }
+
+    #[test]
+    fn exported_trace_roundtrips_and_validates() {
+        let trace = chrome_trace(&[span()]);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        let summary = validate(&back).unwrap();
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.phase_slices, 4);
+        // 1 metadata + 1 request + 5 lifecycle + 4 engine slices.
+        assert_eq!(summary.events, 11);
+    }
+
+    #[test]
+    fn phase_slices_fill_the_execute_window_in_measured_shares() {
+        let trace = chrome_trace(&[span()]);
+        let engine: Vec<&ChromeEvent> =
+            trace.traceEvents.iter().filter(|e| e.cat == "engine").collect();
+        assert_eq!(engine[0].name, "acc");
+        assert_eq!(engine[0].ts, 26.0);
+        // acc measured 4000 of 10000 ns over a 64 µs window.
+        assert!((engine[0].dur - 25.6).abs() < 1e-9);
+        let last = engine.last().unwrap();
+        assert!((last.ts + last.dur - 90.0).abs() < 1e-6, "phases end at executed_us");
+    }
+
+    #[test]
+    fn overlapping_slices_are_rejected() {
+        let mut trace = chrome_trace(&[span()]);
+        // Shift one engine slice backwards into its predecessor.
+        let idx = trace.traceEvents.iter().position(|e| e.name == "transfer").unwrap();
+        trace.traceEvents[idx].ts -= 5.0;
+        assert!(validate(&trace).is_err());
+        let mut negative = chrome_trace(&[span()]);
+        negative.traceEvents[1].dur = -1.0;
+        assert!(validate(&negative).is_err());
+    }
+}

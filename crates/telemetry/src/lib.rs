@@ -1,0 +1,245 @@
+//! Observability for the serving tier: metrics, spans, and exporters.
+//!
+//! The paper's headline results are per-component breakdowns (Table
+//! II/IV split power and latency across NoC, partial-sum routers, and
+//! cores); this crate gives the reproduction's *runtime* the same shape
+//! of visibility on a live workload. Three pieces:
+//!
+//! 1. **Metrics** ([`Registry`]) — always-on atomic [`Counter`]s,
+//!    [`Gauge`]s and log2-bucketed [`TimeHistogram`]s, rendered as a
+//!    Prometheus text exposition snapshot.
+//! 2. **Spans** ([`SpanRecord`], [`SpanRing`]) — per-request lifecycle
+//!    timestamps (admitted → batch-formed → planned → executed →
+//!    drained → replied) recorded into a bounded ring for a sampled
+//!    subset of requests, so the hot path pays a few atomic ops per
+//!    request and one short lock per *sampled* request.
+//! 3. **Engine profiles** ([`PassProfile`]) — per-phase pass time (ACC
+//!    / SEND / transfer / drain) with active-axon and occupied-lane
+//!    counts, filled in by the simulator engines when a sampled batch
+//!    asks for profiling.
+//!
+//! [`Telemetry`] owns all three behind one epoch and one sampling
+//! decision ([`Telemetry::sample`]), and exports either a
+//! Perfetto-loadable Chrome trace ([`Telemetry::chrome_trace_json`])
+//! or the Prometheus snapshot ([`Telemetry::prometheus`]).
+//!
+//! ```
+//! use shenjing_telemetry::{SpanRecord, Telemetry, TelemetryConfig};
+//!
+//! let telemetry = Telemetry::new(TelemetryConfig::default().with_sample_every(1));
+//! telemetry.registry().counter("demo_total").inc();
+//! assert!(telemetry.sample());
+//! let at = telemetry.now_us();
+//! telemetry.record_span(SpanRecord {
+//!     id: 0,
+//!     model: "digits".into(),
+//!     admitted_us: at,
+//!     replied_us: at,
+//!     ..SpanRecord::default()
+//! });
+//! assert_eq!(telemetry.spans().len(), 1);
+//! assert!(telemetry.prometheus().contains("demo_total 1"));
+//! assert!(telemetry.chrome_trace_json().unwrap().contains("traceEvents"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use chrome::{chrome_trace, validate, ChromeEvent, ChromeTrace, EventArgs, TraceSummary};
+pub use metrics::{Counter, Gauge, Registry, TimeHistogram};
+pub use profile::PassProfile;
+pub use span::{SpanRecord, SpanRing};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use shenjing_core::Result;
+
+/// Telemetry policy: one value on the runtime config.
+///
+/// Defaults keep the hot-path cost negligible (1-in-16 sampling, a
+/// 4096-span ring); [`dense`](TelemetryConfig::dense) records every
+/// request for demos and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch: when false, [`Telemetry::sample`] never fires and
+    /// no spans or profiles are recorded (counters stay live — they
+    /// are too cheap to gate).
+    pub enabled: bool,
+    /// Record the lifecycle span (and profile the carrying batch) of
+    /// every N-th request. 1 records everything.
+    pub sample_every: u64,
+    /// Bounded span-ring capacity; the oldest span is evicted (and
+    /// counted) on overflow.
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig { enabled: true, sample_every: 16, ring_capacity: 4096 }
+    }
+}
+
+impl TelemetryConfig {
+    /// Every request sampled — full traces, for demos and tests.
+    pub fn dense() -> TelemetryConfig {
+        TelemetryConfig::default().with_sample_every(1)
+    }
+
+    /// Sampling and span recording off; counters remain live.
+    pub fn disabled() -> TelemetryConfig {
+        TelemetryConfig { enabled: false, ..TelemetryConfig::default() }
+    }
+
+    /// Sets the sampling period (clamped to at least 1).
+    #[must_use]
+    pub fn with_sample_every(mut self, every: u64) -> TelemetryConfig {
+        self.sample_every = every.max(1);
+        self
+    }
+
+    /// Sets the span-ring capacity (clamped to at least 1).
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> TelemetryConfig {
+        self.ring_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// The telemetry hub one runtime owns: an epoch all span timestamps
+/// are relative to, the metric [`Registry`], the sampled [`SpanRing`],
+/// and the sampling counter.
+#[derive(Debug)]
+pub struct Telemetry {
+    epoch: Instant,
+    config: TelemetryConfig,
+    registry: Registry,
+    spans: SpanRing,
+    decisions: AtomicU64,
+}
+
+impl Telemetry {
+    /// A fresh hub; the epoch is now.
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        let spans = SpanRing::new(config.ring_capacity);
+        Telemetry {
+            epoch: Instant::now(),
+            config,
+            registry: Registry::new(),
+            spans,
+            decisions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// The instant all span timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Microseconds since the epoch, as span timestamps record them.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Converts an instant to microseconds since the epoch (zero for
+    /// instants before it).
+    pub fn instant_us(&self, at: Instant) -> f64 {
+        at.saturating_duration_since(self.epoch).as_secs_f64() * 1e6
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// One sampling decision: true for every `sample_every`-th call
+    /// while enabled. A single relaxed atomic increment.
+    pub fn sample(&self) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        self.decisions.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.config.sample_every)
+    }
+
+    /// Records one sampled lifecycle span.
+    pub fn record_span(&self, span: SpanRecord) {
+        if self.config.enabled {
+            self.spans.push(span);
+        }
+    }
+
+    /// Snapshot of the retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.snapshot()
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// The retained spans as a Chrome trace.
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        chrome::chrome_trace(&self.spans())
+    }
+
+    /// The retained spans as Chrome-trace JSON (open in Perfetto or
+    /// `chrome://tracing`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures as
+    /// [`shenjing_core::Error::InvalidConfig`].
+    pub fn chrome_trace_json(&self) -> Result<String> {
+        serde_json::to_string(&self.chrome_trace())
+            .map_err(|e| shenjing_core::Error::config(format!("encode chrome trace: {e}")))
+    }
+
+    /// The Prometheus text exposition snapshot of the registry.
+    pub fn prometheus(&self) -> String {
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_honours_period_and_master_switch() {
+        let t = Telemetry::new(TelemetryConfig::default().with_sample_every(4));
+        let hits = (0..16).filter(|_| t.sample()).count();
+        assert_eq!(hits, 4);
+        let off = Telemetry::new(TelemetryConfig::disabled());
+        assert!((0..16).all(|_| !off.sample()));
+        off.record_span(SpanRecord::default());
+        assert!(off.spans().is_empty(), "disabled telemetry records nothing");
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let c = TelemetryConfig::default().with_sample_every(0).with_ring_capacity(0);
+        assert_eq!(c.sample_every, 1);
+        assert_eq!(c.ring_capacity, 1);
+        assert_eq!(TelemetryConfig::dense().sample_every, 1);
+    }
+
+    #[test]
+    fn timestamps_are_relative_to_the_epoch() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        assert_eq!(t.instant_us(t.epoch()), 0.0);
+        let now = t.now_us();
+        assert!(now >= 0.0);
+        assert!(t.instant_us(Instant::now()) >= now);
+    }
+}

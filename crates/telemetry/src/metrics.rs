@@ -1,0 +1,258 @@
+//! Cheap always-on metric primitives behind a named registry.
+//!
+//! Three instrument kinds, all updatable from any thread without taking
+//! the registry lock on the hot path (callers resolve an
+//! [`Arc`]-handle once and then pay only atomic operations per event):
+//!
+//! * [`Counter`] — a monotonically increasing `u64`;
+//! * [`Gauge`] — a signed instantaneous value (queue depth, lanes held);
+//! * [`TimeHistogram`] — log2-bucketed durations with count and sum.
+//!
+//! [`Registry::render`] snapshots everything into the Prometheus text
+//! exposition format. Metric names may carry a `{label="value"}` suffix
+//! (counters and gauges only); entries sort lexicographically so one
+//! `# TYPE` header covers each family.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log2 buckets a [`TimeHistogram`] keeps: the last bucket's
+/// upper bound is 2^47 ns ≈ 39 hours, far beyond any serving latency.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A bounded-footprint duration histogram: samples land in log2 buckets
+/// (upper bound of bucket `i` is `2^i` nanoseconds), so recording is
+/// three relaxed atomic adds regardless of the observed range.
+#[derive(Debug)]
+pub struct TimeHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for TimeHistogram {
+    fn default() -> TimeHistogram {
+        TimeHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TimeHistogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        // ns in (2^(i-1), 2^i] lands in bucket i (le bound 2^i ns);
+        // zero and one land in bucket 0.
+        let idx = (64 - ns.saturating_sub(1).leading_zeros()) as usize;
+        self.buckets[idx.min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    fn render_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let le = 2f64.powi(i as i32) / 1e9;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count());
+        let _ = writeln!(out, "{name}_sum {}", self.sum_ns() as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// Named instruments, rendered together as one Prometheus snapshot.
+///
+/// Lookup is get-or-create and returns an [`Arc`] handle; hot paths
+/// resolve their handles once at startup and never touch the registry
+/// lock again.
+///
+/// ```
+/// use shenjing_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let served = registry.counter("served_total{model=\"digits\"}");
+/// served.add(3);
+/// assert!(registry.render().contains("served_total{model=\"digits\"} 3"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<TimeHistogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, created on first use. The
+    /// name may carry a `{label="value"}` suffix; the part before `{`
+    /// is the metric family.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("telemetry registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("telemetry registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    /// Histogram names must be label-free (the `le` bucket label is
+    /// appended at render time).
+    pub fn histogram(&self, name: &str) -> Arc<TimeHistogram> {
+        debug_assert!(!name.contains('{'), "histogram names must be label-free");
+        let mut map = self.histograms.lock().expect("telemetry registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Renders every instrument in the Prometheus text exposition
+    /// format, families sorted, one `# TYPE` header per family.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut family = String::new();
+        for (name, counter) in self.counters.lock().expect("telemetry registry poisoned").iter() {
+            let fam = name.split('{').next().unwrap_or(name);
+            if fam != family {
+                family = fam.to_string();
+                let _ = writeln!(out, "# TYPE {fam} counter");
+            }
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        family.clear();
+        for (name, gauge) in self.gauges.lock().expect("telemetry registry poisoned").iter() {
+            let fam = name.split('{').next().unwrap_or(name);
+            if fam != family {
+                family = fam.to_string();
+                let _ = writeln!(out, "# TYPE {fam} gauge");
+            }
+            let _ = writeln!(out, "{name} {}", gauge.get());
+        }
+        for (name, hist) in self.histograms.lock().expect("telemetry registry poisoned").iter() {
+            hist.render_into(name, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_by_family() {
+        let registry = Registry::new();
+        registry.counter("requests_total{model=\"a\"}").inc();
+        registry.counter("requests_total{model=\"b\"}").add(2);
+        registry.gauge("queue_depth").set(5);
+        registry.gauge("queue_depth").sub(2);
+        let text = registry.render();
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+        assert!(text.contains("requests_total{model=\"a\"} 1"));
+        assert!(text.contains("requests_total{model=\"b\"} 2"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_log2() {
+        let hist = TimeHistogram::default();
+        hist.record(Duration::from_nanos(1)); // bucket le=1ns
+        hist.record(Duration::from_nanos(3)); // bucket le=4ns
+        hist.record(Duration::from_nanos(4)); // bucket le=4ns
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.sum_ns(), 8);
+        let registry = Registry::new();
+        let shared = registry.histogram("pass_seconds");
+        shared.record(Duration::from_micros(10));
+        let text = registry.render();
+        assert!(text.contains("# TYPE pass_seconds histogram"));
+        assert!(text.contains("pass_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("pass_seconds_count 1"));
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let registry = Registry::new();
+        let a = registry.counter("x_total");
+        let b = registry.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+}

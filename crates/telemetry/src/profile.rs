@@ -1,0 +1,109 @@
+//! Per-phase engine profiles: where a pass's wall-clock time went.
+//!
+//! One simulated cycle has four phases — core accumulation (ACC ops),
+//! router SEND ops, the inter-tile transfer sweep, and delivery drain —
+//! mirroring the paper's per-component breakdown (NoC vs partial-sum
+//! routers vs cores). A [`PassProfile`] accumulates those phase times
+//! plus activity counts over one or more engine passes; engines fill
+//! one in while profiling and the runtime merges them into batch spans
+//! and registry-wide totals.
+
+use std::time::Duration;
+
+/// Phase-attributed wall-clock profile of one or more engine passes.
+///
+/// All time fields are nanoseconds of host wall-clock spent inside the
+/// corresponding phase of the cycle loop; activity counts make the
+/// times interpretable (ns per active axon, per occupied lane).
+#[derive(Debug, Default, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PassProfile {
+    /// Engine passes folded into this profile (one per frame for the
+    /// sequential engine, one per batch for the batched engine).
+    pub passes: u64,
+    /// Timesteps executed across all passes.
+    pub timesteps: u64,
+    /// Cycles executed across all passes.
+    pub cycles: u64,
+    /// Nanoseconds spent in neuron-core ACC operations.
+    pub acc_ns: u64,
+    /// Nanoseconds spent in PS-router and spike-router SEND operations.
+    pub send_ns: u64,
+    /// Nanoseconds spent in the inter-tile transfer sweep.
+    pub transfer_ns: u64,
+    /// Nanoseconds spent committing queued deliveries (drain).
+    pub drain_ns: u64,
+    /// Sum over timesteps of the number of active axons after spike
+    /// injection — the sparsity the activity-gated engines exploit.
+    pub active_axon_steps: u64,
+    /// Sum over passes of occupied lanes (zero for the sequential
+    /// engine, which has no lanes).
+    pub occupied_lane_steps: u64,
+}
+
+impl PassProfile {
+    /// Folds `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &PassProfile) {
+        self.passes += other.passes;
+        self.timesteps += other.timesteps;
+        self.cycles += other.cycles;
+        self.acc_ns += other.acc_ns;
+        self.send_ns += other.send_ns;
+        self.transfer_ns += other.transfer_ns;
+        self.drain_ns += other.drain_ns;
+        self.active_axon_steps += other.active_axon_steps;
+        self.occupied_lane_steps += other.occupied_lane_steps;
+    }
+
+    /// Total nanoseconds attributed to any phase.
+    pub fn total_phase_ns(&self) -> u64 {
+        self.acc_ns + self.send_ns + self.transfer_ns + self.drain_ns
+    }
+
+    /// Total attributed time as a [`Duration`].
+    pub fn total_phase_time(&self) -> Duration {
+        Duration::from_nanos(self.total_phase_ns())
+    }
+
+    /// Whether any pass has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.passes == 0
+    }
+
+    /// `(name, nanoseconds)` pairs for the four phases, in cycle order.
+    pub fn phase_ns(&self) -> [(&'static str, u64); 4] {
+        [
+            ("acc", self.acc_ns),
+            ("send", self.send_ns),
+            ("transfer", self.transfer_ns),
+            ("drain", self.drain_ns),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = PassProfile {
+            passes: 1,
+            timesteps: 8,
+            cycles: 80,
+            acc_ns: 10,
+            send_ns: 20,
+            transfer_ns: 30,
+            drain_ns: 40,
+            active_axon_steps: 5,
+            occupied_lane_steps: 4,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.passes, 2);
+        assert_eq!(a.cycles, 160);
+        assert_eq!(a.total_phase_ns(), 200);
+        assert!(!a.is_empty());
+        assert!(PassProfile::default().is_empty());
+        assert_eq!(a.phase_ns()[2], ("transfer", 60));
+    }
+}

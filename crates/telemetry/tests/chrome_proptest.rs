@@ -1,0 +1,85 @@
+//! Property: the Chrome-trace exporter always emits valid JSON whose
+//! per-request lifecycle and engine-phase slices are monotone and
+//! non-overlapping — for *any* span the runtime could record.
+//!
+//! The exporter synthesizes child slices (five lifecycle segments plus
+//! up to four engine-phase slices scaled into the execute window), so
+//! the invariants worth pinning are structural: every emitted slice has
+//! a finite non-negative duration, children stay ordered within their
+//! request's track, and the whole trace round-trips through the typed
+//! JSON representation a viewer would parse. Spans are built from
+//! random raw timestamps (sorted into lifecycle order, duplicates
+//! allowed — zero-length segments must not break the layout) and
+//! random phase profiles, including all-zero phase times.
+
+use proptest::prelude::*;
+use shenjing_telemetry::{chrome_trace, validate, ChromeTrace, PassProfile, SpanRecord};
+
+/// Builds one well-formed span from ten raw values: six timestamps
+/// (sorted into lifecycle order) and four seeds for identity and the
+/// optional phase profile.
+fn span(id: u64, raw: &[u64], profiled: bool) -> SpanRecord {
+    let mut ts: Vec<u64> = raw[..6].to_vec();
+    ts.sort_unstable();
+    let phases = profiled.then(|| PassProfile {
+        passes: 1 + raw[6] % 4,
+        timesteps: raw[7] % 64,
+        cycles: raw[8] % 100_000,
+        acc_ns: raw[6] % (1 << 20),
+        send_ns: raw[7] % (1 << 20),
+        transfer_ns: raw[8] % (1 << 20),
+        drain_ns: raw[9] % (1 << 20),
+        active_axon_steps: raw[8] % 100,
+        occupied_lane_steps: raw[9] % 16,
+    });
+    SpanRecord {
+        id,
+        model: format!("m{}", raw[6] % 3),
+        worker: raw[7] % 4,
+        engine: if raw[8].is_multiple_of(2) { "sequential".into() } else { "batched".into() },
+        batch_size: 1 + raw[9] % 16,
+        admitted_us: ts[0] as f64,
+        formed_us: ts[1] as f64,
+        planned_us: ts[2] as f64,
+        executed_us: ts[3] as f64,
+        drained_us: ts[4] as f64,
+        replied_us: ts[5] as f64,
+        phases,
+    }
+}
+
+proptest! {
+    #[test]
+    fn exporter_emits_valid_monotone_traces(
+        // Ten raw values per span; timestamps stay under 2^40 so the
+        // microsecond f64 arithmetic is exact.
+        raw in proptest::collection::vec(0u64..(1u64 << 40), 0..60),
+        profiled in any::<bool>(),
+    ) {
+        let spans: Vec<SpanRecord> = raw
+            .chunks_exact(10)
+            .enumerate()
+            .map(|(i, chunk)| span(i as u64, chunk, profiled))
+            .collect();
+        let trace = chrome_trace(&spans);
+        let summary = validate(&trace).expect("exporter output must validate");
+        prop_assert_eq!(summary.requests as usize, spans.len());
+        if profiled {
+            // Phase slices appear iff some phase time was non-zero.
+            let with_time = spans
+                .iter()
+                .filter(|s| s.phases.as_ref().is_some_and(|p| p.total_phase_ns() > 0))
+                .count();
+            prop_assert!(summary.phase_slices as usize >= with_time.min(1));
+        } else {
+            prop_assert_eq!(summary.phase_slices, 0);
+        }
+
+        // The JSON form parses back into the same typed trace and still
+        // validates — what Perfetto or `bench_gate trace-check` sees.
+        let json = serde_json::to_string(&trace).expect("trace encodes");
+        let parsed: ChromeTrace = serde_json::from_str(&json).expect("exporter JSON parses back");
+        prop_assert_eq!(parsed.traceEvents.len(), trace.traceEvents.len());
+        validate(&parsed).expect("round-tripped trace must still validate");
+    }
+}

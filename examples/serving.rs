@@ -4,6 +4,12 @@
 //! serving path loses nothing over the single-frame simulator.
 //!
 //! Run with: `cargo run --release --example serving`
+//!
+//! Telemetry rides along: the runtime traces every request (dense
+//! sampling) and the example prints a slice of the Prometheus metrics
+//! snapshot. Set `SHENJING_TRACE_OUT=trace.json` to also dump a
+//! Chrome-trace file loadable in Perfetto / `chrome://tracing` (and
+//! checkable with `bench_gate trace-check`).
 
 use std::time::{Duration, Instant};
 
@@ -64,6 +70,9 @@ fn main() -> Result<()> {
         .max_wait(Duration::from_millis(5))
         .timesteps(timesteps)
         .queue_depth(128)
+        // Trace every request instead of the production 1-in-16 default:
+        // the demo's 48 frames should all show up in the exported trace.
+        .telemetry(TelemetryConfig::dense())
         .build()?;
     let runtime = Runtime::serve(registry, config)?;
 
@@ -91,6 +100,26 @@ fn main() -> Result<()> {
     let doomed = InferenceRequest::new("digits", frames[0].clone()).with_deadline(Duration::ZERO);
     if let Err(e) = runtime.submit(doomed) {
         println!("admission control: {e} ({:?})", e.reject_reason());
+    }
+
+    // 6. Observability: every request was traced (dense sampling above),
+    //    so the lifecycle spans and engine phase profiles are sitting in
+    //    the telemetry ring. Export them before shutdown consumes the
+    //    runtime — a Chrome trace if `SHENJING_TRACE_OUT` names a path,
+    //    and the engine-phase slice of the Prometheus snapshot here.
+    if let Ok(path) = std::env::var("SHENJING_TRACE_OUT") {
+        std::fs::write(&path, runtime.trace_json()?).expect("write trace file");
+        println!("wrote Chrome trace to `{path}` — load it in Perfetto or chrome://tracing");
+    }
+    let metrics = runtime.metrics_text();
+    println!("from the Prometheus snapshot (engine phases, queue wait vs service time):");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("shenjing_engine_phase_ns_total")
+            || l.starts_with("shenjing_profiled_batches_total ")
+            || l.starts_with("shenjing_queue_wait_seconds")
+            || l.starts_with("shenjing_service_time_seconds")
+    }) {
+        println!("  {line}");
     }
 
     let stats = runtime.shutdown()?;
@@ -128,7 +157,7 @@ fn main() -> Result<()> {
         stats.rejected_queue_full, stats.rejected_deadline, stats.expired_in_queue,
     );
 
-    // 6. The serving path is bit-exact against the single-frame simulator
+    // 7. The serving path is bit-exact against the single-frame simulator
     //    (spot-checked here; the property tests cover it exhaustively) —
     //    and batches never mixed tenants.
     let mut reference = digits.instantiate()?;
