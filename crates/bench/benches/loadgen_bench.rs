@@ -17,6 +17,13 @@
 //! `bench_gate` regression gate tracks them like any other bench.
 //! `SHENJING_BENCH_SAMPLES` caps the number of traffic waves the same
 //! way it caps criterion samples (CI quick mode: 3).
+//!
+//! With the `chaos` feature compiled in and `SHENJING_CHAOS` set, the
+//! run doubles as a fault-tolerance smoke: scripted replica panics are
+//! injected mid-load, every offered request must still complete (the
+//! retry budget absorbs the faults — zero lost replies), and the median
+//! lines get a `_chaos` suffix so the regression gate's tracked names
+//! never mix clean and faulted latencies.
 
 use std::time::{Duration, Instant};
 
@@ -42,6 +49,10 @@ fn waves_from_env() -> usize {
         Ok(v) => v.parse::<usize>().map(|n| n.clamp(2, DEFAULT_WAVES)).unwrap_or(DEFAULT_WAVES),
         Err(_) => DEFAULT_WAVES,
     }
+}
+
+fn chaos_requested() -> bool {
+    std::env::var("SHENJING_CHAOS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 fn frame(len: usize, seed: usize) -> Tensor {
@@ -92,14 +103,31 @@ fn main() {
             ServeOptions::default().with_timesteps(2).with_warm_replicas(2),
         )
         .unwrap();
-    let config = RuntimeConfig::builder()
+    #[cfg(feature = "chaos")]
+    let chaos_on = chaos_requested();
+    #[cfg(not(feature = "chaos"))]
+    let chaos_on = false;
+    if chaos_requested() && !chaos_on {
+        eprintln!("SHENJING_CHAOS set but the `chaos` feature is off; running clean");
+    }
+    #[allow(unused_mut)]
+    let mut builder = RuntimeConfig::builder()
         .workers(2)
         .max_batch(4)
         .max_wait(Duration::from_millis(2))
         .timesteps(8)
-        .queue_depth(256)
-        .build()
-        .unwrap();
+        .queue_depth(256);
+    #[cfg(feature = "chaos")]
+    if chaos_on {
+        // A finite panic list with a retry budget larger than the list
+        // guarantees completion: even a rider unlucky enough to be in
+        // every panicked batch has budget left for a clean attempt.
+        builder = builder
+            .retry_budget(5)
+            .chaos(ChaosConfig::default().with_panic_on_batches([3u64, 10, 17, 24]));
+        eprintln!("chaos armed: replica panics at batches 3, 10, 17, 24; retry budget 5");
+    }
+    let config = builder.build().unwrap();
     let setup_start = Instant::now();
     let runtime = Runtime::serve(registry, config).unwrap();
     eprintln!("warm pools up in {:?}", setup_start.elapsed());
@@ -147,22 +175,36 @@ fn main() {
         stats.batches,
         stats.cold_starts,
     );
+    eprintln!(
+        "fault tolerance: {} worker restarts, {} retries, {} quarantines",
+        stats.worker_restarts, stats.retries, stats.quarantines,
+    );
+    if chaos_on {
+        // The smoke's contract: injected panics cost retries, never
+        // replies — everything offered completed (asserted above), and
+        // the fault machinery demonstrably ran.
+        assert_eq!(stats.failed, 0, "zero lost replies under injected panics");
+        assert!(stats.retries >= 1, "injected panics must have forced retries");
+        assert!(stats.quarantines >= 1, "each panic quarantines the replica");
+    }
+    let suffix = if chaos_on { "_chaos" } else { "" };
     for model in &stats.models {
         let s = &model.stats;
-        // Rejections and in-queue expiries ride along with the latency
-        // percentiles: an open-loop mix that only reports p50/p99 can
-        // hide a tier that hits its SLO by shedding load instead of
-        // serving it.
+        // Rejections, in-queue expiries and retries ride along with the
+        // latency percentiles: an open-loop mix that only reports
+        // p50/p99 can hide a tier that hits its SLO by shedding load
+        // instead of serving it.
         let detail = format!(
-            "{} frames, {} batches, p95 {:.3} ms, {} rejected, {} expired in queue",
+            "{} frames, {} batches, p95 {:.3} ms, {} rejected, {} expired in queue, {} retried",
             s.completed,
             s.batches,
             s.p95_latency.as_secs_f64() * 1e3,
             s.rejected_queue_full + s.rejected_deadline,
             s.expired_in_queue,
+            s.retries,
         );
         let tag = if model.id == "mnist-mlp" { "mlp" } else { "cnn" };
-        print_median(&format!("loadgen_mix_{tag}_p50"), s.p50_latency, &detail);
-        print_median(&format!("loadgen_mix_{tag}_p99"), s.p99_latency, &detail);
+        print_median(&format!("loadgen_mix_{tag}_p50{suffix}"), s.p50_latency, &detail);
+        print_median(&format!("loadgen_mix_{tag}_p99{suffix}"), s.p99_latency, &detail);
     }
 }

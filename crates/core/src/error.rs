@@ -72,6 +72,25 @@ pub enum Error {
         /// Why the request was refused.
         reason: RejectReason,
     },
+    /// A serving replica faulted (panicked or kept erroring) while
+    /// executing the request, and the runtime's retry budget or the
+    /// request's deadline ran out before a healthy execution. The input
+    /// itself is fine — resubmitting is safe ([`Error::is_retryable`]).
+    ReplicaFault {
+        /// The worker shard whose replica faulted on the final attempt.
+        worker: usize,
+        /// Executions performed, including the failing one.
+        attempts: u32,
+        /// What the replica did (panic payload or underlying error).
+        reason: String,
+    },
+    /// A runtime worker thread died before this request was answered.
+    /// Like [`Error::ReplicaFault`] this says nothing about the input:
+    /// resubmitting against a live runtime is safe.
+    WorkerLost {
+        /// Which worker died, when the runtime can tell.
+        worker: Option<usize>,
+    },
 }
 
 /// Why a serving tier refused to admit a request.
@@ -135,6 +154,15 @@ impl std::fmt::Display for Error {
             }
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             Error::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            Error::ReplicaFault { worker, attempts, reason } => {
+                write!(f, "replica fault on worker {worker} after {attempts} attempt(s): {reason}")
+            }
+            Error::WorkerLost { worker: Some(id) } => {
+                write!(f, "runtime worker {id} died before answering")
+            }
+            Error::WorkerLost { worker: None } => {
+                write!(f, "a runtime worker died before answering")
+            }
         }
     }
 }
@@ -174,6 +202,17 @@ impl Error {
     pub fn config(reason: impl Into<String>) -> Error {
         Error::InvalidConfig { reason: reason.into() }
     }
+
+    /// Whether resubmitting the same work is safe and might succeed.
+    ///
+    /// Retryable errors describe a fault in the *serving infrastructure*
+    /// (a replica panicked, a worker thread died) rather than in the
+    /// request: the input never got a healthy execution. Everything else
+    /// — bad data, mapping failures, typed rejections — is terminal, and
+    /// retrying verbatim would just fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::ReplicaFault { .. } | Error::WorkerLost { .. })
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +233,13 @@ mod tests {
                 reason: "add without operand".into(),
             },
             Error::config("timestep must be positive"),
+            Error::ReplicaFault {
+                worker: 1,
+                attempts: 3,
+                reason: "injected panic at batch 7".into(),
+            },
+            Error::WorkerLost { worker: Some(0) },
+            Error::WorkerLost { worker: None },
         ];
         for e in samples {
             let msg = e.to_string();
@@ -214,5 +260,26 @@ mod tests {
         assert!(matches!(Error::mapping("x"), Error::MappingFailed { .. }));
         assert!(matches!(Error::config("x"), Error::InvalidConfig { .. }));
         assert!(matches!(Error::shape_mismatch("a", "b"), Error::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn only_infrastructure_faults_are_retryable() {
+        let retryable = [
+            Error::ReplicaFault { worker: 0, attempts: 1, reason: "panic".into() },
+            Error::WorkerLost { worker: Some(2) },
+            Error::WorkerLost { worker: None },
+        ];
+        for e in retryable {
+            assert!(e.is_retryable(), "expected retryable: {e}");
+        }
+        let terminal = [
+            Error::shape_mismatch("784 inputs", "12 inputs"),
+            Error::config("zero workers"),
+            Error::rejected(RejectReason::DeadlineExpired),
+            Error::mapping("no rectangle fits"),
+        ];
+        for e in terminal {
+            assert!(!e.is_retryable(), "expected terminal: {e}");
+        }
     }
 }

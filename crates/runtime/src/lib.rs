@@ -48,6 +48,22 @@
 //!    ([`Runtime::trace_json`]) or as a Prometheus text snapshot with
 //!    queue-wait vs service-time quantiles ([`Runtime::metrics_text`]).
 //!
+//! The tier is **fault-tolerant**: each batch executes behind a panic
+//! guard (a panicking replica fails only its own batch), a supervisor
+//! thread respawns worker shards that die abnormally (counted in
+//! `shenjing_worker_restarts_total`), repeatedly-faulting replicas are
+//! quarantined — torn down and rebuilt from the compiled artifact —
+//! and requests hit by a replica fault are retried with exponential
+//! backoff inside their retry budget and deadline
+//! ([`RuntimeConfig::retry_budget`]). Terminal infrastructure failures
+//! surface typed as
+//! [`Error::ReplicaFault`](shenjing_core::Error::ReplicaFault) /
+//! [`Error::WorkerLost`](shenjing_core::Error::WorkerLost). The
+//! default-off `chaos` feature adds the `chaos` module: deterministic
+//! failure injection (panic on the Nth batch, injected batch errors,
+//! artificial delay, worker-thread kills, damaged weights via
+//! `sim::fault`) for drills and tests.
+//!
 //! # Example
 //!
 //! ```
@@ -88,18 +104,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod engine;
 pub mod model;
 pub mod server;
 pub mod stats;
 pub mod wire;
 
+#[cfg(feature = "chaos")]
+pub use chaos::ChaosConfig;
 pub use engine::{Engine, EngineKind};
 pub use model::{CompiledModel, ModelRegistry, ServeOptions};
 pub use server::{
     EnginePolicy, InferenceReply, InferenceRequest, PendingReply, Runtime, RuntimeConfig,
     RuntimeConfigBuilder, DEFAULT_MODEL_ID,
 };
-pub use stats::{ModelStats, RuntimeStats};
+pub use stats::{ModelStats, RuntimeStats, WorkerHealth};
 
 pub use shenjing_telemetry::{Telemetry, TelemetryConfig};

@@ -5,8 +5,9 @@
 
 use std::cmp::Ordering;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -17,7 +18,35 @@ use shenjing_telemetry::{Counter, Gauge, SpanRecord, Telemetry, TelemetryConfig,
 
 use crate::engine::{Engine, EngineKind};
 use crate::model::{CompiledModel, ModelEntry, ModelRegistry, ServeOptions};
-use crate::stats::{self, RuntimeStats, StatsInner};
+use crate::stats::{self, RuntimeStats, StatsInner, WorkerHealthInner};
+
+/// Acquires a mutex even when a previous holder panicked mid-critical-
+/// section. The serving state behind both runtime locks (the request
+/// queue and the stats counters) stays structurally consistent statement
+/// by statement — a panic can at worst lose one in-flight counter bump —
+/// so recovering from poison beats cascading a single replica panic into
+/// every thread that touches the lock afterwards.
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How many consecutive all-error batches one (worker, model) replica
+/// serves before it is quarantined: torn down and rebuilt from the
+/// compiled artifact. One batch-level error passes through to its riders
+/// (it may be the input's fault); a streak says the replica itself has
+/// drifted into a bad state. A panic quarantines immediately — the
+/// unwound replica's state is unknowable.
+const QUARANTINE_ERROR_STREAK: u32 = 3;
+
+/// How many times the supervisor respawns one worker shard before
+/// abandoning it. A worker that dies deterministically on arrival (e.g.
+/// a poisoned environment) would otherwise crash-loop forever.
+const MAX_WORKER_RESTARTS: u64 = 8;
+
+/// How often the supervisor polls for dead worker threads while the
+/// runtime serves; detection latency for a crashed shard is at most this
+/// (shutdown unparks it immediately).
+const SUPERVISE_POLL: Duration = Duration::from_millis(5);
 
 /// The id the deprecated single-model [`Runtime::start`] shim registers
 /// its model under.
@@ -88,6 +117,24 @@ pub struct RuntimeConfig {
     /// at a few atomic ops per request; see
     /// [`TelemetryConfig::dense`] for full traces.
     pub telemetry: TelemetryConfig,
+    /// How many times a request hit by a *replica fault* (a panic or a
+    /// quarantine-tripping error streak — never a per-frame simulation
+    /// error, which is terminal) is requeued for another execution.
+    /// Zero disables retries. Each requeue counts in
+    /// [`RuntimeStats::retries`] and bumps the reply's
+    /// [`attempts`](InferenceReply::attempts).
+    pub retry_budget: u32,
+    /// Base backoff before a retried request becomes dequeuable again;
+    /// doubles per prior attempt. A retry whose backoff would land past
+    /// the request's deadline is not attempted — the request fails with
+    /// the typed [`Error::ReplicaFault`] instead of silently blowing its
+    /// SLO.
+    pub retry_backoff: Duration,
+    /// Deterministic failure injection for chaos tests — see
+    /// [`ChaosConfig`](crate::chaos::ChaosConfig). `None` (the default)
+    /// injects nothing.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<crate::chaos::ChaosConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -100,6 +147,10 @@ impl Default for RuntimeConfig {
             engine: EnginePolicy::Auto,
             queue_depth: 256,
             telemetry: TelemetryConfig::default(),
+            retry_budget: 2,
+            retry_backoff: Duration::from_micros(200),
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }
@@ -200,6 +251,29 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Sets how many times a replica-faulted request is requeued.
+    #[must_use]
+    pub fn retry_budget(mut self, retry_budget: u32) -> RuntimeConfigBuilder {
+        self.config.retry_budget = retry_budget;
+        self
+    }
+
+    /// Sets the base backoff before a retried request requeues
+    /// (doubling per prior attempt).
+    #[must_use]
+    pub fn retry_backoff(mut self, retry_backoff: Duration) -> RuntimeConfigBuilder {
+        self.config.retry_backoff = retry_backoff;
+        self
+    }
+
+    /// Arms deterministic failure injection (chaos testing only).
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn chaos(mut self, chaos: crate::chaos::ChaosConfig) -> RuntimeConfigBuilder {
+        self.config.chaos = Some(chaos);
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -287,37 +361,79 @@ pub struct InferenceReply {
     pub batch_size: usize,
     /// Which engine the dispatch policy ran the batch on.
     pub engine: EngineKind,
+    /// Executions performed for this request, counting the successful
+    /// one: `1` in the common no-fault case, more when replica faults
+    /// forced retries (each bounded by [`RuntimeConfig::retry_budget`]
+    /// and the request's deadline). The reported `latency` spans the
+    /// whole saga — original enqueue to final reply, backoffs included.
+    pub attempts: u32,
 }
 
 struct Request {
     model: usize,
     input: Tensor,
+    /// Not dequeuable before this instant — the retry backoff window.
+    /// `None` for first-execution requests (always ready).
+    not_before: Option<Instant>,
+    rider: Rider,
+}
+
+/// The part of a queued request that outlives its execution: identity,
+/// scheduling facts, and the reply channel. The input tensor is moved
+/// out for execution and rejoined on requeue, so a faulted batch retries
+/// without cloning frames.
+struct Rider {
     enqueued: Instant,
     /// Absolute expiry, resolved at admission from the request's budget
-    /// (or the model's default SLO).
+    /// (or the model's default SLO). Retries keep it: the SLO is
+    /// measured from original submission, not from the latest attempt.
     deadline: Option<Instant>,
     priority: u8,
-    /// Admission order, the FIFO tie-breaker.
+    /// Admission order, the FIFO tie-breaker (stable across retries).
     seq: u64,
     /// Whether this request won the telemetry sampling decision at
     /// admission: its lifecycle becomes a span, and the batch carrying
     /// it is phase-profiled.
     sampled: bool,
+    /// Executions already performed (0 until the first replica fault).
+    attempts: u32,
     reply: mpsc::Sender<Result<InferenceReply>>,
+}
+
+impl Request {
+    /// Whether the request may be dequeued at `now` (its retry backoff,
+    /// if any, has elapsed).
+    fn ready(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
+    }
+
+    /// Splits the request into the frame to execute and the rider that
+    /// outlives the execution.
+    fn split(self) -> (Tensor, Rider) {
+        (self.input, self.rider)
+    }
+}
+
+/// The exponential per-attempt backoff: `base << prior_attempts`,
+/// saturating (the shift is clamped so a pathological budget cannot
+/// overflow).
+fn retry_backoff(base: Duration, prior_attempts: u32) -> Duration {
+    base.saturating_mul(1u32 << prior_attempts.min(16))
 }
 
 /// The dequeue order: priority (higher first), then deadline (earlier
 /// first, deadline-less last), then admission order.
 fn schedule_order(a: &Request, b: &Request) -> Ordering {
-    b.priority
-        .cmp(&a.priority)
-        .then_with(|| match (a.deadline, b.deadline) {
+    b.rider
+        .priority
+        .cmp(&a.rider.priority)
+        .then_with(|| match (a.rider.deadline, b.rider.deadline) {
             (Some(x), Some(y)) => x.cmp(&y),
             (Some(_), None) => Ordering::Less,
             (None, Some(_)) => Ordering::Greater,
             (None, None) => Ordering::Equal,
         })
-        .then_with(|| a.seq.cmp(&b.seq))
+        .then_with(|| a.rider.seq.cmp(&b.rider.seq))
 }
 
 struct QueueInner {
@@ -326,11 +442,15 @@ struct QueueInner {
     shutdown: bool,
 }
 
-/// Aggregate counters plus one [`StatsInner`] per registered model, all
-/// under one lock so a request's counts move together.
+/// Aggregate counters plus one [`StatsInner`] per registered model and
+/// one health record per worker shard, all under one lock so a
+/// request's counts move together.
 struct AllStats {
     aggregate: StatsInner,
     per_model: Vec<StatsInner>,
+    /// Indexed by shard id; written by the worker itself (faults,
+    /// quarantines) and the supervisor (restarts, abandonment).
+    workers: Vec<WorkerHealthInner>,
 }
 
 impl AllStats {
@@ -366,6 +486,18 @@ struct TelemetryHandles {
     phases: [(&'static str, Arc<Counter>); 4],
     /// `shenjing_profiled_batches_total`.
     profiled_batches: Arc<Counter>,
+    /// `shenjing_worker_restarts_total`: worker threads the supervisor
+    /// respawned after an abnormal death.
+    worker_restarts: Arc<Counter>,
+    /// `shenjing_replica_quarantines_total`: replicas torn down and
+    /// rebuilt after a panic or error streak.
+    quarantines: Arc<Counter>,
+    /// `shenjing_retries_total{reason="panic"}`: requests requeued
+    /// because their batch's replica panicked.
+    retries_panic: Arc<Counter>,
+    /// `shenjing_retries_total{reason="quarantine"}`: requests requeued
+    /// because their batch tripped the error-streak quarantine.
+    retries_quarantine: Arc<Counter>,
 }
 
 impl TelemetryHandles {
@@ -384,13 +516,36 @@ impl TelemetryHandles {
                 )
             }),
             profiled_batches: registry.counter("shenjing_profiled_batches_total"),
+            // Created eagerly so the fault-tolerance families render
+            // (at 0) in every metrics snapshot, faulted or not.
+            worker_restarts: registry.counter("shenjing_worker_restarts_total"),
+            quarantines: registry.counter("shenjing_replica_quarantines_total"),
+            retries_panic: registry.counter("shenjing_retries_total{reason=\"panic\"}"),
+            retries_quarantine: registry.counter("shenjing_retries_total{reason=\"quarantine\"}"),
+        }
+    }
+
+    /// The retries counter for one fault kind.
+    fn retries(&self, kind: FaultKind) -> &Counter {
+        match kind {
+            FaultKind::Panic => &self.retries_panic,
+            FaultKind::Quarantine => &self.retries_quarantine,
         }
     }
 }
 
+/// Why a whole batch was treated as a replica fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// The replica panicked mid-execution.
+    Panic,
+    /// The replica tripped the consecutive-error quarantine threshold.
+    Quarantine,
+}
+
 struct Shared {
     queue: Mutex<QueueInner>,
-    /// Signalled on submit and on shutdown.
+    /// Signalled on submit, on retry requeue, and on shutdown.
     arrivals: Condvar,
     /// Lock order: `queue` before `stats`, never the reverse.
     stats: Mutex<AllStats>,
@@ -400,26 +555,32 @@ struct Shared {
     /// The runtime's telemetry hub (epoch, registry, span ring).
     telemetry: Arc<Telemetry>,
     handles: TelemetryHandles,
+    /// Armed failure injection, shared by every worker so batch/tick
+    /// ordinals are runtime-wide and deterministic.
+    #[cfg(feature = "chaos")]
+    chaos: Option<crate::chaos::ChaosInjector>,
 }
 
 impl Shared {
     /// Drops every expired request in `pending`, answering each with
     /// [`RejectReason::DeadlineExpired`] — fail fast, no lane burned.
     /// Caller holds the queue lock; the stats lock is taken inside
-    /// (queue→stats order).
+    /// (queue→stats order). Requests backing off between retry attempts
+    /// expire here like any other: the deadline outranks the retry.
     fn sweep_expired(&self, pending: &mut VecDeque<Request>, now: Instant) {
-        if pending.iter().all(|r| r.deadline.is_none_or(|d| d > now)) {
+        if pending.iter().all(|r| r.rider.deadline.is_none_or(|d| d > now)) {
             return;
         }
-        let mut stats = self.stats.lock().expect("stats lock");
+        let mut stats = relock(&self.stats);
         let mut kept = VecDeque::with_capacity(pending.len());
         for request in pending.drain(..) {
-            if request.deadline.is_some_and(|d| d <= now) {
+            if request.rider.deadline.is_some_and(|d| d <= now) {
                 for s in stats.both(request.model) {
                     s.expired_in_queue += 1;
                 }
                 self.handles.queue_depth.sub(1);
-                let _ = request.reply.send(Err(Error::rejected(RejectReason::DeadlineExpired)));
+                let _ =
+                    request.rider.reply.send(Err(Error::rejected(RejectReason::DeadlineExpired)));
             } else {
                 kept.push_back(request);
             }
@@ -441,11 +602,14 @@ impl PendingReply {
     /// # Errors
     ///
     /// Propagates the frame's simulation error, returns
-    /// [`Error::Rejected`] when the request expired in the queue, or
-    /// [`Error::InvalidConfig`] when the runtime shut down before
-    /// answering.
+    /// [`Error::Rejected`] when the request expired in the queue,
+    /// [`Error::ReplicaFault`] when replica faults exhausted the retry
+    /// budget or the deadline, or [`Error::WorkerLost`] when the runtime
+    /// dropped the request unanswered (it was torn down, or a worker
+    /// died with no supervisor left to respawn it) — both of the latter
+    /// are [`retryable`](Error::is_retryable) against a live runtime.
     pub fn wait(self) -> Result<InferenceReply> {
-        self.rx.recv().unwrap_or_else(|_| Err(Error::config("runtime shut down before answering")))
+        self.rx.recv().unwrap_or(Err(Error::WorkerLost { worker: None }))
     }
 }
 
@@ -489,7 +653,10 @@ impl PendingReply {
 /// ```
 pub struct Runtime {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor thread owns the worker join handles: it detects
+    /// dead workers, respawns them (bounded by [`MAX_WORKER_RESTARTS`]),
+    /// and returns the shard ids it abandoned.
+    supervisor: Option<JoinHandle<Vec<usize>>>,
 }
 
 /// One engine replica a worker can dispatch to, with its measured cost.
@@ -542,6 +709,10 @@ struct WorkerEngines {
     sequential: Option<EngineSlot>,
     batched: Option<EngineSlot>,
     probes: ProbeState,
+    /// Consecutive batches this replica answered with *only* errors; at
+    /// [`QUARANTINE_ERROR_STREAK`] the replica is quarantined. Any
+    /// successful frame resets it.
+    error_streak: u32,
 }
 
 impl WorkerEngines {
@@ -574,7 +745,7 @@ fn build_worker_engines(model: &CompiledModel, config: &RuntimeConfig) -> Result
             config.max_batch,
         )),
     };
-    Ok(WorkerEngines { sequential, batched, probes: ProbeState::default() })
+    Ok(WorkerEngines { sequential, batched, probes: ProbeState::default(), error_streak: 0 })
 }
 
 /// EMA smoothing factor for the engine cost measurements.
@@ -714,6 +885,9 @@ impl Runtime {
             telemetry.registry().gauge(&format!("shenjing_model_info{labels}")).set(1);
         }
         let handles = TelemetryHandles::new(&telemetry);
+        #[cfg(feature = "chaos")]
+        let chaos = config.chaos.clone().map(crate::chaos::ChaosInjector::new);
+        let worker_health = vec![WorkerHealthInner::default(); config.workers];
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueInner {
                 pending: VecDeque::new(),
@@ -721,22 +895,32 @@ impl Runtime {
                 shutdown: false,
             }),
             arrivals: Condvar::new(),
-            stats: Mutex::new(AllStats { aggregate: StatsInner::default(), per_model }),
+            stats: Mutex::new(AllStats {
+                aggregate: StatsInner::default(),
+                per_model,
+                workers: worker_health,
+            }),
             models,
             started: Instant::now(),
             config,
             telemetry,
             handles,
+            #[cfg(feature = "chaos")]
+            chaos,
         });
-        let workers = worker_engines
+        let workers: Vec<Option<JoinHandle<()>>> = worker_engines
             .into_iter()
             .enumerate()
-            .map(|(id, engines)| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(id, engines, &shared))
-            })
-            .collect();
-        Ok(Runtime { shared, workers })
+            .map(|(id, engines)| spawn_worker(id, engines, Arc::clone(&shared)).map(Some))
+            .collect::<Result<_>>()?;
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("shenjing-supervisor".into())
+                .spawn(move || supervise(workers, &shared))
+                .map_err(|e| Error::config(format!("spawning the supervisor failed: {e}")))?
+        };
+        Ok(Runtime { shared, supervisor: Some(supervisor) })
     }
 
     /// Single-model compatibility shim: registers `model` as
@@ -773,7 +957,7 @@ impl Runtime {
     pub fn submit(&self, request: InferenceRequest) -> Result<PendingReply> {
         let InferenceRequest { model_id, input, deadline, priority } = request;
         let Some(model) = self.shared.models.iter().position(|m| m.id == model_id) else {
-            let mut stats = self.shared.stats.lock().expect("stats lock");
+            let mut stats = relock(&self.shared.stats);
             stats.aggregate.rejected_unknown_model += 1;
             return Err(Error::rejected(RejectReason::UnknownModel { id: model_id }));
         };
@@ -786,7 +970,7 @@ impl Runtime {
         }
         let budget = deadline.or(entry.options.deadline);
         if budget.is_some_and(|b| b.is_zero()) {
-            let mut stats = self.shared.stats.lock().expect("stats lock");
+            let mut stats = relock(&self.shared.stats);
             for s in stats.both(model) {
                 s.rejected_deadline += 1;
             }
@@ -795,13 +979,13 @@ impl Runtime {
         let priority = priority.unwrap_or(entry.options.priority);
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = relock(&self.shared.queue);
             if queue.shutdown {
                 return Err(Error::rejected(RejectReason::ShuttingDown));
             }
             if queue.pending.len() >= self.shared.config.queue_depth {
                 let limit = self.shared.config.queue_depth;
-                let mut stats = self.shared.stats.lock().expect("stats lock");
+                let mut stats = relock(&self.shared.stats);
                 for s in stats.both(model) {
                     s.rejected_queue_full += 1;
                 }
@@ -813,12 +997,16 @@ impl Runtime {
             queue.pending.push_back(Request {
                 model,
                 input,
-                enqueued: now,
-                deadline: budget.map(|b| now + b),
-                priority,
-                seq,
-                sampled: self.shared.telemetry.sample(),
-                reply: tx,
+                not_before: None,
+                rider: Rider {
+                    enqueued: now,
+                    deadline: budget.map(|b| now + b),
+                    priority,
+                    seq,
+                    sampled: self.shared.telemetry.sample(),
+                    attempts: 0,
+                    reply: tx,
+                },
             });
             self.shared.handles.queue_depth.add(1);
         }
@@ -854,7 +1042,7 @@ impl Runtime {
     /// [`RuntimeStats::models`].
     pub fn stats(&self) -> RuntimeStats {
         let (depth, per_model) = self.queue_depths();
-        let stats = self.shared.stats.lock().expect("stats lock");
+        let stats = relock(&self.shared.stats);
         self.snapshot(&stats, depth, &per_model)
     }
 
@@ -863,7 +1051,7 @@ impl Runtime {
     pub fn model_stats(&self, id: &str) -> Option<RuntimeStats> {
         let model = self.shared.models.iter().position(|m| m.id == id)?;
         let (_, per_model) = self.queue_depths();
-        let stats = self.shared.stats.lock().expect("stats lock");
+        let stats = relock(&self.shared.stats);
         Some(RuntimeStats::snapshot(
             &stats.per_model[model],
             self.shared.started.elapsed(),
@@ -905,7 +1093,7 @@ impl Runtime {
     /// (and releases) the queue lock only, so callers honor the
     /// queue→stats lock order by calling this *before* locking stats.
     fn queue_depths(&self) -> (u64, Vec<u64>) {
-        let queue = self.shared.queue.lock().expect("queue lock");
+        let queue = relock(&self.shared.queue);
         let mut per_model = vec![0u64; self.shared.models.len()];
         for r in &queue.pending {
             per_model[r.model] += 1;
@@ -927,92 +1115,315 @@ impl Runtime {
                 .zip(stats.per_model.iter())
                 .zip(per_model_depth)
                 .map(|((m, inner), &depth)| (m.id.as_str(), inner, depth)),
+            &stats.workers,
             self.shared.started.elapsed(),
             queue_depth,
         )
     }
 
-    /// Stops accepting requests, drains the queue, joins the workers and
-    /// returns the final statistics.
+    /// Stops accepting requests, drains the queue (including pending
+    /// retries), joins the supervision tree and returns the final
+    /// statistics.
+    ///
+    /// A worker that panicked *and was respawned* does not fail
+    /// shutdown — the heal shows up in [`RuntimeStats::worker_restarts`]
+    /// and the per-worker health, not as an error.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] if a worker panicked.
+    /// Returns [`Error::WorkerLost`] naming the first worker the
+    /// supervisor abandoned (its restart budget exhausted), or with no
+    /// worker id if the supervisor thread itself died.
     pub fn shutdown(mut self) -> Result<RuntimeStats> {
         self.begin_shutdown();
-        let workers = std::mem::take(&mut self.workers);
-        for handle in workers {
-            handle.join().map_err(|_| Error::config("runtime worker panicked"))?;
+        if let Some(handle) = self.supervisor.take() {
+            let abandoned = handle.join().map_err(|_| Error::WorkerLost { worker: None })?;
+            if let Some(&worker) = abandoned.first() {
+                return Err(Error::WorkerLost { worker: Some(worker) });
+            }
         }
         Ok(self.stats())
     }
 
     fn begin_shutdown(&self) {
-        let mut queue = self.shared.queue.lock().expect("queue lock");
+        let mut queue = relock(&self.shared.queue);
         queue.shutdown = true;
         drop(queue);
         self.shared.arrivals.notify_all();
+        // Wake the supervisor out of its poll nap so clean shutdowns
+        // don't pay a full poll interval of latency.
+        if let Some(supervisor) = &self.supervisor {
+            supervisor.thread().unpark();
+        }
     }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        // `shutdown()` already joined; otherwise stop the shards so the
-        // process does not leak blocked threads.
+        // `shutdown()` already joined; otherwise stop the supervision
+        // tree so the process does not leak blocked threads.
         self.begin_shutdown();
-        for handle in std::mem::take(&mut self.workers) {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
 }
 
-/// Picks the most urgent queued request, gathers a single-model batch
-/// around it per the max-batch/max-wait policy (capped by that model's
-/// earliest queued deadline), sweeps expired requests out without
-/// burning lanes, picks an engine per the dispatch policy, runs it, and
-/// answers every rider. On shutdown, drains the queue first.
+/// Spawns one worker shard thread.
+fn spawn_worker(
+    id: usize,
+    engines: Vec<Option<WorkerEngines>>,
+    shared: Arc<Shared>,
+) -> Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("shenjing-worker-{id}"))
+        .spawn(move || worker_loop(id, engines, &shared))
+        .map_err(|e| Error::config(format!("spawning worker {id} failed: {e}")))
+}
+
+/// The supervision loop: owns the worker join handles, polls for dead
+/// threads, and respawns any shard whose thread died abnormally — with
+/// cold engine slots, so the respawn also sheds whatever replica state
+/// the panic left behind. Each shard gets at most
+/// [`MAX_WORKER_RESTARTS`] respawns; beyond that it is abandoned (its
+/// health record marks `gave_up` and shutdown reports it). Returns the
+/// abandoned shard ids once every worker thread has exited.
+fn supervise(mut workers: Vec<Option<JoinHandle<()>>>, shared: &Arc<Shared>) -> Vec<usize> {
+    let mut abandoned: Vec<usize> = Vec::new();
+    loop {
+        for (id, slot) in workers.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let handle = slot.take().expect("finished implies present");
+            if handle.join().is_ok() {
+                // Clean exit: the shard drained the queue under shutdown.
+                continue;
+            }
+            // The worker thread itself died (a panic outside the
+            // per-batch guard). Respawn it so the queue keeps draining —
+            // even mid-shutdown: queued requests still deserve answers.
+            let restarts = {
+                let mut stats = relock(&shared.stats);
+                stats.workers[id].restarts += 1;
+                stats.workers[id].restarts
+            };
+            shared.handles.worker_restarts.inc();
+            let respawned = (restarts <= MAX_WORKER_RESTARTS)
+                .then(|| {
+                    let engines: Vec<Option<WorkerEngines>> =
+                        (0..shared.models.len()).map(|_| None).collect();
+                    spawn_worker(id, engines, Arc::clone(shared)).ok()
+                })
+                .flatten();
+            match respawned {
+                Some(handle) => *slot = Some(handle),
+                None => {
+                    relock(&shared.stats).workers[id].gave_up = true;
+                    abandoned.push(id);
+                }
+            }
+        }
+        if workers.iter().all(Option::is_none) {
+            if !abandoned.is_empty() {
+                // No shard remains. Close admission and fail anything
+                // still queued with the typed worker-loss reason rather
+                // than hanging its callers forever.
+                let orphans: Vec<Request> = {
+                    let mut queue = relock(&shared.queue);
+                    queue.shutdown = true;
+                    queue.pending.drain(..).collect()
+                };
+                let lost = Error::WorkerLost { worker: abandoned.first().copied() };
+                if !orphans.is_empty() {
+                    shared.handles.queue_depth.sub(orphans.len() as i64);
+                    let mut stats = relock(&shared.stats);
+                    for r in &orphans {
+                        for s in stats.both(r.model) {
+                            s.failed += 1;
+                        }
+                    }
+                }
+                for r in orphans {
+                    let _ = r.rider.reply.send(Err(lost.clone()));
+                }
+            }
+            return abandoned;
+        }
+        let shutting_down = relock(&shared.queue).shutdown;
+        // Park rather than sleep so `begin_shutdown` can cut the nap
+        // short; poll faster during shutdown to join promptly.
+        std::thread::park_timeout(if shutting_down {
+            Duration::from_micros(200)
+        } else {
+            SUPERVISE_POLL
+        });
+    }
+}
+
+/// How one executed batch resolved, after panic isolation and error
+/// classification.
+enum Outcome {
+    /// The replica answered: per-frame verdicts plus the plan/execute
+    /// edge timestamps.
+    Served(Vec<Result<SnnOutput>>, Instant, Instant),
+    /// The whole batch fell to a replica fault (panic, or an error
+    /// streak that tripped quarantine); every rider is retried or failed
+    /// with [`Error::ReplicaFault`].
+    Fault { kind: FaultKind, reason: String },
+}
+
+/// A human-readable reason out of a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "replica panicked".to_string()
+    }
+}
+
+/// Tears one (worker, model) replica down and rebuilds it from the
+/// compiled artifact — the fault-recovery half of the warm pool. The
+/// rebuild is a cold start by definition; if it fails the slot stays
+/// empty and the next batch retries via the ordinary cold-start path.
+fn quarantine_replica(
+    id: usize,
+    model: usize,
+    engines: &mut [Option<WorkerEngines>],
+    shared: &Shared,
+) {
+    engines[model] = None;
+    let rebuilt = build_worker_engines(&shared.models[model].model, &shared.config).ok();
+    let rebuilt_ok = rebuilt.is_some();
+    engines[model] = rebuilt;
+    shared.handles.quarantines.inc();
+    let mut stats = relock(&shared.stats);
+    stats.workers[id].quarantines += 1;
+    for s in stats.both(model) {
+        s.quarantines += 1;
+        if rebuilt_ok {
+            s.cold_starts += 1;
+        }
+    }
+}
+
+/// Books one executed batch into a model's throughput/occupancy/engine
+/// counters (the per-frame verdict counters are booked separately).
+fn account_batch(
+    stats: &mut AllStats,
+    model: usize,
+    frames: usize,
+    busy: Duration,
+    engine: EngineKind,
+    density: f64,
+    max_batch: usize,
+) {
+    for s in stats.both(model) {
+        s.batches += 1;
+        s.busy_time += busy;
+        if frames == max_batch {
+            s.full_batches += 1;
+        }
+        s.record_occupancy(frames, max_batch);
+        match engine {
+            EngineKind::Sequential => {
+                s.sequential_batches += 1;
+                s.sequential_frames += frames as u64;
+            }
+            EngineKind::Batched => {
+                s.batched_batches += 1;
+                s.batched_frames += frames as u64;
+            }
+        }
+        s.density_weighted_sum += density * frames as f64;
+    }
+}
+
+/// Picks the most urgent *ready* queued request (requests backing off
+/// between retry attempts wait for their `not_before`), gathers a
+/// single-model batch around it per the max-batch/max-wait policy
+/// (capped by that model's earliest queued deadline), sweeps expired
+/// requests out without burning lanes, picks an engine per the dispatch
+/// policy, runs it behind a panic guard, and answers every rider —
+/// requeueing them with backoff when the replica faulted and the retry
+/// budget and deadline allow. On shutdown, drains the queue first.
 fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shared) {
     let config = &shared.config;
     'serve: loop {
+        #[cfg(feature = "chaos")]
+        if let Some(chaos) = &shared.chaos {
+            // Outside every lock and the per-batch guard: an injected
+            // tick panic kills this worker thread wholesale, exercising
+            // the supervisor's detect-and-respawn path.
+            chaos.on_worker_tick();
+        }
         let (model, batch) = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = relock(&shared.queue);
             loop {
                 while queue.pending.is_empty() {
                     if queue.shutdown {
                         return;
                     }
-                    queue = shared.arrivals.wait(queue).expect("queue lock");
+                    queue = shared.arrivals.wait(queue).unwrap_or_else(PoisonError::into_inner);
                 }
+                let now = Instant::now();
                 // Expired requests fail fast here — before one could be
                 // picked as the batch head or ride along in a batch.
-                shared.sweep_expired(&mut queue.pending, Instant::now());
+                shared.sweep_expired(&mut queue.pending, now);
                 if queue.pending.is_empty() {
                     continue;
                 }
-                // The batch forms around the most urgent request; only
-                // its model's requests may ride along.
-                let head =
-                    queue.pending.iter().min_by(|a, b| schedule_order(a, b)).expect("non-empty");
-                let (model, head_enqueued) = (head.model, head.enqueued);
-                let gathered = queue.pending.iter().filter(|r| r.model == model);
+                // Everything queued is backing off between retry
+                // attempts: nap until the earliest window opens (works
+                // under shutdown too, so retries still drain).
+                if !queue.pending.iter().any(|r| r.ready(now)) {
+                    let wake = queue
+                        .pending
+                        .iter()
+                        .filter_map(|r| r.not_before)
+                        .min()
+                        .expect("an unready request has a backoff window");
+                    let nap = wake.saturating_duration_since(now).max(Duration::from_micros(50));
+                    let (q, _timeout) = shared
+                        .arrivals
+                        .wait_timeout(queue, nap)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queue = q;
+                    continue;
+                }
+                // The batch forms around the most urgent ready request;
+                // only its model's ready requests may ride along.
+                let head = queue
+                    .pending
+                    .iter()
+                    .filter(|r| r.ready(now))
+                    .min_by(|a, b| schedule_order(a, b))
+                    .expect("a ready request exists");
+                let (model, head_enqueued) = (head.model, head.rider.enqueued);
+                let gathered = queue.pending.iter().filter(|r| r.model == model && r.ready(now));
                 let count = gathered.clone().count();
                 if count >= config.max_batch || queue.shutdown {
-                    break (model, take_batch(&mut queue.pending, model, config.max_batch));
+                    break (model, take_batch(&mut queue.pending, model, config.max_batch, now));
                 }
                 // Hold the batch open for stragglers — but never past the
                 // earliest deadline it would have to answer.
                 let mut wait_until = head_enqueued + config.max_wait;
-                if let Some(earliest) = gathered.clone().filter_map(|r| r.deadline).min() {
+                if let Some(earliest) = gathered.clone().filter_map(|r| r.rider.deadline).min() {
                     wait_until = wait_until.min(earliest);
                 }
                 let now = Instant::now();
                 let Some(remaining) =
                     wait_until.checked_duration_since(now).filter(|d| !d.is_zero())
                 else {
-                    break (model, take_batch(&mut queue.pending, model, config.max_batch));
+                    break (model, take_batch(&mut queue.pending, model, config.max_batch, now));
                 };
-                let (q, _timeout) =
-                    shared.arrivals.wait_timeout(queue, remaining).expect("queue lock");
+                let (q, _timeout) = shared
+                    .arrivals
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = q;
                 // Loop around: re-sweep, re-pick (a higher-priority
                 // arrival may have moved the head), re-count.
@@ -1026,14 +1437,14 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
         shared.handles.queue_depth.sub(batch.len() as i64);
 
         // Move the tensors out instead of cloning them onto the hot path;
-        // only the request metadata and reply channel outlive the
-        // execution.
-        let (inputs, meta): (Vec<Tensor>, Vec<_>) =
-            batch.into_iter().map(|r| (r.input, (r.enqueued, r.seq, r.sampled, r.reply))).unzip();
+        // the riders (metadata + reply channel) outlive the execution,
+        // and the tensors stay whole in case a fault requeues them.
+        let (inputs, riders): (Vec<Tensor>, Vec<Rider>) =
+            batch.into_iter().map(Request::split).unzip();
         let frames = inputs.len();
         // One sampled rider is enough to phase-profile the whole batch
         // (the profile describes the shared passes, not one request).
-        let profiling = meta.iter().any(|(_, _, sampled, _)| *sampled);
+        let profiling = riders.iter().any(|r| r.sampled);
         // Observed input activity density: under rate coding, a pixel's
         // value is its per-timestep spike probability, so the mean value
         // is the expected fraction of input axons spiking per step.
@@ -1044,24 +1455,25 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
             / frames as f64;
 
         // Outside the warm pool this worker instantiates on first use —
-        // one cold start per (worker, model), then the replicas persist.
+        // one cold start per (worker, model), then the replicas persist
+        // until a quarantine sheds them.
         if engines[model].is_none() {
             match build_worker_engines(&shared.models[model].model, config) {
                 Ok(built) => {
                     engines[model] = Some(built);
-                    let mut stats = shared.stats.lock().expect("stats lock");
+                    let mut stats = relock(&shared.stats);
                     for s in stats.both(model) {
                         s.cold_starts += 1;
                     }
                 }
                 Err(e) => {
-                    let mut stats = shared.stats.lock().expect("stats lock");
+                    let mut stats = relock(&shared.stats);
                     for s in stats.both(model) {
                         s.failed += frames as u64;
                     }
                     drop(stats);
-                    for (_, _, _, reply_tx) in meta {
-                        let _ = reply_tx.send(Err(e.clone()));
+                    for rider in riders {
+                        let _ = rider.reply.send(Err(e.clone()));
                     }
                     continue 'serve;
                 }
@@ -1078,136 +1490,235 @@ fn worker_loop(id: usize, mut engines: Vec<Option<WorkerEngines>>, shared: &Shar
         );
 
         // The uniform plan → execute → drain lifecycle over the chosen
-        // replica; both engines answer per-frame verdicts through it.
-        let slot = model_engines.slot_mut(engine);
-        if profiling {
-            slot.engine.set_profiling(true);
-        }
+        // replica, behind a panic guard: a panicking replica fails only
+        // this batch, never the worker thread. The replica state behind
+        // the guard is presumed corrupt after an unwind, which is
+        // exactly why the panic arm below quarantines it.
         let exec_start = Instant::now();
-        let (results, planned_at, executed_at): (Vec<Result<SnnOutput>>, Instant, Instant) =
-            match slot.engine.plan(frames) {
-                Ok(()) => {
+        let guarded = {
+            let slot = model_engines.slot_mut(engine);
+            if profiling {
+                slot.engine.set_profiling(true);
+            }
+            std::panic::catch_unwind(AssertUnwindSafe(
+                || -> Result<(Vec<Result<SnnOutput>>, Instant, Instant)> {
+                    #[cfg(feature = "chaos")]
+                    if let Some(chaos) = &shared.chaos {
+                        chaos.on_execute()?;
+                    }
+                    slot.engine.plan(frames)?;
                     let planned_at = Instant::now();
                     let results = slot.engine.execute(&inputs, timesteps);
                     let executed_at = Instant::now();
                     slot.engine.drain();
-                    (results, planned_at, executed_at)
-                }
-                Err(e) => {
-                    let now = Instant::now();
-                    ((0..frames).map(|_| Err(e.clone())).collect(), now, now)
-                }
-            };
+                    Ok((results, planned_at, executed_at))
+                },
+            ))
+        };
         let busy = exec_start.elapsed();
         let answered = Instant::now();
-        // `take_profile` also stops profiling, so the next (unsampled)
-        // batch runs the untouched fast path.
-        let profile = if profiling { slot.engine.take_profile() } else { None };
-        if let Some(p) = &profile {
-            for (name, ns) in p.phase_ns() {
-                let counter = shared
-                    .handles
-                    .phases
-                    .iter()
-                    .find(|(phase, _)| *phase == name)
-                    .map(|(_, counter)| counter)
-                    .expect("the four phase counters cover every profile phase");
-                counter.add(ns);
-            }
-            shared.handles.profiled_batches.inc();
-        }
-        // Per-unit marginal cost: frames for the sequential engine,
-        // occupied lanes for the batched one — the same number, recorded
-        // into this occupancy's bucket.
-        slot.record(frames, busy.as_nanos() as f64 / frames as f64);
 
-        let mut stats = shared.stats.lock().expect("stats lock");
-        for s in stats.both(model) {
-            s.batches += 1;
-            s.busy_time += busy;
-            if frames == config.max_batch {
-                s.full_batches += 1;
+        let streak_bump = |engines: &mut Vec<Option<WorkerEngines>>| {
+            let me = engines[model].as_mut().expect("instantiated above");
+            me.error_streak += 1;
+            me.error_streak >= QUARANTINE_ERROR_STREAK
+        };
+        let outcome = match guarded {
+            // The replica panicked mid-batch: quarantine immediately.
+            Err(payload) => {
+                quarantine_replica(id, model, &mut engines, shared);
+                Outcome::Fault { kind: FaultKind::Panic, reason: panic_reason(&*payload) }
             }
-            s.record_occupancy(frames, config.max_batch);
-            match engine {
-                EngineKind::Sequential => {
-                    s.sequential_batches += 1;
-                    s.sequential_frames += frames as u64;
-                }
-                EngineKind::Batched => {
-                    s.batched_batches += 1;
-                    s.batched_frames += frames as u64;
+            // The whole batch errored before per-frame verdicts (plan
+            // failure or injected fault): one occurrence passes through
+            // to the riders — it may be the request's own fault — but a
+            // streak indicts the replica.
+            Ok(Err(e)) => {
+                if streak_bump(&mut engines) {
+                    quarantine_replica(id, model, &mut engines, shared);
+                    Outcome::Fault { kind: FaultKind::Quarantine, reason: e.to_string() }
+                } else {
+                    let now = Instant::now();
+                    Outcome::Served((0..frames).map(|_| Err(e.clone())).collect(), now, now)
                 }
             }
-            s.density_weighted_sum += density * frames as f64;
-        }
-        for ((enqueued, seq, sampled, reply_tx), result) in meta.into_iter().zip(results) {
-            match result {
-                Ok(output) => {
-                    let latency = answered.duration_since(enqueued);
-                    // Queue wait and service partition the latency at the
-                    // batch-formed instant shared by every rider.
-                    let queue_wait = formed.saturating_duration_since(enqueued);
-                    let service = answered.saturating_duration_since(formed);
-                    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-                    for s in stats.both(model) {
-                        s.completed += 1;
-                        s.total_latency += latency;
-                        s.max_latency = s.max_latency.max(latency);
-                        s.record_latency(ns(latency), ns(queue_wait), ns(service));
+            Ok(Ok((results, planned_at, executed_at))) => {
+                if !results.is_empty() && results.iter().all(Result::is_err) {
+                    if streak_bump(&mut engines) {
+                        let reason = results
+                            .iter()
+                            .find_map(|r| r.as_ref().err())
+                            .map(ToString::to_string)
+                            .unwrap_or_else(|| "every frame errored".to_string());
+                        quarantine_replica(id, model, &mut engines, shared);
+                        Outcome::Fault { kind: FaultKind::Quarantine, reason }
+                    } else {
+                        Outcome::Served(results, planned_at, executed_at)
                     }
-                    shared.handles.e2e.record(latency);
-                    shared.handles.queue_wait.record(queue_wait);
-                    shared.handles.service.record(service);
-                    let reply = InferenceReply {
-                        model_id: shared.models[model].id.clone(),
-                        predicted: output.predicted_class(),
-                        output,
-                        latency,
-                        queue_wait,
-                        worker: id,
-                        batch_size: frames,
-                        engine,
-                    };
-                    let _ = reply_tx.send(Ok(reply));
-                    if sampled {
-                        let t = &shared.telemetry;
-                        t.record_span(SpanRecord {
-                            id: seq,
-                            model: shared.models[model].id.clone(),
-                            worker: id as u64,
-                            engine: match engine {
-                                EngineKind::Sequential => "sequential".to_string(),
-                                EngineKind::Batched => "batched".to_string(),
-                            },
-                            batch_size: frames as u64,
-                            admitted_us: t.instant_us(enqueued),
-                            formed_us: t.instant_us(formed),
-                            planned_us: t.instant_us(planned_at),
-                            executed_us: t.instant_us(executed_at),
-                            drained_us: t.instant_us(answered),
-                            replied_us: t.now_us(),
-                            phases: profile.clone(),
+                } else {
+                    engines[model].as_mut().expect("instantiated above").error_streak = 0;
+                    Outcome::Served(results, planned_at, executed_at)
+                }
+            }
+        };
+
+        match outcome {
+            Outcome::Served(results, planned_at, executed_at) => {
+                let slot = engines[model].as_mut().expect("instantiated above").slot_mut(engine);
+                // `take_profile` also stops profiling, so the next
+                // (unsampled) batch runs the untouched fast path.
+                let profile = if profiling { slot.engine.take_profile() } else { None };
+                if let Some(p) = &profile {
+                    for (name, ns) in p.phase_ns() {
+                        let counter = shared
+                            .handles
+                            .phases
+                            .iter()
+                            .find(|(phase, _)| *phase == name)
+                            .map(|(_, counter)| counter)
+                            .expect("the four phase counters cover every profile phase");
+                        counter.add(ns);
+                    }
+                    shared.handles.profiled_batches.inc();
+                }
+                // Per-unit marginal cost: frames for the sequential
+                // engine, occupied lanes for the batched one — the same
+                // number, recorded into this occupancy's bucket.
+                slot.record(frames, busy.as_nanos() as f64 / frames as f64);
+
+                let mut stats = relock(&shared.stats);
+                account_batch(&mut stats, model, frames, busy, engine, density, config.max_batch);
+                for (rider, result) in riders.into_iter().zip(results) {
+                    match result {
+                        Ok(output) => {
+                            let latency = answered.duration_since(rider.enqueued);
+                            // Queue wait and service partition the
+                            // latency at the batch-formed instant shared
+                            // by every rider.
+                            let queue_wait = formed.saturating_duration_since(rider.enqueued);
+                            let service = answered.saturating_duration_since(formed);
+                            let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                            for s in stats.both(model) {
+                                s.completed += 1;
+                                s.total_latency += latency;
+                                s.max_latency = s.max_latency.max(latency);
+                                s.record_latency(ns(latency), ns(queue_wait), ns(service));
+                            }
+                            shared.handles.e2e.record(latency);
+                            shared.handles.queue_wait.record(queue_wait);
+                            shared.handles.service.record(service);
+                            let reply = InferenceReply {
+                                model_id: shared.models[model].id.clone(),
+                                predicted: output.predicted_class(),
+                                output,
+                                latency,
+                                queue_wait,
+                                worker: id,
+                                batch_size: frames,
+                                engine,
+                                attempts: rider.attempts + 1,
+                            };
+                            let _ = rider.reply.send(Ok(reply));
+                            if rider.sampled {
+                                let t = &shared.telemetry;
+                                t.record_span(SpanRecord {
+                                    id: rider.seq,
+                                    model: shared.models[model].id.clone(),
+                                    worker: id as u64,
+                                    engine: match engine {
+                                        EngineKind::Sequential => "sequential".to_string(),
+                                        EngineKind::Batched => "batched".to_string(),
+                                    },
+                                    batch_size: frames as u64,
+                                    attempts: u64::from(rider.attempts) + 1,
+                                    admitted_us: t.instant_us(rider.enqueued),
+                                    formed_us: t.instant_us(formed),
+                                    planned_us: t.instant_us(planned_at),
+                                    executed_us: t.instant_us(executed_at),
+                                    drained_us: t.instant_us(answered),
+                                    replied_us: t.now_us(),
+                                    phases: profile.clone(),
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            for s in stats.both(model) {
+                                s.failed += 1;
+                            }
+                            let _ = rider.reply.send(Err(e));
+                        }
+                    }
+                }
+            }
+            Outcome::Fault { kind, reason } => {
+                // Decide every rider's fate locklessly: retry when the
+                // budget has room *and* the backoff nap still lands
+                // before the deadline; otherwise fail typed.
+                let now = Instant::now();
+                let mut requeue: Vec<Request> = Vec::new();
+                let mut terminal: Vec<Rider> = Vec::new();
+                for (input, rider) in inputs.into_iter().zip(riders) {
+                    let backoff = retry_backoff(config.retry_backoff, rider.attempts);
+                    let within_deadline = rider.deadline.is_none_or(|d| now + backoff < d);
+                    if rider.attempts < config.retry_budget && within_deadline {
+                        requeue.push(Request {
+                            model,
+                            input,
+                            not_before: Some(now + backoff),
+                            rider: Rider { attempts: rider.attempts + 1, ..rider },
                         });
+                    } else {
+                        terminal.push(rider);
                     }
                 }
-                Err(e) => {
-                    for s in stats.both(model) {
-                        s.failed += 1;
-                    }
-                    let _ = reply_tx.send(Err(e));
+                let retried = requeue.len();
+                let failed = terminal.len();
+                if retried > 0 {
+                    // Queue before stats, per the lock order.
+                    let mut queue = relock(&shared.queue);
+                    queue.pending.extend(requeue);
+                    shared.arrivals.notify_all();
+                    drop(queue);
+                    shared.handles.queue_depth.add(retried as i64);
+                    shared.handles.retries(kind).add(retried as u64);
+                }
+                let mut stats = relock(&shared.stats);
+                account_batch(&mut stats, model, frames, busy, engine, density, config.max_batch);
+                stats.workers[id].replica_faults += 1;
+                for s in stats.both(model) {
+                    s.retries += retried as u64;
+                    s.failed += failed as u64;
+                }
+                drop(stats);
+                for rider in terminal {
+                    let fault = Error::ReplicaFault {
+                        worker: id,
+                        attempts: rider.attempts + 1,
+                        reason: reason.clone(),
+                    };
+                    let _ = rider.reply.send(Err(fault));
                 }
             }
         }
     }
 }
 
-/// Removes up to `max_batch` of `model`'s requests from `pending` in
-/// schedule order (see [`schedule_order`]) and returns them, most urgent
-/// first. Other models' requests stay queued untouched.
-fn take_batch(pending: &mut VecDeque<Request>, model: usize, max_batch: usize) -> Vec<Request> {
-    let mut picked: Vec<usize> =
-        pending.iter().enumerate().filter(|(_, r)| r.model == model).map(|(i, _)| i).collect();
+/// Removes up to `max_batch` of `model`'s *ready* requests from
+/// `pending` in schedule order (see [`schedule_order`]) and returns
+/// them, most urgent first. Other models' requests — and requests still
+/// backing off before a retry — stay queued untouched.
+fn take_batch(
+    pending: &mut VecDeque<Request>,
+    model: usize,
+    max_batch: usize,
+    now: Instant,
+) -> Vec<Request> {
+    let mut picked: Vec<usize> = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.model == model && r.ready(now))
+        .map(|(i, _)| i)
+        .collect();
     picked.sort_by(|&a, &b| schedule_order(&pending[a], &pending[b]));
     picked.truncate(max_batch);
     // Remove back-to-front so earlier indices stay valid.
@@ -1760,12 +2271,16 @@ mod tests {
         let req = |priority: u8, deadline: Option<Duration>, seq: u64| Request {
             model: 0,
             input: frame(0),
-            enqueued: now,
-            deadline: deadline.map(|d| now + d),
-            priority,
-            seq,
-            sampled: false,
-            reply: tx.clone(),
+            not_before: None,
+            rider: Rider {
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                priority,
+                seq,
+                sampled: false,
+                attempts: 0,
+                reply: tx.clone(),
+            },
         };
         let urgent = req(5, Some(Duration::from_millis(1)), 10);
         let urgent_later = req(5, Some(Duration::from_millis(9)), 2);
@@ -1796,17 +2311,80 @@ mod tests {
         other.model = 1;
         pending.push_back(other);
         pending.push_back(req(3, Some(Duration::from_millis(5)), 3));
-        let batch = take_batch(&mut pending, 0, 2);
+        let batch = take_batch(&mut pending, 0, 2, Instant::now());
         assert_eq!(
-            batch.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            batch.iter().map(|r| r.rider.seq).collect::<Vec<_>>(),
             vec![3, 1],
             "deadline-bearing priority-3 first, then FIFO priority-3"
         );
         assert_eq!(
-            pending.iter().map(|r| (r.model, r.seq)).collect::<Vec<_>>(),
+            pending.iter().map(|r| (r.model, r.rider.seq)).collect::<Vec<_>>(),
             vec![(0, 0), (1, 2)],
             "the other model's request and the overflow stay queued"
         );
+    }
+
+    #[test]
+    fn retry_backoff_doubles_per_prior_attempt() {
+        let base = Duration::from_micros(200);
+        assert_eq!(retry_backoff(base, 0), base);
+        assert_eq!(retry_backoff(base, 1), base * 2);
+        assert_eq!(retry_backoff(base, 3), base * 8);
+        // Far past any sane budget, the shift clamps instead of
+        // overflowing.
+        assert_eq!(retry_backoff(base, 40), base * (1 << 16));
+    }
+
+    #[test]
+    fn requests_in_backoff_are_not_ready_and_not_batched() {
+        let now = Instant::now();
+        let (tx, _rx) = mpsc::channel();
+        let req = |not_before: Option<Instant>, seq: u64| Request {
+            model: 0,
+            input: frame(0),
+            not_before,
+            rider: Rider {
+                enqueued: now,
+                deadline: None,
+                priority: 0,
+                seq,
+                sampled: false,
+                attempts: 1,
+                reply: tx.clone(),
+            },
+        };
+        let open = req(None, 0);
+        let waiting = req(Some(now + Duration::from_secs(60)), 1);
+        let elapsed = req(Some(now - Duration::from_millis(1)), 2);
+        assert!(open.ready(now));
+        assert!(!waiting.ready(now));
+        assert!(elapsed.ready(now));
+
+        let mut pending: VecDeque<Request> = VecDeque::new();
+        pending.push_back(req(Some(now + Duration::from_secs(60)), 3));
+        pending.push_back(req(None, 4));
+        let batch = take_batch(&mut pending, 0, 4, now);
+        assert_eq!(batch.iter().map(|r| r.rider.seq).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(
+            pending.iter().map(|r| r.rider.seq).collect::<Vec<_>>(),
+            vec![3],
+            "the backing-off request stays queued"
+        );
+    }
+
+    #[test]
+    fn relock_recovers_a_poisoned_mutex() {
+        let lock = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(lock.lock().is_err(), "the panic must actually poison");
+        assert_eq!(*relock(&lock), 7, "relock sees the consistent value");
+        *relock(&lock) = 9;
+        assert_eq!(*relock(&lock), 9);
     }
 
     #[test]

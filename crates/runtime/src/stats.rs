@@ -99,6 +99,23 @@ pub(crate) struct StatsInner {
     /// Times a worker had to instantiate a replica on demand because the
     /// model's warm pool did not cover it.
     pub cold_starts: u64,
+    /// Requests requeued for another execution after a replica fault
+    /// (each requeue counts once, however many a single request needs).
+    pub retries: u64,
+    /// Replica teardown-and-rebuilds after a panic or a repeated error
+    /// streak (each also counts a cold start for the rebuild).
+    pub quarantines: u64,
+}
+
+/// Mutable per-worker health counters, updated under the stats lock by
+/// the worker itself (faults, quarantines) and by the supervisor
+/// (restarts, abandonment).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerHealthInner {
+    pub restarts: u64,
+    pub replica_faults: u64,
+    pub quarantines: u64,
+    pub gave_up: bool,
 }
 
 /// A snapshot of the runtime's aggregate serving statistics.
@@ -178,9 +195,38 @@ pub struct RuntimeStats {
     pub rejected_unknown_model: u64,
     /// On-demand replica instantiations outside the warm pools.
     pub cold_starts: u64,
+    /// Requests requeued for another execution after a replica fault.
+    pub retries: u64,
+    /// Replica teardown-and-rebuilds after a panic or error streak.
+    pub quarantines: u64,
+    /// Worker threads the supervisor respawned after they died
+    /// (aggregate view only; per-worker detail is in [`workers`]).
+    ///
+    /// [`workers`]: RuntimeStats::workers
+    pub worker_restarts: u64,
+    /// Per-worker health, indexed by shard id (aggregate view only;
+    /// empty in per-model views).
+    pub workers: Vec<WorkerHealth>,
     /// Per-model statistics, in registration order. Empty in the
     /// per-model views themselves (the nesting is one level deep).
     pub models: Vec<ModelStats>,
+}
+
+/// One worker shard's health, inside [`RuntimeStats::workers`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// The shard id (its index in the worker pool).
+    pub worker: usize,
+    /// Times the supervisor respawned this worker after its thread died.
+    pub restarts: u64,
+    /// Batches this worker lost to replica faults (panics or quarantine
+    /// trips); the requests themselves were retried or failed typed.
+    pub replica_faults: u64,
+    /// Replicas this worker tore down and rebuilt.
+    pub quarantines: u64,
+    /// `false` once the supervisor exhausted the restart budget and
+    /// abandoned the shard; `true` for a serving or cleanly-stopped one.
+    pub healthy: bool,
 }
 
 /// One registered model's serving statistics, inside
@@ -282,6 +328,10 @@ impl RuntimeStats {
             expired_in_queue: inner.expired_in_queue,
             rejected_unknown_model: inner.rejected_unknown_model,
             cold_starts: inner.cold_starts,
+            retries: inner.retries,
+            quarantines: inner.quarantines,
+            worker_restarts: 0,
+            workers: Vec::new(),
             models: Vec::new(),
         }
     }
@@ -291,6 +341,7 @@ impl RuntimeStats {
     pub(crate) fn snapshot_with_models<'a>(
         aggregate: &StatsInner,
         models: impl Iterator<Item = (&'a str, &'a StatsInner, u64)>,
+        workers: &[WorkerHealthInner],
         elapsed: Duration,
         queue_depth: u64,
     ) -> RuntimeStats {
@@ -299,6 +350,18 @@ impl RuntimeStats {
             .map(|(id, inner, depth)| ModelStats {
                 id: id.to_string(),
                 stats: RuntimeStats::snapshot(inner, elapsed, depth),
+            })
+            .collect();
+        stats.worker_restarts = workers.iter().map(|w| w.restarts).sum();
+        stats.workers = workers
+            .iter()
+            .enumerate()
+            .map(|(worker, w)| WorkerHealth {
+                worker,
+                restarts: w.restarts,
+                replica_faults: w.replica_faults,
+                quarantines: w.quarantines,
+                healthy: !w.gave_up,
             })
             .collect();
         stats
@@ -365,6 +428,14 @@ pub(crate) fn render_prometheus(stats: &RuntimeStats, out: &mut String) {
     if !stats.models.is_empty() {
         family("shenjing_model_completed_total", "counter", &per_model(|s| s.completed));
         family("shenjing_model_queue_depth", "gauge", &per_model(|s| s.queue_depth));
+    }
+    if !stats.workers.is_empty() {
+        let health: Vec<(String, String)> = stats
+            .workers
+            .iter()
+            .map(|w| (format!("{{worker=\"{}\"}}", w.worker), u64::from(w.healthy).to_string()))
+            .collect();
+        family("shenjing_worker_healthy", "gauge", &health);
     }
 }
 
@@ -458,9 +529,14 @@ mod tests {
             service: Reservoir { samples: vec![750_000, 1_500_000, 2_250_000], seen: 3 },
             ..Default::default()
         };
+        let workers = vec![
+            WorkerHealthInner { restarts: 1, replica_faults: 2, quarantines: 1, gave_up: false },
+            WorkerHealthInner { restarts: 9, gave_up: true, ..Default::default() },
+        ];
         let stats = RuntimeStats::snapshot_with_models(
             &inner,
             std::iter::once(("digits", &inner, 4)),
+            &workers,
             Duration::from_secs(1),
             4,
         );
@@ -472,5 +548,38 @@ mod tests {
         assert!(out.contains("shenjing_requests_rejected_total{reason=\"queue_full\"} 2"));
         assert!(out.contains("shenjing_model_completed_total{model=\"digits\"} 3"));
         assert!(out.contains("shenjing_model_queue_depth{model=\"digits\"} 4"));
+        assert!(out.contains("shenjing_worker_healthy{worker=\"0\"} 1"));
+        assert!(out.contains("shenjing_worker_healthy{worker=\"1\"} 0"));
+    }
+
+    #[test]
+    fn worker_health_snapshot_maps_indices_and_abandonment() {
+        let workers = vec![
+            WorkerHealthInner::default(),
+            WorkerHealthInner { restarts: 3, replica_faults: 5, quarantines: 2, gave_up: true },
+        ];
+        let stats = RuntimeStats::snapshot_with_models(
+            &StatsInner::default(),
+            std::iter::empty(),
+            &workers,
+            Duration::from_secs(1),
+            0,
+        );
+        assert_eq!(stats.worker_restarts, 3);
+        assert_eq!(
+            stats.workers,
+            vec![
+                WorkerHealth { worker: 0, healthy: true, ..Default::default() },
+                WorkerHealth {
+                    worker: 1,
+                    restarts: 3,
+                    replica_faults: 5,
+                    quarantines: 2,
+                    healthy: false,
+                },
+            ]
+        );
+        // The plain per-model snapshot never carries worker detail.
+        assert!(stats.models.is_empty());
     }
 }

@@ -73,6 +73,7 @@ proptest! {
                 worker,
                 batch_size,
                 engine: if batched { EngineKind::Batched } else { EngineKind::Sequential },
+                attempts: 1 + (batch_size % 3) as u32,
             }),
             1 => WireReply::Rejected(match worker % 4 {
                 0 => RejectReason::UnknownModel { id: IDS[id_sel].to_string() },
@@ -80,7 +81,10 @@ proptest! {
                 2 => RejectReason::DeadlineExpired,
                 _ => RejectReason::ShuttingDown,
             }),
-            _ => WireReply::Failed { message: format!("frame {worker} failed: {latency_ns}") },
+            _ => WireReply::Failed {
+                message: format!("frame {worker} failed: {latency_ns}"),
+                attempts: 1 + (worker % 3) as u32,
+            },
         };
         let json = encode_reply(&envelope).unwrap();
         let back = decode_reply(&json).unwrap();

@@ -88,10 +88,12 @@ pub mod prelude {
     pub use shenjing_mapper::{map_logical, place, Mapper, Mapping, PlacementStrategy};
     pub use shenjing_nn::{LayerSpec, Network, NetworkKind, Sgd, Tensor};
     pub use shenjing_power::{AreaBudget, EnergyModel, SystemEstimate, TileModel};
+    #[cfg(feature = "chaos")]
+    pub use shenjing_runtime::ChaosConfig;
     pub use shenjing_runtime::{
         CompiledModel, Engine, EngineKind, EnginePolicy, InferenceReply, InferenceRequest,
         ModelRegistry, ModelStats, Runtime, RuntimeConfig, RuntimeConfigBuilder, RuntimeStats,
-        ServeOptions, DEFAULT_MODEL_ID,
+        ServeOptions, WorkerHealth, DEFAULT_MODEL_ID,
     };
     pub use shenjing_sim::{BatchSim, CycleSim};
     pub use shenjing_snn::{convert, ConversionOptions, SnnNetwork};

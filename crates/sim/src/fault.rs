@@ -9,7 +9,7 @@
 
 use shenjing_core::{Error, Result};
 use shenjing_hw::{AtomicOp, ConfigMemory};
-use shenjing_mapper::CompiledProgram;
+use shenjing_mapper::{CompiledProgram, Mapping};
 
 /// A fault to inject into a compiled program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,24 @@ pub fn inject(program: &CompiledProgram, fault: Fault) -> Result<CompiledProgram
             entry.2 = (entry.2 + delta).max(1);
         }
     }
+    Ok(damaged)
+}
+
+/// Applies a fault to a copy of a whole [`Mapping`], leaving the logical
+/// layout and placement intact and damaging only the compiled program.
+///
+/// This is the plumbing a serving tier needs to build a *damaged model
+/// artifact* end to end: a `Mapping` is what `CompiledModel`-style
+/// decoders consume, so injecting here lets chaos tests register a model
+/// whose program carries a known hardware fault.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the fault's index is out of
+/// range for this program.
+pub fn inject_mapping(mapping: &Mapping, fault: Fault) -> Result<Mapping> {
+    let mut damaged = mapping.clone();
+    damaged.program = inject(&mapping.program, fault)?;
     Ok(damaged)
 }
 
@@ -175,6 +193,24 @@ mod tests {
         assert!(inject(&mapping.program, Fault::DropOp { index: usize::MAX }).is_err());
         assert!(inject(&mapping.program, Fault::PerturbThreshold { index: usize::MAX, delta: 1 })
             .is_err());
+    }
+
+    #[test]
+    fn mapping_injection_damages_only_the_program() {
+        let (_, mapping, _, _) = build();
+        let perturbed =
+            inject_mapping(&mapping, Fault::PerturbThreshold { index: 0, delta: 37 }).unwrap();
+        assert_eq!(
+            perturbed.program.thresholds[0].2,
+            (mapping.program.thresholds[0].2 + 37).max(1)
+        );
+        assert_eq!(perturbed.program.config.op_count(), mapping.program.config.op_count());
+        let dropped = inject_mapping(&mapping, Fault::DropOp { index: 0 }).unwrap();
+        assert_eq!(dropped.program.config.op_count(), mapping.program.config.op_count() - 1);
+        // The decode inputs ride along untouched: same schedule length,
+        // same placement footprint.
+        assert_eq!(dropped.program.block_cycles, mapping.program.block_cycles);
+        assert!(inject_mapping(&mapping, Fault::DropOp { index: usize::MAX }).is_err());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use cycle_sim::{CycleSim, DecodedProgram};
 pub use equivalence::{
     verify, verify_batched, verify_batched_lanes, verify_sequential, EquivalenceReport,
 };
-pub use fault::{inject, Fault};
+pub use fault::{inject, inject_mapping, Fault};
 pub use shenjing_hw::LaneSet;
 pub use trace::{
     compare_traces, digest_batch_chip, digest_chip, trace_block, Divergence, StateDigest,

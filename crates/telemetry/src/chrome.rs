@@ -66,6 +66,9 @@ pub struct EventArgs {
     pub worker: Option<u64>,
     /// Frames in the carrying batch (request slices).
     pub batch_size: Option<u64>,
+    /// Executions performed before the reply (request slices; > 1 when
+    /// replica faults forced retries).
+    pub attempts: Option<u64>,
     /// Profiled passes (execute slices).
     pub passes: Option<u64>,
     /// Profiled timesteps (execute slices).
@@ -122,6 +125,7 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> ChromeTrace {
                 engine: Some(span.engine.clone()),
                 worker: Some(span.worker),
                 batch_size: Some(span.batch_size),
+                attempts: Some(span.attempts),
                 ..EventArgs::default()
             },
         ));
@@ -235,6 +239,7 @@ mod tests {
             worker: 1,
             engine: "batched".into(),
             batch_size: 4,
+            attempts: 2,
             admitted_us: 10.0,
             formed_us: 25.0,
             planned_us: 26.0,

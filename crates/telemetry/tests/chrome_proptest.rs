@@ -38,6 +38,7 @@ fn span(id: u64, raw: &[u64], profiled: bool) -> SpanRecord {
         worker: raw[7] % 4,
         engine: if raw[8].is_multiple_of(2) { "sequential".into() } else { "batched".into() },
         batch_size: 1 + raw[9] % 16,
+        attempts: 1 + raw[6] % 3,
         admitted_us: ts[0] as f64,
         formed_us: ts[1] as f64,
         planned_us: ts[2] as f64,

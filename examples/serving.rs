@@ -156,6 +156,17 @@ fn main() -> Result<()> {
         "admission: {} queue-full, {} dead-on-arrival, {} expired in queue",
         stats.rejected_queue_full, stats.rejected_deadline, stats.expired_in_queue,
     );
+    // Fault tolerance rides along in the same snapshot: a clean run
+    // reports zeros, a faulted one shows the supervisor healing.
+    println!(
+        "fault tolerance: {} worker restart(s), {} retried request(s), {} quarantine(s), \
+         {}/{} workers healthy",
+        stats.worker_restarts,
+        stats.retries,
+        stats.quarantines,
+        stats.workers.iter().filter(|w| w.healthy).count(),
+        stats.workers.len(),
+    );
 
     // 7. The serving path is bit-exact against the single-frame simulator
     //    (spot-checked here; the property tests cover it exhaustively) —
