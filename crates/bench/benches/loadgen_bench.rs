@@ -82,6 +82,14 @@ fn main() {
         MLP_PER_WAVE,
         CNN_PER_WAVE,
     );
+    for (id, m) in [("mnist-mlp", &mlp), ("cifar-cnn", &cnn)] {
+        let raw = m.block_cycles();
+        let compacted = m.program().compacted_cycles().unwrap_or(raw);
+        eprintln!(
+            "  {id} schedule: {raw} raw cycles/pass -> {compacted} compacted ({:.1}x)",
+            raw as f64 / compacted as f64,
+        );
+    }
 
     // The MLP tenant is latency-critical: higher priority, a real SLO,
     // warm on both workers. The CNN tenant is best-effort and serves a

@@ -56,6 +56,21 @@ fn bench_runtime(c: &mut Criterion) {
     // the decoded program amortizes).
     c.bench_function("runtime_instantiate_replica", |b| b.iter(|| model.instantiate().unwrap()));
 
+    // The compile-side cost of the schedule optimizer: decode plus the
+    // four optimizer passes, paid once per artifact. Tracked so the
+    // one-time compile cost stays negligible next to what the compacted
+    // schedule saves on every serving pass.
+    let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+    c.bench_function("decode_and_optimize_mlp", |b| {
+        b.iter(|| {
+            shenjing::sim::DecodedProgram::decode(&arch, &mapping.logical, &mapping.program)
+                .unwrap()
+                .optimize()
+                .compacted_cycles()
+                .unwrap()
+        })
+    });
+
     // End to end through registry + admission + batching policy + worker
     // shards (every worker warm, as the pre-registry runtime was).
     c.bench_function("runtime_serve_32_frames_2_workers", |b| {

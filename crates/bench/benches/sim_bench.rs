@@ -2,15 +2,24 @@
 //! simulation for the mapped MNIST MLP (the paper's RTL tractability wall
 //! is exactly this cost — their functional simulator exists to beat it).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use shenjing::prelude::*;
+use shenjing::sim::DecodedProgram;
 use shenjing::snn::snn_from_specs;
 
 fn bench_sim(c: &mut Criterion) {
     let arch = ArchSpec::paper();
     let snn = snn_from_specs(&NetworkKind::MnistMlp.specs(), (28, 28, 1), 7).unwrap();
     let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
-    let mut sim = CycleSim::new(&arch, &mapping.logical, &mapping.program).unwrap();
+    // The production shape: decode once, run the schedule optimizer, and
+    // execute the compacted schedule (what `CompiledModel::compile`
+    // serves). `SHENJING_NO_OPTIMIZE=1` re-measures the raw walk.
+    let program = Arc::new(
+        DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap().optimize(),
+    );
+    let mut sim = CycleSim::from_decoded(program).unwrap();
     let input =
         Tensor::from_vec(vec![784], (0..784).map(|i| (i % 7) as f64 / 7.0).collect()).unwrap();
 

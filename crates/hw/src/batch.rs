@@ -211,6 +211,26 @@ impl BatchNeuronCore {
         Ok(())
     }
 
+    /// Loads a *prefix* of the axon-major weight array and zero-fills the
+    /// rest — the batched counterpart of
+    /// [`NeuronCore::load_weight_rows`](crate::NeuronCore::load_weight_rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `rows` is not a whole number
+    /// of axon rows or holds more rows than the core has axons.
+    pub fn load_weight_rows(&mut self, rows: &[W5]) -> Result<()> {
+        if !rows.len().is_multiple_of(self.neurons as usize) || rows.len() > self.weights.len() {
+            return Err(Error::shape_mismatch(
+                format!("at most {} weights in {}-neuron rows", self.weights.len(), self.neurons),
+                format!("{} weights", rows.len()),
+            ));
+        }
+        self.weights[..rows.len()].copy_from_slice(rows);
+        self.weights[rows.len()..].fill(W5::ZERO);
+        Ok(())
+    }
+
     /// Writes one synaptic weight.
     ///
     /// # Errors
@@ -1548,6 +1568,137 @@ impl BatchChip {
             phases.drain_ns += t.elapsed().as_nanos() as u64;
         }
         Ok(())
+    }
+
+    /// Executes one compacted schedule entry for all lanes — the batched
+    /// counterpart of [`Chip::exec_ops`](crate::Chip::exec_ops), with the
+    /// same bit-identity contract against replaying the entry's source
+    /// cycles through [`exec_cycle`](BatchChip::exec_cycle).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`exec_cycle`](BatchChip::exec_cycle); schedule
+    /// errors report original (pre-compaction) cycle numbers.
+    pub fn exec_ops(&mut self, entry: &crate::sched::CycleOps) -> Result<()> {
+        for s in &entry.ops {
+            let BatchChip { tiles, lanes, .. } = self;
+            let tile = tiles.get_mut(s.tile).ok_or_else(|| {
+                Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
+            })?;
+            tile.exec(&s.op, lanes).map_err(|e| annotate_cycle(e, s.cycle))?;
+        }
+        if self.reference {
+            self.transfer_reference(entry.transfer_cycle)?;
+            let BatchChip { tiles, lanes, .. } = self;
+            for tile in tiles.iter_mut() {
+                tile.commit_deliveries(lanes)?;
+            }
+        } else {
+            if !entry.out_ports.is_empty() {
+                self.transfer_ports(entry)?;
+            }
+            let BatchChip { tiles, lanes, .. } = self;
+            for &idx in &entry.deliver_tiles {
+                tiles[idx].commit_deliveries(lanes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`exec_ops`](BatchChip::exec_ops) with per-phase wall-clock
+    /// attribution (the compacted counterpart of
+    /// [`exec_cycle_phased`](BatchChip::exec_cycle_phased)).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`exec_ops`](BatchChip::exec_ops).
+    pub fn exec_ops_phased(
+        &mut self,
+        entry: &crate::sched::CycleOps,
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<()> {
+        use std::time::Instant;
+        for s in &entry.ops {
+            let t = Instant::now();
+            let BatchChip { tiles, lanes, .. } = self;
+            let tile = tiles.get_mut(s.tile).ok_or_else(|| {
+                Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
+            })?;
+            tile.exec(&s.op, lanes).map_err(|e| annotate_cycle(e, s.cycle))?;
+            phases.record_op(&s.op, t.elapsed().as_nanos() as u64);
+        }
+        if self.reference {
+            let t = Instant::now();
+            self.transfer_reference(entry.transfer_cycle)?;
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            let BatchChip { tiles, lanes, .. } = self;
+            for tile in tiles.iter_mut() {
+                tile.commit_deliveries(lanes)?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        } else {
+            let t = Instant::now();
+            if !entry.out_ports.is_empty() {
+                self.transfer_ports(entry)?;
+            }
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            let BatchChip { tiles, lanes, .. } = self;
+            for &idx in &entry.deliver_tiles {
+                tiles[idx].commit_deliveries(lanes)?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        }
+        Ok(())
+    }
+
+    /// The transfer phase over a precomputed port list — the batched
+    /// counterpart of `Chip::transfer_ports`, visiting exactly the
+    /// `(tile, direction)` pairs the entry's producers can drive in the
+    /// raw scan's order so errors fire identically to
+    /// [`transfer`](BatchChip::transfer).
+    fn transfer_ports(&mut self, entry: &crate::sched::CycleOps) -> Result<()> {
+        let cycle = entry.transfer_cycle;
+        let BatchChip { tiles, lanes, ps_moves, ps_payload, spike_moves, spike_payload, .. } = self;
+        ps_moves.clear();
+        ps_payload.clear();
+        spike_moves.clear();
+        spike_payload.clear();
+
+        for port in &entry.out_ports {
+            let tile = &mut tiles[port.tile];
+            let dir = port.dir;
+            let ps_first = if port.ps { tile.ps().first_pending(dir) } else { None };
+            let spike_first = if port.spike { tile.spike().first_pending(dir) } else { None };
+            if ps_first.is_none() && spike_first.is_none() {
+                continue;
+            }
+            let Some(dst_idx) = port.dst else {
+                let ps_fires_first = match (ps_first, spike_first) {
+                    (Some(p), Some(s)) => p <= s,
+                    (ps, _) => ps.is_some(),
+                };
+                let what = if ps_fires_first { "ps data" } else { "spike" };
+                return Err(Error::InvalidSchedule {
+                    cycle,
+                    reason: format!("{what} driven off the mesh edge at {} port {dir}", port.coord),
+                });
+            };
+            let in_port = dir.opposite();
+            while let Some(plane) = tile.ps_mut().take_next_output_into(dir, ps_payload, lanes) {
+                debug_assert!(port.planes.contains(plane));
+                ps_moves.push((dst_idx, in_port, plane));
+            }
+            while let Some(plane) =
+                tile.spike_mut().take_next_output_into(dir, spike_payload, lanes)
+            {
+                debug_assert!(port.planes.contains(plane));
+                spike_moves.push((dst_idx, in_port, plane));
+            }
+        }
+
+        apply_moves(tiles, lanes, cycle, ps_moves, ps_payload, spike_moves, spike_payload)
     }
 
     /// Fills `active_tiles` with the sorted, deduplicated tile indices of

@@ -227,6 +227,146 @@ impl Chip {
         Ok(())
     }
 
+    /// Executes one compacted schedule entry (see [`CycleOps`](crate::sched::CycleOps)): runs the
+    /// entry's ops — each annotated with its *source* cycle on error —
+    /// then one transfer phase over the precomputed port list and one
+    /// delivery commit over the precomputed tile list.
+    ///
+    /// Bit-identical to replaying the entry's source cycles through
+    /// [`exec_cycle`](Chip::exec_cycle): the folded passive cycles have no
+    /// port-output producers and no delivery-queueing ops, so their
+    /// transfer and commit phases were no-ops in the raw walk.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`exec_cycle`](Chip::exec_cycle); schedule errors
+    /// report original (pre-compaction) cycle numbers.
+    pub fn exec_ops(&mut self, entry: &crate::sched::CycleOps) -> Result<()> {
+        for s in &entry.ops {
+            let tile = self.tiles.get_mut(s.tile).ok_or_else(|| {
+                Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
+            })?;
+            tile.exec(&s.op).map_err(|e| annotate_cycle(e, s.cycle))?;
+        }
+        if self.reference {
+            self.transfer_reference(entry.transfer_cycle)?;
+            for tile in &mut self.tiles {
+                tile.commit_deliveries()?;
+            }
+        } else {
+            if !entry.out_ports.is_empty() {
+                self.transfer_ports(entry)?;
+            }
+            for &idx in &entry.deliver_tiles {
+                self.tiles[idx].commit_deliveries()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`exec_ops`](Chip::exec_ops) with per-phase wall-clock attribution
+    /// (the compacted counterpart of
+    /// [`exec_cycle_phased`](Chip::exec_cycle_phased)).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`exec_ops`](Chip::exec_ops).
+    pub fn exec_ops_phased(
+        &mut self,
+        entry: &crate::sched::CycleOps,
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<()> {
+        use std::time::Instant;
+        for s in &entry.ops {
+            let t = Instant::now();
+            let tile = self.tiles.get_mut(s.tile).ok_or_else(|| {
+                Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
+            })?;
+            tile.exec(&s.op).map_err(|e| annotate_cycle(e, s.cycle))?;
+            phases.record_op(&s.op, t.elapsed().as_nanos() as u64);
+        }
+        if self.reference {
+            let t = Instant::now();
+            self.transfer_reference(entry.transfer_cycle)?;
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            for tile in &mut self.tiles {
+                tile.commit_deliveries()?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        } else {
+            let t = Instant::now();
+            if !entry.out_ports.is_empty() {
+                self.transfer_ports(entry)?;
+            }
+            phases.transfer_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            for &idx in &entry.deliver_tiles {
+                self.tiles[idx].commit_deliveries()?;
+            }
+            phases.drain_ns += t.elapsed().as_nanos() as u64;
+        }
+        Ok(())
+    }
+
+    /// The transfer phase over a precomputed port list: visits exactly the
+    /// `(tile, direction)` pairs the entry's producers can drive, in the
+    /// raw scan's `(row-major tile, N/S/E/W)` order, so off-mesh and
+    /// contention errors fire identically to [`transfer`](Chip::transfer).
+    fn transfer_ports(&mut self, entry: &crate::sched::CycleOps) -> Result<()> {
+        let cycle = entry.transfer_cycle;
+        let Chip { tiles, ps_moves, spike_moves, .. } = self;
+        ps_moves.clear();
+        spike_moves.clear();
+
+        for port in &entry.out_ports {
+            let tile = &mut tiles[port.tile];
+            let dir = port.dir;
+            // A port whose router kind has no producer this cycle cannot be
+            // pending (outputs only originate from ops and the previous
+            // transfer drained everything), so the probes can be gated.
+            let ps_first = if port.ps { tile.ps().first_pending(dir) } else { None };
+            let spike_first = if port.spike { tile.spike().first_pending(dir) } else { None };
+            if ps_first.is_none() && spike_first.is_none() {
+                continue;
+            }
+            let Some(dst_idx) = port.dst else {
+                let ps_fires_first = match (ps_first, spike_first) {
+                    (Some(p), Some(s)) => p <= s,
+                    (ps, _) => ps.is_some(),
+                };
+                let what = if ps_fires_first { "ps data" } else { "spike" };
+                return Err(Error::InvalidSchedule {
+                    cycle,
+                    reason: format!("{what} driven off the mesh edge at {} port {dir}", port.coord),
+                });
+            };
+            let in_port = dir.opposite();
+            while let Some((plane, v)) = tile.ps_mut().take_next_output(dir) {
+                debug_assert!(port.planes.contains(plane));
+                ps_moves.push((dst_idx, in_port, plane, v));
+            }
+            while let Some((plane, s)) = tile.spike_mut().take_next_output(dir) {
+                debug_assert!(port.planes.contains(plane));
+                spike_moves.push((dst_idx, in_port, plane, s));
+            }
+        }
+
+        for &(idx, in_port, plane, v) in ps_moves.iter() {
+            tiles[idx]
+                .ps_mut()
+                .put_input(in_port, plane, v)
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        for &(idx, in_port, plane, s) in spike_moves.iter() {
+            tiles[idx]
+                .spike_mut()
+                .put_input(in_port, plane, s)
+                .map_err(|e| annotate_cycle(e, cycle))?;
+        }
+        Ok(())
+    }
+
     /// Fills `active_tiles` with the sorted, deduplicated tile indices of
     /// `ops` (already bounds-checked by the execute loop). Sorting keeps
     /// the transfer scan in the reference row-major order, so schedule

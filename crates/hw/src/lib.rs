@@ -56,6 +56,7 @@ pub mod ops;
 pub mod phases;
 pub mod plane;
 pub mod ps_router;
+pub mod sched;
 pub mod signals;
 pub mod spike_router;
 pub mod tile;
@@ -70,6 +71,7 @@ pub use ops::{AtomicOp, NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRout
 pub use phases::CyclePhases;
 pub use plane::PlaneSet;
 pub use ps_router::PsRouter;
+pub use sched::{CycleOps, PortOut, ScheduledOp};
 pub use signals::{ControlWord, NeuronCoreSignals, PsRouterSignals, SpikeRouterSignals};
 pub use spike_router::SpikeRouter;
 pub use tile::Tile;

@@ -120,6 +120,28 @@ impl NeuronCore {
         Ok(())
     }
 
+    /// Loads a *prefix* of the axon-major weight array and zero-fills the
+    /// rest — the trimmed-block loader the schedule optimizer uses after
+    /// dropping trailing all-zero axon rows (zero rows contribute nothing
+    /// to `ACC`, so the sums are unchanged bit for bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `rows` is not a whole number
+    /// of axon rows or holds more rows than the core has axons.
+    pub fn load_weight_rows(&mut self, rows: &[W5]) -> Result<()> {
+        if !rows.len().is_multiple_of(self.neurons as usize) || rows.len() > self.weights.len() {
+            return Err(Error::shape_mismatch(
+                format!("at most {} weights in {}-neuron rows", self.weights.len(), self.neurons),
+                format!("{} weights", rows.len()),
+            ));
+        }
+        self.weights[..rows.len()].copy_from_slice(rows);
+        self.weights[rows.len()..].fill(W5::ZERO);
+        self.loaded = true;
+        Ok(())
+    }
+
     /// Reads one synaptic weight.
     ///
     /// # Errors

@@ -235,6 +235,42 @@ impl AtomicOp {
             AtomicOp::Core(op) => format!("core.{}", op.mnemonic()),
         }
     }
+
+    /// The mesh port this op drives, when it is a port-output producer.
+    ///
+    /// Returns `(direction, is_ps, planes)` for the four op shapes that can
+    /// leave data pending on an output register — `ps.SEND`/`ps.BYPASS`
+    /// toward a port, `spk.SEND`, and `spk.BYPASS` with a forward leg. Ops
+    /// that only touch tile-local state return `None`; the schedule
+    /// optimizer uses this to prove a cycle's transfer phase is a no-op.
+    pub fn port_output(&self) -> Option<(Direction, bool, &PlaneSet)> {
+        match self {
+            AtomicOp::Ps(
+                PsRouterOp::Send { dst: PsDst::Port(d), planes, .. }
+                | PsRouterOp::Bypass { dst: PsDst::Port(d), planes, .. },
+            ) => Some((*d, true, planes)),
+            AtomicOp::Spike(SpikeRouterOp::Send { dst, planes }) => Some((*dst, false, planes)),
+            AtomicOp::Spike(SpikeRouterOp::Bypass { dst: Some(d), planes, .. }) => {
+                Some((*d, false, planes))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this op can queue an axon delivery for the end-of-cycle
+    /// commit phase (the multicast ejection leg of `spk.BYPASS`).
+    pub fn queues_delivery(&self) -> bool {
+        matches!(self, AtomicOp::Spike(SpikeRouterOp::Bypass { deliver: true, .. }))
+    }
+
+    /// Whether executing this op never changes functional simulator state.
+    ///
+    /// `LD_WT` is configuration-time only: the simulators materialize the
+    /// weight SRAMs when the chip is built, so replaying the load each pass
+    /// is dead work the optimizer may elide.
+    pub fn is_exec_noop(&self) -> bool {
+        matches!(self, AtomicOp::Core(NeuronCoreOp::LdWt { .. }))
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +351,76 @@ mod tests {
     fn ps_dst_display() {
         assert_eq!(PsDst::Port(Direction::North).to_string(), "N");
         assert_eq!(PsDst::SpikingLogic.to_string(), "IF");
+    }
+
+    #[test]
+    fn port_output_classification() {
+        let p = all_planes();
+        // Producers: the four shapes that can leave pending port data.
+        let send_ps = AtomicOp::Ps(PsRouterOp::Send {
+            source: PsSendSource::SumBuf,
+            dst: PsDst::Port(Direction::East),
+            planes: p.clone(),
+        });
+        assert_eq!(send_ps.port_output().map(|(d, ps, _)| (d, ps)), Some((Direction::East, true)));
+        let byp_ps = AtomicOp::Ps(PsRouterOp::Bypass {
+            src: Direction::West,
+            dst: PsDst::Port(Direction::North),
+            planes: p.clone(),
+        });
+        assert_eq!(byp_ps.port_output().map(|(d, ps, _)| (d, ps)), Some((Direction::North, true)));
+        let send_spk =
+            AtomicOp::Spike(SpikeRouterOp::Send { dst: Direction::South, planes: p.clone() });
+        assert_eq!(
+            send_spk.port_output().map(|(d, ps, _)| (d, ps)),
+            Some((Direction::South, false))
+        );
+        let byp_spk = AtomicOp::Spike(SpikeRouterOp::Bypass {
+            src: Direction::North,
+            dst: Some(Direction::West),
+            deliver: true,
+            planes: p.clone(),
+        });
+        assert_eq!(byp_spk.port_output().map(|(d, ps, _)| (d, ps)), Some((Direction::West, false)));
+        assert!(byp_spk.queues_delivery());
+
+        // Non-producers: everything that terminates in tile-local state.
+        for op in [
+            AtomicOp::Ps(PsRouterOp::Sum {
+                src: Direction::North,
+                consec: true,
+                planes: p.clone(),
+            }),
+            AtomicOp::Ps(PsRouterOp::Send {
+                source: PsSendSource::LocalPs,
+                dst: PsDst::SpikingLogic,
+                planes: p.clone(),
+            }),
+            AtomicOp::Ps(PsRouterOp::Bypass {
+                src: Direction::East,
+                dst: PsDst::SpikingLogic,
+                planes: p.clone(),
+            }),
+            AtomicOp::Spike(SpikeRouterOp::Spike { from_ps_router: false, planes: p.clone() }),
+            AtomicOp::Spike(SpikeRouterOp::Bypass {
+                src: Direction::East,
+                dst: None,
+                deliver: true,
+                planes: p.clone(),
+            }),
+            AtomicOp::Core(NeuronCoreOp::Acc { banks: 0xF }),
+            AtomicOp::Core(NeuronCoreOp::LdWt { banks: 0xF }),
+        ] {
+            assert!(
+                op.port_output().is_none(),
+                "{} should not drive a port",
+                op.qualified_mnemonic()
+            );
+        }
+
+        assert!(AtomicOp::Core(NeuronCoreOp::LdWt { banks: 1 }).is_exec_noop());
+        assert!(!AtomicOp::Core(NeuronCoreOp::Acc { banks: 1 }).is_exec_noop());
+        assert!(!send_spk.queues_delivery());
     }
 
     #[test]

@@ -118,6 +118,24 @@ impl PlaneSet {
         }
     }
 
+    /// Grows this set to also contain every plane of `other`.
+    ///
+    /// Once either side is [`PlaneSet::All`] the union saturates to `All`.
+    pub fn union_with(&mut self, other: &PlaneSet) {
+        match (&mut *self, other) {
+            (PlaneSet::All, _) => {}
+            (_, PlaneSet::All) => *self = PlaneSet::All,
+            (PlaneSet::Mask(a), PlaneSet::Mask(b)) => {
+                if a.len() < b.len() {
+                    a.resize(b.len(), 0);
+                }
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x |= y;
+                }
+            }
+        }
+    }
+
     /// Iterates the selected plane indices among `0..total`, ascending.
     ///
     /// For [`PlaneSet::All`] this is a plain range; for a mask it walks the
@@ -296,6 +314,26 @@ mod tests {
     #[should_panic(expected = "no intrinsic length")]
     fn len_of_all_panics() {
         let _ = PlaneSet::all().len();
+    }
+
+    #[test]
+    fn union_with_merges_masks() {
+        let mut a = PlaneSet::from_indices([1u16, 64]);
+        a.union_with(&PlaneSet::from_indices([2u16, 200]));
+        let v: Vec<u16> = a.iter(256).collect();
+        assert_eq!(v, vec![1, 2, 64, 200]);
+
+        let mut e = PlaneSet::empty();
+        e.union_with(&PlaneSet::from_indices([7u16]));
+        assert!(e.contains(7));
+
+        let mut m = PlaneSet::from_indices([3u16]);
+        m.union_with(&PlaneSet::all());
+        assert_eq!(m, PlaneSet::All);
+
+        let mut all = PlaneSet::all();
+        all.union_with(&PlaneSet::empty());
+        assert_eq!(all, PlaneSet::All);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Precompiled per-cycle execution schedules — the optimizer's output.
+//!
+//! The raw decoded schedule is a list of `(cycle, ops)` pairs that the
+//! chip re-derives per pass: which tiles were touched, which ports can
+//! hold pending data, which tiles may have queued deliveries. A
+//! [`CycleOps`] entry materializes all of that once at compile time so the
+//! per-pass hot loop (`Chip::exec_ops`, `BatchChip::exec_ops`) only walks
+//! pre-resolved tile indices and port lists.
+//!
+//! One entry covers a *run* of source cycles: zero or more statically
+//! passive cycles (no port-output producers, no delivery-queueing ops)
+//! followed by at most one active cycle. A passive cycle's transfer and
+//! commit phases are provably no-ops — outputs and deliveries can only
+//! originate from ops, and every prior cycle's transfer drained all
+//! pending outputs — so folding those cycles into their successor leaves
+//! the effectful step sequence, including every error and its reported
+//! cycle number, identical to the raw walk.
+
+use shenjing_core::{CoreCoord, Direction};
+
+use crate::ops::AtomicOp;
+use crate::plane::PlaneSet;
+
+/// One op of a compacted schedule, carrying its *source* cycle number.
+///
+/// Errors raised while executing the op are annotated with this cycle, so
+/// compaction never changes which cycle an `InvalidSchedule` reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledOp {
+    /// Original (pre-compaction) cycle the op was scheduled at.
+    pub cycle: u64,
+    /// Pre-resolved row-major tile index.
+    pub tile: usize,
+    /// The operation itself.
+    pub op: AtomicOp,
+}
+
+/// A mesh port that an active cycle's ops can leave pending data on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortOut {
+    /// Row-major index of the source tile.
+    pub tile: usize,
+    /// Coordinate of the source tile (for error messages).
+    pub coord: CoreCoord,
+    /// Output direction being driven.
+    pub dir: Direction,
+    /// Row-major index of the neighbor tile, or `None` when the port faces
+    /// off the mesh edge (driving it is a schedule error).
+    pub dst: Option<usize>,
+    /// Whether a PS-router op drives this port this cycle.
+    pub ps: bool,
+    /// Whether a spike-router op drives this port this cycle.
+    pub spike: bool,
+    /// Union of the producing ops' plane masks (diagnostic; the transfer
+    /// drains whatever is pending, which is always a subset of this).
+    pub planes: PlaneSet,
+}
+
+/// One compacted schedule entry: the ops of a run of source cycles plus
+/// the precomputed transfer/commit work of the run's single active cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleOps {
+    /// All ops of the run, in source order (cycle-major, decode order
+    /// within a cycle), each tagged with its source cycle.
+    pub ops: Vec<ScheduledOp>,
+    /// Ports the active cycle's producers can leave data on, sorted by
+    /// `(tile, N/S/E/W)` to match the raw transfer's scan order. Empty
+    /// when the run has no active cycle (trailing passive cycles).
+    pub out_ports: Vec<PortOut>,
+    /// Tiles (sorted, deduplicated) whose spike routers may queue axon
+    /// deliveries this run; only these need a commit phase.
+    pub deliver_tiles: Vec<usize>,
+    /// Source cycle number of the run's active cycle (or of its last
+    /// cycle when fully passive) — transfer-phase errors report this.
+    pub transfer_cycle: u64,
+}
+
+impl CycleOps {
+    /// Number of source-schedule ops folded into this entry.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}

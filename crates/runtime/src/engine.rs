@@ -78,6 +78,15 @@ pub trait Engine: Send {
     fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
         None
     }
+
+    /// Selects whether this replica executes the compacted schedule
+    /// (when its program carries one) or the raw per-cycle walk. The
+    /// serving tier calls this with `false` on every replica when
+    /// [`RuntimeConfig::optimize_schedule`](crate::RuntimeConfig::optimize_schedule)
+    /// is off — the operational escape hatch that keeps the reference
+    /// walk reachable without recompiling. The default is a no-op for
+    /// engines without a compacted mode.
+    fn set_schedule_compaction(&mut self, _on: bool) {}
 }
 
 impl Engine for CycleSim {
@@ -105,6 +114,10 @@ impl Engine for CycleSim {
     #[cfg(feature = "telemetry")]
     fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
         CycleSim::take_profile(self)
+    }
+
+    fn set_schedule_compaction(&mut self, on: bool) {
+        CycleSim::set_compaction(self, on);
     }
 }
 
@@ -148,6 +161,10 @@ impl Engine for BatchSim {
     #[cfg(feature = "telemetry")]
     fn take_profile(&mut self) -> Option<shenjing_telemetry::PassProfile> {
         BatchSim::take_profile(self)
+    }
+
+    fn set_schedule_compaction(&mut self, on: bool) {
+        BatchSim::set_compaction(self, on);
     }
 }
 

@@ -58,13 +58,19 @@ impl CompiledModel {
     }
 
     /// Decodes an already-computed mapping (useful when the caller needs
-    /// the [`Mapping`] for statistics or a custom placement strategy).
+    /// the [`Mapping`] for statistics or a custom placement strategy),
+    /// then runs the schedule optimizer
+    /// ([`DecodedProgram::optimize`]) so every replica instantiated from
+    /// this artifact executes the compacted schedule. Set
+    /// `SHENJING_NO_OPTIMIZE=1` (or
+    /// [`RuntimeConfig::optimize_schedule`](crate::RuntimeConfig::optimize_schedule)` = false`
+    /// on the serving tier) to fall back to the raw per-cycle walk.
     ///
     /// # Errors
     ///
     /// Propagates decode errors.
     pub fn from_mapping(arch: &ArchSpec, mapping: &Mapping) -> Result<CompiledModel> {
-        let program = DecodedProgram::decode(arch, &mapping.logical, &mapping.program)?;
+        let program = DecodedProgram::decode(arch, &mapping.logical, &mapping.program)?.optimize();
         Ok(CompiledModel {
             program: Arc::new(program),
             total_cores: mapping.logical.total_cores(),

@@ -130,6 +130,14 @@ pub struct RuntimeConfig {
     /// the typed [`Error::ReplicaFault`] instead of silently blowing its
     /// SLO.
     pub retry_backoff: Duration,
+    /// Whether worker replicas execute the compacted schedule their
+    /// compiled program carries (the default) or are forced back onto
+    /// the raw per-cycle reference walk. The compacted and raw walks
+    /// are bit-identical (the equivalence proptests pin this); turning
+    /// this off is an operational escape hatch for A/B-ing the
+    /// optimizer in place, without recompiling or setting
+    /// `SHENJING_NO_OPTIMIZE`.
+    pub optimize_schedule: bool,
     /// Deterministic failure injection for chaos tests — see
     /// [`ChaosConfig`](crate::chaos::ChaosConfig). `None` (the default)
     /// injects nothing.
@@ -149,6 +157,7 @@ impl Default for RuntimeConfig {
             telemetry: TelemetryConfig::default(),
             retry_budget: 2,
             retry_backoff: Duration::from_micros(200),
+            optimize_schedule: true,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -263,6 +272,14 @@ impl RuntimeConfigBuilder {
     #[must_use]
     pub fn retry_backoff(mut self, retry_backoff: Duration) -> RuntimeConfigBuilder {
         self.config.retry_backoff = retry_backoff;
+        self
+    }
+
+    /// Selects compacted-schedule execution (`true`, the default) or the
+    /// raw per-cycle reference walk for every worker replica.
+    #[must_use]
+    pub fn optimize_schedule(mut self, on: bool) -> RuntimeConfigBuilder {
+        self.config.optimize_schedule = on;
         self
     }
 
@@ -734,14 +751,20 @@ impl WorkerEngines {
 
 /// Instantiates the engine replicas one worker needs for one model.
 fn build_worker_engines(model: &CompiledModel, config: &RuntimeConfig) -> Result<WorkerEngines> {
+    let prepare = |mut engine: Box<dyn Engine>| {
+        if !config.optimize_schedule {
+            engine.set_schedule_compaction(false);
+        }
+        engine
+    };
     let sequential: Option<EngineSlot> = match config.engine {
         EnginePolicy::ForceBatched => None,
-        _ => Some(EngineSlot::new(Box::new(model.instantiate()?), config.max_batch)),
+        _ => Some(EngineSlot::new(prepare(Box::new(model.instantiate()?)), config.max_batch)),
     };
     let batched: Option<EngineSlot> = match config.engine {
         EnginePolicy::ForceSequential => None,
         _ => Some(EngineSlot::new(
-            Box::new(model.instantiate_batched(config.max_batch)?),
+            prepare(Box::new(model.instantiate_batched(config.max_batch)?)),
             config.max_batch,
         )),
     };
@@ -880,9 +903,27 @@ impl Runtime {
         let telemetry = Arc::new(Telemetry::new(config.telemetry.clone()));
         // Static facts as info gauges, the Prometheus idiom for joining
         // live counters with model size/placement at query time.
+        let shared_compaction_on = config.optimize_schedule;
         for m in &models {
             let labels = m.model.info_labels(&m.id);
             telemetry.registry().gauge(&format!("shenjing_model_info{labels}")).set(1);
+            // Raw vs compacted cycles per pass — what the schedule
+            // optimizer bought this model (equal when serving raw).
+            let raw = m.model.block_cycles();
+            let compacted = if shared_compaction_on {
+                m.model.program().compacted_cycles().unwrap_or(raw)
+            } else {
+                raw
+            };
+            let id = &m.id;
+            telemetry
+                .registry()
+                .gauge(&format!("shenjing_schedule_cycles{{model=\"{id}\",stage=\"raw\"}}"))
+                .set(raw as i64);
+            telemetry
+                .registry()
+                .gauge(&format!("shenjing_schedule_cycles{{model=\"{id}\",stage=\"compacted\"}}"))
+                .set(compacted as i64);
         }
         let handles = TelemetryHandles::new(&telemetry);
         #[cfg(feature = "chaos")]
@@ -2164,9 +2205,49 @@ mod tests {
         assert!(metrics.contains("shenjing_profiled_batches_total 6"));
         assert!(metrics.contains("shenjing_queue_wait_seconds{quantile=\"0.5\"}"));
         assert!(metrics.contains("shenjing_model_info{model=\"pin\""));
+        assert!(metrics.contains("shenjing_schedule_cycles{model=\"pin\",stage=\"raw\"}"));
+        assert!(metrics.contains("shenjing_schedule_cycles{model=\"pin\",stage=\"compacted\"}"));
         assert!(stats.p50_service > Duration::ZERO, "service time was measured");
         assert!(stats.p99_service <= stats.max_latency);
         assert_eq!(stats.queue_depth, 0, "a drained runtime holds no queued requests");
+    }
+
+    #[test]
+    fn raw_walk_escape_hatch_matches_compacted_serving() {
+        // `optimize_schedule: false` forces every replica back onto the
+        // raw per-cycle walk — same bits out, and the compacted-cycles
+        // gauge reports the raw block so dashboards see the fallback.
+        let model = model();
+        let compacted =
+            model.program().compacted_cycles().expect("compile attaches a compacted schedule");
+        let raw = model.block_cycles();
+        assert!(compacted < raw, "compaction must shorten the walk ({compacted} vs {raw})");
+        let mut outputs = Vec::new();
+        for optimize in [true, false] {
+            let registry = ModelRegistry::new()
+                .with_model("m", model.clone(), ServeOptions::default())
+                .unwrap();
+            let config = RuntimeConfig {
+                workers: 1,
+                timesteps: 5,
+                optimize_schedule: optimize,
+                ..Default::default()
+            };
+            let runtime = Runtime::serve(registry, config).unwrap();
+            let expect = if optimize { compacted } else { raw };
+            assert!(
+                runtime.metrics_text().contains(&format!(
+                    "shenjing_schedule_cycles{{model=\"m\",stage=\"compacted\"}} {expect}"
+                )),
+                "gauge must track the executed walk"
+            );
+            let replies: Vec<_> = (0..3)
+                .map(|k| runtime.infer(InferenceRequest::new("m", frame(k))).unwrap().output)
+                .collect();
+            runtime.shutdown().unwrap();
+            outputs.push(replies);
+        }
+        assert_eq!(outputs[0], outputs[1], "raw and compacted serving are bit-identical");
     }
 
     #[test]

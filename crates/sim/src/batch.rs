@@ -42,6 +42,9 @@ pub struct BatchSim {
     chip: BatchChip,
     program: Arc<DecodedProgram>,
     batch: usize,
+    /// Execute the compacted schedule when the program carries one
+    /// (default). Off = the raw cycle walk, retained as a reference mode.
+    use_compact: bool,
     /// Accumulating phase profile while profiling is on (`None` = off).
     #[cfg(feature = "telemetry")]
     profile: Option<shenjing_telemetry::PassProfile>,
@@ -73,7 +76,9 @@ impl BatchSim {
     pub fn from_decoded(program: Arc<DecodedProgram>, batch: usize) -> Result<BatchSim> {
         let mut chip = BatchChip::new(&program.arch, program.mesh_rows, program.mesh_cols, batch)?;
         for (coord, block) in &program.weight_blocks {
-            chip.tile_mut(*coord)?.core_mut().load_weights(block)?;
+            // Row-prefix load: optimized programs trim trailing all-zero
+            // axon rows; unoptimized blocks are full-length prefixes.
+            chip.tile_mut(*coord)?.core_mut().load_weight_rows(block)?;
         }
         for (coord, plane, threshold) in &program.thresholds {
             chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
@@ -82,9 +87,19 @@ impl BatchSim {
             chip,
             program,
             batch,
+            use_compact: true,
             #[cfg(feature = "telemetry")]
             profile: None,
         })
+    }
+
+    /// Selects whether [`run_occupied`](BatchSim::run_occupied) executes
+    /// the compacted schedule (when the program carries one — the
+    /// default) or the raw per-cycle walk, which is retained as a
+    /// bit-identical reference mode — `set_compaction` parity with
+    /// [`CycleSim`](crate::CycleSim).
+    pub fn set_compaction(&mut self, on: bool) {
+        self.use_compact = on;
     }
 
     /// Starts (or stops) per-pass phase profiling: while on, every
@@ -279,6 +294,9 @@ impl BatchSim {
         let profiling = self.profile.is_some();
         #[cfg(feature = "telemetry")]
         let mut phases = shenjing_hw::CyclePhases::default();
+        let compact = if self.use_compact { self.program.compact.as_ref() } else { None };
+        #[cfg(feature = "telemetry")]
+        let pass_cycles = compact.map_or(self.program.block_cycles, |c| c.entries().len() as u64);
 
         for _ in 0..timesteps {
             // Fresh axons; inject every frame's input spikes for this step
@@ -302,24 +320,37 @@ impl BatchSim {
                 }
             }
 
-            // One pass over the static block advances every occupied lane.
-            let mut idx = 0usize;
-            for cycle in 0..self.program.block_cycles {
-                let schedule = &self.program.schedule;
-                let ops: &[(CoreCoord, AtomicOp)] =
-                    if idx < schedule.len() && schedule[idx].0 == cycle {
-                        let ops = &schedule[idx].1;
-                        idx += 1;
-                        ops
-                    } else {
-                        &[]
-                    };
-                #[cfg(feature = "telemetry")]
-                if profiling {
-                    self.chip.exec_cycle_phased(cycle, ops, &mut phases)?;
-                    continue;
+            // One pass over the static block advances every occupied
+            // lane: the compacted entries when the program is optimized,
+            // the raw per-cycle walk otherwise.
+            if let Some(compact) = compact {
+                for entry in compact.entries() {
+                    #[cfg(feature = "telemetry")]
+                    if profiling {
+                        self.chip.exec_ops_phased(entry, &mut phases)?;
+                        continue;
+                    }
+                    self.chip.exec_ops(entry)?;
                 }
-                self.chip.exec_cycle(cycle, ops)?;
+            } else {
+                let mut idx = 0usize;
+                for cycle in 0..self.program.block_cycles {
+                    let schedule = &self.program.schedule;
+                    let ops: &[(CoreCoord, AtomicOp)] =
+                        if idx < schedule.len() && schedule[idx].0 == cycle {
+                            let ops = &schedule[idx].1;
+                            idx += 1;
+                            ops
+                        } else {
+                            &[]
+                        };
+                    #[cfg(feature = "telemetry")]
+                    if profiling {
+                        self.chip.exec_cycle_phased(cycle, ops, &mut phases)?;
+                        continue;
+                    }
+                    self.chip.exec_cycle(cycle, ops)?;
+                }
             }
 
             // Read output spikes per frame, then clear network state
@@ -355,7 +386,7 @@ impl BatchSim {
         if let Some(p) = self.profile.as_mut() {
             p.passes += 1;
             p.timesteps += u64::from(timesteps);
-            p.cycles += u64::from(timesteps) * self.program.block_cycles;
+            p.cycles += u64::from(timesteps) * pass_cycles;
             p.occupied_lane_steps += lane_ids.len() as u64;
             p.acc_ns += phases.acc_ns;
             p.send_ns += phases.send_ns;

@@ -30,21 +30,29 @@ pub struct DecodedProgram {
     /// Materialized `LD_WT` payloads, one block per mapped core.
     pub(crate) weight_blocks: Vec<(CoreCoord, Vec<W5>)>,
     pub(crate) thresholds: Vec<(CoreCoord, u16, i32)>,
+    /// The compacted schedule, attached by
+    /// [`optimize`](DecodedProgram::optimize); `None` until then.
+    pub(crate) compact: Option<crate::optimize::CompactSchedule>,
 }
 
 impl DecodedProgram {
-    /// Decodes a compiled program: materializes weight blocks and indexes
-    /// the schedule by cycle.
+    /// Decodes a compiled program: validates every coordinate the program
+    /// references against the mesh and the mapped cores, materializes
+    /// weight blocks, and indexes the schedule by cycle.
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice (kept fallible for future
-    /// validation); mapping/bounds errors surface on instantiation.
+    /// Returns [`Error::OutOfBounds`] for ops, thresholds, or I/O slots
+    /// referencing tiles/planes/axons outside the mesh or core
+    /// dimensions, [`Error::InvalidConfig`] for thresholds targeting
+    /// unmapped tiles, and [`Error::InvalidSchedule`] for ops scheduled
+    /// past the timestep block.
     pub fn decode(
         arch: &ArchSpec,
         mapping: &LogicalMapping,
         program: &CompiledProgram,
     ) -> Result<DecodedProgram> {
+        validate(arch, program)?;
         let mut weight_blocks = Vec::with_capacity(program.core_at.len());
         for (coord, core_id) in &program.core_at {
             let core = mapping.core(*core_id);
@@ -69,6 +77,7 @@ impl DecodedProgram {
             output_map: program.output_map.clone(),
             weight_blocks,
             thresholds: program.thresholds.clone(),
+            compact: None,
         })
     }
 
@@ -96,6 +105,101 @@ impl DecodedProgram {
     pub fn mesh_dims(&self) -> (u16, u16) {
         (self.mesh_rows, self.mesh_cols)
     }
+
+    /// Whether [`optimize`](DecodedProgram::optimize) has attached a
+    /// compacted schedule.
+    pub fn optimized(&self) -> bool {
+        self.compact.is_some()
+    }
+
+    /// The optimizer's statistics, when the program is optimized.
+    pub fn optimize_stats(&self) -> Option<&crate::optimize::OptimizeStats> {
+        self.compact.as_ref().map(crate::optimize::CompactSchedule::stats)
+    }
+
+    /// Entries the optimized walk executes per pass, when optimized
+    /// (compare with [`block_cycles`](DecodedProgram::block_cycles) for
+    /// the raw walk's count).
+    pub fn compacted_cycles(&self) -> Option<u64> {
+        self.compact.as_ref().map(|c| c.entries.len() as u64)
+    }
+}
+
+/// Decode-time program validation: every coordinate, plane, axon and
+/// cycle the program references must be realizable on the target mesh.
+/// Keeping this at the decode boundary means a `DecodedProgram` is
+/// well-formed by construction — the optimizer and the execution hot
+/// loops rely on it (pre-resolved tile indices index without checks).
+fn validate(arch: &ArchSpec, program: &CompiledProgram) -> Result<()> {
+    let (rows, cols) = (program.mesh_rows, program.mesh_cols);
+    let on_mesh = |c: CoreCoord| c.row < rows && c.col < cols;
+    let off = |what: &str, c: CoreCoord| {
+        Error::out_of_bounds(format!("{what} at {c} outside the {rows}x{cols} mesh"))
+    };
+
+    for (coord, _) in &program.core_at {
+        if !on_mesh(*coord) {
+            return Err(off("mapped core", *coord));
+        }
+    }
+    for (coord, prog) in program.config.iter() {
+        if !on_mesh(coord) {
+            return Err(off("scheduled op", coord));
+        }
+        for (cycle, op) in prog.iter() {
+            if cycle >= program.block_cycles {
+                return Err(Error::InvalidSchedule {
+                    cycle,
+                    reason: format!(
+                        "{} at {coord} scheduled past the {}-cycle block",
+                        op.qualified_mnemonic(),
+                        program.block_cycles
+                    ),
+                });
+            }
+        }
+    }
+    let mapped: std::collections::BTreeSet<CoreCoord> =
+        program.core_at.iter().map(|(c, _)| *c).collect();
+    for (coord, plane, _) in &program.thresholds {
+        if !on_mesh(*coord) {
+            return Err(off("threshold", *coord));
+        }
+        if !mapped.contains(coord) {
+            return Err(Error::config(format!("threshold targets unmapped tile {coord}")));
+        }
+        if *plane >= arch.core_neurons {
+            return Err(Error::out_of_bounds(format!(
+                "threshold plane {plane} of a {}-neuron core at {coord}",
+                arch.core_neurons
+            )));
+        }
+    }
+    for slots in &program.input_map {
+        for (coord, axon) in slots {
+            if !on_mesh(*coord) {
+                return Err(off("input slot", *coord));
+            }
+            if *axon >= arch.core_inputs {
+                return Err(Error::out_of_bounds(format!(
+                    "input axon {axon} of a {}-input core at {coord}",
+                    arch.core_inputs
+                )));
+            }
+        }
+    }
+    for (coord, plane) in &program.output_map {
+        if !on_mesh(*coord) {
+            return Err(off("output slot", *coord));
+        }
+        if *plane >= arch.core_neurons {
+            return Err(Error::out_of_bounds(format!(
+                "output plane {plane} of a {}-neuron core at {coord}",
+                arch.core_neurons
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// The cycle-level simulator: a [`Chip`] loaded with a compiled program.
@@ -103,6 +207,9 @@ impl DecodedProgram {
 pub struct CycleSim {
     chip: Chip,
     program: Arc<DecodedProgram>,
+    /// Execute the compacted schedule when the program carries one
+    /// (default). Off = the raw cycle walk, retained as a reference mode.
+    use_compact: bool,
     /// Accumulating phase profile while profiling is on (`None` = off).
     #[cfg(feature = "telemetry")]
     profile: Option<shenjing_telemetry::PassProfile>,
@@ -134,7 +241,9 @@ impl CycleSim {
     pub fn from_decoded(program: Arc<DecodedProgram>) -> Result<CycleSim> {
         let mut chip = Chip::new(&program.arch, program.mesh_rows, program.mesh_cols)?;
         for (coord, block) in &program.weight_blocks {
-            chip.tile_mut(*coord)?.core_mut().load_weights(block)?;
+            // Row-prefix load: optimized programs trim trailing all-zero
+            // axon rows; unoptimized blocks are full-length prefixes.
+            chip.tile_mut(*coord)?.core_mut().load_weight_rows(block)?;
         }
         for (coord, plane, threshold) in &program.thresholds {
             chip.tile_mut(*coord)?.spike_mut().set_threshold(*plane, *threshold)?;
@@ -142,9 +251,20 @@ impl CycleSim {
         Ok(CycleSim {
             chip,
             program,
+            use_compact: true,
             #[cfg(feature = "telemetry")]
             profile: None,
         })
+    }
+
+    /// Selects whether [`run_frame`](CycleSim::run_frame) executes the
+    /// compacted schedule (when the program carries one — the default) or
+    /// the raw per-cycle walk. The raw walk is retained as a reference
+    /// mode; the two are bit-identical, a property
+    /// [`equivalence::verify_compacted`](crate::equivalence::verify_compacted)
+    /// checks and the equivalence proptests enforce.
+    pub fn set_compaction(&mut self, on: bool) {
+        self.use_compact = on;
     }
 
     /// Starts (or stops) per-pass phase profiling: while on, every
@@ -222,6 +342,9 @@ impl CycleSim {
         let profiling = self.profile.is_some();
         #[cfg(feature = "telemetry")]
         let mut phases = shenjing_hw::CyclePhases::default();
+        let compact = if self.use_compact { self.program.compact.as_ref() } else { None };
+        #[cfg(feature = "telemetry")]
+        let pass_cycles = compact.map_or(self.program.block_cycles, |c| c.entries.len() as u64);
 
         for _ in 0..timesteps {
             // Fresh axons; inject this timestep's input spikes.
@@ -242,24 +365,36 @@ impl CycleSim {
                 }
             }
 
-            // Execute the static block.
-            let mut idx = 0usize;
-            for cycle in 0..self.program.block_cycles {
-                let schedule = &self.program.schedule;
-                let ops: &[(CoreCoord, AtomicOp)] =
-                    if idx < schedule.len() && schedule[idx].0 == cycle {
-                        let ops = &schedule[idx].1;
-                        idx += 1;
-                        ops
-                    } else {
-                        &[]
-                    };
-                #[cfg(feature = "telemetry")]
-                if profiling {
-                    self.chip.exec_cycle_phased(cycle, ops, &mut phases)?;
-                    continue;
+            // Execute the static block: the compacted entries when the
+            // program is optimized, the raw per-cycle walk otherwise.
+            if let Some(compact) = compact {
+                for entry in compact.entries() {
+                    #[cfg(feature = "telemetry")]
+                    if profiling {
+                        self.chip.exec_ops_phased(entry, &mut phases)?;
+                        continue;
+                    }
+                    self.chip.exec_ops(entry)?;
                 }
-                self.chip.exec_cycle(cycle, ops)?;
+            } else {
+                let mut idx = 0usize;
+                for cycle in 0..self.program.block_cycles {
+                    let schedule = &self.program.schedule;
+                    let ops: &[(CoreCoord, AtomicOp)] =
+                        if idx < schedule.len() && schedule[idx].0 == cycle {
+                            let ops = &schedule[idx].1;
+                            idx += 1;
+                            ops
+                        } else {
+                            &[]
+                        };
+                    #[cfg(feature = "telemetry")]
+                    if profiling {
+                        self.chip.exec_cycle_phased(cycle, ops, &mut phases)?;
+                        continue;
+                    }
+                    self.chip.exec_cycle(cycle, ops)?;
+                }
             }
 
             // Read output spikes, then clear network state (potentials
@@ -285,7 +420,7 @@ impl CycleSim {
         if let Some(p) = self.profile.as_mut() {
             p.passes += 1;
             p.timesteps += u64::from(timesteps);
-            p.cycles += u64::from(timesteps) * self.program.block_cycles;
+            p.cycles += u64::from(timesteps) * pass_cycles;
             p.acc_ns += phases.acc_ns;
             p.send_ns += phases.send_ns;
             p.transfer_ns += phases.transfer_ns;
@@ -427,5 +562,147 @@ mod tests {
         assert!(sim.run_frame(&Tensor::zeros(vec![3]), 5).is_err());
         assert!(sim.run_frame(&Tensor::zeros(vec![2]), 0).is_err());
         assert_eq!(sim.evaluate(&[], 5).unwrap(), 0.0);
+    }
+
+    mod decode_validation {
+        use super::*;
+        use shenjing_hw::{AtomicOp, NeuronCoreOp};
+        use shenjing_mapper::Mapping;
+
+        fn mlp_mapping(arch: &ArchSpec) -> Mapping {
+            let weights = vec![w(3); 8 * 4];
+            let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+                SpikingDense::new(weights, 8, 4, 10, 1.0).unwrap(),
+            )])
+            .unwrap();
+            Mapper::new(arch.clone()).map(&snn).unwrap()
+        }
+
+        fn decode_err(
+            mutate: impl FnOnce(&mut shenjing_mapper::CompiledProgram),
+        ) -> shenjing_core::Error {
+            let arch = ArchSpec::tiny();
+            let mapping = mlp_mapping(&arch);
+            let mut program = mapping.program.clone();
+            mutate(&mut program);
+            DecodedProgram::decode(&arch, &mapping.logical, &program)
+                .expect_err("mutated program must fail decode")
+        }
+
+        #[test]
+        fn valid_program_decodes() {
+            let arch = ArchSpec::tiny();
+            let mapping = mlp_mapping(&arch);
+            assert!(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).is_ok());
+        }
+
+        #[test]
+        fn op_off_the_mesh_is_rejected() {
+            let err = decode_err(|p| {
+                p.config
+                    .program_mut(CoreCoord::new(99, 99))
+                    .push(0, AtomicOp::Core(NeuronCoreOp::Acc { banks: 1 }));
+            });
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+        }
+
+        #[test]
+        fn op_past_the_block_is_rejected() {
+            let err = decode_err(|p| {
+                let coord = p.core_at[0].0;
+                let cycle = p.block_cycles;
+                p.config
+                    .program_mut(coord)
+                    .push(cycle, AtomicOp::Core(NeuronCoreOp::Acc { banks: 1 }));
+            });
+            match err {
+                Error::InvalidSchedule { cycle, .. } => {
+                    assert!(cycle > 0, "reports the offending cycle")
+                }
+                other => panic!("expected InvalidSchedule, got {other}"),
+            }
+        }
+
+        #[test]
+        fn threshold_off_mesh_unmapped_or_bad_plane_rejected() {
+            let err = decode_err(|p| p.thresholds.push((CoreCoord::new(99, 99), 0, 5)));
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+
+            let err = decode_err(|p| {
+                let coord = p.core_at[0].0;
+                p.thresholds.push((coord, u16::MAX, 5));
+            });
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+        }
+
+        #[test]
+        fn io_maps_are_validated() {
+            let err = decode_err(|p| {
+                let coord = p.core_at[0].0;
+                p.input_map[0].push((coord, u16::MAX));
+            });
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+
+            let err = decode_err(|p| p.input_map[0].push((CoreCoord::new(99, 99), 0)));
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+
+            let err = decode_err(|p| {
+                let coord = p.core_at[0].0;
+                p.output_map.push((coord, u16::MAX));
+            });
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+        }
+
+        #[test]
+        fn mapped_core_off_the_mesh_is_rejected() {
+            let err = decode_err(|p| {
+                let id = p.core_at[0].1;
+                p.core_at.push((CoreCoord::new(99, 99), id));
+            });
+            assert!(matches!(err, Error::OutOfBounds { .. }), "{err}");
+        }
+    }
+
+    mod compaction {
+        use super::*;
+
+        fn decoded(arch: &ArchSpec) -> DecodedProgram {
+            let weights = vec![w(3); 8 * 4];
+            let snn = SnnNetwork::new(vec![SnnLayer::Dense(
+                SpikingDense::new(weights, 8, 4, 10, 1.0).unwrap(),
+            )])
+            .unwrap();
+            let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+            DecodedProgram::decode(arch, &mapping.logical, &mapping.program).unwrap()
+        }
+
+        #[test]
+        fn compacted_run_is_bit_exact_with_raw() {
+            let arch = ArchSpec::tiny();
+            let program = Arc::new(decoded(&arch).optimize());
+            let mut compacted = CycleSim::from_decoded(Arc::clone(&program)).unwrap();
+            let mut raw = CycleSim::from_decoded(program).unwrap();
+            raw.set_compaction(false);
+            let input = Tensor::from_vec(vec![8], vec![0.6; 8]).unwrap();
+            assert_eq!(
+                compacted.run_frame(&input, 12).unwrap(),
+                raw.run_frame(&input, 12).unwrap()
+            );
+        }
+
+        #[cfg(feature = "telemetry")]
+        #[test]
+        fn profiling_counts_compacted_cycles() {
+            let arch = ArchSpec::tiny();
+            let program = Arc::new(decoded(&arch).optimize());
+            let compacted_cycles = program.compacted_cycles().unwrap();
+            assert!(compacted_cycles < program.block_cycles());
+            let mut sim = CycleSim::from_decoded(program).unwrap();
+            sim.set_profiling(true);
+            let input = Tensor::from_vec(vec![8], vec![0.6; 8]).unwrap();
+            sim.run_frame(&input, 5).unwrap();
+            let p = sim.take_profile().unwrap();
+            assert_eq!(p.cycles, 5 * compacted_cycles, "profile counts executed entries");
+        }
     }
 }

@@ -163,6 +163,49 @@ pub fn verify_batched(
     Ok(EquivalenceReport { frames: passes, timesteps, exact_frames: exact, first_mismatch })
 }
 
+/// Runs `inputs` through two instantiations of the same *optimized*
+/// decoded program — one executing the compacted schedule, one forced
+/// back onto the raw per-cycle walk via
+/// [`CycleSim::set_compaction`] — and compares them bit for bit:
+/// every frame's full [`SnnOutput`](shenjing_snn::SnnOutput) (or the
+/// exact error, including its original cycle number, for frames that
+/// fail, e.g. on overflow-inducing weights) *and* a whole-chip state
+/// digest after every frame.
+///
+/// This is the executable gate behind the schedule optimizer: the
+/// equivalence proptests drive it over random networks and densities.
+/// On a program without a compacted schedule both sides take the raw
+/// walk and the check passes trivially.
+///
+/// # Errors
+///
+/// Returns instantiation errors; per-frame run errors are *compared*,
+/// not propagated (matching errors count as exact frames).
+pub fn verify_compacted(
+    program: &Arc<DecodedProgram>,
+    inputs: &[Tensor],
+    timesteps: u32,
+) -> Result<EquivalenceReport> {
+    let mut compacted = CycleSim::from_decoded(Arc::clone(program))?;
+    let mut raw = CycleSim::from_decoded(Arc::clone(program))?;
+    raw.set_compaction(false);
+
+    let mut exact = 0usize;
+    let mut first_mismatch = None;
+    for (i, input) in inputs.iter().enumerate() {
+        let compacted_out = compacted.run_frame(input, timesteps);
+        let raw_out = raw.run_frame(input, timesteps);
+        let states_match = compacted_out.is_err()
+            || digest_chip(0, compacted.chip()) == digest_chip(0, raw.chip());
+        if compacted_out == raw_out && states_match {
+            exact += 1;
+        } else if first_mismatch.is_none() {
+            first_mismatch = Some(i);
+        }
+    }
+    Ok(EquivalenceReport { frames: inputs.len(), timesteps, exact_frames: exact, first_mismatch })
+}
+
 /// [`verify_batched`] for one explicit lane pattern: both `batch`-lane
 /// instantiations occupy exactly `lanes` (which may be non-contiguous —
 /// the post-drain shape), run `inputs` through them in one pass, and are

@@ -47,6 +47,7 @@ pub mod batch;
 pub mod cycle_sim;
 pub mod equivalence;
 pub mod fault;
+pub mod optimize;
 pub mod trace;
 
 pub use batch::BatchSim;
@@ -55,9 +56,11 @@ pub use cycle_sim::{CycleSim, DecodedProgram};
 // lane set; re-exported so downstream crates need not depend on
 // `shenjing-hw` to name it.
 pub use equivalence::{
-    verify, verify_batched, verify_batched_lanes, verify_sequential, EquivalenceReport,
+    verify, verify_batched, verify_batched_lanes, verify_compacted, verify_sequential,
+    EquivalenceReport,
 };
 pub use fault::{inject, inject_mapping, Fault};
+pub use optimize::{CompactSchedule, OptimizeStats};
 pub use shenjing_hw::LaneSet;
 pub use trace::{
     compare_traces, digest_batch_chip, digest_chip, trace_block, Divergence, StateDigest,

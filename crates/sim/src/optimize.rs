@@ -1,0 +1,335 @@
+//! The compile-time schedule optimizer.
+//!
+//! [`DecodedProgram::optimize`] runs once per compile (the runtime wires
+//! it into `CompiledModel::compile`) and attaches a [`CompactSchedule`]
+//! that both [`CycleSim`](crate::CycleSim) and
+//! [`BatchSim`](crate::BatchSim) execute instead of walking every cycle
+//! of the raw block. Four passes, in order:
+//!
+//! 1. **dead-cycle elision** — `LD_WT` ops are configuration-time only
+//!    (the simulators materialize weight SRAMs at build time), so they
+//!    are dropped, and cycles left with no ops — including the block's
+//!    unscheduled cycles, which dominate long schedules — disappear from
+//!    the walk entirely;
+//! 2. **adjacent-cycle coalescing** — a run of statically *passive*
+//!    cycles (no port-output producers, no delivery-queueing ops) is
+//!    folded into its following active cycle: the folded cycles' transfer
+//!    and commit phases are provably no-ops (outputs and deliveries only
+//!    originate from ops, and every transfer drains all pending outputs),
+//!    so the merged entry replays the exact raw step sequence;
+//! 3. **precomputed op-tile lists and plane masks** — every op carries a
+//!    pre-resolved row-major tile index plus its *source* cycle (errors
+//!    still report original cycle numbers), and each entry carries the
+//!    sorted `(tile, direction)` port list and delivery-tile list its
+//!    transfer/commit phases need, instead of re-deriving them per pass;
+//! 4. **axon-major weight-block layout** — weight blocks are sorted into
+//!    row-major tile order and trailing all-zero axon rows are trimmed
+//!    (zero rows contribute nothing to `ACC` sums), shrinking the per-
+//!    replica load and the resident weight footprint.
+//!
+//! Setting `SHENJING_NO_OPTIMIZE=1` makes `optimize` an identity, keeping
+//! the raw walk reachable as a reference mode (CI runs the equivalence
+//! suites both ways).
+
+use shenjing_hw::sched::{CycleOps, PortOut, ScheduledOp};
+
+use crate::cycle_sim::DecodedProgram;
+
+/// What one [`DecodedProgram::optimize`] run did, pass by pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Cycles in the raw timestep block (`block_cycles`) — what the
+    /// unoptimized walk executes per pass.
+    pub raw_cycles: u64,
+    /// Cycles that had at least one op scheduled before optimization.
+    pub scheduled_cycles: u64,
+    /// Scheduled cycles elided because only `LD_WT` ops remained.
+    pub elided_cycles: u64,
+    /// Passive cycles folded into an adjacent entry.
+    pub coalesced_cycles: u64,
+    /// Entries in the compacted schedule — what the optimized walk
+    /// executes per pass.
+    pub compacted_cycles: u64,
+    /// Trailing all-zero axon rows trimmed across all weight blocks.
+    pub trimmed_weight_rows: u64,
+}
+
+/// A compacted schedule attached to a [`DecodedProgram`] by
+/// [`DecodedProgram::optimize`].
+#[derive(Debug, Clone)]
+pub struct CompactSchedule {
+    pub(crate) entries: Vec<CycleOps>,
+    pub(crate) stats: OptimizeStats,
+}
+
+impl CompactSchedule {
+    /// The compacted entries, in source-cycle order.
+    pub fn entries(&self) -> &[CycleOps] {
+        &self.entries
+    }
+
+    /// Per-pass statistics of the optimizer run that built this schedule.
+    pub fn stats(&self) -> &OptimizeStats {
+        &self.stats
+    }
+}
+
+impl DecodedProgram {
+    /// Runs the schedule optimizer (see the [module docs](self)) and
+    /// returns the program with a [`CompactSchedule`] attached.
+    ///
+    /// Bit-exactness is the contract: executing the compacted schedule is
+    /// indistinguishable from the raw walk — outputs, chip state, and
+    /// every error with its original cycle number —
+    /// [`verify_compacted`](crate::equivalence::verify_compacted) checks
+    /// it and the equivalence proptests enforce it. When the
+    /// `SHENJING_NO_OPTIMIZE` environment variable is set (non-empty,
+    /// not `0`) this is an identity and the raw walk stays in use.
+    #[must_use]
+    pub fn optimize(mut self) -> DecodedProgram {
+        if matches!(std::env::var("SHENJING_NO_OPTIMIZE"), Ok(v) if !v.is_empty() && v != "0") {
+            return self;
+        }
+
+        let cols = self.mesh_cols as usize;
+        let (rows_u16, cols_u16) = (self.mesh_rows, self.mesh_cols);
+        let tile_index = |c: &shenjing_core::CoreCoord| c.row as usize * cols + c.col as usize;
+
+        // Pass 4: axon-major layout — row-major tile order, trailing
+        // all-zero axon rows trimmed (they contribute nothing to ACC).
+        let neurons = self.arch.core_neurons as usize;
+        let mut trimmed_rows = 0u64;
+        self.weight_blocks.sort_by_key(|(c, _)| tile_index(c));
+        for (_, block) in &mut self.weight_blocks {
+            let rows = block.len() / neurons.max(1);
+            let mut keep = rows;
+            while keep > 0
+                && block[(keep - 1) * neurons..keep * neurons].iter().all(|w| w.value() == 0)
+            {
+                keep -= 1;
+            }
+            trimmed_rows += (rows - keep) as u64;
+            block.truncate(keep * neurons);
+        }
+
+        // Passes 1–3 in one walk over the cycle-ordered schedule.
+        let mut stats = OptimizeStats {
+            raw_cycles: self.block_cycles,
+            scheduled_cycles: self.schedule.len() as u64,
+            trimmed_weight_rows: trimmed_rows,
+            ..OptimizeStats::default()
+        };
+        let mut entries: Vec<CycleOps> = Vec::new();
+        // Ops of the passive cycles accumulated since the last entry.
+        let mut pending: Vec<ScheduledOp> = Vec::new();
+        let mut pending_cycles = 0u64;
+        let mut last_pending_cycle = 0u64;
+
+        for (cycle, ops) in &self.schedule {
+            // Pass 1: LD_WT never changes simulator state — drop the ops,
+            // and the whole cycle once nothing else remains.
+            let live: Vec<&(shenjing_core::CoreCoord, shenjing_hw::AtomicOp)> =
+                ops.iter().filter(|(_, op)| !op.is_exec_noop()).collect();
+            if live.is_empty() {
+                stats.elided_cycles += 1;
+                continue;
+            }
+            let passive =
+                live.iter().all(|(_, op)| op.port_output().is_none() && !op.queues_delivery());
+            if passive {
+                // Pass 2: transfer and commit are no-ops here; fold the
+                // ops into the next active cycle's entry.
+                pending.extend(live.iter().map(|(c, op)| ScheduledOp {
+                    cycle: *cycle,
+                    tile: tile_index(c),
+                    op: op.clone(),
+                }));
+                pending_cycles += 1;
+                last_pending_cycle = *cycle;
+                continue;
+            }
+
+            // Pass 3: an active cycle closes the entry — precompute the
+            // ports its producers can drive (raw scan order: row-major
+            // tile, then N/S/E/W) and the tiles that may queue deliveries.
+            stats.coalesced_cycles += pending_cycles;
+            pending_cycles = 0;
+            let mut entry_ops = std::mem::take(&mut pending);
+            entry_ops.extend(live.iter().map(|(c, op)| ScheduledOp {
+                cycle: *cycle,
+                tile: tile_index(c),
+                op: op.clone(),
+            }));
+
+            let mut out_ports: Vec<PortOut> = Vec::new();
+            let mut deliver_tiles: Vec<usize> = Vec::new();
+            for (coord, op) in &live {
+                if let Some((dir, is_ps, planes)) = op.port_output() {
+                    let tile = tile_index(coord);
+                    if let Some(p) = out_ports.iter_mut().find(|p| p.tile == tile && p.dir == dir) {
+                        p.ps |= is_ps;
+                        p.spike |= !is_ps;
+                        p.planes.union_with(planes);
+                    } else {
+                        let dst = coord
+                            .neighbor(dir)
+                            .filter(|d| d.row < rows_u16 && d.col < cols_u16)
+                            .map(|d| tile_index(&d));
+                        out_ports.push(PortOut {
+                            tile,
+                            coord: *coord,
+                            dir,
+                            dst,
+                            ps: is_ps,
+                            spike: !is_ps,
+                            planes: planes.clone(),
+                        });
+                    }
+                }
+                if op.queues_delivery() {
+                    deliver_tiles.push(tile_index(coord));
+                }
+            }
+            out_ports.sort_by_key(|p| (p.tile, p.dir.encode()));
+            deliver_tiles.sort_unstable();
+            deliver_tiles.dedup();
+
+            entries.push(CycleOps {
+                ops: entry_ops,
+                out_ports,
+                deliver_tiles,
+                transfer_cycle: *cycle,
+            });
+        }
+        if !pending.is_empty() {
+            // A trailing passive run becomes its own (transfer-free)
+            // entry; all but one of its cycles count as coalesced.
+            stats.coalesced_cycles += pending_cycles.saturating_sub(1);
+            entries.push(CycleOps {
+                ops: pending,
+                out_ports: Vec::new(),
+                deliver_tiles: Vec::new(),
+                transfer_cycle: last_pending_cycle,
+            });
+        }
+
+        stats.compacted_cycles = entries.len() as u64;
+        self.compact = Some(CompactSchedule { entries, stats });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shenjing_core::ArchSpec;
+    use shenjing_mapper::Mapper;
+    use shenjing_nn::{LayerSpec, Network, Tensor};
+    use shenjing_snn::{convert, ConversionOptions};
+
+    fn mlp_mapping() -> (ArchSpec, shenjing_mapper::Mapping) {
+        let arch = ArchSpec::tiny();
+        let specs = [LayerSpec::dense(40, 20), LayerSpec::relu(), LayerSpec::dense(20, 4)];
+        let mut ann = Network::from_specs(&specs, 5).unwrap();
+        let calib = vec![Tensor::from_vec(vec![40], vec![0.5; 40]).unwrap()];
+        let snn = convert(&mut ann, &calib, &ConversionOptions::default()).unwrap();
+        let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+        (arch, mapping)
+    }
+
+    fn decoded_mlp() -> DecodedProgram {
+        let (arch, mapping) = mlp_mapping();
+        DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap()
+    }
+
+    #[test]
+    fn optimize_attaches_a_smaller_schedule() {
+        // The mapper materializes weights at build time and never emits
+        // LD_WT, so plant one on an otherwise-free cycle to exercise
+        // dead-cycle elision alongside coalescing and trimming.
+        let (arch, mut mapping) = mlp_mapping();
+        let probe = DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap();
+        let free = (0..probe.block_cycles())
+            .find(|c| !probe.schedule.iter().any(|(sc, _)| sc == c))
+            .expect("a long block has unscheduled cycles");
+        let coord = mapping.program.core_at[0].0;
+        mapping.program.config.program_mut(coord).push(
+            free,
+            shenjing_hw::AtomicOp::Core(shenjing_hw::NeuronCoreOp::LdWt { banks: 0xF }),
+        );
+        let raw = DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap();
+        assert!(!raw.optimized(), "decode must not optimize implicitly");
+        let raw_scheduled = raw.schedule.len() as u64;
+        let opt = raw.optimize();
+        assert!(opt.optimized());
+        let stats = *opt.optimize_stats().unwrap();
+        assert_eq!(stats.raw_cycles, opt.block_cycles());
+        assert_eq!(stats.scheduled_cycles, raw_scheduled);
+        assert_eq!(
+            stats.compacted_cycles,
+            stats.scheduled_cycles - stats.elided_cycles - stats.coalesced_cycles
+        );
+        assert!(
+            stats.compacted_cycles < stats.raw_cycles,
+            "compaction must beat the raw walk: {stats:?}"
+        );
+        assert_eq!(opt.compacted_cycles(), Some(stats.compacted_cycles));
+        assert!(stats.elided_cycles > 0, "the LD_WT-only cycle must be elided: {stats:?}");
+        assert!(stats.coalesced_cycles > 0, "passive config cycles should coalesce: {stats:?}");
+        assert!(stats.trimmed_weight_rows > 0, "a 40-input layer splits across 16-axon cores");
+    }
+
+    #[test]
+    fn entries_preserve_source_cycles_and_order() {
+        let opt = decoded_mlp().optimize();
+        let entries = opt.compact.as_ref().unwrap().entries();
+        let mut last = None;
+        for entry in entries {
+            assert!(!entry.ops.is_empty(), "entries always carry ops");
+            for op in &entry.ops {
+                assert!(op.cycle <= entry.transfer_cycle, "ops precede their transfer");
+                if let Some(prev) = last {
+                    assert!(op.cycle >= prev, "source order is preserved");
+                }
+                last = Some(op.cycle);
+            }
+            for pair in entry.out_ports.windows(2) {
+                assert!(
+                    (pair[0].tile, pair[0].dir.encode()) < (pair[1].tile, pair[1].dir.encode()),
+                    "ports sorted in raw scan order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_optimize_env_is_an_identity() {
+        // Env-var tests share a process; serialize via a dedicated var
+        // name nothing else reads.
+        std::env::set_var("SHENJING_NO_OPTIMIZE", "1");
+        let opt = decoded_mlp().optimize();
+        std::env::remove_var("SHENJING_NO_OPTIMIZE");
+        assert!(!opt.optimized(), "SHENJING_NO_OPTIMIZE must disable the optimizer");
+    }
+
+    #[test]
+    fn weight_blocks_sorted_and_trimmed() {
+        let opt = decoded_mlp().optimize();
+        let cols = opt.mesh_dims().1 as usize;
+        let idx = |c: &shenjing_core::CoreCoord| c.row as usize * cols + c.col as usize;
+        let neurons = opt.arch().core_neurons as usize;
+        for pair in opt.weight_blocks.windows(2) {
+            assert!(idx(&pair[0].0) <= idx(&pair[1].0), "blocks in row-major tile order");
+        }
+        for (coord, block) in &opt.weight_blocks {
+            assert_eq!(block.len() % neurons, 0, "whole axon rows at {coord}");
+            if !block.is_empty() {
+                let last = &block[block.len() - neurons..];
+                assert!(
+                    last.iter().any(|w| w.value() != 0),
+                    "trailing zero rows must be trimmed at {coord}"
+                );
+            }
+        }
+    }
+}

@@ -72,6 +72,29 @@ fn assert_batched_equals_sequential(snn: &SnnNetwork, inputs: &[Tensor], timeste
         report.is_exact(),
         "batched sparse fast path diverged from the batched reference: {report:?}"
     );
+
+    // The optimized axis: a batched replica executing the compacted
+    // schedule (and the trimmed, tile-ordered weight layout) must emit
+    // exactly what the raw-program batched run emitted — and so must the
+    // same optimized program forced back onto the raw walk.
+    let optimized = Arc::new(
+        DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap().optimize(),
+    );
+    let mut compacted = BatchSim::from_decoded(Arc::clone(&optimized), inputs.len()).unwrap();
+    assert_eq!(
+        compacted.run_batch(inputs, timesteps).unwrap(),
+        batch_out,
+        "compacted batched run diverged from the raw program (batch {})",
+        inputs.len()
+    );
+    let mut raw_walk = BatchSim::from_decoded(Arc::clone(&optimized), inputs.len()).unwrap();
+    raw_walk.set_compaction(false);
+    assert_eq!(
+        raw_walk.run_batch(inputs, timesteps).unwrap(),
+        batch_out,
+        "optimized program on the raw walk diverged (batch {})",
+        inputs.len()
+    );
 }
 
 proptest! {
@@ -308,6 +331,21 @@ proptest! {
         prop_assert!(
             report.is_exact(),
             "overflow batches must error identically on both paths: {report:?}"
+        );
+
+        // The compacted batched walk must fail with the identical error —
+        // same variant, same original cycle number — as the raw walk.
+        let optimized = Arc::new(
+            DecodedProgram::decode(&arch, &mapping.logical, &mapping.program)
+                .unwrap()
+                .optimize(),
+        );
+        let mut compacted = BatchSim::from_decoded(Arc::clone(&optimized), batch).unwrap();
+        let mut raw = BatchSim::from_decoded(Arc::clone(&decoded), batch).unwrap();
+        prop_assert_eq!(
+            compacted.run_batch(&inputs, timesteps),
+            raw.run_batch(&inputs, timesteps),
+            "compacted batches must error identically to the raw program"
         );
     }
 }

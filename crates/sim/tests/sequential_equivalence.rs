@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use shenjing_core::{ArchSpec, W5};
 use shenjing_mapper::Mapper;
 use shenjing_nn::Tensor;
-use shenjing_sim::{verify_sequential, CycleSim, DecodedProgram};
+use shenjing_sim::{verify_compacted, verify_sequential, CycleSim, DecodedProgram};
 use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
 
 /// Largest dimensions the strategies below draw (the weight/input pools
@@ -45,6 +45,20 @@ fn assert_fast_equals_reference(
     assert!(
         report.is_exact(),
         "sparse fast path diverged from the reference implementation: {report:?}"
+    );
+    // The optimized axis: the compacted schedule must replay the raw walk
+    // bit for bit (outputs, chip state, errors with their original cycle
+    // numbers) — and the optimized program must still satisfy the
+    // fast-vs-reference property above.
+    let optimized = Arc::new(
+        DecodedProgram::decode(arch, &mapping.logical, &mapping.program).unwrap().optimize(),
+    );
+    let report = verify_compacted(&optimized, inputs, timesteps).unwrap();
+    assert!(report.is_exact(), "compacted schedule diverged from the raw walk: {report:?}");
+    let report = verify_sequential(&optimized, inputs, timesteps).unwrap();
+    assert!(
+        report.is_exact(),
+        "optimized program diverged from the reference implementation: {report:?}"
     );
 }
 
@@ -159,6 +173,21 @@ fn saturated_frame_errors_identically_on_both_paths() {
         "expected a local accumulator overflow, got {fast_err:?}"
     );
 
-    let report = verify_sequential(&decoded, &[input], 4).unwrap();
+    let report = verify_sequential(&decoded, std::slice::from_ref(&input), 4).unwrap();
     assert!(report.is_exact(), "matching errors must count as exact frames: {report:?}");
+
+    // The compacted schedule must surface the same overflow at the same
+    // *original* cycle number — the optimizer's per-op source-cycle remap
+    // is what keeps error identity across elision and coalescing.
+    let optimized = Arc::new(
+        DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap().optimize(),
+    );
+    // Under SHENJING_NO_OPTIMIZE (the CI raw-walk axis) optimize() is an
+    // identity and this run degenerates into raw-vs-raw — still checked.
+    if let Some(compacted_cycles) = optimized.compacted_cycles() {
+        assert!(compacted_cycles < optimized.block_cycles());
+    }
+    let mut compacted = CycleSim::from_decoded(Arc::clone(&optimized)).unwrap();
+    let compacted_err = compacted.run_frame(&input, 4).unwrap_err();
+    assert_eq!(compacted_err, fast_err, "compacted errors must carry the original cycle number");
 }
