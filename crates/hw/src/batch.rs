@@ -156,6 +156,11 @@ pub struct BatchNeuronCore {
     lane_count: Vec<u32>,
     /// `[neuron][lane]` local partial sums.
     local_ps: Vec<i32>,
+    /// `ACC` scratch, one slot per lane: the current axon's spike bits
+    /// widened to i32 masks (`-1`/`0`), computed once per active axon and
+    /// reused across all of its neurons so the inner sweep is a
+    /// branchless masked add (see [`crate::lanes::add_masked`]).
+    mask_scratch: Vec<i32>,
     /// OR of every `ACC` bank mask executed since construction —
     /// schedule-determined, so lane-independent. Partial sums can only be
     /// nonzero in these banks, which keeps the lane-release scrub
@@ -176,6 +181,7 @@ impl BatchNeuronCore {
             active: ActiveSet::new(arch.core_inputs),
             lane_count: vec![0; arch.core_inputs as usize],
             local_ps: vec![0; arch.core_neurons as usize * batch],
+            mask_scratch: vec![0; batch],
             touched_banks: 0,
         }
     }
@@ -404,7 +410,7 @@ impl BatchNeuronCore {
         let per_bank = neurons / self.banks as usize;
         let n_banks = self.banks as usize;
         let enabled = |bank: usize| banks & (1 << bank) != 0;
-        let BatchNeuronCore { weights, axons, active, local_ps, .. } = self;
+        let BatchNeuronCore { weights, axons, active, local_ps, mask_scratch, .. } = self;
 
         match lanes.contiguous_len() {
             Some(k) if k == b => {
@@ -429,34 +435,49 @@ impl BatchNeuronCore {
                 }
             }
         }
-        for a in active.iter() {
-            let a = a as usize;
-            let row = &weights[a * neurons..(a + 1) * neurons];
-            if let Some(k) = lanes.contiguous_len() {
-                let spikes = &axons[a * b..a * b + k];
-                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
-                    for n in bank * per_bank..(bank + 1) * per_bank {
-                        let w = row[n].value();
-                        if w == 0 {
-                            continue;
-                        }
-                        for (dst, &spiking) in local_ps[n * b..n * b + k].iter_mut().zip(spikes) {
-                            if spiking {
-                                *dst += w;
+        // The sweep is branchless over lanes: each active axon's spike
+        // bits are widened once into i32 masks, then every nonzero-weight
+        // neuron adds `mask & w` per lane — exactly `w` on spiking lanes,
+        // `0` on silent ones, so the result is bit-identical to the
+        // branchy walk while the contiguous-prefix case runs the chunked
+        // autovectorizable kernel.
+        match lanes.contiguous_len() {
+            Some(k) => {
+                let masks = &mut mask_scratch[..k];
+                for a in active.iter() {
+                    let a = a as usize;
+                    let row = &weights[a * neurons..(a + 1) * neurons];
+                    crate::lanes::spike_masks(masks, &axons[a * b..a * b + k]);
+                    for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                        for n in bank * per_bank..(bank + 1) * per_bank {
+                            let w = row[n].value();
+                            if w == 0 {
+                                continue;
                             }
+                            crate::lanes::add_masked(&mut local_ps[n * b..n * b + k], masks, w);
                         }
                     }
                 }
-            } else {
-                for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
-                    for n in bank * per_bank..(bank + 1) * per_bank {
-                        let w = row[n].value();
-                        if w == 0 {
-                            continue;
-                        }
-                        for &lane in lanes.as_slice() {
-                            if axons[a * b + lane] {
-                                local_ps[n * b + lane] += w;
+            }
+            None => {
+                // Sparse occupancy: gather the masks compactly (one slot
+                // per occupied lane) so the per-neuron walk stays
+                // branch-free while paying for occupancy, not capacity.
+                let masks = &mut mask_scratch[..lanes.len()];
+                for a in active.iter() {
+                    let a = a as usize;
+                    let row = &weights[a * neurons..(a + 1) * neurons];
+                    for (m, &lane) in masks.iter_mut().zip(lanes.as_slice()) {
+                        *m = -i32::from(axons[a * b + lane]);
+                    }
+                    for bank in (0..n_banks).filter(|&bk| enabled(bk)) {
+                        for n in bank * per_bank..(bank + 1) * per_bank {
+                            let w = row[n].value();
+                            if w == 0 {
+                                continue;
+                            }
+                            for (&m, &lane) in masks.iter().zip(lanes.as_slice()) {
+                                local_ps[n * b + lane] += m & w;
                             }
                         }
                     }
@@ -665,11 +686,24 @@ impl BatchPsRouter {
                             (&mut *eject_val, p as usize * b)
                         }
                     };
-                    for &lane in lanes.as_slice() {
-                        val[base + lane] = match source {
-                            PsSendSource::LocalPs => local(p, lane),
-                            PsSendSource::SumBuf => sum_val[p as usize * b + lane],
-                        };
+                    match source {
+                        PsSendSource::LocalPs => {
+                            match local_ps.get(p as usize * b..(p as usize + 1) * b) {
+                                Some(src) => copy_lanes(&mut val[base..base + b], src, lanes),
+                                // A plane past the core's neuron count
+                                // sends zero, as `local` reads it.
+                                None => {
+                                    for &lane in lanes.as_slice() {
+                                        val[base + lane] = 0;
+                                    }
+                                }
+                            }
+                        }
+                        PsSendSource::SumBuf => copy_lanes(
+                            &mut val[base..base + b],
+                            &sum_val[p as usize * b..(p as usize + 1) * b],
+                            lanes,
+                        ),
                     }
                 }
             }
@@ -709,9 +743,7 @@ impl BatchPsRouter {
                             (&mut *eject_val, p as usize * b)
                         }
                     };
-                    for &lane in lanes.as_slice() {
-                        val[base + lane] = in_val[idx * b + lane];
-                    }
+                    copy_lanes(&mut val[base..base + b], &in_val[idx * b..(idx + 1) * b], lanes);
                 }
             }
         }
@@ -895,6 +927,34 @@ impl BatchSpikeRouter {
         }
     }
 
+    /// Integrates one plane's `[lane]` sums over the occupied lanes —
+    /// the vectorized form of per-lane
+    /// [`integrate_value`](BatchSpikeRouter::integrate_value) calls:
+    /// contiguous prefixes run the chunked branchless IF kernel
+    /// ([`crate::lanes::integrate_lanes`]), sparse occupancy a branchless
+    /// per-lane walk; both bit-identical to the scalar sequence.
+    fn integrate_plane(&mut self, plane: u16, sums: &[i32], lanes: &LaneSet) {
+        self.touched.insert(plane);
+        let base = plane as usize * self.batch;
+        let threshold = self.threshold[plane as usize];
+        match lanes.contiguous_len() {
+            Some(k) => crate::lanes::integrate_lanes(
+                &mut self.potential[base..base + k],
+                &mut self.spike_buf[base..base + k],
+                &sums[..k],
+                threshold,
+            ),
+            None => {
+                for &lane in lanes.as_slice() {
+                    let v = self.potential[base + lane] + sums[lane];
+                    let fire = v > threshold;
+                    self.spike_buf[base + lane] = fire;
+                    self.potential[base + lane] = v - (-i32::from(fire) & threshold);
+                }
+            }
+        }
+    }
+
     /// Executes one op on every *occupied* lane. `local_ps` is the batched
     /// core's `[neuron][lane]` sums; `ps_eject_occ`/`ps_eject_val` are the
     /// PS router's batched ejection registers.
@@ -925,13 +985,18 @@ impl BatchSpikeRouter {
                             });
                         }
                         ps_eject_occ[p as usize] = false;
-                        for &lane in lanes.as_slice() {
-                            self.integrate_value(p, lane, ps_eject_val[p as usize * b + lane]);
-                        }
+                        let sums = &ps_eject_val[p as usize * b..(p as usize + 1) * b];
+                        self.integrate_plane(p, sums, lanes);
                     } else {
-                        for &lane in lanes.as_slice() {
-                            let sum = local_ps.get(p as usize * b + lane).copied().unwrap_or(0);
-                            self.integrate_value(p, lane, sum);
+                        match local_ps.get(p as usize * b..(p as usize + 1) * b) {
+                            Some(sums) => self.integrate_plane(p, sums, lanes),
+                            // A plane past the core's neuron count
+                            // integrates zero, as the scalar router does.
+                            None => {
+                                for &lane in lanes.as_slice() {
+                                    self.integrate_value(p, lane, 0);
+                                }
+                            }
                         }
                     }
                 }
@@ -1330,6 +1395,14 @@ pub struct BatchChip {
     ps_payload: Vec<i32>,
     spike_moves: Vec<(usize, Direction, u16)>,
     spike_payload: Vec<bool>,
+    /// OS threads `exec_ops` may fan a compacted entry's conflict-free
+    /// tile groups across; `1` is the serial walk (the bit-exactness
+    /// reference). Defaults to `SHENJING_NUM_THREADS` / available
+    /// parallelism via [`crate::parallel::resolve`].
+    exec_threads: usize,
+    /// Test hook: panic before executing this tile's group on the
+    /// worker pool, to pin the panic-propagation path.
+    panic_on_tile: Option<usize>,
 }
 
 impl BatchChip {
@@ -1362,7 +1435,30 @@ impl BatchChip {
             ps_payload: Vec::new(),
             spike_moves: Vec::new(),
             spike_payload: Vec::new(),
+            exec_threads: crate::parallel::resolve(None),
+            panic_on_tile: None,
         })
+    }
+
+    /// Sets the number of OS threads [`exec_ops`](BatchChip::exec_ops)
+    /// may fan a compacted entry's conflict-free tile groups across. `1`
+    /// selects the serial walk — the bit-exactness reference — and every
+    /// thread count produces bit-identical results (outputs, chip state,
+    /// and errors with their cycle numbers).
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
+    }
+
+    /// The effective intra-pass thread count.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads
+    }
+
+    /// Test hook: make the worker pool panic just before executing the
+    /// given tile's group, to exercise panic propagation determinately.
+    #[doc(hidden)]
+    pub fn set_panic_on_tile(&mut self, tile: Option<usize>) {
+        self.panic_on_tile = tile;
     }
 
     /// Switches the whole mesh between the optimized sparse hot path and
@@ -1537,6 +1633,7 @@ impl BatchChip {
         phases: &mut crate::phases::CyclePhases,
     ) -> Result<()> {
         use std::time::Instant;
+        let wall = Instant::now();
         for (coord, op) in ops {
             let t = Instant::now();
             let idx = self.index(*coord)?;
@@ -1544,6 +1641,7 @@ impl BatchChip {
             tiles[idx].exec(op, lanes).map_err(|e| annotate_cycle(e, cycle))?;
             phases.record_op(op, t.elapsed().as_nanos() as u64);
         }
+        phases.op_wall_ns += wall.elapsed().as_nanos() as u64;
         if self.reference {
             let t = Instant::now();
             self.transfer_reference(cycle)?;
@@ -1580,12 +1678,15 @@ impl BatchChip {
     /// Same contract as [`exec_cycle`](BatchChip::exec_cycle); schedule
     /// errors report original (pre-compaction) cycle numbers.
     pub fn exec_ops(&mut self, entry: &crate::sched::CycleOps) -> Result<()> {
-        for s in &entry.ops {
-            let BatchChip { tiles, lanes, .. } = self;
-            let tile = tiles.get_mut(s.tile).ok_or_else(|| {
-                Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
-            })?;
-            tile.exec(&s.op, lanes).map_err(|e| annotate_cycle(e, s.cycle))?;
+        let grouped = self.grouped_eligible(entry) && self.exec_op_groups(entry)?;
+        if !grouped {
+            for s in &entry.ops {
+                let BatchChip { tiles, lanes, .. } = self;
+                let tile = tiles.get_mut(s.tile).ok_or_else(|| {
+                    Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
+                })?;
+                tile.exec(&s.op, lanes).map_err(|e| annotate_cycle(e, s.cycle))?;
+            }
         }
         if self.reference {
             self.transfer_reference(entry.transfer_cycle)?;
@@ -1618,6 +1719,14 @@ impl BatchChip {
         phases: &mut crate::phases::CyclePhases,
     ) -> Result<()> {
         use std::time::Instant;
+        if self.grouped_eligible(entry) {
+            let wall = Instant::now();
+            if self.exec_op_groups_phased(entry, phases)? {
+                phases.op_wall_ns += wall.elapsed().as_nanos() as u64;
+                return self.finish_entry_phased(entry, phases);
+            }
+        }
+        let wall = Instant::now();
         for s in &entry.ops {
             let t = Instant::now();
             let BatchChip { tiles, lanes, .. } = self;
@@ -1627,6 +1736,20 @@ impl BatchChip {
             tile.exec(&s.op, lanes).map_err(|e| annotate_cycle(e, s.cycle))?;
             phases.record_op(&s.op, t.elapsed().as_nanos() as u64);
         }
+        phases.op_wall_ns += wall.elapsed().as_nanos() as u64;
+        self.finish_entry_phased(entry, phases)
+    }
+
+    /// The transfer and delivery phases of one compacted entry, timed —
+    /// the shared tail of both
+    /// [`exec_ops_phased`](BatchChip::exec_ops_phased) op walks (serial
+    /// and grouped).
+    fn finish_entry_phased(
+        &mut self,
+        entry: &crate::sched::CycleOps,
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<()> {
+        use std::time::Instant;
         if self.reference {
             let t = Instant::now();
             self.transfer_reference(entry.transfer_cycle)?;
@@ -1651,6 +1774,101 @@ impl BatchChip {
             phases.drain_ns += t.elapsed().as_nanos() as u64;
         }
         Ok(())
+    }
+
+    /// Whether this entry should attempt the grouped (worker-pool) op
+    /// walk: threads above 1, sparse mode, and enough independent core
+    /// work to amortize the spawns (see
+    /// [`CycleOps::parallel_worthwhile`](crate::sched::CycleOps::parallel_worthwhile)).
+    fn grouped_eligible(&self, entry: &crate::sched::CycleOps) -> bool {
+        self.exec_threads > 1 && !self.reference && entry.parallel_worthwhile()
+    }
+
+    /// Runs the entry's ops grouped by tile on the worker pool. Returns
+    /// `Ok(false)` without executing anything when the groups cannot be
+    /// carved into disjoint tile borrows (malformed indices) — the
+    /// caller then falls back to the serial walk and its reference
+    /// error reporting.
+    fn exec_op_groups(&mut self, entry: &crate::sched::CycleOps) -> Result<bool> {
+        let panic_on_tile = self.panic_on_tile;
+        let threads = self.exec_threads;
+        let BatchChip { tiles, lanes, .. } = self;
+        let lanes = &*lanes;
+        let Some(pairs) = crate::parallel::carve_groups(tiles, &entry.op_groups) else {
+            return Ok(false);
+        };
+        let results = crate::parallel::run_partitioned(threads, pairs, |(tile, group)| {
+            if panic_on_tile == Some(group.tile) {
+                panic!("injected worker-pool panic on tile {} (test hook)", group.tile);
+            }
+            for &i in &group.ops {
+                let s = &entry.ops[i as usize];
+                if let Err(e) = tile.exec(&s.op, lanes) {
+                    return Some((i, annotate_cycle(e, s.cycle)));
+                }
+            }
+            None
+        });
+        // Lowest failing op index wins: every op below it succeeded in
+        // the serial walk too (op outcomes are tile-local and per-tile
+        // order is preserved), so this is exactly the serial error.
+        match results.into_iter().flatten().min_by_key(|(i, _)| *i) {
+            Some((_, e)) => Err(e),
+            None => Ok(true),
+        }
+    }
+
+    /// [`exec_op_groups`](BatchChip::exec_op_groups) with per-op time
+    /// attribution: each worker sums its group's ACC and SEND
+    /// nanoseconds, merged into `phases` after the join (the caller adds
+    /// the fan-out's wall time to `op_wall_ns`).
+    fn exec_op_groups_phased(
+        &mut self,
+        entry: &crate::sched::CycleOps,
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<bool> {
+        use std::time::Instant;
+        let panic_on_tile = self.panic_on_tile;
+        let threads = self.exec_threads;
+        let BatchChip { tiles, lanes, .. } = self;
+        let lanes = &*lanes;
+        let Some(pairs) = crate::parallel::carve_groups(tiles, &entry.op_groups) else {
+            return Ok(false);
+        };
+        let results = crate::parallel::run_partitioned(threads, pairs, |(tile, group)| {
+            if panic_on_tile == Some(group.tile) {
+                panic!("injected worker-pool panic on tile {} (test hook)", group.tile);
+            }
+            let (mut acc_ns, mut send_ns) = (0u64, 0u64);
+            let mut err = None;
+            for &i in &group.ops {
+                let s = &entry.ops[i as usize];
+                let t = Instant::now();
+                match tile.exec(&s.op, lanes) {
+                    Ok(()) => {
+                        let ns = t.elapsed().as_nanos() as u64;
+                        if matches!(s.op, AtomicOp::Core(_)) {
+                            acc_ns += ns;
+                        } else {
+                            send_ns += ns;
+                        }
+                    }
+                    Err(e) => {
+                        err = Some((i, annotate_cycle(e, s.cycle)));
+                        break;
+                    }
+                }
+            }
+            (err, acc_ns, send_ns)
+        });
+        for (_, acc_ns, send_ns) in &results {
+            phases.acc_ns += acc_ns;
+            phases.send_ns += send_ns;
+        }
+        match results.into_iter().filter_map(|(e, _, _)| e).min_by_key(|(i, _)| *i) {
+            Some((_, e)) => Err(e),
+            None => Ok(true),
+        }
     }
 
     /// The transfer phase over a precomputed port list — the batched

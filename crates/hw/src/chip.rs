@@ -51,6 +51,14 @@ pub struct Chip {
     ps_moves: Vec<(usize, Direction, u16, shenjing_core::NocSum)>,
     /// Transfer scratch: collected spike moves.
     spike_moves: Vec<(usize, Direction, u16, bool)>,
+    /// OS threads `exec_ops` may fan a compacted entry's conflict-free
+    /// tile groups across; `1` is the serial walk (the bit-exactness
+    /// reference). Defaults to `SHENJING_NUM_THREADS` / available
+    /// parallelism via [`crate::parallel::resolve`].
+    exec_threads: usize,
+    /// Test hook: panic before executing this tile's group on the
+    /// worker pool, to pin the panic-propagation path.
+    panic_on_tile: Option<usize>,
 }
 
 impl Chip {
@@ -75,7 +83,30 @@ impl Chip {
             active_tiles: Vec::new(),
             ps_moves: Vec::new(),
             spike_moves: Vec::new(),
+            exec_threads: crate::parallel::resolve(None),
+            panic_on_tile: None,
         })
+    }
+
+    /// Sets the number of OS threads [`exec_ops`](Chip::exec_ops) may fan
+    /// a compacted entry's conflict-free tile groups across. `1` selects
+    /// the serial walk — the bit-exactness reference — and every thread
+    /// count produces bit-identical results (outputs, chip state, and
+    /// errors with their cycle numbers).
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
+    }
+
+    /// The effective intra-pass thread count.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads
+    }
+
+    /// Test hook: make the worker pool panic just before executing the
+    /// given tile's group, to exercise panic propagation determinately.
+    #[doc(hidden)]
+    pub fn set_panic_on_tile(&mut self, tile: Option<usize>) {
+        self.panic_on_tile = tile;
     }
 
     /// Switches the whole mesh between the optimized sparse hot path and
@@ -198,11 +229,13 @@ impl Chip {
         phases: &mut crate::phases::CyclePhases,
     ) -> Result<()> {
         use std::time::Instant;
+        let wall = Instant::now();
         for (coord, op) in ops {
             let t = Instant::now();
             self.tile_mut(*coord)?.exec(op).map_err(|e| annotate_cycle(e, cycle))?;
             phases.record_op(op, t.elapsed().as_nanos() as u64);
         }
+        phases.op_wall_ns += wall.elapsed().as_nanos() as u64;
         if self.reference {
             let t = Instant::now();
             self.transfer_reference(cycle)?;
@@ -237,16 +270,26 @@ impl Chip {
     /// port-output producers and no delivery-queueing ops, so their
     /// transfer and commit phases were no-ops in the raw walk.
     ///
+    /// When the chip's thread count is above 1 and the entry's
+    /// conflict-free [`op_groups`](crate::sched::CycleOps::op_groups)
+    /// carry enough core work, the groups fan out across a scoped worker
+    /// pool; results are bit-identical to the serial walk (op outcomes
+    /// are tile-local, per-tile order is preserved, and the lowest op
+    /// index's error wins — exactly the op the serial walk stops at).
+    ///
     /// # Errors
     ///
     /// Same contract as [`exec_cycle`](Chip::exec_cycle); schedule errors
     /// report original (pre-compaction) cycle numbers.
     pub fn exec_ops(&mut self, entry: &crate::sched::CycleOps) -> Result<()> {
-        for s in &entry.ops {
-            let tile = self.tiles.get_mut(s.tile).ok_or_else(|| {
-                Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
-            })?;
-            tile.exec(&s.op).map_err(|e| annotate_cycle(e, s.cycle))?;
+        let grouped = self.grouped_eligible(entry) && self.exec_op_groups(entry)?;
+        if !grouped {
+            for s in &entry.ops {
+                let tile = self.tiles.get_mut(s.tile).ok_or_else(|| {
+                    Error::out_of_bounds(format!("compacted schedule tile index {}", s.tile))
+                })?;
+                tile.exec(&s.op).map_err(|e| annotate_cycle(e, s.cycle))?;
+            }
         }
         if self.reference {
             self.transfer_reference(entry.transfer_cycle)?;
@@ -277,6 +320,14 @@ impl Chip {
         phases: &mut crate::phases::CyclePhases,
     ) -> Result<()> {
         use std::time::Instant;
+        if self.grouped_eligible(entry) {
+            let wall = Instant::now();
+            if self.exec_op_groups_phased(entry, phases)? {
+                phases.op_wall_ns += wall.elapsed().as_nanos() as u64;
+                return self.finish_entry_phased(entry, phases);
+            }
+        }
+        let wall = Instant::now();
         for s in &entry.ops {
             let t = Instant::now();
             let tile = self.tiles.get_mut(s.tile).ok_or_else(|| {
@@ -285,6 +336,19 @@ impl Chip {
             tile.exec(&s.op).map_err(|e| annotate_cycle(e, s.cycle))?;
             phases.record_op(&s.op, t.elapsed().as_nanos() as u64);
         }
+        phases.op_wall_ns += wall.elapsed().as_nanos() as u64;
+        self.finish_entry_phased(entry, phases)
+    }
+
+    /// The transfer and delivery phases of one compacted entry, timed —
+    /// the shared tail of both [`exec_ops_phased`](Chip::exec_ops_phased)
+    /// op walks (serial and grouped).
+    fn finish_entry_phased(
+        &mut self,
+        entry: &crate::sched::CycleOps,
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<()> {
+        use std::time::Instant;
         if self.reference {
             let t = Instant::now();
             self.transfer_reference(entry.transfer_cycle)?;
@@ -307,6 +371,97 @@ impl Chip {
             phases.drain_ns += t.elapsed().as_nanos() as u64;
         }
         Ok(())
+    }
+
+    /// Whether this entry should attempt the grouped (worker-pool) op
+    /// walk: threads above 1, sparse mode, and enough independent core
+    /// work to amortize the spawns (see
+    /// [`CycleOps::parallel_worthwhile`](crate::sched::CycleOps::parallel_worthwhile)).
+    fn grouped_eligible(&self, entry: &crate::sched::CycleOps) -> bool {
+        self.exec_threads > 1 && !self.reference && entry.parallel_worthwhile()
+    }
+
+    /// Runs the entry's ops grouped by tile on the worker pool. Returns
+    /// `Ok(false)` without executing anything when the groups cannot be
+    /// carved into disjoint tile borrows (malformed indices) — the
+    /// caller then falls back to the serial walk and its reference
+    /// error reporting.
+    fn exec_op_groups(&mut self, entry: &crate::sched::CycleOps) -> Result<bool> {
+        let panic_on_tile = self.panic_on_tile;
+        let Some(pairs) = crate::parallel::carve_groups(&mut self.tiles, &entry.op_groups) else {
+            return Ok(false);
+        };
+        let results =
+            crate::parallel::run_partitioned(self.exec_threads, pairs, |(tile, group)| {
+                if panic_on_tile == Some(group.tile) {
+                    panic!("injected worker-pool panic on tile {} (test hook)", group.tile);
+                }
+                for &i in &group.ops {
+                    let s = &entry.ops[i as usize];
+                    if let Err(e) = tile.exec(&s.op) {
+                        return Some((i, annotate_cycle(e, s.cycle)));
+                    }
+                }
+                None
+            });
+        // Lowest failing op index wins: every op below it succeeded in
+        // the serial walk too (op outcomes are tile-local and per-tile
+        // order is preserved), so this is exactly the serial error.
+        match results.into_iter().flatten().min_by_key(|(i, _)| *i) {
+            Some((_, e)) => Err(e),
+            None => Ok(true),
+        }
+    }
+
+    /// [`exec_op_groups`](Chip::exec_op_groups) with per-op time
+    /// attribution: each worker sums its group's ACC and SEND
+    /// nanoseconds, merged into `phases` after the join (the caller adds
+    /// the fan-out's wall time to `op_wall_ns`).
+    fn exec_op_groups_phased(
+        &mut self,
+        entry: &crate::sched::CycleOps,
+        phases: &mut crate::phases::CyclePhases,
+    ) -> Result<bool> {
+        use std::time::Instant;
+        let panic_on_tile = self.panic_on_tile;
+        let Some(pairs) = crate::parallel::carve_groups(&mut self.tiles, &entry.op_groups) else {
+            return Ok(false);
+        };
+        let results =
+            crate::parallel::run_partitioned(self.exec_threads, pairs, |(tile, group)| {
+                if panic_on_tile == Some(group.tile) {
+                    panic!("injected worker-pool panic on tile {} (test hook)", group.tile);
+                }
+                let (mut acc_ns, mut send_ns) = (0u64, 0u64);
+                let mut err = None;
+                for &i in &group.ops {
+                    let s = &entry.ops[i as usize];
+                    let t = Instant::now();
+                    match tile.exec(&s.op) {
+                        Ok(()) => {
+                            let ns = t.elapsed().as_nanos() as u64;
+                            if matches!(s.op, AtomicOp::Core(_)) {
+                                acc_ns += ns;
+                            } else {
+                                send_ns += ns;
+                            }
+                        }
+                        Err(e) => {
+                            err = Some((i, annotate_cycle(e, s.cycle)));
+                            break;
+                        }
+                    }
+                }
+                (err, acc_ns, send_ns)
+            });
+        for (_, acc_ns, send_ns) in &results {
+            phases.acc_ns += acc_ns;
+            phases.send_ns += send_ns;
+        }
+        match results.into_iter().filter_map(|(e, _, _)| e).min_by_key(|(i, _)| *i) {
+            Some((_, e)) => Err(e),
+            None => Ok(true),
+        }
     }
 
     /// The transfer phase over a precomputed port list: visits exactly the

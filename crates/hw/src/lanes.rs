@@ -142,6 +142,75 @@ impl LaneSet {
     }
 }
 
+/// Fixed inner width of the chunked lane kernels below: 8 × i32 = two
+/// SSE2 vectors per chunk, the sweet spot for the baseline x86-64 target
+/// (no SSE4.1/AVX assumed) while staying a single iteration for small
+/// batches' remainder loop.
+pub const LANE_CHUNK: usize = 8;
+
+/// Writes each spike bit as a full-width i32 mask: `true → -1` (all
+/// ones), `false → 0`. The mask array turns the data-dependent branch of
+/// a spiking sweep into a branchless AND — computed once per axon, reused
+/// across all of its neurons.
+#[inline]
+pub fn spike_masks(masks: &mut [i32], spikes: &[bool]) {
+    for (m, &s) in masks.iter_mut().zip(spikes) {
+        *m = -i32::from(s);
+    }
+}
+
+/// `dst[i] += masks[i] & w` over the contiguous occupied prefix — the
+/// branchless `ACC` inner kernel. With `masks[i] ∈ {0, -1}` this adds
+/// exactly `w` to spiking lanes and `0` to silent ones, bit-identical to
+/// the branchy `if spiking { dst += w }` sweep. AND and ADD are both
+/// native SSE2 i32 ops (unlike multiply), so the fixed-width chunks below
+/// autovectorize on the baseline target; the `parallel_lane_kernel_*`
+/// benches smoke-check that codegen against committed baselines.
+#[inline]
+pub fn add_masked(dst: &mut [i32], masks: &[i32], w: i32) {
+    debug_assert_eq!(dst.len(), masks.len());
+    let mut d = dst.chunks_exact_mut(LANE_CHUNK);
+    let mut m = masks.chunks_exact(LANE_CHUNK);
+    for (dc, mc) in (&mut d).zip(&mut m) {
+        for i in 0..LANE_CHUNK {
+            dc[i] += mc[i] & w;
+        }
+    }
+    for (dv, &mv) in d.into_remainder().iter_mut().zip(m.remainder()) {
+        *dv += mv & w;
+    }
+}
+
+/// Branchless integrate-and-fire over the contiguous occupied prefix:
+/// per lane, `pot += sum; fire = pot > threshold; spike = fire;
+/// pot -= fire ? threshold : 0` — bit-identical to the scalar
+/// `integrate_value` sequence, with the reset-by-subtraction select
+/// expressed as a mask so the chunks stay branch-free.
+#[inline]
+pub fn integrate_lanes(pots: &mut [i32], spikes: &mut [bool], sums: &[i32], threshold: i32) {
+    debug_assert_eq!(pots.len(), spikes.len());
+    debug_assert_eq!(pots.len(), sums.len());
+    let mut p = pots.chunks_exact_mut(LANE_CHUNK);
+    let mut sp = spikes.chunks_exact_mut(LANE_CHUNK);
+    let mut su = sums.chunks_exact(LANE_CHUNK);
+    for ((pc, spc), suc) in (&mut p).zip(&mut sp).zip(&mut su) {
+        for i in 0..LANE_CHUNK {
+            let v = pc[i] + suc[i];
+            let fire = v > threshold;
+            spc[i] = fire;
+            pc[i] = v - (-i32::from(fire) & threshold);
+        }
+    }
+    for ((pv, spv), &suv) in
+        p.into_remainder().iter_mut().zip(sp.into_remainder()).zip(su.remainder())
+    {
+        let v = *pv + suv;
+        let fire = v > threshold;
+        *spv = fire;
+        *pv = v - (-i32::from(fire) & threshold);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +271,52 @@ mod tests {
     #[should_panic(expected = "lane 4 of a 4-lane set")]
     fn out_of_range_lane_panics() {
         LaneSet::empty(4).occupy(4);
+    }
+
+    /// The chunked kernels must match their branchy scalar references at
+    /// every length across the chunk boundary (remainder loop included)
+    /// and for every mask/weight sign combination.
+    #[test]
+    fn add_masked_matches_the_branchy_sweep() {
+        for len in 0..=(2 * LANE_CHUNK + 3) {
+            let spikes: Vec<bool> = (0..len).map(|i| i % 3 != 1).collect();
+            let mut masks = vec![0i32; len];
+            spike_masks(&mut masks, &spikes);
+            for w in [-15i32, -1, 0, 7, 15] {
+                let mut fast: Vec<i32> = (0..len as i32).map(|i| i * 11 - 40).collect();
+                let mut slow = fast.clone();
+                add_masked(&mut fast, &masks, w);
+                for (dst, &s) in slow.iter_mut().zip(&spikes) {
+                    if s {
+                        *dst += w;
+                    }
+                }
+                assert_eq!(fast, slow, "len={len} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn integrate_lanes_matches_the_scalar_if_sequence() {
+        let threshold = 10;
+        for len in 0..=(2 * LANE_CHUNK + 3) {
+            let sums: Vec<i32> = (0..len as i32).map(|i| i * 5 - 12).collect();
+            let mut fast_pot: Vec<i32> = (0..len as i32).map(|i| (i * 7) % 13 - 3).collect();
+            let mut fast_spk = vec![true; len]; // stale spikes must be overwritten
+            let mut slow_pot = fast_pot.clone();
+            let mut slow_spk = fast_spk.clone();
+            integrate_lanes(&mut fast_pot, &mut fast_spk, &sums, threshold);
+            for i in 0..len {
+                slow_pot[i] += sums[i];
+                if slow_pot[i] > threshold {
+                    slow_spk[i] = true;
+                    slow_pot[i] -= threshold;
+                } else {
+                    slow_spk[i] = false;
+                }
+            }
+            assert_eq!(fast_pot, slow_pot, "len={len}");
+            assert_eq!(fast_spk, slow_spk, "len={len}");
+        }
     }
 }

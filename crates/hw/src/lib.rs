@@ -53,6 +53,7 @@ pub mod lanes;
 pub mod neuron_core;
 mod occupancy;
 pub mod ops;
+pub mod parallel;
 pub mod phases;
 pub mod plane;
 pub mod ps_router;
@@ -71,7 +72,7 @@ pub use ops::{AtomicOp, NeuronCoreOp, PsDst, PsRouterOp, PsSendSource, SpikeRout
 pub use phases::CyclePhases;
 pub use plane::PlaneSet;
 pub use ps_router::PsRouter;
-pub use sched::{CycleOps, PortOut, ScheduledOp};
+pub use sched::{CycleOps, PortOut, ScheduledOp, TileGroup};
 pub use signals::{ControlWord, NeuronCoreSignals, PsRouterSignals, SpikeRouterSignals};
 pub use spike_router::SpikeRouter;
 pub use tile::Tile;

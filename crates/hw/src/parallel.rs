@@ -1,0 +1,218 @@
+//! The intra-pass worker pool: scoped fan-out over conflict-free work.
+//!
+//! The compacted schedule's [`TileGroup`](crate::sched::TileGroup)s are
+//! mutually independent within an entry (op execution is tile-local), so
+//! [`Chip::exec_ops`](crate::Chip::exec_ops) and
+//! [`BatchChip::exec_ops`](crate::BatchChip::exec_ops) can run them
+//! concurrently. This module owns the two pieces that makes safe:
+//!
+//! * **thread resolution** — [`resolve`] maps the user-facing knobs
+//!   (`SHENJING_NUM_THREADS`, `RuntimeConfig::intra_pass_threads`) to an
+//!   effective thread count, defaulting to the machine's available
+//!   parallelism; `1` selects the serial walk, which stays the
+//!   bit-exactness reference;
+//! * **the fan-out itself** — [`run_partitioned`] distributes work items
+//!   over `std::thread::scope` workers (the vendored-deps constraint
+//!   rules out rayon), runs the first bucket on the calling thread so
+//!   `threads = 2` costs a single spawn, and re-raises the first worker
+//!   panic on the caller so a panicking group surfaces through the
+//!   runtime's existing `catch_unwind` fault path instead of hanging.
+//!
+//! Results come back in the original work-item order, so callers can
+//! reproduce serial semantics (e.g. "first error wins") by position.
+
+/// The environment variable overriding the default intra-pass thread
+/// count. Non-empty decimal values select that many threads (`1` =
+/// serial); unset, empty, unparsable or `0` fall back to the machine's
+/// available parallelism.
+pub const NUM_THREADS_ENV: &str = "SHENJING_NUM_THREADS";
+
+/// The default intra-pass thread count: `SHENJING_NUM_THREADS` when set
+/// to a positive integer, otherwise the machine's available parallelism,
+/// otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(NUM_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves an optional explicit thread-count request against the
+/// defaults: `Some(n)` wins (clamped to at least 1), `None` means
+/// [`default_threads`].
+pub fn resolve(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => default_threads(),
+    }
+}
+
+/// Pairs each of an entry's [`TileGroup`](crate::sched::TileGroup)s with
+/// a mutable borrow of its tile, carved out of `tiles` with
+/// `split_at_mut` (disjointness proven to the borrow checker — this
+/// crate forbids `unsafe`).
+///
+/// Requires the groups' tile indices to be strictly ascending and
+/// in-bounds — what [`tile_groups`](crate::sched::tile_groups) produces
+/// for a validated compacted schedule. Returns `None` otherwise, so
+/// callers can fall back to the serial walk and let it report the
+/// out-of-bounds error with the reference semantics.
+pub fn carve_groups<'a, T>(
+    tiles: &'a mut [T],
+    groups: &'a [crate::sched::TileGroup],
+) -> Option<Vec<(&'a mut T, &'a crate::sched::TileGroup)>> {
+    let mut out = Vec::with_capacity(groups.len());
+    let mut rest = tiles;
+    let mut base = 0usize;
+    for group in groups {
+        let offset = group.tile.checked_sub(base)?;
+        if offset >= rest.len() {
+            return None;
+        }
+        let (tile, tail) = rest[offset..].split_first_mut()?;
+        out.push((tile, group));
+        rest = tail;
+        base = group.tile + 1;
+    }
+    Some(out)
+}
+
+/// Runs `f` over every item of `work` using up to `threads` OS threads
+/// and returns the results in the original item order.
+///
+/// Items are dealt round-robin into `min(threads, work.len())` buckets;
+/// bucket 0 runs inline on the calling thread while the rest run on
+/// scoped workers, so the serial case (`threads <= 1` or a single item)
+/// never spawns. A panic in any bucket is re-raised on the calling
+/// thread *after* every worker has been joined — callers under
+/// `catch_unwind` observe a clean panic, never a hang or a leaked
+/// thread.
+pub fn run_partitioned<W, R, F>(threads: usize, work: Vec<W>, f: F) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+    F: Fn(W) -> R + Sync,
+{
+    let n = work.len();
+    let buckets_n = threads.max(1).min(n);
+    if buckets_n <= 1 {
+        return work.into_iter().map(f).collect();
+    }
+
+    let mut buckets: Vec<Vec<(usize, W)>> = (0..buckets_n).map(|_| Vec::new()).collect();
+    for (i, w) in work.into_iter().enumerate() {
+        buckets[i % buckets_n].push((i, w));
+    }
+
+    let f = &f;
+    let run_bucket =
+        |bucket: Vec<(usize, W)>| bucket.into_iter().map(|(i, w)| (i, f(w))).collect::<Vec<_>>();
+
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut done: Vec<Vec<(usize, R)>> = Vec::with_capacity(buckets_n);
+    std::thread::scope(|scope| {
+        let mut rest = buckets.drain(..);
+        let bucket0 = rest.next().expect("buckets_n >= 2");
+        let handles: Vec<_> = rest.map(|b| scope.spawn(move || run_bucket(b))).collect();
+        // Inline bucket 0: with T threads only T-1 spawns per fan-out.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_bucket(bucket0))) {
+            Ok(rs) => done.push(rs),
+            Err(p) => first_panic = Some(p),
+        }
+        for h in handles {
+            match h.join() {
+                Ok(rs) => done.push(rs),
+                Err(p) => {
+                    first_panic.get_or_insert(p);
+                }
+            }
+        }
+    });
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in done.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every work item produces a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_request_wins_and_is_clamped() {
+        assert_eq!(resolve(Some(3)), 3);
+        assert_eq!(resolve(Some(1)), 1);
+        assert_eq!(resolve(Some(0)), 1, "a zero request clamps to serial");
+        assert!(resolve(None) >= 1);
+    }
+
+    #[test]
+    fn results_keep_item_order_at_every_width() {
+        let work: Vec<usize> = (0..23).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_partitioned(threads, work.clone(), |w| w * 10);
+            assert_eq!(out, (0..23).map(|w| w * 10).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn carving_yields_disjoint_ascending_borrows() {
+        use crate::sched::TileGroup;
+        let mut tiles = vec![10i32, 11, 12, 13, 14];
+        let groups = vec![
+            TileGroup { tile: 1, ops: vec![0] },
+            TileGroup { tile: 2, ops: vec![1] },
+            TileGroup { tile: 4, ops: vec![2] },
+        ];
+        let pairs = carve_groups(&mut tiles, &groups).expect("ascending in-bounds groups carve");
+        assert_eq!(pairs.len(), 3);
+        for (tile, group) in pairs {
+            assert_eq!(*tile as usize, 10 + group.tile);
+            *tile += 100;
+        }
+        assert_eq!(tiles, vec![10, 111, 112, 13, 114]);
+
+        // Out-of-bounds or non-ascending groups refuse to carve (callers
+        // fall back to the serial walk and its reference errors).
+        let oob = vec![TileGroup { tile: 7, ops: vec![0] }];
+        assert!(carve_groups(&mut tiles, &oob).is_none());
+        let unsorted =
+            vec![TileGroup { tile: 3, ops: vec![0] }, TileGroup { tile: 1, ops: vec![1] }];
+        assert!(carve_groups(&mut tiles, &unsorted).is_none());
+    }
+
+    #[test]
+    fn empty_work_is_fine() {
+        let out: Vec<usize> = run_partitioned(4, Vec::<usize>::new(), |w| w);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_reraises_on_the_caller() {
+        // Panics in a spawned bucket (item 1 → bucket 1) and in the
+        // inline bucket (item 0 → bucket 0) must both surface as a
+        // clean panic on the calling thread, never a hang.
+        for boom in [0usize, 1] {
+            let caught = std::panic::catch_unwind(|| {
+                run_partitioned(2, vec![0usize, 1, 2, 3], |w| {
+                    if w == boom {
+                        panic!("injected worker panic on item {w}");
+                    }
+                    w
+                })
+            });
+            let payload = caught.expect_err("the worker panic must propagate");
+            let msg = payload.downcast_ref::<String>().expect("panic carries its message");
+            assert!(msg.contains("injected worker panic"), "unexpected payload: {msg}");
+        }
+    }
+}

@@ -20,6 +20,12 @@ pub struct CyclePhases {
     pub transfer_ns: u64,
     /// Time committing queued deliveries.
     pub drain_ns: u64,
+    /// Wall-clock time of the op-execution phase as the caller observes
+    /// it, including worker-pool spawn/join overhead. Under the serial
+    /// walk this tracks `acc_ns + send_ns`; under a parallel walk it can
+    /// be smaller — `(acc_ns + send_ns) / op_wall_ns` is the intra-pass
+    /// parallel efficiency.
+    pub op_wall_ns: u64,
 }
 
 impl CyclePhases {
@@ -29,6 +35,7 @@ impl CyclePhases {
         self.send_ns += other.send_ns;
         self.transfer_ns += other.transfer_ns;
         self.drain_ns += other.drain_ns;
+        self.op_wall_ns += other.op_wall_ns;
     }
 
     /// Total attributed nanoseconds.

@@ -56,6 +56,23 @@ pub struct PortOut {
     pub planes: PlaneSet,
 }
 
+/// A conflict-free group of ops within one [`CycleOps`] entry: all the
+/// entry's ops that execute on one tile, in source order.
+///
+/// Op execution is tile-local — `Tile::exec` / `BatchTile::exec` read and
+/// write only their own tile's registers — so two groups with different
+/// `tile` indices never touch the same state and can run concurrently.
+/// Within a group the source order is preserved, so a single-threaded
+/// walk of any one group is exactly the serial walk restricted to that
+/// tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileGroup {
+    /// Row-major tile index every op in this group executes on.
+    pub tile: usize,
+    /// Indices into the owning entry's `ops`, ascending (source order).
+    pub ops: Vec<u32>,
+}
+
 /// One compacted schedule entry: the ops of a run of source cycles plus
 /// the precomputed transfer/commit work of the run's single active cycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +80,10 @@ pub struct CycleOps {
     /// All ops of the run, in source order (cycle-major, decode order
     /// within a cycle), each tagged with its source cycle.
     pub ops: Vec<ScheduledOp>,
+    /// The same ops partitioned into conflict-free per-tile groups
+    /// (sorted by tile), the unit the intra-pass worker pool fans out
+    /// over. Every op index appears in exactly one group.
+    pub op_groups: Vec<TileGroup>,
     /// Ports the active cycle's producers can leave data on, sorted by
     /// `(tile, N/S/E/W)` to match the raw transfer's scan order. Empty
     /// when the run has no active cycle (trailing passive cycles).
@@ -80,4 +101,34 @@ impl CycleOps {
     pub fn op_count(&self) -> usize {
         self.ops.len()
     }
+
+    /// Whether fanning this entry's groups across the worker pool can
+    /// pay for its spawn cost: at least two groups carrying core (ACC)
+    /// work, the dominant cost class. Router-only entries stay serial —
+    /// their per-op cost is far below a thread spawn. This is a pure
+    /// performance heuristic; correctness never depends on it.
+    pub fn parallel_worthwhile(&self) -> bool {
+        let core_groups = self
+            .op_groups
+            .iter()
+            .filter(|g| g.ops.iter().any(|&i| matches!(self.ops[i as usize].op, AtomicOp::Core(_))))
+            .count();
+        core_groups >= 2
+    }
+}
+
+/// Partitions `ops` into conflict-free per-tile groups (sorted by tile,
+/// op indices in source order). Run once at compile time by the schedule
+/// optimizer; the result is stored on [`CycleOps::op_groups`].
+pub fn tile_groups(ops: &[ScheduledOp]) -> Vec<TileGroup> {
+    let mut groups: Vec<TileGroup> = Vec::new();
+    for (i, s) in ops.iter().enumerate() {
+        // Entries touch a handful of tiles; a linear probe beats a map.
+        match groups.iter_mut().find(|g| g.tile == s.tile) {
+            Some(g) => g.ops.push(i as u32),
+            None => groups.push(TileGroup { tile: s.tile, ops: vec![i as u32] }),
+        }
+    }
+    groups.sort_by_key(|g| g.tile);
+    groups
 }

@@ -194,15 +194,19 @@ impl SpikeRouter {
     /// Integrates a weighted-sum value into a plane's potential and fires
     /// if above threshold, subtracting the threshold (at most one spike per
     /// integration — the hardware generates one spike bit per `SPIKE` op).
+    ///
+    /// Branchless and inlined: the bounds checks are hoisted into two
+    /// indexed loads and the fire/reset select compiles to a compare plus
+    /// masked subtract, which keeps the per-plane `SPIKE` sweep on the
+    /// fall-through path (`spike_router_send_256_planes` tracks this).
+    #[inline]
     pub fn integrate_value(&mut self, plane: u16, sum: i32) {
         let p = plane as usize;
-        self.potential[p] += sum;
-        if self.potential[p] > self.threshold[p] {
-            self.spike_buf[p] = true;
-            self.potential[p] -= self.threshold[p];
-        } else {
-            self.spike_buf[p] = false;
-        }
+        let threshold = self.threshold[p];
+        let v = self.potential[p] + sum;
+        let fire = v > threshold;
+        self.spike_buf[p] = fire;
+        self.potential[p] = v - (-i32::from(fire) & threshold);
     }
 
     /// Writes an incoming spike into the input register of `port`.

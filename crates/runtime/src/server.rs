@@ -138,6 +138,15 @@ pub struct RuntimeConfig {
     /// optimizer in place, without recompiling or setting
     /// `SHENJING_NO_OPTIMIZE`.
     pub optimize_schedule: bool,
+    /// Worker-thread budget for intra-pass parallel execution of
+    /// conflict-free tile groups inside every replica. `None` (the
+    /// default) defers to the `SHENJING_NUM_THREADS` environment
+    /// variable and, past that, the host's available parallelism.
+    /// `Some(1)` pins the serial reference walk; the parallel and
+    /// serial walks are bit-identical (the equivalence proptests pin
+    /// this at several thread counts), so this knob is purely a
+    /// performance trade.
+    pub intra_pass_threads: Option<usize>,
     /// Deterministic failure injection for chaos tests — see
     /// [`ChaosConfig`](crate::chaos::ChaosConfig). `None` (the default)
     /// injects nothing.
@@ -158,6 +167,7 @@ impl Default for RuntimeConfig {
             retry_budget: 2,
             retry_backoff: Duration::from_micros(200),
             optimize_schedule: true,
+            intra_pass_threads: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -190,6 +200,11 @@ impl RuntimeConfig {
         }
         if self.queue_depth == 0 {
             return Err(Error::config("queue_depth must be positive"));
+        }
+        if self.intra_pass_threads == Some(0) {
+            return Err(Error::config(
+                "intra_pass_threads must be positive (use None for the host default)",
+            ));
         }
         if self.max_batch > self.queue_depth {
             return Err(Error::config(format!(
@@ -280,6 +295,15 @@ impl RuntimeConfigBuilder {
     #[must_use]
     pub fn optimize_schedule(mut self, on: bool) -> RuntimeConfigBuilder {
         self.config.optimize_schedule = on;
+        self
+    }
+
+    /// Sets the intra-pass worker-thread budget for every replica
+    /// (`1` = serial reference walk). `None` defers to
+    /// `SHENJING_NUM_THREADS` / host parallelism.
+    #[must_use]
+    pub fn intra_pass_threads(mut self, threads: usize) -> RuntimeConfigBuilder {
+        self.config.intra_pass_threads = Some(threads);
         self
     }
 
@@ -755,6 +779,9 @@ fn build_worker_engines(model: &CompiledModel, config: &RuntimeConfig) -> Result
         if !config.optimize_schedule {
             engine.set_schedule_compaction(false);
         }
+        if let Some(threads) = config.intra_pass_threads {
+            engine.set_intra_pass_threads(threads);
+        }
         engine
     };
     let sequential: Option<EngineSlot> = match config.engine {
@@ -904,6 +931,13 @@ impl Runtime {
         // Static facts as info gauges, the Prometheus idiom for joining
         // live counters with model size/placement at query time.
         let shared_compaction_on = config.optimize_schedule;
+        // Effective worker-thread budget each replica fans tile groups
+        // across — the resolved value, not the raw config, so dashboards
+        // see what the pool actually uses.
+        telemetry
+            .registry()
+            .gauge("shenjing_intra_pass_threads")
+            .set(shenjing_sim::parallel::resolve(config.intra_pass_threads) as i64);
         for m in &models {
             let labels = m.model.info_labels(&m.id);
             telemetry.registry().gauge(&format!("shenjing_model_info{labels}")).set(1);
@@ -2207,6 +2241,7 @@ mod tests {
         assert!(metrics.contains("shenjing_model_info{model=\"pin\""));
         assert!(metrics.contains("shenjing_schedule_cycles{model=\"pin\",stage=\"raw\"}"));
         assert!(metrics.contains("shenjing_schedule_cycles{model=\"pin\",stage=\"compacted\"}"));
+        assert!(metrics.contains("shenjing_intra_pass_threads"));
         assert!(stats.p50_service > Duration::ZERO, "service time was measured");
         assert!(stats.p99_service <= stats.max_latency);
         assert_eq!(stats.queue_depth, 0, "a drained runtime holds no queued requests");
@@ -2248,6 +2283,41 @@ mod tests {
             outputs.push(replies);
         }
         assert_eq!(outputs[0], outputs[1], "raw and compacted serving are bit-identical");
+    }
+
+    #[test]
+    fn intra_pass_threads_config_pins_the_pool_and_gauge() {
+        assert!(
+            RuntimeConfig::builder().intra_pass_threads(0).build().is_err(),
+            "a zero-thread pool is a config error, not a hang"
+        );
+        // The pool width is a pure performance knob: every replica
+        // reports the pinned width through the gauge and serves
+        // identical bits at any width.
+        let model = model();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 3] {
+            let registry = ModelRegistry::new()
+                .with_model("m", model.clone(), ServeOptions::default())
+                .unwrap();
+            let config = RuntimeConfig {
+                workers: 1,
+                timesteps: 5,
+                intra_pass_threads: Some(threads),
+                ..Default::default()
+            };
+            let runtime = Runtime::serve(registry, config).unwrap();
+            assert!(
+                runtime.metrics_text().contains(&format!("shenjing_intra_pass_threads {threads}")),
+                "the gauge must report the resolved pool width"
+            );
+            let replies: Vec<_> = (0..3)
+                .map(|k| runtime.infer(InferenceRequest::new("m", frame(k))).unwrap().output)
+                .collect();
+            runtime.shutdown().unwrap();
+            outputs.push(replies);
+        }
+        assert_eq!(outputs[0], outputs[1], "the pool width must not change served bits");
     }
 
     #[test]

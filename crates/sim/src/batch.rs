@@ -102,6 +102,29 @@ impl BatchSim {
         self.use_compact = on;
     }
 
+    /// Sets the number of OS threads compacted-schedule execution may fan
+    /// an entry's conflict-free tile groups across (see
+    /// [`BatchChip::set_exec_threads`](shenjing_hw::BatchChip::set_exec_threads)).
+    /// `1` is the serial walk — the bit-exactness reference — and every
+    /// thread count produces bit-identical outputs, lane state, and
+    /// errors. The default comes from `SHENJING_NUM_THREADS` / available
+    /// parallelism.
+    pub fn set_intra_pass_threads(&mut self, threads: usize) {
+        self.chip.set_exec_threads(threads);
+    }
+
+    /// The effective intra-pass thread count.
+    pub fn intra_pass_threads(&self) -> usize {
+        self.chip.exec_threads()
+    }
+
+    /// Test hook: worker-pool panic injection (see
+    /// `BatchChip::set_panic_on_tile`).
+    #[doc(hidden)]
+    pub fn set_panic_on_tile(&mut self, tile: Option<usize>) {
+        self.chip.set_panic_on_tile(tile);
+    }
+
     /// Starts (or stops) per-pass phase profiling: while on, every
     /// [`run_occupied`](BatchSim::run_occupied) pass accumulates ACC /
     /// SEND / transfer / drain wall-clock time plus active-axon and
@@ -392,6 +415,7 @@ impl BatchSim {
             p.send_ns += phases.send_ns;
             p.transfer_ns += phases.transfer_ns;
             p.drain_ns += phases.drain_ns;
+            p.op_wall_ns += phases.op_wall_ns;
         }
         Ok(outputs)
     }

@@ -123,6 +123,12 @@ impl DecodedProgram {
     pub fn compacted_cycles(&self) -> Option<u64> {
         self.compact.as_ref().map(|c| c.entries.len() as u64)
     }
+
+    /// The compacted schedule entries, when optimized — the static
+    /// structure the conflict analysis and the execution hot loops walk.
+    pub fn compact_entries(&self) -> Option<&[shenjing_hw::sched::CycleOps]> {
+        self.compact.as_ref().map(crate::optimize::CompactSchedule::entries)
+    }
 }
 
 /// Decode-time program validation: every coordinate, plane, axon and
@@ -265,6 +271,29 @@ impl CycleSim {
     /// checks and the equivalence proptests enforce.
     pub fn set_compaction(&mut self, on: bool) {
         self.use_compact = on;
+    }
+
+    /// Sets the number of OS threads compacted-schedule execution may fan
+    /// an entry's conflict-free tile groups across (see
+    /// [`Chip::set_exec_threads`](shenjing_hw::Chip::set_exec_threads)).
+    /// `1` is the serial walk — the bit-exactness reference — and every
+    /// thread count produces bit-identical outputs, chip state, and
+    /// errors. The default comes from `SHENJING_NUM_THREADS` / available
+    /// parallelism.
+    pub fn set_intra_pass_threads(&mut self, threads: usize) {
+        self.chip.set_exec_threads(threads);
+    }
+
+    /// The effective intra-pass thread count.
+    pub fn intra_pass_threads(&self) -> usize {
+        self.chip.exec_threads()
+    }
+
+    /// Test hook: worker-pool panic injection (see
+    /// `Chip::set_panic_on_tile`).
+    #[doc(hidden)]
+    pub fn set_panic_on_tile(&mut self, tile: Option<usize>) {
+        self.chip.set_panic_on_tile(tile);
     }
 
     /// Starts (or stops) per-pass phase profiling: while on, every
@@ -425,6 +454,7 @@ impl CycleSim {
             p.send_ns += phases.send_ns;
             p.transfer_ns += phases.transfer_ns;
             p.drain_ns += phases.drain_ns;
+            p.op_wall_ns += phases.op_wall_ns;
         }
 
         Ok(SnnOutput { spike_counts, potentials, spikes_by_step })

@@ -61,6 +61,7 @@ pub use equivalence::{
 };
 pub use fault::{inject, inject_mapping, Fault};
 pub use optimize::{CompactSchedule, OptimizeStats};
+pub use shenjing_hw::parallel;
 pub use shenjing_hw::LaneSet;
 pub use trace::{
     compare_traces, digest_batch_chip, digest_chip, trace_block, Divergence, StateDigest,

@@ -31,7 +31,7 @@
 //! the raw walk reachable as a reference mode (CI runs the equivalence
 //! suites both ways).
 
-use shenjing_hw::sched::{CycleOps, PortOut, ScheduledOp};
+use shenjing_hw::sched::{tile_groups, CycleOps, PortOut, ScheduledOp};
 
 use crate::cycle_sim::DecodedProgram;
 
@@ -194,8 +194,10 @@ impl DecodedProgram {
             deliver_tiles.sort_unstable();
             deliver_tiles.dedup();
 
+            let op_groups = tile_groups(&entry_ops);
             entries.push(CycleOps {
                 ops: entry_ops,
+                op_groups,
                 out_ports,
                 deliver_tiles,
                 transfer_cycle: *cycle,
@@ -205,8 +207,10 @@ impl DecodedProgram {
             // A trailing passive run becomes its own (transfer-free)
             // entry; all but one of its cycles count as coalesced.
             stats.coalesced_cycles += pending_cycles.saturating_sub(1);
+            let op_groups = tile_groups(&pending);
             entries.push(CycleOps {
                 ops: pending,
+                op_groups,
                 out_ports: Vec::new(),
                 deliver_tiles: Vec::new(),
                 transfer_cycle: last_pending_cycle,
@@ -299,6 +303,24 @@ mod tests {
                     "ports sorted in raw scan order"
                 );
             }
+            // The conflict-free groups must partition the entry's ops:
+            // disjoint tiles (sorted), every op index covered exactly
+            // once, and source order preserved within each group.
+            let mut covered = vec![false; entry.ops.len()];
+            for pair in entry.op_groups.windows(2) {
+                assert!(pair[0].tile < pair[1].tile, "groups sorted by distinct tile");
+            }
+            for group in &entry.op_groups {
+                for pair in group.ops.windows(2) {
+                    assert!(pair[0] < pair[1], "op indices ascend within a group");
+                }
+                for &i in &group.ops {
+                    assert_eq!(entry.ops[i as usize].tile, group.tile, "ops match their tile");
+                    assert!(!covered[i as usize], "each op in exactly one group");
+                    covered[i as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "groups cover every op");
         }
     }
 

@@ -1,0 +1,212 @@
+//! Deterministic pins for the intra-pass worker pool: the compacted
+//! schedule's conflict-free tile groups may fan across threads, but the
+//! pool must be architecturally invisible (outputs, chip state and error
+//! identity match the serial walk bit for bit at every thread budget) and
+//! operationally safe (a panicking worker surfaces as one clean unwind at
+//! the caller — which the runtime's batch guard converts into a typed
+//! replica fault — never a hang or a silent partial result).
+//!
+//! The equivalence proptests sweep the same thread axis over random
+//! networks; this file pins the specific scenarios that sampling might
+//! miss — a schedule *known* to contain multi-group entries, an ACC
+//! overflow racing across groups, and an injected worker panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use shenjing_core::{ArchSpec, W5};
+use shenjing_mapper::Mapper;
+use shenjing_nn::Tensor;
+use shenjing_sim::{digest_batch_chip, digest_chip, BatchSim, CycleSim, DecodedProgram};
+use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
+
+fn dense_layer(weights: &[i32], n_in: usize, n_out: usize, theta: i32) -> SnnLayer {
+    let ws: Vec<W5> = weights[..n_in * n_out].iter().map(|&v| W5::new(v).unwrap()).collect();
+    SnnLayer::Dense(SpikingDense::new(ws, n_in, n_out, theta, 1.0).unwrap())
+}
+
+/// A 40→16 dense layer on the tiny arch: 40 inputs across 16-input cores
+/// span three tiles, so the compacted schedule coalesces several same-
+/// cycle `ACC` ops into single entries — the shape the worker pool
+/// partitions.
+fn multi_tile_program() -> Arc<DecodedProgram> {
+    let arch = ArchSpec::tiny();
+    let weights: Vec<i32> = (0..40 * 16).map(|i| (i % 31) - 15).collect();
+    let snn = SnnNetwork::new(vec![dense_layer(&weights, 40, 16, 5)]).unwrap();
+    let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+    Arc::new(DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap().optimize())
+}
+
+fn patterned_frames(n_in: usize, count: usize) -> Vec<Tensor> {
+    (0..count)
+        .map(|k| {
+            let vals = (0..n_in).map(|i| ((i + k * 37) % 7) as f64 / 7.0).collect();
+            Tensor::from_vec(vec![n_in], vals).unwrap()
+        })
+        .collect()
+}
+
+/// Guards the whole thread-axis test strategy: the pinned program must
+/// actually contain entries the pool considers worth partitioning, or
+/// every sweep in this file (and the proptests' thread axis) silently
+/// degenerates into serial-vs-serial.
+#[test]
+fn pinned_program_has_parallel_worthwhile_entries() {
+    let program = multi_tile_program();
+    let Some(entries) = program.compact_entries() else {
+        // SHENJING_NO_OPTIMIZE (the CI raw-walk axis): no compacted
+        // schedule, so there is nothing for the pool to partition.
+        return;
+    };
+    assert!(
+        entries.iter().any(shenjing_hw::CycleOps::parallel_worthwhile),
+        "expected at least one compacted entry with two or more core-op tile groups"
+    );
+}
+
+/// Sequential engine, every thread budget: outputs and whole-chip state
+/// bit-identical to the serial walk.
+#[test]
+fn sequential_walk_is_identical_at_every_thread_count() {
+    let program = multi_tile_program();
+    let inputs = patterned_frames(40, 3);
+    let mut serial = CycleSim::from_decoded(Arc::clone(&program)).unwrap();
+    serial.set_intra_pass_threads(1);
+    for threads in [2usize, 3, 8] {
+        let mut pooled = CycleSim::from_decoded(Arc::clone(&program)).unwrap();
+        pooled.set_intra_pass_threads(threads);
+        assert_eq!(pooled.intra_pass_threads(), threads);
+        for (i, input) in inputs.iter().enumerate() {
+            let want = serial.run_frame(input, 8).unwrap();
+            let got = pooled.run_frame(input, 8).unwrap();
+            assert_eq!(got, want, "frame {i} diverged under {threads} worker threads");
+            assert_eq!(
+                digest_chip(0, pooled.chip()),
+                digest_chip(0, serial.chip()),
+                "chip state diverged under {threads} worker threads (frame {i})"
+            );
+        }
+    }
+}
+
+/// Batched engine, every thread budget: outputs and whole-chip all-lane
+/// state bit-identical to the serial walk.
+#[test]
+fn batched_walk_is_identical_at_every_thread_count() {
+    let program = multi_tile_program();
+    let inputs = patterned_frames(40, 4);
+    let mut serial = BatchSim::from_decoded(Arc::clone(&program), inputs.len()).unwrap();
+    serial.set_intra_pass_threads(1);
+    let want = serial.run_batch(&inputs, 8).unwrap();
+    for threads in [2usize, 3, 8] {
+        let mut pooled = BatchSim::from_decoded(Arc::clone(&program), inputs.len()).unwrap();
+        pooled.set_intra_pass_threads(threads);
+        assert_eq!(
+            pooled.run_batch(&inputs, 8).unwrap(),
+            want,
+            "batch diverged under {threads} worker threads"
+        );
+        assert_eq!(
+            digest_batch_chip(0, pooled.chip()),
+            digest_batch_chip(0, serial.chip()),
+            "chip state diverged under {threads} worker threads"
+        );
+    }
+}
+
+/// ACC overflow with *two* core groups in flight: 300 maximal-weight
+/// inputs into two 16-neuron output tiles on 512-input cores — both
+/// groups overflow their local accumulator mid-sweep, and the pool must
+/// report the lowest-op-index failure, which is exactly the error the
+/// serial walk reports (same variant, same original cycle number).
+#[test]
+fn overflow_across_groups_errors_identically_at_every_thread_count() {
+    let arch = ArchSpec {
+        core_inputs: 512,
+        core_neurons: 16,
+        chip_rows: 4,
+        chip_cols: 4,
+        ..ArchSpec::tiny()
+    };
+    let weights = vec![15; 300 * 18];
+    let snn = SnnNetwork::new(vec![dense_layer(&weights, 300, 18, 10)]).unwrap();
+    let mapping = Mapper::new(arch.clone()).map(&snn).unwrap();
+    let program = Arc::new(
+        DecodedProgram::decode(&arch, &mapping.logical, &mapping.program).unwrap().optimize(),
+    );
+    let input = Tensor::from_vec(vec![300], vec![1.0; 300]).unwrap();
+
+    let mut serial = CycleSim::from_decoded(Arc::clone(&program)).unwrap();
+    serial.set_intra_pass_threads(1);
+    let want = serial.run_frame(&input, 4).unwrap_err();
+    assert!(
+        matches!(want, shenjing_core::Error::SumOverflow { bits: 13, .. }),
+        "expected a local accumulator overflow, got {want:?}"
+    );
+    for threads in [2usize, 4, 8] {
+        let mut pooled = CycleSim::from_decoded(Arc::clone(&program)).unwrap();
+        pooled.set_intra_pass_threads(threads);
+        assert_eq!(
+            pooled.run_frame(&input, 4).unwrap_err(),
+            want,
+            "the overflow error changed under {threads} worker threads"
+        );
+        let mut batched = BatchSim::from_decoded(Arc::clone(&program), 2).unwrap();
+        batched.set_intra_pass_threads(threads);
+        assert_eq!(
+            batched.run_batch(&[input.clone(), input.clone()], 4).unwrap_err(),
+            want,
+            "the batched overflow error changed under {threads} worker threads"
+        );
+    }
+}
+
+/// A worker panicking mid-group must surface as one clean unwind at the
+/// `run_batch`/`run_frame` caller — never a hang, never an `Ok` — with
+/// the worker's payload preserved. The runtime's per-batch panic guard
+/// (`catch_unwind` around plan → execute → drain) then converts exactly
+/// this unwind into a typed `Panic` replica fault and quarantines the
+/// replica, so this pin is the engine half of that contract.
+#[test]
+fn worker_pool_panic_surfaces_as_one_clean_unwind() {
+    let program = multi_tile_program();
+    let Some(entries) = program.compact_entries() else {
+        return; // raw-walk axis: the pool never runs, nothing to pin
+    };
+    // Panic on a tile from a partitionable entry so the injection is
+    // guaranteed to land inside the worker pool, not the serial walk.
+    let entry = entries
+        .iter()
+        .find(|e| e.parallel_worthwhile())
+        .expect("the pinned program has partitionable entries");
+    let tile = entry.op_groups.last().unwrap().tile;
+
+    let inputs = patterned_frames(40, 2);
+    let mut batched = BatchSim::from_decoded(Arc::clone(&program), inputs.len()).unwrap();
+    batched.set_intra_pass_threads(4);
+    batched.set_panic_on_tile(Some(tile));
+    let unwound = catch_unwind(AssertUnwindSafe(|| batched.run_batch(&inputs, 8)));
+    let payload = unwound.expect_err("the injected worker panic must reach the caller");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("injected worker-pool panic"),
+        "the worker's payload must survive the join: {message:?}"
+    );
+
+    // Same contract on the sequential engine's pool.
+    let mut sim = CycleSim::from_decoded(Arc::clone(&program)).unwrap();
+    sim.set_intra_pass_threads(4);
+    sim.set_panic_on_tile(Some(tile));
+    let unwound = catch_unwind(AssertUnwindSafe(|| sim.run_frame(&inputs[0], 8)));
+    assert!(unwound.is_err(), "the injected worker panic must reach the caller");
+
+    // Clearing the hook restores normal execution on a fresh engine —
+    // the panic never poisons the program or the process.
+    let mut healthy = BatchSim::from_decoded(Arc::clone(&program), inputs.len()).unwrap();
+    healthy.set_intra_pass_threads(4);
+    healthy.run_batch(&inputs, 8).unwrap();
+}

@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use shenjing_core::{ArchSpec, W5};
 use shenjing_mapper::Mapper;
 use shenjing_nn::Tensor;
-use shenjing_sim::{verify_compacted, verify_sequential, CycleSim, DecodedProgram};
+use shenjing_sim::{digest_chip, verify_compacted, verify_sequential, CycleSim, DecodedProgram};
 use shenjing_snn::{SnnLayer, SnnNetwork, SpikingDense};
 
 /// Largest dimensions the strategies below draw (the weight/input pools
@@ -60,6 +60,29 @@ fn assert_fast_equals_reference(
         report.is_exact(),
         "optimized program diverged from the reference implementation: {report:?}"
     );
+
+    // The worker-pool axis: fanning conflict-free tile groups across a
+    // thread pool must be invisible — at every thread budget the
+    // compacted walk's outputs, errors *and* whole-chip state must match
+    // the `threads = 1` serial walk bit for bit.
+    let mut serial = CycleSim::from_decoded(Arc::clone(&optimized)).unwrap();
+    serial.set_intra_pass_threads(1);
+    for threads in [2, shenjing_sim::parallel::resolve(None).max(4)] {
+        let mut pooled = CycleSim::from_decoded(Arc::clone(&optimized)).unwrap();
+        pooled.set_intra_pass_threads(threads);
+        for (i, input) in inputs.iter().enumerate() {
+            let want = serial.run_frame(input, timesteps);
+            let got = pooled.run_frame(input, timesteps);
+            assert_eq!(got, want, "frame {i} diverged under {threads} worker threads");
+            if got.is_ok() {
+                assert_eq!(
+                    digest_chip(0, pooled.chip()),
+                    digest_chip(0, serial.chip()),
+                    "chip state diverged under {threads} worker threads (frame {i})"
+                );
+            }
+        }
+    }
 }
 
 proptest! {
@@ -190,4 +213,16 @@ fn saturated_frame_errors_identically_on_both_paths() {
     let mut compacted = CycleSim::from_decoded(Arc::clone(&optimized)).unwrap();
     let compacted_err = compacted.run_frame(&input, 4).unwrap_err();
     assert_eq!(compacted_err, fast_err, "compacted errors must carry the original cycle number");
+
+    // And at every worker-pool width: the grouped walk reports the
+    // lowest-op-index failure, which is exactly the serial first error.
+    for threads in [2usize, 4] {
+        let mut pooled = CycleSim::from_decoded(Arc::clone(&optimized)).unwrap();
+        pooled.set_intra_pass_threads(threads);
+        assert_eq!(
+            pooled.run_frame(&input, 4).unwrap_err(),
+            compacted_err,
+            "the overflow error changed under {threads} worker threads"
+        );
+    }
 }

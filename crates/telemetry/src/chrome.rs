@@ -254,6 +254,7 @@ mod tests {
                 send_ns: 2_000,
                 transfer_ns: 3_000,
                 drain_ns: 1_000,
+                op_wall_ns: 6_000,
                 active_axon_steps: 64,
                 occupied_lane_steps: 4,
             }),

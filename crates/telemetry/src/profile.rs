@@ -32,6 +32,12 @@ pub struct PassProfile {
     pub transfer_ns: u64,
     /// Nanoseconds spent committing queued deliveries (drain).
     pub drain_ns: u64,
+    /// Wall-clock nanoseconds of the op-execution phase as the cycle
+    /// loop observes it, including any worker-pool spawn/join overhead.
+    /// Under a serial walk this tracks `acc_ns + send_ns`; under an
+    /// intra-pass parallel walk the summed per-group times exceed it —
+    /// see [`parallel_efficiency`](PassProfile::parallel_efficiency).
+    pub op_wall_ns: u64,
     /// Sum over timesteps of the number of active axons after spike
     /// injection — the sparsity the activity-gated engines exploit.
     pub active_axon_steps: u64,
@@ -50,8 +56,22 @@ impl PassProfile {
         self.send_ns += other.send_ns;
         self.transfer_ns += other.transfer_ns;
         self.drain_ns += other.drain_ns;
+        self.op_wall_ns += other.op_wall_ns;
         self.active_axon_steps += other.active_axon_steps;
         self.occupied_lane_steps += other.occupied_lane_steps;
+    }
+
+    /// Intra-pass parallel speedup of the op-execution phase: summed
+    /// per-group op time (`acc_ns + send_ns`) over the wall-clock time
+    /// the cycle loop actually waited (`op_wall_ns`). `≈ 1.0` for the
+    /// serial walk, `> 1.0` when the worker pool overlapped groups,
+    /// `< 1.0` when spawn overhead dominated. `None` until any op phase
+    /// has been timed.
+    pub fn parallel_efficiency(&self) -> Option<f64> {
+        if self.op_wall_ns == 0 {
+            return None;
+        }
+        Some((self.acc_ns + self.send_ns) as f64 / self.op_wall_ns as f64)
     }
 
     /// Total nanoseconds attributed to any phase.
@@ -94,6 +114,7 @@ mod tests {
             send_ns: 20,
             transfer_ns: 30,
             drain_ns: 40,
+            op_wall_ns: 15,
             active_axon_steps: 5,
             occupied_lane_steps: 4,
         };
@@ -102,8 +123,16 @@ mod tests {
         assert_eq!(a.passes, 2);
         assert_eq!(a.cycles, 160);
         assert_eq!(a.total_phase_ns(), 200);
+        assert_eq!(a.op_wall_ns, 30);
         assert!(!a.is_empty());
         assert!(PassProfile::default().is_empty());
         assert_eq!(a.phase_ns()[2], ("transfer", 60));
+    }
+
+    #[test]
+    fn parallel_efficiency_is_summed_over_wall() {
+        assert_eq!(PassProfile::default().parallel_efficiency(), None);
+        let p = PassProfile { acc_ns: 30, send_ns: 10, op_wall_ns: 20, ..Default::default() };
+        assert_eq!(p.parallel_efficiency(), Some(2.0));
     }
 }

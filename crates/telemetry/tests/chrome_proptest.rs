@@ -29,6 +29,7 @@ fn span(id: u64, raw: &[u64], profiled: bool) -> SpanRecord {
         send_ns: raw[7] % (1 << 20),
         transfer_ns: raw[8] % (1 << 20),
         drain_ns: raw[9] % (1 << 20),
+        op_wall_ns: (raw[6] + raw[7]) % (1 << 20),
         active_axon_steps: raw[8] % 100,
         occupied_lane_steps: raw[9] % 16,
     });

@@ -58,6 +58,12 @@ fn main() -> Result<()> {
             raw as f64 / compacted as f64,
         );
     }
+    // The worker-pool width every replica will fan tile groups across
+    // (also exported as the `shenjing_intra_pass_threads` gauge below).
+    println!(
+        "intra-pass worker pool: {} thread(s) per replica (SHENJING_NUM_THREADS to override)",
+        shenjing::sim::parallel::resolve(None),
+    );
 
     // 3. Register them with per-model policies: the trained classifier is
     //    latency-critical (higher priority, 250 ms SLO, warm on every
